@@ -1,0 +1,105 @@
+// Ablations over TSPLIT's design choices (DESIGN.md §6):
+//   1. recomputation engine: memory-centric O(1)-memory vs speed-centric
+//      O(N)-memory vs the LRU hybrid (paper §V-D);
+//   2. memory-pool fit policy: best-fit (paper §V-C) vs first-fit;
+//   3. greedy metric: the planner's ΔT/ΔM ratio is exercised implicitly —
+//      TSPLIT-nosplit isolates the split mechanism (see fig14a).
+
+#include <cstdio>
+#include <random>
+
+#include "bench/bench_util.h"
+#include "graph/liveness.h"
+#include "graph/schedule.h"
+#include "mem/memory_pool.h"
+#include "models/model.h"
+#include "planner/planner.h"
+#include "rewrite/program.h"
+#include "runtime/sim_executor.h"
+
+using namespace tsplit;
+
+int main() {
+  bench::PrintHeader(
+      "Ablation 1: recomputation engines on a checkpointed VGG-16 "
+      "(batch 96, TITAN RTX)",
+      "memory-centric trades recompute time for O(1) extra memory; LRU "
+      "interpolates");
+
+  {
+    models::CnnConfig config;
+    config.batch = 96;
+    auto model = models::BuildVgg(16, config);
+    auto schedule = BuildSchedule(model->graph);
+    auto profile = planner::ProfileGraph(model->graph, sim::TitanRtx());
+    auto plan = planner::MakePlanner("Checkpoints")
+                    ->BuildPlan(model->graph, *schedule, profile, 1);
+
+    std::printf("%-18s %12s %14s %12s\n", "engine", "iter (s)",
+                "recompute (s)", "peak GB");
+    struct Mode {
+      const char* name;
+      rewrite::RecomputeMode mode;
+      size_t lru_budget;
+    };
+    for (const Mode& m :
+         {Mode{"memory-centric", rewrite::RecomputeMode::kMemoryCentric, 0},
+          Mode{"speed-centric", rewrite::RecomputeMode::kSpeedCentric, 0},
+          Mode{"LRU (1 GB)", rewrite::RecomputeMode::kLru,
+               size_t{1} << 30}}) {
+      rewrite::ProgramOptions options;
+      options.recompute_mode = m.mode;
+      options.lru_budget_bytes = m.lru_budget;
+      auto program = rewrite::GenerateProgram(model->graph, *schedule, *plan,
+                                              profile, options);
+      if (!program.ok()) continue;
+      runtime::SimExecutor executor(sim::TitanRtx());
+      auto stats = executor.Execute(model->graph, *program);
+      if (!stats.ok()) {
+        std::printf("%-18s %12s\n", m.name, "OOM");
+        continue;
+      }
+      std::printf("%-18s %12.3f %14.3f %12.2f\n", m.name,
+                  stats->iteration_seconds, stats->recompute_seconds,
+                  static_cast<double>(stats->peak_memory_bytes) / 1e9);
+    }
+  }
+
+  bench::PrintHeader(
+      "Ablation 2: best-fit vs first-fit pool under an adversarial "
+      "alloc/free trace",
+      "the paper picks best-fit for micro-tensor contiguity (§V-C)");
+  {
+    std::printf("%-12s %16s %14s\n", "policy", "fragmentation",
+                "failed allocs");
+    for (auto policy : {mem::FitPolicy::kBestFit, mem::FitPolicy::kFirstFit}) {
+      mem::MemoryPool pool(size_t{64} << 20, policy);
+      std::mt19937 rng(7);
+      std::vector<size_t> live;
+      double frag_accum = 0;
+      int samples = 0;
+      for (int step = 0; step < 20000; ++step) {
+        bool alloc = live.empty() || rng() % 5 != 0;
+        if (alloc) {
+          size_t bytes = (rng() % 2 == 0) ? (1u << 12) + rng() % (1u << 14)
+                                          : (1u << 18) + rng() % (1u << 19);
+          auto offset = pool.Allocate(bytes);
+          if (offset.ok()) live.push_back(*offset);
+        } else {
+          size_t idx = rng() % live.size();
+          (void)pool.Free(live[idx]);
+          live.erase(live.begin() + static_cast<long>(idx));
+        }
+        if (step % 100 == 0) {
+          frag_accum += pool.stats().fragmentation();
+          ++samples;
+        }
+      }
+      std::printf("%-12s %15.1f%% %14zu\n",
+                  policy == mem::FitPolicy::kBestFit ? "best-fit"
+                                                     : "first-fit",
+                  100.0 * frag_accum / samples, pool.stats().failed_allocs);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+#ifndef TSPLIT_BENCH_BENCH_UTIL_H_
+#define TSPLIT_BENCH_BENCH_UTIL_H_
+
+// Shared plumbing for the paper-reproduction bench binaries: fixed-width
+// table printing and the common model x planner sweep helpers. Each bench
+// regenerates one table or figure from the TSPLIT paper (see DESIGN.md's
+// experiment index) and prints the same rows/series the paper reports.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "runtime/session.h"
+
+namespace tsplit::bench {
+
+inline void PrintRule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void PrintHeader(const std::string& title, const std::string& note) {
+  PrintRule(78);
+  std::printf("%s\n", title.c_str());
+  if (!note.empty()) std::printf("%s\n", note.c_str());
+  PrintRule(78);
+}
+
+// The planner columns of Tables IV/V, paper order.
+inline std::vector<std::string> PaperPlannerColumns() {
+  return {"Base",        "vDNN-conv",    "vDNN-all",
+          "Checkpoints", "SuperNeurons", "TSPLIT"};
+}
+
+// "x" entries: conv-centric baselines have nothing to act on for
+// Transformer (paper Tables IV/V footnote).
+inline bool PlannerInapplicable(const std::string& model,
+                                const std::string& planner) {
+  return model == "Transformer" &&
+         (planner == "vDNN-conv" || planner == "SuperNeurons");
+}
+
+}  // namespace tsplit::bench
+
+#endif  // TSPLIT_BENCH_BENCH_UTIL_H_

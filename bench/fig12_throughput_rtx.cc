@@ -1,0 +1,64 @@
+// Paper Fig 12: training throughput (samples/s) vs batch size for four
+// models on the TITAN RTX, across every memory-management policy. The
+// paper's shape: all policies match Base while memory suffices; under
+// over-subscription TSPLIT degrades least (best overlap), vDNN-all pays
+// the most transfer, and missing cells mean the policy cannot train that
+// batch at all.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "runtime/session.h"
+
+using namespace tsplit;
+
+int main(int argc, char** argv) {
+  struct Workload {
+    const char* model;
+    std::vector<int> batches;
+  };
+  std::vector<Workload> workloads = {
+      {"VGG-16", {64, 128, 256, 384, 512}},
+      {"ResNet-50", {64, 128, 256, 512, 1024}},
+      {"Inception-V4", {64, 128, 256, 512, 1024}},
+      {"Transformer", {64, 128, 256, 384, 512}},
+  };
+  if (argc > 1) {
+    for (auto it = workloads.begin(); it != workloads.end();) {
+      it = it->model == std::string(argv[1]) ? it + 1 : workloads.erase(it);
+    }
+  }
+
+  bench::PrintHeader(
+      "Fig 12: throughput (samples/s) vs batch size, TITAN RTX",
+      "'-' = not trainable under that policy; 'x' = policy inapplicable");
+
+  for (const Workload& workload : workloads) {
+    std::printf("\n[%s]\n%-14s", workload.model, "batch");
+    for (int batch : workload.batches) std::printf("%10d", batch);
+    std::printf("\n");
+    for (const auto& planner : bench::PaperPlannerColumns()) {
+      std::printf("%-14s", planner.c_str());
+      std::fflush(stdout);
+      for (int batch : workload.batches) {
+        if (bench::PlannerInapplicable(workload.model, planner)) {
+          std::printf("%10s", "x");
+          continue;
+        }
+        runtime::SessionOptions options;
+        options.planner_name = planner;
+        options.device = sim::TitanRtx();
+        auto result =
+            runtime::SimulateModel(workload.model, batch, 1.0, options);
+        if (result.ok()) {
+          std::printf("%10.1f", result->stats.throughput(batch));
+        } else {
+          std::printf("%10s", "-");
+        }
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Paper Fig 13: the same throughput comparison on a GTX 1080Ti (11 GB,
+// ~70% of the RTX's FP32 throughput). Slower compute widens the window for
+// hiding transfers, so swap-based policies lose less than on the RTX.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "runtime/session.h"
+
+using namespace tsplit;
+
+int main() {
+  struct Workload {
+    const char* model;
+    std::vector<int> batches;
+  };
+  std::vector<Workload> workloads = {
+      {"VGG-16", {32, 64, 128, 192, 256}},
+      {"ResNet-50", {32, 64, 128, 256, 512}},
+  };
+
+  bench::PrintHeader(
+      "Fig 13: throughput (samples/s) vs batch size, GTX 1080Ti (11 GB)",
+      "paper shape: same ordering as Fig 12; relative swap overheads "
+      "shrink on the slower GPU");
+
+  for (const Workload& workload : workloads) {
+    std::printf("\n[%s]\n%-14s", workload.model, "batch");
+    for (int batch : workload.batches) std::printf("%10d", batch);
+    std::printf("\n");
+    for (const auto& planner : bench::PaperPlannerColumns()) {
+      std::printf("%-14s", planner.c_str());
+      std::fflush(stdout);
+      for (int batch : workload.batches) {
+        runtime::SessionOptions options;
+        options.planner_name = planner;
+        options.device = sim::Gtx1080Ti();
+        auto result =
+            runtime::SimulateModel(workload.model, batch, 1.0, options);
+        if (result.ok()) {
+          std::printf("%10.1f", result->stats.throughput(batch));
+        } else {
+          std::printf("%10s", "-");
+        }
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Paper Fig 14a (breakdown): the effect of the tensor-split mechanism.
+// Fixing a throughput floor (>= x% of Base's throughput at its own max
+// batch), compare the largest trainable batch of SuperNeurons, TSPLIT
+// without split, and full TSPLIT. The split mechanism buys most of the
+// additional scale.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "runtime/session.h"
+
+using namespace tsplit;
+
+namespace {
+
+// Base's throughput at a reference batch defines the floor.
+double BaseThroughput(const std::string& model) {
+  runtime::SessionOptions options;
+  options.planner_name = "Base";
+  for (int batch = 128; batch >= 16; batch /= 2) {
+    auto result = runtime::SimulateModel(model, batch, 1.0, options);
+    if (result.ok()) return result->stats.throughput(batch);
+  }
+  return 0;
+}
+
+// Largest batch whose throughput stays above `floor` samples/s. The
+// throughput-vs-batch curve rises (amortized launch overhead) then falls
+// (memory-management cost), so scan down from the largest trainable batch.
+int MaxBatchAboveFloor(const std::string& model, const std::string& planner,
+                       double floor) {
+  runtime::SessionOptions options;
+  options.planner_name = planner;
+  auto cap = runtime::MaxSampleScale(model, options);
+  if (!cap.ok() || *cap < 1) return 0;
+  auto ok_at = [&](int batch) {
+    auto result = runtime::SimulateModel(model, batch, 1.0, options);
+    return result.ok() && result->stats.throughput(batch) >= floor;
+  };
+  for (int batch = *cap; batch >= 1;
+       batch = batch > 16 ? batch * 92 / 100 : batch - 1) {
+    if (ok_at(batch)) return batch;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Fig 14a: max batch sustaining >= x% of Base throughput, TITAN RTX",
+      "paper shape: TSPLIT > TSPLIT w/o Split > SuperNeurons at every "
+      "floor");
+
+  std::printf("%-12s %-6s %14s %16s %10s\n", "Model", "floor",
+              "SuperNeurons", "TSPLIT-nosplit", "TSPLIT");
+  for (const char* model : {"VGG-16", "ResNet-101"}) {
+    double base = BaseThroughput(model);
+    for (double fraction : {0.45, 0.35}) {
+      double floor = base * fraction;
+      std::printf("%-12s %5.0f%%", model, fraction * 100);
+      std::fflush(stdout);
+      for (const char* planner :
+           {"SuperNeurons", "TSPLIT-nosplit", "TSPLIT"}) {
+        int batch = MaxBatchAboveFloor(model, planner, floor);
+        std::printf("%*d", planner == std::string("TSPLIT") ? 10
+                           : planner == std::string("SuperNeurons") ? 14
+                                                                    : 16,
+                    batch);
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

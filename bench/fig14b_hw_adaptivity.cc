@@ -1,0 +1,50 @@
+// Paper Fig 14b (breakdown): hardware-adaptive planning. The same model
+// planned for two GPUs yields different strategy mixes: on the slower
+// 1080Ti recomputation is relatively more expensive, so TSPLIT shifts
+// bytes from recompute toward swap.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "graph/schedule.h"
+#include "models/model.h"
+#include "planner/planner.h"
+#include "runtime/session.h"
+
+using namespace tsplit;
+
+int main() {
+  bench::PrintHeader(
+      "Fig 14b: TSPLIT strategy mix (GB assigned) per device, VGG-16",
+      "paper shape: the 1080Ti plan swaps more and recomputes less than "
+      "the RTX plan");
+
+  std::printf("%-14s %8s %12s %14s %12s %10s\n", "Device", "batch",
+              "swapped GB", "recomputed GB", "swap share", "#splits");
+  for (const sim::DeviceProfile& device :
+       {sim::TitanRtx(), sim::Gtx1080Ti()}) {
+    // Stress each device equally: plan at ~2x its capacity.
+    int batch = device.memory_bytes > (size_t{16} << 30) ? 420 : 200;
+    auto model = models::BuildVgg(16, {batch});
+    if (!model.ok()) return 1;
+    auto schedule = BuildSchedule(model->graph);
+    auto profile = planner::ProfileGraph(model->graph, device);
+    auto planner = planner::MakePlanner("TSPLIT");
+    auto plan = planner->BuildPlan(model->graph, *schedule, profile,
+                                   device.memory_bytes * 93 / 100);
+    if (!plan.ok()) {
+      std::printf("%-14s planning failed: %s\n", device.name.c_str(),
+                  plan.status().ToString().c_str());
+      continue;
+    }
+    double swapped = static_cast<double>(
+        plan->BytesWithOpt(model->graph, MemOpt::kSwap));
+    double recomputed = static_cast<double>(
+        plan->BytesWithOpt(model->graph, MemOpt::kRecompute));
+    std::printf("%-14s %8d %12.2f %14.2f %11.1f%% %10d\n",
+                device.name.c_str(), batch, swapped / 1e9, recomputed / 1e9,
+                100.0 * swapped / (swapped + recomputed),
+                plan->CountSplit());
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Paper Fig 15: throughput vs the offloading systems on PyTorch. ZeRO's
+// gradient/optimizer traffic and FairScale's parameter + activation
+// shuttling cost bandwidth that TSPLIT's demand-driven plan avoids while
+// memory suffices.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "runtime/session.h"
+
+using namespace tsplit;
+
+int main() {
+  struct Workload {
+    const char* model;
+    std::vector<int> batches;
+  };
+  std::vector<Workload> workloads = {
+      {"VGG-16", {64, 128, 256}},
+      {"ResNet-50", {64, 128, 256}},
+      {"Inception-V4", {64, 128, 256}},
+      {"Transformer", {64, 128, 256}},
+  };
+  const std::vector<std::string> planners = {"ZeRO-Offload",
+                                             "FairScale-Offload", "TSPLIT"};
+
+  bench::PrintHeader(
+      "Fig 15: throughput (samples/s) vs offloading systems (Adam states "
+      "on-footprint), TITAN RTX",
+      "paper shape: TSPLIT fastest; FairScale pays for parameter+activation "
+      "shuttling");
+
+  for (const Workload& workload : workloads) {
+    std::printf("\n[%s]\n%-20s", workload.model, "batch");
+    for (int batch : workload.batches) std::printf("%10d", batch);
+    std::printf("\n");
+    for (const auto& planner : planners) {
+      std::printf("%-20s", planner.c_str());
+      std::fflush(stdout);
+      for (int batch : workload.batches) {
+        runtime::SessionOptions options;
+        options.planner_name = planner;
+        options.with_adam_states = true;
+        auto result =
+            runtime::SimulateModel(workload.model, batch, 1.0, options);
+        if (result.ok()) {
+          std::printf("%10.1f", result->stats.throughput(batch));
+        } else {
+          std::printf("%10s", "-");
+        }
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Paper Fig 5: operator execution time as a function of the partition
+// number. Different operators degrade differently — large convolutions
+// split almost for free while small / memory-bound kernels pay launch and
+// under-utilization overheads, which is exactly what the split cost model
+// (Eq. 6) has to weigh.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "graph/graph.h"
+#include "ops/batchnorm.h"
+#include "ops/conv2d.h"
+#include "ops/matmul.h"
+#include "ops/pool.h"
+#include "planner/profile.h"
+
+using namespace tsplit;
+
+namespace {
+
+// Builds a single-op graph and reports SplitOpSeconds across partitions
+// along `axis` (0 = sample dimension, 1 = channel/parameter dimension).
+void Sweep(const std::string& label, Graph* graph, OpId op, int axis = 0) {
+  planner::GraphProfile profile =
+      planner::ProfileGraph(*graph, sim::TitanRtx());
+  double base_ms = profile.ops[static_cast<size_t>(op)].seconds * 1e3;
+  std::printf("%-26s %9.3f", label.c_str(), base_ms);
+  for (int p : {2, 4, 8, 16, 32}) {
+    double ms =
+        planner::SplitOpSeconds(*graph, sim::TitanRtx(), op, axis, p) * 1e3;
+    std::printf("%9.3f", ms);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Fig 5: kernel time (ms) vs partition number (sample-axis split), "
+      "TITAN RTX",
+      "paper shape: compute-heavy ops split nearly for free; small ops "
+      "degrade steeply");
+  std::printf("%-26s %9s %9s %9s %9s %9s %9s\n", "Operator", "p=1", "p=2",
+              "p=4", "p=8", "p=16", "p=32");
+
+  {
+    Graph g;
+    TensorId x = g.AddTensor("x", Shape{64, 64, 56, 56}, TensorKind::kInput);
+    TensorId w = g.AddTensor("w", Shape{128, 64, 3, 3},
+                             TensorKind::kParameter);
+    auto y = g.AddOp(std::make_unique<ops::Conv2dOp>(ops::ConvConfig{1, 1}),
+                     "conv", {x, w});
+    Sweep("Conv2d 3x3 (large)", &g, 0);
+    (void)y;
+  }
+  {
+    Graph g;
+    TensorId x = g.AddTensor("x", Shape{64, 512, 7, 7}, TensorKind::kInput);
+    TensorId w = g.AddTensor("w", Shape{512, 512, 3, 3},
+                             TensorKind::kParameter);
+    auto y = g.AddOp(std::make_unique<ops::Conv2dOp>(ops::ConvConfig{1, 1}),
+                     "conv", {x, w});
+    Sweep("Conv2d 3x3 (deep)", &g, 0);
+    (void)y;
+  }
+  {
+    Graph g;
+    TensorId a = g.AddTensor("a", Shape{4096, 4096}, TensorKind::kInput);
+    TensorId b = g.AddTensor("b", Shape{4096, 4096}, TensorKind::kParameter);
+    auto y = g.AddOp(std::make_unique<ops::MatMulOp>(), "matmul", {a, b});
+    Sweep("MatMul 4096^3", &g, 0);
+    (void)y;
+  }
+  {
+    Graph g;
+    TensorId x = g.AddTensor("x", Shape{64, 64, 112, 112},
+                             TensorKind::kInput);
+    auto y = g.AddOp(std::make_unique<ops::Pool2dOp>(ops::PoolConfig{}),
+                     "pool", {x});
+    Sweep("MaxPool 2x2", &g, 0);
+    (void)y;
+  }
+  {
+    Graph g;
+    TensorId x = g.AddTensor("x", Shape{64, 64, 56, 56}, TensorKind::kInput);
+    TensorId gamma = g.AddTensor("g", Shape{64}, TensorKind::kParameter);
+    TensorId beta = g.AddTensor("b", Shape{64}, TensorKind::kParameter);
+    auto y = g.AddOp(std::make_unique<ops::BatchNorm2dOp>(), "bn",
+                     {x, gamma, beta});
+    Sweep("BatchNorm (channel split)", &g, 0, /*axis=*/1);
+    (void)y;
+  }
+  {
+    Graph g;
+    TensorId a = g.AddTensor("a", Shape{256, 256}, TensorKind::kInput);
+    TensorId b = g.AddTensor("b", Shape{256, 256}, TensorKind::kParameter);
+    auto y = g.AddOp(std::make_unique<ops::MatMulOp>(), "matmul", {a, b});
+    Sweep("MatMul 256^3 (small)", &g, 0);
+    (void)y;
+  }
+  return 0;
+}

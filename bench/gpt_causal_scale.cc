@@ -1,0 +1,66 @@
+// Extension bench (beyond the paper's tables): TSPLIT on a GPT-style
+// causal decoder, where [B*heads, S, S] attention scores dominate memory
+// quadratically in sequence length — the regime the paper's introduction
+// motivates with GPT-scale models.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "graph/liveness.h"
+#include "graph/schedule.h"
+#include "models/model.h"
+#include "runtime/session.h"
+
+using namespace tsplit;
+
+namespace {
+
+// Largest trainable sequence length at fixed batch.
+int MaxSeqLen(const std::string& planner, int batch) {
+  auto trainable = [&](int seq) {
+    models::GptConfig config;
+    config.num_layers = 6;
+    config.batch = batch;
+    config.seq_len = seq;
+    config.hidden = 512;
+    config.num_heads = 8;
+    config.vocab = 32000;
+    auto model = models::BuildGpt(config);
+    if (!model.ok()) return false;
+    runtime::SessionOptions options;
+    options.planner_name = planner;
+    options.device = sim::TitanRtx();
+    return runtime::SimulateIteration(&*model, options).ok();
+  };
+  int lo = 64, hi = 128;
+  if (!trainable(lo)) return 0;
+  while (hi <= 16384 && trainable(hi)) {
+    lo = hi;
+    hi *= 2;
+  }
+  if (hi > 16384) return lo;
+  while (hi - lo > 64) {
+    int mid = (lo + hi) / 2 / 64 * 64;
+    (trainable(mid) ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Extension: GPT-6L causal decoder, max sequence length at batch 16, "
+      "TITAN RTX",
+      "attention scores grow as S^2: splitting them is the only fine-"
+      "grained lever");
+
+  std::printf("%-14s %14s\n", "Planner", "max seq len");
+  for (const char* planner :
+       {"Base", "vDNN-all", "Checkpoints", "TSPLIT"}) {
+    std::printf("%-14s", planner);
+    std::fflush(stdout);
+    std::printf("%14d\n", MaxSeqLen(planner, 16));
+  }
+  return 0;
+}

@@ -1,0 +1,98 @@
+// google-benchmark micro-benchmarks for the CPU reference kernels (the
+// functional executor's compute substrate) and the split/merge tensor
+// primitives.
+
+#include <benchmark/benchmark.h>
+
+#include "core/tensor.h"
+#include "ops/batchnorm.h"
+#include "ops/conv2d.h"
+#include "ops/matmul.h"
+#include "ops/softmax.h"
+
+namespace {
+
+using namespace tsplit;
+
+Tensor Filled(Shape shape) {
+  Tensor t(shape);
+  for (int64_t i = 0; i < t.num_elements(); ++i) {
+    t.at(i) = 0.01f * static_cast<float>(i % 97);
+  }
+  return t;
+}
+
+void BM_Conv2dKernel(benchmark::State& state) {
+  auto n = state.range(0);
+  ops::Conv2dOp conv({1, 1});
+  Tensor x = Filled(Shape{n, 8, 16, 16});
+  Tensor w = Filled(Shape{8, 8, 3, 3});
+  Tensor y(Shape{n, 8, 16, 16});
+  std::vector<const Tensor*> inputs = {&x, &w};
+  std::vector<Tensor*> outputs = {&y};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Compute(inputs, outputs));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Conv2dKernel)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_MatMulKernel(benchmark::State& state) {
+  auto dim = state.range(0);
+  ops::MatMulOp matmul;
+  Tensor a = Filled(Shape{dim, dim});
+  Tensor b = Filled(Shape{dim, dim});
+  Tensor y(Shape{dim, dim});
+  std::vector<const Tensor*> inputs = {&a, &b};
+  std::vector<Tensor*> outputs = {&y};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul.Compute(inputs, outputs));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * dim * dim * dim);
+}
+BENCHMARK(BM_MatMulKernel)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SoftmaxKernel(benchmark::State& state) {
+  ops::SoftmaxOp softmax;
+  Tensor x = Filled(Shape{512, 512});
+  Tensor y(Shape{512, 512});
+  std::vector<const Tensor*> inputs = {&x};
+  std::vector<Tensor*> outputs = {&y};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(softmax.Compute(inputs, outputs));
+  }
+}
+BENCHMARK(BM_SoftmaxKernel);
+
+void BM_BatchNormKernel(benchmark::State& state) {
+  ops::BatchNorm2dOp bn;
+  Tensor x = Filled(Shape{16, 32, 16, 16});
+  Tensor gamma = Filled(Shape{32});
+  Tensor beta = Filled(Shape{32});
+  Tensor y(Shape{16, 32, 16, 16});
+  std::vector<const Tensor*> inputs = {&x, &gamma, &beta};
+  std::vector<Tensor*> outputs = {&y};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bn.Compute(inputs, outputs));
+  }
+}
+BENCHMARK(BM_BatchNormKernel);
+
+void BM_TensorSliceMerge(benchmark::State& state) {
+  // The split/merge primitives of the functional executor.
+  Tensor whole = Filled(Shape{64, 64, 8, 8});
+  for (auto _ : state) {
+    Tensor rebuilt(whole.shape());
+    for (int part = 0; part < 4; ++part) {
+      auto slice = whole.Slice(0, part * 16, 16);
+      benchmark::DoNotOptimize(slice.ok());
+      benchmark::DoNotOptimize(
+          rebuilt.PasteSlice(0, part * 16, *slice).ok());
+    }
+  }
+}
+BENCHMARK(BM_TensorSliceMerge);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,114 @@
+// Micro-benchmarks (google-benchmark) for the runtime substrates: the
+// best-fit memory pool, the discrete-event timeline, graph scheduling, and
+// the planner itself. These guard the "negligible overhead" claims the
+// paper makes about its pool (§V-D) and planner.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "graph/schedule.h"
+#include "mem/memory_pool.h"
+#include "models/model.h"
+#include "planner/planner.h"
+#include "planner/profile.h"
+#include "rewrite/program.h"
+#include "sim/timeline.h"
+
+namespace {
+
+using namespace tsplit;
+
+void BM_PoolAllocFree(benchmark::State& state) {
+  mem::MemoryPool pool(size_t{1} << 30);
+  std::mt19937 rng(42);
+  std::uniform_int_distribution<size_t> size_dist(256, 1 << 20);
+  std::vector<size_t> live;
+  for (auto _ : state) {
+    if (live.size() < 256 && (live.empty() || rng() % 2 == 0)) {
+      auto offset = pool.Allocate(size_dist(rng));
+      if (offset.ok()) live.push_back(*offset);
+    } else {
+      size_t idx = rng() % live.size();
+      benchmark::DoNotOptimize(pool.Free(live[idx]));
+      live.erase(live.begin() + static_cast<long>(idx));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PoolAllocFree);
+
+void BM_PoolPolicy(benchmark::State& state) {
+  auto policy = static_cast<mem::FitPolicy>(state.range(0));
+  for (auto _ : state) {
+    mem::MemoryPool pool(size_t{256} << 20, policy);
+    std::vector<size_t> live;
+    for (int i = 0; i < 512; ++i) {
+      auto offset = pool.Allocate(static_cast<size_t>(1 + i % 64) << 12);
+      if (offset.ok()) live.push_back(*offset);
+      if (i % 3 == 0 && !live.empty()) {
+        (void)pool.Free(live.back());
+        live.pop_back();
+      }
+    }
+    benchmark::DoNotOptimize(pool.stats().fragmentation());
+  }
+}
+BENCHMARK(BM_PoolPolicy)->Arg(0)->Arg(1);  // 0=best-fit, 1=first-fit
+
+void BM_TimelineSchedule(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Timeline timeline;
+    auto compute = timeline.AddStream("compute");
+    auto d2h = timeline.AddStream("d2h");
+    double last = 0;
+    for (int i = 0; i < 1000; ++i) {
+      const auto& rec = timeline.Schedule(compute, 1e-4, last);
+      timeline.Schedule(d2h, 5e-5, rec.finish);
+      last = rec.finish;
+    }
+    benchmark::DoNotOptimize(timeline.MakespanEnd());
+  }
+}
+BENCHMARK(BM_TimelineSchedule);
+
+void BM_BuildScheduleVgg(benchmark::State& state) {
+  auto model = models::BuildVgg(16, {32});
+  for (auto _ : state) {
+    auto schedule = BuildSchedule(model->graph);
+    benchmark::DoNotOptimize(schedule.ok());
+  }
+}
+BENCHMARK(BM_BuildScheduleVgg);
+
+void BM_TsplitPlannerVgg(benchmark::State& state) {
+  auto model = models::BuildVgg(16, {static_cast<int>(state.range(0))});
+  auto schedule = BuildSchedule(model->graph);
+  auto profile = planner::ProfileGraph(model->graph, sim::TitanRtx());
+  for (auto _ : state) {
+    auto planner = planner::MakePlanner("TSPLIT");
+    auto plan = planner->BuildPlan(model->graph, *schedule, profile,
+                                   sim::TitanRtx().memory_bytes * 93 / 100);
+    benchmark::DoNotOptimize(plan.ok());
+  }
+}
+BENCHMARK(BM_TsplitPlannerVgg)->Arg(128)->Arg(384);
+
+void BM_GenerateProgramVgg(benchmark::State& state) {
+  auto model = models::BuildVgg(16, {384});
+  auto schedule = BuildSchedule(model->graph);
+  auto profile = planner::ProfileGraph(model->graph, sim::TitanRtx());
+  auto planner = planner::MakePlanner("TSPLIT");
+  auto plan = planner->BuildPlan(model->graph, *schedule, profile,
+                                 sim::TitanRtx().memory_bytes * 93 / 100);
+  for (auto _ : state) {
+    auto program =
+        rewrite::GenerateProgram(model->graph, *schedule, *plan, profile);
+    benchmark::DoNotOptimize(program.ok());
+  }
+}
+BENCHMARK(BM_GenerateProgramVgg);
+
+}  // namespace
+
+BENCHMARK_MAIN();

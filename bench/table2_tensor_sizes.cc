@@ -1,0 +1,60 @@
+// Paper Table II: distribution of tensor sizes in BERT-Large. Many tensors
+// are huge (>500 MB at scale) — the reason whole-tensor memory management
+// hits walls and motivates the tensor-splitting primitive (§III-A).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "graph/views.h"
+#include "models/model.h"
+
+using namespace tsplit;
+
+int main() {
+  // Paper setting: BERT-Large at a large fine-tuning batch.
+  auto model = models::BuildBertLarge(/*batch=*/32, /*hidden=*/1024,
+                                      /*seq_len=*/512);
+  if (!model.ok()) {
+    std::fprintf(stderr, "model build failed: %s\n",
+                 model.status().ToString().c_str());
+    return 1;
+  }
+
+  const double kMiB = 1024.0 * 1024.0;
+  struct Bucket {
+    const char* label;
+    double lo_mb;
+    double hi_mb;
+    int count = 0;
+  };
+  std::vector<Bucket> buckets = {
+      {"< 1 MB", 0, 1},          {"1 ~ 10 MB", 1, 10},
+      {"10 ~ 50 MB", 10, 50},    {"50 ~ 100 MB", 50, 100},
+      {"100 ~ 500 MB", 100, 500}, {"> 500 MB", 500, 1e18},
+  };
+
+  std::vector<TensorId> roots = ComputeViewRoots(model->graph);
+  int total = 0;
+  for (const TensorDesc& t : model->graph.tensors()) {
+    if (roots[static_cast<size_t>(t.id)] != t.id) continue;  // view alias
+    double mb = static_cast<double>(t.size_bytes()) / kMiB;
+    for (Bucket& bucket : buckets) {
+      if (mb >= bucket.lo_mb && mb < bucket.hi_mb) {
+        ++bucket.count;
+        break;
+      }
+    }
+    ++total;
+  }
+
+  bench::PrintHeader(
+      "Table II: tensor-size distribution, BERT-Large (batch 32, seq 512)",
+      "paper shape: a heavy tail of very large tensors (>500 MB: 13.41%)");
+  std::printf("%-16s %10s %12s\n", "Size", "Count", "Percentage");
+  for (const Bucket& bucket : buckets) {
+    std::printf("%-16s %10d %11.2f%%\n", bucket.label, bucket.count,
+                100.0 * bucket.count / total);
+  }
+  std::printf("%-16s %10d\n", "total", total);
+  return 0;
+}

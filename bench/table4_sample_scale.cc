@@ -1,0 +1,52 @@
+// Paper Table IV: maximum SAMPLE scale (batch size) per model under each
+// memory-management policy on a TITAN RTX (24 GB). The paper's headline:
+// TSPLIT reaches the largest batch on every model; conv-centric baselines
+// cannot help the Transformer at all ("x").
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "models/model.h"
+#include "runtime/session.h"
+
+using namespace tsplit;
+
+int main(int argc, char** argv) {
+  // Optionally restrict to one model: table4_sample_scale VGG-16
+  std::vector<std::string> models = models::PaperModelNames();
+  if (argc > 1) models = {argv[1]};
+
+  bench::PrintHeader(
+      "Table IV: max sample scale (batch size), TITAN RTX 24 GB",
+      "paper shape: TSPLIT largest everywhere; 'x' = policy inapplicable");
+
+  std::printf("%-14s", "Model");
+  for (const auto& planner : bench::PaperPlannerColumns()) {
+    std::printf("%14s", planner.c_str());
+  }
+  std::printf("\n");
+
+  for (const auto& model : models) {
+    std::printf("%-14s", model.c_str());
+    std::fflush(stdout);
+    for (const auto& planner : bench::PaperPlannerColumns()) {
+      if (bench::PlannerInapplicable(model, planner)) {
+        std::printf("%14s", "x");
+        std::fflush(stdout);
+        continue;
+      }
+      runtime::SessionOptions options;
+      options.planner_name = planner;
+      options.device = sim::TitanRtx();
+      auto max_batch = runtime::MaxSampleScale(model, options);
+      if (max_batch.ok()) {
+        std::printf("%14d", *max_batch);
+      } else {
+        std::printf("%14s", "err");
+      }
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

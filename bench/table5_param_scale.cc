@@ -1,0 +1,51 @@
+// Paper Table V: maximum PARAMETER scale at a fixed batch of 16 — channel
+// multiplier for CNNs, hidden-size multiplier for the Transformer. TSPLIT's
+// parameter-dimension splits let it scale model width past every baseline.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "models/model.h"
+#include "runtime/session.h"
+
+using namespace tsplit;
+
+int main(int argc, char** argv) {
+  std::vector<std::string> models = models::PaperModelNames();
+  if (argc > 1) models = {argv[1]};
+
+  bench::PrintHeader(
+      "Table V: max parameter scale (channel/hidden multiplier), batch 16, "
+      "TITAN RTX",
+      "paper shape: TSPLIT largest everywhere; 'x' = policy inapplicable");
+
+  std::printf("%-14s", "Model");
+  for (const auto& planner : bench::PaperPlannerColumns()) {
+    std::printf("%14s", planner.c_str());
+  }
+  std::printf("\n");
+
+  for (const auto& model : models) {
+    std::printf("%-14s", model.c_str());
+    std::fflush(stdout);
+    for (const auto& planner : bench::PaperPlannerColumns()) {
+      if (bench::PlannerInapplicable(model, planner)) {
+        std::printf("%14s", "x");
+        std::fflush(stdout);
+        continue;
+      }
+      runtime::SessionOptions options;
+      options.planner_name = planner;
+      options.device = sim::TitanRtx();
+      auto max_scale = runtime::MaxParamScale(model, options);
+      if (max_scale.ok()) {
+        std::printf("%13dx", *max_scale);
+      } else {
+        std::printf("%14s", "err");
+      }
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

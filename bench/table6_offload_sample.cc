@@ -1,0 +1,46 @@
+// Paper Table VI: maximum sample scale vs the PyTorch offloading systems
+// (ZeRO-Offload and FairScale-Offload), with Adam optimizer state in the
+// footprint (the state ZeRO-Offload exists to offload). Paper shape:
+// TSPLIT largest; ZeRO-Offload helps least on activation-dominated CNNs.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "models/model.h"
+#include "runtime/session.h"
+
+using namespace tsplit;
+
+int main(int argc, char** argv) {
+  std::vector<std::string> models = models::PaperModelNames();
+  if (argc > 1) models = {argv[1]};
+  const std::vector<std::string> planners = {"ZeRO-Offload",
+                                             "FairScale-Offload", "TSPLIT"};
+
+  bench::PrintHeader(
+      "Table VI: max sample scale vs offloading systems (Adam states "
+      "on-footprint), TITAN RTX",
+      "paper shape: TSPLIT largest; ZeRO-Offload weakest on CNNs");
+
+  std::printf("%-14s", "Model");
+  for (const auto& planner : planners) std::printf("%20s", planner.c_str());
+  std::printf("\n");
+  for (const auto& model : models) {
+    std::printf("%-14s", model.c_str());
+    std::fflush(stdout);
+    for (const auto& planner : planners) {
+      runtime::SessionOptions options;
+      options.planner_name = planner;
+      options.with_adam_states = true;
+      auto max_batch = runtime::MaxSampleScale(model, options);
+      if (max_batch.ok()) {
+        std::printf("%20d", *max_batch);
+      } else {
+        std::printf("%20s", "err");
+      }
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

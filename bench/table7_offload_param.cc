@@ -1,0 +1,46 @@
+// Paper Table VII: maximum parameter scale (batch 16) vs ZeRO-Offload and
+// FairScale-Offload with Adam optimizer state. Parameter-heavy scaling is
+// where optimizer-state offloading shines — yet TSPLIT's joint plan still
+// leads by also managing activations.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "models/model.h"
+#include "runtime/session.h"
+
+using namespace tsplit;
+
+int main(int argc, char** argv) {
+  std::vector<std::string> models = models::PaperModelNames();
+  if (argc > 1) models = {argv[1]};
+  const std::vector<std::string> planners = {"ZeRO-Offload",
+                                             "FairScale-Offload", "TSPLIT"};
+
+  bench::PrintHeader(
+      "Table VII: max parameter scale (batch 16) vs offloading systems, "
+      "TITAN RTX",
+      "paper shape: TSPLIT largest across models");
+
+  std::printf("%-14s", "Model");
+  for (const auto& planner : planners) std::printf("%20s", planner.c_str());
+  std::printf("\n");
+  for (const auto& model : models) {
+    std::printf("%-14s", model.c_str());
+    std::fflush(stdout);
+    for (const auto& planner : planners) {
+      runtime::SessionOptions options;
+      options.planner_name = planner;
+      options.with_adam_states = true;
+      auto max_scale = runtime::MaxParamScale(model, options);
+      if (max_scale.ok()) {
+        std::printf("%19dx", *max_scale);
+      } else {
+        std::printf("%20s", "err");
+      }
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Interactive scale explorer: how large a batch can each policy train, and
+// what does throughput look like on the way up?
+//
+//   $ ./example_max_batch_explorer [model] [device] [planner...]
+//   $ ./example_max_batch_explorer VGG-16 rtx TSPLIT vDNN-all
+//
+// model:  VGG-16 | VGG-19 | ResNet-50 | ResNet-101 | Inception-V4 |
+//         Transformer
+// device: rtx (24 GB) | 1080ti (11 GB)
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "planner/planner.h"
+#include "runtime/session.h"
+
+using namespace tsplit;
+
+int main(int argc, char** argv) {
+  std::string model = argc > 1 ? argv[1] : "VGG-16";
+  std::string device_name = argc > 2 ? argv[2] : "rtx";
+  std::vector<std::string> planners;
+  for (int i = 3; i < argc; ++i) planners.push_back(argv[i]);
+  if (planners.empty()) planners = {"Base", "SuperNeurons", "TSPLIT"};
+
+  sim::DeviceProfile device =
+      device_name == "1080ti" ? sim::Gtx1080Ti() : sim::TitanRtx();
+  std::printf("model %s on %s (%.0f GB)\n\n", model.c_str(),
+              device.name.c_str(),
+              static_cast<double>(device.memory_bytes) / 1e9);
+
+  for (const std::string& planner : planners) {
+    runtime::SessionOptions options;
+    options.planner_name = planner;
+    options.device = device;
+    auto max_batch = runtime::MaxSampleScale(model, options);
+    if (!max_batch.ok()) {
+      std::printf("%-14s error: %s\n", planner.c_str(),
+                  max_batch.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%-14s max batch %d\n", planner.c_str(), *max_batch);
+    // Throughput curve at a few points up to the max.
+    for (int fraction : {25, 50, 75, 100}) {
+      int batch = std::max(1, *max_batch * fraction / 100);
+      auto result = runtime::SimulateModel(model, batch, 1.0, options);
+      if (!result.ok()) continue;
+      std::printf("    batch %5d: %8.1f samples/s, peak %5.1f GB, "
+                  "PCIe %4.0f%%, recompute %.3fs\n",
+                  batch, result->stats.throughput(batch),
+                  static_cast<double>(result->stats.peak_memory_bytes) / 1e9,
+                  100.0 * result->stats.pcie_utilization,
+                  result->stats.recompute_seconds);
+    }
+  }
+  return 0;
+}

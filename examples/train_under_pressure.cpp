@@ -1,0 +1,142 @@
+// End-to-end TRAINING under memory pressure: a small CNN learns a synthetic
+// classification task while every iteration executes through a TSPLIT
+// augmented program on a capacity-limited device — real tensors, real
+// gradients, real SGD. The loss must fall exactly as it would without any
+// memory management.
+//
+//   $ ./example_train_under_pressure [steps]
+
+#include <cstdio>
+#include <algorithm>
+#include <cstdlib>
+
+#include "graph/liveness.h"
+#include "graph/schedule.h"
+#include "models/builder_util.h"
+#include "models/model.h"
+#include "planner/planner.h"
+#include "rewrite/program.h"
+#include "runtime/functional_executor.h"
+#include "runtime/optimizer.h"
+#include "runtime/interpreter.h"
+
+using namespace tsplit;
+
+namespace {
+
+// Synthetic task: the class is the channel with the largest mean intensity
+// (a brightness-dominant-color task a GAP conv-net learns quickly).
+void FillBatch(Tensor* images, Tensor* labels, uint64_t seed) {
+  uint64_t state = seed * 6364136223846793005ULL + 1;
+  auto uniform = [&]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return static_cast<float>((state >> 11) * (1.0 / 9007199254740992.0));
+  };
+  int64_t batch = images->shape().dim(0);
+  int64_t channels = images->shape().dim(1);
+  int64_t spatial = images->shape().dim(2) * images->shape().dim(3);
+  for (int64_t b = 0; b < batch; ++b) {
+    auto hot = static_cast<int64_t>(uniform() * channels);
+    hot = std::min(hot, channels - 1);
+    for (int64_t c = 0; c < channels; ++c) {
+      float bias = c == hot ? 0.8f : -0.2f;
+      for (int64_t i = 0; i < spatial; ++i) {
+        images->at((b * channels + c) * spatial + i) =
+            bias + uniform() * 0.6f - 0.3f;
+      }
+    }
+    labels->at(b) = static_cast<float>(hot);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int steps = argc > 1 ? std::atoi(argv[1]) : 60;
+
+  // Small conv net (activation-heavy relative to its parameters).
+  models::Model model;
+  model.name = "pressure-cnn";
+  model.input = model.graph.AddTensor("images", Shape{16, 3, 12, 12},
+                                      TensorKind::kInput);
+  model.labels =
+      model.graph.AddTensor("labels", Shape{16}, TensorKind::kInput);
+  models::internal::LayerBuilder builder(&model);
+  TensorId x = model.input;
+  for (int i = 0; i < 3; ++i) {
+    x = builder.Relu(builder.Conv(x, 8, 3, 1, 1, "conv" + std::to_string(i)),
+                     "relu" + std::to_string(i));
+  }
+  x = builder.AvgPool(x, 12, 1, 0, "gap");
+  x = builder.Flatten2d(x, "flatten");
+  TensorId logits = builder.Linear(x, 3, "head");
+  model.loss = builder.CrossEntropy(logits, model.labels, "loss");
+  auto finished = models::internal::FinishModel(std::move(model), true);
+  if (!finished.ok()) return 1;
+  models::Model net = std::move(*finished);
+
+  // Plan once at 45% of the activation peak.
+  auto schedule = BuildSchedule(net.graph);
+  auto profile = planner::ProfileGraph(net.graph, sim::TitanRtx());
+  MemoryProfile baseline = ComputeMemoryProfile(net.graph, *schedule);
+  size_t floor = baseline.always_live_bytes +
+                 net.graph.BytesOfKind(TensorKind::kParamGrad);
+  size_t budget =
+      floor + static_cast<size_t>((baseline.peak_bytes - floor) * 0.45);
+  auto planner = planner::MakePlanner("TSPLIT");
+  auto plan = planner->BuildPlan(net.graph, *schedule, profile, budget);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "planning failed: %s\n",
+                 plan.status().ToString().c_str());
+    return 1;
+  }
+  auto program =
+      rewrite::GenerateProgram(net.graph, *schedule, *plan, profile);
+  std::printf(
+      "budget %.0f KB of %.0f KB peak; plan: %d swap / %d recompute / %d "
+      "split\n\n",
+      budget / 1e3, baseline.peak_bytes / 1e3,
+      plan->CountOpt(MemOpt::kSwap), plan->CountOpt(MemOpt::kRecompute),
+      plan->CountSplit());
+
+  // Parameters persist across steps; inputs change per batch.
+  std::unordered_map<TensorId, Tensor> params;
+  auto initial = runtime::MakeRandomBindings(net.graph, 99);
+  for (TensorId id : net.parameters) params[id] = initial.at(id);
+
+  runtime::SgdOptimizer optimizer(/*lr=*/0.05f, /*momentum=*/0.9f);
+  for (int step = 0; step < steps; ++step) {
+    Tensor images(net.graph.tensor(net.input).shape);
+    Tensor labels(net.graph.tensor(net.labels).shape);
+    FillBatch(&images, &labels, static_cast<uint64_t>(step) + 7);
+
+    runtime::FunctionalExecutor executor(&net.graph, budget + budget / 4);
+    for (const auto& [id, value] : params) (void)executor.Bind(id, value);
+    (void)executor.Bind(net.input, images);
+    (void)executor.Bind(net.labels, labels);
+    Status run = executor.Run(*program);
+    if (!run.ok()) {
+      std::fprintf(stderr, "step %d failed: %s\n", step,
+                   run.ToString().c_str());
+      return 1;
+    }
+
+    std::unordered_map<TensorId, Tensor> grads;
+    for (auto [param, grad] : net.autodiff.param_grads) {
+      auto value = executor.ValueOf(grad);
+      if (value.ok()) grads[param] = std::move(*value);
+    }
+    (void)optimizer.Step(&params, grads);
+
+    if (step % 10 == 0 || step == steps - 1) {
+      std::printf("step %3d  loss %.4f\n", step,
+                  executor.ValueOf(net.loss)->at(0));
+    }
+  }
+  std::printf(
+      "\nThe network trained entirely through swap/recompute/split-managed "
+      "memory.\n");
+  return 0;
+}

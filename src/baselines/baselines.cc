@@ -1,0 +1,238 @@
+#include "baselines/baselines.h"
+
+#include <cmath>
+
+#include "planner/memory_sim.h"
+
+namespace tsplit::baselines {
+
+namespace {
+
+using planner::ComputeTensorFacts;
+using planner::Plan;
+using planner::TensorFacts;
+
+// True when evicting `t` can pay off: it is regenerated for a backward
+// consumer after its forward life ends.
+bool HasEvictionGap(const TensorFacts& f) {
+  return !f.is_view_alias && !f.always_live && f.bytes > 0 &&
+         f.first_bwd_use >= 0 && f.first_bwd_use > f.fwd_last_use;
+}
+
+bool ProducerIs(const Graph& graph, TensorId t, OpCategory category) {
+  OpId producer = graph.tensor(t).producer;
+  return producer != kInvalidOp &&
+         graph.node(producer).op->category() == category &&
+         !graph.node(producer).op->is_backward();
+}
+
+bool IsForwardActivation(const Graph& graph, const TensorFacts& f,
+                         TensorId t) {
+  OpId producer = graph.tensor(t).producer;
+  if (producer == kInvalidOp) return false;
+  const Op& op = *graph.node(producer).op;
+  return !op.is_backward() && !op.is_view() &&
+         graph.tensor(t).kind == TensorKind::kActivation && HasEvictionGap(f);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ Base
+
+Result<Plan> BasePlanner::BuildPlan(const Graph& graph,
+                                    const Schedule& schedule,
+                                    const planner::GraphProfile& profile,
+                                    size_t memory_budget) {
+  (void)graph;
+  (void)schedule;
+  (void)profile;
+  (void)memory_budget;
+  Plan plan;
+  plan.planner_name = name();
+  return plan;
+}
+
+// ------------------------------------------------------------------ vDNN
+
+Result<Plan> VdnnPlanner::BuildPlan(const Graph& graph,
+                                    const Schedule& schedule,
+                                    const planner::GraphProfile& profile,
+                                    size_t memory_budget) {
+  (void)profile;
+  (void)memory_budget;
+  Plan plan;
+  plan.planner_name = name();
+  std::vector<TensorFacts> facts = ComputeTensorFacts(graph, schedule);
+
+  if (mode_ == Mode::kAll) {
+    // Swap every forward feature map with a forward/backward gap.
+    for (const TensorDesc& t : graph.tensors()) {
+      const TensorFacts& f = facts[static_cast<size_t>(t.id)];
+      if (IsForwardActivation(graph, f, t.id)) {
+        plan.Set(t.id, STensorConfig{MemOpt::kSwap, {}});
+      }
+    }
+    return plan;
+  }
+
+  // vDNN-conv: swap the *inputs* of convolution layers (Rhu et al.).
+  for (const OpNode& node : graph.nodes()) {
+    if (node.op->category() != OpCategory::kConv || node.op->is_backward()) {
+      continue;
+    }
+    for (TensorId input : node.inputs) {
+      TensorId root = facts[static_cast<size_t>(input)].root;
+      const TensorFacts& f = facts[static_cast<size_t>(root)];
+      if (IsForwardActivation(graph, f, root)) {
+        plan.Set(root, STensorConfig{MemOpt::kSwap, {}});
+      }
+    }
+  }
+  return plan;
+}
+
+// ----------------------------------------------------------- Checkpoints
+
+Result<Plan> CheckpointsPlanner::BuildPlan(
+    const Graph& graph, const Schedule& schedule,
+    const planner::GraphProfile& profile, size_t memory_budget) {
+  (void)profile;
+  (void)memory_budget;
+  Plan plan;
+  plan.planner_name = name();
+  std::vector<TensorFacts> facts = ComputeTensorFacts(graph, schedule);
+
+  // Chen et al.: keep ~√N evenly spaced checkpoints, recompute the rest.
+  std::vector<TensorId> candidates;
+  for (const TensorDesc& t : graph.tensors()) {
+    const TensorFacts& f = facts[static_cast<size_t>(t.id)];
+    if (!IsForwardActivation(graph, f, t.id)) continue;
+    OpId producer = graph.tensor(t.id).producer;
+    if (!graph.node(producer).op->recompute_safe()) continue;
+    candidates.push_back(t.id);
+  }
+  if (candidates.empty()) return plan;
+  int segment = std::max(
+      2, static_cast<int>(std::sqrt(static_cast<double>(candidates.size()))));
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    bool is_checkpoint = (i % static_cast<size_t>(segment)) == 0;
+    if (!is_checkpoint) {
+      plan.Set(candidates[i], STensorConfig{MemOpt::kRecompute, {}});
+    }
+  }
+  return plan;
+}
+
+// ---------------------------------------------------------- SuperNeurons
+
+Result<Plan> SuperNeuronsPlanner::BuildPlan(
+    const Graph& graph, const Schedule& schedule,
+    const planner::GraphProfile& profile, size_t memory_budget) {
+  (void)profile;
+  (void)memory_budget;
+  Plan plan;
+  plan.planner_name = name();
+  std::vector<TensorFacts> facts = ComputeTensorFacts(graph, schedule);
+
+  // Layer-type policy (Wang et al.): conv outputs swap (expensive to
+  // recompute, large); cheap layers recompute. Everything keys off convs —
+  // a model without them is left untouched.
+  bool has_conv = false;
+  for (const OpNode& node : graph.nodes()) {
+    if (node.op->category() == OpCategory::kConv && !node.op->is_backward()) {
+      has_conv = true;
+      break;
+    }
+  }
+  if (!has_conv) return plan;
+
+  for (const TensorDesc& t : graph.tensors()) {
+    const TensorFacts& f = facts[static_cast<size_t>(t.id)];
+    if (f.is_view_alias || f.always_live || f.bytes == 0) continue;
+    if (t.kind != TensorKind::kActivation) continue;
+    OpId producer = graph.tensor(t.id).producer;
+    if (producer == kInvalidOp || graph.node(producer).op->is_backward() ||
+        graph.node(producer).op->is_view()) {
+      continue;
+    }
+    // Conv outputs are swapped whether or not backward reads them directly:
+    // they are the checkpoints the cheap-layer recomputation restarts from.
+    if (ProducerIs(graph, t.id, OpCategory::kConv)) {
+      plan.Set(t.id, STensorConfig{MemOpt::kSwap, {}});
+      continue;
+    }
+    if (!HasEvictionGap(f)) continue;
+    const Op& op = *graph.node(producer).op;
+    switch (op.category()) {
+      case OpCategory::kPool:
+      case OpCategory::kActivation:
+      case OpCategory::kBatchNorm:
+      case OpCategory::kElementwise:
+      case OpCategory::kSoftmax:
+      case OpCategory::kDropout:
+        if (op.recompute_safe()) {
+          plan.Set(t.id, STensorConfig{MemOpt::kRecompute, {}});
+        }
+        break;
+      default:
+        break;  // matmul / embedding feature maps stay resident
+    }
+  }
+  return plan;
+}
+
+// ---------------------------------------------------------- ZeRO-Offload
+
+Result<Plan> ZeroOffloadPlanner::BuildPlan(
+    const Graph& graph, const Schedule& schedule,
+    const planner::GraphProfile& profile, size_t memory_budget) {
+  (void)profile;
+  (void)memory_budget;
+  Plan plan;
+  plan.planner_name = name();
+  std::vector<TensorFacts> facts = ComputeTensorFacts(graph, schedule);
+
+  // Gradients of parameters stream to the CPU as produced; optimizer state
+  // lives on the CPU. Activations — the bulk of CNN footprints — stay.
+  for (const TensorDesc& t : graph.tensors()) {
+    const TensorFacts& f = facts[static_cast<size_t>(t.id)];
+    if (f.is_view_alias) continue;
+    if (t.kind == TensorKind::kParamGrad) {
+      plan.Set(t.id, STensorConfig{MemOpt::kSwap, {}});
+    }
+    if (t.kind == TensorKind::kOptimizerState) {
+      plan.Set(t.id, STensorConfig{MemOpt::kSwap, {}});
+    }
+  }
+  return plan;
+}
+
+// ----------------------------------------------------- FairScale-Offload
+
+Result<Plan> FairscaleOffloadPlanner::BuildPlan(
+    const Graph& graph, const Schedule& schedule,
+    const planner::GraphProfile& profile, size_t memory_budget) {
+  (void)profile;
+  (void)memory_budget;
+  Plan plan;
+  plan.planner_name = name();
+  std::vector<TensorFacts> facts = ComputeTensorFacts(graph, schedule);
+
+  // Parameter shards move CPU<->GPU around their uses, and intermediate
+  // activations are copied through the CPU (paper §VI-A's description).
+  for (const TensorDesc& t : graph.tensors()) {
+    const TensorFacts& f = facts[static_cast<size_t>(t.id)];
+    if (f.is_view_alias) continue;
+    if (t.kind == TensorKind::kParameter &&
+        f.first_bwd_use > f.fwd_last_use && f.first_bwd_use >= 0) {
+      plan.Set(t.id, STensorConfig{MemOpt::kSwap, {}});
+      continue;
+    }
+    if (IsForwardActivation(graph, f, t.id)) {
+      plan.Set(t.id, STensorConfig{MemOpt::kSwap, {}});
+    }
+  }
+  return plan;
+}
+
+}  // namespace tsplit::baselines

@@ -1,0 +1,87 @@
+#ifndef TSPLIT_BASELINES_BASELINES_H_
+#define TSPLIT_BASELINES_BASELINES_H_
+
+// The paper's comparison systems (§VI-A), re-expressed as planners over
+// our runtime:
+//   Base               — keep every tensor resident (TensorFlow/PyTorch).
+//   vDNN-conv          — swap the inputs of convolution layers.
+//   vDNN-all           — swap all forward feature maps.
+//   Checkpoints        — recompute activations between √N checkpoints
+//                        (Chen et al.).
+//   SuperNeurons       — swap conv outputs, recompute cheap layers (pool /
+//                        activation / BN / elementwise). Conv-centric: on
+//                        conv-free models (Transformer) it has nothing to
+//                        act on, matching the paper's "x" entries.
+//   ZeRO-Offload       — offload parameter gradients + optimizer state to
+//                        the CPU; activations untouched.
+//   FairScale-Offload  — shard/offload parameters each iteration and copy
+//                        intermediate activations through the CPU.
+
+#include "planner/planner.h"
+
+namespace tsplit::baselines {
+
+class BasePlanner : public planner::Planner {
+ public:
+  std::string name() const override { return "Base"; }
+  Result<planner::Plan> BuildPlan(const Graph& graph,
+                                  const Schedule& schedule,
+                                  const planner::GraphProfile& profile,
+                                  size_t memory_budget) override;
+};
+
+class VdnnPlanner : public planner::Planner {
+ public:
+  enum class Mode { kConv, kAll };
+  explicit VdnnPlanner(Mode mode) : mode_(mode) {}
+  std::string name() const override {
+    return mode_ == Mode::kConv ? "vDNN-conv" : "vDNN-all";
+  }
+  Result<planner::Plan> BuildPlan(const Graph& graph,
+                                  const Schedule& schedule,
+                                  const planner::GraphProfile& profile,
+                                  size_t memory_budget) override;
+
+ private:
+  Mode mode_;
+};
+
+class CheckpointsPlanner : public planner::Planner {
+ public:
+  std::string name() const override { return "Checkpoints"; }
+  Result<planner::Plan> BuildPlan(const Graph& graph,
+                                  const Schedule& schedule,
+                                  const planner::GraphProfile& profile,
+                                  size_t memory_budget) override;
+};
+
+class SuperNeuronsPlanner : public planner::Planner {
+ public:
+  std::string name() const override { return "SuperNeurons"; }
+  Result<planner::Plan> BuildPlan(const Graph& graph,
+                                  const Schedule& schedule,
+                                  const planner::GraphProfile& profile,
+                                  size_t memory_budget) override;
+};
+
+class ZeroOffloadPlanner : public planner::Planner {
+ public:
+  std::string name() const override { return "ZeRO-Offload"; }
+  Result<planner::Plan> BuildPlan(const Graph& graph,
+                                  const Schedule& schedule,
+                                  const planner::GraphProfile& profile,
+                                  size_t memory_budget) override;
+};
+
+class FairscaleOffloadPlanner : public planner::Planner {
+ public:
+  std::string name() const override { return "FairScale-Offload"; }
+  Result<planner::Plan> BuildPlan(const Graph& graph,
+                                  const Schedule& schedule,
+                                  const planner::GraphProfile& profile,
+                                  size_t memory_budget) override;
+};
+
+}  // namespace tsplit::baselines
+
+#endif  // TSPLIT_BASELINES_BASELINES_H_

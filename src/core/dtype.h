@@ -1,0 +1,54 @@
+#ifndef TSPLIT_CORE_DTYPE_H_
+#define TSPLIT_CORE_DTYPE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tsplit {
+
+// Element types supported by the runtime. The functional (CPU) executor
+// computes in float32; other types exist for footprint accounting
+// (e.g. int64 token ids, fp16 activations in what-if studies).
+enum class DataType : uint8_t {
+  kFloat32 = 0,
+  kFloat16 = 1,
+  kInt32 = 2,
+  kInt64 = 3,
+  kUInt8 = 4,
+};
+
+inline size_t SizeOf(DataType dtype) {
+  switch (dtype) {
+    case DataType::kFloat32:
+      return 4;
+    case DataType::kFloat16:
+      return 2;
+    case DataType::kInt32:
+      return 4;
+    case DataType::kInt64:
+      return 8;
+    case DataType::kUInt8:
+      return 1;
+  }
+  return 0;
+}
+
+inline const char* DataTypeToString(DataType dtype) {
+  switch (dtype) {
+    case DataType::kFloat32:
+      return "f32";
+    case DataType::kFloat16:
+      return "f16";
+    case DataType::kInt32:
+      return "i32";
+    case DataType::kInt64:
+      return "i64";
+    case DataType::kUInt8:
+      return "u8";
+  }
+  return "?";
+}
+
+}  // namespace tsplit
+
+#endif  // TSPLIT_CORE_DTYPE_H_

@@ -1,0 +1,18 @@
+#ifndef TSPLIT_CORE_IDS_H_
+#define TSPLIT_CORE_IDS_H_
+
+#include <cstdint>
+
+namespace tsplit {
+
+// Graph entity identifiers. Dense small integers indexing into the owning
+// Graph's tables.
+using TensorId = int32_t;
+using OpId = int32_t;
+
+inline constexpr TensorId kInvalidTensor = -1;
+inline constexpr OpId kInvalidOp = -1;
+
+}  // namespace tsplit
+
+#endif  // TSPLIT_CORE_IDS_H_

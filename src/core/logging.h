@@ -1,0 +1,68 @@
+#ifndef TSPLIT_CORE_LOGGING_H_
+#define TSPLIT_CORE_LOGGING_H_
+
+// Minimal CHECK / LOG facilities.
+//
+// CHECK* macros abort on violated invariants; they guard programming errors,
+// not recoverable conditions (use Status for those).
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace tsplit {
+namespace internal {
+
+class LogMessageFatal {
+ public:
+  LogMessageFatal(const char* file, int line) {
+    stream_ << file << ":" << line << " CHECK failed: ";
+  }
+  [[noreturn]] ~LogMessageFatal() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Voidify the ostream so CHECK can be used in expression position.
+struct LogVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace tsplit
+
+#define TSPLIT_CHECK(cond)                                               \
+  (cond) ? (void)0                                                       \
+         : ::tsplit::internal::LogVoidify() &                            \
+               ::tsplit::internal::LogMessageFatal(__FILE__, __LINE__)   \
+                   .stream()                                             \
+               << #cond << " "
+
+#define TSPLIT_CHECK_OP(a, b, op) TSPLIT_CHECK((a)op(b))                 \
+    << "(" << (a) << " vs " << (b) << ") "
+
+#define TSPLIT_CHECK_EQ(a, b) TSPLIT_CHECK_OP(a, b, ==)
+#define TSPLIT_CHECK_NE(a, b) TSPLIT_CHECK_OP(a, b, !=)
+#define TSPLIT_CHECK_LT(a, b) TSPLIT_CHECK_OP(a, b, <)
+#define TSPLIT_CHECK_LE(a, b) TSPLIT_CHECK_OP(a, b, <=)
+#define TSPLIT_CHECK_GT(a, b) TSPLIT_CHECK_OP(a, b, >)
+#define TSPLIT_CHECK_GE(a, b) TSPLIT_CHECK_OP(a, b, >=)
+
+#define TSPLIT_CHECK_OK(expr)                       \
+  do {                                              \
+    ::tsplit::Status _st = (expr);                  \
+    TSPLIT_CHECK(_st.ok()) << _st.ToString();       \
+  } while (0)
+
+#ifdef NDEBUG
+#define TSPLIT_DCHECK(cond) TSPLIT_CHECK(true)
+#else
+#define TSPLIT_DCHECK(cond) TSPLIT_CHECK(cond)
+#endif
+
+#endif  // TSPLIT_CORE_LOGGING_H_

@@ -1,0 +1,79 @@
+#include "core/shape.h"
+
+#include <numeric>
+#include <sstream>
+
+namespace tsplit {
+
+int64_t Shape::num_elements() const {
+  int64_t n = 1;
+  for (int64_t d : dims_) n *= d;
+  return n;
+}
+
+bool Shape::IsValid() const {
+  for (int64_t d : dims_) {
+    if (d < 1) return false;
+  }
+  return true;
+}
+
+Result<Shape> Shape::SplitPart(int axis, int num_parts,
+                               int part_index) const {
+  if (axis < 0 || axis >= rank()) {
+    return Status::InvalidArgument("split axis " + std::to_string(axis) +
+                                   " out of range for " + ToString());
+  }
+  if (num_parts < 1 || part_index < 0 || part_index >= num_parts) {
+    return Status::InvalidArgument("bad split part " +
+                                   std::to_string(part_index) + "/" +
+                                   std::to_string(num_parts));
+  }
+  int64_t extent = dim(axis);
+  if (num_parts > extent) {
+    return Status::InvalidArgument(
+        "cannot split extent " + std::to_string(extent) + " into " +
+        std::to_string(num_parts) + " parts (axis " + std::to_string(axis) +
+        " of " + ToString() + ")");
+  }
+  int64_t base = extent / num_parts;
+  int64_t remainder = extent % num_parts;
+  int64_t part_extent = base + (part_index < remainder ? 1 : 0);
+  Shape part = *this;
+  part.set_dim(axis, part_extent);
+  return part;
+}
+
+Result<int64_t> Shape::SplitOffset(int axis, int num_parts,
+                                   int part_index) const {
+  if (axis < 0 || axis >= rank()) {
+    return Status::InvalidArgument("split axis out of range");
+  }
+  if (num_parts < 1 || part_index < 0 || part_index >= num_parts) {
+    return Status::InvalidArgument("bad split part index");
+  }
+  int64_t extent = dim(axis);
+  int64_t base = extent / num_parts;
+  int64_t remainder = extent % num_parts;
+  // Leading `remainder` parts have extent base+1.
+  int64_t offset = 0;
+  if (part_index <= remainder) {
+    offset = static_cast<int64_t>(part_index) * (base + 1);
+  } else {
+    offset = remainder * (base + 1) + (part_index - remainder) * base;
+  }
+  return offset;
+}
+
+std::string Shape::ToString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << dims_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace tsplit

@@ -1,0 +1,57 @@
+#ifndef TSPLIT_CORE_SHAPE_H_
+#define TSPLIT_CORE_SHAPE_H_
+
+// Tensor shape: an ordered list of extents. Conventions used by the model
+// zoo: CNN feature maps are NCHW (axis 0 = sample/batch, axis 1 =
+// channel/parameter); transformer activations are (batch, seq, hidden).
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace tsplit {
+
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims) : dims_(dims) {}
+  explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {}
+
+  int rank() const { return static_cast<int>(dims_.size()); }
+  int64_t dim(int axis) const { return dims_[static_cast<size_t>(axis)]; }
+  void set_dim(int axis, int64_t value) {
+    dims_[static_cast<size_t>(axis)] = value;
+  }
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  // Product of all extents (1 for rank-0).
+  int64_t num_elements() const;
+
+  // True if every extent is >= 1.
+  bool IsValid() const;
+
+  // The shape of the `part_index`-th micro-tensor when splitting this shape
+  // into `num_parts` along `axis`. Parts are as even as possible; the
+  // remainder is distributed to the leading parts (so extents differ by at
+  // most one). Errors if the axis is out of range or num_parts exceeds the
+  // extent.
+  Result<Shape> SplitPart(int axis, int num_parts, int part_index) const;
+
+  // Offset (in elements along `axis`) at which part `part_index` begins.
+  Result<int64_t> SplitOffset(int axis, int num_parts, int part_index) const;
+
+  std::string ToString() const;  // e.g. "[64, 3, 224, 224]"
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+ private:
+  std::vector<int64_t> dims_;
+};
+
+}  // namespace tsplit
+
+#endif  // TSPLIT_CORE_SHAPE_H_

@@ -1,0 +1,128 @@
+#ifndef TSPLIT_CORE_STATUS_H_
+#define TSPLIT_CORE_STATUS_H_
+
+// Status / Result<T> error handling for TSPLIT.
+//
+// TSPLIT is built without exceptions (RocksDB-style): every fallible
+// operation returns a Status, or a Result<T> when it also produces a value.
+// Use the RETURN_IF_ERROR / ASSIGN_OR_RETURN macros to propagate failures.
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace tsplit {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfMemory,
+  kNotFound,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kUnimplemented,
+  kInternal,
+};
+
+// Human-readable name of a status code ("OK", "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+// A lightweight success-or-error value. Cheap to copy on the OK path
+// (no allocation); error path carries a message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// A value-or-error. Holds T on success, a non-OK Status on failure.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value) : value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  // Precondition: ok(). Accessing the value of a failed Result is a
+  // programming error and aborts in debug builds.
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace tsplit
+
+// Propagates a non-OK Status from an expression.
+#define RETURN_IF_ERROR(expr)                \
+  do {                                       \
+    ::tsplit::Status _st = (expr);           \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+#define TSPLIT_CONCAT_IMPL(a, b) a##b
+#define TSPLIT_CONCAT(a, b) TSPLIT_CONCAT_IMPL(a, b)
+
+// Evaluates a Result<T> expression; on error returns its Status, otherwise
+// moves the value into `lhs` (which may be a declaration).
+#define ASSIGN_OR_RETURN(lhs, expr)                             \
+  auto TSPLIT_CONCAT(_result_, __LINE__) = (expr);              \
+  if (!TSPLIT_CONCAT(_result_, __LINE__).ok())                  \
+    return TSPLIT_CONCAT(_result_, __LINE__).status();          \
+  lhs = std::move(TSPLIT_CONCAT(_result_, __LINE__)).value()
+
+#endif  // TSPLIT_CORE_STATUS_H_

@@ -1,0 +1,26 @@
+#include "core/stensor.h"
+
+namespace tsplit {
+
+const char* MemOptToString(MemOpt opt) {
+  switch (opt) {
+    case MemOpt::kReside:
+      return "reside";
+    case MemOpt::kSwap:
+      return "swap";
+    case MemOpt::kRecompute:
+      return "recompute";
+  }
+  return "?";
+}
+
+std::string STensorConfig::ToString() const {
+  std::string out = MemOptToString(opt);
+  if (split.active()) {
+    out += "(p_num=" + std::to_string(split.p_num) +
+           ",dim=" + std::to_string(split.dim) + ")";
+  }
+  return out;
+}
+
+}  // namespace tsplit

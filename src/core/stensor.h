@@ -1,0 +1,48 @@
+#ifndef TSPLIT_CORE_STENSOR_H_
+#define TSPLIT_CORE_STENSOR_H_
+
+// The sTensor configuration (paper §V-A, Fig 9): every tensor in a planned
+// graph carries a memory option {reside, swap, recompute} plus an optional
+// split setting (p_num micro-tensors along dimension dim). All micro-tensors
+// of one sTensor share the same memory option ("consistent memory options",
+// §IV-C), which keeps the joint search space tractable.
+
+#include <cstdint>
+#include <string>
+
+namespace tsplit {
+
+enum class MemOpt : uint8_t {
+  kReside = 0,   // keep in device memory for its whole lifetime
+  kSwap,         // evict to host after last forward use; swap back for bwd
+  kRecompute,    // free after last forward use; re-derive in backward
+};
+
+const char* MemOptToString(MemOpt opt);
+
+struct SplitConfig {
+  int p_num = 1;  // number of micro-tensors (1 = unsplit)
+  int dim = 0;    // axis to split along
+
+  bool active() const { return p_num > 1; }
+  bool operator==(const SplitConfig& o) const {
+    return p_num == o.p_num && dim == o.dim;
+  }
+};
+
+// Per-tensor plan entry. `opt` applies to each micro-tensor when split is
+// active (the split op itself is rewritten to operate micro-tensor-wise).
+struct STensorConfig {
+  MemOpt opt = MemOpt::kReside;
+  SplitConfig split;
+
+  bool operator==(const STensorConfig& o) const {
+    return opt == o.opt && split == o.split;
+  }
+
+  std::string ToString() const;  // e.g. "swap(p_num=4,dim=0)"
+};
+
+}  // namespace tsplit
+
+#endif  // TSPLIT_CORE_STENSOR_H_

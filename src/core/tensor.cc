@@ -1,0 +1,103 @@
+#include "core/tensor.h"
+
+#include <algorithm>
+
+namespace tsplit {
+
+const char* TensorKindToString(TensorKind kind) {
+  switch (kind) {
+    case TensorKind::kInput:
+      return "input";
+    case TensorKind::kParameter:
+      return "parameter";
+    case TensorKind::kActivation:
+      return "activation";
+    case TensorKind::kGradient:
+      return "gradient";
+    case TensorKind::kParamGrad:
+      return "param_grad";
+    case TensorKind::kOptimizerState:
+      return "optimizer_state";
+    case TensorKind::kWorkspace:
+      return "workspace";
+  }
+  return "?";
+}
+
+namespace {
+
+// Decomposes a shape around `axis` into (outer, axis extent, inner) so a
+// slice along `axis` is `outer` copies of contiguous runs of
+// `extent * inner` elements.
+void OuterInner(const Shape& shape, int axis, int64_t* outer,
+                int64_t* inner) {
+  *outer = 1;
+  *inner = 1;
+  for (int a = 0; a < axis; ++a) *outer *= shape.dim(a);
+  for (int a = axis + 1; a < shape.rank(); ++a) *inner *= shape.dim(a);
+}
+
+}  // namespace
+
+Result<Tensor> Tensor::Slice(int axis, int64_t offset, int64_t extent) const {
+  if (axis < 0 || axis >= shape_.rank()) {
+    return Status::InvalidArgument("Slice: axis out of range");
+  }
+  if (offset < 0 || extent < 1 || offset + extent > shape_.dim(axis)) {
+    return Status::InvalidArgument("Slice: range out of bounds");
+  }
+  Shape out_shape = shape_;
+  out_shape.set_dim(axis, extent);
+  Tensor out(out_shape);
+
+  int64_t outer, inner;
+  OuterInner(shape_, axis, &outer, &inner);
+  int64_t src_axis = shape_.dim(axis);
+  for (int64_t o = 0; o < outer; ++o) {
+    const float* src = data() + (o * src_axis + offset) * inner;
+    float* dst = out.data() + o * extent * inner;
+    std::copy(src, src + extent * inner, dst);
+  }
+  return out;
+}
+
+Status Tensor::PasteSlice(int axis, int64_t offset, const Tensor& part) {
+  if (axis < 0 || axis >= shape_.rank()) {
+    return Status::InvalidArgument("PasteSlice: axis out of range");
+  }
+  if (part.shape().rank() != shape_.rank()) {
+    return Status::InvalidArgument("PasteSlice: rank mismatch");
+  }
+  for (int a = 0; a < shape_.rank(); ++a) {
+    if (a == axis) continue;
+    if (part.shape().dim(a) != shape_.dim(a)) {
+      return Status::InvalidArgument("PasteSlice: shape mismatch on axis " +
+                                     std::to_string(a));
+    }
+  }
+  int64_t extent = part.shape().dim(axis);
+  if (offset < 0 || offset + extent > shape_.dim(axis)) {
+    return Status::InvalidArgument("PasteSlice: range out of bounds");
+  }
+  int64_t outer, inner;
+  OuterInner(shape_, axis, &outer, &inner);
+  int64_t dst_axis = shape_.dim(axis);
+  for (int64_t o = 0; o < outer; ++o) {
+    const float* src = part.data() + o * extent * inner;
+    float* dst = data() + (o * dst_axis + offset) * inner;
+    std::copy(src, src + extent * inner, dst);
+  }
+  return Status::OK();
+}
+
+Status Tensor::AccumulateFrom(const Tensor& other) {
+  if (other.shape() != shape_) {
+    return Status::InvalidArgument("AccumulateFrom: shape mismatch " +
+                                   shape_.ToString() + " vs " +
+                                   other.shape().ToString());
+  }
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return Status::OK();
+}
+
+}  // namespace tsplit

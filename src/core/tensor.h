@@ -1,0 +1,118 @@
+#ifndef TSPLIT_CORE_TENSOR_H_
+#define TSPLIT_CORE_TENSOR_H_
+
+// Two tensor notions live here:
+//
+//  * TensorDesc — static graph metadata (shape, dtype, role, producer /
+//    consumers). The planner and the timing simulator work on descriptors
+//    only; no data is materialized.
+//
+//  * Tensor — a concrete host-resident buffer used by the functional (CPU)
+//    executor and the reference kernels. Storage is always float32; integer
+//    dtypes are representable for footprint accounting but are computed in
+//    float by the reference kernels.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dtype.h"
+#include "core/ids.h"
+#include "core/logging.h"
+#include "core/shape.h"
+#include "core/status.h"
+
+namespace tsplit {
+
+// Role of a tensor in a training iteration; drives baseline policies
+// (e.g. vDNN only swaps activations) and footprint breakdowns.
+enum class TensorKind : uint8_t {
+  kInput = 0,       // training batch (images / token ids)
+  kParameter,       // model weights
+  kActivation,      // forward feature maps
+  kGradient,        // backward gradient maps (w.r.t. activations)
+  kParamGrad,       // gradients w.r.t. parameters
+  kOptimizerState,  // momentum / Adam moments
+  kWorkspace,       // scratch required by an op while executing
+};
+
+const char* TensorKindToString(TensorKind kind);
+
+struct TensorDesc {
+  TensorId id = kInvalidTensor;
+  std::string name;
+  Shape shape;
+  DataType dtype = DataType::kFloat32;
+  TensorKind kind = TensorKind::kActivation;
+  OpId producer = kInvalidOp;         // op that writes this tensor
+  std::vector<OpId> consumers;        // ops that read it
+
+  size_t size_bytes() const {
+    return static_cast<size_t>(shape.num_elements()) * SizeOf(dtype);
+  }
+};
+
+// Dense host tensor with float32 storage.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)),
+        data_(static_cast<size_t>(shape_.num_elements()), 0.0f) {}
+  Tensor(Shape shape, float fill)
+      : shape_(std::move(shape)),
+        data_(static_cast<size_t>(shape_.num_elements()), fill) {}
+
+  const Shape& shape() const { return shape_; }
+  int64_t num_elements() const { return shape_.num_elements(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& vec() { return data_; }
+  const std::vector<float>& vec() const { return data_; }
+
+  float& at(int64_t i) { return data_[static_cast<size_t>(i)]; }
+  float at(int64_t i) const { return data_[static_cast<size_t>(i)]; }
+
+  // 2-D / 4-D row-major indexing helpers for reference kernels.
+  float& at2(int64_t i, int64_t j) {
+    return data_[static_cast<size_t>(i * shape_.dim(1) + j)];
+  }
+  float at2(int64_t i, int64_t j) const {
+    return data_[static_cast<size_t>(i * shape_.dim(1) + j)];
+  }
+  float& at4(int64_t n, int64_t c, int64_t h, int64_t w) {
+    return data_[Index4(n, c, h, w)];
+  }
+  float at4(int64_t n, int64_t c, int64_t h, int64_t w) const {
+    return data_[Index4(n, c, h, w)];
+  }
+
+  // Extracts the contiguous slice [offset, offset+extent) along `axis` into
+  // a new tensor (used to materialize micro-tensors).
+  Result<Tensor> Slice(int axis, int64_t offset, int64_t extent) const;
+
+  // Writes `part` into this tensor at [offset, ...) along `axis` (used to
+  // merge micro-tensors by concatenation).
+  Status PasteSlice(int axis, int64_t offset, const Tensor& part);
+
+  // Element-wise this += other (used to merge micro-tensors by reduction,
+  // e.g. weight gradients of sample-split ops).
+  Status AccumulateFrom(const Tensor& other);
+
+  void Fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+ private:
+  size_t Index4(int64_t n, int64_t c, int64_t h, int64_t w) const {
+    TSPLIT_DCHECK(shape_.rank() == 4);
+    return static_cast<size_t>(
+        ((n * shape_.dim(1) + c) * shape_.dim(2) + h) * shape_.dim(3) + w);
+  }
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace tsplit
+
+#endif  // TSPLIT_CORE_TENSOR_H_

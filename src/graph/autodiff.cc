@@ -1,0 +1,99 @@
+#include "graph/autodiff.h"
+
+#include <algorithm>
+
+#include "graph/schedule.h"
+#include "ops/elementwise.h"
+#include "ops/fill.h"
+
+namespace tsplit {
+
+Result<AutodiffResult> BuildBackward(Graph* graph, TensorId loss) {
+  if (loss < 0 || loss >= graph->num_tensors()) {
+    return Status::InvalidArgument("BuildBackward: bad loss tensor");
+  }
+  if (graph->tensor(loss).shape.num_elements() != 1) {
+    return Status::InvalidArgument("BuildBackward: loss must be scalar, got " +
+                                   graph->tensor(loss).shape.ToString());
+  }
+
+  // Forward schedule determines the reverse differentiation order.
+  ASSIGN_OR_RETURN(Schedule schedule, BuildSchedule(*graph));
+  const int num_forward_ops = graph->num_ops();
+
+  AutodiffResult result;
+  result.first_backward_op = static_cast<OpId>(num_forward_ops);
+
+  // Seed: dLoss/dLoss = 1.
+  ASSIGN_OR_RETURN(
+      std::vector<TensorId> seed,
+      graph->AddOp(std::make_unique<ops::FillOp>(1.0f),
+                   "grad_seed", {loss}, TensorKind::kGradient));
+  result.grad_of[loss] = seed[0];
+
+  // Accumulates a gradient contribution, emitting an Add when a tensor
+  // already has one (fan-out in the forward graph).
+  auto accumulate = [&](TensorId tensor, TensorId grad) -> Status {
+    auto it = result.grad_of.find(tensor);
+    if (it == result.grad_of.end()) {
+      result.grad_of[tensor] = grad;
+      return Status::OK();
+    }
+    TensorKind kind = graph->tensor(tensor).kind == TensorKind::kParameter
+                          ? TensorKind::kParamGrad
+                          : TensorKind::kGradient;
+    ASSIGN_OR_RETURN(
+        std::vector<TensorId> sum,
+        graph->AddOp(std::make_unique<ops::AddOp>(),
+                     "grad_acc_t" + std::to_string(tensor),
+                     {it->second, grad}, kind));
+    it->second = sum[0];
+    return Status::OK();
+  };
+
+  // Walk forward ops in reverse schedule order. Note: BuildGradient appends
+  // nodes and may reallocate the graph's tables, so copy what we need out
+  // of the node before emitting gradient ops — never hold references across
+  // the call.
+  for (int pos = schedule.num_steps() - 1; pos >= 0; --pos) {
+    OpId op_id = schedule.order[static_cast<size_t>(pos)];
+
+    Op::GradContext ctx;
+    ctx.graph = graph;
+    ctx.forward_op = op_id;
+    ctx.inputs = graph->node(op_id).inputs;
+    ctx.outputs = graph->node(op_id).outputs;
+    const Op* op = graph->node(op_id).op.get();
+
+    ctx.grad_outputs.assign(ctx.outputs.size(), kInvalidTensor);
+    bool any_grad = false;
+    for (size_t i = 0; i < ctx.outputs.size(); ++i) {
+      auto it = result.grad_of.find(ctx.outputs[i]);
+      if (it != result.grad_of.end()) {
+        ctx.grad_outputs[i] = it->second;
+        any_grad = true;
+      }
+    }
+    if (!any_grad) continue;
+
+    ctx.grad_inputs.assign(ctx.inputs.size(), kInvalidTensor);
+    RETURN_IF_ERROR(op->BuildGradient(&ctx));
+
+    for (size_t i = 0; i < ctx.inputs.size(); ++i) {
+      if (ctx.grad_inputs[i] == kInvalidTensor) continue;
+      RETURN_IF_ERROR(accumulate(ctx.inputs[i], ctx.grad_inputs[i]));
+    }
+  }
+
+  // Collect parameter gradients and fix their tensor kinds.
+  for (const TensorDesc& t : graph->tensors()) {
+    if (t.kind != TensorKind::kParameter) continue;
+    auto it = result.grad_of.find(t.id);
+    if (it == result.grad_of.end()) continue;
+    graph->mutable_tensor(it->second).kind = TensorKind::kParamGrad;
+    result.param_grads.emplace_back(t.id, it->second);
+  }
+  return result;
+}
+
+}  // namespace tsplit

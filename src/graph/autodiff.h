@@ -1,0 +1,33 @@
+#ifndef TSPLIT_GRAPH_AUTODIFF_H_
+#define TSPLIT_GRAPH_AUTODIFF_H_
+
+// Backward-graph construction. Given a forward graph and a scalar loss
+// tensor, appends the gradient operators (reverse topological order) and
+// returns the mapping tensor -> gradient tensor. The dependence of backward
+// ops on forward feature maps is what creates the training memory bulge
+// TSPLIT manages (paper §II, Fig 3/4).
+
+#include <unordered_map>
+
+#include "core/ids.h"
+#include "core/status.h"
+#include "graph/graph.h"
+
+namespace tsplit {
+
+struct AutodiffResult {
+  // Gradient tensor for each forward tensor that received one.
+  std::unordered_map<TensorId, TensorId> grad_of;
+  // Gradients of kParameter tensors, in parameter id order.
+  std::vector<std::pair<TensorId, TensorId>> param_grads;
+  // Position (op id) of the first backward op.
+  OpId first_backward_op = kInvalidOp;
+};
+
+// Appends backward ops for everything `loss` depends on. `loss` must be a
+// single-element tensor.
+Result<AutodiffResult> BuildBackward(Graph* graph, TensorId loss);
+
+}  // namespace tsplit
+
+#endif  // TSPLIT_GRAPH_AUTODIFF_H_

@@ -1,0 +1,105 @@
+#include "graph/graph.h"
+
+#include <sstream>
+
+#include "core/logging.h"
+
+namespace tsplit {
+
+TensorId Graph::AddTensor(std::string name, Shape shape, TensorKind kind,
+                          DataType dtype) {
+  TensorDesc desc;
+  desc.id = static_cast<TensorId>(tensors_.size());
+  desc.name = std::move(name);
+  desc.shape = std::move(shape);
+  desc.dtype = dtype;
+  desc.kind = kind;
+  tensors_.push_back(std::move(desc));
+  return tensors_.back().id;
+}
+
+Result<std::vector<TensorId>> Graph::AddOp(
+    std::unique_ptr<Op> op, std::string name,
+    const std::vector<TensorId>& inputs, TensorKind output_kind) {
+  std::vector<Shape> input_shapes;
+  input_shapes.reserve(inputs.size());
+  for (TensorId id : inputs) {
+    if (id < 0 || id >= num_tensors()) {
+      return Status::InvalidArgument("AddOp(" + name + "): bad tensor id " +
+                                     std::to_string(id));
+    }
+    input_shapes.push_back(tensor(id).shape);
+  }
+  ASSIGN_OR_RETURN(std::vector<Shape> output_shapes,
+                   op->InferShapes(input_shapes));
+
+  OpId op_id = static_cast<OpId>(nodes_.size());
+  std::vector<TensorId> output_ids;
+  output_ids.reserve(output_shapes.size());
+  for (size_t i = 0; i < output_shapes.size(); ++i) {
+    std::string tensor_name =
+        output_shapes.size() == 1 ? name : name + ":" + std::to_string(i);
+    TensorId tid =
+        AddTensor(std::move(tensor_name), output_shapes[i], output_kind);
+    tensors_[static_cast<size_t>(tid)].producer = op_id;
+    output_ids.push_back(tid);
+  }
+  for (TensorId id : inputs) {
+    tensors_[static_cast<size_t>(id)].consumers.push_back(op_id);
+  }
+
+  OpNode node;
+  node.id = op_id;
+  node.name = std::move(name);
+  node.op = std::move(op);
+  node.inputs = inputs;
+  node.outputs = output_ids;
+  nodes_.push_back(std::move(node));
+  return output_ids;
+}
+
+std::vector<Shape> Graph::InputShapes(OpId id) const {
+  const OpNode& n = node(id);
+  std::vector<Shape> shapes;
+  shapes.reserve(n.inputs.size());
+  for (TensorId t : n.inputs) shapes.push_back(tensor(t).shape);
+  return shapes;
+}
+
+std::vector<Shape> Graph::OutputShapes(OpId id) const {
+  const OpNode& n = node(id);
+  std::vector<Shape> shapes;
+  shapes.reserve(n.outputs.size());
+  for (TensorId t : n.outputs) shapes.push_back(tensor(t).shape);
+  return shapes;
+}
+
+size_t Graph::BytesOfKind(TensorKind kind) const {
+  size_t bytes = 0;
+  for (const TensorDesc& t : tensors_) {
+    if (t.kind == kind) bytes += t.size_bytes();
+  }
+  return bytes;
+}
+
+std::string Graph::DebugString() const {
+  std::ostringstream os;
+  os << "Graph{" << num_ops() << " ops, " << num_tensors() << " tensors}\n";
+  for (const OpNode& n : nodes_) {
+    os << "  op" << n.id << " " << n.name << " [" << n.op->type_name()
+       << "] (";
+    for (size_t i = 0; i < n.inputs.size(); ++i) {
+      if (i) os << ", ";
+      os << "t" << n.inputs[i];
+    }
+    os << ") -> (";
+    for (size_t i = 0; i < n.outputs.size(); ++i) {
+      if (i) os << ", ";
+      os << "t" << n.outputs[i] << tensor(n.outputs[i]).shape.ToString();
+    }
+    os << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace tsplit

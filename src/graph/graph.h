@@ -1,0 +1,75 @@
+#ifndef TSPLIT_GRAPH_GRAPH_H_
+#define TSPLIT_GRAPH_GRAPH_H_
+
+// The dataflow graph (DFG): nodes are operations, edges are tensors
+// (paper §II, Fig 3). The graph owns op instances and tensor descriptors;
+// executors and planners reference them by dense ids.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/tensor.h"
+#include "graph/op.h"
+
+namespace tsplit {
+
+struct OpNode {
+  OpId id = kInvalidOp;
+  std::string name;
+  std::unique_ptr<Op> op;
+  std::vector<TensorId> inputs;
+  std::vector<TensorId> outputs;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  // Adds a source tensor (input batch, parameter, optimizer state).
+  TensorId AddTensor(std::string name, Shape shape, TensorKind kind,
+                     DataType dtype = DataType::kFloat32);
+
+  // Adds an op consuming `inputs`; infers output shapes and creates output
+  // tensors of `output_kind` (kParamGrad etc. chosen by autodiff).
+  Result<std::vector<TensorId>> AddOp(
+      std::unique_ptr<Op> op, std::string name,
+      const std::vector<TensorId>& inputs,
+      TensorKind output_kind = TensorKind::kActivation);
+
+  int num_tensors() const { return static_cast<int>(tensors_.size()); }
+  int num_ops() const { return static_cast<int>(nodes_.size()); }
+
+  const TensorDesc& tensor(TensorId id) const {
+    return tensors_[static_cast<size_t>(id)];
+  }
+  TensorDesc& mutable_tensor(TensorId id) {
+    return tensors_[static_cast<size_t>(id)];
+  }
+  const OpNode& node(OpId id) const { return nodes_[static_cast<size_t>(id)]; }
+
+  const std::vector<TensorDesc>& tensors() const { return tensors_; }
+  const std::vector<OpNode>& nodes() const { return nodes_; }
+
+  // Input / output shapes of an op node (looked up from tensor descs).
+  std::vector<Shape> InputShapes(OpId id) const;
+  std::vector<Shape> OutputShapes(OpId id) const;
+
+  // Sum of bytes over tensors of the given kind.
+  size_t BytesOfKind(TensorKind kind) const;
+
+  std::string DebugString() const;
+
+ private:
+  std::vector<TensorDesc> tensors_;
+  std::vector<OpNode> nodes_;
+};
+
+}  // namespace tsplit
+
+#endif  // TSPLIT_GRAPH_GRAPH_H_

@@ -1,0 +1,102 @@
+#include "graph/liveness.h"
+
+#include <algorithm>
+
+#include "graph/views.h"
+
+namespace tsplit {
+
+std::vector<TensorLiveness> ComputeLiveness(const Graph& graph,
+                                            const Schedule& schedule) {
+  const int num_steps = schedule.num_steps();
+  std::vector<TensorLiveness> live(
+      static_cast<size_t>(graph.num_tensors()));
+  std::vector<TensorId> root = ComputeViewRoots(graph);
+
+  // First pass: raw def / last-use per tensor (view outputs included).
+  for (const TensorDesc& t : graph.tensors()) {
+    TensorLiveness& l = live[static_cast<size_t>(t.id)];
+    switch (t.kind) {
+      case TensorKind::kInput:
+      case TensorKind::kParameter:
+      case TensorKind::kOptimizerState:
+        l.always_live = true;
+        l.def_pos = -1;
+        l.last_use_pos = num_steps;
+        continue;
+      default:
+        break;
+    }
+    l.def_pos = t.producer == kInvalidOp
+                    ? -1
+                    : schedule.pos_of_op[static_cast<size_t>(t.producer)];
+    if (t.consumers.empty()) {
+      // Unconsumed results: parameter gradients are the iteration's output
+      // and persist; everything else (e.g. a reported loss scalar) dies at
+      // its producer.
+      l.last_use_pos =
+          t.kind == TensorKind::kParamGrad ? num_steps : l.def_pos;
+    } else {
+      int last = -1;
+      for (OpId consumer : t.consumers) {
+        last = std::max(last,
+                        schedule.pos_of_op[static_cast<size_t>(consumer)]);
+      }
+      l.last_use_pos = last;
+    }
+  }
+
+  // Second pass: fold view lifetimes into their storage roots; view
+  // tensors themselves occupy no memory.
+  for (const TensorDesc& t : graph.tensors()) {
+    TensorId r = root[static_cast<size_t>(t.id)];
+    if (r == t.id) continue;
+    TensorLiveness& view = live[static_cast<size_t>(t.id)];
+    TensorLiveness& root_live = live[static_cast<size_t>(r)];
+    root_live.last_use_pos =
+        std::max(root_live.last_use_pos, view.last_use_pos);
+    root_live.always_live = root_live.always_live || view.always_live;
+    view.is_view_alias = true;
+  }
+  return live;
+}
+
+MemoryProfile ComputeMemoryProfile(const Graph& graph,
+                                   const Schedule& schedule) {
+  std::vector<TensorLiveness> live = ComputeLiveness(graph, schedule);
+  const int num_steps = schedule.num_steps();
+
+  MemoryProfile profile;
+  profile.per_op_bytes.assign(static_cast<size_t>(num_steps), 0);
+
+  for (const TensorDesc& t : graph.tensors()) {
+    const TensorLiveness& l = live[static_cast<size_t>(t.id)];
+    if (l.is_view_alias) continue;  // storage counted at the root
+    if (l.always_live) {
+      profile.always_live_bytes += t.size_bytes();
+      continue;
+    }
+    int from = std::max(0, l.def_pos);
+    int to = std::min(num_steps - 1, l.last_use_pos);
+    for (int pos = from; pos <= to; ++pos) {
+      profile.per_op_bytes[static_cast<size_t>(pos)] += t.size_bytes();
+    }
+  }
+
+  for (int pos = 0; pos < num_steps; ++pos) {
+    OpId id = schedule.order[static_cast<size_t>(pos)];
+    const OpNode& node = graph.node(id);
+    size_t bytes = profile.per_op_bytes[static_cast<size_t>(pos)] +
+                   profile.always_live_bytes +
+                   node.op->WorkspaceBytes(graph.InputShapes(id),
+                                           graph.OutputShapes(id));
+    profile.per_op_bytes[static_cast<size_t>(pos)] = bytes;
+    if (bytes > profile.peak_bytes) {
+      profile.peak_bytes = bytes;
+      profile.peak_pos = pos;
+    }
+  }
+  return profile;
+}
+
+}  // namespace tsplit

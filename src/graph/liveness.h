@@ -1,0 +1,55 @@
+#ifndef TSPLIT_GRAPH_LIVENESS_H_
+#define TSPLIT_GRAPH_LIVENESS_H_
+
+// Tensor lifetime and per-op memory requirement analysis (paper §IV-A):
+// M_i = Σ size(live tensors at op i), where a tensor lives from its
+// allocation (start of producing op) to its deallocation (end of last
+// consuming op). Parameters, inputs and optimizer state live for the whole
+// iteration.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/status.h"
+#include "graph/graph.h"
+#include "graph/schedule.h"
+
+namespace tsplit {
+
+struct TensorLiveness {
+  int def_pos = -1;       // schedule position where the tensor is allocated
+                          // (-1 → live from the start: sources)
+  int last_use_pos = -1;  // position of the last consumer
+                          // (num_steps → live to the end)
+  bool always_live = false;
+  // True for view outputs (Reshape): the tensor aliases its root's storage
+  // and contributes no memory of its own.
+  bool is_view_alias = false;
+
+  bool LiveAt(int pos) const {
+    if (always_live) return true;
+    return def_pos <= pos && pos <= last_use_pos;
+  }
+};
+
+struct MemoryProfile {
+  // Memory requirement while executing each scheduled op, including the
+  // op's transient workspace.
+  std::vector<size_t> per_op_bytes;
+  size_t peak_bytes = 0;
+  int peak_pos = 0;
+  size_t always_live_bytes = 0;  // params + inputs + optimizer state
+};
+
+// Lifetime of every tensor under `schedule`.
+std::vector<TensorLiveness> ComputeLiveness(const Graph& graph,
+                                            const Schedule& schedule);
+
+// The paper's Fig 4(b) memory-requirement curve.
+MemoryProfile ComputeMemoryProfile(const Graph& graph,
+                                   const Schedule& schedule);
+
+}  // namespace tsplit
+
+#endif  // TSPLIT_GRAPH_LIVENESS_H_

@@ -1,0 +1,62 @@
+#include "graph/op.h"
+
+namespace tsplit {
+
+const char* OpCategoryToString(OpCategory category) {
+  switch (category) {
+    case OpCategory::kConv:
+      return "conv";
+    case OpCategory::kMatMul:
+      return "matmul";
+    case OpCategory::kPool:
+      return "pool";
+    case OpCategory::kBatchNorm:
+      return "batchnorm";
+    case OpCategory::kLayerNorm:
+      return "layernorm";
+    case OpCategory::kActivation:
+      return "activation";
+    case OpCategory::kElementwise:
+      return "elementwise";
+    case OpCategory::kSoftmax:
+      return "softmax";
+    case OpCategory::kDropout:
+      return "dropout";
+    case OpCategory::kEmbedding:
+      return "embedding";
+    case OpCategory::kLoss:
+      return "loss";
+    case OpCategory::kOptimizerUpdate:
+      return "optimizer";
+    case OpCategory::kDataMovement:
+      return "data_movement";
+    case OpCategory::kReduce:
+      return "reduce";
+  }
+  return "?";
+}
+
+double Op::BytesTouched(const std::vector<Shape>& inputs,
+                        const std::vector<Shape>& outputs) const {
+  double bytes = 0;
+  for (const Shape& s : inputs) bytes += 4.0 * s.num_elements();
+  for (const Shape& s : outputs) bytes += 4.0 * s.num_elements();
+  return bytes;
+}
+
+Status Op::BuildGradient(GradContext* ctx) const {
+  (void)ctx;
+  return Status::Unimplemented("no gradient for op " + type_name());
+}
+
+Result<SplitRule> Op::SplitRuleFor(int output_axis,
+                                   const std::vector<Shape>& inputs,
+                                   const std::vector<Shape>& outputs) const {
+  for (const SplitRule& rule : split_rules(inputs, outputs)) {
+    if (rule.output_axis == output_axis) return rule;
+  }
+  return Status::NotFound(type_name() + " is not splittable along axis " +
+                          std::to_string(output_axis));
+}
+
+}  // namespace tsplit

@@ -1,0 +1,152 @@
+#ifndef TSPLIT_GRAPH_OP_H_
+#define TSPLIT_GRAPH_OP_H_
+
+// Operator interface. Every operator supplies:
+//   * shape inference (graph construction),
+//   * an analytic FLOP / bytes model (feeds the simulated-kernel profiler),
+//   * a real CPU reference implementation (functional correctness),
+//   * gradient construction (autodiff),
+//   * split legality metadata — which output axes a micro-tensor split may
+//     use, how each input is sliced for a micro-op, and how micro outputs
+//     merge (concat vs element-wise sum). This is what makes a tensor an
+//     sTensor rather than an opaque blob (paper §III-A, §V-A).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/shape.h"
+#include "core/status.h"
+#include "core/tensor.h"
+
+namespace tsplit {
+
+class Graph;
+
+// Coarse operator families. Baseline policies key off these (SuperNeurons
+// swaps conv outputs and recomputes cheap layers; vDNN-conv swaps conv
+// inputs).
+enum class OpCategory : uint8_t {
+  kConv = 0,
+  kMatMul,
+  kPool,
+  kBatchNorm,
+  kLayerNorm,
+  kActivation,   // relu / gelu / tanh
+  kElementwise,  // add / scale / bias
+  kSoftmax,
+  kDropout,
+  kEmbedding,
+  kLoss,
+  kOptimizerUpdate,
+  kDataMovement,  // reshape / transpose / concat / slice
+  kReduce,
+};
+
+const char* OpCategoryToString(OpCategory category);
+
+// How micro-tensor outputs of a split op recombine into the full tensor.
+enum class MergeKind : uint8_t {
+  kConcat = 0,  // concatenate along the split axis
+  kSum,         // element-wise accumulate full-shaped partials
+};
+
+// Input slicing behaviour for one legal output split axis.
+// For kConcat merges, `input_axes[i]` is the axis along which input i is
+// sliced in lock-step with the output (or kReplicateInput to pass the whole
+// input, e.g. conv weights under a sample split).
+// For kSum merges, the split iterates over `reduce_input_axes` instead: each
+// micro-op consumes a slice of the reduced inputs and produces a full-shaped
+// partial output.
+inline constexpr int kReplicateInput = -1;
+// output_axis value for kSum rules: the output is not split; every micro-op
+// emits a full-shaped partial that is accumulated.
+inline constexpr int kReduceOutput = -1;
+
+struct SplitRule {
+  int output_axis = 0;
+  std::vector<int> input_axes;
+  MergeKind merge = MergeKind::kConcat;
+};
+
+class Op {
+ public:
+  virtual ~Op() = default;
+
+  virtual std::string type_name() const = 0;
+  virtual OpCategory category() const = 0;
+  // True for gradient-phase operators (built by autodiff).
+  virtual bool is_backward() const { return false; }
+
+  // Output shapes given input shapes. Errors on arity / shape mismatch.
+  virtual Result<std::vector<Shape>> InferShapes(
+      const std::vector<Shape>& inputs) const = 0;
+
+  // Floating point operations performed. Feeds the kernel timing model.
+  virtual double Flops(const std::vector<Shape>& inputs,
+                       const std::vector<Shape>& outputs) const = 0;
+
+  // Device memory traffic; defaults to reading inputs + writing outputs.
+  virtual double BytesTouched(const std::vector<Shape>& inputs,
+                              const std::vector<Shape>& outputs) const;
+
+  // Scratch memory held only while the op executes (e.g. implicit-GEMM
+  // conv workspace). Splitting shrinks this proportionally (§III-A).
+  virtual size_t WorkspaceBytes(const std::vector<Shape>& inputs,
+                                const std::vector<Shape>& outputs) const {
+    (void)inputs;
+    (void)outputs;
+    return 0;
+  }
+
+  // CPU reference execution. `outputs` are pre-allocated with inferred
+  // shapes and zero-filled.
+  virtual Status Compute(const std::vector<const Tensor*>& inputs,
+                         const std::vector<Tensor*>& outputs) const = 0;
+
+  // Split legality: the rules for every output axis this op can be
+  // micro-executed along. Empty (the default) means the op must run on full
+  // tensors (e.g. BatchNorm along the sample axis, whose statistics couple
+  // the whole batch).
+  virtual std::vector<SplitRule> split_rules(
+      const std::vector<Shape>& inputs,
+      const std::vector<Shape>& outputs) const {
+    (void)inputs;
+    (void)outputs;
+    return {};
+  }
+
+  // Emits this op's backward operators into ctx->graph. The default fails
+  // with Unimplemented; ops reachable from a loss must override.
+  struct GradContext {
+    Graph* graph = nullptr;
+    OpId forward_op = kInvalidOp;
+    std::vector<TensorId> inputs;        // forward input tensor ids
+    std::vector<TensorId> outputs;       // forward output tensor ids
+    std::vector<TensorId> grad_outputs;  // gradients w.r.t. outputs
+    // To be filled: gradients w.r.t. inputs (kInvalidTensor where the input
+    // needs no gradient, e.g. integer indices).
+    std::vector<TensorId> grad_inputs;
+  };
+  virtual Status BuildGradient(GradContext* ctx) const;
+
+  // Convenience: the rule for a specific axis, or NotFound.
+  Result<SplitRule> SplitRuleFor(int output_axis,
+                                 const std::vector<Shape>& inputs,
+                                 const std::vector<Shape>& outputs) const;
+
+  // True if recomputing this op in the backward phase is semantically safe.
+  // Stateful randomness (dropout) must replay its mask, which our dropout
+  // op does via a stored seed, so everything defaults to true.
+  virtual bool recompute_safe() const { return true; }
+
+  // True for ops whose output aliases their input storage (Reshape). View
+  // outputs occupy no additional memory and execute in zero time; liveness
+  // extends the aliased root's lifetime instead.
+  virtual bool is_view() const { return false; }
+};
+
+}  // namespace tsplit
+
+#endif  // TSPLIT_GRAPH_OP_H_

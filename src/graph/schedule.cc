@@ -1,0 +1,63 @@
+#include "graph/schedule.h"
+
+#include <algorithm>
+
+namespace tsplit {
+
+Result<Schedule> BuildSchedule(const Graph& graph) {
+  const int num_ops = graph.num_ops();
+  // ref_cnt[op] = number of input tensors still waiting on their producer.
+  std::vector<int> ref_cnt(static_cast<size_t>(num_ops), 0);
+  for (const OpNode& node : graph.nodes()) {
+    for (TensorId t : node.inputs) {
+      if (graph.tensor(t).producer != kInvalidOp) {
+        ++ref_cnt[static_cast<size_t>(node.id)];
+      }
+    }
+  }
+
+  Schedule schedule;
+  schedule.order.reserve(static_cast<size_t>(num_ops));
+  schedule.pos_of_op.assign(static_cast<size_t>(num_ops), -1);
+
+  // DFS via explicit stack: scheduling an op immediately pushes its
+  // newly-ready consumers, so execution dives down a branch before
+  // returning (Algorithm 1's recursive structure).
+  std::vector<OpId> stack;
+  for (int id = num_ops - 1; id >= 0; --id) {
+    if (ref_cnt[static_cast<size_t>(id)] == 0) stack.push_back(id);
+  }
+
+  while (!stack.empty()) {
+    OpId id = stack.back();
+    stack.pop_back();
+    if (schedule.pos_of_op[static_cast<size_t>(id)] != -1) continue;
+    schedule.pos_of_op[static_cast<size_t>(id)] =
+        static_cast<int>(schedule.order.size());
+    schedule.order.push_back(id);
+
+    // Collect consumers that become ready, preserving their first-output
+    // order; push in reverse so the first is visited next (DFS).
+    std::vector<OpId> ready;
+    for (TensorId out : graph.node(id).outputs) {
+      for (OpId consumer : graph.tensor(out).consumers) {
+        int& cnt = ref_cnt[static_cast<size_t>(consumer)];
+        --cnt;
+        if (cnt == 0) ready.push_back(consumer);
+      }
+    }
+    for (auto it = ready.rbegin(); it != ready.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+
+  if (static_cast<int>(schedule.order.size()) != num_ops) {
+    return Status::FailedPrecondition(
+        "graph has a cycle or unsatisfiable op (scheduled " +
+        std::to_string(schedule.order.size()) + " of " +
+        std::to_string(num_ops) + ")");
+  }
+  return schedule;
+}
+
+}  // namespace tsplit

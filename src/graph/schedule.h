@@ -1,0 +1,30 @@
+#ifndef TSPLIT_GRAPH_SCHEDULE_H_
+#define TSPLIT_GRAPH_SCHEDULE_H_
+
+// Execution schedule construction (paper Algorithm 1): a topological order
+// of the DFG produced in Depth-First-Search manner, starting from the ops
+// whose inputs are all source tensors. Tensors malloc at the start of their
+// producing op and free after their last consuming op.
+
+#include <vector>
+
+#include "core/ids.h"
+#include "core/status.h"
+#include "graph/graph.h"
+
+namespace tsplit {
+
+struct Schedule {
+  std::vector<OpId> order;      // ops in execution order
+  std::vector<int> pos_of_op;   // op id -> position in `order`
+
+  int num_steps() const { return static_cast<int>(order.size()); }
+};
+
+// Builds the DFS-manner topological schedule. Errors if the graph has a
+// cycle or an op whose inputs can never be satisfied.
+Result<Schedule> BuildSchedule(const Graph& graph);
+
+}  // namespace tsplit
+
+#endif  // TSPLIT_GRAPH_SCHEDULE_H_

@@ -1,0 +1,22 @@
+#include "graph/views.h"
+
+namespace tsplit {
+
+std::vector<TensorId> ComputeViewRoots(const Graph& graph) {
+  const auto num_tensors = static_cast<size_t>(graph.num_tensors());
+  std::vector<TensorId> root(num_tensors);
+  // Tensor ids are assigned in creation order, so a view's input always has
+  // a smaller id with its root already resolved.
+  for (size_t i = 0; i < num_tensors; ++i) {
+    TensorId id = static_cast<TensorId>(i);
+    OpId producer = graph.tensor(id).producer;
+    if (producer != kInvalidOp && graph.node(producer).op->is_view()) {
+      root[i] = root[static_cast<size_t>(graph.node(producer).inputs[0])];
+    } else {
+      root[i] = id;
+    }
+  }
+  return root;
+}
+
+}  // namespace tsplit

@@ -1,0 +1,21 @@
+#ifndef TSPLIT_GRAPH_VIEWS_H_
+#define TSPLIT_GRAPH_VIEWS_H_
+
+// View aliasing: Reshape-style ops return tensors that share their input's
+// storage. Memory analyses and executors operate on view *roots* — the
+// underlying storage tensors — with lifetimes extended across all aliases.
+
+#include <vector>
+
+#include "core/ids.h"
+#include "graph/graph.h"
+
+namespace tsplit {
+
+// root[id] = the storage tensor backing tensor `id` (itself when not a
+// view output). View chains collapse to their ultimate root.
+std::vector<TensorId> ComputeViewRoots(const Graph& graph);
+
+}  // namespace tsplit
+
+#endif  // TSPLIT_GRAPH_VIEWS_H_

@@ -1,0 +1,38 @@
+#include "mem/host_store.h"
+
+namespace tsplit::mem {
+
+Status HostStore::Put(int64_t key, size_t bytes, Tensor payload) {
+  if (entries_.count(key)) {
+    return Status::FailedPrecondition("host store already holds key " +
+                                      std::to_string(key));
+  }
+  if (in_use_ + bytes > capacity_) {
+    return Status::OutOfMemory("host store capacity exceeded");
+  }
+  in_use_ += bytes;
+  if (in_use_ > peak_in_use_) peak_in_use_ = in_use_;
+  entries_.emplace(key, Entry{bytes, std::move(payload)});
+  return Status::OK();
+}
+
+Result<const Tensor*> HostStore::Peek(int64_t key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return Status::NotFound("host store has no key " + std::to_string(key));
+  }
+  return &it->second.payload;
+}
+
+Result<Tensor> HostStore::Take(int64_t key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return Status::NotFound("host store has no key " + std::to_string(key));
+  }
+  in_use_ -= it->second.bytes;
+  Tensor payload = std::move(it->second.payload);
+  entries_.erase(it);
+  return payload;
+}
+
+}  // namespace tsplit::mem

@@ -1,0 +1,54 @@
+#ifndef TSPLIT_MEM_HOST_STORE_H_
+#define TSPLIT_MEM_HOST_STORE_H_
+
+// Host-side staging area for swapped-out tensors. The paper treats CPU
+// memory as a temporary cache for evicted feature maps (§II); this class is
+// that cache. The timing simulator uses only the byte accounting; the
+// functional executor also stores the real payload.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "core/status.h"
+#include "core/tensor.h"
+
+namespace tsplit::mem {
+
+class HostStore {
+ public:
+  explicit HostStore(size_t capacity_bytes = SIZE_MAX)
+      : capacity_(capacity_bytes) {}
+
+  // Registers `bytes` for `key`, optionally with a payload tensor.
+  Status Put(int64_t key, size_t bytes, Tensor payload = Tensor());
+
+  // True if `key` is currently staged on the host.
+  bool Contains(int64_t key) const { return entries_.count(key) > 0; }
+
+  // Retrieves the payload without removing it.
+  Result<const Tensor*> Peek(int64_t key) const;
+
+  // Removes `key`, returning its payload (empty tensor if none stored).
+  Result<Tensor> Take(int64_t key);
+
+  size_t in_use() const { return in_use_; }
+  size_t capacity() const { return capacity_; }
+  size_t num_entries() const { return entries_.size(); }
+  size_t peak_in_use() const { return peak_in_use_; }
+
+ private:
+  struct Entry {
+    size_t bytes;
+    Tensor payload;
+  };
+
+  size_t capacity_;
+  size_t in_use_ = 0;
+  size_t peak_in_use_ = 0;
+  std::unordered_map<int64_t, Entry> entries_;
+};
+
+}  // namespace tsplit::mem
+
+#endif  // TSPLIT_MEM_HOST_STORE_H_

@@ -1,0 +1,177 @@
+#include "mem/memory_pool.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/logging.h"
+
+namespace tsplit::mem {
+
+namespace {
+constexpr size_t kAlignment = 256;
+}  // namespace
+
+size_t MemoryPool::Align(size_t bytes) {
+  if (bytes == 0) return kAlignment;
+  return (bytes + kAlignment - 1) / kAlignment * kAlignment;
+}
+
+MemoryPool::MemoryPool(size_t capacity, FitPolicy policy)
+    : capacity_(Align(capacity) == capacity ? capacity
+                                            : capacity / kAlignment *
+                                                  kAlignment),
+      policy_(policy) {
+  stats_.capacity = capacity_;
+  stats_.free_bytes = capacity_;
+  if (capacity_ > 0) {
+    InsertFree(0, capacity_);
+  }
+}
+
+void MemoryPool::InsertFree(size_t offset, size_t size) {
+  free_by_offset_[offset] = size;
+  free_by_size_.insert({offset, size});
+  stats_.largest_free_block =
+      std::max(stats_.largest_free_block, size);
+}
+
+void MemoryPool::EraseFree(size_t offset, size_t size) {
+  free_by_offset_.erase(offset);
+  free_by_size_.erase({offset, size});
+  if (size == stats_.largest_free_block) {
+    stats_.largest_free_block =
+        free_by_size_.empty() ? 0 : free_by_size_.rbegin()->size;
+  }
+}
+
+Result<size_t> MemoryPool::Allocate(size_t bytes) {
+  size_t need = Align(bytes);
+  const FreeBlock* chosen = nullptr;
+  FreeBlock candidate{0, 0};
+
+  if (policy_ == FitPolicy::kBestFit) {
+    // Smallest block with size >= need.
+    auto it = free_by_size_.lower_bound(FreeBlock{0, need});
+    if (it != free_by_size_.end()) {
+      candidate = *it;
+      chosen = &candidate;
+    }
+  } else {
+    for (const auto& [offset, size] : free_by_offset_) {
+      if (size >= need) {
+        candidate = {offset, size};
+        chosen = &candidate;
+        break;
+      }
+    }
+  }
+
+  if (chosen == nullptr) {
+    ++stats_.failed_allocs;
+    return Status::OutOfMemory(
+        "pool cannot fit " + std::to_string(need) + " bytes (free " +
+        std::to_string(stats_.free_bytes) + ", largest block " +
+        std::to_string(stats_.largest_free_block) + ")");
+  }
+
+  EraseFree(chosen->offset, chosen->size);
+  if (chosen->size > need) {
+    InsertFree(chosen->offset + need, chosen->size - need);
+  }
+  allocated_[chosen->offset] = need;
+  stats_.in_use += need;
+  stats_.free_bytes -= need;
+  stats_.peak_in_use = std::max(stats_.peak_in_use, stats_.in_use);
+  ++stats_.num_allocs;
+  // Recompute largest free block lazily via set max.
+  stats_.largest_free_block =
+      free_by_size_.empty() ? 0 : free_by_size_.rbegin()->size;
+  return chosen->offset;
+}
+
+Status MemoryPool::Free(size_t offset) {
+  auto it = allocated_.find(offset);
+  if (it == allocated_.end()) {
+    return Status::InvalidArgument("Free of unallocated offset " +
+                                   std::to_string(offset));
+  }
+  size_t size = it->second;
+  allocated_.erase(it);
+  stats_.in_use -= size;
+  stats_.free_bytes += size;
+  ++stats_.num_frees;
+
+  // Coalesce with the following free block.
+  auto next = free_by_offset_.lower_bound(offset);
+  if (next != free_by_offset_.end() && next->first == offset + size) {
+    size += next->second;
+    EraseFree(next->first, next->second);
+  }
+  // Coalesce with the preceding free block.
+  auto prev = free_by_offset_.lower_bound(offset);
+  if (prev != free_by_offset_.begin()) {
+    --prev;
+    if (prev->first + prev->second == offset) {
+      size_t prev_offset = prev->first;
+      size_t prev_size = prev->second;
+      EraseFree(prev_offset, prev_size);
+      offset = prev_offset;
+      size += prev_size;
+    }
+  }
+  InsertFree(offset, size);
+  stats_.largest_free_block =
+      free_by_size_.empty() ? 0 : free_by_size_.rbegin()->size;
+  return Status::OK();
+}
+
+bool MemoryPool::CanAllocate(size_t bytes) const {
+  return stats_.largest_free_block >= Align(bytes);
+}
+
+Status MemoryPool::CheckConsistency() const {
+  // Walk free + allocated blocks; together they must tile [0, capacity)
+  // with no overlap, and no two free blocks may be adjacent.
+  std::map<size_t, std::pair<size_t, bool>> blocks;  // offset -> (size, free)
+  for (const auto& [offset, size] : free_by_offset_) {
+    blocks[offset] = {size, true};
+  }
+  for (const auto& [offset, size] : allocated_) {
+    if (blocks.count(offset)) {
+      return Status::Internal("block both free and allocated");
+    }
+    blocks[offset] = {size, false};
+  }
+  size_t cursor = 0;
+  bool prev_free = false;
+  for (const auto& [offset, info] : blocks) {
+    if (offset != cursor) {
+      return Status::Internal("gap or overlap at offset " +
+                              std::to_string(cursor));
+    }
+    if (info.second && prev_free) {
+      return Status::Internal("uncoalesced adjacent free blocks at " +
+                              std::to_string(offset));
+    }
+    cursor = offset + info.first;
+    prev_free = info.second;
+  }
+  if (cursor != capacity_) {
+    return Status::Internal("blocks do not cover the arena");
+  }
+  if (free_by_offset_.size() != free_by_size_.size()) {
+    return Status::Internal("free index size mismatch");
+  }
+  return Status::OK();
+}
+
+std::string MemoryPool::DebugString() const {
+  std::ostringstream os;
+  os << "MemoryPool(capacity=" << capacity_ << ", in_use=" << stats_.in_use
+     << ", free=" << stats_.free_bytes
+     << ", largest_free=" << stats_.largest_free_block
+     << ", frag=" << stats_.fragmentation() << ")";
+  return os.str();
+}
+
+}  // namespace tsplit::mem

@@ -1,0 +1,103 @@
+#ifndef TSPLIT_MEM_MEMORY_POOL_H_
+#define TSPLIT_MEM_MEMORY_POOL_H_
+
+// Device memory pool (paper §V-D): TSPLIT pre-allocates one large arena and
+// serves tensor allocations from it with a best-fit strategy, storing
+// micro-tensors in contiguous chunks (§V-C). This pool manages *offsets*
+// within a virtual arena — the timing simulator needs only the accounting,
+// and the functional executor pairs offsets with real host buffers.
+//
+// Free blocks are coalesced with neighbours on free. Stats track current /
+// peak usage and external fragmentation for the ablation benches.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "core/status.h"
+
+namespace tsplit::mem {
+
+enum class FitPolicy {
+  kBestFit = 0,   // smallest free block that fits (default; paper §V-C)
+  kFirstFit,      // lowest-offset free block that fits (ablation)
+};
+
+struct PoolStats {
+  size_t capacity = 0;
+  size_t in_use = 0;
+  size_t peak_in_use = 0;
+  size_t free_bytes = 0;
+  size_t largest_free_block = 0;
+  size_t num_allocs = 0;
+  size_t num_frees = 0;
+  size_t failed_allocs = 0;
+
+  // External fragmentation in [0,1]: 1 - largest_free_block / free_bytes.
+  double fragmentation() const {
+    if (free_bytes == 0) return 0.0;
+    return 1.0 - static_cast<double>(largest_free_block) /
+                     static_cast<double>(free_bytes);
+  }
+};
+
+class MemoryPool {
+ public:
+  explicit MemoryPool(size_t capacity, FitPolicy policy = FitPolicy::kBestFit);
+
+  MemoryPool(const MemoryPool&) = delete;
+  MemoryPool& operator=(const MemoryPool&) = delete;
+
+  // Allocates `bytes` (rounded up to the 256-byte alignment cuDNN expects);
+  // returns the arena offset. Fails with OutOfMemory when no free block
+  // fits — callers distinguish "no capacity at all" from fragmentation via
+  // stats().
+  Result<size_t> Allocate(size_t bytes);
+
+  // Releases a block previously returned by Allocate.
+  Status Free(size_t offset);
+
+  size_t capacity() const { return capacity_; }
+  size_t in_use() const { return stats_.in_use; }
+  size_t free_bytes() const { return stats_.free_bytes; }
+  const PoolStats& stats() const { return stats_; }
+
+  // True if a block of `bytes` could be allocated right now.
+  bool CanAllocate(size_t bytes) const;
+
+  // Checks internal invariants (no overlap, full coverage, coalesced free
+  // list); used by property tests.
+  Status CheckConsistency() const;
+
+  std::string DebugString() const;
+
+  static size_t Align(size_t bytes);
+
+ private:
+  struct FreeBlock {
+    size_t offset;
+    size_t size;
+    bool operator<(const FreeBlock& o) const {
+      return size != o.size ? size < o.size : offset < o.offset;
+    }
+  };
+
+  void InsertFree(size_t offset, size_t size);
+  void EraseFree(size_t offset, size_t size);
+
+  size_t capacity_;
+  FitPolicy policy_;
+  PoolStats stats_;
+  // offset -> size for free blocks (ordered for coalescing / first-fit).
+  std::map<size_t, size_t> free_by_offset_;
+  // (size, offset) ordering for best-fit.
+  std::set<FreeBlock> free_by_size_;
+  // offset -> size for live allocations.
+  std::map<size_t, size_t> allocated_;
+};
+
+}  // namespace tsplit::mem
+
+#endif  // TSPLIT_MEM_MEMORY_POOL_H_

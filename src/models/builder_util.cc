@@ -1,0 +1,107 @@
+#include "models/builder_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tsplit::models::internal {
+
+TensorId LayerBuilder::Conv(TensorId x, int out_channels, int kernel,
+                            int stride, int padding,
+                            const std::string& name) {
+  if (!status_.ok()) return kInvalidTensor;
+  int64_t in_channels = ShapeOf(x).dim(1);
+  TensorId w = Param(name + ".w",
+                     Shape{out_channels, in_channels, kernel, kernel});
+  TensorId y = Emit(std::make_unique<ops::Conv2dOp>(
+                        ops::ConvConfig{stride, padding}),
+                    name, {x, w});
+  if (y == kInvalidTensor) return y;
+  TensorId b = Param(name + ".b", Shape{out_channels});
+  return Emit(std::make_unique<ops::BiasAddOp>(1), name + ".bias", {y, b});
+}
+
+TensorId LayerBuilder::ConvBnRelu(TensorId x, int out_channels, int kernel,
+                                  int stride, int padding,
+                                  const std::string& name) {
+  if (!status_.ok()) return kInvalidTensor;
+  int64_t in_channels = ShapeOf(x).dim(1);
+  TensorId w = Param(name + ".w",
+                     Shape{out_channels, in_channels, kernel, kernel});
+  TensorId y = Emit(std::make_unique<ops::Conv2dOp>(
+                        ops::ConvConfig{stride, padding}),
+                    name, {x, w});
+  if (y == kInvalidTensor) return y;
+  TensorId gamma = Param(name + ".bn.gamma", Shape{out_channels});
+  TensorId beta = Param(name + ".bn.beta", Shape{out_channels});
+  TensorId bn = Emit(std::make_unique<ops::BatchNorm2dOp>(), name + ".bn",
+                     {y, gamma, beta});
+  return Relu(bn, name + ".relu");
+}
+
+TensorId LayerBuilder::MaxPool(TensorId x, int kernel, int stride,
+                               int padding, const std::string& name) {
+  return Emit(std::make_unique<ops::Pool2dOp>(ops::PoolConfig{
+                  kernel, stride, padding, ops::PoolMode::kMax}),
+              name, {x});
+}
+
+TensorId LayerBuilder::AvgPool(TensorId x, int kernel, int stride,
+                               int padding, const std::string& name) {
+  return Emit(std::make_unique<ops::Pool2dOp>(ops::PoolConfig{
+                  kernel, stride, padding, ops::PoolMode::kAvg}),
+              name, {x});
+}
+
+TensorId LayerBuilder::Flatten2d(TensorId x, const std::string& name) {
+  if (!status_.ok()) return kInvalidTensor;
+  const Shape& s = ShapeOf(x);
+  int64_t rest = s.num_elements() / s.dim(0);
+  return Reshape(x, Shape{s.dim(0), rest}, name);
+}
+
+TensorId LayerBuilder::Linear(TensorId x, int out_features,
+                              const std::string& name) {
+  if (!status_.ok()) return kInvalidTensor;
+  const Shape& s = ShapeOf(x);
+  if (s.rank() != 2) {
+    status_ = Status::InvalidArgument("Linear expects rank-2 input, got " +
+                                      s.ToString() + " at " + name);
+    return kInvalidTensor;
+  }
+  TensorId w = Param(name + ".w", Shape{s.dim(1), out_features});
+  TensorId y = Emit(std::make_unique<ops::MatMulOp>(), name, {x, w});
+  if (y == kInvalidTensor) return y;
+  TensorId b = Param(name + ".b", Shape{out_features});
+  return Emit(std::make_unique<ops::BiasAddOp>(1), name + ".bias", {y, b});
+}
+
+TensorId LayerBuilder::Dropout(TensorId x, float rate,
+                               const std::string& name) {
+  if (rate <= 0.0f) return x;
+  return Emit(std::make_unique<ops::DropoutOp>(rate, NextSeed()), name, {x});
+}
+
+TensorId LayerBuilder::LayerNorm(TensorId x, const std::string& name) {
+  if (!status_.ok()) return kInvalidTensor;
+  const Shape& s = ShapeOf(x);
+  int64_t d = s.dim(s.rank() - 1);
+  TensorId gamma = Param(name + ".gamma", Shape{d});
+  TensorId beta = Param(name + ".beta", Shape{d});
+  return Emit(std::make_unique<ops::LayerNormOp>(), name, {x, gamma, beta});
+}
+
+int64_t ScaleChannels(int base, double scale) {
+  return std::max<int64_t>(
+      1, static_cast<int64_t>(std::llround(base * scale)));
+}
+
+Result<Model> FinishModel(Model model, bool with_backward) {
+  if (with_backward) {
+    ASSIGN_OR_RETURN(model.autodiff,
+                     BuildBackward(&model.graph, model.loss));
+    model.has_backward = true;
+  }
+  return model;
+}
+
+}  // namespace tsplit::models::internal

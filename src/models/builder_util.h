@@ -1,0 +1,119 @@
+#ifndef TSPLIT_MODELS_BUILDER_UTIL_H_
+#define TSPLIT_MODELS_BUILDER_UTIL_H_
+
+// Internal helpers shared by the model builders: layer-level composites
+// (conv+bn+relu, linear, attention blocks) over the raw op graph.
+
+#include <string>
+#include <vector>
+
+#include "models/model.h"
+#include "ops/batchnorm.h"
+#include "ops/conv2d.h"
+#include "ops/data_movement.h"
+#include "ops/dropout.h"
+#include "ops/elementwise.h"
+#include "ops/layernorm.h"
+#include "ops/matmul.h"
+#include "ops/pool.h"
+#include "ops/softmax.h"
+
+namespace tsplit::models::internal {
+
+// Thin stateful wrapper: tracks the model being built and registers
+// parameters. All methods propagate Status; the builder caches the first
+// error and turns subsequent calls into no-ops, so layer code can chain
+// without per-call checks.
+class LayerBuilder {
+ public:
+  explicit LayerBuilder(Model* model) : model_(model) {}
+
+  Graph& graph() { return model_->graph; }
+  Status status() const { return status_; }
+
+  TensorId Param(const std::string& name, Shape shape) {
+    if (!status_.ok()) return kInvalidTensor;
+    TensorId id = graph().AddTensor(name, std::move(shape),
+                                    TensorKind::kParameter);
+    model_->parameters.push_back(id);
+    return id;
+  }
+
+  // Emits `op` and returns its (single) output; records errors.
+  TensorId Emit(std::unique_ptr<Op> op, const std::string& name,
+                const std::vector<TensorId>& inputs) {
+    if (!status_.ok()) return kInvalidTensor;
+    auto out = graph().AddOp(std::move(op), name, inputs);
+    if (!out.ok()) {
+      status_ = out.status();
+      return kInvalidTensor;
+    }
+    return out->at(0);
+  }
+
+  const Shape& ShapeOf(TensorId id) const {
+    return model_->graph.tensor(id).shape;
+  }
+
+  // conv(3x3-ish) -> batchnorm -> relu, the CNN workhorse.
+  TensorId ConvBnRelu(TensorId x, int out_channels, int kernel, int stride,
+                      int padding, const std::string& name);
+
+  // Plain conv + bias.
+  TensorId Conv(TensorId x, int out_channels, int kernel, int stride,
+                int padding, const std::string& name);
+
+  TensorId MaxPool(TensorId x, int kernel, int stride, int padding,
+                   const std::string& name);
+  TensorId AvgPool(TensorId x, int kernel, int stride, int padding,
+                   const std::string& name);
+
+  // Flattens [N, ...] to [N, rest].
+  TensorId Flatten2d(TensorId x, const std::string& name);
+
+  // x[M, in] @ W[in, out] + b.
+  TensorId Linear(TensorId x, int out_features, const std::string& name);
+
+  TensorId Relu(TensorId x, const std::string& name) {
+    return Emit(std::make_unique<ops::ReluOp>(), name, {x});
+  }
+  TensorId Gelu(TensorId x, const std::string& name) {
+    return Emit(std::make_unique<ops::GeluOp>(), name, {x});
+  }
+  TensorId Add(TensorId a, TensorId b, const std::string& name) {
+    return Emit(std::make_unique<ops::AddOp>(), name, {a, b});
+  }
+  TensorId Reshape(TensorId x, Shape target, const std::string& name) {
+    return Emit(std::make_unique<ops::ReshapeOp>(std::move(target)), name,
+                {x});
+  }
+  TensorId Dropout(TensorId x, float rate, const std::string& name);
+
+  // layernorm over the last axis with fresh gamma/beta parameters.
+  TensorId LayerNorm(TensorId x, const std::string& name);
+
+  // Classifier head: logits[M, classes] + labels -> scalar loss.
+  TensorId CrossEntropy(TensorId logits, TensorId labels,
+                        const std::string& name) {
+    return Emit(std::make_unique<ops::CrossEntropyLossOp>(), name,
+                {logits, labels});
+  }
+
+  // Monotonic dropout seed so every dropout layer differs deterministically.
+  uint64_t NextSeed() { return 0x5eedf00d + 1315423911u * (++seed_counter_); }
+
+ private:
+  Model* model_;
+  Status status_ = Status::OK();
+  uint64_t seed_counter_ = 0;
+};
+
+// Scales a channel count, keeping it at least 1.
+int64_t ScaleChannels(int base, double scale);
+
+// Finalizes: runs autodiff when requested and stamps metadata.
+Result<Model> FinishModel(Model model, bool with_backward);
+
+}  // namespace tsplit::models::internal
+
+#endif  // TSPLIT_MODELS_BUILDER_UTIL_H_

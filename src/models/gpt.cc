@@ -1,0 +1,105 @@
+#include <cmath>
+
+#include "models/builder_util.h"
+#include "models/model.h"
+#include "ops/embedding.h"
+
+namespace tsplit::models {
+
+namespace {
+
+using internal::LayerBuilder;
+
+// One pre-LN decoder layer with causal self-attention over x[B*S, H].
+TensorId DecoderLayer(LayerBuilder* b, TensorId x, const GptConfig& cfg,
+                      const std::string& name) {
+  const int64_t batch = cfg.batch, seq = cfg.seq_len, hidden = cfg.hidden;
+  const int64_t heads = cfg.num_heads, head_dim = hidden / heads;
+
+  // --- Causal self-attention (pre-LN) ---
+  TensorId normed = b->LayerNorm(x, name + ".ln1");
+  TensorId q = b->Linear(normed, static_cast<int>(hidden), name + ".q");
+  TensorId k = b->Linear(normed, static_cast<int>(hidden), name + ".k");
+  TensorId v = b->Linear(normed, static_cast<int>(hidden), name + ".v");
+
+  auto to_heads = [&](TensorId t, const std::string& tag) {
+    TensorId r =
+        b->Reshape(t, Shape{batch, seq, heads, head_dim}, name + tag + ".r1");
+    TensorId p = b->Emit(std::make_unique<ops::TransposeOp>(
+                             std::vector<int>{0, 2, 1, 3}),
+                         name + tag + ".perm", {r});
+    return b->Reshape(p, Shape{batch * heads, seq, head_dim},
+                      name + tag + ".r2");
+  };
+  TensorId qh = to_heads(q, ".qh");
+  TensorId kh = to_heads(k, ".kh");
+  TensorId vh = to_heads(v, ".vh");
+
+  TensorId scores = b->Emit(std::make_unique<ops::MatMulOp>(false, true),
+                            name + ".scores", {qh, kh});
+  scores = b->Emit(std::make_unique<ops::ScaleOp>(
+                       1.0f / std::sqrt(static_cast<float>(head_dim))),
+                   name + ".scale", {scores});
+  TensorId probs = b->Emit(std::make_unique<ops::CausalSoftmaxOp>(),
+                           name + ".causal_softmax", {scores});
+
+  TensorId context = b->Emit(std::make_unique<ops::MatMulOp>(),
+                             name + ".context", {probs, vh});
+  TensorId cr = b->Reshape(context, Shape{batch, heads, seq, head_dim},
+                           name + ".ctx.r1");
+  TensorId cp = b->Emit(std::make_unique<ops::TransposeOp>(
+                            std::vector<int>{0, 2, 1, 3}),
+                        name + ".ctx.perm", {cr});
+  TensorId ch = b->Reshape(cp, Shape{batch * seq, hidden}, name + ".ctx.r2");
+
+  TensorId attn_out = b->Linear(ch, static_cast<int>(hidden), name + ".o");
+  TensorId res1 = b->Add(x, attn_out, name + ".res1");
+
+  // --- Feed-forward (pre-LN) ---
+  TensorId normed2 = b->LayerNorm(res1, name + ".ln2");
+  TensorId ff = b->Linear(normed2, static_cast<int>(hidden) * cfg.ffn_mult,
+                          name + ".ffn1");
+  ff = b->Gelu(ff, name + ".gelu");
+  ff = b->Linear(ff, static_cast<int>(hidden), name + ".ffn2");
+  return b->Add(res1, ff, name + ".res2");
+}
+
+}  // namespace
+
+Result<Model> BuildGpt(const GptConfig& config) {
+  if (config.hidden % config.num_heads != 0) {
+    return Status::InvalidArgument("hidden must divide evenly into heads");
+  }
+  Model model;
+  model.name = "GPT";
+  model.input = model.graph.AddTensor(
+      "token_ids", Shape{config.batch, config.seq_len}, TensorKind::kInput);
+  // Next-token prediction: labels are the shifted tokens, one per position.
+  model.labels = model.graph.AddTensor(
+      "next_tokens",
+      Shape{static_cast<int64_t>(config.batch) * config.seq_len},
+      TensorKind::kInput);
+
+  LayerBuilder b(&model);
+  TensorId table =
+      b.Param("embedding.table", Shape{config.vocab, config.hidden});
+  TensorId emb = b.Emit(std::make_unique<ops::EmbeddingOp>(), "embedding",
+                        {table, model.input});
+  TensorId x = b.Reshape(
+      emb,
+      Shape{static_cast<int64_t>(config.batch) * config.seq_len,
+            config.hidden},
+      "embedding.flat");
+
+  for (int layer = 0; layer < config.num_layers; ++layer) {
+    x = DecoderLayer(&b, x, config, "layer" + std::to_string(layer));
+  }
+  x = b.LayerNorm(x, "final_ln");
+  TensorId logits = b.Linear(x, config.vocab, "lm_head");
+  model.loss = b.CrossEntropy(logits, model.labels, "loss");
+
+  RETURN_IF_ERROR(b.status());
+  return internal::FinishModel(std::move(model), config.with_backward);
+}
+
+}  // namespace tsplit::models

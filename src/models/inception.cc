@@ -1,0 +1,181 @@
+#include "models/builder_util.h"
+#include "models/model.h"
+#include "ops/data_movement.h"
+
+namespace tsplit::models {
+
+namespace {
+
+using internal::LayerBuilder;
+using internal::ScaleChannels;
+
+// Inception-V4 (Szegedy et al., 2017) expressed with square kernels: the
+// 1x7/7x1 factorized pairs of Inception-B are modeled as padded 3x3 pairs
+// of the same channel widths, which preserves the multi-branch memory
+// behaviour (many concurrent feature maps joined by Concat) that drives the
+// paper's "multi-branch architectures benefit most" observation.
+
+TensorId ConcatBranches(LayerBuilder* b, std::vector<TensorId> branches,
+                        const std::string& name) {
+  if (!b->status().ok()) return kInvalidTensor;
+  for (TensorId t : branches) {
+    if (t == kInvalidTensor) return kInvalidTensor;
+  }
+  return b->Emit(std::make_unique<ops::ConcatOp>(1), name, branches);
+}
+
+// Stem: 3 convs + pool bringing 3x299x299 (or scaled-down) inputs to the
+// Inception grid.
+TensorId Stem(LayerBuilder* b, TensorId x, double cs) {
+  x = b->ConvBnRelu(x, static_cast<int>(ScaleChannels(32, cs)), 3, 2, 0,
+                    "stem.conv1");
+  x = b->ConvBnRelu(x, static_cast<int>(ScaleChannels(32, cs)), 3, 1, 0,
+                    "stem.conv2");
+  x = b->ConvBnRelu(x, static_cast<int>(ScaleChannels(64, cs)), 3, 1, 1,
+                    "stem.conv3");
+  x = b->MaxPool(x, 3, 2, 0, "stem.pool");
+  x = b->ConvBnRelu(x, static_cast<int>(ScaleChannels(80, cs)), 1, 1, 0,
+                    "stem.conv4");
+  x = b->ConvBnRelu(x, static_cast<int>(ScaleChannels(192, cs)), 3, 1, 0,
+                    "stem.conv5");
+  return b->MaxPool(x, 3, 2, 0, "stem.pool2");
+}
+
+TensorId InceptionA(LayerBuilder* b, TensorId x, double cs,
+                    const std::string& name) {
+  TensorId b1 = b->ConvBnRelu(x, static_cast<int>(ScaleChannels(96, cs)), 1,
+                              1, 0, name + ".b1");
+  TensorId b2 = b->ConvBnRelu(x, static_cast<int>(ScaleChannels(64, cs)), 1,
+                              1, 0, name + ".b2a");
+  b2 = b->ConvBnRelu(b2, static_cast<int>(ScaleChannels(96, cs)), 3, 1, 1,
+                     name + ".b2b");
+  TensorId b3 = b->ConvBnRelu(x, static_cast<int>(ScaleChannels(64, cs)), 1,
+                              1, 0, name + ".b3a");
+  b3 = b->ConvBnRelu(b3, static_cast<int>(ScaleChannels(96, cs)), 3, 1, 1,
+                     name + ".b3b");
+  b3 = b->ConvBnRelu(b3, static_cast<int>(ScaleChannels(96, cs)), 3, 1, 1,
+                     name + ".b3c");
+  TensorId b4 = b->AvgPool(x, 3, 1, 1, name + ".b4pool");
+  b4 = b->ConvBnRelu(b4, static_cast<int>(ScaleChannels(96, cs)), 1, 1, 0,
+                     name + ".b4");
+  return ConcatBranches(b, {b1, b2, b3, b4}, name + ".concat");
+}
+
+TensorId ReductionA(LayerBuilder* b, TensorId x, double cs,
+                    const std::string& name) {
+  TensorId b1 = b->ConvBnRelu(x, static_cast<int>(ScaleChannels(384, cs)), 3,
+                              2, 0, name + ".b1");
+  TensorId b2 = b->ConvBnRelu(x, static_cast<int>(ScaleChannels(192, cs)), 1,
+                              1, 0, name + ".b2a");
+  b2 = b->ConvBnRelu(b2, static_cast<int>(ScaleChannels(224, cs)), 3, 1, 1,
+                     name + ".b2b");
+  b2 = b->ConvBnRelu(b2, static_cast<int>(ScaleChannels(256, cs)), 3, 2, 0,
+                     name + ".b2c");
+  TensorId b3 = b->MaxPool(x, 3, 2, 0, name + ".b3pool");
+  return ConcatBranches(b, {b1, b2, b3}, name + ".concat");
+}
+
+TensorId InceptionB(LayerBuilder* b, TensorId x, double cs,
+                    const std::string& name) {
+  TensorId b1 = b->ConvBnRelu(x, static_cast<int>(ScaleChannels(384, cs)), 1,
+                              1, 0, name + ".b1");
+  TensorId b2 = b->ConvBnRelu(x, static_cast<int>(ScaleChannels(192, cs)), 1,
+                              1, 0, name + ".b2a");
+  b2 = b->ConvBnRelu(b2, static_cast<int>(ScaleChannels(224, cs)), 3, 1, 1,
+                     name + ".b2b");
+  b2 = b->ConvBnRelu(b2, static_cast<int>(ScaleChannels(256, cs)), 3, 1, 1,
+                     name + ".b2c");
+  TensorId b3 = b->ConvBnRelu(x, static_cast<int>(ScaleChannels(192, cs)), 1,
+                              1, 0, name + ".b3a");
+  b3 = b->ConvBnRelu(b3, static_cast<int>(ScaleChannels(224, cs)), 3, 1, 1,
+                     name + ".b3b");
+  b3 = b->ConvBnRelu(b3, static_cast<int>(ScaleChannels(256, cs)), 3, 1, 1,
+                     name + ".b3c");
+  TensorId b4 = b->AvgPool(x, 3, 1, 1, name + ".b4pool");
+  b4 = b->ConvBnRelu(b4, static_cast<int>(ScaleChannels(128, cs)), 1, 1, 0,
+                     name + ".b4");
+  return ConcatBranches(b, {b1, b2, b3, b4}, name + ".concat");
+}
+
+TensorId ReductionB(LayerBuilder* b, TensorId x, double cs,
+                    const std::string& name) {
+  TensorId b1 = b->ConvBnRelu(x, static_cast<int>(ScaleChannels(192, cs)), 1,
+                              1, 0, name + ".b1a");
+  b1 = b->ConvBnRelu(b1, static_cast<int>(ScaleChannels(192, cs)), 3, 2, 0,
+                     name + ".b1b");
+  TensorId b2 = b->ConvBnRelu(x, static_cast<int>(ScaleChannels(256, cs)), 1,
+                              1, 0, name + ".b2a");
+  b2 = b->ConvBnRelu(b2, static_cast<int>(ScaleChannels(320, cs)), 3, 1, 1,
+                     name + ".b2b");
+  b2 = b->ConvBnRelu(b2, static_cast<int>(ScaleChannels(320, cs)), 3, 2, 0,
+                     name + ".b2c");
+  TensorId b3 = b->MaxPool(x, 3, 2, 0, name + ".b3pool");
+  return ConcatBranches(b, {b1, b2, b3}, name + ".concat");
+}
+
+TensorId InceptionC(LayerBuilder* b, TensorId x, double cs,
+                    const std::string& name) {
+  TensorId b1 = b->ConvBnRelu(x, static_cast<int>(ScaleChannels(256, cs)), 1,
+                              1, 0, name + ".b1");
+  TensorId b2 = b->ConvBnRelu(x, static_cast<int>(ScaleChannels(384, cs)), 1,
+                              1, 0, name + ".b2a");
+  TensorId b2l = b->ConvBnRelu(b2, static_cast<int>(ScaleChannels(256, cs)),
+                               3, 1, 1, name + ".b2b1");
+  TensorId b2r = b->ConvBnRelu(b2, static_cast<int>(ScaleChannels(256, cs)),
+                               3, 1, 1, name + ".b2b2");
+  TensorId b3 = b->ConvBnRelu(x, static_cast<int>(ScaleChannels(384, cs)), 1,
+                              1, 0, name + ".b3a");
+  b3 = b->ConvBnRelu(b3, static_cast<int>(ScaleChannels(448, cs)), 3, 1, 1,
+                     name + ".b3b");
+  b3 = b->ConvBnRelu(b3, static_cast<int>(ScaleChannels(512, cs)), 3, 1, 1,
+                     name + ".b3c");
+  TensorId b3l = b->ConvBnRelu(b3, static_cast<int>(ScaleChannels(256, cs)),
+                               3, 1, 1, name + ".b3d1");
+  TensorId b3r = b->ConvBnRelu(b3, static_cast<int>(ScaleChannels(256, cs)),
+                               3, 1, 1, name + ".b3d2");
+  TensorId b4 = b->AvgPool(x, 3, 1, 1, name + ".b4pool");
+  b4 = b->ConvBnRelu(b4, static_cast<int>(ScaleChannels(256, cs)), 1, 1, 0,
+                     name + ".b4");
+  return ConcatBranches(b, {b1, b2l, b2r, b3l, b3r, b4}, name + ".concat");
+}
+
+}  // namespace
+
+Result<Model> BuildInceptionV4(const CnnConfig& config) {
+  Model model;
+  model.name = "Inception-V4";
+  model.input = model.graph.AddTensor(
+      "images", Shape{config.batch, 3, config.image_size, config.image_size},
+      TensorKind::kInput);
+  model.labels = model.graph.AddTensor("labels", Shape{config.batch},
+                                       TensorKind::kInput);
+
+  LayerBuilder b(&model);
+  double cs = config.channel_scale;
+  TensorId x = Stem(&b, model.input, cs);
+  for (int i = 0; i < 4; ++i) {
+    x = InceptionA(&b, x, cs, "inceptionA" + std::to_string(i + 1));
+  }
+  x = ReductionA(&b, x, cs, "reductionA");
+  for (int i = 0; i < 7; ++i) {
+    x = InceptionB(&b, x, cs, "inceptionB" + std::to_string(i + 1));
+  }
+  x = ReductionB(&b, x, cs, "reductionB");
+  for (int i = 0; i < 3; ++i) {
+    x = InceptionC(&b, x, cs, "inceptionC" + std::to_string(i + 1));
+  }
+
+  if (b.status().ok() && x != kInvalidTensor) {
+    const Shape& s = b.ShapeOf(x);
+    x = b.AvgPool(x, static_cast<int>(s.dim(2)), 1, 0, "global_pool");
+  }
+  x = b.Flatten2d(x, "flatten");
+  x = b.Dropout(x, 0.2f, "head_dropout");
+  TensorId logits = b.Linear(x, config.num_classes, "fc");
+  model.loss = b.CrossEntropy(logits, model.labels, "loss");
+
+  RETURN_IF_ERROR(b.status());
+  return internal::FinishModel(std::move(model), config.with_backward);
+}
+
+}  // namespace tsplit::models

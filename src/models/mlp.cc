@@ -1,0 +1,62 @@
+#include "models/builder_util.h"
+#include "models/model.h"
+
+namespace tsplit::models {
+
+Result<Model> BuildMlp(const MlpConfig& config) {
+  Model model;
+  model.name = "MLP";
+  model.input = model.graph.AddTensor(
+      "features", Shape{config.batch, config.input_dim}, TensorKind::kInput);
+  model.labels = model.graph.AddTensor("labels", Shape{config.batch},
+                                       TensorKind::kInput);
+
+  internal::LayerBuilder b(&model);
+  TensorId x = model.input;
+  for (size_t i = 0; i < config.hidden_sizes.size(); ++i) {
+    x = b.Linear(x, config.hidden_sizes[i], "fc" + std::to_string(i + 1));
+    x = b.Relu(x, "relu" + std::to_string(i + 1));
+  }
+  TensorId logits = b.Linear(x, config.num_classes, "head");
+  model.loss = b.CrossEntropy(logits, model.labels, "loss");
+
+  RETURN_IF_ERROR(b.status());
+  return internal::FinishModel(std::move(model), config.with_backward);
+}
+
+Result<Model> BuildByName(const std::string& name, int batch,
+                          double param_scale, bool with_backward) {
+  if (name == "Transformer") {
+    TransformerConfig config;
+    config.batch = batch;
+    config.hidden = std::max(
+        64, static_cast<int>(512 * param_scale) / 64 * 64);
+    config.with_backward = with_backward;
+    return BuildTransformer(config);
+  }
+  if (name == "GPT") {
+    GptConfig config;
+    config.batch = batch;
+    config.hidden = std::max(
+        64, static_cast<int>(512 * param_scale) / 64 * 64);
+    config.with_backward = with_backward;
+    return BuildGpt(config);
+  }
+  CnnConfig config;
+  config.batch = batch;
+  config.channel_scale = param_scale;
+  config.with_backward = with_backward;
+  if (name == "VGG-16") return BuildVgg(16, config);
+  if (name == "VGG-19") return BuildVgg(19, config);
+  if (name == "ResNet-50") return BuildResNet(50, config);
+  if (name == "ResNet-101") return BuildResNet(101, config);
+  if (name == "Inception-V4") return BuildInceptionV4(config);
+  return Status::NotFound("unknown model " + name);
+}
+
+std::vector<std::string> PaperModelNames() {
+  return {"VGG-16",     "VGG-19",       "ResNet-50",
+          "ResNet-101", "Inception-V4", "Transformer"};
+}
+
+}  // namespace tsplit::models

@@ -1,0 +1,110 @@
+#ifndef TSPLIT_MODELS_MODEL_H_
+#define TSPLIT_MODELS_MODEL_H_
+
+// The benchmark model zoo (paper §VI-A): VGG-16/19, ResNet-50/101,
+// Inception-V4, a Transformer encoder, and BERT-Large for the Fig 1 /
+// Table II analyses. Builders produce a full training graph — forward,
+// loss, and (optionally) the autodiff backward — parameterized by the
+// paper's two scaling knobs: sample scale (batch size) and parameter scale
+// (channel multiplier for CNNs, hidden size for Transformers).
+
+#include <string>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/status.h"
+#include "graph/autodiff.h"
+#include "graph/graph.h"
+
+namespace tsplit::models {
+
+struct Model {
+  std::string name;
+  Graph graph;
+  TensorId input = kInvalidTensor;   // image batch / token ids
+  TensorId labels = kInvalidTensor;
+  TensorId loss = kInvalidTensor;
+  std::vector<TensorId> parameters;
+  AutodiffResult autodiff;  // populated when built with backward
+  bool has_backward = false;
+};
+
+// ------------------------------------------------------------------ CNNs
+
+struct CnnConfig {
+  int batch = 32;
+  int image_size = 224;
+  int num_classes = 1000;
+  // Parameter-scale knob: channel counts multiply by this factor
+  // (paper Table V scales channels proportionally).
+  double channel_scale = 1.0;
+  bool with_backward = true;
+};
+
+Result<Model> BuildVgg(int depth, const CnnConfig& config);     // 16 or 19
+Result<Model> BuildResNet(int depth, const CnnConfig& config);  // 50 or 101
+Result<Model> BuildInceptionV4(const CnnConfig& config);
+
+// ----------------------------------------------------------- Transformer
+
+struct TransformerConfig {
+  int num_layers = 6;
+  int batch = 32;
+  int seq_len = 128;
+  int hidden = 512;       // parameter-scale knob
+  int num_heads = 8;
+  int ffn_mult = 4;
+  int vocab = 32000;
+  float dropout_rate = 0.1f;
+  bool with_backward = true;
+};
+
+Result<Model> BuildTransformer(const TransformerConfig& config);
+
+// BERT-Large (paper Fig 1 / Table II): 24 layers, heads = hidden/64,
+// 4x FFN. `hidden` defaults to 1024.
+Result<Model> BuildBertLarge(int batch, int hidden = 1024, int seq_len = 128,
+                             bool with_backward = true);
+
+// GPT-style causal decoder (pre-LN, causal-masked attention, next-token
+// loss) — the autoregressive counterpart of the paper's Transformer
+// workload (its intro motivates GPT-scale models).
+struct GptConfig {
+  int num_layers = 6;
+  int batch = 16;
+  int seq_len = 128;
+  int hidden = 512;
+  int num_heads = 8;
+  int ffn_mult = 4;
+  int vocab = 32000;
+  bool with_backward = true;
+};
+
+Result<Model> BuildGpt(const GptConfig& config);
+
+// ------------------------------------------------------------------ Misc
+
+// Small MLP (tests / quickstart): `hidden_sizes` fully-connected + ReLU
+// stack ending in a cross-entropy head.
+struct MlpConfig {
+  int batch = 8;
+  int input_dim = 16;
+  std::vector<int> hidden_sizes = {32, 32};
+  int num_classes = 4;
+  bool with_backward = true;
+};
+
+Result<Model> BuildMlp(const MlpConfig& config);
+
+// Builds a model by canonical name ("VGG-16", "ResNet-50", "Inception-V4",
+// "Transformer", ...). Used by bench drivers.
+Result<Model> BuildByName(const std::string& name, int batch,
+                          double param_scale = 1.0,
+                          bool with_backward = true);
+
+// Names BuildByName accepts, in the paper's table order.
+std::vector<std::string> PaperModelNames();
+
+}  // namespace tsplit::models
+
+#endif  // TSPLIT_MODELS_MODEL_H_

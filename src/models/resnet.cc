@@ -1,0 +1,81 @@
+#include "models/builder_util.h"
+#include "models/model.h"
+
+namespace tsplit::models {
+
+namespace {
+
+using internal::LayerBuilder;
+using internal::ScaleChannels;
+
+// Bottleneck residual block: 1x1 reduce -> 3x3 -> 1x1 expand (4x), with a
+// projection shortcut when shape changes.
+TensorId Bottleneck(LayerBuilder* b, TensorId x, int mid_channels, int stride,
+                    const std::string& name) {
+  int out_channels = mid_channels * 4;
+  TensorId shortcut = x;
+  bool project = stride != 1 || b->ShapeOf(x).dim(1) != out_channels;
+  if (project) {
+    shortcut = b->ConvBnRelu(x, out_channels, 1, stride, 0, name + ".proj");
+  }
+  TensorId y = b->ConvBnRelu(x, mid_channels, 1, 1, 0, name + ".a");
+  y = b->ConvBnRelu(y, mid_channels, 3, stride, 1, name + ".b");
+  y = b->ConvBnRelu(y, out_channels, 1, 1, 0, name + ".c");
+  y = b->Add(y, shortcut, name + ".residual");
+  return b->Relu(y, name + ".relu");
+}
+
+}  // namespace
+
+Result<Model> BuildResNet(int depth, const CnnConfig& config) {
+  // Blocks per stage for the two paper variants.
+  int blocks[4];
+  if (depth == 50) {
+    blocks[0] = 3, blocks[1] = 4, blocks[2] = 6, blocks[3] = 3;
+  } else if (depth == 101) {
+    blocks[0] = 3, blocks[1] = 4, blocks[2] = 23, blocks[3] = 3;
+  } else {
+    return Status::InvalidArgument("ResNet depth must be 50 or 101");
+  }
+
+  Model model;
+  model.name = "ResNet-" + std::to_string(depth);
+  model.input = model.graph.AddTensor(
+      "images", Shape{config.batch, 3, config.image_size, config.image_size},
+      TensorKind::kInput);
+  model.labels = model.graph.AddTensor("labels", Shape{config.batch},
+                                       TensorKind::kInput);
+
+  LayerBuilder b(&model);
+  TensorId x = b.ConvBnRelu(model.input,
+                            static_cast<int>(ScaleChannels(
+                                64, config.channel_scale)),
+                            7, 2, 3, "conv1");
+  x = b.MaxPool(x, 3, 2, 1, "pool1");
+
+  const int stage_mid[4] = {64, 128, 256, 512};
+  for (int stage = 0; stage < 4; ++stage) {
+    auto mid = static_cast<int>(
+        ScaleChannels(stage_mid[stage], config.channel_scale));
+    for (int i = 0; i < blocks[stage]; ++i) {
+      int stride = (stage > 0 && i == 0) ? 2 : 1;
+      x = Bottleneck(&b, x, mid, stride,
+                     "res" + std::to_string(stage + 2) + "_" +
+                         std::to_string(i + 1));
+    }
+  }
+
+  // Global average pool over the remaining spatial extent.
+  if (b.status().ok() && x != kInvalidTensor) {
+    const Shape& s = b.ShapeOf(x);
+    x = b.AvgPool(x, static_cast<int>(s.dim(2)), 1, 0, "global_pool");
+  }
+  x = b.Flatten2d(x, "flatten");
+  TensorId logits = b.Linear(x, config.num_classes, "fc");
+  model.loss = b.CrossEntropy(logits, model.labels, "loss");
+
+  RETURN_IF_ERROR(b.status());
+  return internal::FinishModel(std::move(model), config.with_backward);
+}
+
+}  // namespace tsplit::models

@@ -1,0 +1,131 @@
+#include <cmath>
+
+#include "models/builder_util.h"
+#include "models/model.h"
+#include "ops/embedding.h"
+
+namespace tsplit::models {
+
+namespace {
+
+using internal::LayerBuilder;
+
+// One post-LN encoder layer over x[B*S, H]. The attention internals use
+// real Transpose ops (head reshuffles) and batched matmuls, so the graph
+// carries the [B*nh, S, S] attention-score tensors that dominate
+// transformer memory at long sequence lengths.
+TensorId EncoderLayer(LayerBuilder* b, TensorId x,
+                      const TransformerConfig& cfg,
+                      const std::string& name) {
+  const int64_t batch = cfg.batch, seq = cfg.seq_len, hidden = cfg.hidden;
+  const int64_t heads = cfg.num_heads, head_dim = hidden / heads;
+
+  // --- Self-attention ---
+  TensorId q = b->Linear(x, static_cast<int>(hidden), name + ".q");
+  TensorId k = b->Linear(x, static_cast<int>(hidden), name + ".k");
+  TensorId v = b->Linear(x, static_cast<int>(hidden), name + ".v");
+
+  // [B*S, H] -> [B, S, nh, dh] -> [B, nh, S, dh] -> [B*nh, S, dh].
+  auto to_heads = [&](TensorId t, const std::string& tag) {
+    TensorId r =
+        b->Reshape(t, Shape{batch, seq, heads, head_dim}, name + tag + ".r1");
+    TensorId p = b->Emit(std::make_unique<ops::TransposeOp>(
+                             std::vector<int>{0, 2, 1, 3}),
+                         name + tag + ".perm", {r});
+    return b->Reshape(p, Shape{batch * heads, seq, head_dim},
+                      name + tag + ".r2");
+  };
+  TensorId qh = to_heads(q, ".qh");
+  TensorId kh = to_heads(k, ".kh");
+  TensorId vh = to_heads(v, ".vh");
+
+  // scores[B*nh, S, S] = (Q K^T) / sqrt(dh).
+  TensorId scores = b->Emit(std::make_unique<ops::MatMulOp>(false, true),
+                            name + ".scores", {qh, kh});
+  scores = b->Emit(std::make_unique<ops::ScaleOp>(
+                       1.0f / std::sqrt(static_cast<float>(head_dim))),
+                   name + ".scale", {scores});
+  TensorId probs =
+      b->Emit(std::make_unique<ops::SoftmaxOp>(), name + ".softmax", {scores});
+  probs = b->Dropout(probs, cfg.dropout_rate, name + ".attn_drop");
+
+  // context[B*nh, S, dh] -> back to [B*S, H].
+  TensorId context = b->Emit(std::make_unique<ops::MatMulOp>(),
+                             name + ".context", {probs, vh});
+  TensorId cr = b->Reshape(context, Shape{batch, heads, seq, head_dim},
+                           name + ".ctx.r1");
+  TensorId cp = b->Emit(std::make_unique<ops::TransposeOp>(
+                            std::vector<int>{0, 2, 1, 3}),
+                        name + ".ctx.perm", {cr});
+  TensorId ch =
+      b->Reshape(cp, Shape{batch * seq, hidden}, name + ".ctx.r2");
+
+  TensorId attn_out = b->Linear(ch, static_cast<int>(hidden), name + ".o");
+  attn_out = b->Dropout(attn_out, cfg.dropout_rate, name + ".o_drop");
+  TensorId res1 = b->Add(x, attn_out, name + ".res1");
+  TensorId ln1 = b->LayerNorm(res1, name + ".ln1");
+
+  // --- Feed-forward ---
+  TensorId ff = b->Linear(ln1, static_cast<int>(hidden) * cfg.ffn_mult,
+                          name + ".ffn1");
+  ff = b->Gelu(ff, name + ".gelu");
+  ff = b->Linear(ff, static_cast<int>(hidden), name + ".ffn2");
+  ff = b->Dropout(ff, cfg.dropout_rate, name + ".ffn_drop");
+  TensorId res2 = b->Add(ln1, ff, name + ".res2");
+  return b->LayerNorm(res2, name + ".ln2");
+}
+
+}  // namespace
+
+Result<Model> BuildTransformer(const TransformerConfig& config) {
+  if (config.hidden % config.num_heads != 0) {
+    return Status::InvalidArgument("hidden must divide evenly into heads");
+  }
+  Model model;
+  model.name = "Transformer";
+  model.input = model.graph.AddTensor(
+      "token_ids", Shape{config.batch, config.seq_len}, TensorKind::kInput);
+  model.labels = model.graph.AddTensor(
+      "labels", Shape{static_cast<int64_t>(config.batch) * config.seq_len},
+      TensorKind::kInput);
+
+  LayerBuilder b(&model);
+  TensorId table =
+      b.Param("embedding.table", Shape{config.vocab, config.hidden});
+  TensorId emb = b.Emit(std::make_unique<ops::EmbeddingOp>(), "embedding",
+                        {table, model.input});
+  TensorId x = b.Reshape(
+      emb,
+      Shape{static_cast<int64_t>(config.batch) * config.seq_len,
+            config.hidden},
+      "embedding.flat");
+  x = b.Dropout(x, config.dropout_rate, "embedding.drop");
+
+  for (int layer = 0; layer < config.num_layers; ++layer) {
+    x = EncoderLayer(&b, x, config, "layer" + std::to_string(layer));
+  }
+
+  TensorId logits = b.Linear(x, config.vocab, "lm_head");
+  model.loss = b.CrossEntropy(logits, model.labels, "loss");
+
+  RETURN_IF_ERROR(b.status());
+  return internal::FinishModel(std::move(model), config.with_backward);
+}
+
+Result<Model> BuildBertLarge(int batch, int hidden, int seq_len,
+                             bool with_backward) {
+  TransformerConfig config;
+  config.num_layers = 24;
+  config.batch = batch;
+  config.seq_len = seq_len;
+  config.hidden = hidden;
+  config.num_heads = std::max(1, hidden / 64);
+  config.ffn_mult = 4;
+  config.vocab = 30522;  // BERT WordPiece vocabulary
+  config.with_backward = with_backward;
+  ASSIGN_OR_RETURN(Model model, BuildTransformer(config));
+  model.name = "BERT-Large";
+  return model;
+}
+
+}  // namespace tsplit::models

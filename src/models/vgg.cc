@@ -1,0 +1,58 @@
+#include "models/builder_util.h"
+#include "models/model.h"
+
+namespace tsplit::models {
+
+namespace {
+
+using internal::LayerBuilder;
+using internal::ScaleChannels;
+
+// VGG configuration strings: number of 3x3 convs per stage before each
+// 2x2 max pool. Channels per stage: 64, 128, 256, 512, 512.
+const int kVgg16Stages[5] = {2, 2, 3, 3, 3};
+const int kVgg19Stages[5] = {2, 2, 4, 4, 4};
+const int kStageChannels[5] = {64, 128, 256, 512, 512};
+
+}  // namespace
+
+Result<Model> BuildVgg(int depth, const CnnConfig& config) {
+  if (depth != 16 && depth != 19) {
+    return Status::InvalidArgument("VGG depth must be 16 or 19");
+  }
+  const int* stages = depth == 16 ? kVgg16Stages : kVgg19Stages;
+
+  Model model;
+  model.name = "VGG-" + std::to_string(depth);
+  model.input = model.graph.AddTensor(
+      "images", Shape{config.batch, 3, config.image_size, config.image_size},
+      TensorKind::kInput);
+  model.labels = model.graph.AddTensor("labels", Shape{config.batch},
+                                       TensorKind::kInput);
+
+  LayerBuilder b(&model);
+  TensorId x = model.input;
+  for (int stage = 0; stage < 5; ++stage) {
+    auto channels = static_cast<int>(
+        ScaleChannels(kStageChannels[stage], config.channel_scale));
+    for (int i = 0; i < stages[stage]; ++i) {
+      std::string name =
+          "conv" + std::to_string(stage + 1) + "_" + std::to_string(i + 1);
+      TensorId conv = b.Conv(x, channels, 3, 1, 1, name);
+      x = b.Relu(conv, name + ".relu");
+    }
+    x = b.MaxPool(x, 2, 2, 0, "pool" + std::to_string(stage + 1));
+  }
+
+  x = b.Flatten2d(x, "flatten");
+  auto fc_dim = static_cast<int>(ScaleChannels(4096, config.channel_scale));
+  x = b.Relu(b.Linear(x, fc_dim, "fc6"), "fc6.relu");
+  x = b.Relu(b.Linear(x, fc_dim, "fc7"), "fc7.relu");
+  TensorId logits = b.Linear(x, config.num_classes, "fc8");
+  model.loss = b.CrossEntropy(logits, model.labels, "loss");
+
+  RETURN_IF_ERROR(b.status());
+  return internal::FinishModel(std::move(model), config.with_backward);
+}
+
+}  // namespace tsplit::models

@@ -1,0 +1,188 @@
+#include "ops/batchnorm.h"
+
+#include <cmath>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tsplit::ops {
+
+namespace {
+
+// Channel statistics over (N, H, W).
+struct ChannelStats {
+  std::vector<double> mean;
+  std::vector<double> invstd;
+};
+
+ChannelStats ComputeStats(const Tensor& x) {
+  const int64_t n = x.shape().dim(0), c = x.shape().dim(1);
+  const int64_t h = x.shape().dim(2), w = x.shape().dim(3);
+  const double count = static_cast<double>(n * h * w);
+  ChannelStats stats;
+  stats.mean.assign(static_cast<size_t>(c), 0.0);
+  stats.invstd.assign(static_cast<size_t>(c), 0.0);
+  for (int64_t ic = 0; ic < c; ++ic) {
+    double sum = 0, sq = 0;
+    for (int64_t in = 0; in < n; ++in) {
+      for (int64_t i = 0; i < h; ++i) {
+        for (int64_t j = 0; j < w; ++j) {
+          double v = x.at4(in, ic, i, j);
+          sum += v;
+          sq += v * v;
+        }
+      }
+    }
+    double mean = sum / count;
+    double var = sq / count - mean * mean;
+    stats.mean[static_cast<size_t>(ic)] = mean;
+    stats.invstd[static_cast<size_t>(ic)] =
+        1.0 / std::sqrt(var + kBatchNormEpsilon);
+  }
+  return stats;
+}
+
+}  // namespace
+
+Result<std::vector<Shape>> BatchNorm2dOp::InferShapes(
+    const std::vector<Shape>& inputs) const {
+  if (inputs.size() != 3) {
+    return Status::InvalidArgument("BatchNorm2d expects (x, gamma, beta)");
+  }
+  const Shape& x = inputs[0];
+  if (x.rank() != 4) {
+    return Status::InvalidArgument("BatchNorm2d expects rank-4 x");
+  }
+  for (int i : {1, 2}) {
+    if (inputs[static_cast<size_t>(i)].rank() != 1 ||
+        inputs[static_cast<size_t>(i)].dim(0) != x.dim(1)) {
+      return Status::InvalidArgument("BatchNorm2d scale/shift shape mismatch");
+    }
+  }
+  return std::vector<Shape>{x};
+}
+
+double BatchNorm2dOp::Flops(const std::vector<Shape>& /*inputs*/,
+                            const std::vector<Shape>& outputs) const {
+  // Two passes: stats + normalize.
+  return 8.0 * static_cast<double>(outputs[0].num_elements());
+}
+
+Status BatchNorm2dOp::Compute(const std::vector<const Tensor*>& inputs,
+                              const std::vector<Tensor*>& outputs) const {
+  const Tensor& x = *inputs[0];
+  const Tensor& gamma = *inputs[1];
+  const Tensor& beta = *inputs[2];
+  Tensor& y = *outputs[0];
+  ChannelStats stats = ComputeStats(x);
+  const int64_t n = x.shape().dim(0), c = x.shape().dim(1);
+  const int64_t h = x.shape().dim(2), w = x.shape().dim(3);
+  for (int64_t in = 0; in < n; ++in) {
+    for (int64_t ic = 0; ic < c; ++ic) {
+      float m = static_cast<float>(stats.mean[static_cast<size_t>(ic)]);
+      float is = static_cast<float>(stats.invstd[static_cast<size_t>(ic)]);
+      float g = gamma.at(ic), b = beta.at(ic);
+      for (int64_t i = 0; i < h; ++i) {
+        for (int64_t j = 0; j < w; ++j) {
+          y.at4(in, ic, i, j) = g * (x.at4(in, ic, i, j) - m) * is + b;
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<SplitRule> BatchNorm2dOp::split_rules(
+    const std::vector<Shape>& /*inputs*/,
+    const std::vector<Shape>& /*outputs*/) const {
+  // Only the channel axis is exact: per-channel stats are independent.
+  return {SplitRule{1, {1, 0, 0}, MergeKind::kConcat}};
+}
+
+Status BatchNorm2dOp::BuildGradient(GradContext* ctx) const {
+  ASSIGN_OR_RETURN(
+      std::vector<TensorId> grads,
+      ctx->graph->AddOp(
+          std::make_unique<BatchNorm2dGradOp>(), "d_bn",
+          {ctx->inputs[0], ctx->inputs[1], ctx->grad_outputs[0]},
+          TensorKind::kGradient));
+  ctx->grad_inputs[0] = grads[0];
+  ctx->grad_inputs[1] = grads[1];
+  ctx->grad_inputs[2] = grads[2];
+  return Status::OK();
+}
+
+Result<std::vector<Shape>> BatchNorm2dGradOp::InferShapes(
+    const std::vector<Shape>& inputs) const {
+  if (inputs.size() != 3) {
+    return Status::InvalidArgument("BatchNorm2dGrad expects (x, gamma, dy)");
+  }
+  const Shape& x = inputs[0];
+  Shape per_channel{x.dim(1)};
+  return std::vector<Shape>{x, per_channel, per_channel};
+}
+
+double BatchNorm2dGradOp::Flops(const std::vector<Shape>& inputs,
+                                const std::vector<Shape>& /*outputs*/) const {
+  return 12.0 * static_cast<double>(inputs[0].num_elements());
+}
+
+Status BatchNorm2dGradOp::Compute(const std::vector<const Tensor*>& inputs,
+                                  const std::vector<Tensor*>& outputs) const {
+  const Tensor& x = *inputs[0];
+  const Tensor& gamma = *inputs[1];
+  const Tensor& dy = *inputs[2];
+  Tensor& dx = *outputs[0];
+  Tensor& dgamma = *outputs[1];
+  Tensor& dbeta = *outputs[2];
+
+  ChannelStats stats = ComputeStats(x);
+  const int64_t n = x.shape().dim(0), c = x.shape().dim(1);
+  const int64_t h = x.shape().dim(2), w = x.shape().dim(3);
+  const double count = static_cast<double>(n * h * w);
+
+  for (int64_t ic = 0; ic < c; ++ic) {
+    double mean = stats.mean[static_cast<size_t>(ic)];
+    double invstd = stats.invstd[static_cast<size_t>(ic)];
+    // First pass: sum(dy) and sum(dy * xhat).
+    double sum_dy = 0, sum_dy_xhat = 0;
+    for (int64_t in = 0; in < n; ++in) {
+      for (int64_t i = 0; i < h; ++i) {
+        for (int64_t j = 0; j < w; ++j) {
+          double g = dy.at4(in, ic, i, j);
+          double xhat = (x.at4(in, ic, i, j) - mean) * invstd;
+          sum_dy += g;
+          sum_dy_xhat += g * xhat;
+        }
+      }
+    }
+    dbeta.at(ic) = static_cast<float>(sum_dy);
+    dgamma.at(ic) = static_cast<float>(sum_dy_xhat);
+    // Second pass: dx.
+    double gm = gamma.at(ic);
+    for (int64_t in = 0; in < n; ++in) {
+      for (int64_t i = 0; i < h; ++i) {
+        for (int64_t j = 0; j < w; ++j) {
+          double g = dy.at4(in, ic, i, j);
+          double xhat = (x.at4(in, ic, i, j) - mean) * invstd;
+          dx.at4(in, ic, i, j) = static_cast<float>(
+              gm * invstd *
+              (g - sum_dy / count - xhat * sum_dy_xhat / count));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<SplitRule> BatchNorm2dGradOp::split_rules(
+    const std::vector<Shape>& /*inputs*/,
+    const std::vector<Shape>& /*outputs*/) const {
+  // Splitting dx along channels slices x, gamma, dy consistently; the
+  // per-channel outputs (dgamma/dbeta) follow the same channel partition,
+  // which our rewriter only exploits for the primary output — so expose the
+  // channel rule for output 0 only.
+  return {SplitRule{1, {1, 0, 1}, MergeKind::kConcat}};
+}
+
+}  // namespace tsplit::ops

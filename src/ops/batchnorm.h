@@ -1,0 +1,54 @@
+#ifndef TSPLIT_OPS_BATCHNORM_H_
+#define TSPLIT_OPS_BATCHNORM_H_
+
+// Batch normalization over NCHW feature maps. Statistics couple the whole
+// batch, so BN is NOT splittable along the sample axis (the paper's merge
+// requirement, §V-A); the channel axis splits exactly. The backward op
+// recomputes mean / inv-std from x, keeping the graph free of tiny saved-
+// stat tensors.
+
+#include "graph/op.h"
+
+namespace tsplit::ops {
+
+inline constexpr float kBatchNormEpsilon = 1e-5f;
+
+// y = gamma * (x - mean_c) * invstd_c + beta; inputs (x, gamma, beta).
+class BatchNorm2dOp : public Op {
+ public:
+  std::string type_name() const override { return "BatchNorm2d"; }
+  OpCategory category() const override { return OpCategory::kBatchNorm; }
+
+  Result<std::vector<Shape>> InferShapes(
+      const std::vector<Shape>& inputs) const override;
+  double Flops(const std::vector<Shape>& inputs,
+               const std::vector<Shape>& outputs) const override;
+  Status Compute(const std::vector<const Tensor*>& inputs,
+                 const std::vector<Tensor*>& outputs) const override;
+  std::vector<SplitRule> split_rules(
+      const std::vector<Shape>& inputs,
+      const std::vector<Shape>& outputs) const override;
+  Status BuildGradient(GradContext* ctx) const override;
+};
+
+// (dx, dgamma, dbeta) = bn_grad(x, gamma, dy).
+class BatchNorm2dGradOp : public Op {
+ public:
+  std::string type_name() const override { return "BatchNorm2dGrad"; }
+  OpCategory category() const override { return OpCategory::kBatchNorm; }
+  bool is_backward() const override { return true; }
+
+  Result<std::vector<Shape>> InferShapes(
+      const std::vector<Shape>& inputs) const override;
+  double Flops(const std::vector<Shape>& inputs,
+               const std::vector<Shape>& outputs) const override;
+  Status Compute(const std::vector<const Tensor*>& inputs,
+                 const std::vector<Tensor*>& outputs) const override;
+  std::vector<SplitRule> split_rules(
+      const std::vector<Shape>& inputs,
+      const std::vector<Shape>& outputs) const override;
+};
+
+}  // namespace tsplit::ops
+
+#endif  // TSPLIT_OPS_BATCHNORM_H_

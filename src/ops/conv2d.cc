@@ -1,0 +1,288 @@
+#include "ops/conv2d.h"
+
+#include "graph/graph.h"
+
+namespace tsplit::ops {
+
+namespace {
+
+int64_t OutExtent(int64_t in, int kernel, const ConvConfig& cfg) {
+  return (in + 2 * cfg.padding - kernel) / cfg.stride + 1;
+}
+
+// Per-sample im2col scratch: the implicit-GEMM lowering cuDNN commonly
+// picks. Splitting the channel or sample dimension shrinks this (§III-A).
+size_t Im2ColBytes(int64_t c, int64_t kh, int64_t kw, int64_t oh,
+                   int64_t ow) {
+  return static_cast<size_t>(c * kh * kw * oh * ow) * 4;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- Conv2d
+
+Result<std::vector<Shape>> Conv2dOp::InferShapes(
+    const std::vector<Shape>& inputs) const {
+  if (inputs.size() != 2) {
+    return Status::InvalidArgument("Conv2d expects (x, w)");
+  }
+  const Shape& x = inputs[0];
+  const Shape& w = inputs[1];
+  if (x.rank() != 4 || w.rank() != 4) {
+    return Status::InvalidArgument("Conv2d expects rank-4 tensors");
+  }
+  if (x.dim(1) != w.dim(1)) {
+    return Status::InvalidArgument("Conv2d channel mismatch: x " +
+                                   x.ToString() + " vs w " + w.ToString());
+  }
+  int64_t oh = OutExtent(x.dim(2), static_cast<int>(w.dim(2)), config_);
+  int64_t ow = OutExtent(x.dim(3), static_cast<int>(w.dim(3)), config_);
+  if (oh < 1 || ow < 1) {
+    return Status::InvalidArgument("Conv2d output collapsed to zero");
+  }
+  return std::vector<Shape>{Shape{x.dim(0), w.dim(0), oh, ow}};
+}
+
+double Conv2dOp::Flops(const std::vector<Shape>& inputs,
+                       const std::vector<Shape>& outputs) const {
+  const Shape& w = inputs[1];
+  const Shape& y = outputs[0];
+  // 2 * N*F*OH*OW * C*KH*KW multiply-adds.
+  return 2.0 * y.num_elements() *
+         static_cast<double>(w.dim(1) * w.dim(2) * w.dim(3));
+}
+
+size_t Conv2dOp::WorkspaceBytes(const std::vector<Shape>& inputs,
+                                const std::vector<Shape>& outputs) const {
+  const Shape& w = inputs[1];
+  const Shape& y = outputs[0];
+  return Im2ColBytes(w.dim(1), w.dim(2), w.dim(3), y.dim(2), y.dim(3));
+}
+
+Status Conv2dOp::Compute(const std::vector<const Tensor*>& inputs,
+                         const std::vector<Tensor*>& outputs) const {
+  const Tensor& x = *inputs[0];
+  const Tensor& w = *inputs[1];
+  Tensor& y = *outputs[0];
+  const int64_t n = x.shape().dim(0), c = x.shape().dim(1);
+  const int64_t h = x.shape().dim(2), wd = x.shape().dim(3);
+  const int64_t f = w.shape().dim(0), kh = w.shape().dim(2),
+                kw = w.shape().dim(3);
+  const int64_t oh = y.shape().dim(2), ow = y.shape().dim(3);
+  const int s = config_.stride, p = config_.padding;
+
+  for (int64_t in = 0; in < n; ++in) {
+    for (int64_t of = 0; of < f; ++of) {
+      for (int64_t i = 0; i < oh; ++i) {
+        for (int64_t j = 0; j < ow; ++j) {
+          float acc = 0;
+          for (int64_t ic = 0; ic < c; ++ic) {
+            for (int64_t ki = 0; ki < kh; ++ki) {
+              int64_t hi = i * s - p + ki;
+              if (hi < 0 || hi >= h) continue;
+              for (int64_t kj = 0; kj < kw; ++kj) {
+                int64_t wi = j * s - p + kj;
+                if (wi < 0 || wi >= wd) continue;
+                acc += x.at4(in, ic, hi, wi) * w.at4(of, ic, ki, kj);
+              }
+            }
+          }
+          y.at4(in, of, i, j) = acc;
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<SplitRule> Conv2dOp::split_rules(
+    const std::vector<Shape>& /*inputs*/,
+    const std::vector<Shape>& /*outputs*/) const {
+  return {
+      // Sample split: slice x along N, replicate weights.
+      SplitRule{0, {0, kReplicateInput}, MergeKind::kConcat},
+      // Output-channel (parameter-dimension) split: slice w along F.
+      SplitRule{1, {kReplicateInput, 0}, MergeKind::kConcat},
+  };
+}
+
+Status Conv2dOp::BuildGradient(GradContext* ctx) const {
+  Graph* g = ctx->graph;
+  TensorId x = ctx->inputs[0];
+  TensorId w = ctx->inputs[1];
+  TensorId dy = ctx->grad_outputs[0];
+
+  // Emit the filter gradient FIRST: the DFS scheduler then retires this
+  // terminal branch (and releases dy / x) before diving down the d_conv_x
+  // chain, instead of piling up every layer's dy until the end.
+  ASSIGN_OR_RETURN(
+      std::vector<TensorId> dw,
+      g->AddOp(std::make_unique<Conv2dGradFilterOp>(config_,
+                                                    g->tensor(w).shape),
+               "d_conv_w", {x, dy}, TensorKind::kGradient));
+  ctx->grad_inputs[1] = dw[0];
+
+  ASSIGN_OR_RETURN(
+      std::vector<TensorId> dx,
+      g->AddOp(std::make_unique<Conv2dGradInputOp>(config_,
+                                                   g->tensor(x).shape),
+               "d_conv_x", {w, dy}, TensorKind::kGradient));
+  ctx->grad_inputs[0] = dx[0];
+  return Status::OK();
+}
+
+// ------------------------------------------------------ Conv2dGradInput
+
+Result<std::vector<Shape>> Conv2dGradInputOp::InferShapes(
+    const std::vector<Shape>& inputs) const {
+  if (inputs.size() != 2) {
+    return Status::InvalidArgument("Conv2dGradInput expects (w, dy)");
+  }
+  return std::vector<Shape>{input_shape_};
+}
+
+double Conv2dGradInputOp::Flops(const std::vector<Shape>& inputs,
+                                const std::vector<Shape>& /*outputs*/) const {
+  const Shape& w = inputs[0];
+  const Shape& dy = inputs[1];
+  return 2.0 * dy.num_elements() *
+         static_cast<double>(w.dim(1) * w.dim(2) * w.dim(3));
+}
+
+size_t Conv2dGradInputOp::WorkspaceBytes(
+    const std::vector<Shape>& inputs,
+    const std::vector<Shape>& /*outputs*/) const {
+  const Shape& w = inputs[0];
+  const Shape& dy = inputs[1];
+  return Im2ColBytes(w.dim(1), w.dim(2), w.dim(3), dy.dim(2), dy.dim(3));
+}
+
+Status Conv2dGradInputOp::Compute(const std::vector<const Tensor*>& inputs,
+                                  const std::vector<Tensor*>& outputs) const {
+  const Tensor& w = *inputs[0];
+  const Tensor& dy = *inputs[1];
+  Tensor& dx = *outputs[0];
+  dx.Fill(0.0f);
+  const int64_t n = dx.shape().dim(0), c = dx.shape().dim(1);
+  const int64_t h = dx.shape().dim(2), wd = dx.shape().dim(3);
+  const int64_t f = w.shape().dim(0), kh = w.shape().dim(2),
+                kw = w.shape().dim(3);
+  const int64_t oh = dy.shape().dim(2), ow = dy.shape().dim(3);
+  const int s = config_.stride, p = config_.padding;
+
+  for (int64_t in = 0; in < n; ++in) {
+    for (int64_t of = 0; of < f; ++of) {
+      for (int64_t i = 0; i < oh; ++i) {
+        for (int64_t j = 0; j < ow; ++j) {
+          float g = dy.at4(in, of, i, j);
+          if (g == 0.0f) continue;
+          for (int64_t ic = 0; ic < c; ++ic) {
+            for (int64_t ki = 0; ki < kh; ++ki) {
+              int64_t hi = i * s - p + ki;
+              if (hi < 0 || hi >= h) continue;
+              for (int64_t kj = 0; kj < kw; ++kj) {
+                int64_t wi = j * s - p + kj;
+                if (wi < 0 || wi >= wd) continue;
+                dx.at4(in, ic, hi, wi) += g * w.at4(of, ic, ki, kj);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<SplitRule> Conv2dGradInputOp::split_rules(
+    const std::vector<Shape>& /*inputs*/,
+    const std::vector<Shape>& /*outputs*/) const {
+  return {
+      // dx sample split: replicate w, slice dy along N.
+      SplitRule{0, {kReplicateInput, 0}, MergeKind::kConcat},
+      // dx input-channel split: slice w along its C axis, replicate dy.
+      SplitRule{1, {1, kReplicateInput}, MergeKind::kConcat},
+  };
+}
+
+// ----------------------------------------------------- Conv2dGradFilter
+
+Result<std::vector<Shape>> Conv2dGradFilterOp::InferShapes(
+    const std::vector<Shape>& inputs) const {
+  if (inputs.size() != 2) {
+    return Status::InvalidArgument("Conv2dGradFilter expects (x, dy)");
+  }
+  return std::vector<Shape>{filter_shape_};
+}
+
+double Conv2dGradFilterOp::Flops(const std::vector<Shape>& inputs,
+                                 const std::vector<Shape>& outputs) const {
+  const Shape& dy = inputs[1];
+  const Shape& dw = outputs[0];
+  return 2.0 * dy.num_elements() *
+         static_cast<double>(dw.dim(1) * dw.dim(2) * dw.dim(3));
+}
+
+size_t Conv2dGradFilterOp::WorkspaceBytes(
+    const std::vector<Shape>& inputs,
+    const std::vector<Shape>& /*outputs*/) const {
+  const Shape& dy = inputs[1];
+  return Im2ColBytes(filter_shape_.dim(1), filter_shape_.dim(2),
+                     filter_shape_.dim(3), dy.dim(2), dy.dim(3));
+}
+
+Status Conv2dGradFilterOp::Compute(
+    const std::vector<const Tensor*>& inputs,
+    const std::vector<Tensor*>& outputs) const {
+  const Tensor& x = *inputs[0];
+  const Tensor& dy = *inputs[1];
+  Tensor& dw = *outputs[0];
+  dw.Fill(0.0f);
+  const int64_t n = x.shape().dim(0), c = x.shape().dim(1);
+  const int64_t h = x.shape().dim(2), wd = x.shape().dim(3);
+  const int64_t f = dw.shape().dim(0), kh = dw.shape().dim(2),
+                kw = dw.shape().dim(3);
+  const int64_t oh = dy.shape().dim(2), ow = dy.shape().dim(3);
+  const int s = config_.stride, p = config_.padding;
+
+  for (int64_t in = 0; in < n; ++in) {
+    for (int64_t of = 0; of < f; ++of) {
+      for (int64_t i = 0; i < oh; ++i) {
+        for (int64_t j = 0; j < ow; ++j) {
+          float g = dy.at4(in, of, i, j);
+          if (g == 0.0f) continue;
+          for (int64_t ic = 0; ic < c; ++ic) {
+            for (int64_t ki = 0; ki < kh; ++ki) {
+              int64_t hi = i * s - p + ki;
+              if (hi < 0 || hi >= h) continue;
+              for (int64_t kj = 0; kj < kw; ++kj) {
+                int64_t wi = j * s - p + kj;
+                if (wi < 0 || wi >= wd) continue;
+                dw.at4(of, ic, ki, kj) += g * x.at4(in, ic, hi, wi);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<SplitRule> Conv2dGradFilterOp::split_rules(
+    const std::vector<Shape>& /*inputs*/,
+    const std::vector<Shape>& /*outputs*/) const {
+  return {
+      // dw output-channel split: replicate x, slice dy along F.
+      SplitRule{0, {kReplicateInput, 1}, MergeKind::kConcat},
+      // dw input-channel split: slice x along C, replicate dy.
+      SplitRule{1, {1, kReplicateInput}, MergeKind::kConcat},
+      // Sample-dimension reduction: each micro-op consumes one slice of
+      // (x, dy) along N and produces a full-shaped partial dw, accumulated
+      // element-wise. This is what lets sample-split activations stream
+      // through the filter-gradient op one part at a time.
+      SplitRule{kReduceOutput, {0, 0}, MergeKind::kSum},
+  };
+}
+
+}  // namespace tsplit::ops

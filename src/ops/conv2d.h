@@ -1,0 +1,102 @@
+#ifndef TSPLIT_OPS_CONV2D_H_
+#define TSPLIT_OPS_CONV2D_H_
+
+// 2-D convolution (NCHW) and its two gradients. Forward consumes
+// (x[N,C,H,W], w[F,C,KH,KW]) and produces y[N,F,OH,OW]. Convs dominate CNN
+// training cost and produce the largest feature maps, which is why every
+// baseline policy treats them specially (vDNN swaps conv inputs,
+// SuperNeurons swaps conv outputs) and why TSPLIT's sample/channel splits
+// pay off most here.
+
+#include "graph/op.h"
+
+namespace tsplit::ops {
+
+struct ConvConfig {
+  int stride = 1;
+  int padding = 0;
+};
+
+class Conv2dOp : public Op {
+ public:
+  explicit Conv2dOp(ConvConfig config) : config_(config) {}
+
+  std::string type_name() const override { return "Conv2d"; }
+  OpCategory category() const override { return OpCategory::kConv; }
+
+  Result<std::vector<Shape>> InferShapes(
+      const std::vector<Shape>& inputs) const override;
+  double Flops(const std::vector<Shape>& inputs,
+               const std::vector<Shape>& outputs) const override;
+  size_t WorkspaceBytes(const std::vector<Shape>& inputs,
+                        const std::vector<Shape>& outputs) const override;
+  Status Compute(const std::vector<const Tensor*>& inputs,
+                 const std::vector<Tensor*>& outputs) const override;
+  std::vector<SplitRule> split_rules(
+      const std::vector<Shape>& inputs,
+      const std::vector<Shape>& outputs) const override;
+  Status BuildGradient(GradContext* ctx) const override;
+
+  const ConvConfig& config() const { return config_; }
+
+ private:
+  ConvConfig config_;
+};
+
+// dx = conv_grad_input(w, dy).
+class Conv2dGradInputOp : public Op {
+ public:
+  Conv2dGradInputOp(ConvConfig config, Shape input_shape)
+      : config_(config), input_shape_(std::move(input_shape)) {}
+
+  std::string type_name() const override { return "Conv2dGradInput"; }
+  OpCategory category() const override { return OpCategory::kConv; }
+  bool is_backward() const override { return true; }
+
+  Result<std::vector<Shape>> InferShapes(
+      const std::vector<Shape>& inputs) const override;
+  double Flops(const std::vector<Shape>& inputs,
+               const std::vector<Shape>& outputs) const override;
+  size_t WorkspaceBytes(const std::vector<Shape>& inputs,
+                        const std::vector<Shape>& outputs) const override;
+  Status Compute(const std::vector<const Tensor*>& inputs,
+                 const std::vector<Tensor*>& outputs) const override;
+  std::vector<SplitRule> split_rules(
+      const std::vector<Shape>& inputs,
+      const std::vector<Shape>& outputs) const override;
+
+ private:
+  ConvConfig config_;
+  Shape input_shape_;
+};
+
+// dw = conv_grad_filter(x, dy).
+class Conv2dGradFilterOp : public Op {
+ public:
+  Conv2dGradFilterOp(ConvConfig config, Shape filter_shape)
+      : config_(config), filter_shape_(std::move(filter_shape)) {}
+
+  std::string type_name() const override { return "Conv2dGradFilter"; }
+  OpCategory category() const override { return OpCategory::kConv; }
+  bool is_backward() const override { return true; }
+
+  Result<std::vector<Shape>> InferShapes(
+      const std::vector<Shape>& inputs) const override;
+  double Flops(const std::vector<Shape>& inputs,
+               const std::vector<Shape>& outputs) const override;
+  size_t WorkspaceBytes(const std::vector<Shape>& inputs,
+                        const std::vector<Shape>& outputs) const override;
+  Status Compute(const std::vector<const Tensor*>& inputs,
+                 const std::vector<Tensor*>& outputs) const override;
+  std::vector<SplitRule> split_rules(
+      const std::vector<Shape>& inputs,
+      const std::vector<Shape>& outputs) const override;
+
+ private:
+  ConvConfig config_;
+  Shape filter_shape_;
+};
+
+}  // namespace tsplit::ops
+
+#endif  // TSPLIT_OPS_CONV2D_H_

@@ -1,0 +1,228 @@
+#include "ops/data_movement.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/graph.h"
+
+namespace tsplit::ops {
+
+// -------------------------------------------------------------- Reshape
+
+Result<std::vector<Shape>> ReshapeOp::InferShapes(
+    const std::vector<Shape>& inputs) const {
+  if (inputs.size() != 1) {
+    return Status::InvalidArgument("Reshape expects one input");
+  }
+  if (inputs[0].num_elements() != target_.num_elements()) {
+    return Status::InvalidArgument("Reshape element count mismatch: " +
+                                   inputs[0].ToString() + " -> " +
+                                   target_.ToString());
+  }
+  return std::vector<Shape>{target_};
+}
+
+double ReshapeOp::Flops(const std::vector<Shape>& /*inputs*/,
+                        const std::vector<Shape>& /*outputs*/) const {
+  return 0.0;  // pure view
+}
+
+double ReshapeOp::BytesTouched(const std::vector<Shape>& /*inputs*/,
+                               const std::vector<Shape>& /*outputs*/) const {
+  return 0.0;  // pure view
+}
+
+Status ReshapeOp::Compute(const std::vector<const Tensor*>& inputs,
+                          const std::vector<Tensor*>& outputs) const {
+  // Functional executor materializes views as copies (host memory is not
+  // the constrained resource).
+  outputs[0]->vec() = inputs[0]->vec();
+  return Status::OK();
+}
+
+Status ReshapeOp::BuildGradient(GradContext* ctx) const {
+  const Shape& input_shape = ctx->graph->tensor(ctx->inputs[0]).shape;
+  ASSIGN_OR_RETURN(
+      std::vector<TensorId> dx,
+      ctx->graph->AddOp(std::make_unique<ReshapeOp>(input_shape), "d_reshape",
+                        {ctx->grad_outputs[0]}, TensorKind::kGradient));
+  ctx->grad_inputs[0] = dx[0];
+  return Status::OK();
+}
+
+// ------------------------------------------------------------ Transpose
+
+Result<std::vector<Shape>> TransposeOp::InferShapes(
+    const std::vector<Shape>& inputs) const {
+  if (inputs.size() != 1) {
+    return Status::InvalidArgument("Transpose expects one input");
+  }
+  const Shape& x = inputs[0];
+  if (static_cast<int>(perm_.size()) != x.rank()) {
+    return Status::InvalidArgument("Transpose perm rank mismatch");
+  }
+  std::vector<bool> seen(perm_.size(), false);
+  std::vector<int64_t> dims(perm_.size());
+  for (size_t i = 0; i < perm_.size(); ++i) {
+    int p = perm_[i];
+    if (p < 0 || p >= x.rank() || seen[static_cast<size_t>(p)]) {
+      return Status::InvalidArgument("Transpose perm is not a permutation");
+    }
+    seen[static_cast<size_t>(p)] = true;
+    dims[i] = x.dim(p);
+  }
+  return std::vector<Shape>{Shape(std::move(dims))};
+}
+
+double TransposeOp::Flops(const std::vector<Shape>& /*inputs*/,
+                          const std::vector<Shape>& /*outputs*/) const {
+  return 0.0;  // memory-bound; BytesTouched drives the timing model
+}
+
+Status TransposeOp::Compute(const std::vector<const Tensor*>& inputs,
+                            const std::vector<Tensor*>& outputs) const {
+  const Tensor& x = *inputs[0];
+  Tensor& y = *outputs[0];
+  const Shape& in = x.shape();
+  const Shape& out = y.shape();
+  const int rank = in.rank();
+
+  std::vector<int64_t> in_strides(static_cast<size_t>(rank), 1);
+  for (int a = rank - 2; a >= 0; --a) {
+    in_strides[static_cast<size_t>(a)] =
+        in_strides[static_cast<size_t>(a + 1)] * in.dim(a + 1);
+  }
+  std::vector<int64_t> idx(static_cast<size_t>(rank), 0);
+  for (int64_t o = 0; o < y.num_elements(); ++o) {
+    int64_t src = 0;
+    for (int a = 0; a < rank; ++a) {
+      src += idx[static_cast<size_t>(a)] *
+             in_strides[static_cast<size_t>(perm_[static_cast<size_t>(a)])];
+    }
+    y.at(o) = x.at(src);
+    // Advance the output multi-index (row-major).
+    for (int a = rank - 1; a >= 0; --a) {
+      if (++idx[static_cast<size_t>(a)] < out.dim(a)) break;
+      idx[static_cast<size_t>(a)] = 0;
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<SplitRule> TransposeOp::split_rules(
+    const std::vector<Shape>& /*inputs*/,
+    const std::vector<Shape>& outputs) const {
+  std::vector<SplitRule> rules;
+  for (int axis = 0; axis < outputs[0].rank(); ++axis) {
+    rules.push_back(SplitRule{
+        axis, {perm_[static_cast<size_t>(axis)]}, MergeKind::kConcat});
+  }
+  return rules;
+}
+
+Status TransposeOp::BuildGradient(GradContext* ctx) const {
+  std::vector<int> inverse(perm_.size());
+  for (size_t i = 0; i < perm_.size(); ++i) {
+    inverse[static_cast<size_t>(perm_[i])] = static_cast<int>(i);
+  }
+  ASSIGN_OR_RETURN(
+      std::vector<TensorId> dx,
+      ctx->graph->AddOp(std::make_unique<TransposeOp>(std::move(inverse)),
+                        "d_transpose", {ctx->grad_outputs[0]},
+                        TensorKind::kGradient));
+  ctx->grad_inputs[0] = dx[0];
+  return Status::OK();
+}
+
+// --------------------------------------------------------------- Concat
+
+Result<std::vector<Shape>> ConcatOp::InferShapes(
+    const std::vector<Shape>& inputs) const {
+  if (inputs.empty()) {
+    return Status::InvalidArgument("Concat expects at least one input");
+  }
+  const Shape& first = inputs[0];
+  if (axis_ < 0 || axis_ >= first.rank()) {
+    return Status::InvalidArgument("Concat axis out of range");
+  }
+  int64_t total = 0;
+  for (const Shape& s : inputs) {
+    if (s.rank() != first.rank()) {
+      return Status::InvalidArgument("Concat rank mismatch");
+    }
+    for (int a = 0; a < s.rank(); ++a) {
+      if (a != axis_ && s.dim(a) != first.dim(a)) {
+        return Status::InvalidArgument("Concat shape mismatch on axis " +
+                                       std::to_string(a));
+      }
+    }
+    total += s.dim(axis_);
+  }
+  Shape out = first;
+  out.set_dim(axis_, total);
+  return std::vector<Shape>{out};
+}
+
+double ConcatOp::Flops(const std::vector<Shape>& /*inputs*/,
+                       const std::vector<Shape>& /*outputs*/) const {
+  return 0.0;  // memory-bound
+}
+
+Status ConcatOp::Compute(const std::vector<const Tensor*>& inputs,
+                         const std::vector<Tensor*>& outputs) const {
+  Tensor& y = *outputs[0];
+  int64_t offset = 0;
+  for (const Tensor* part : inputs) {
+    RETURN_IF_ERROR(y.PasteSlice(axis_, offset, *part));
+    offset += part->shape().dim(axis_);
+  }
+  return Status::OK();
+}
+
+Status ConcatOp::BuildGradient(GradContext* ctx) const {
+  int64_t offset = 0;
+  for (size_t i = 0; i < ctx->inputs.size(); ++i) {
+    const Shape& part = ctx->graph->tensor(ctx->inputs[i]).shape;
+    int64_t extent = part.dim(axis_);
+    ASSIGN_OR_RETURN(
+        std::vector<TensorId> dxi,
+        ctx->graph->AddOp(
+            std::make_unique<SliceOp>(axis_, offset, extent),
+            "d_concat_" + std::to_string(i), {ctx->grad_outputs[0]},
+            TensorKind::kGradient));
+    ctx->grad_inputs[i] = dxi[0];
+    offset += extent;
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------- Slice
+
+Result<std::vector<Shape>> SliceOp::InferShapes(
+    const std::vector<Shape>& inputs) const {
+  if (inputs.size() != 1) {
+    return Status::InvalidArgument("Slice expects one input");
+  }
+  const Shape& x = inputs[0];
+  if (axis_ < 0 || axis_ >= x.rank() || offset_ < 0 || extent_ < 1 ||
+      offset_ + extent_ > x.dim(axis_)) {
+    return Status::InvalidArgument("Slice range out of bounds");
+  }
+  Shape out = x;
+  out.set_dim(axis_, extent_);
+  return std::vector<Shape>{out};
+}
+
+double SliceOp::Flops(const std::vector<Shape>& /*inputs*/,
+                      const std::vector<Shape>& /*outputs*/) const {
+  return 0.0;
+}
+
+Status SliceOp::Compute(const std::vector<const Tensor*>& inputs,
+                        const std::vector<Tensor*>& outputs) const {
+  ASSIGN_OR_RETURN(Tensor part, inputs[0]->Slice(axis_, offset_, extent_));
+  *outputs[0] = std::move(part);
+  return Status::OK();
+}
+
+}  // namespace tsplit::ops

@@ -1,0 +1,107 @@
+#ifndef TSPLIT_OPS_DATA_MOVEMENT_H_
+#define TSPLIT_OPS_DATA_MOVEMENT_H_
+
+// Layout / shape operators: Reshape (a zero-cost view), Transpose (a real
+// permutation copy — attention head reshuffles), Concat (Inception branch
+// joins), and Slice (Concat's gradient).
+
+#include "graph/op.h"
+
+namespace tsplit::ops {
+
+// View with a different shape; element count must match.
+class ReshapeOp : public Op {
+ public:
+  explicit ReshapeOp(Shape target) : target_(std::move(target)) {}
+
+  std::string type_name() const override { return "Reshape"; }
+  OpCategory category() const override { return OpCategory::kDataMovement; }
+  bool is_view() const override { return true; }
+
+  Result<std::vector<Shape>> InferShapes(
+      const std::vector<Shape>& inputs) const override;
+  double Flops(const std::vector<Shape>& inputs,
+               const std::vector<Shape>& outputs) const override;
+  double BytesTouched(const std::vector<Shape>& inputs,
+                      const std::vector<Shape>& outputs) const override;
+  Status Compute(const std::vector<const Tensor*>& inputs,
+                 const std::vector<Tensor*>& outputs) const override;
+  Status BuildGradient(GradContext* ctx) const override;
+
+ private:
+  Shape target_;
+};
+
+// Axis permutation (materialized copy).
+class TransposeOp : public Op {
+ public:
+  explicit TransposeOp(std::vector<int> perm) : perm_(std::move(perm)) {}
+
+  std::string type_name() const override { return "Transpose"; }
+  OpCategory category() const override { return OpCategory::kDataMovement; }
+
+  Result<std::vector<Shape>> InferShapes(
+      const std::vector<Shape>& inputs) const override;
+  double Flops(const std::vector<Shape>& inputs,
+               const std::vector<Shape>& outputs) const override;
+  Status Compute(const std::vector<const Tensor*>& inputs,
+                 const std::vector<Tensor*>& outputs) const override;
+  std::vector<SplitRule> split_rules(
+      const std::vector<Shape>& inputs,
+      const std::vector<Shape>& outputs) const override;
+  Status BuildGradient(GradContext* ctx) const override;
+
+  const std::vector<int>& perm() const { return perm_; }
+
+ private:
+  std::vector<int> perm_;
+};
+
+// Concatenation of N inputs along `axis` (shapes match elsewhere).
+class ConcatOp : public Op {
+ public:
+  explicit ConcatOp(int axis) : axis_(axis) {}
+
+  std::string type_name() const override { return "Concat"; }
+  OpCategory category() const override { return OpCategory::kDataMovement; }
+
+  Result<std::vector<Shape>> InferShapes(
+      const std::vector<Shape>& inputs) const override;
+  double Flops(const std::vector<Shape>& inputs,
+               const std::vector<Shape>& outputs) const override;
+  Status Compute(const std::vector<const Tensor*>& inputs,
+                 const std::vector<Tensor*>& outputs) const override;
+  Status BuildGradient(GradContext* ctx) const override;
+
+  int axis() const { return axis_; }
+
+ private:
+  int axis_;
+};
+
+// Contiguous slice [offset, offset+extent) along `axis`.
+class SliceOp : public Op {
+ public:
+  SliceOp(int axis, int64_t offset, int64_t extent)
+      : axis_(axis), offset_(offset), extent_(extent) {}
+
+  std::string type_name() const override { return "Slice"; }
+  OpCategory category() const override { return OpCategory::kDataMovement; }
+  bool is_backward() const override { return true; }
+
+  Result<std::vector<Shape>> InferShapes(
+      const std::vector<Shape>& inputs) const override;
+  double Flops(const std::vector<Shape>& inputs,
+               const std::vector<Shape>& outputs) const override;
+  Status Compute(const std::vector<const Tensor*>& inputs,
+                 const std::vector<Tensor*>& outputs) const override;
+
+ private:
+  int axis_;
+  int64_t offset_;
+  int64_t extent_;
+};
+
+}  // namespace tsplit::ops
+
+#endif  // TSPLIT_OPS_DATA_MOVEMENT_H_

@@ -1,0 +1,78 @@
+#include "ops/dropout.h"
+
+#include "graph/graph.h"
+
+namespace tsplit::ops {
+
+bool DropoutKeep(uint64_t seed, int64_t index, float rate) {
+  // SplitMix64 over (seed, index) -> uniform in [0, 1).
+  uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(index) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  double u = static_cast<double>(z >> 11) * (1.0 / 9007199254740992.0);
+  return u >= rate;
+}
+
+Result<std::vector<Shape>> DropoutOp::InferShapes(
+    const std::vector<Shape>& inputs) const {
+  if (inputs.size() != 1) {
+    return Status::InvalidArgument("Dropout expects one input");
+  }
+  if (rate_ < 0.0f || rate_ >= 1.0f) {
+    return Status::InvalidArgument("Dropout rate must be in [0, 1)");
+  }
+  return std::vector<Shape>{inputs[0]};
+}
+
+double DropoutOp::Flops(const std::vector<Shape>& /*inputs*/,
+                        const std::vector<Shape>& outputs) const {
+  return 2.0 * static_cast<double>(outputs[0].num_elements());
+}
+
+Status DropoutOp::Compute(const std::vector<const Tensor*>& inputs,
+                          const std::vector<Tensor*>& outputs) const {
+  const Tensor& x = *inputs[0];
+  Tensor& y = *outputs[0];
+  const float scale = 1.0f / (1.0f - rate_);
+  for (int64_t i = 0; i < y.num_elements(); ++i) {
+    y.at(i) = DropoutKeep(seed_, i, rate_) ? x.at(i) * scale : 0.0f;
+  }
+  return Status::OK();
+}
+
+Status DropoutOp::BuildGradient(GradContext* ctx) const {
+  ASSIGN_OR_RETURN(
+      std::vector<TensorId> dx,
+      ctx->graph->AddOp(std::make_unique<DropoutGradOp>(rate_, seed_),
+                        "d_dropout", {ctx->grad_outputs[0]},
+                        TensorKind::kGradient));
+  ctx->grad_inputs[0] = dx[0];
+  return Status::OK();
+}
+
+Result<std::vector<Shape>> DropoutGradOp::InferShapes(
+    const std::vector<Shape>& inputs) const {
+  if (inputs.size() != 1) {
+    return Status::InvalidArgument("DropoutGrad expects one input");
+  }
+  return std::vector<Shape>{inputs[0]};
+}
+
+double DropoutGradOp::Flops(const std::vector<Shape>& /*inputs*/,
+                            const std::vector<Shape>& outputs) const {
+  return 2.0 * static_cast<double>(outputs[0].num_elements());
+}
+
+Status DropoutGradOp::Compute(const std::vector<const Tensor*>& inputs,
+                              const std::vector<Tensor*>& outputs) const {
+  const Tensor& dy = *inputs[0];
+  Tensor& dx = *outputs[0];
+  const float scale = 1.0f / (1.0f - rate_);
+  for (int64_t i = 0; i < dx.num_elements(); ++i) {
+    dx.at(i) = DropoutKeep(seed_, i, rate_) ? dy.at(i) * scale : 0.0f;
+  }
+  return Status::OK();
+}
+
+}  // namespace tsplit::ops

@@ -1,0 +1,64 @@
+#ifndef TSPLIT_OPS_DROPOUT_H_
+#define TSPLIT_OPS_DROPOUT_H_
+
+// Dropout with a deterministic counter-based mask: mask(i) derives from
+// (seed, i), so the backward op — and any recomputation — regenerates the
+// identical mask without storing it. This is what makes dropout
+// recompute-safe (Op::recompute_safe). The mask depends on absolute element
+// indices, so dropout is deliberately NOT splittable: micro-tensors would
+// renumber elements and change semantics. Planners route around it.
+
+#include "graph/op.h"
+
+namespace tsplit::ops {
+
+// Deterministic per-element keep decision shared by forward and backward.
+bool DropoutKeep(uint64_t seed, int64_t index, float rate);
+
+class DropoutOp : public Op {
+ public:
+  DropoutOp(float rate, uint64_t seed) : rate_(rate), seed_(seed) {}
+
+  std::string type_name() const override { return "Dropout"; }
+  OpCategory category() const override { return OpCategory::kDropout; }
+
+  Result<std::vector<Shape>> InferShapes(
+      const std::vector<Shape>& inputs) const override;
+  double Flops(const std::vector<Shape>& inputs,
+               const std::vector<Shape>& outputs) const override;
+  Status Compute(const std::vector<const Tensor*>& inputs,
+                 const std::vector<Tensor*>& outputs) const override;
+  Status BuildGradient(GradContext* ctx) const override;
+
+  float rate() const { return rate_; }
+  uint64_t seed() const { return seed_; }
+
+ private:
+  float rate_;
+  uint64_t seed_;
+};
+
+// dx = dy * mask(seed) / (1 - rate); input (dy).
+class DropoutGradOp : public Op {
+ public:
+  DropoutGradOp(float rate, uint64_t seed) : rate_(rate), seed_(seed) {}
+
+  std::string type_name() const override { return "DropoutGrad"; }
+  OpCategory category() const override { return OpCategory::kDropout; }
+  bool is_backward() const override { return true; }
+
+  Result<std::vector<Shape>> InferShapes(
+      const std::vector<Shape>& inputs) const override;
+  double Flops(const std::vector<Shape>& inputs,
+               const std::vector<Shape>& outputs) const override;
+  Status Compute(const std::vector<const Tensor*>& inputs,
+                 const std::vector<Tensor*>& outputs) const override;
+
+ private:
+  float rate_;
+  uint64_t seed_;
+};
+
+}  // namespace tsplit::ops
+
+#endif  // TSPLIT_OPS_DROPOUT_H_

@@ -1,0 +1,374 @@
+#include "ops/elementwise.h"
+
+#include <cmath>
+
+#include "graph/graph.h"
+
+namespace tsplit::ops {
+
+namespace {
+
+// Every axis is splittable for a pure element-wise op; each input slices
+// along the same axis as the output.
+std::vector<SplitRule> ElementwiseRules(int rank, int num_inputs) {
+  std::vector<SplitRule> rules;
+  for (int axis = 0; axis < rank; ++axis) {
+    SplitRule rule;
+    rule.output_axis = axis;
+    rule.input_axes.assign(static_cast<size_t>(num_inputs), axis);
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+Status ExpectArity(const char* op, size_t got, size_t want) {
+  if (got != want) {
+    return Status::InvalidArgument(std::string(op) + " expects " +
+                                   std::to_string(want) + " inputs, got " +
+                                   std::to_string(got));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- AddOp
+
+Result<std::vector<Shape>> AddOp::InferShapes(
+    const std::vector<Shape>& inputs) const {
+  RETURN_IF_ERROR(ExpectArity("Add", inputs.size(), 2));
+  if (inputs[0] != inputs[1]) {
+    return Status::InvalidArgument("Add shape mismatch: " +
+                                   inputs[0].ToString() + " vs " +
+                                   inputs[1].ToString());
+  }
+  return std::vector<Shape>{inputs[0]};
+}
+
+double AddOp::Flops(const std::vector<Shape>& /*inputs*/,
+                    const std::vector<Shape>& outputs) const {
+  return static_cast<double>(outputs[0].num_elements());
+}
+
+Status AddOp::Compute(const std::vector<const Tensor*>& inputs,
+                      const std::vector<Tensor*>& outputs) const {
+  const Tensor& a = *inputs[0];
+  const Tensor& b = *inputs[1];
+  Tensor& y = *outputs[0];
+  for (int64_t i = 0; i < y.num_elements(); ++i) {
+    y.at(i) = a.at(i) + b.at(i);
+  }
+  return Status::OK();
+}
+
+std::vector<SplitRule> AddOp::split_rules(
+    const std::vector<Shape>& /*inputs*/,
+    const std::vector<Shape>& outputs) const {
+  return ElementwiseRules(outputs[0].rank(), 2);
+}
+
+Status AddOp::BuildGradient(GradContext* ctx) const {
+  TensorId dy = ctx->grad_outputs[0];
+  ctx->grad_inputs[0] = dy;
+  ctx->grad_inputs[1] = dy;
+  return Status::OK();
+}
+
+// -------------------------------------------------------------- ScaleOp
+
+Result<std::vector<Shape>> ScaleOp::InferShapes(
+    const std::vector<Shape>& inputs) const {
+  RETURN_IF_ERROR(ExpectArity("Scale", inputs.size(), 1));
+  return std::vector<Shape>{inputs[0]};
+}
+
+double ScaleOp::Flops(const std::vector<Shape>& /*inputs*/,
+                      const std::vector<Shape>& outputs) const {
+  return static_cast<double>(outputs[0].num_elements());
+}
+
+Status ScaleOp::Compute(const std::vector<const Tensor*>& inputs,
+                        const std::vector<Tensor*>& outputs) const {
+  const Tensor& x = *inputs[0];
+  Tensor& y = *outputs[0];
+  for (int64_t i = 0; i < y.num_elements(); ++i) y.at(i) = alpha_ * x.at(i);
+  return Status::OK();
+}
+
+std::vector<SplitRule> ScaleOp::split_rules(
+    const std::vector<Shape>& /*inputs*/,
+    const std::vector<Shape>& outputs) const {
+  return ElementwiseRules(outputs[0].rank(), 1);
+}
+
+Status ScaleOp::BuildGradient(GradContext* ctx) const {
+  ASSIGN_OR_RETURN(
+      std::vector<TensorId> dx,
+      ctx->graph->AddOp(std::make_unique<ScaleOp>(alpha_), "d_scale",
+                        {ctx->grad_outputs[0]}, TensorKind::kGradient));
+  ctx->grad_inputs[0] = dx[0];
+  return Status::OK();
+}
+
+// ------------------------------------------------------------ BiasAddOp
+
+Result<std::vector<Shape>> BiasAddOp::InferShapes(
+    const std::vector<Shape>& inputs) const {
+  RETURN_IF_ERROR(ExpectArity("BiasAdd", inputs.size(), 2));
+  const Shape& x = inputs[0];
+  const Shape& b = inputs[1];
+  if (axis_ < 0 || axis_ >= x.rank()) {
+    return Status::InvalidArgument("BiasAdd axis out of range");
+  }
+  if (b.rank() != 1 || b.dim(0) != x.dim(axis_)) {
+    return Status::InvalidArgument("BiasAdd bias shape " + b.ToString() +
+                                   " incompatible with " + x.ToString() +
+                                   " axis " + std::to_string(axis_));
+  }
+  return std::vector<Shape>{x};
+}
+
+double BiasAddOp::Flops(const std::vector<Shape>& /*inputs*/,
+                        const std::vector<Shape>& outputs) const {
+  return static_cast<double>(outputs[0].num_elements());
+}
+
+Status BiasAddOp::Compute(const std::vector<const Tensor*>& inputs,
+                          const std::vector<Tensor*>& outputs) const {
+  const Tensor& x = *inputs[0];
+  const Tensor& b = *inputs[1];
+  Tensor& y = *outputs[0];
+  const Shape& shape = x.shape();
+  int64_t inner = 1;
+  for (int a = axis_ + 1; a < shape.rank(); ++a) inner *= shape.dim(a);
+  int64_t axis_extent = shape.dim(axis_);
+  int64_t outer = shape.num_elements() / (inner * axis_extent);
+  int64_t i = 0;
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t c = 0; c < axis_extent; ++c) {
+      float bias = b.at(c);
+      for (int64_t k = 0; k < inner; ++k, ++i) {
+        y.at(i) = x.at(i) + bias;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<SplitRule> BiasAddOp::split_rules(
+    const std::vector<Shape>& /*inputs*/,
+    const std::vector<Shape>& outputs) const {
+  std::vector<SplitRule> rules;
+  for (int axis = 0; axis < outputs[0].rank(); ++axis) {
+    SplitRule rule;
+    rule.output_axis = axis;
+    // Bias is sliced only when splitting along the bias axis.
+    rule.input_axes = {axis, axis == axis_ ? 0 : kReplicateInput};
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+Status BiasAddOp::BuildGradient(GradContext* ctx) const {
+  ctx->grad_inputs[0] = ctx->grad_outputs[0];
+  ASSIGN_OR_RETURN(
+      std::vector<TensorId> db,
+      ctx->graph->AddOp(std::make_unique<ReduceToAxisOp>(axis_), "d_bias",
+                        {ctx->grad_outputs[0]}, TensorKind::kGradient));
+  ctx->grad_inputs[1] = db[0];
+  return Status::OK();
+}
+
+// -------------------------------------------------------- ReduceToAxisOp
+
+Result<std::vector<Shape>> ReduceToAxisOp::InferShapes(
+    const std::vector<Shape>& inputs) const {
+  RETURN_IF_ERROR(ExpectArity("ReduceToAxis", inputs.size(), 1));
+  if (axis_ < 0 || axis_ >= inputs[0].rank()) {
+    return Status::InvalidArgument("ReduceToAxis axis out of range");
+  }
+  return std::vector<Shape>{Shape{inputs[0].dim(axis_)}};
+}
+
+double ReduceToAxisOp::Flops(const std::vector<Shape>& inputs,
+                             const std::vector<Shape>& /*outputs*/) const {
+  return static_cast<double>(inputs[0].num_elements());
+}
+
+Status ReduceToAxisOp::Compute(const std::vector<const Tensor*>& inputs,
+                               const std::vector<Tensor*>& outputs) const {
+  const Tensor& x = *inputs[0];
+  Tensor& y = *outputs[0];
+  const Shape& shape = x.shape();
+  int64_t inner = 1;
+  for (int a = axis_ + 1; a < shape.rank(); ++a) inner *= shape.dim(a);
+  int64_t axis_extent = shape.dim(axis_);
+  int64_t outer = shape.num_elements() / (inner * axis_extent);
+  y.Fill(0.0f);
+  int64_t i = 0;
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t c = 0; c < axis_extent; ++c) {
+      float acc = 0;
+      for (int64_t k = 0; k < inner; ++k, ++i) acc += x.at(i);
+      y.at(c) += acc;
+    }
+  }
+  return Status::OK();
+}
+
+// --------------------------------------------------------------- ReluOp
+
+Result<std::vector<Shape>> ReluOp::InferShapes(
+    const std::vector<Shape>& inputs) const {
+  RETURN_IF_ERROR(ExpectArity("Relu", inputs.size(), 1));
+  return std::vector<Shape>{inputs[0]};
+}
+
+double ReluOp::Flops(const std::vector<Shape>& /*inputs*/,
+                     const std::vector<Shape>& outputs) const {
+  return static_cast<double>(outputs[0].num_elements());
+}
+
+Status ReluOp::Compute(const std::vector<const Tensor*>& inputs,
+                       const std::vector<Tensor*>& outputs) const {
+  const Tensor& x = *inputs[0];
+  Tensor& y = *outputs[0];
+  for (int64_t i = 0; i < y.num_elements(); ++i) {
+    y.at(i) = x.at(i) > 0 ? x.at(i) : 0.0f;
+  }
+  return Status::OK();
+}
+
+std::vector<SplitRule> ReluOp::split_rules(
+    const std::vector<Shape>& /*inputs*/,
+    const std::vector<Shape>& outputs) const {
+  return ElementwiseRules(outputs[0].rank(), 1);
+}
+
+Status ReluOp::BuildGradient(GradContext* ctx) const {
+  ASSIGN_OR_RETURN(
+      std::vector<TensorId> dx,
+      ctx->graph->AddOp(std::make_unique<ReluGradOp>(), "d_relu",
+                        {ctx->inputs[0], ctx->grad_outputs[0]},
+                        TensorKind::kGradient));
+  ctx->grad_inputs[0] = dx[0];
+  return Status::OK();
+}
+
+Result<std::vector<Shape>> ReluGradOp::InferShapes(
+    const std::vector<Shape>& inputs) const {
+  RETURN_IF_ERROR(ExpectArity("ReluGrad", inputs.size(), 2));
+  if (inputs[0] != inputs[1]) {
+    return Status::InvalidArgument("ReluGrad shape mismatch");
+  }
+  return std::vector<Shape>{inputs[0]};
+}
+
+double ReluGradOp::Flops(const std::vector<Shape>& /*inputs*/,
+                         const std::vector<Shape>& outputs) const {
+  return static_cast<double>(outputs[0].num_elements());
+}
+
+Status ReluGradOp::Compute(const std::vector<const Tensor*>& inputs,
+                           const std::vector<Tensor*>& outputs) const {
+  const Tensor& x = *inputs[0];
+  const Tensor& dy = *inputs[1];
+  Tensor& dx = *outputs[0];
+  for (int64_t i = 0; i < dx.num_elements(); ++i) {
+    dx.at(i) = x.at(i) > 0 ? dy.at(i) : 0.0f;
+  }
+  return Status::OK();
+}
+
+std::vector<SplitRule> ReluGradOp::split_rules(
+    const std::vector<Shape>& /*inputs*/,
+    const std::vector<Shape>& outputs) const {
+  return ElementwiseRules(outputs[0].rank(), 2);
+}
+
+// --------------------------------------------------------------- GeluOp
+
+float GeluOp::Value(float x) {
+  constexpr float kSqrt2OverPi = 0.7978845608f;
+  float inner = kSqrt2OverPi * (x + 0.044715f * x * x * x);
+  return 0.5f * x * (1.0f + std::tanh(inner));
+}
+
+float GeluOp::Derivative(float x) {
+  constexpr float kSqrt2OverPi = 0.7978845608f;
+  float x3 = x * x * x;
+  float inner = kSqrt2OverPi * (x + 0.044715f * x3);
+  float t = std::tanh(inner);
+  float sech2 = 1.0f - t * t;
+  float dinner = kSqrt2OverPi * (1.0f + 3.0f * 0.044715f * x * x);
+  return 0.5f * (1.0f + t) + 0.5f * x * sech2 * dinner;
+}
+
+Result<std::vector<Shape>> GeluOp::InferShapes(
+    const std::vector<Shape>& inputs) const {
+  RETURN_IF_ERROR(ExpectArity("Gelu", inputs.size(), 1));
+  return std::vector<Shape>{inputs[0]};
+}
+
+double GeluOp::Flops(const std::vector<Shape>& /*inputs*/,
+                     const std::vector<Shape>& outputs) const {
+  // tanh-based activation; roughly 10 flops per element.
+  return 10.0 * static_cast<double>(outputs[0].num_elements());
+}
+
+Status GeluOp::Compute(const std::vector<const Tensor*>& inputs,
+                       const std::vector<Tensor*>& outputs) const {
+  const Tensor& x = *inputs[0];
+  Tensor& y = *outputs[0];
+  for (int64_t i = 0; i < y.num_elements(); ++i) y.at(i) = Value(x.at(i));
+  return Status::OK();
+}
+
+std::vector<SplitRule> GeluOp::split_rules(
+    const std::vector<Shape>& /*inputs*/,
+    const std::vector<Shape>& outputs) const {
+  return ElementwiseRules(outputs[0].rank(), 1);
+}
+
+Status GeluOp::BuildGradient(GradContext* ctx) const {
+  ASSIGN_OR_RETURN(
+      std::vector<TensorId> dx,
+      ctx->graph->AddOp(std::make_unique<GeluGradOp>(), "d_gelu",
+                        {ctx->inputs[0], ctx->grad_outputs[0]},
+                        TensorKind::kGradient));
+  ctx->grad_inputs[0] = dx[0];
+  return Status::OK();
+}
+
+Result<std::vector<Shape>> GeluGradOp::InferShapes(
+    const std::vector<Shape>& inputs) const {
+  RETURN_IF_ERROR(ExpectArity("GeluGrad", inputs.size(), 2));
+  if (inputs[0] != inputs[1]) {
+    return Status::InvalidArgument("GeluGrad shape mismatch");
+  }
+  return std::vector<Shape>{inputs[0]};
+}
+
+double GeluGradOp::Flops(const std::vector<Shape>& /*inputs*/,
+                         const std::vector<Shape>& outputs) const {
+  return 14.0 * static_cast<double>(outputs[0].num_elements());
+}
+
+Status GeluGradOp::Compute(const std::vector<const Tensor*>& inputs,
+                           const std::vector<Tensor*>& outputs) const {
+  const Tensor& x = *inputs[0];
+  const Tensor& dy = *inputs[1];
+  Tensor& dx = *outputs[0];
+  for (int64_t i = 0; i < dx.num_elements(); ++i) {
+    dx.at(i) = dy.at(i) * GeluOp::Derivative(x.at(i));
+  }
+  return Status::OK();
+}
+
+std::vector<SplitRule> GeluGradOp::split_rules(
+    const std::vector<Shape>& /*inputs*/,
+    const std::vector<Shape>& outputs) const {
+  return ElementwiseRules(outputs[0].rank(), 2);
+}
+
+}  // namespace tsplit::ops

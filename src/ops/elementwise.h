@@ -1,0 +1,167 @@
+#ifndef TSPLIT_OPS_ELEMENTWISE_H_
+#define TSPLIT_OPS_ELEMENTWISE_H_
+
+// Element-wise operators: add, scale, bias broadcast, and the pointwise
+// activations (ReLU / GeLU) with their explicit gradient ops. All are
+// splittable along every axis, which is what lets TSPLIT pipeline
+// micro-tensors through activation-heavy chains.
+
+#include "graph/op.h"
+
+namespace tsplit::ops {
+
+// y = a + b (same shapes).
+class AddOp : public Op {
+ public:
+  std::string type_name() const override { return "Add"; }
+  OpCategory category() const override { return OpCategory::kElementwise; }
+  Result<std::vector<Shape>> InferShapes(
+      const std::vector<Shape>& inputs) const override;
+  double Flops(const std::vector<Shape>& inputs,
+               const std::vector<Shape>& outputs) const override;
+  Status Compute(const std::vector<const Tensor*>& inputs,
+                 const std::vector<Tensor*>& outputs) const override;
+  std::vector<SplitRule> split_rules(
+      const std::vector<Shape>& inputs,
+      const std::vector<Shape>& outputs) const override;
+  Status BuildGradient(GradContext* ctx) const override;
+};
+
+// y = alpha * x.
+class ScaleOp : public Op {
+ public:
+  explicit ScaleOp(float alpha) : alpha_(alpha) {}
+  std::string type_name() const override { return "Scale"; }
+  OpCategory category() const override { return OpCategory::kElementwise; }
+  Result<std::vector<Shape>> InferShapes(
+      const std::vector<Shape>& inputs) const override;
+  double Flops(const std::vector<Shape>& inputs,
+               const std::vector<Shape>& outputs) const override;
+  Status Compute(const std::vector<const Tensor*>& inputs,
+                 const std::vector<Tensor*>& outputs) const override;
+  std::vector<SplitRule> split_rules(
+      const std::vector<Shape>& inputs,
+      const std::vector<Shape>& outputs) const override;
+  Status BuildGradient(GradContext* ctx) const override;
+
+  float alpha() const { return alpha_; }
+
+ private:
+  float alpha_;
+};
+
+// y = x + broadcast(b) where b has shape [x.dim(axis)].
+class BiasAddOp : public Op {
+ public:
+  explicit BiasAddOp(int axis) : axis_(axis) {}
+  std::string type_name() const override { return "BiasAdd"; }
+  OpCategory category() const override { return OpCategory::kElementwise; }
+  Result<std::vector<Shape>> InferShapes(
+      const std::vector<Shape>& inputs) const override;
+  double Flops(const std::vector<Shape>& inputs,
+               const std::vector<Shape>& outputs) const override;
+  Status Compute(const std::vector<const Tensor*>& inputs,
+                 const std::vector<Tensor*>& outputs) const override;
+  std::vector<SplitRule> split_rules(
+      const std::vector<Shape>& inputs,
+      const std::vector<Shape>& outputs) const override;
+  Status BuildGradient(GradContext* ctx) const override;
+
+  int axis() const { return axis_; }
+
+ private:
+  int axis_;
+};
+
+// db = sum of dy over every axis except `axis` (bias gradient).
+class ReduceToAxisOp : public Op {
+ public:
+  explicit ReduceToAxisOp(int axis) : axis_(axis) {}
+  std::string type_name() const override { return "ReduceToAxis"; }
+  OpCategory category() const override { return OpCategory::kReduce; }
+  bool is_backward() const override { return true; }
+  Result<std::vector<Shape>> InferShapes(
+      const std::vector<Shape>& inputs) const override;
+  double Flops(const std::vector<Shape>& inputs,
+               const std::vector<Shape>& outputs) const override;
+  Status Compute(const std::vector<const Tensor*>& inputs,
+                 const std::vector<Tensor*>& outputs) const override;
+
+ private:
+  int axis_;
+};
+
+// y = max(x, 0).
+class ReluOp : public Op {
+ public:
+  std::string type_name() const override { return "Relu"; }
+  OpCategory category() const override { return OpCategory::kActivation; }
+  Result<std::vector<Shape>> InferShapes(
+      const std::vector<Shape>& inputs) const override;
+  double Flops(const std::vector<Shape>& inputs,
+               const std::vector<Shape>& outputs) const override;
+  Status Compute(const std::vector<const Tensor*>& inputs,
+                 const std::vector<Tensor*>& outputs) const override;
+  std::vector<SplitRule> split_rules(
+      const std::vector<Shape>& inputs,
+      const std::vector<Shape>& outputs) const override;
+  Status BuildGradient(GradContext* ctx) const override;
+};
+
+// dx = dy * (x > 0); inputs (x, dy).
+class ReluGradOp : public Op {
+ public:
+  std::string type_name() const override { return "ReluGrad"; }
+  OpCategory category() const override { return OpCategory::kActivation; }
+  bool is_backward() const override { return true; }
+  Result<std::vector<Shape>> InferShapes(
+      const std::vector<Shape>& inputs) const override;
+  double Flops(const std::vector<Shape>& inputs,
+               const std::vector<Shape>& outputs) const override;
+  Status Compute(const std::vector<const Tensor*>& inputs,
+                 const std::vector<Tensor*>& outputs) const override;
+  std::vector<SplitRule> split_rules(
+      const std::vector<Shape>& inputs,
+      const std::vector<Shape>& outputs) const override;
+};
+
+// y = gelu(x), tanh approximation.
+class GeluOp : public Op {
+ public:
+  std::string type_name() const override { return "Gelu"; }
+  OpCategory category() const override { return OpCategory::kActivation; }
+  Result<std::vector<Shape>> InferShapes(
+      const std::vector<Shape>& inputs) const override;
+  double Flops(const std::vector<Shape>& inputs,
+               const std::vector<Shape>& outputs) const override;
+  Status Compute(const std::vector<const Tensor*>& inputs,
+                 const std::vector<Tensor*>& outputs) const override;
+  std::vector<SplitRule> split_rules(
+      const std::vector<Shape>& inputs,
+      const std::vector<Shape>& outputs) const override;
+  Status BuildGradient(GradContext* ctx) const override;
+
+  static float Value(float x);
+  static float Derivative(float x);
+};
+
+// dx = dy * gelu'(x); inputs (x, dy).
+class GeluGradOp : public Op {
+ public:
+  std::string type_name() const override { return "GeluGrad"; }
+  OpCategory category() const override { return OpCategory::kActivation; }
+  bool is_backward() const override { return true; }
+  Result<std::vector<Shape>> InferShapes(
+      const std::vector<Shape>& inputs) const override;
+  double Flops(const std::vector<Shape>& inputs,
+               const std::vector<Shape>& outputs) const override;
+  Status Compute(const std::vector<const Tensor*>& inputs,
+                 const std::vector<Tensor*>& outputs) const override;
+  std::vector<SplitRule> split_rules(
+      const std::vector<Shape>& inputs,
+      const std::vector<Shape>& outputs) const override;
+};
+
+}  // namespace tsplit::ops
+
+#endif  // TSPLIT_OPS_ELEMENTWISE_H_

@@ -1,0 +1,102 @@
+#include "ops/embedding.h"
+
+#include <algorithm>
+
+#include "graph/graph.h"
+
+namespace tsplit::ops {
+
+Result<std::vector<Shape>> EmbeddingOp::InferShapes(
+    const std::vector<Shape>& inputs) const {
+  if (inputs.size() != 2) {
+    return Status::InvalidArgument("Embedding expects (table, ids)");
+  }
+  const Shape& table = inputs[0];
+  const Shape& ids = inputs[1];
+  if (table.rank() != 2) {
+    return Status::InvalidArgument("Embedding table must be rank-2");
+  }
+  std::vector<int64_t> dims = ids.dims();
+  dims.push_back(table.dim(1));
+  return std::vector<Shape>{Shape(std::move(dims))};
+}
+
+double EmbeddingOp::Flops(const std::vector<Shape>& /*inputs*/,
+                          const std::vector<Shape>& outputs) const {
+  // Gather: one move per output element.
+  return static_cast<double>(outputs[0].num_elements());
+}
+
+Status EmbeddingOp::Compute(const std::vector<const Tensor*>& inputs,
+                            const std::vector<Tensor*>& outputs) const {
+  const Tensor& table = *inputs[0];
+  const Tensor& ids = *inputs[1];
+  Tensor& y = *outputs[0];
+  const int64_t vocab = table.shape().dim(0);
+  const int64_t hidden = table.shape().dim(1);
+  for (int64_t r = 0; r < ids.num_elements(); ++r) {
+    auto id = static_cast<int64_t>(ids.at(r));
+    id = std::clamp<int64_t>(id, 0, vocab - 1);
+    const float* src = table.data() + id * hidden;
+    std::copy(src, src + hidden, y.data() + r * hidden);
+  }
+  return Status::OK();
+}
+
+std::vector<SplitRule> EmbeddingOp::split_rules(
+    const std::vector<Shape>& inputs,
+    const std::vector<Shape>& outputs) const {
+  // Leading (token) axes split by slicing ids; the table is replicated.
+  std::vector<SplitRule> rules;
+  (void)inputs;
+  for (int axis = 0; axis < outputs[0].rank() - 1; ++axis) {
+    rules.push_back(
+        SplitRule{axis, {kReplicateInput, axis}, MergeKind::kConcat});
+  }
+  return rules;
+}
+
+Status EmbeddingOp::BuildGradient(GradContext* ctx) const {
+  ASSIGN_OR_RETURN(
+      std::vector<TensorId> dtable,
+      ctx->graph->AddOp(std::make_unique<EmbeddingGradOp>(
+                            ctx->graph->tensor(ctx->inputs[0]).shape),
+                        "d_embedding", {ctx->inputs[1], ctx->grad_outputs[0]},
+                        TensorKind::kGradient));
+  ctx->grad_inputs[0] = dtable[0];
+  // No gradient for ids.
+  return Status::OK();
+}
+
+Result<std::vector<Shape>> EmbeddingGradOp::InferShapes(
+    const std::vector<Shape>& inputs) const {
+  if (inputs.size() != 2) {
+    return Status::InvalidArgument("EmbeddingGrad expects (ids, dy)");
+  }
+  return std::vector<Shape>{table_shape_};
+}
+
+double EmbeddingGradOp::Flops(const std::vector<Shape>& inputs,
+                              const std::vector<Shape>& /*outputs*/) const {
+  return static_cast<double>(inputs[1].num_elements());
+}
+
+Status EmbeddingGradOp::Compute(const std::vector<const Tensor*>& inputs,
+                                const std::vector<Tensor*>& outputs) const {
+  const Tensor& ids = *inputs[0];
+  const Tensor& dy = *inputs[1];
+  Tensor& dtable = *outputs[0];
+  dtable.Fill(0.0f);
+  const int64_t vocab = dtable.shape().dim(0);
+  const int64_t hidden = dtable.shape().dim(1);
+  for (int64_t r = 0; r < ids.num_elements(); ++r) {
+    auto id = static_cast<int64_t>(ids.at(r));
+    id = std::clamp<int64_t>(id, 0, vocab - 1);
+    float* dst = dtable.data() + id * hidden;
+    const float* src = dy.data() + r * hidden;
+    for (int64_t i = 0; i < hidden; ++i) dst[i] += src[i];
+  }
+  return Status::OK();
+}
+
+}  // namespace tsplit::ops

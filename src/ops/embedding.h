@@ -1,0 +1,52 @@
+#ifndef TSPLIT_OPS_EMBEDDING_H_
+#define TSPLIT_OPS_EMBEDDING_H_
+
+// Token embedding lookup: (table[V, H], ids[...]) -> [..., H], with a
+// scatter-add gradient for the table.
+
+#include "graph/op.h"
+
+namespace tsplit::ops {
+
+class EmbeddingOp : public Op {
+ public:
+  std::string type_name() const override { return "Embedding"; }
+  OpCategory category() const override { return OpCategory::kEmbedding; }
+
+  Result<std::vector<Shape>> InferShapes(
+      const std::vector<Shape>& inputs) const override;
+  double Flops(const std::vector<Shape>& inputs,
+               const std::vector<Shape>& outputs) const override;
+  Status Compute(const std::vector<const Tensor*>& inputs,
+                 const std::vector<Tensor*>& outputs) const override;
+  std::vector<SplitRule> split_rules(
+      const std::vector<Shape>& inputs,
+      const std::vector<Shape>& outputs) const override;
+  Status BuildGradient(GradContext* ctx) const override;
+};
+
+// dtable = scatter_add(ids, dy); inputs (ids, dy), table shape captured at
+// construction.
+class EmbeddingGradOp : public Op {
+ public:
+  explicit EmbeddingGradOp(Shape table_shape)
+      : table_shape_(std::move(table_shape)) {}
+
+  std::string type_name() const override { return "EmbeddingGrad"; }
+  OpCategory category() const override { return OpCategory::kEmbedding; }
+  bool is_backward() const override { return true; }
+
+  Result<std::vector<Shape>> InferShapes(
+      const std::vector<Shape>& inputs) const override;
+  double Flops(const std::vector<Shape>& inputs,
+               const std::vector<Shape>& outputs) const override;
+  Status Compute(const std::vector<const Tensor*>& inputs,
+                 const std::vector<Tensor*>& outputs) const override;
+
+ private:
+  Shape table_shape_;
+};
+
+}  // namespace tsplit::ops
+
+#endif  // TSPLIT_OPS_EMBEDDING_H_

@@ -1,0 +1,34 @@
+#include "ops/fill.h"
+
+namespace tsplit::ops {
+
+Result<std::vector<Shape>> FillOp::InferShapes(
+    const std::vector<Shape>& inputs) const {
+  if (inputs.size() != 1) {
+    return Status::InvalidArgument("Fill expects 1 input");
+  }
+  return std::vector<Shape>{inputs[0]};
+}
+
+double FillOp::Flops(const std::vector<Shape>& /*inputs*/,
+                     const std::vector<Shape>& outputs) const {
+  return static_cast<double>(outputs[0].num_elements());
+}
+
+Status FillOp::Compute(const std::vector<const Tensor*>& /*inputs*/,
+                       const std::vector<Tensor*>& outputs) const {
+  outputs[0]->Fill(value_);
+  return Status::OK();
+}
+
+std::vector<SplitRule> FillOp::split_rules(
+    const std::vector<Shape>& /*inputs*/,
+    const std::vector<Shape>& outputs) const {
+  std::vector<SplitRule> rules;
+  for (int axis = 0; axis < outputs[0].rank(); ++axis) {
+    rules.push_back(SplitRule{axis, {axis}, MergeKind::kConcat});
+  }
+  return rules;
+}
+
+}  // namespace tsplit::ops

@@ -1,0 +1,35 @@
+#ifndef TSPLIT_OPS_FILL_H_
+#define TSPLIT_OPS_FILL_H_
+
+#include "graph/op.h"
+
+namespace tsplit::ops {
+
+// Produces a tensor shaped like its input, filled with a constant. Used as
+// the autodiff seed (dLoss/dLoss = 1).
+class FillOp : public Op {
+ public:
+  explicit FillOp(float value) : value_(value) {}
+
+  std::string type_name() const override { return "Fill"; }
+  OpCategory category() const override { return OpCategory::kElementwise; }
+
+  Result<std::vector<Shape>> InferShapes(
+      const std::vector<Shape>& inputs) const override;
+  double Flops(const std::vector<Shape>& inputs,
+               const std::vector<Shape>& outputs) const override;
+  Status Compute(const std::vector<const Tensor*>& inputs,
+                 const std::vector<Tensor*>& outputs) const override;
+  std::vector<SplitRule> split_rules(
+      const std::vector<Shape>& inputs,
+      const std::vector<Shape>& outputs) const override;
+
+  float value() const { return value_; }
+
+ private:
+  float value_;
+};
+
+}  // namespace tsplit::ops
+
+#endif  // TSPLIT_OPS_FILL_H_

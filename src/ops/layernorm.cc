@@ -1,0 +1,166 @@
+#include "ops/layernorm.h"
+
+#include <cmath>
+
+#include "graph/graph.h"
+
+namespace tsplit::ops {
+
+namespace {
+
+Status CheckLnInputs(const std::vector<Shape>& inputs, const char* op) {
+  if (inputs.size() != 3) {
+    return Status::InvalidArgument(std::string(op) +
+                                   " expects (x, gamma, third)");
+  }
+  const Shape& x = inputs[0];
+  if (x.rank() < 2) {
+    return Status::InvalidArgument(std::string(op) + " expects rank >= 2");
+  }
+  int64_t d = x.dim(x.rank() - 1);
+  if (inputs[1].rank() != 1 || inputs[1].dim(0) != d) {
+    return Status::InvalidArgument(std::string(op) + " gamma shape mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<Shape>> LayerNormOp::InferShapes(
+    const std::vector<Shape>& inputs) const {
+  RETURN_IF_ERROR(CheckLnInputs(inputs, "LayerNorm"));
+  if (inputs[2] != inputs[1]) {
+    return Status::InvalidArgument("LayerNorm beta shape mismatch");
+  }
+  return std::vector<Shape>{inputs[0]};
+}
+
+double LayerNormOp::Flops(const std::vector<Shape>& /*inputs*/,
+                          const std::vector<Shape>& outputs) const {
+  return 8.0 * static_cast<double>(outputs[0].num_elements());
+}
+
+Status LayerNormOp::Compute(const std::vector<const Tensor*>& inputs,
+                            const std::vector<Tensor*>& outputs) const {
+  const Tensor& x = *inputs[0];
+  const Tensor& gamma = *inputs[1];
+  const Tensor& beta = *inputs[2];
+  Tensor& y = *outputs[0];
+  const int64_t d = x.shape().dim(x.shape().rank() - 1);
+  const int64_t rows = x.num_elements() / d;
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = x.data() + r * d;
+    float* yr = y.data() + r * d;
+    double sum = 0, sq = 0;
+    for (int64_t i = 0; i < d; ++i) {
+      sum += xr[i];
+      sq += static_cast<double>(xr[i]) * xr[i];
+    }
+    double mean = sum / d;
+    double var = sq / d - mean * mean;
+    double invstd = 1.0 / std::sqrt(var + kLayerNormEpsilon);
+    for (int64_t i = 0; i < d; ++i) {
+      yr[i] = static_cast<float>(gamma.at(i) * (xr[i] - mean) * invstd +
+                                 beta.at(i));
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<SplitRule> LayerNormOp::split_rules(
+    const std::vector<Shape>& /*inputs*/,
+    const std::vector<Shape>& outputs) const {
+  // Every axis except the normalized (last) one splits exactly.
+  std::vector<SplitRule> rules;
+  for (int axis = 0; axis < outputs[0].rank() - 1; ++axis) {
+    rules.push_back(SplitRule{
+        axis, {axis, kReplicateInput, kReplicateInput}, MergeKind::kConcat});
+  }
+  return rules;
+}
+
+Status LayerNormOp::BuildGradient(GradContext* ctx) const {
+  ASSIGN_OR_RETURN(
+      std::vector<TensorId> grads,
+      ctx->graph->AddOp(
+          std::make_unique<LayerNormGradOp>(), "d_ln",
+          {ctx->inputs[0], ctx->inputs[1], ctx->grad_outputs[0]},
+          TensorKind::kGradient));
+  ctx->grad_inputs[0] = grads[0];
+  ctx->grad_inputs[1] = grads[1];
+  ctx->grad_inputs[2] = grads[2];
+  return Status::OK();
+}
+
+Result<std::vector<Shape>> LayerNormGradOp::InferShapes(
+    const std::vector<Shape>& inputs) const {
+  RETURN_IF_ERROR(CheckLnInputs(inputs, "LayerNormGrad"));
+  if (inputs[2] != inputs[0]) {
+    return Status::InvalidArgument("LayerNormGrad dy shape mismatch");
+  }
+  Shape per_feature{inputs[0].dim(inputs[0].rank() - 1)};
+  return std::vector<Shape>{inputs[0], per_feature, per_feature};
+}
+
+double LayerNormGradOp::Flops(const std::vector<Shape>& inputs,
+                              const std::vector<Shape>& /*outputs*/) const {
+  return 14.0 * static_cast<double>(inputs[0].num_elements());
+}
+
+Status LayerNormGradOp::Compute(const std::vector<const Tensor*>& inputs,
+                                const std::vector<Tensor*>& outputs) const {
+  const Tensor& x = *inputs[0];
+  const Tensor& gamma = *inputs[1];
+  const Tensor& dy = *inputs[2];
+  Tensor& dx = *outputs[0];
+  Tensor& dgamma = *outputs[1];
+  Tensor& dbeta = *outputs[2];
+  dgamma.Fill(0.0f);
+  dbeta.Fill(0.0f);
+
+  const int64_t d = x.shape().dim(x.shape().rank() - 1);
+  const int64_t rows = x.num_elements() / d;
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = x.data() + r * d;
+    const float* dyr = dy.data() + r * d;
+    float* dxr = dx.data() + r * d;
+    double sum = 0, sq = 0;
+    for (int64_t i = 0; i < d; ++i) {
+      sum += xr[i];
+      sq += static_cast<double>(xr[i]) * xr[i];
+    }
+    double mean = sum / d;
+    double var = sq / d - mean * mean;
+    double invstd = 1.0 / std::sqrt(var + kLayerNormEpsilon);
+
+    double sum_g = 0, sum_g_xhat = 0;
+    for (int64_t i = 0; i < d; ++i) {
+      double xhat = (xr[i] - mean) * invstd;
+      double g = static_cast<double>(dyr[i]) * gamma.at(i);
+      sum_g += g;
+      sum_g_xhat += g * xhat;
+      dgamma.at(i) += static_cast<float>(dyr[i] * xhat);
+      dbeta.at(i) += dyr[i];
+    }
+    for (int64_t i = 0; i < d; ++i) {
+      double xhat = (xr[i] - mean) * invstd;
+      double g = static_cast<double>(dyr[i]) * gamma.at(i);
+      dxr[i] = static_cast<float>(
+          invstd * (g - sum_g / d - xhat * sum_g_xhat / d));
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<SplitRule> LayerNormGradOp::split_rules(
+    const std::vector<Shape>& /*inputs*/,
+    const std::vector<Shape>& outputs) const {
+  std::vector<SplitRule> rules;
+  for (int axis = 0; axis < outputs[0].rank() - 1; ++axis) {
+    rules.push_back(
+        SplitRule{axis, {axis, kReplicateInput, axis}, MergeKind::kConcat});
+  }
+  return rules;
+}
+
+}  // namespace tsplit::ops

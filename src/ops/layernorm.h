@@ -1,0 +1,54 @@
+#ifndef TSPLIT_OPS_LAYERNORM_H_
+#define TSPLIT_OPS_LAYERNORM_H_
+
+// Layer normalization over the last axis (transformer-style). Unlike
+// BatchNorm, rows normalize independently, so every leading axis splits
+// exactly — this is why TSPLIT handles Transformers that defeat
+// SuperNeurons' conv-centric policy (paper Tables IV/V, "x" entries).
+
+#include "graph/op.h"
+
+namespace tsplit::ops {
+
+inline constexpr float kLayerNormEpsilon = 1e-5f;
+
+// y = gamma * (x - mean_row) * invstd_row + beta; inputs (x, gamma, beta);
+// gamma/beta shaped [last_dim].
+class LayerNormOp : public Op {
+ public:
+  std::string type_name() const override { return "LayerNorm"; }
+  OpCategory category() const override { return OpCategory::kLayerNorm; }
+
+  Result<std::vector<Shape>> InferShapes(
+      const std::vector<Shape>& inputs) const override;
+  double Flops(const std::vector<Shape>& inputs,
+               const std::vector<Shape>& outputs) const override;
+  Status Compute(const std::vector<const Tensor*>& inputs,
+                 const std::vector<Tensor*>& outputs) const override;
+  std::vector<SplitRule> split_rules(
+      const std::vector<Shape>& inputs,
+      const std::vector<Shape>& outputs) const override;
+  Status BuildGradient(GradContext* ctx) const override;
+};
+
+// (dx, dgamma, dbeta) = ln_grad(x, gamma, dy).
+class LayerNormGradOp : public Op {
+ public:
+  std::string type_name() const override { return "LayerNormGrad"; }
+  OpCategory category() const override { return OpCategory::kLayerNorm; }
+  bool is_backward() const override { return true; }
+
+  Result<std::vector<Shape>> InferShapes(
+      const std::vector<Shape>& inputs) const override;
+  double Flops(const std::vector<Shape>& inputs,
+               const std::vector<Shape>& outputs) const override;
+  Status Compute(const std::vector<const Tensor*>& inputs,
+                 const std::vector<Tensor*>& outputs) const override;
+  std::vector<SplitRule> split_rules(
+      const std::vector<Shape>& inputs,
+      const std::vector<Shape>& outputs) const override;
+};
+
+}  // namespace tsplit::ops
+
+#endif  // TSPLIT_OPS_LAYERNORM_H_

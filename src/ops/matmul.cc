@@ -1,0 +1,157 @@
+#include "ops/matmul.h"
+
+#include "graph/graph.h"
+
+namespace tsplit::ops {
+
+Result<MatMulOp::Dims> MatMulOp::ResolveDims(
+    const std::vector<Shape>& inputs) const {
+  if (inputs.size() != 2) {
+    return Status::InvalidArgument("MatMul expects 2 inputs");
+  }
+  const Shape& a = inputs[0];
+  const Shape& b = inputs[1];
+  if (a.rank() != b.rank() || (a.rank() != 2 && a.rank() != 3)) {
+    return Status::InvalidArgument("MatMul ranks must both be 2 or 3, got " +
+                                   a.ToString() + " and " + b.ToString());
+  }
+  Dims d;
+  d.batch_axes = a.rank() == 3 ? 1 : 0;
+  d.groups = d.batch_axes ? a.dim(0) : 1;
+  if (d.batch_axes && a.dim(0) != b.dim(0)) {
+    return Status::InvalidArgument("MatMul batch dims differ");
+  }
+  int r = d.batch_axes;  // first non-batch axis
+  d.m = trans_a_ ? a.dim(r + 1) : a.dim(r);
+  int64_t ka = trans_a_ ? a.dim(r) : a.dim(r + 1);
+  int64_t kb = trans_b_ ? b.dim(r + 1) : b.dim(r);
+  d.n = trans_b_ ? b.dim(r) : b.dim(r + 1);
+  if (ka != kb) {
+    return Status::InvalidArgument(
+        "MatMul inner dims differ: " + std::to_string(ka) + " vs " +
+        std::to_string(kb) + " (" + a.ToString() + " x " + b.ToString() +
+        ", ta=" + std::to_string(trans_a_) +
+        ", tb=" + std::to_string(trans_b_) + ")");
+  }
+  d.k = ka;
+  return d;
+}
+
+Result<std::vector<Shape>> MatMulOp::InferShapes(
+    const std::vector<Shape>& inputs) const {
+  ASSIGN_OR_RETURN(Dims d, ResolveDims(inputs));
+  if (d.batch_axes) {
+    return std::vector<Shape>{Shape{d.groups, d.m, d.n}};
+  }
+  return std::vector<Shape>{Shape{d.m, d.n}};
+}
+
+double MatMulOp::Flops(const std::vector<Shape>& inputs,
+                       const std::vector<Shape>& /*outputs*/) const {
+  auto dims = ResolveDims(inputs);
+  if (!dims.ok()) return 0;
+  const Dims& d = *dims;
+  return 2.0 * static_cast<double>(d.groups) * static_cast<double>(d.m) *
+         static_cast<double>(d.n) * static_cast<double>(d.k);
+}
+
+Status MatMulOp::Compute(const std::vector<const Tensor*>& inputs,
+                         const std::vector<Tensor*>& outputs) const {
+  std::vector<Shape> shapes = {inputs[0]->shape(), inputs[1]->shape()};
+  ASSIGN_OR_RETURN(Dims d, ResolveDims(shapes));
+  const float* a = inputs[0]->data();
+  const float* b = inputs[1]->data();
+  float* y = outputs[0]->data();
+
+  const int64_t a_rows = trans_a_ ? d.k : d.m;
+  const int64_t a_cols = trans_a_ ? d.m : d.k;
+  const int64_t b_rows = trans_b_ ? d.n : d.k;
+  const int64_t b_cols = trans_b_ ? d.k : d.n;
+  (void)b_rows;
+
+  for (int64_t g = 0; g < d.groups; ++g) {
+    const float* ag = a + g * a_rows * a_cols;
+    const float* bg = b + g * (trans_b_ ? d.n * d.k : d.k * d.n);
+    float* yg = y + g * d.m * d.n;
+    for (int64_t i = 0; i < d.m; ++i) {
+      for (int64_t j = 0; j < d.n; ++j) {
+        float acc = 0;
+        for (int64_t kk = 0; kk < d.k; ++kk) {
+          float av = trans_a_ ? ag[kk * a_cols + i] : ag[i * a_cols + kk];
+          float bv = trans_b_ ? bg[j * b_cols + kk] : bg[kk * b_cols + j];
+          acc += av * bv;
+        }
+        yg[i * d.n + j] = acc;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<SplitRule> MatMulOp::split_rules(
+    const std::vector<Shape>& inputs,
+    const std::vector<Shape>& outputs) const {
+  auto dims = ResolveDims(inputs);
+  if (!dims.ok()) return {};
+  const Dims& d = *dims;
+  (void)outputs;
+  std::vector<SplitRule> rules;
+  int r = d.batch_axes;
+  if (d.batch_axes) {
+    // Batch axis: both operands slice along it.
+    rules.push_back(SplitRule{0, {0, 0}, MergeKind::kConcat});
+  }
+  // Row-block split: slice A along its M axis, replicate B.
+  rules.push_back(SplitRule{
+      r, {trans_a_ ? r + 1 : r, kReplicateInput}, MergeKind::kConcat});
+  // Column-block split: slice B along its N axis, replicate A.
+  rules.push_back(SplitRule{
+      r + 1, {kReplicateInput, trans_b_ ? r : r + 1}, MergeKind::kConcat});
+  // Contraction split: slice both operands along K and sum the partial
+  // products (weight gradients consume sample-split activations this way).
+  rules.push_back(SplitRule{kReduceOutput,
+                            {trans_a_ ? r : r + 1, trans_b_ ? r + 1 : r},
+                            MergeKind::kSum});
+  return rules;
+}
+
+Status MatMulOp::BuildGradient(GradContext* ctx) const {
+  TensorId a = ctx->inputs[0];
+  TensorId b = ctx->inputs[1];
+  TensorId dy = ctx->grad_outputs[0];
+  Graph* g = ctx->graph;
+
+  // dB first (usually the weight gradient): the DFS scheduler retires the
+  // terminal branch before continuing down the activation-gradient chain.
+  if (!trans_b_) {
+    // dB = op_a(A)^T @ dY.
+    ASSIGN_OR_RETURN(std::vector<TensorId> db,
+                     g->AddOp(std::make_unique<MatMulGradOp>(!trans_a_, false),
+                              "d_matmul_b", {a, dy}, TensorKind::kGradient));
+    ctx->grad_inputs[1] = db[0];
+  } else {
+    // dB = dY^T @ op_a(A).
+    ASSIGN_OR_RETURN(std::vector<TensorId> db,
+                     g->AddOp(std::make_unique<MatMulGradOp>(true, trans_a_),
+                              "d_matmul_b", {dy, a}, TensorKind::kGradient));
+    ctx->grad_inputs[1] = db[0];
+  }
+
+  // dA: shaped like A.
+  if (!trans_a_) {
+    // A is used plain: dA = dY @ op_b(B)^T.
+    ASSIGN_OR_RETURN(std::vector<TensorId> da,
+                     g->AddOp(std::make_unique<MatMulGradOp>(false, !trans_b_),
+                              "d_matmul_a", {dy, b}, TensorKind::kGradient));
+    ctx->grad_inputs[0] = da[0];
+  } else {
+    // A is used transposed: dA = op_b(B) @ dY^T.
+    ASSIGN_OR_RETURN(std::vector<TensorId> da,
+                     g->AddOp(std::make_unique<MatMulGradOp>(trans_b_, true),
+                              "d_matmul_a", {b, dy}, TensorKind::kGradient));
+    ctx->grad_inputs[0] = da[0];
+  }
+  return Status::OK();
+}
+
+}  // namespace tsplit::ops

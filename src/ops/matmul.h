@@ -1,0 +1,59 @@
+#ifndef TSPLIT_OPS_MATMUL_H_
+#define TSPLIT_OPS_MATMUL_H_
+
+// General matrix multiplication: rank-2 ([M,K] @ [K,N] -> [M,N]) or rank-3
+// batched ([G,M,K] @ [G,K,N] -> [G,M,N]), with optional transposes on
+// either operand. One op class covers linear layers, attention score /
+// context products, and — via transpose flags — all of their gradients, so
+// backward matmuls share the same timing model and split rules as forward.
+
+#include "graph/op.h"
+
+namespace tsplit::ops {
+
+class MatMulOp : public Op {
+ public:
+  MatMulOp(bool trans_a = false, bool trans_b = false)
+      : trans_a_(trans_a), trans_b_(trans_b) {}
+
+  std::string type_name() const override { return "MatMul"; }
+  OpCategory category() const override { return OpCategory::kMatMul; }
+
+  Result<std::vector<Shape>> InferShapes(
+      const std::vector<Shape>& inputs) const override;
+  double Flops(const std::vector<Shape>& inputs,
+               const std::vector<Shape>& outputs) const override;
+  Status Compute(const std::vector<const Tensor*>& inputs,
+                 const std::vector<Tensor*>& outputs) const override;
+  std::vector<SplitRule> split_rules(
+      const std::vector<Shape>& inputs,
+      const std::vector<Shape>& outputs) const override;
+  Status BuildGradient(GradContext* ctx) const override;
+
+  bool trans_a() const { return trans_a_; }
+  bool trans_b() const { return trans_b_; }
+
+ private:
+  // Problem dims (G=1 for rank-2). Populated from input shapes.
+  struct Dims {
+    int64_t groups, m, n, k;
+    int batch_axes;  // 0 for rank-2, 1 for rank-3
+  };
+  Result<Dims> ResolveDims(const std::vector<Shape>& inputs) const;
+
+  bool trans_a_;
+  bool trans_b_;
+};
+
+// A backward matmul wrapper kept as a distinct type so schedules read
+// clearly; behaves exactly like MatMulOp but reports is_backward().
+class MatMulGradOp : public MatMulOp {
+ public:
+  MatMulGradOp(bool trans_a, bool trans_b) : MatMulOp(trans_a, trans_b) {}
+  std::string type_name() const override { return "MatMulGrad"; }
+  bool is_backward() const override { return true; }
+};
+
+}  // namespace tsplit::ops
+
+#endif  // TSPLIT_OPS_MATMUL_H_

@@ -1,0 +1,182 @@
+#include "ops/pool.h"
+
+#include <limits>
+
+#include "graph/graph.h"
+
+namespace tsplit::ops {
+
+namespace {
+
+std::vector<SplitRule> PoolRules(int num_inputs) {
+  // Sample and channel splits are exact (pooling windows never cross N/C).
+  std::vector<SplitRule> rules;
+  for (int axis : {0, 1}) {
+    SplitRule rule;
+    rule.output_axis = axis;
+    rule.input_axes.assign(static_cast<size_t>(num_inputs), axis);
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+}  // namespace
+
+Result<std::vector<Shape>> Pool2dOp::InferShapes(
+    const std::vector<Shape>& inputs) const {
+  if (inputs.size() != 1 || inputs[0].rank() != 4) {
+    return Status::InvalidArgument("Pool2d expects one rank-4 input");
+  }
+  const Shape& x = inputs[0];
+  int64_t oh =
+      (x.dim(2) + 2 * config_.padding - config_.kernel) / config_.stride + 1;
+  int64_t ow =
+      (x.dim(3) + 2 * config_.padding - config_.kernel) / config_.stride + 1;
+  if (oh < 1 || ow < 1) {
+    return Status::InvalidArgument("Pool2d output collapsed: input " +
+                                   x.ToString());
+  }
+  return std::vector<Shape>{Shape{x.dim(0), x.dim(1), oh, ow}};
+}
+
+double Pool2dOp::Flops(const std::vector<Shape>& /*inputs*/,
+                       const std::vector<Shape>& outputs) const {
+  return static_cast<double>(outputs[0].num_elements()) * config_.kernel *
+         config_.kernel;
+}
+
+Status Pool2dOp::Compute(const std::vector<const Tensor*>& inputs,
+                         const std::vector<Tensor*>& outputs) const {
+  const Tensor& x = *inputs[0];
+  Tensor& y = *outputs[0];
+  const int64_t n = y.shape().dim(0), c = y.shape().dim(1);
+  const int64_t h = x.shape().dim(2), w = x.shape().dim(3);
+  const int64_t oh = y.shape().dim(2), ow = y.shape().dim(3);
+  const int k = config_.kernel, s = config_.stride, p = config_.padding;
+
+  for (int64_t in = 0; in < n; ++in) {
+    for (int64_t ic = 0; ic < c; ++ic) {
+      for (int64_t i = 0; i < oh; ++i) {
+        for (int64_t j = 0; j < ow; ++j) {
+          if (config_.mode == PoolMode::kMax) {
+            float best = -std::numeric_limits<float>::infinity();
+            for (int ki = 0; ki < k; ++ki) {
+              int64_t hi = i * s - p + ki;
+              if (hi < 0 || hi >= h) continue;
+              for (int kj = 0; kj < k; ++kj) {
+                int64_t wi = j * s - p + kj;
+                if (wi < 0 || wi >= w) continue;
+                best = std::max(best, x.at4(in, ic, hi, wi));
+              }
+            }
+            y.at4(in, ic, i, j) = best;
+          } else {
+            float acc = 0;
+            for (int ki = 0; ki < k; ++ki) {
+              int64_t hi = i * s - p + ki;
+              if (hi < 0 || hi >= h) continue;
+              for (int kj = 0; kj < k; ++kj) {
+                int64_t wi = j * s - p + kj;
+                if (wi < 0 || wi >= w) continue;
+                acc += x.at4(in, ic, hi, wi);
+              }
+            }
+            y.at4(in, ic, i, j) = acc / static_cast<float>(k * k);
+          }
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<SplitRule> Pool2dOp::split_rules(
+    const std::vector<Shape>& /*inputs*/,
+    const std::vector<Shape>& /*outputs*/) const {
+  return PoolRules(1);
+}
+
+Status Pool2dOp::BuildGradient(GradContext* ctx) const {
+  ASSIGN_OR_RETURN(
+      std::vector<TensorId> dx,
+      ctx->graph->AddOp(std::make_unique<Pool2dGradOp>(config_), "d_pool",
+                        {ctx->inputs[0], ctx->grad_outputs[0]},
+                        TensorKind::kGradient));
+  ctx->grad_inputs[0] = dx[0];
+  return Status::OK();
+}
+
+Result<std::vector<Shape>> Pool2dGradOp::InferShapes(
+    const std::vector<Shape>& inputs) const {
+  if (inputs.size() != 2) {
+    return Status::InvalidArgument("Pool2dGrad expects (x, dy)");
+  }
+  return std::vector<Shape>{inputs[0]};
+}
+
+double Pool2dGradOp::Flops(const std::vector<Shape>& /*inputs*/,
+                           const std::vector<Shape>& outputs) const {
+  return static_cast<double>(outputs[0].num_elements()) * 2.0;
+}
+
+Status Pool2dGradOp::Compute(const std::vector<const Tensor*>& inputs,
+                             const std::vector<Tensor*>& outputs) const {
+  const Tensor& x = *inputs[0];
+  const Tensor& dy = *inputs[1];
+  Tensor& dx = *outputs[0];
+  dx.Fill(0.0f);
+  const int64_t n = dy.shape().dim(0), c = dy.shape().dim(1);
+  const int64_t h = x.shape().dim(2), w = x.shape().dim(3);
+  const int64_t oh = dy.shape().dim(2), ow = dy.shape().dim(3);
+  const int k = config_.kernel, s = config_.stride, p = config_.padding;
+
+  for (int64_t in = 0; in < n; ++in) {
+    for (int64_t ic = 0; ic < c; ++ic) {
+      for (int64_t i = 0; i < oh; ++i) {
+        for (int64_t j = 0; j < ow; ++j) {
+          float g = dy.at4(in, ic, i, j);
+          if (config_.mode == PoolMode::kMax) {
+            // Route the gradient to the (first) argmax, re-derived from x.
+            int64_t best_h = -1, best_w = -1;
+            float best = -std::numeric_limits<float>::infinity();
+            for (int ki = 0; ki < k; ++ki) {
+              int64_t hi = i * s - p + ki;
+              if (hi < 0 || hi >= h) continue;
+              for (int kj = 0; kj < k; ++kj) {
+                int64_t wi = j * s - p + kj;
+                if (wi < 0 || wi >= w) continue;
+                float v = x.at4(in, ic, hi, wi);
+                if (v > best) {
+                  best = v;
+                  best_h = hi;
+                  best_w = wi;
+                }
+              }
+            }
+            if (best_h >= 0) dx.at4(in, ic, best_h, best_w) += g;
+          } else {
+            float share = g / static_cast<float>(k * k);
+            for (int ki = 0; ki < k; ++ki) {
+              int64_t hi = i * s - p + ki;
+              if (hi < 0 || hi >= h) continue;
+              for (int kj = 0; kj < k; ++kj) {
+                int64_t wi = j * s - p + kj;
+                if (wi < 0 || wi >= w) continue;
+                dx.at4(in, ic, hi, wi) += share;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<SplitRule> Pool2dGradOp::split_rules(
+    const std::vector<Shape>& /*inputs*/,
+    const std::vector<Shape>& /*outputs*/) const {
+  return PoolRules(2);
+}
+
+}  // namespace tsplit::ops

@@ -1,0 +1,74 @@
+#ifndef TSPLIT_OPS_POOL_H_
+#define TSPLIT_OPS_POOL_H_
+
+// 2-D max / average pooling (NCHW) with explicit gradient ops. Pooling is
+// the canonical "cheap to recompute" layer: SuperNeurons recomputes pool /
+// activation outputs instead of swapping them.
+
+#include "graph/op.h"
+
+namespace tsplit::ops {
+
+enum class PoolMode : uint8_t { kMax = 0, kAvg };
+
+struct PoolConfig {
+  int kernel = 2;
+  int stride = 2;
+  int padding = 0;
+  PoolMode mode = PoolMode::kMax;
+};
+
+class Pool2dOp : public Op {
+ public:
+  explicit Pool2dOp(PoolConfig config) : config_(config) {}
+
+  std::string type_name() const override {
+    return config_.mode == PoolMode::kMax ? "MaxPool2d" : "AvgPool2d";
+  }
+  OpCategory category() const override { return OpCategory::kPool; }
+
+  Result<std::vector<Shape>> InferShapes(
+      const std::vector<Shape>& inputs) const override;
+  double Flops(const std::vector<Shape>& inputs,
+               const std::vector<Shape>& outputs) const override;
+  Status Compute(const std::vector<const Tensor*>& inputs,
+                 const std::vector<Tensor*>& outputs) const override;
+  std::vector<SplitRule> split_rules(
+      const std::vector<Shape>& inputs,
+      const std::vector<Shape>& outputs) const override;
+  Status BuildGradient(GradContext* ctx) const override;
+
+  const PoolConfig& config() const { return config_; }
+
+ private:
+  PoolConfig config_;
+};
+
+// dx = pool_grad(x, dy); max pooling re-derives the argmax from x.
+class Pool2dGradOp : public Op {
+ public:
+  explicit Pool2dGradOp(PoolConfig config) : config_(config) {}
+
+  std::string type_name() const override {
+    return config_.mode == PoolMode::kMax ? "MaxPool2dGrad" : "AvgPool2dGrad";
+  }
+  OpCategory category() const override { return OpCategory::kPool; }
+  bool is_backward() const override { return true; }
+
+  Result<std::vector<Shape>> InferShapes(
+      const std::vector<Shape>& inputs) const override;
+  double Flops(const std::vector<Shape>& inputs,
+               const std::vector<Shape>& outputs) const override;
+  Status Compute(const std::vector<const Tensor*>& inputs,
+                 const std::vector<Tensor*>& outputs) const override;
+  std::vector<SplitRule> split_rules(
+      const std::vector<Shape>& inputs,
+      const std::vector<Shape>& outputs) const override;
+
+ private:
+  PoolConfig config_;
+};
+
+}  // namespace tsplit::ops
+
+#endif  // TSPLIT_OPS_POOL_H_

@@ -1,0 +1,277 @@
+#include "ops/softmax.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/graph.h"
+
+namespace tsplit::ops {
+
+namespace {
+
+std::vector<SplitRule> LeadingAxisRules(int rank, int num_inputs) {
+  // All axes except the softmaxed (last) one.
+  std::vector<SplitRule> rules;
+  for (int axis = 0; axis < rank - 1; ++axis) {
+    SplitRule rule;
+    rule.output_axis = axis;
+    rule.input_axes.assign(static_cast<size_t>(num_inputs), axis);
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+void SoftmaxRow(const float* x, float* y, int64_t d) {
+  float max = *std::max_element(x, x + d);
+  double sum = 0;
+  for (int64_t i = 0; i < d; ++i) {
+    y[i] = std::exp(x[i] - max);
+    sum += y[i];
+  }
+  float inv = static_cast<float>(1.0 / sum);
+  for (int64_t i = 0; i < d; ++i) y[i] *= inv;
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- Softmax
+
+Result<std::vector<Shape>> SoftmaxOp::InferShapes(
+    const std::vector<Shape>& inputs) const {
+  if (inputs.size() != 1 || inputs[0].rank() < 1) {
+    return Status::InvalidArgument("Softmax expects one input");
+  }
+  return std::vector<Shape>{inputs[0]};
+}
+
+double SoftmaxOp::Flops(const std::vector<Shape>& /*inputs*/,
+                        const std::vector<Shape>& outputs) const {
+  return 5.0 * static_cast<double>(outputs[0].num_elements());
+}
+
+Status SoftmaxOp::Compute(const std::vector<const Tensor*>& inputs,
+                          const std::vector<Tensor*>& outputs) const {
+  const Tensor& x = *inputs[0];
+  Tensor& y = *outputs[0];
+  const int64_t d = x.shape().dim(x.shape().rank() - 1);
+  const int64_t rows = x.num_elements() / d;
+  for (int64_t r = 0; r < rows; ++r) {
+    SoftmaxRow(x.data() + r * d, y.data() + r * d, d);
+  }
+  return Status::OK();
+}
+
+std::vector<SplitRule> SoftmaxOp::split_rules(
+    const std::vector<Shape>& /*inputs*/,
+    const std::vector<Shape>& outputs) const {
+  return LeadingAxisRules(outputs[0].rank(), 1);
+}
+
+Status SoftmaxOp::BuildGradient(GradContext* ctx) const {
+  ASSIGN_OR_RETURN(
+      std::vector<TensorId> dx,
+      ctx->graph->AddOp(std::make_unique<SoftmaxGradOp>(), "d_softmax",
+                        {ctx->outputs[0], ctx->grad_outputs[0]},
+                        TensorKind::kGradient));
+  ctx->grad_inputs[0] = dx[0];
+  return Status::OK();
+}
+
+Result<std::vector<Shape>> SoftmaxGradOp::InferShapes(
+    const std::vector<Shape>& inputs) const {
+  if (inputs.size() != 2 || inputs[0] != inputs[1]) {
+    return Status::InvalidArgument("SoftmaxGrad expects matching (y, dy)");
+  }
+  return std::vector<Shape>{inputs[0]};
+}
+
+double SoftmaxGradOp::Flops(const std::vector<Shape>& /*inputs*/,
+                            const std::vector<Shape>& outputs) const {
+  return 4.0 * static_cast<double>(outputs[0].num_elements());
+}
+
+Status SoftmaxGradOp::Compute(const std::vector<const Tensor*>& inputs,
+                              const std::vector<Tensor*>& outputs) const {
+  const Tensor& y = *inputs[0];
+  const Tensor& dy = *inputs[1];
+  Tensor& dx = *outputs[0];
+  const int64_t d = y.shape().dim(y.shape().rank() - 1);
+  const int64_t rows = y.num_elements() / d;
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* yr = y.data() + r * d;
+    const float* dyr = dy.data() + r * d;
+    float* dxr = dx.data() + r * d;
+    double dot = 0;
+    for (int64_t i = 0; i < d; ++i) dot += static_cast<double>(yr[i]) * dyr[i];
+    for (int64_t i = 0; i < d; ++i) {
+      dxr[i] = static_cast<float>(yr[i] * (dyr[i] - dot));
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<SplitRule> SoftmaxGradOp::split_rules(
+    const std::vector<Shape>& /*inputs*/,
+    const std::vector<Shape>& outputs) const {
+  return LeadingAxisRules(outputs[0].rank(), 2);
+}
+
+// -------------------------------------------------------- CausalSoftmax
+
+Result<std::vector<Shape>> CausalSoftmaxOp::InferShapes(
+    const std::vector<Shape>& inputs) const {
+  if (inputs.size() != 1 || inputs[0].rank() != 3 ||
+      inputs[0].dim(1) != inputs[0].dim(2)) {
+    return Status::InvalidArgument(
+        "CausalSoftmax expects scores [G, S, S], got " +
+        (inputs.empty() ? std::string("nothing") : inputs[0].ToString()));
+  }
+  return std::vector<Shape>{inputs[0]};
+}
+
+double CausalSoftmaxOp::Flops(const std::vector<Shape>& /*inputs*/,
+                              const std::vector<Shape>& outputs) const {
+  return 5.0 * static_cast<double>(outputs[0].num_elements());
+}
+
+Status CausalSoftmaxOp::Compute(const std::vector<const Tensor*>& inputs,
+                                const std::vector<Tensor*>& outputs) const {
+  const Tensor& x = *inputs[0];
+  Tensor& y = *outputs[0];
+  const int64_t groups = x.shape().dim(0);
+  const int64_t s = x.shape().dim(1);
+  for (int64_t g = 0; g < groups; ++g) {
+    for (int64_t i = 0; i < s; ++i) {
+      const float* row = x.data() + (g * s + i) * s;
+      float* out = y.data() + (g * s + i) * s;
+      // Softmax over the causal prefix [0, i]; masked tail is exactly 0.
+      float max = row[0];
+      for (int64_t j = 1; j <= i; ++j) max = std::max(max, row[j]);
+      double sum = 0;
+      for (int64_t j = 0; j <= i; ++j) {
+        out[j] = std::exp(row[j] - max);
+        sum += out[j];
+      }
+      float inv = static_cast<float>(1.0 / sum);
+      for (int64_t j = 0; j <= i; ++j) out[j] *= inv;
+      for (int64_t j = i + 1; j < s; ++j) out[j] = 0.0f;
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<SplitRule> CausalSoftmaxOp::split_rules(
+    const std::vector<Shape>& /*inputs*/,
+    const std::vector<Shape>& /*outputs*/) const {
+  // Rows carry absolute positions; only the group axis splits exactly.
+  return {SplitRule{0, {0}, MergeKind::kConcat}};
+}
+
+Status CausalSoftmaxOp::BuildGradient(GradContext* ctx) const {
+  // Masked positions have y = 0, so the plain softmax gradient
+  // y * (dy - sum(dy * y)) is exact for the causal variant too.
+  ASSIGN_OR_RETURN(
+      std::vector<TensorId> dx,
+      ctx->graph->AddOp(std::make_unique<SoftmaxGradOp>(),
+                        "d_causal_softmax",
+                        {ctx->outputs[0], ctx->grad_outputs[0]},
+                        TensorKind::kGradient));
+  ctx->grad_inputs[0] = dx[0];
+  return Status::OK();
+}
+
+// ----------------------------------------------------- CrossEntropyLoss
+
+Result<std::vector<Shape>> CrossEntropyLossOp::InferShapes(
+    const std::vector<Shape>& inputs) const {
+  if (inputs.size() != 2) {
+    return Status::InvalidArgument("CrossEntropyLoss expects (logits, labels)");
+  }
+  if (inputs[0].rank() != 2 || inputs[1].rank() != 1 ||
+      inputs[0].dim(0) != inputs[1].dim(0)) {
+    return Status::InvalidArgument("CrossEntropyLoss shape mismatch: " +
+                                   inputs[0].ToString() + " vs " +
+                                   inputs[1].ToString());
+  }
+  return std::vector<Shape>{Shape{1}};
+}
+
+double CrossEntropyLossOp::Flops(const std::vector<Shape>& inputs,
+                                 const std::vector<Shape>& /*outputs*/) const {
+  return 6.0 * static_cast<double>(inputs[0].num_elements());
+}
+
+Status CrossEntropyLossOp::Compute(const std::vector<const Tensor*>& inputs,
+                                   const std::vector<Tensor*>& outputs) const {
+  const Tensor& logits = *inputs[0];
+  const Tensor& labels = *inputs[1];
+  const int64_t rows = logits.shape().dim(0);
+  const int64_t classes = logits.shape().dim(1);
+  std::vector<float> probs(static_cast<size_t>(classes));
+  double loss = 0;
+  for (int64_t r = 0; r < rows; ++r) {
+    SoftmaxRow(logits.data() + r * classes, probs.data(), classes);
+    auto label = static_cast<int64_t>(labels.at(r));
+    label = std::clamp<int64_t>(label, 0, classes - 1);
+    loss -= std::log(std::max(probs[static_cast<size_t>(label)], 1e-12f));
+  }
+  outputs[0]->at(0) = static_cast<float>(loss / rows);
+  return Status::OK();
+}
+
+Status CrossEntropyLossOp::BuildGradient(GradContext* ctx) const {
+  int64_t total_rows = ctx->graph->tensor(ctx->inputs[0]).shape.dim(0);
+  ASSIGN_OR_RETURN(
+      std::vector<TensorId> dlogits,
+      ctx->graph->AddOp(
+          std::make_unique<CrossEntropyGradOp>(total_rows), "d_ce",
+          {ctx->inputs[0], ctx->inputs[1], ctx->grad_outputs[0]},
+          TensorKind::kGradient));
+  ctx->grad_inputs[0] = dlogits[0];
+  // No gradient for integer labels.
+  return Status::OK();
+}
+
+Result<std::vector<Shape>> CrossEntropyGradOp::InferShapes(
+    const std::vector<Shape>& inputs) const {
+  if (inputs.size() != 3) {
+    return Status::InvalidArgument(
+        "CrossEntropyGrad expects (logits, labels, dloss)");
+  }
+  return std::vector<Shape>{inputs[0]};
+}
+
+double CrossEntropyGradOp::Flops(const std::vector<Shape>& inputs,
+                                 const std::vector<Shape>& /*outputs*/) const {
+  return 6.0 * static_cast<double>(inputs[0].num_elements());
+}
+
+Status CrossEntropyGradOp::Compute(const std::vector<const Tensor*>& inputs,
+                                   const std::vector<Tensor*>& outputs) const {
+  const Tensor& logits = *inputs[0];
+  const Tensor& labels = *inputs[1];
+  const float dloss = inputs[2]->at(0);
+  Tensor& dx = *outputs[0];
+  const int64_t rows = logits.shape().dim(0);
+  const int64_t classes = logits.shape().dim(1);
+  // Normalize by the forward batch, not the (possibly sliced) local rows.
+  const float scale = dloss / static_cast<float>(total_rows_);
+  for (int64_t r = 0; r < rows; ++r) {
+    float* dxr = dx.data() + r * classes;
+    SoftmaxRow(logits.data() + r * classes, dxr, classes);
+    auto label = static_cast<int64_t>(labels.at(r));
+    label = std::clamp<int64_t>(label, 0, classes - 1);
+    dxr[label] -= 1.0f;
+    for (int64_t c = 0; c < classes; ++c) dxr[c] *= scale;
+  }
+  return Status::OK();
+}
+
+std::vector<SplitRule> CrossEntropyGradOp::split_rules(
+    const std::vector<Shape>& /*inputs*/,
+    const std::vector<Shape>& /*outputs*/) const {
+  // Rows are independent given the fixed batch normalization.
+  return {SplitRule{0, {0, 0, kReplicateInput}, MergeKind::kConcat}};
+}
+
+}  // namespace tsplit::ops

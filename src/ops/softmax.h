@@ -1,0 +1,114 @@
+#ifndef TSPLIT_OPS_SOFTMAX_H_
+#define TSPLIT_OPS_SOFTMAX_H_
+
+// Softmax over the last axis, its gradient (which consumes the forward
+// *output*), and the fused softmax-cross-entropy training loss.
+
+#include "graph/op.h"
+
+namespace tsplit::ops {
+
+class SoftmaxOp : public Op {
+ public:
+  std::string type_name() const override { return "Softmax"; }
+  OpCategory category() const override { return OpCategory::kSoftmax; }
+
+  Result<std::vector<Shape>> InferShapes(
+      const std::vector<Shape>& inputs) const override;
+  double Flops(const std::vector<Shape>& inputs,
+               const std::vector<Shape>& outputs) const override;
+  Status Compute(const std::vector<const Tensor*>& inputs,
+                 const std::vector<Tensor*>& outputs) const override;
+  std::vector<SplitRule> split_rules(
+      const std::vector<Shape>& inputs,
+      const std::vector<Shape>& outputs) const override;
+  Status BuildGradient(GradContext* ctx) const override;
+};
+
+// dx = y * (dy - sum(dy * y, last)); inputs (y, dy). Note the dependence on
+// the forward output y — evicting y forces a swap-in or recompute exactly
+// as the paper's dependency discussion describes.
+class SoftmaxGradOp : public Op {
+ public:
+  std::string type_name() const override { return "SoftmaxGrad"; }
+  OpCategory category() const override { return OpCategory::kSoftmax; }
+  bool is_backward() const override { return true; }
+
+  Result<std::vector<Shape>> InferShapes(
+      const std::vector<Shape>& inputs) const override;
+  double Flops(const std::vector<Shape>& inputs,
+               const std::vector<Shape>& outputs) const override;
+  Status Compute(const std::vector<const Tensor*>& inputs,
+                 const std::vector<Tensor*>& outputs) const override;
+  std::vector<SplitRule> split_rules(
+      const std::vector<Shape>& inputs,
+      const std::vector<Shape>& outputs) const override;
+};
+
+// Causal (autoregressive) softmax over attention scores [G, S, S]: row i
+// attends only to columns j <= i (upper triangle masked to -inf before the
+// softmax). The mask depends on absolute row indices, so only the group
+// axis is splittable.
+class CausalSoftmaxOp : public Op {
+ public:
+  std::string type_name() const override { return "CausalSoftmax"; }
+  OpCategory category() const override { return OpCategory::kSoftmax; }
+
+  Result<std::vector<Shape>> InferShapes(
+      const std::vector<Shape>& inputs) const override;
+  double Flops(const std::vector<Shape>& inputs,
+               const std::vector<Shape>& outputs) const override;
+  Status Compute(const std::vector<const Tensor*>& inputs,
+                 const std::vector<Tensor*>& outputs) const override;
+  std::vector<SplitRule> split_rules(
+      const std::vector<Shape>& inputs,
+      const std::vector<Shape>& outputs) const override;
+  Status BuildGradient(GradContext* ctx) const override;
+};
+
+// Mean softmax-cross-entropy: inputs (logits[R, C], labels[R] holding class
+// ids as floats) -> scalar loss.
+class CrossEntropyLossOp : public Op {
+ public:
+  std::string type_name() const override { return "CrossEntropyLoss"; }
+  OpCategory category() const override { return OpCategory::kLoss; }
+
+  Result<std::vector<Shape>> InferShapes(
+      const std::vector<Shape>& inputs) const override;
+  double Flops(const std::vector<Shape>& inputs,
+               const std::vector<Shape>& outputs) const override;
+  Status Compute(const std::vector<const Tensor*>& inputs,
+                 const std::vector<Tensor*>& outputs) const override;
+  Status BuildGradient(GradContext* ctx) const override;
+};
+
+// dlogits = (softmax(logits) - onehot(labels)) * dloss / R;
+// inputs (logits, labels, dloss). `total_rows` (the forward batch R) is
+// captured at construction so row-sliced micro-execution normalizes by the
+// full batch, keeping sample splits exact.
+class CrossEntropyGradOp : public Op {
+ public:
+  explicit CrossEntropyGradOp(int64_t total_rows)
+      : total_rows_(total_rows) {}
+
+  std::string type_name() const override { return "CrossEntropyGrad"; }
+  OpCategory category() const override { return OpCategory::kLoss; }
+  bool is_backward() const override { return true; }
+
+  Result<std::vector<Shape>> InferShapes(
+      const std::vector<Shape>& inputs) const override;
+  double Flops(const std::vector<Shape>& inputs,
+               const std::vector<Shape>& outputs) const override;
+  Status Compute(const std::vector<const Tensor*>& inputs,
+                 const std::vector<Tensor*>& outputs) const override;
+  std::vector<SplitRule> split_rules(
+      const std::vector<Shape>& inputs,
+      const std::vector<Shape>& outputs) const override;
+
+ private:
+  int64_t total_rows_;
+};
+
+}  // namespace tsplit::ops
+
+#endif  // TSPLIT_OPS_SOFTMAX_H_

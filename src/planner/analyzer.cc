@@ -1,0 +1,79 @@
+#include "planner/analyzer.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "planner/cost_model.h"
+#include "planner/memory_sim.h"
+
+namespace tsplit::planner {
+
+PlanReport AnalyzePlan(const Graph& graph, const Schedule& schedule,
+                       const GraphProfile& profile, const Plan& plan) {
+  PlanReport report;
+  std::vector<TensorFacts> facts = ComputeTensorFacts(graph, schedule);
+
+  Plan empty;
+  auto unmanaged = PlannedMemory(graph, schedule, facts, empty);
+  auto managed = PlannedMemory(graph, schedule, facts, plan);
+  report.unmanaged_peak_bytes =
+      *std::max_element(unmanaged.begin(), unmanaged.end());
+  report.planned_peak_bytes =
+      *std::max_element(managed.begin(), managed.end());
+  report.floor_bytes = graph.BytesOfKind(TensorKind::kParameter) +
+                       graph.BytesOfKind(TensorKind::kInput) +
+                       graph.BytesOfKind(TensorKind::kOptimizerState) +
+                       graph.BytesOfKind(TensorKind::kParamGrad);
+
+  for (const auto& [id, config] : plan.configs) {
+    if (config.opt == MemOpt::kReside && !config.split.active()) continue;
+    const TensorDesc& tensor = graph.tensor(id);
+    size_t bytes = tensor.size_bytes();
+
+    if (config.split.active()) {
+      ++report.split_tensors;
+      report.split_bytes += bytes;
+    }
+    if (config.opt == MemOpt::kSwap) {
+      ++report.swap.tensors;
+      report.swap.bytes += bytes;
+      // Out + (when regenerated) in transfers at raw PCIe bandwidth.
+      const TensorFacts& f = facts[static_cast<size_t>(id)];
+      int transfers = f.first_bwd_use > f.fwd_last_use ? 2 : 1;
+      report.swap.raw_seconds += transfers * static_cast<double>(bytes) /
+                                 profile.device.pcie_bytes_per_sec();
+    } else if (config.opt == MemOpt::kRecompute) {
+      ++report.recompute.tensors;
+      report.recompute.bytes += bytes;
+      report.recompute.raw_seconds +=
+          RecomputeCost(graph, schedule, facts, profile, plan, id);
+    }
+
+    if (config.opt != MemOpt::kReside && tensor.producer != kInvalidOp) {
+      report.managed_bytes_by_category[OpCategoryToString(
+          graph.node(tensor.producer).op->category())] += bytes;
+    }
+  }
+  return report;
+}
+
+std::string PlanReport::ToString() const {
+  std::ostringstream os;
+  os << "plan report:\n";
+  os << "  peak: " << unmanaged_peak_bytes / 1e9 << " GB unmanaged -> "
+     << planned_peak_bytes / 1e9 << " GB planned (floor "
+     << floor_bytes / 1e9 << " GB)\n";
+  os << "  swap: " << swap.tensors << " tensors, " << swap.bytes / 1e9
+     << " GB, raw transfer " << swap.raw_seconds << " s\n";
+  os << "  recompute: " << recompute.tensors << " tensors, "
+     << recompute.bytes / 1e9 << " GB, re-execution "
+     << recompute.raw_seconds << " s\n";
+  os << "  split: " << split_tensors << " tensors, " << split_bytes / 1e9
+     << " GB; swap share " << 100.0 * swap_share() << "%\n";
+  for (const auto& [category, bytes] : managed_bytes_by_category) {
+    os << "    " << category << ": " << bytes / 1e9 << " GB managed\n";
+  }
+  return os.str();
+}
+
+}  // namespace tsplit::planner

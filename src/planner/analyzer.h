@@ -1,0 +1,60 @@
+#ifndef TSPLIT_PLANNER_ANALYZER_H_
+#define TSPLIT_PLANNER_ANALYZER_H_
+
+// Plan analysis: a structured breakdown of what a plan costs and saves —
+// the quantities behind the paper's breakdown figures (14a/14b) exposed as
+// an API. Drives `example_inspect_plan` and regression assertions.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/schedule.h"
+#include "planner/plan.h"
+#include "planner/profile.h"
+
+namespace tsplit::planner {
+
+struct OptBreakdown {
+  int tensors = 0;
+  size_t bytes = 0;
+  // Raw (un-overlapped) PCIe seconds for swaps; re-execution seconds for
+  // recomputes. Zero for reside.
+  double raw_seconds = 0;
+};
+
+struct PlanReport {
+  // Memory: the unmanaged peak, the plan's modeled peak, and the floor
+  // below which no plan can go (params + inputs + accumulated grads).
+  size_t unmanaged_peak_bytes = 0;
+  size_t planned_peak_bytes = 0;
+  size_t floor_bytes = 0;
+
+  OptBreakdown swap;
+  OptBreakdown recompute;
+  int split_tensors = 0;
+  size_t split_bytes = 0;
+
+  // Managed bytes per producing-op category ("conv", "matmul", ...): which
+  // layer families the plan acts on.
+  std::map<std::string, size_t> managed_bytes_by_category;
+
+  // Fraction of managed bytes assigned to swap (Fig 14b's quantity).
+  double swap_share() const {
+    size_t total = swap.bytes + recompute.bytes;
+    return total == 0 ? 0.0
+                      : static_cast<double>(swap.bytes) /
+                            static_cast<double>(total);
+  }
+
+  std::string ToString() const;
+};
+
+// Analyzes `plan` against the graph and profile.
+PlanReport AnalyzePlan(const Graph& graph, const Schedule& schedule,
+                       const GraphProfile& profile, const Plan& plan);
+
+}  // namespace tsplit::planner
+
+#endif  // TSPLIT_PLANNER_ANALYZER_H_

@@ -1,0 +1,211 @@
+#include "planner/cost_model.h"
+
+#include <algorithm>
+
+namespace tsplit::planner {
+
+namespace {
+
+// Busy intervals on one PCIe direction.
+struct Link {
+  double free_at = 0;
+  std::vector<std::pair<double, double>> busy;
+
+  // Books a transfer of `seconds` not starting before `earliest`; returns
+  // its [start, end).
+  std::pair<double, double> Book(double earliest, double seconds) {
+    double start = std::max(free_at, earliest);
+    double end = start + seconds;
+    busy.emplace_back(start, end);
+    free_at = end;
+    return {start, end};
+  }
+
+  double OverlapWith(double from, double to) const {
+    double total = 0;
+    for (const auto& [start, end] : busy) {
+      total += std::max(0.0, std::min(end, to) - std::max(start, from));
+    }
+    return total;
+  }
+};
+
+}  // namespace
+
+PcieOccupancy SimulatePcie(const Graph& graph, const Schedule& schedule,
+                           const std::vector<TensorFacts>& facts,
+                           const GraphProfile& profile, const Plan& plan) {
+  (void)graph;
+  const int num_steps = schedule.num_steps();
+
+  // Idealized compute timeline: ops back to back.
+  std::vector<double> op_start(static_cast<size_t>(num_steps) + 1, 0);
+  for (int pos = 0; pos < num_steps; ++pos) {
+    OpId id = schedule.order[static_cast<size_t>(pos)];
+    op_start[static_cast<size_t>(pos) + 1] =
+        op_start[static_cast<size_t>(pos)] +
+        profile.ops[static_cast<size_t>(id)].seconds;
+  }
+
+  // Book every planned swap: swap-out begins at the tensor's generation
+  // (end of last forward use); swap-in begins at the op preceding the first
+  // backward use (paper §V-B's ideal begin times).
+  Link d2h, h2d;
+  for (const auto& [tensor, config] : plan.configs) {
+    if (config.opt != MemOpt::kSwap) continue;
+    const TensorFacts& f = facts[static_cast<size_t>(tensor)];
+    if (f.is_view_alias) continue;
+    if (f.first_bwd_use <= f.fwd_last_use || f.first_bwd_use < 0) continue;
+    double seconds =
+        static_cast<double>(f.bytes) / profile.device.pcie_bytes_per_sec();
+    double out_earliest =
+        op_start[static_cast<size_t>(std::max(0, f.fwd_last_use)) + 1];
+    d2h.Book(out_earliest, seconds);
+    double in_earliest =
+        op_start[static_cast<size_t>(std::max(0, f.first_bwd_use - 1))];
+    h2d.Book(in_earliest, seconds);
+  }
+
+  // Sort busy intervals once so per-op overlap queries are a sweep.
+  std::sort(d2h.busy.begin(), d2h.busy.end());
+  std::sort(h2d.busy.begin(), h2d.busy.end());
+
+  PcieOccupancy occupancy;
+  occupancy.d2h.assign(static_cast<size_t>(num_steps), 0);
+  occupancy.h2d.assign(static_cast<size_t>(num_steps), 0);
+  occupancy.d2h_free_prefix.assign(static_cast<size_t>(num_steps) + 1, 0);
+  occupancy.h2d_free_prefix.assign(static_cast<size_t>(num_steps) + 1, 0);
+  size_t d2h_cursor = 0, h2d_cursor = 0;
+  for (int pos = 0; pos < num_steps; ++pos) {
+    double from = op_start[static_cast<size_t>(pos)];
+    double to = op_start[static_cast<size_t>(pos) + 1];
+    double duration = to - from;
+    if (duration > 0) {
+      // Advance cursors past intervals that end before this window.
+      while (d2h_cursor < d2h.busy.size() &&
+             d2h.busy[d2h_cursor].second <= from) {
+        ++d2h_cursor;
+      }
+      double overlap = 0;
+      for (size_t i = d2h_cursor;
+           i < d2h.busy.size() && d2h.busy[i].first < to; ++i) {
+        overlap += std::max(0.0, std::min(d2h.busy[i].second, to) -
+                                     std::max(d2h.busy[i].first, from));
+      }
+      occupancy.d2h[static_cast<size_t>(pos)] =
+          std::min(1.0, overlap / duration);
+      while (h2d_cursor < h2d.busy.size() &&
+             h2d.busy[h2d_cursor].second <= from) {
+        ++h2d_cursor;
+      }
+      overlap = 0;
+      for (size_t i = h2d_cursor;
+           i < h2d.busy.size() && h2d.busy[i].first < to; ++i) {
+        overlap += std::max(0.0, std::min(h2d.busy[i].second, to) -
+                                     std::max(h2d.busy[i].first, from));
+      }
+      occupancy.h2d[static_cast<size_t>(pos)] =
+          std::min(1.0, overlap / duration);
+    }
+    occupancy.d2h_free_prefix[static_cast<size_t>(pos) + 1] =
+        occupancy.d2h_free_prefix[static_cast<size_t>(pos)] +
+        (1.0 - occupancy.d2h[static_cast<size_t>(pos)]) * duration;
+    occupancy.h2d_free_prefix[static_cast<size_t>(pos) + 1] =
+        occupancy.h2d_free_prefix[static_cast<size_t>(pos)] +
+        (1.0 - occupancy.h2d[static_cast<size_t>(pos)]) * duration;
+  }
+  return occupancy;
+}
+
+double SwapCost(const Graph& graph, const Schedule& schedule,
+                const std::vector<TensorFacts>& facts,
+                const GraphProfile& profile, const PcieOccupancy& occupancy,
+                TensorId t, size_t bytes, int bottleneck_pos) {
+  const TensorFacts& f = facts[static_cast<size_t>(t)];
+  double transfer =
+      static_cast<double>(bytes) / profile.device.pcie_bytes_per_sec();
+
+  // Swap-out window: from the op after generation up to the bottleneck —
+  // compute time not already claimed by other transfers can hide this one
+  // (Eq. 3, first term).
+  int out_from = std::clamp(f.def_pos + 1, 0, schedule.num_steps());
+  int out_to = std::clamp(bottleneck_pos, 0, schedule.num_steps());
+  double hidden_out =
+      out_to > out_from
+          ? occupancy.d2h_free_prefix[static_cast<size_t>(out_to)] -
+                occupancy.d2h_free_prefix[static_cast<size_t>(out_from)]
+          : 0.0;
+  double out_cost = std::max(transfer - hidden_out, 0.0);
+
+  // Swap-in window: the op(s) preceding the first backward use (Eq. 3,
+  // second term). With no backward use there is nothing to bring back.
+  double in_cost = 0;
+  if (f.first_bwd_use > 0) {
+    int in_from = std::clamp(f.first_bwd_use - 1, 0, schedule.num_steps());
+    int in_to = std::clamp(f.first_bwd_use, 0, schedule.num_steps());
+    double hidden_in =
+        occupancy.h2d_free_prefix[static_cast<size_t>(in_to)] -
+        occupancy.h2d_free_prefix[static_cast<size_t>(in_from)];
+    in_cost = std::max(transfer - hidden_in, 0.0);
+  }
+  (void)graph;
+  return out_cost + in_cost;
+}
+
+double RecomputeCost(const Graph& graph, const Schedule& schedule,
+                     const std::vector<TensorFacts>& facts,
+                     const GraphProfile& profile, const Plan& plan,
+                     TensorId t) {
+  // Walk producers until hitting tensors the plan keeps (reside sources /
+  // parameters / non-evicted activations). Memory-centric recomputation
+  // repeats the chain for each backward consumer.
+  double chain_seconds = 0;
+  std::vector<TensorId> frontier = {t};
+  std::vector<bool> visited(static_cast<size_t>(graph.num_tensors()), false);
+  int chain_ops = 0;
+  while (!frontier.empty() && chain_ops < 64) {
+    TensorId cur = frontier.back();
+    frontier.pop_back();
+    if (visited[static_cast<size_t>(cur)]) continue;
+    visited[static_cast<size_t>(cur)] = true;
+    OpId producer = graph.tensor(cur).producer;
+    if (producer == kInvalidOp) continue;
+    chain_seconds += profile.ops[static_cast<size_t>(producer)].seconds;
+    ++chain_ops;
+    for (TensorId input : graph.node(producer).inputs) {
+      const TensorFacts& f = facts[static_cast<size_t>(input)];
+      TensorId root = f.root;
+      // Resident ancestors terminate the chain.
+      MemOpt opt = plan.ConfigFor(root).opt;
+      bool evicted = opt != MemOpt::kReside &&
+                     !facts[static_cast<size_t>(root)].always_live;
+      if (evicted && opt == MemOpt::kRecompute) frontier.push_back(root);
+    }
+  }
+
+  // Count backward uses of t.
+  int bwd_uses = 0;
+  for (OpId consumer : graph.tensor(t).consumers) {
+    if (graph.node(consumer).op->is_backward()) ++bwd_uses;
+  }
+  (void)schedule;
+  return chain_seconds * std::max(1, bwd_uses);
+}
+
+double SplitDegradation(const Graph& graph, const GraphProfile& profile,
+                        TensorId t, int p_num, int dim) {
+  const TensorDesc& desc = graph.tensor(t);
+  OpId producer = desc.producer;
+  if (producer == kInvalidOp) return 0;
+  double whole = profile.ops[static_cast<size_t>(producer)].seconds;
+  double split = SplitOpSeconds(graph, profile.device, producer, dim, p_num);
+  double degradation = std::max(0.0, split - whole);
+  // Off-batch-axis splits cannot always merge in place; charge the copy.
+  if (dim != 0) {
+    degradation += 2.0 * static_cast<double>(desc.size_bytes()) /
+                   profile.device.dram_bytes_per_sec();
+  }
+  return degradation;
+}
+
+}  // namespace tsplit::planner

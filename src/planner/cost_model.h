@@ -1,0 +1,64 @@
+#ifndef TSPLIT_PLANNER_COST_MODEL_H_
+#define TSPLIT_PLANNER_COST_MODEL_H_
+
+// The analytic strategy cost model (paper §IV-B):
+//   Eq. 2 — ΔM of swap/recompute on a live tensor = size(s_j)
+//   Eq. 3 — ΔT of swap = unoverlappable transfer time given the PCIe
+//            occupancy Oc_u of each op window under the current plan
+//   Eq. 4/5 — ΔT of recompute = re-execution time of the producing
+//            subgraph up to currently-resident ancestors
+//   Eq. 6 — ΔT of split = Σ micro-tensor swap/recompute ΔT + kernel
+//            degradation ΔT_split(p_num, dim) (+ split/merge copies,
+//            negligible and counted only off the batch axis)
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/schedule.h"
+#include "planner/memory_sim.h"
+#include "planner/plan.h"
+#include "planner/profile.h"
+
+namespace tsplit::planner {
+
+// Simulated PCIe occupancy per op window under the current plan (paper
+// §V-B: TSPLIT assigns ideal begin times to each planned transfer and
+// replays the link status). Index: schedule position.
+struct PcieOccupancy {
+  std::vector<double> d2h;  // fraction of op u's duration the D2H link busy
+  std::vector<double> h2d;
+  // Prefix sums of free compute time: free_prefix[p] = Σ_{u<p} (1-Oc_u)·T_u,
+  // so the hideable window (a, b) costs free_prefix[b] - free_prefix[a].
+  std::vector<double> d2h_free_prefix;
+  std::vector<double> h2d_free_prefix;
+};
+
+PcieOccupancy SimulatePcie(const Graph& graph, const Schedule& schedule,
+                           const std::vector<TensorFacts>& facts,
+                           const GraphProfile& profile, const Plan& plan);
+
+// ΔT of assigning swap to root tensor `t` with the bottleneck at
+// `bottleneck_pos` (Eq. 3). `bytes` may be the whole tensor or one
+// micro-part.
+double SwapCost(const Graph& graph, const Schedule& schedule,
+                const std::vector<TensorFacts>& facts,
+                const GraphProfile& profile, const PcieOccupancy& occupancy,
+                TensorId t, size_t bytes, int bottleneck_pos);
+
+// ΔT of assigning recompute to root tensor `t`: the re-execution time of
+// its producing chain back to ancestors the plan keeps resident, once per
+// backward use (memory-centric accounting, §V-D).
+double RecomputeCost(const Graph& graph, const Schedule& schedule,
+                     const std::vector<TensorFacts>& facts,
+                     const GraphProfile& profile, const Plan& plan,
+                     TensorId t);
+
+// ΔT_split(p_num, dim): the kernel-degradation term of Eq. 6 — the summed
+// micro-kernel time of every op that will run micro-wise for this split,
+// minus their unsplit time.
+double SplitDegradation(const Graph& graph, const GraphProfile& profile,
+                        TensorId t, int p_num, int dim);
+
+}  // namespace tsplit::planner
+
+#endif  // TSPLIT_PLANNER_COST_MODEL_H_

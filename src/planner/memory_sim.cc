@@ -1,0 +1,279 @@
+#include "planner/memory_sim.h"
+
+#include <algorithm>
+
+#include "graph/views.h"
+
+namespace tsplit::planner {
+
+std::vector<TensorFacts> ComputeTensorFacts(const Graph& graph,
+                                            const Schedule& schedule) {
+  const auto num_tensors = static_cast<size_t>(graph.num_tensors());
+  std::vector<TensorId> root = ComputeViewRoots(graph);
+  std::vector<TensorFacts> facts(num_tensors);
+
+  for (size_t i = 0; i < num_tensors; ++i) {
+    const TensorDesc& t = graph.tensors()[i];
+    TensorFacts& f = facts[i];
+    f.root = root[i];
+    f.is_view_alias = f.root != t.id;
+    f.bytes = t.size_bytes();
+    f.always_live = t.kind == TensorKind::kParameter ||
+                    t.kind == TensorKind::kInput ||
+                    t.kind == TensorKind::kOptimizerState;
+  }
+
+  // Accumulate positions onto roots (views redirect to their storage).
+  for (const OpNode& node : graph.nodes()) {
+    if (node.op->is_view()) continue;
+    int pos = schedule.pos_of_op[static_cast<size_t>(node.id)];
+    for (TensorId input : node.inputs) {
+      TensorFacts& f = facts[static_cast<size_t>(root[
+          static_cast<size_t>(input)])];
+      f.last_use = std::max(f.last_use, pos);
+      if (node.op->is_backward()) {
+        if (f.first_bwd_use < 0 || pos < f.first_bwd_use) {
+          f.first_bwd_use = pos;
+        }
+      } else {
+        f.fwd_last_use = std::max(f.fwd_last_use, pos);
+      }
+    }
+    for (TensorId output : node.outputs) {
+      facts[static_cast<size_t>(output)].def_pos = pos;
+    }
+  }
+  for (size_t i = 0; i < num_tensors; ++i) {
+    TensorFacts& f = facts[i];
+    if (f.fwd_last_use < 0) f.fwd_last_use = f.def_pos;
+    if (f.last_use < 0) f.last_use = f.def_pos;
+  }
+  return facts;
+}
+
+size_t RecomputeChainTransient(const Graph& graph,
+                               const std::vector<TensorFacts>& all_facts,
+                               const Plan& plan, TensorId t) {
+  const TensorFacts& tf = all_facts[static_cast<size_t>(t)];
+  int window_start = tf.first_bwd_use;
+
+  // True when `r` is still device-resident when `t` regenerates.
+  auto available = [&](TensorId r) {
+    const TensorFacts& rf = all_facts[static_cast<size_t>(r)];
+    if (rf.always_live) return true;
+    STensorConfig cfg = plan.ConfigFor(r);
+    return cfg.opt == MemOpt::kReside && rf.last_use >= window_start;
+  };
+  // Largest input of `x`'s producer that must be re-materialized.
+  auto largest_unavailable = [&](TensorId x) -> TensorId {
+    OpId producer = graph.tensor(x).producer;
+    if (producer == kInvalidOp) return kInvalidTensor;
+    TensorId best = kInvalidTensor;
+    size_t best_bytes = 0;
+    for (TensorId input : graph.node(producer).inputs) {
+      TensorId r = all_facts[static_cast<size_t>(input)].root;
+      if (available(r)) continue;
+      size_t bytes = all_facts[static_cast<size_t>(r)].bytes;
+      if (bytes > best_bytes) {
+        best_bytes = bytes;
+        best = r;
+      }
+    }
+    return best;
+  };
+
+  // A split ancestor streams back one part at a time.
+  auto regen_bytes = [&](TensorId r) {
+    size_t bytes = all_facts[static_cast<size_t>(r)].bytes;
+    SplitConfig split = plan.ConfigFor(r).split;
+    if (split.active()) bytes /= static_cast<size_t>(split.p_num);
+    return bytes;
+  };
+
+  TensorId level1 = largest_unavailable(t);
+  if (level1 == kInvalidTensor) return 0;
+  size_t transient = regen_bytes(level1);
+  if (plan.ConfigFor(level1).opt == MemOpt::kRecompute) {
+    TensorId level2 = largest_unavailable(level1);
+    if (level2 != kInvalidTensor) transient += regen_bytes(level2);
+  }
+  return transient;
+}
+
+std::vector<MemRange> TensorMemoryRanges(
+    const Graph& graph, const std::vector<TensorFacts>& all_facts,
+    const Plan& plan, const TensorFacts& f, const STensorConfig& config,
+    int num_steps) {
+  std::vector<MemRange> ranges;
+  if (f.is_view_alias || f.bytes == 0) return ranges;
+  const TensorDesc& t = graph.tensor(f.root);
+
+  int p_num = 1;
+  if (config.split.active()) {
+    const Shape& shape = t.shape;
+    if (config.split.dim >= 0 && config.split.dim < shape.rank() &&
+        shape.dim(config.split.dim) >= config.split.p_num) {
+      p_num = config.split.p_num;
+    }
+  }
+
+  auto clamp_range = [&](int from, int to, size_t bytes) {
+    from = std::max(from, 0);
+    to = std::min(to, num_steps - 1);
+    if (from <= to && bytes > 0) ranges.push_back(MemRange{from, to, bytes});
+  };
+
+  if (f.always_live) {
+    if (config.opt == MemOpt::kSwap && f.last_use < 0 && f.def_pos < 0) {
+      // Never-touched state (Adam moments under ZeRO-Offload): lives on
+      // the CPU for the whole iteration.
+      return ranges;
+    }
+    if (config.opt == MemOpt::kSwap && f.first_bwd_use > f.fwd_last_use &&
+        f.first_bwd_use >= 0) {
+      // Offloaded parameter (ZeRO / FairScale): absent during its gap.
+      clamp_range(0, f.fwd_last_use, f.bytes);
+      clamp_range(f.first_bwd_use, num_steps - 1, f.bytes);
+    } else {
+      clamp_range(0, num_steps - 1, f.bytes);
+    }
+    return ranges;
+  }
+  // Parameter gradients have no consumer in the iteration graph: they
+  // persist to the end (reside) or stream to the CPU as produced (swap).
+  if (t.kind == TensorKind::kParamGrad && f.last_use <= f.def_pos) {
+    if (config.opt == MemOpt::kSwap) {
+      clamp_range(f.def_pos, f.def_pos, f.bytes);
+    } else {
+      clamp_range(f.def_pos, num_steps - 1, f.bytes);
+    }
+    return ranges;
+  }
+  if (f.def_pos < 0) {
+    clamp_range(0, num_steps - 1, f.bytes);
+    return ranges;
+  }
+
+  bool evicted = (config.opt == MemOpt::kSwap ||
+                  config.opt == MemOpt::kRecompute) &&
+                 f.first_bwd_use > f.fwd_last_use && f.first_bwd_use >= 0;
+
+  // Recomputation transient: regenerating this tensor re-materializes its
+  // producer's largest input (the checkpoint swapped in from the host)
+  // alongside it. Charge that transient across the regeneration window so
+  // the planner sees the true cost of recompute chains — and prefers
+  // split+swap when checkpoints are huge (frontier behaviour, Fig 14b).
+  if (evicted && config.opt == MemOpt::kRecompute) {
+    size_t transient =
+        RecomputeChainTransient(graph, all_facts, plan, f.root);
+    if (transient > 0) {
+      clamp_range(f.first_bwd_use, f.last_use, transient);
+    }
+  }
+
+  if (p_num > 1 && config.opt == MemOpt::kReside &&
+      f.last_use <= f.fwd_last_use) {
+    // Pure split pipelining: the tensor dies at its last forward use, so
+    // consumed parts free immediately — no regeneration needed at all
+    // (the paper's input/output memory reuse at the bottleneck op).
+    if (f.def_pos < f.fwd_last_use) {
+      clamp_range(f.def_pos, f.fwd_last_use - 1, f.bytes);
+    }
+    clamp_range(f.fwd_last_use, f.fwd_last_use,
+                f.bytes / static_cast<size_t>(p_num));
+    return ranges;
+  }
+
+  if (p_num > 1 && config.opt != MemOpt::kReside) {
+    // Micro-pipelined at its last forward use: roughly one part resident
+    // while the rest stream out.
+    size_t part = f.bytes / static_cast<size_t>(p_num);
+    if (f.def_pos < f.fwd_last_use) {
+      clamp_range(f.def_pos, f.fwd_last_use - 1, f.bytes);
+    }
+    clamp_range(f.fwd_last_use, f.fwd_last_use, part);
+    if (evicted) {
+      if (f.first_bwd_use == f.last_use ||
+          config.opt == MemOpt::kRecompute) {
+        // Parts regenerate one at a time: a single backward consumer
+        // streams them (swap), and memory-centric recomputation re-drops
+        // them after every use, so at most one part is resident per use.
+        clamp_range(f.first_bwd_use, f.last_use, part);
+      } else {
+        clamp_range(f.first_bwd_use, f.last_use, f.bytes);
+      }
+    } else {
+      clamp_range(f.fwd_last_use + 1, f.last_use, f.bytes);
+    }
+    return ranges;
+  }
+
+  if (evicted) {
+    clamp_range(f.def_pos, f.fwd_last_use, f.bytes);
+    clamp_range(f.first_bwd_use, f.last_use, f.bytes);
+  } else {
+    clamp_range(f.def_pos, f.last_use, f.bytes);
+  }
+  return ranges;
+}
+
+size_t BytesAtPos(const Graph& graph,
+                  const std::vector<TensorFacts>& all_facts,
+                  const Plan& plan, const TensorFacts& facts,
+                  const STensorConfig& config, int pos, int num_steps) {
+  size_t bytes = 0;
+  for (const MemRange& range :
+       TensorMemoryRanges(graph, all_facts, plan, facts, config,
+                          num_steps)) {
+    if (range.from <= pos && pos <= range.to) bytes += range.bytes;
+  }
+  return bytes;
+}
+
+int OpSplitDivisor(const Graph& graph, const Plan& plan,
+                   const std::vector<TensorFacts>& facts, OpId id) {
+  const OpNode& node = graph.node(id);
+  int p_num = 1;
+  for (TensorId out : node.outputs) {
+    SplitConfig split = plan.ConfigFor(out).split;
+    if (split.active()) p_num = std::max(p_num, split.p_num);
+  }
+  for (TensorId in : node.inputs) {
+    TensorId root = facts[static_cast<size_t>(in)].root;
+    SplitConfig split = plan.ConfigFor(root).split;
+    if (split.active()) p_num = std::max(p_num, split.p_num);
+  }
+  return p_num;
+}
+
+std::vector<size_t> PlannedMemory(const Graph& graph,
+                                  const Schedule& schedule,
+                                  const std::vector<TensorFacts>& facts,
+                                  const Plan& plan) {
+  const int num_steps = schedule.num_steps();
+  std::vector<size_t> memory(static_cast<size_t>(num_steps), 0);
+
+  for (const TensorFacts& f : facts) {
+    if (f.is_view_alias) continue;
+    STensorConfig config = plan.ConfigFor(f.root);
+    for (const MemRange& range :
+         TensorMemoryRanges(graph, facts, plan, f, config, num_steps)) {
+      for (int pos = range.from; pos <= range.to; ++pos) {
+        memory[static_cast<size_t>(pos)] += range.bytes;
+      }
+    }
+  }
+
+  for (int pos = 0; pos < num_steps; ++pos) {
+    OpId id = schedule.order[static_cast<size_t>(pos)];
+    const OpNode& node = graph.node(id);
+    size_t workspace = node.op->WorkspaceBytes(graph.InputShapes(id),
+                                               graph.OutputShapes(id));
+    int p_num = OpSplitDivisor(graph, plan, facts, id);
+    memory[static_cast<size_t>(pos)] +=
+        workspace / static_cast<size_t>(p_num);
+  }
+  return memory;
+}
+
+}  // namespace tsplit::planner

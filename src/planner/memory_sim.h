@@ -1,0 +1,78 @@
+#ifndef TSPLIT_PLANNER_MEMORY_SIM_H_
+#define TSPLIT_PLANNER_MEMORY_SIM_H_
+
+// Planner-side memory simulation: the per-op memory requirement M_i under a
+// candidate plan (Algorithm 2 line 3). Evicted tensors stop counting
+// between their last forward use and their first backward use; split
+// tensors count one micro-part at their pipelined bottleneck op; workspaces
+// of micro-executed ops shrink proportionally. This is the planner's
+// estimate — the discrete-event executor is ground truth.
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/schedule.h"
+#include "planner/plan.h"
+#include "planner/profile.h"
+
+namespace tsplit::planner {
+
+// Per-root lifetime facts the planner reasons about.
+struct TensorFacts {
+  TensorId root = kInvalidTensor;
+  bool is_view_alias = false;
+  bool always_live = false;
+  int def_pos = -1;
+  int fwd_last_use = -1;        // last forward consumer (def if none)
+  int first_bwd_use = -1;       // first backward consumer (-1 if none)
+  int last_use = -1;
+  size_t bytes = 0;
+};
+
+std::vector<TensorFacts> ComputeTensorFacts(const Graph& graph,
+                                            const Schedule& schedule);
+
+// A contiguous schedule window during which a tensor holds `bytes` of
+// device memory.
+struct MemRange {
+  int from;
+  int to;  // inclusive
+  size_t bytes;
+};
+
+// Memory held by one (root) tensor under `config`, as schedule ranges.
+// This is the single source of truth shared by the full simulation and the
+// planner's incremental updates.
+std::vector<MemRange> TensorMemoryRanges(
+    const Graph& graph, const std::vector<TensorFacts>& all_facts,
+    const Plan& plan, const TensorFacts& facts, const STensorConfig& config,
+    int num_steps);
+
+// Peak extra bytes co-resident while regenerating a recompute-marked
+// tensor: the chain's nearest unavailable ancestor plus (for recompute
+// ancestors) one more level — memory-centric chains hold at most two
+// levels at once.
+size_t RecomputeChainTransient(const Graph& graph,
+                               const std::vector<TensorFacts>& all_facts,
+                               const Plan& plan, TensorId t);
+
+// Memory a tensor holds at schedule position `pos` under `config`.
+size_t BytesAtPos(const Graph& graph,
+                  const std::vector<TensorFacts>& all_facts,
+                  const Plan& plan, const TensorFacts& facts,
+                  const STensorConfig& config, int pos, int num_steps);
+
+// Workspace shrink divisor for op `id`: the largest split p_num among its
+// input / output tensors (micro-executed ops allocate micro workspaces).
+int OpSplitDivisor(const Graph& graph, const Plan& plan,
+                   const std::vector<TensorFacts>& facts, OpId id);
+
+// M_i for every schedule position under `plan`.
+std::vector<size_t> PlannedMemory(const Graph& graph,
+                                  const Schedule& schedule,
+                                  const std::vector<TensorFacts>& facts,
+                                  const Plan& plan);
+
+}  // namespace tsplit::planner
+
+#endif  // TSPLIT_PLANNER_MEMORY_SIM_H_

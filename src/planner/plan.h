@@ -1,0 +1,65 @@
+#ifndef TSPLIT_PLANNER_PLAN_H_
+#define TSPLIT_PLANNER_PLAN_H_
+
+// A memory-management plan: one STensorConfig per tensor (default: reside,
+// unsplit). Produced by the TSPLIT planner or a baseline policy; consumed
+// by the augmented-program generator.
+
+#include <string>
+#include <unordered_map>
+
+#include "core/ids.h"
+#include "core/stensor.h"
+#include "graph/graph.h"
+
+namespace tsplit::planner {
+
+struct Plan {
+  std::string planner_name = "base";
+  std::unordered_map<TensorId, STensorConfig> configs;
+
+  STensorConfig ConfigFor(TensorId id) const {
+    auto it = configs.find(id);
+    return it == configs.end() ? STensorConfig{} : it->second;
+  }
+
+  void Set(TensorId id, STensorConfig config) { configs[id] = config; }
+
+  int CountOpt(MemOpt opt) const {
+    int count = 0;
+    for (const auto& [id, config] : configs) {
+      if (config.opt == opt) ++count;
+    }
+    return count;
+  }
+
+  int CountSplit() const {
+    int count = 0;
+    for (const auto& [id, config] : configs) {
+      if (config.split.active()) ++count;
+    }
+    return count;
+  }
+
+  // Bytes of tensors assigned each option (Fig 14b's swap-vs-recompute mix).
+  size_t BytesWithOpt(const Graph& graph, MemOpt opt) const {
+    size_t bytes = 0;
+    for (const auto& [id, config] : configs) {
+      if (config.opt == opt) bytes += graph.tensor(id).size_bytes();
+    }
+    return bytes;
+  }
+
+  std::string ToString(const Graph& graph) const {
+    std::string out = "Plan[" + planner_name + "]\n";
+    for (const auto& [id, config] : configs) {
+      if (config.opt == MemOpt::kReside && !config.split.active()) continue;
+      out += "  " + graph.tensor(id).name + ": " + config.ToString() + "\n";
+    }
+    return out;
+  }
+};
+
+}  // namespace tsplit::planner
+
+#endif  // TSPLIT_PLANNER_PLAN_H_

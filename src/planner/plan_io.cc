@@ -1,0 +1,136 @@
+#include "planner/plan_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+namespace tsplit::planner {
+
+namespace {
+
+// Names repeat across layers (e.g. every conv layer's "d_conv_w"); the
+// serialization key is therefore "name@ordinal", the k-th tensor with that
+// name in id order — stable across rebuilds of the same deterministic
+// builder. The ordinal is omitted for unique names.
+std::unordered_map<TensorId, std::string> StableKeys(const Graph& graph) {
+  std::unordered_map<std::string, int> counts;
+  for (const TensorDesc& t : graph.tensors()) ++counts[t.name];
+  std::unordered_map<std::string, int> seen;
+  std::unordered_map<TensorId, std::string> keys;
+  for (const TensorDesc& t : graph.tensors()) {
+    int ordinal = seen[t.name]++;
+    keys[t.id] = counts[t.name] > 1
+                     ? t.name + "@" + std::to_string(ordinal)
+                     : t.name;
+  }
+  return keys;
+}
+
+}  // namespace
+
+std::string SerializePlan(const Graph& graph, const Plan& plan) {
+  std::ostringstream os;
+  os << "# tsplit-plan v1 " << plan.planner_name << "\n";
+  auto keys = StableKeys(graph);
+  // Deterministic order: tensor id.
+  for (const TensorDesc& t : graph.tensors()) {
+    auto it = plan.configs.find(t.id);
+    if (it == plan.configs.end()) continue;
+    const STensorConfig& config = it->second;
+    if (config.opt == MemOpt::kReside && !config.split.active()) continue;
+    os << keys[t.id] << " " << MemOptToString(config.opt);
+    if (config.split.active()) {
+      os << " " << config.split.p_num << " " << config.split.dim;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Result<Plan> ParsePlan(const Graph& graph, const std::string& text) {
+  std::unordered_map<std::string, TensorId> by_name;
+  for (const auto& [id, key] : StableKeys(graph)) {
+    by_name.emplace(key, id);
+  }
+
+  Plan plan;
+  std::istringstream is(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // Header: "# tsplit-plan v1 <name>".
+      std::istringstream header(line);
+      std::string hash, magic, version;
+      header >> hash >> magic >> version;
+      if (magic == "tsplit-plan") {
+        header >> plan.planner_name;
+        if (version != "v1") {
+          return Status::InvalidArgument("unsupported plan version " +
+                                         version);
+        }
+      }
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string name, opt_name;
+    fields >> name >> opt_name;
+    if (name.empty() || opt_name.empty()) {
+      return Status::InvalidArgument("malformed plan line " +
+                                     std::to_string(line_number));
+    }
+    auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      return Status::NotFound("plan references unknown tensor '" + name +
+                              "' (line " + std::to_string(line_number) +
+                              ")");
+    }
+    STensorConfig config;
+    if (opt_name == "reside") {
+      config.opt = MemOpt::kReside;
+    } else if (opt_name == "swap") {
+      config.opt = MemOpt::kSwap;
+    } else if (opt_name == "recompute") {
+      config.opt = MemOpt::kRecompute;
+    } else {
+      return Status::InvalidArgument("unknown memory option '" + opt_name +
+                                     "' (line " +
+                                     std::to_string(line_number) + ")");
+    }
+    int p_num = 0, dim = 0;
+    if (fields >> p_num) {
+      if (!(fields >> dim) || p_num < 2) {
+        return Status::InvalidArgument("malformed split config (line " +
+                                       std::to_string(line_number) + ")");
+      }
+      config.split = SplitConfig{p_num, dim};
+    }
+    plan.Set(it->second, config);
+  }
+  return plan;
+}
+
+Status SavePlan(const Graph& graph, const Plan& plan,
+                const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  out << SerializePlan(graph, plan);
+  return out.good() ? Status::OK()
+                    : Status::Internal("write to " + path + " failed");
+}
+
+Result<Plan> LoadPlan(const Graph& graph, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open " + path);
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return ParsePlan(graph, buffer.str());
+}
+
+}  // namespace tsplit::planner

@@ -1,0 +1,36 @@
+#ifndef TSPLIT_PLANNER_PLAN_IO_H_
+#define TSPLIT_PLANNER_PLAN_IO_H_
+
+// Plan (de)serialization. TSPLIT plans once per (model, batch, device) and
+// reuses the decision across training runs — the profiling/planning step
+// happens offline (paper §V-B). This text format makes plans durable and
+// diffable:
+//
+//   # tsplit-plan v1 <planner-name>
+//   <tensor-name> <opt> [p_num dim]
+//
+// Tensors are keyed by NAME (stable across rebuilds of the same model),
+// not by id.
+
+#include <string>
+
+#include "graph/graph.h"
+#include "planner/plan.h"
+
+namespace tsplit::planner {
+
+// Serializes every non-default config, keyed by tensor name.
+std::string SerializePlan(const Graph& graph, const Plan& plan);
+
+// Parses a serialized plan against `graph` (names resolve to ids). Unknown
+// tensor names fail with NotFound; malformed lines with InvalidArgument.
+Result<Plan> ParsePlan(const Graph& graph, const std::string& text);
+
+// File convenience wrappers.
+Status SavePlan(const Graph& graph, const Plan& plan,
+                const std::string& path);
+Result<Plan> LoadPlan(const Graph& graph, const std::string& path);
+
+}  // namespace tsplit::planner
+
+#endif  // TSPLIT_PLANNER_PLAN_IO_H_

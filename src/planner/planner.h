@@ -1,0 +1,44 @@
+#ifndef TSPLIT_PLANNER_PLANNER_H_
+#define TSPLIT_PLANNER_PLANNER_H_
+
+// Planner interface: policy in, plan out. TSPLIT's model-guided planner and
+// every baseline (vDNN, Checkpoints, SuperNeurons, ZeRO-Offload,
+// FairScale-Offload) implement this, so the same executor pipeline
+// evaluates them all.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/schedule.h"
+#include "planner/plan.h"
+#include "planner/profile.h"
+
+namespace tsplit::planner {
+
+class Planner {
+ public:
+  virtual ~Planner() = default;
+  virtual std::string name() const = 0;
+
+  // Builds a plan for the graph under `memory_budget` bytes of device
+  // memory. Budget-aware planners (TSPLIT) fail with ResourceExhausted when
+  // no plan can fit; policy planners (vDNN, SuperNeurons) always return
+  // their fixed policy and leave OOM to the executor.
+  virtual Result<Plan> BuildPlan(const Graph& graph, const Schedule& schedule,
+                                 const GraphProfile& profile,
+                                 size_t memory_budget) = 0;
+};
+
+// Factory over every registered planner ("Base", "vDNN-conv", "vDNN-all",
+// "Checkpoints", "SuperNeurons", "TSPLIT", "TSPLIT-nosplit",
+// "ZeRO-Offload", "FairScale-Offload").
+std::unique_ptr<Planner> MakePlanner(const std::string& name);
+
+// All registered planner names, paper-table order.
+std::vector<std::string> PlannerNames();
+
+}  // namespace tsplit::planner
+
+#endif  // TSPLIT_PLANNER_PLANNER_H_

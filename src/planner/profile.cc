@@ -1,0 +1,73 @@
+#include "planner/profile.h"
+
+#include "sim/kernel_model.h"
+
+namespace tsplit::planner {
+
+GraphProfile ProfileGraph(const Graph& graph,
+                          const sim::DeviceProfile& device) {
+  GraphProfile profile;
+  profile.device = device;
+  profile.ops.reserve(static_cast<size_t>(graph.num_ops()));
+  for (const OpNode& node : graph.nodes()) {
+    std::vector<Shape> in = graph.InputShapes(node.id);
+    std::vector<Shape> out = graph.OutputShapes(node.id);
+    OpProfile op_profile;
+    op_profile.flops = node.op->Flops(in, out);
+    op_profile.bytes = node.op->BytesTouched(in, out);
+    op_profile.workspace_bytes = node.op->WorkspaceBytes(in, out);
+    op_profile.seconds = node.op->is_view()
+                             ? 0.0
+                             : sim::KernelTime(device, op_profile.flops,
+                                               op_profile.bytes);
+    profile.ops.push_back(op_profile);
+  }
+  profile.transfer_seconds.reserve(
+      static_cast<size_t>(graph.num_tensors()));
+  profile.tensor_bytes.reserve(static_cast<size_t>(graph.num_tensors()));
+  for (const TensorDesc& tensor : graph.tensors()) {
+    size_t bytes = tensor.size_bytes();
+    profile.tensor_bytes.push_back(bytes);
+    profile.transfer_seconds.push_back(sim::TransferTime(device, bytes));
+  }
+  return profile;
+}
+
+double SplitOpSeconds(const Graph& graph, const sim::DeviceProfile& device,
+                      OpId id, int output_axis, int p_num) {
+  const OpNode& node = graph.node(id);
+  std::vector<Shape> in = graph.InputShapes(id);
+  std::vector<Shape> out = graph.OutputShapes(id);
+  if (node.op->is_view()) return 0.0;
+
+  auto rule = node.op->SplitRuleFor(output_axis, in, out);
+  if (!rule.ok()) {
+    return sim::KernelTime(device, node.op->Flops(in, out),
+                           node.op->BytesTouched(in, out));
+  }
+
+  double total = 0;
+  for (int part = 0; part < p_num; ++part) {
+    std::vector<Shape> micro_in = in;
+    for (size_t i = 0; i < in.size(); ++i) {
+      int axis = rule->input_axes[i];
+      if (axis == kReplicateInput) continue;
+      auto sliced = in[i].SplitPart(axis, p_num, part);
+      if (!sliced.ok()) return sim::KernelTime(device, node.op->Flops(in, out),
+                                               node.op->BytesTouched(in, out));
+      micro_in[i] = std::move(*sliced);
+    }
+    std::vector<Shape> micro_out = out;
+    auto sliced_out = out[0].SplitPart(output_axis, p_num, part);
+    if (!sliced_out.ok()) {
+      return sim::KernelTime(device, node.op->Flops(in, out),
+                             node.op->BytesTouched(in, out));
+    }
+    micro_out[0] = std::move(*sliced_out);
+    total += sim::KernelTime(device, node.op->Flops(micro_in, micro_out),
+                             node.op->BytesTouched(micro_in, micro_out));
+  }
+  return total;
+}
+
+}  // namespace tsplit::planner

@@ -1,0 +1,51 @@
+#ifndef TSPLIT_PLANNER_PROFILE_H_
+#define TSPLIT_PLANNER_PROFILE_H_
+
+// Profiling-based estimation (paper §V-B): TSPLIT measures every operator
+// before training (cudaEvent on hardware; the analytic kernel model on our
+// simulated device) and derives tensor transfer times as size / PCIe
+// bandwidth. The planner's cost model consumes this profile, never raw
+// hardware state — which is exactly what makes plans hardware-adaptive
+// (Fig 14b).
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/schedule.h"
+#include "sim/device.h"
+
+namespace tsplit::planner {
+
+struct OpProfile {
+  double seconds = 0;     // measured kernel duration
+  double flops = 0;
+  double bytes = 0;
+  size_t workspace_bytes = 0;
+};
+
+struct GraphProfile {
+  sim::DeviceProfile device;
+  std::vector<OpProfile> ops;          // indexed by OpId
+  std::vector<double> transfer_seconds;  // indexed by TensorId: size/B
+  std::vector<size_t> tensor_bytes;      // indexed by TensorId
+
+  double TotalComputeSeconds() const {
+    double total = 0;
+    for (const OpProfile& p : ops) total += p.seconds;
+    return total;
+  }
+};
+
+// Profiles every op and tensor of `graph` on `device`.
+GraphProfile ProfileGraph(const Graph& graph, const sim::DeviceProfile& device);
+
+// Duration of op `id` when split into `p_num` micro-kernels along a legal
+// axis: the summed micro-kernel times (paper Eq. 6's degradation term plus
+// the micro swap/recompute granularity). Returns the unsplit time when the
+// op exposes no rule for the axis.
+double SplitOpSeconds(const Graph& graph, const sim::DeviceProfile& device,
+                      OpId id, int output_axis, int p_num);
+
+}  // namespace tsplit::planner
+
+#endif  // TSPLIT_PLANNER_PROFILE_H_

@@ -1,0 +1,44 @@
+#include "planner/planner.h"
+
+#include "baselines/baselines.h"
+#include "planner/tsplit_planner.h"
+
+namespace tsplit::planner {
+
+std::unique_ptr<Planner> MakePlanner(const std::string& name) {
+  using baselines::VdnnPlanner;
+  if (name == "Base") return std::make_unique<baselines::BasePlanner>();
+  if (name == "vDNN-conv") {
+    return std::make_unique<VdnnPlanner>(VdnnPlanner::Mode::kConv);
+  }
+  if (name == "vDNN-all") {
+    return std::make_unique<VdnnPlanner>(VdnnPlanner::Mode::kAll);
+  }
+  if (name == "Checkpoints") {
+    return std::make_unique<baselines::CheckpointsPlanner>();
+  }
+  if (name == "SuperNeurons") {
+    return std::make_unique<baselines::SuperNeuronsPlanner>();
+  }
+  if (name == "TSPLIT") return std::make_unique<TsplitPlanner>();
+  if (name == "TSPLIT-nosplit") {
+    TsplitOptions options;
+    options.enable_split = false;
+    return std::make_unique<TsplitPlanner>(options);
+  }
+  if (name == "ZeRO-Offload") {
+    return std::make_unique<baselines::ZeroOffloadPlanner>();
+  }
+  if (name == "FairScale-Offload") {
+    return std::make_unique<baselines::FairscaleOffloadPlanner>();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> PlannerNames() {
+  return {"Base",         "vDNN-conv",      "vDNN-all",
+          "Checkpoints",  "SuperNeurons",   "TSPLIT",
+          "TSPLIT-nosplit", "ZeRO-Offload", "FairScale-Offload"};
+}
+
+}  // namespace tsplit::planner

@@ -1,0 +1,465 @@
+#include "planner/tsplit_planner.h"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+
+#include "planner/cost_model.h"
+#include "planner/memory_sim.h"
+
+namespace tsplit::planner {
+
+namespace {
+
+struct Candidate {
+  TensorId tensor = kInvalidTensor;
+  STensorConfig config;
+  double delta_t = 0;
+  double delta_m = 0;  // bytes reduced at the bottleneck
+
+  double ratio() const {
+    return delta_m > 0 ? delta_t / delta_m
+                       : std::numeric_limits<double>::infinity();
+  }
+};
+
+bool RecomputeEligible(const Graph& graph, TensorId t) {
+  OpId producer = graph.tensor(t).producer;
+  return producer != kInvalidOp &&
+         graph.node(producer).op->recompute_safe() &&
+         !graph.node(producer).op->is_backward();
+}
+
+// Recompute is only worthwhile when its chain re-materializes nothing (its
+// producer inputs stay available): transient-free recomputation, the
+// regime SuperNeurons exploits for cheap layers above a kept checkpoint.
+bool RecomputeTransientFree(const Graph& graph,
+                            const std::vector<TensorFacts>& facts,
+                            const Plan& plan, TensorId t) {
+  return RecomputeChainTransient(graph, facts, plan, t) == 0;
+}
+
+// Joint split planning up the regeneration chain: when a recompute tensor
+// is split, its producer re-executes per micro-part, so the producer's
+// inputs are consumed as aligned slices. Giving those ancestors matching
+// split configs lets checkpoints stream back one part at a time instead of
+// re-materializing whole (the paper's joint optimization of split with
+// swap/recompute across the dataflow graph).
+void PropagateSplitUpChain(const Graph& graph,
+                           const std::vector<TensorFacts>& facts, Plan* plan,
+                           TensorId t, int depth = 0) {
+  if (depth > 16) return;
+  STensorConfig cfg = plan->ConfigFor(t);
+  if (!cfg.split.active() || cfg.opt != MemOpt::kRecompute) return;
+  OpId producer = graph.tensor(t).producer;
+  if (producer == kInvalidOp) return;
+  const OpNode& node = graph.node(producer);
+  if (node.outputs.size() != 1) return;
+  std::vector<Shape> in_shapes = graph.InputShapes(producer);
+  std::vector<Shape> out_shapes = graph.OutputShapes(producer);
+  auto rule = node.op->SplitRuleFor(cfg.split.dim, in_shapes, out_shapes);
+  if (!rule.ok()) return;
+  for (size_t idx = 0; idx < node.inputs.size(); ++idx) {
+    int axis = rule->input_axes[idx];
+    if (axis == kReplicateInput) continue;
+    TensorId input = node.inputs[idx];
+    TensorId root = facts[static_cast<size_t>(input)].root;
+    if (root != input) continue;  // views change the coordinate system
+    const TensorFacts& f = facts[static_cast<size_t>(root)];
+    if (f.always_live) continue;
+    STensorConfig ancestor = plan->ConfigFor(root);
+    if (ancestor.split.active()) continue;
+    const Shape& shape = graph.tensor(root).shape;
+    if (axis < 0 || axis >= shape.rank() ||
+        shape.dim(axis) < cfg.split.p_num) {
+      continue;
+    }
+    ancestor.split = SplitConfig{cfg.split.p_num, axis};
+    plan->Set(root, ancestor);
+    if (ancestor.opt == MemOpt::kRecompute) {
+      PropagateSplitUpChain(graph, facts, plan, root, depth + 1);
+    }
+  }
+}
+
+// True if some already-assigned recompute tensor regenerates from `t`:
+// evicting `t` would silently re-introduce a chain transient.
+bool IsRecomputeCheckpoint(const Graph& graph, const Plan& plan,
+                           TensorId t) {
+  for (OpId consumer : graph.tensor(t).consumers) {
+    const OpNode& node = graph.node(consumer);
+    if (node.op->is_backward()) continue;
+    for (TensorId out : node.outputs) {
+      if (plan.ConfigFor(out).opt == MemOpt::kRecompute) return true;
+    }
+  }
+  return false;
+}
+
+// Incrementally applies a config change to the M_i array.
+class MemoryState {
+ public:
+  MemoryState(const Graph& graph, const Schedule& schedule,
+              const std::vector<TensorFacts>& facts, const Plan& plan)
+      : graph_(graph),
+        schedule_(schedule),
+        facts_(facts),
+        memory_(PlannedMemory(graph, schedule, facts, plan)) {}
+
+  size_t at(int pos) const { return memory_[static_cast<size_t>(pos)]; }
+
+  // Full re-simulation (assignments change other tensors' recompute-chain
+  // transients, which the incremental path cannot track).
+  void Rebuild(const Plan& plan) {
+    memory_ = PlannedMemory(graph_, schedule_, facts_, plan);
+  }
+
+  void Apply(const Plan& plan_after, TensorId tensor,
+             const STensorConfig& before, const STensorConfig& after) {
+    const TensorFacts& f = facts_[static_cast<size_t>(tensor)];
+    int num_steps = schedule_.num_steps();
+    for (const MemRange& range :
+         TensorMemoryRanges(graph_, facts_, plan_after, f, before,
+                            num_steps)) {
+      for (int pos = range.from; pos <= range.to; ++pos) {
+        memory_[static_cast<size_t>(pos)] -= range.bytes;
+      }
+    }
+    for (const MemRange& range :
+         TensorMemoryRanges(graph_, facts_, plan_after, f, after,
+                            num_steps)) {
+      for (int pos = range.from; pos <= range.to; ++pos) {
+        memory_[static_cast<size_t>(pos)] += range.bytes;
+      }
+    }
+    // Workspace divisors of the tensor's producer / consumers may change
+    // when a split appears.
+    if (before.split == after.split) return;
+    const TensorDesc& desc = graph_.tensor(tensor);
+    std::vector<OpId> affected = desc.consumers;
+    if (desc.producer != kInvalidOp) affected.push_back(desc.producer);
+    for (OpId op : affected) {
+      if (graph_.node(op).op->is_view()) continue;
+      int pos = schedule_.pos_of_op[static_cast<size_t>(op)];
+      size_t workspace = graph_.node(op).op->WorkspaceBytes(
+          graph_.InputShapes(op), graph_.OutputShapes(op));
+      if (workspace == 0) continue;
+      // Recompute this op's divisor before/after (the plan already holds
+      // the new config; reconstruct the old divisor from `before`).
+      int new_div = OpSplitDivisor(graph_, plan_after, facts_, op);
+      Plan old_plan = plan_after;
+      old_plan.Set(tensor, before);
+      int old_div = OpSplitDivisor(graph_, old_plan, facts_, op);
+      if (old_div == new_div) continue;
+      memory_[static_cast<size_t>(pos)] -=
+          workspace / static_cast<size_t>(old_div);
+      memory_[static_cast<size_t>(pos)] +=
+          workspace / static_cast<size_t>(new_div);
+    }
+  }
+
+ private:
+  const Graph& graph_;
+  const Schedule& schedule_;
+  const std::vector<TensorFacts>& facts_;
+  std::vector<size_t> memory_;
+};
+
+}  // namespace
+
+Result<Plan> TsplitPlanner::BuildPlan(const Graph& graph,
+                                      const Schedule& schedule,
+                                      const GraphProfile& profile,
+                                      size_t memory_budget) {
+  Plan plan;
+  plan.planner_name = name();
+
+  std::vector<TensorFacts> facts = ComputeTensorFacts(graph, schedule);
+
+  // Optimizer state is never touched inside the iteration: offloading it is
+  // free memory (the same observation ZeRO-Offload is built on).
+  for (const TensorDesc& t : graph.tensors()) {
+    if (t.kind == TensorKind::kOptimizerState) {
+      plan.Set(t.id, STensorConfig{MemOpt::kSwap, {}});
+    }
+  }
+
+  MemoryState memory(graph, schedule, facts, plan);
+
+  int assignments = 0;
+  const int num_steps = schedule.num_steps();
+
+  for (int pos = 0; pos < num_steps; ++pos) {
+    // Multiple rounds per bottleneck: applying candidates changes other
+    // tensors' recompute-chain transients, so re-simulate and re-collect
+    // until the position truly fits (or no candidate helps).
+    for (int round = 0; round < 6 && memory.at(pos) > memory_budget;
+         ++round) {
+    // Refresh the PCIe occupancy view for this bottleneck (paper §V-B).
+    PcieOccupancy occupancy =
+        SimulatePcie(graph, schedule, facts, profile, plan);
+
+    // ---- Collect candidates for this bottleneck ----
+    std::vector<Candidate> candidates;
+
+    OpId bottleneck_op = schedule.order[static_cast<size_t>(pos)];
+    const OpNode& node = graph.node(bottleneck_op);
+
+    // Step 1: non-split strategies on live bystander tensors (Eq. 2).
+    for (const TensorDesc& t : graph.tensors()) {
+      const TensorFacts& f = facts[static_cast<size_t>(t.id)];
+      if (f.is_view_alias || f.always_live || f.bytes == 0) continue;
+      STensorConfig current = plan.ConfigFor(t.id);
+      if (current.opt != MemOpt::kReside) continue;
+      // Accumulated parameter gradients stream to the host as produced
+      // (ZeRO-style) when backward memory is tight.
+      if (t.kind == TensorKind::kParamGrad && f.def_pos < pos) {
+        Candidate stream;
+        stream.tensor = t.id;
+        stream.config.opt = MemOpt::kSwap;
+        stream.config.split = current.split;
+        stream.delta_m = static_cast<double>(f.bytes);
+        stream.delta_t = SwapCost(graph, schedule, facts, profile,
+                                  occupancy, t.id, f.bytes, pos);
+        candidates.push_back(stream);
+        continue;
+      }
+      if (!(f.fwd_last_use < pos && f.first_bwd_use > pos &&
+            f.first_bwd_use >= 0 && f.def_pos < pos)) {
+        continue;
+      }
+      size_t at_pos_now = BytesAtPos(graph, facts, plan, f, current, pos,
+                                     schedule.num_steps());
+
+      Candidate swap;
+      swap.tensor = t.id;
+      swap.config.opt = MemOpt::kSwap;
+      swap.config.split = current.split;  // preserve a propagated split
+      swap.delta_m =
+          static_cast<double>(at_pos_now) -
+          static_cast<double>(BytesAtPos(graph, facts, plan, f,
+                                         swap.config, pos,
+                                         schedule.num_steps()));
+      swap.delta_t = SwapCost(graph, schedule, facts, profile, occupancy,
+                              t.id, f.bytes, pos);
+      candidates.push_back(swap);
+
+      if (IsRecomputeCheckpoint(graph, plan, t.id)) continue;
+
+      if (RecomputeEligible(graph, t.id) &&
+          RecomputeTransientFree(graph, facts, plan, t.id)) {
+        Candidate recompute;
+        recompute.tensor = t.id;
+        recompute.config.opt = MemOpt::kRecompute;
+        recompute.config.split = current.split;
+        // The model diff includes the checkpoint transient recomputation
+        // drags back in (its producer's largest input).
+        recompute.delta_m =
+            static_cast<double>(at_pos_now) -
+            static_cast<double>(BytesAtPos(graph, facts, plan, f,
+                                           recompute.config, pos,
+                                           schedule.num_steps()));
+        recompute.delta_t =
+            RecomputeCost(graph, schedule, facts, profile, plan, t.id);
+        candidates.push_back(recompute);
+      }
+    }
+
+    // Step 2: split strategies on the bottleneck op's tensors (Eq. 6).
+    // Covers both bottleneck kinds: a forward op whose input's last use is
+    // here (micro-eviction frees memory as parts are consumed) and a
+    // backward op regenerating an evicted input (micro swap-in/recompute
+    // keeps only one part resident at a time).
+    if (options_.enable_split && node.outputs.size() == 1 &&
+        !node.op->is_view()) {
+      std::vector<Shape> in_shapes = graph.InputShapes(bottleneck_op);
+      std::vector<Shape> out_shapes = graph.OutputShapes(bottleneck_op);
+
+      auto try_split = [&](TensorId tensor, int dim) {
+        const TensorFacts& f = facts[static_cast<size_t>(tensor)];
+        if (f.is_view_alias || f.always_live || f.bytes == 0) return;
+        STensorConfig current = plan.ConfigFor(tensor);
+        if (current.split.active()) return;
+        const Shape& shape = graph.tensor(tensor).shape;
+        if (dim < 0 || dim >= shape.rank()) return;
+        size_t current_at_pos = BytesAtPos(graph, facts, plan, f, current, pos,
+                                           schedule.num_steps());
+        // Candidate memory options: keep an already-chosen opt (upgrade a
+        // whole-tensor swap to a split swap), otherwise try both. A tensor
+        // that dies at this op needs no regeneration: pure split
+        // pipelining (reside) frees consumed parts in place.
+        std::vector<MemOpt> opts;
+        if (f.first_bwd_use < 0) {
+          if (f.last_use > f.fwd_last_use) return;  // nothing evicts it
+          opts = {MemOpt::kReside};
+        } else if (current.opt == MemOpt::kReside) {
+          opts = {MemOpt::kSwap, MemOpt::kRecompute};
+        } else {
+          opts = {current.opt};
+        }
+        // Splits among the bottleneck op's tensors should agree on p_num:
+        // mismatched configs force a whole-tensor merge&split transient
+        // (paper Fig 10) that defeats the memory saving.
+        int neighbor_p = 0;
+        for (TensorId adjacent : node.inputs) {
+          SplitConfig adj =
+              plan.ConfigFor(facts[static_cast<size_t>(adjacent)].root)
+                  .split;
+          if (adj.active()) neighbor_p = adj.p_num;
+        }
+        for (TensorId adjacent : node.outputs) {
+          SplitConfig adj = plan.ConfigFor(adjacent).split;
+          if (adj.active()) neighbor_p = adj.p_num;
+        }
+        for (int p_num : options_.p_num_candidates) {
+          if (shape.dim(dim) < p_num) continue;
+          if (neighbor_p != 0 && p_num != neighbor_p) continue;
+          double degradation =
+              SplitDegradation(graph, profile, tensor, p_num, dim);
+          double micro_op_seconds = SplitOpSeconds(
+              graph, profile.device, bottleneck_op, dim, p_num);
+          for (MemOpt opt : opts) {
+            if (opt == MemOpt::kRecompute &&
+                (!RecomputeEligible(graph, tensor) ||
+                 !RecomputeTransientFree(graph, facts, plan, tensor))) {
+              continue;
+            }
+            Candidate candidate;
+            candidate.tensor = tensor;
+            candidate.config.opt = opt;
+            candidate.config.split = SplitConfig{p_num, dim};
+            size_t new_at_pos =
+                BytesAtPos(graph, facts, plan, f, candidate.config, pos,
+                           schedule.num_steps());
+            candidate.delta_m =
+                static_cast<double>(current_at_pos) -
+                static_cast<double>(new_at_pos);
+            double regen_cost;
+            if (opt == MemOpt::kReside) {
+              regen_cost = 0;  // parts free in place; only degradation
+            } else if (opt == MemOpt::kSwap) {
+              // Micro transfers hide under the op's own micro-pipeline
+              // (Eq. 6's summed micro swap costs).
+              double whole_cost =
+                  SwapCost(graph, schedule, facts, profile, occupancy,
+                           tensor, f.bytes, pos);
+              double pipeline_cover =
+                  micro_op_seconds * (p_num - 1) / p_num;
+              regen_cost = std::max(whole_cost - pipeline_cover, 0.0);
+              if (current.opt == MemOpt::kSwap) {
+                // Already paying the transfer; only the degradation and
+                // any overlap change are new.
+                regen_cost = 0;
+              }
+            } else {
+              regen_cost = RecomputeCost(graph, schedule, facts, profile,
+                                         plan, tensor);
+              if (current.opt == MemOpt::kRecompute) regen_cost = 0;
+            }
+            candidate.delta_t = regen_cost + degradation;
+            candidates.push_back(candidate);
+          }
+        }
+      };
+
+      // Any input the bottleneck op can consume micro-wise: at a forward
+      // bottleneck this enables micro-eviction (last forward use), at a
+      // backward bottleneck micro-regeneration. Rule axes only apply to
+      // non-view inputs (coordinate systems must match).
+      for (size_t idx = 0; idx < node.inputs.size(); ++idx) {
+        TensorId root = facts[static_cast<size_t>(node.inputs[idx])].root;
+        if (root != node.inputs[idx]) continue;
+        bool eligible = node.op->is_backward()
+                            ? facts[static_cast<size_t>(root)].first_bwd_use
+                                  <= pos
+                            : facts[static_cast<size_t>(root)].fwd_last_use
+                                  == pos;
+        if (!eligible) continue;
+        for (const SplitRule& rule :
+             node.op->split_rules(in_shapes, out_shapes)) {
+          int axis = rule.input_axes[idx];
+          if (axis == kReplicateInput) continue;
+          try_split(root, axis);
+        }
+      }
+      // The output, when all its consumers are backward (early swap-out).
+      TensorId out_root = facts[static_cast<size_t>(node.outputs[0])].root;
+      if (out_root == node.outputs[0] &&
+          facts[static_cast<size_t>(out_root)].fwd_last_use == pos &&
+          facts[static_cast<size_t>(out_root)].def_pos == pos) {
+        for (const SplitRule& rule :
+             node.op->split_rules(in_shapes, out_shapes)) {
+          try_split(out_root, rule.output_axis);
+        }
+      }
+    }
+
+    // Greedily apply the best remaining candidate until the bottleneck is
+    // relieved (ties in the tensor resolve to its first assignment).
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.ratio() < b.ratio();
+              });
+    bool applied_any = false;
+    for (const Candidate& candidate : candidates) {
+      if (memory.at(pos) <= memory_budget) break;
+      if (candidate.delta_m <= 0) continue;
+      STensorConfig before = plan.ConfigFor(candidate.tensor);
+      // Accept fresh assignments, opt-preserving split upgrades, and
+      // opt-fill onto tensors pre-split by chain propagation.
+      bool fresh = before.opt == MemOpt::kReside && !before.split.active();
+      bool upgrade = !before.split.active() &&
+                     candidate.config.split.active() &&
+                     before.opt == candidate.config.opt;
+      bool opt_fill = before.opt == MemOpt::kReside &&
+                      before.split.active() &&
+                      candidate.config.split == before.split;
+      if (!fresh && !upgrade && !opt_fill) continue;
+      if (++assignments > options_.max_assignments) {
+        return Status::ResourceExhausted("planner assignment limit hit");
+      }
+      plan.Set(candidate.tensor, candidate.config);
+      memory.Apply(plan, candidate.tensor, before, candidate.config);
+      if (candidate.config.split.active() &&
+          candidate.config.opt == MemOpt::kRecompute) {
+        PropagateSplitUpChain(graph, facts, &plan, candidate.tensor);
+      }
+      applied_any = true;
+    }
+    // Cross-tensor transients may have shifted; re-simulate before deciding
+    // this position's fate.
+    memory.Rebuild(plan);
+    if (!applied_any && memory.at(pos) > memory_budget) break;
+    }  // rounds
+
+    if (memory.at(pos) > memory_budget) {
+      const OpNode& node = graph.node(schedule.order[static_cast<size_t>(pos)]);
+      // Diagnostic: the largest contributors at the stuck position.
+      std::vector<std::pair<size_t, TensorId>> contributors;
+      for (const TensorDesc& t : graph.tensors()) {
+        const TensorFacts& f = facts[static_cast<size_t>(t.id)];
+        if (f.is_view_alias) continue;
+        size_t bytes = BytesAtPos(graph, facts, plan, f,
+                                  plan.ConfigFor(t.id), pos,
+                                  schedule.num_steps());
+        if (bytes > 0) contributors.emplace_back(bytes, t.id);
+      }
+      std::sort(contributors.rbegin(), contributors.rend());
+      std::string detail;
+      for (size_t i = 0; i < std::min<size_t>(6, contributors.size()); ++i) {
+        const TensorDesc& t = graph.tensor(contributors[i].second);
+        detail += "\n  " + t.name + " " +
+                  std::to_string(contributors[i].first) + "B " +
+                  plan.ConfigFor(t.id).ToString();
+      }
+      return Status::ResourceExhausted(
+          "no strategy can relieve the bottleneck at op " + node.name +
+          " (" + std::to_string(memory.at(pos)) + " > " +
+          std::to_string(memory_budget) + " bytes); top residents:" +
+          detail);
+    }
+  }
+  return plan;
+}
+
+}  // namespace tsplit::planner

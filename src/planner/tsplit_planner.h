@@ -1,0 +1,42 @@
+#ifndef TSPLIT_PLANNER_TSPLIT_PLANNER_H_
+#define TSPLIT_PLANNER_TSPLIT_PLANNER_H_
+
+// TSPLIT's model-guided planning algorithm (paper Algorithm 2): simulate
+// the per-op memory requirement; at every bottleneck greedily apply the
+// strategy with the smallest ΔT/ΔM, choosing between
+//   Step 1 — swap/recompute of a live tensor that is neither input nor
+//            output of the bottleneck op, and
+//   Step 2 — tensor-split (with per-micro swap/recompute) of the
+//            bottleneck op's input / output tensors,
+// until every bottleneck is eliminated or no candidate remains.
+
+#include "planner/planner.h"
+
+namespace tsplit::planner {
+
+struct TsplitOptions {
+  bool enable_split = true;            // false = TSPLIT w/o Split (Fig 14a)
+  std::vector<int> p_num_candidates = {2, 4, 8, 16, 32};
+  int max_assignments = 100000;        // safety valve
+};
+
+class TsplitPlanner : public Planner {
+ public:
+  explicit TsplitPlanner(TsplitOptions options = {})
+      : options_(std::move(options)) {}
+
+  std::string name() const override {
+    return options_.enable_split ? "TSPLIT" : "TSPLIT-nosplit";
+  }
+
+  Result<Plan> BuildPlan(const Graph& graph, const Schedule& schedule,
+                         const GraphProfile& profile,
+                         size_t memory_budget) override;
+
+ private:
+  TsplitOptions options_;
+};
+
+}  // namespace tsplit::planner
+
+#endif  // TSPLIT_PLANNER_TSPLIT_PLANNER_H_

@@ -1,0 +1,35 @@
+#ifndef TSPLIT_REWRITE_EXPORT_H_
+#define TSPLIT_REWRITE_EXPORT_H_
+
+// Exporters for the planned / augmented dataflow graph.
+//
+// 1. Graphviz DOT of the tensor DFG annotated with each sTensor's planned
+//    config (Fig 10's augmented-graph view, at tensor granularity).
+// 2. A PyTorch conversion stub (paper §VI-D): TSPLIT's augmented dataflow
+//    graph "can be converted into the executable model in PyTorch or
+//    TensorFlow" — this emits a Python module skeleton whose forward pass
+//    registers the plan's swap (saved_tensors_hooks pack/unpack to CPU)
+//    and recompute (torch.utils.checkpoint) decisions per tensor, so the
+//    plan is portable to a real framework.
+
+#include <string>
+
+#include "graph/graph.h"
+#include "planner/plan.h"
+
+namespace tsplit::rewrite {
+
+// DOT digraph: ops are boxes, tensors are edges labelled with shape and
+// planned config; managed tensors are coloured (swap = blue, recompute =
+// orange, split = doubled edges).
+std::string ExportGraphviz(const Graph& graph, const planner::Plan& plan,
+                           bool include_backward = false);
+
+// Python source implementing the plan's memory hooks for PyTorch.
+std::string ExportPyTorchStub(const Graph& graph,
+                              const planner::Plan& plan,
+                              const std::string& model_name);
+
+}  // namespace tsplit::rewrite
+
+#endif  // TSPLIT_REWRITE_EXPORT_H_

@@ -1,0 +1,987 @@
+#include "rewrite/program.h"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+#include <unordered_set>
+
+#include "core/logging.h"
+#include "sim/kernel_model.h"
+
+namespace tsplit::rewrite {
+
+const char* StepKindToString(StepKind kind) {
+  switch (kind) {
+    case StepKind::kAlloc:
+      return "alloc";
+    case StepKind::kFree:
+      return "free";
+    case StepKind::kCompute:
+      return "compute";
+    case StepKind::kSwapOut:
+      return "swap_out";
+    case StepKind::kSwapIn:
+      return "swap_in";
+    case StepKind::kDrop:
+      return "drop";
+    case StepKind::kSplitCopy:
+      return "split_copy";
+    case StepKind::kMergeCopy:
+      return "merge_copy";
+  }
+  return "?";
+}
+
+std::string Program::DebugString(const Graph& graph) const {
+  std::ostringstream os;
+  os << "Program{" << steps.size() << " steps, swap_out=" << swap_out_bytes
+     << "B, swap_in=" << swap_in_bytes
+     << "B, recompute=" << recompute_seconds << "s}\n";
+  for (const Step& step : steps) {
+    os << "  " << StepKindToString(step.kind);
+    if (step.kind == StepKind::kCompute) {
+      os << " " << graph.node(step.op).name;
+      if (step.micro >= 0) os << "[" << step.micro << "/" << step.p_num << "]";
+      if (step.is_recompute) os << " (recompute)";
+    } else {
+      os << " t" << step.buffer.tensor;
+      if (step.buffer.micro >= 0) os << "." << step.buffer.micro;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+enum class BufState : uint8_t { kNone = 0, kResident, kHost, kDropped, kFreed };
+
+class Generator {
+ public:
+  Generator(const Graph& graph, const Schedule& schedule,
+            const planner::Plan& plan, const planner::GraphProfile& profile,
+            const ProgramOptions& options)
+      : graph_(graph),
+        schedule_(schedule),
+        plan_(plan),
+        profile_(profile),
+        options_(options) {}
+
+  Result<Program> Run();
+
+ private:
+  struct RootInfo {
+    std::vector<int> use_positions;  // sorted, includes virtual regen uses
+    int def_pos = -1;
+    int fwd_last_use = -1;
+    int last_real_use = -1;  // last position a scheduled op reads it
+    bool always_live = false;
+  };
+
+  struct MicroExec {
+    int p_num;
+    int output_axis;
+    SplitRule rule;
+  };
+
+  // ---- Precomputation ----
+  void Precompute();
+  TensorId RootOf(TensorId id) const { return root_of_[static_cast<size_t>(id)]; }
+
+  // Effective split config of a root (inactive configs normalized away).
+  SplitConfig SplitOf(TensorId root) const;
+  MemOpt OptOf(TensorId root) const { return plan_.ConfigFor(root).opt; }
+
+  size_t KeyBytes(const BufferKey& key) const;
+  std::vector<BufferKey> KeysOf(TensorId root) const;
+
+  bool HasUseAfter(TensorId root, int pos) const;
+
+  // ---- State / emission ----
+  BufState StateOf(const BufferKey& key) const {
+    auto it = state_.find(key);
+    return it == state_.end() ? BufState::kNone : it->second;
+  }
+  void SetState(const BufferKey& key, BufState s) { state_[key] = s; }
+
+  Step& Emit(StepKind kind, BufferKey key, int pos);
+  void EmitAlloc(const BufferKey& key, int pos);
+  void EmitFree(const BufferKey& key, int pos);
+  void EmitSwapOut(const BufferKey& key, int pos);
+  void EmitSwapIn(const BufferKey& key, int pos);
+  void EmitDrop(const BufferKey& key, int pos);
+
+  // Makes `key` resident, swapping in or recomputing as needed. Recompute-
+  // materialized ancestor keys are recorded in `materialized_` for the
+  // post-compute cleanup.
+  Status EnsureResident(const BufferKey& key, int pos, int depth = 0);
+
+  // Re-executes the producer of `key` (recompute path).
+  Status Recompute(const BufferKey& key, int pos, int depth);
+
+  // Emits the full execution of op `op_id` (used by the main pass and by
+  // recompute). When `is_recompute`, evictions of freshly produced outputs
+  // are skipped (cleanup handles them).
+  Status EmitOpExecution(OpId op_id, int pos, bool is_recompute, int depth);
+
+  // Emits a single micro-part of `op_id` (single-part recompute path).
+  Status EmitMicroPartExecution(OpId op_id, const SplitRule& rule, int p_num,
+                                int part, int pos, int depth);
+
+  // Memory-centric chain hygiene: right after a recompute step, ancestors
+  // materialized solely for it leave the device again (re-drop recompute
+  // tensors, park checkpoint tensors back on the host) so a deep chain
+  // holds O(1) extra memory (§V-D).
+  void ReleaseChainInputs(const OpNode& node, int pos);
+
+  // Applies the end-of-life policy to a key after its use at `pos`.
+  void ApplyEndOfLife(const BufferKey& key, int pos);
+
+  // Decides whether the op can run micro-wise and along which axis.
+  std::optional<MicroExec> DecideMicroExec(OpId op_id) const;
+
+  double MicroSeconds(OpId op_id, const SplitRule& rule, int p_num,
+                      int part) const;
+  size_t MicroWorkspace(OpId op_id, const SplitRule& rule, int p_num,
+                        int part) const;
+
+  // ---- Members ----
+  const Graph& graph_;
+  const Schedule& schedule_;
+  const planner::Plan& plan_;
+  const planner::GraphProfile& profile_;
+  const ProgramOptions& options_;
+
+  Program program_;
+  std::vector<TensorId> root_of_;
+  std::vector<RootInfo> roots_;  // indexed by tensor id; valid for roots only
+  std::unordered_map<BufferKey, BufState, BufferKeyHash> state_;
+  // Keys materialized by recompute while preparing the current op's inputs.
+  std::vector<BufferKey> materialized_;
+  // Keys swapped in purely to feed a recompute subgraph; re-evicted after.
+  std::vector<BufferKey> recompute_swapins_;
+  // Ref-counted pins: every in-flight EmitOpExecution level pins its input
+  // and output roots so nested recompute chains cannot evict buffers a
+  // parent level has already prepared.
+  std::unordered_map<TensorId, int> pinned_;
+
+  class PinScope {
+   public:
+    PinScope(Generator* generator, const OpNode& node)
+        : generator_(generator) {
+      for (TensorId input : node.inputs) {
+        roots_.push_back(generator_->RootOf(input));
+      }
+      for (TensorId output : node.outputs) {
+        roots_.push_back(generator_->RootOf(output));
+      }
+      for (TensorId root : roots_) ++generator_->pinned_[root];
+    }
+    ~PinScope() {
+      for (TensorId root : roots_) {
+        auto it = generator_->pinned_.find(root);
+        if (--it->second == 0) generator_->pinned_.erase(it);
+      }
+    }
+    PinScope(const PinScope&) = delete;
+    PinScope& operator=(const PinScope&) = delete;
+
+   private:
+    Generator* generator_;
+    std::vector<TensorId> roots_;
+  };
+  size_t lru_kept_bytes_ = 0;
+};
+
+void Generator::Precompute() {
+  const auto num_tensors = static_cast<size_t>(graph_.num_tensors());
+  root_of_.resize(num_tensors);
+  for (size_t i = 0; i < num_tensors; ++i) {
+    TensorId id = static_cast<TensorId>(i);
+    OpId producer = graph_.tensor(id).producer;
+    if (producer != kInvalidOp && graph_.node(producer).op->is_view()) {
+      // Views are single-input; producers are processed in id order, so the
+      // input's root is already final.
+      root_of_[i] = root_of_[static_cast<size_t>(
+          graph_.node(producer).inputs[0])];
+    } else {
+      root_of_[i] = id;
+    }
+  }
+
+  roots_.assign(num_tensors, RootInfo{});
+  for (const OpNode& node : graph_.nodes()) {
+    if (node.op->is_view()) continue;
+    int pos = schedule_.pos_of_op[static_cast<size_t>(node.id)];
+    for (TensorId input : node.inputs) {
+      TensorId root = RootOf(input);
+      RootInfo& info = roots_[static_cast<size_t>(root)];
+      info.use_positions.push_back(pos);
+      if (!node.op->is_backward()) {
+        info.fwd_last_use = std::max(info.fwd_last_use, pos);
+      }
+    }
+    for (TensorId output : node.outputs) {
+      roots_[static_cast<size_t>(output)].def_pos = pos;
+    }
+  }
+  for (size_t i = 0; i < num_tensors; ++i) {
+    RootInfo& info = roots_[i];
+    std::sort(info.use_positions.begin(), info.use_positions.end());
+    if (info.fwd_last_use < 0) info.fwd_last_use = info.def_pos;
+    info.last_real_use =
+        info.use_positions.empty() ? -1 : info.use_positions.back();
+    TensorKind kind = graph_.tensor(static_cast<TensorId>(i)).kind;
+    info.always_live = kind == TensorKind::kParameter ||
+                       kind == TensorKind::kInput ||
+                       kind == TensorKind::kOptimizerState;
+  }
+
+  // Recompute demand: regenerating a recompute-marked tensor re-executes
+  // its producer, which needs the producer's inputs available *then*.
+  // Propagate those regeneration positions onto ancestor roots as virtual
+  // uses, so end-of-life keeps (reside), offloads (swap), or re-derives
+  // (recompute) them instead of freeing data a later recompute needs.
+  // Descending id order: a tensor's ancestors have smaller ids, so chains
+  // cascade in one pass.
+  for (int64_t i = static_cast<int64_t>(num_tensors) - 1; i >= 0; --i) {
+    TensorId id = static_cast<TensorId>(i);
+    if (RootOf(id) != id) continue;
+    if (OptOf(id) != MemOpt::kRecompute) continue;
+    const RootInfo& info = roots_[static_cast<size_t>(id)];
+    OpId producer = graph_.tensor(id).producer;
+    if (producer == kInvalidOp) continue;
+    std::vector<int> regen;
+    for (int p : info.use_positions) {
+      if (p > info.fwd_last_use) regen.push_back(p);
+    }
+    if (regen.empty()) continue;
+    for (TensorId input : graph_.node(producer).inputs) {
+      RootInfo& ancestor = roots_[static_cast<size_t>(RootOf(input))];
+      if (ancestor.always_live) continue;
+      ancestor.use_positions.insert(ancestor.use_positions.end(),
+                                    regen.begin(), regen.end());
+      std::sort(ancestor.use_positions.begin(),
+                ancestor.use_positions.end());
+    }
+  }
+}
+
+SplitConfig Generator::SplitOf(TensorId root) const {
+  SplitConfig split = plan_.ConfigFor(root).split;
+  if (!split.active()) return SplitConfig{};
+  const Shape& shape = graph_.tensor(root).shape;
+  if (split.dim < 0 || split.dim >= shape.rank() ||
+      shape.dim(split.dim) < split.p_num) {
+    return SplitConfig{};  // illegal split requests degrade to unsplit
+  }
+  return split;
+}
+
+size_t Generator::KeyBytes(const BufferKey& key) const {
+  const TensorDesc& desc = graph_.tensor(key.tensor);
+  if (key.micro < 0) return desc.size_bytes();
+  SplitConfig split = SplitOf(key.tensor);
+  auto part = desc.shape.SplitPart(split.dim, split.p_num, key.micro);
+  TSPLIT_CHECK(part.ok());
+  return static_cast<size_t>(part->num_elements()) * SizeOf(desc.dtype);
+}
+
+std::vector<BufferKey> Generator::KeysOf(TensorId root) const {
+  SplitConfig split = SplitOf(root);
+  if (!split.active()) return {BufferKey{root, -1}};
+  std::vector<BufferKey> keys;
+  keys.reserve(static_cast<size_t>(split.p_num));
+  for (int j = 0; j < split.p_num; ++j) keys.push_back(BufferKey{root, j});
+  return keys;
+}
+
+bool Generator::HasUseAfter(TensorId root, int pos) const {
+  const RootInfo& info = roots_[static_cast<size_t>(root)];
+  return !info.use_positions.empty() && info.use_positions.back() > pos;
+}
+
+Step& Generator::Emit(StepKind kind, BufferKey key, int pos) {
+  Step step;
+  step.kind = kind;
+  step.buffer = key;
+  step.bytes = KeyBytes(key);
+  step.sched_pos = pos;
+  program_.steps.push_back(std::move(step));
+  program_.buffer_bytes[key] = program_.steps.back().bytes;
+  return program_.steps.back();
+}
+
+void Generator::EmitAlloc(const BufferKey& key, int pos) {
+  Emit(StepKind::kAlloc, key, pos);
+  SetState(key, BufState::kResident);
+}
+
+void Generator::EmitFree(const BufferKey& key, int pos) {
+  Emit(StepKind::kFree, key, pos);
+  SetState(key, BufState::kFreed);
+}
+
+void Generator::EmitSwapOut(const BufferKey& key, int pos) {
+  Step& step = Emit(StepKind::kSwapOut, key, pos);
+  step.transfer_seconds =
+      static_cast<double>(step.bytes) / profile_.device.pcie_bytes_per_sec();
+  program_.swap_out_bytes += step.bytes;
+  SetState(key, BufState::kHost);
+}
+
+void Generator::EmitSwapIn(const BufferKey& key, int pos) {
+  Step& step = Emit(StepKind::kSwapIn, key, pos);
+  step.transfer_seconds =
+      static_cast<double>(step.bytes) / profile_.device.pcie_bytes_per_sec();
+  program_.swap_in_bytes += step.bytes;
+  SetState(key, BufState::kResident);
+}
+
+void Generator::EmitDrop(const BufferKey& key, int pos) {
+  Emit(StepKind::kDrop, key, pos);
+  SetState(key, BufState::kDropped);
+}
+
+std::optional<Generator::MicroExec> Generator::DecideMicroExec(
+    OpId op_id) const {
+  const OpNode& node = graph_.node(op_id);
+  if (node.op->is_view() || node.outputs.size() != 1) return std::nullopt;
+  std::vector<Shape> in = graph_.InputShapes(op_id);
+  std::vector<Shape> out = graph_.OutputShapes(op_id);
+
+  // Preference 1: the output's own split config.
+  TensorId out_root = RootOf(node.outputs[0]);
+  SplitConfig out_split = SplitOf(out_root);
+  if (out_split.active()) {
+    auto rule = node.op->SplitRuleFor(out_split.dim, in, out);
+    if (rule.ok() && out[0].dim(out_split.dim) >= out_split.p_num) {
+      return MicroExec{out_split.p_num, out_split.dim, *rule};
+    }
+  }
+  // Preference 2: a split input aligned through some rule. Rule axes are
+  // expressed in the op's declared input shapes, so the input must be the
+  // storage root itself (a view would change the coordinate system).
+  for (size_t idx = 0; idx < node.inputs.size(); ++idx) {
+    TensorId in_root = RootOf(node.inputs[idx]);
+    if (in_root != node.inputs[idx]) continue;
+    SplitConfig in_split = SplitOf(in_root);
+    if (!in_split.active()) continue;
+    for (const SplitRule& rule : node.op->split_rules(in, out)) {
+      if (rule.input_axes[idx] != in_split.dim) continue;
+      if (rule.merge == MergeKind::kSum) {
+        // Reduction split: micro-ops emit full-shaped partials that
+        // accumulate (weight gradients over sample-split activations).
+        return MicroExec{in_split.p_num, kReduceOutput, rule};
+      }
+      if (out[0].dim(rule.output_axis) >= in_split.p_num) {
+        return MicroExec{in_split.p_num, rule.output_axis, rule};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+double Generator::MicroSeconds(OpId op_id, const SplitRule& rule, int p_num,
+                               int part) const {
+  const OpNode& node = graph_.node(op_id);
+  std::vector<Shape> in = graph_.InputShapes(op_id);
+  std::vector<Shape> out = graph_.OutputShapes(op_id);
+  std::vector<Shape> micro_in = in;
+  for (size_t i = 0; i < in.size(); ++i) {
+    if (rule.input_axes[i] == kReplicateInput) continue;
+    auto part_shape = in[i].SplitPart(rule.input_axes[i], p_num, part);
+    if (part_shape.ok()) micro_in[i] = std::move(*part_shape);
+  }
+  std::vector<Shape> micro_out = out;
+  auto part_shape = out[0].SplitPart(rule.output_axis, p_num, part);
+  if (part_shape.ok()) micro_out[0] = std::move(*part_shape);
+  return sim::KernelTime(profile_.device,
+                         node.op->Flops(micro_in, micro_out),
+                         node.op->BytesTouched(micro_in, micro_out));
+}
+
+size_t Generator::MicroWorkspace(OpId op_id, const SplitRule& rule, int p_num,
+                                 int part) const {
+  const OpNode& node = graph_.node(op_id);
+  std::vector<Shape> in = graph_.InputShapes(op_id);
+  std::vector<Shape> out = graph_.OutputShapes(op_id);
+  std::vector<Shape> micro_in = in;
+  for (size_t i = 0; i < in.size(); ++i) {
+    if (rule.input_axes[i] == kReplicateInput) continue;
+    auto part_shape = in[i].SplitPart(rule.input_axes[i], p_num, part);
+    if (part_shape.ok()) micro_in[i] = std::move(*part_shape);
+  }
+  std::vector<Shape> micro_out = out;
+  auto part_shape = out[0].SplitPart(rule.output_axis, p_num, part);
+  if (part_shape.ok()) micro_out[0] = std::move(*part_shape);
+  return node.op->WorkspaceBytes(micro_in, micro_out);
+}
+
+Status Generator::EnsureResident(const BufferKey& key, int pos, int depth) {
+  if (depth > 64) {
+    return Status::Internal("recompute recursion too deep");
+  }
+  switch (StateOf(key)) {
+    case BufState::kResident:
+      return Status::OK();
+    case BufState::kHost:
+      EmitSwapIn(key, pos);
+      if (depth > 0) recompute_swapins_.push_back(key);
+      return Status::OK();
+    case BufState::kDropped:
+    case BufState::kFreed:
+    case BufState::kNone: {
+      // Source tensors are resident from the start; reaching here for one
+      // is an internal inconsistency.
+      if (graph_.tensor(key.tensor).producer == kInvalidOp) {
+        return Status::Internal("source tensor " +
+                                graph_.tensor(key.tensor).name +
+                                " unexpectedly not resident");
+      }
+      return Recompute(key, pos, depth);
+    }
+  }
+  return Status::OK();
+}
+
+Status Generator::Recompute(const BufferKey& key, int pos, int depth) {
+  OpId producer = graph_.tensor(key.tensor).producer;
+  if (!graph_.node(producer).op->recompute_safe()) {
+    return Status::FailedPrecondition("op " + graph_.node(producer).name +
+                                      " is not recompute-safe");
+  }
+  // A single micro-part regenerates alone when the producer supports it —
+  // recomputing at micro-tensor granularity is precisely the split win.
+  if (key.micro >= 0) {
+    const OpNode& node = graph_.node(producer);
+    SplitConfig split = SplitOf(key.tensor);
+    std::vector<Shape> in = graph_.InputShapes(producer);
+    std::vector<Shape> out = graph_.OutputShapes(producer);
+    auto rule = node.op->SplitRuleFor(split.dim, in, out);
+    if (node.outputs.size() == 1 && rule.ok()) {
+      RETURN_IF_ERROR(
+          EmitMicroPartExecution(producer, *rule, split.p_num, key.micro,
+                                 pos, depth));
+      if (StateOf(key) != BufState::kResident) {
+        return Status::Internal("micro recompute failed for " +
+                                graph_.tensor(key.tensor).name);
+      }
+      return Status::OK();
+    }
+  }
+  RETURN_IF_ERROR(EmitOpExecution(producer, pos, /*is_recompute=*/true,
+                                  depth + 1));
+  if (StateOf(key) != BufState::kResident) {
+    SplitConfig sc = SplitOf(key.tensor);
+    std::optional<MicroExec> me = DecideMicroExec(producer);
+    return Status::Internal(
+        "recompute failed to materialize buffer of " +
+        graph_.tensor(key.tensor).name + " t" +
+        std::to_string(key.tensor) + "." + std::to_string(key.micro) +
+        " state=" + std::to_string(static_cast<int>(StateOf(key))) +
+        " producer=" + graph_.node(producer).name +
+        " split=(" + std::to_string(sc.p_num) + "," +
+        std::to_string(sc.dim) + ")" +
+        " plansplit=(" +
+        std::to_string(plan_.ConfigFor(key.tensor).split.p_num) + "," +
+        std::to_string(plan_.ConfigFor(key.tensor).split.dim) + ")" +
+        " micro_exec=" +
+        (me.has_value() ? std::to_string(me->p_num) + "@" +
+                              std::to_string(me->output_axis)
+                        : std::string("none")));
+  }
+  return Status::OK();
+}
+
+void Generator::ReleaseChainInputs(const OpNode& node, int pos) {
+  for (TensorId input : node.inputs) {
+    TensorId root = RootOf(input);
+    const RootInfo& info = roots_[static_cast<size_t>(root)];
+    if (info.always_live || pinned_.count(root)) continue;
+    if (pos <= info.fwd_last_use) continue;  // still forward-live
+    for (const BufferKey& k : KeysOf(root)) {
+      if (StateOf(k) != BufState::kResident) continue;
+      if (OptOf(root) == MemOpt::kRecompute) {
+        EmitDrop(k, pos);
+      } else if (info.last_real_use <= pos) {
+        // Checkpoint held only for recomputation: back to the host.
+        EmitSwapOut(k, pos);
+      }
+    }
+  }
+}
+
+Status Generator::EmitMicroPartExecution(OpId op_id, const SplitRule& rule,
+                                         int p_num, int part, int pos,
+                                         int depth) {
+  const OpNode& node = graph_.node(op_id);
+  PinScope pins(this, node);
+  std::vector<std::vector<BufferKey>> input_keys;
+  for (size_t idx = 0; idx < node.inputs.size(); ++idx) {
+    TensorId root = RootOf(node.inputs[idx]);
+    int axis = rule.input_axes[idx];
+    SplitConfig in_split = SplitOf(root);
+    std::vector<BufferKey> group;
+    if (axis != kReplicateInput && in_split.active() &&
+        in_split.p_num == p_num && in_split.dim == axis) {
+      BufferKey k{root, part};
+      BufState before = StateOf(k);
+      RETURN_IF_ERROR(EnsureResident(k, pos, depth + 1));
+      if (before == BufState::kDropped) materialized_.push_back(k);
+      group.push_back(k);
+    } else {
+      for (const BufferKey& k : KeysOf(root)) {
+        BufState before = StateOf(k);
+        RETURN_IF_ERROR(EnsureResident(k, pos, depth + 1));
+        if (before == BufState::kDropped) materialized_.push_back(k);
+        group.push_back(k);
+      }
+    }
+    input_keys.push_back(std::move(group));
+  }
+  BufferKey out_key{node.outputs[0], part};
+  EmitAlloc(out_key, pos);
+
+  Step step;
+  step.kind = StepKind::kCompute;
+  step.op = op_id;
+  step.micro = part;
+  step.p_num = p_num;
+  step.split_axis = rule.output_axis;
+  step.inputs = std::move(input_keys);
+  step.outputs = {out_key};
+  step.seconds = MicroSeconds(op_id, rule, p_num, part);
+  step.workspace_bytes = MicroWorkspace(op_id, rule, p_num, part);
+  step.is_recompute = true;
+  step.sched_pos = pos;
+  program_.recompute_seconds += step.seconds;
+  program_.steps.push_back(std::move(step));
+  ++program_.num_micro_computes;
+  if (options_.recompute_mode == RecomputeMode::kMemoryCentric) {
+    ReleaseChainInputs(node, pos);
+  }
+  return Status::OK();
+}
+
+void Generator::ApplyEndOfLife(const BufferKey& key, int pos) {
+  if (StateOf(key) != BufState::kResident) return;
+  TensorId root = key.tensor;
+  const RootInfo& info = roots_[static_cast<size_t>(root)];
+  bool used_later = HasUseAfter(root, pos);
+  if (!used_later) {
+    if (!info.always_live) EmitFree(key, pos);
+    return;
+  }
+  if (pos < info.fwd_last_use) return;  // still needed in the forward phase
+  switch (OptOf(root)) {
+    case MemOpt::kSwap:
+      EmitSwapOut(key, pos);
+      break;
+    case MemOpt::kRecompute: {
+      OpId producer = graph_.tensor(root).producer;
+      if (producer != kInvalidOp &&
+          graph_.node(producer).op->recompute_safe()) {
+        EmitDrop(key, pos);
+      }
+      break;
+    }
+    case MemOpt::kReside:
+      if (info.last_real_use <= pos) {
+        // Alive only to serve future recomputation (virtual uses): park it
+        // on the host instead of pinning device memory — the recompute
+        // checkpoint behaviour SuperNeurons applies to conv outputs.
+        EmitSwapOut(key, pos);
+      }
+      break;
+  }
+}
+
+Status Generator::EmitOpExecution(OpId op_id, int pos, bool is_recompute,
+                                  int depth) {
+  const OpNode& node = graph_.node(op_id);
+  TSPLIT_CHECK(!node.op->is_view());
+  PinScope pins(this, node);
+
+  std::optional<MicroExec> micro = DecideMicroExec(op_id);
+
+  // Tracks recompute-materialized ancestors for the cleanup pass. Inputs
+  // that were Dropped before this op and have plan opt == recompute are
+  // candidates for re-dropping under the memory-centric policy.
+  auto note_materialized = [&](const BufferKey& k, BufState before) {
+    if (before == BufState::kDropped) materialized_.push_back(k);
+  };
+
+  auto outputs_whole_keys = [&]() {
+    std::vector<BufferKey> keys;
+    for (TensorId out : node.outputs) keys.push_back(BufferKey{out, -1});
+    return keys;
+  };
+
+  if (!micro.has_value()) {
+    // ---- Whole-tensor execution ----
+    std::vector<std::vector<BufferKey>> input_keys;
+    for (TensorId input : node.inputs) {
+      TensorId root = RootOf(input);
+      std::vector<BufferKey> group;
+      for (const BufferKey& k : KeysOf(root)) {
+        BufState before = StateOf(k);
+        RETURN_IF_ERROR(EnsureResident(k, pos, depth));
+        note_materialized(k, before);
+        group.push_back(k);
+      }
+      input_keys.push_back(std::move(group));
+    }
+    std::vector<BufferKey> out_keys = outputs_whole_keys();
+    for (const BufferKey& k : out_keys) EmitAlloc(k, pos);
+
+    Step step;
+    step.kind = StepKind::kCompute;
+    step.op = op_id;
+    step.inputs = input_keys;
+    step.outputs = out_keys;
+    step.seconds = profile_.ops[static_cast<size_t>(op_id)].seconds;
+    step.workspace_bytes =
+        profile_.ops[static_cast<size_t>(op_id)].workspace_bytes;
+    step.is_recompute = is_recompute;
+    step.sched_pos = pos;
+    if (is_recompute) program_.recompute_seconds += step.seconds;
+    program_.steps.push_back(std::move(step));
+
+    // Outputs planned as split but not producible micro-wise: scatter into
+    // micro buffers (the paper's inserted split op).
+    for (TensorId out : node.outputs) {
+      SplitConfig split = SplitOf(out);
+      if (!split.active()) continue;
+      for (const BufferKey& k : KeysOf(out)) EmitAlloc(k, pos);
+      Step& copy = Emit(StepKind::kSplitCopy, BufferKey{out, -1}, pos);
+      copy.bytes = graph_.tensor(out).size_bytes();
+      EmitFree(BufferKey{out, -1}, pos);
+    }
+    if (is_recompute) {
+      // Everything a recompute produced is transient state owned by the
+      // cleanup pass (memory-centric re-drop / speed-centric keep).
+      for (TensorId out : node.outputs) {
+        for (const BufferKey& k : KeysOf(out)) materialized_.push_back(k);
+      }
+      if (options_.recompute_mode == RecomputeMode::kMemoryCentric) {
+        ReleaseChainInputs(node, pos);
+      }
+    }
+    return Status::OK();
+  }
+
+  // ---- Micro execution ----
+  const MicroExec& exec = *micro;
+  TensorId out_tensor = node.outputs[0];
+  SplitConfig out_split = SplitOf(out_tensor);
+  bool out_per_part = out_split.active() &&
+                      out_split.p_num == exec.p_num &&
+                      out_split.dim == exec.output_axis;
+
+  // Classify inputs once.
+  struct InputMode {
+    TensorId root;
+    bool per_part = false;   // consume micro j at part j
+    int cover_ratio = 0;     // >0: part j reads covering part j/ratio
+                             // in place (§V-C: batch-axis re-split shares
+                             // storage, no merge copy)
+  };
+  std::vector<InputMode> modes;
+  modes.reserve(node.inputs.size());
+  for (size_t idx = 0; idx < node.inputs.size(); ++idx) {
+    InputMode mode;
+    mode.root = RootOf(node.inputs[idx]);
+    int axis = exec.rule.input_axes[idx];
+    // Per-part consumption requires the rule axis and the split dim to be
+    // in the same coordinate system: the input must be its own root.
+    if (axis != kReplicateInput && mode.root == node.inputs[idx]) {
+      SplitConfig in_split = SplitOf(mode.root);
+      if (in_split.active() && in_split.dim == axis) {
+        if (in_split.p_num == exec.p_num) {
+          mode.per_part = true;
+        } else if (axis == 0 && exec.p_num % in_split.p_num == 0 &&
+                   graph_.tensor(mode.root).shape.dim(0) % exec.p_num ==
+                       0) {
+          // Refining a coarser batch-axis split: each exec part is a
+          // contiguous view into one covering input part — consume it
+          // directly instead of merging the whole tensor.
+          mode.cover_ratio = exec.p_num / in_split.p_num;
+        }
+      }
+    }
+    modes.push_back(mode);
+  }
+
+  // Non-per-part inputs must be fully resident before the part loop. An
+  // input split with a mismatching config is merged first (the paper's
+  // inserted merge&split for p_num changes).
+  std::vector<BufferKey> transient_merges;
+  for (size_t idx = 0; idx < node.inputs.size(); ++idx) {
+    if (modes[idx].per_part || modes[idx].cover_ratio > 0) continue;
+    TensorId root = modes[idx].root;
+    SplitConfig in_split = SplitOf(root);
+    bool mismatched_split =
+        in_split.active() && exec.rule.input_axes[idx] != kReplicateInput;
+    for (const BufferKey& k : KeysOf(root)) {
+      BufState before = StateOf(k);
+      RETURN_IF_ERROR(EnsureResident(k, pos, depth));
+      note_materialized(k, before);
+    }
+    if (mismatched_split) {
+      // Materialize the whole tensor transiently (the paper's inserted
+      // merge&split for p_num changes); freed after the part loop.
+      if (StateOf(BufferKey{root, -1}) != BufState::kResident) {
+        EmitAlloc(BufferKey{root, -1}, pos);
+        Step& merge = Emit(StepKind::kMergeCopy, BufferKey{root, -1}, pos);
+        merge.bytes = graph_.tensor(root).size_bytes();
+        transient_merges.push_back(BufferKey{root, -1});
+      }
+    }
+  }
+
+  if (!out_per_part) EmitAlloc(BufferKey{out_tensor, -1}, pos);
+
+  for (int part = 0; part < exec.p_num; ++part) {
+    std::vector<std::vector<BufferKey>> input_keys;
+    for (size_t idx = 0; idx < node.inputs.size(); ++idx) {
+      TensorId root = modes[idx].root;
+      std::vector<BufferKey> group;
+      if (modes[idx].per_part) {
+        BufferKey k{root, part};
+        BufState before = StateOf(k);
+        RETURN_IF_ERROR(EnsureResident(k, pos, depth));
+        note_materialized(k, before);
+        group.push_back(k);
+      } else if (modes[idx].cover_ratio > 0) {
+        BufferKey k{root, part / modes[idx].cover_ratio};
+        BufState before = StateOf(k);
+        RETURN_IF_ERROR(EnsureResident(k, pos, depth));
+        note_materialized(k, before);
+        group.push_back(k);
+      } else {
+        SplitConfig in_split = SplitOf(root);
+        bool mismatched_split =
+            in_split.active() && exec.rule.input_axes[idx] != kReplicateInput;
+        if (in_split.active() && !mismatched_split) {
+          for (const BufferKey& k : KeysOf(root)) group.push_back(k);
+        } else {
+          group.push_back(BufferKey{root, -1});
+        }
+      }
+      input_keys.push_back(std::move(group));
+    }
+    BufferKey out_key =
+        out_per_part ? BufferKey{out_tensor, part} : BufferKey{out_tensor, -1};
+    if (out_per_part) EmitAlloc(out_key, pos);
+
+    Step step;
+    step.kind = StepKind::kCompute;
+    step.op = op_id;
+    step.micro = part;
+    step.p_num = exec.p_num;
+    step.split_axis = exec.output_axis;
+    step.inputs = std::move(input_keys);
+    step.outputs = {out_key};
+    step.seconds = MicroSeconds(op_id, exec.rule, exec.p_num, part);
+    step.workspace_bytes = MicroWorkspace(op_id, exec.rule, exec.p_num, part);
+    step.is_recompute = is_recompute;
+    step.sched_pos = pos;
+    if (is_recompute) program_.recompute_seconds += step.seconds;
+    program_.steps.push_back(std::move(step));
+    ++program_.num_micro_computes;
+
+    if (!is_recompute) {
+      // Early eviction of consumed input micro-parts whose forward life
+      // ends here (paper §III-A: evict input micro-tensors to make room).
+      for (size_t idx = 0; idx < node.inputs.size(); ++idx) {
+        TensorId root = modes[idx].root;
+        const RootInfo& info = roots_[static_cast<size_t>(root)];
+        if (pos < info.fwd_last_use) continue;
+        if (modes[idx].per_part) {
+          ApplyEndOfLife(BufferKey{root, part}, pos);
+        } else if (modes[idx].cover_ratio > 0 &&
+                   (part + 1) % modes[idx].cover_ratio == 0) {
+          // The covering part is fully consumed once its last refined
+          // exec part completes.
+          ApplyEndOfLife(BufferKey{root, part / modes[idx].cover_ratio},
+                         pos);
+        }
+      }
+      // Early swap-out of produced micro-parts with no later forward
+      // consumer (paper §III-A: early swapping of output micro-tensors).
+      if (out_per_part) {
+        const RootInfo& info = roots_[static_cast<size_t>(out_tensor)];
+        if (info.fwd_last_use <= pos && HasUseAfter(out_tensor, pos) &&
+            OptOf(out_tensor) == MemOpt::kSwap) {
+          EmitSwapOut(out_key, pos);
+        }
+      }
+    } else {
+      materialized_.push_back(out_key);
+      if (options_.recompute_mode == RecomputeMode::kMemoryCentric) {
+        // Recompute chain hygiene at micro granularity: a consumed part of
+        // a non-pinned ancestor leaves the device before the next part's
+        // chain materializes (keeps deep chains at O(1) extra memory).
+        for (size_t idx = 0; idx < node.inputs.size(); ++idx) {
+          if (!modes[idx].per_part) continue;
+          TensorId root = modes[idx].root;
+          const RootInfo& info = roots_[static_cast<size_t>(root)];
+          if (pinned_.count(root) || pos <= info.fwd_last_use) continue;
+          ApplyEndOfLife(BufferKey{root, part}, pos);
+        }
+      }
+    }
+  }
+  // The op executed along a different granularity than the output's own
+  // split config (e.g. a channel-wise micro-execution of a sample-split
+  // tensor): scatter the whole result into its configured micro buffers.
+  if (!out_per_part) {
+    SplitConfig out_cfg = SplitOf(out_tensor);
+    if (out_cfg.active()) {
+      for (const BufferKey& k : KeysOf(out_tensor)) {
+        EmitAlloc(k, pos);
+        if (is_recompute) materialized_.push_back(k);
+      }
+      Step& copy = Emit(StepKind::kSplitCopy, BufferKey{out_tensor, -1}, pos);
+      copy.bytes = graph_.tensor(out_tensor).size_bytes();
+      EmitFree(BufferKey{out_tensor, -1}, pos);
+    }
+  }
+  for (const BufferKey& merged : transient_merges) {
+    if (StateOf(merged) == BufState::kResident) EmitFree(merged, pos);
+  }
+  return Status::OK();
+}
+
+Result<Program> Generator::Run() {
+  Precompute();
+
+  for (const TensorDesc& tensor : graph_.tensors()) {
+    SplitConfig split = SplitOf(tensor.id);
+    if (split.active()) program_.split_configs[tensor.id] = split;
+  }
+
+  // Source tensors start resident (parameters / inputs are uploaded before
+  // the iteration; the paper counts them in the initial requirement M_0).
+  for (const TensorDesc& tensor : graph_.tensors()) {
+    if (tensor.producer != kInvalidOp) continue;
+    for (const BufferKey& k : KeysOf(tensor.id)) {
+      SetState(k, BufState::kResident);
+      program_.buffer_bytes[k] = KeyBytes(k);
+    }
+    // State the plan offloads and the iteration never touches (optimizer
+    // moments under ZeRO-Offload) leaves the device immediately.
+    const RootInfo& info = roots_[static_cast<size_t>(tensor.id)];
+    if (OptOf(tensor.id) == MemOpt::kSwap && info.use_positions.empty()) {
+      for (const BufferKey& k : KeysOf(tensor.id)) EmitSwapOut(k, 0);
+    }
+  }
+
+  for (int pos = 0; pos < schedule_.num_steps(); ++pos) {
+    OpId op_id = schedule_.order[static_cast<size_t>(pos)];
+    const OpNode& node = graph_.node(op_id);
+    if (node.op->is_view()) continue;
+
+    materialized_.clear();
+    recompute_swapins_.clear();
+    RETURN_IF_ERROR(EmitOpExecution(op_id, pos, /*is_recompute=*/false,
+                                    /*depth=*/0));
+
+    // Ancestors swapped in only to feed a recompute subgraph return to the
+    // host (or die) once the op completes.
+    for (const BufferKey& k : recompute_swapins_) {
+      if (StateOf(k) != BufState::kResident) continue;
+      if (HasUseAfter(k.tensor, pos)) {
+        EmitSwapOut(k, pos);
+      } else if (!roots_[static_cast<size_t>(k.tensor)].always_live) {
+        EmitFree(k, pos);
+      }
+    }
+
+    // Recompute-policy cleanup: ancestors materialized for this op.
+    for (const BufferKey& k : materialized_) {
+      if (StateOf(k) != BufState::kResident) continue;
+      bool used_later = HasUseAfter(k.tensor, pos);
+      if (!used_later) {
+        if (!roots_[static_cast<size_t>(k.tensor)].always_live) {
+          EmitFree(k, pos);
+        }
+        continue;
+      }
+      switch (options_.recompute_mode) {
+        case RecomputeMode::kMemoryCentric:
+          if (OptOf(k.tensor) == MemOpt::kRecompute) EmitDrop(k, pos);
+          break;
+        case RecomputeMode::kSpeedCentric:
+          break;  // keep resident; freed at its real last use
+        case RecomputeMode::kLru: {
+          size_t bytes = KeyBytes(k);
+          if (lru_kept_bytes_ + bytes <= options_.lru_budget_bytes) {
+            lru_kept_bytes_ += bytes;
+          } else if (OptOf(k.tensor) == MemOpt::kRecompute) {
+            EmitDrop(k, pos);
+          }
+          break;
+        }
+      }
+    }
+
+    // End-of-life pass over this op's inputs and dead outputs.
+    std::unordered_set<TensorId> seen;
+    for (TensorId input : node.inputs) {
+      TensorId root = RootOf(input);
+      if (!seen.insert(root).second) continue;
+      const RootInfo& info = roots_[static_cast<size_t>(root)];
+      bool at_eviction_point = pos == info.fwd_last_use;
+      bool at_death =
+          !info.use_positions.empty() && pos == info.use_positions.back();
+      if (!at_eviction_point && !at_death) continue;
+      for (const BufferKey& k : KeysOf(root)) ApplyEndOfLife(k, pos);
+    }
+    // Outputs with no forward consumer left (everything that reads them is
+    // in the backward phase) evict right after production.
+    for (TensorId output : node.outputs) {
+      TensorId root = RootOf(output);
+      if (root != output) continue;
+      const RootInfo& info = roots_[static_cast<size_t>(root)];
+      if (!info.use_positions.empty() && info.fwd_last_use == pos &&
+          HasUseAfter(root, pos) && OptOf(root) != MemOpt::kReside) {
+        for (const BufferKey& k : KeysOf(root)) ApplyEndOfLife(k, pos);
+      }
+    }
+    for (TensorId output : node.outputs) {
+      TensorId root = RootOf(output);
+      if (root != output) continue;
+      const RootInfo& info = roots_[static_cast<size_t>(root)];
+      if (!info.use_positions.empty() || info.always_live) continue;
+      if (graph_.tensor(root).kind == TensorKind::kParamGrad) {
+        // Parameter gradients are the iteration's result: they persist, or
+        // stream to the CPU when the plan offloads them (ZeRO-Offload).
+        if (OptOf(root) == MemOpt::kSwap) {
+          for (const BufferKey& k : KeysOf(root)) {
+            if (StateOf(k) == BufState::kResident) EmitSwapOut(k, pos);
+          }
+        }
+        continue;
+      }
+      // Dead output (e.g. an unused auxiliary stat tensor).
+      for (const BufferKey& k : KeysOf(root)) {
+        if (StateOf(k) == BufState::kResident) EmitFree(k, pos);
+      }
+    }
+  }
+  return std::move(program_);
+}
+
+}  // namespace
+
+Result<Program> GenerateProgram(const Graph& graph, const Schedule& schedule,
+                                const planner::Plan& plan,
+                                const planner::GraphProfile& profile,
+                                const ProgramOptions& options) {
+  Generator generator(graph, schedule, plan, profile, options);
+  return generator.Run();
+}
+
+}  // namespace tsplit::rewrite

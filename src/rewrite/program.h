@@ -1,0 +1,139 @@
+#ifndef TSPLIT_REWRITE_PROGRAM_H_
+#define TSPLIT_REWRITE_PROGRAM_H_
+
+// Augmented-program generation (paper §V-A, Fig 10): rewrites a scheduled
+// tensor graph plus a memory plan into an executable step sequence with
+// explicit micro-tensor computes, split/merge copies, swap-out/swap-in
+// transfers, recompute subgraphs, and eviction points. Program order plus
+// per-stream FIFO semantics encode the control (timing) edges of the
+// paper's augmented dataflow graph.
+//
+// Both executors interpret this one program: the timing simulator replays
+// it against the discrete-event GPU, and the functional executor replays it
+// with real host tensors to prove a plan is semantically lossless.
+//
+// Micro-execution model. A tensor with split config (p, d) is stored as p
+// micro-buffers. An op runs micro-wise when a SplitRule aligns one of its
+// split inputs (or its split output) with an output axis; the generator
+// then emits p micro-computes and applies memory options per part:
+//   * input micro-tensors whose last forward use is this op are evicted
+//     (swap-out / drop) immediately after their part — the paper's
+//     "evict an input micro-tensor to make room" (§III-A);
+//   * produced micro-tensors of a swap-tensor whose forward life ends at
+//     production are transferred out as soon as each part completes — the
+//     paper's early swapping at micro-tensor granularity.
+// Backward, micro parts are regenerated one part ahead of use, overlapping
+// H2D transfer with the preceding part's compute.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/status.h"
+#include "graph/graph.h"
+#include "graph/schedule.h"
+#include "planner/plan.h"
+#include "planner/profile.h"
+
+namespace tsplit::rewrite {
+
+// Identifies a device buffer: a whole tensor (micro == -1) or one
+// micro-tensor of a split sTensor.
+struct BufferKey {
+  TensorId tensor = kInvalidTensor;
+  int micro = -1;
+
+  bool operator==(const BufferKey& o) const {
+    return tensor == o.tensor && micro == o.micro;
+  }
+};
+
+struct BufferKeyHash {
+  size_t operator()(const BufferKey& k) const {
+    return static_cast<size_t>(k.tensor) * 1315423911u ^
+           static_cast<size_t>(k.micro + 7);
+  }
+};
+
+enum class StepKind : uint8_t {
+  kAlloc = 0,   // reserve device memory for `buffer`
+  kFree,        // release a dead buffer
+  kCompute,     // run (micro-)op on the compute stream
+  kSwapOut,     // D2H transfer; device side released at completion
+  kSwapIn,      // allocate + H2D transfer from the host store
+  kDrop,        // release without host copy (recompute eviction)
+  kSplitCopy,   // scatter a whole buffer into its micro buffers
+  kMergeCopy,   // gather micro buffers into a whole buffer
+};
+
+const char* StepKindToString(StepKind kind);
+
+struct Step {
+  StepKind kind = StepKind::kCompute;
+
+  // kCompute fields.
+  OpId op = kInvalidOp;
+  int micro = -1;           // part index (-1 = whole op)
+  int p_num = 1;            // split count when micro >= 0
+  int split_axis = 0;       // output split axis when micro >= 0
+  // Device buffers backing each op input: inputs[i] holds the key(s) for
+  // op input i — one whole buffer, one micro part, or a full micro set.
+  std::vector<std::vector<BufferKey>> inputs;
+  std::vector<BufferKey> outputs;
+  double seconds = 0;       // profiled duration
+  size_t workspace_bytes = 0;
+  bool is_recompute = false;
+
+  // Memory-step fields (kAlloc/kFree/kSwapOut/kSwapIn/kDrop/copies).
+  BufferKey buffer;
+  size_t bytes = 0;
+  double transfer_seconds = 0;  // kSwapOut / kSwapIn
+
+  int sched_pos = -1;  // originating schedule position (diagnostics)
+};
+
+struct Program {
+  std::vector<Step> steps;
+  // Size of every buffer the program references.
+  std::unordered_map<BufferKey, size_t, BufferKeyHash> buffer_bytes;
+  // Effective (validated) split config per split tensor; executors use the
+  // axis to slice / merge micro buffers.
+  std::unordered_map<TensorId, SplitConfig> split_configs;
+
+  // Aggregates (filled by the generator).
+  size_t swap_out_bytes = 0;
+  size_t swap_in_bytes = 0;
+  double recompute_seconds = 0;
+  int num_micro_computes = 0;
+
+  std::string DebugString(const Graph& graph) const;
+};
+
+// How recomputation subgraphs manage their intermediate tensors (§V-D).
+enum class RecomputeMode : uint8_t {
+  kMemoryCentric = 0,  // re-drop intermediates after each use: O(N²) compute,
+                       // O(1) extra memory (the TSPLIT default)
+  kSpeedCentric,       // keep intermediates resident: O(N) compute,
+                       // O(N) extra memory
+  kLru,                // keep intermediates while under a byte budget
+};
+
+struct ProgramOptions {
+  RecomputeMode recompute_mode = RecomputeMode::kMemoryCentric;
+  size_t lru_budget_bytes = size_t{1} << 30;
+  // How many schedule positions before a consumer a swap-in is issued
+  // (the paper's ideal swap-in begin time: the previous op's start).
+  int swap_in_lookahead = 1;
+};
+
+// Rewrites (graph, schedule, plan) into an executable program.
+Result<Program> GenerateProgram(const Graph& graph, const Schedule& schedule,
+                                const planner::Plan& plan,
+                                const planner::GraphProfile& profile,
+                                const ProgramOptions& options = {});
+
+}  // namespace tsplit::rewrite
+
+#endif  // TSPLIT_REWRITE_PROGRAM_H_

@@ -1,0 +1,461 @@
+#include "runtime/functional_executor.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+
+namespace tsplit::runtime {
+
+namespace {
+using rewrite::BufferKey;
+using rewrite::Step;
+using rewrite::StepKind;
+}  // namespace
+
+Status FunctionalExecutor::Bind(TensorId id, Tensor value) {
+  if (id < 0 || id >= graph_->num_tensors()) {
+    return Status::InvalidArgument("Bind: bad tensor id");
+  }
+  const TensorDesc& desc = graph_->tensor(id);
+  if (desc.producer != kInvalidOp) {
+    return Status::InvalidArgument("Bind: tensor is produced by an op");
+  }
+  if (value.shape() != desc.shape) {
+    return Status::InvalidArgument("Bind: shape mismatch for " + desc.name);
+  }
+  bindings_.emplace(id, std::move(value));
+  return Status::OK();
+}
+
+Result<Shape> FunctionalExecutor::KeyShape(
+    const BufferKey& key, const rewrite::Program& program) const {
+  const Shape& whole = graph_->tensor(key.tensor).shape;
+  if (key.micro < 0) return whole;
+  auto split_it = program.split_configs.find(key.tensor);
+  if (split_it == program.split_configs.end()) {
+    return Status::Internal("micro key for unsplit tensor " +
+                            graph_->tensor(key.tensor).name);
+  }
+  return whole.SplitPart(split_it->second.dim, split_it->second.p_num,
+                         key.micro);
+}
+
+Status FunctionalExecutor::AllocBuffer(const BufferKey& key,
+                                       const rewrite::Program& program,
+                                       Shape shape) {
+  auto bytes_it = program.buffer_bytes.find(key);
+  size_t bytes = bytes_it != program.buffer_bytes.end()
+                     ? bytes_it->second
+                     : static_cast<size_t>(shape.num_elements()) * 4;
+  auto offset = pool_.Allocate(bytes);
+  if (!offset.ok()) {
+    return Status::OutOfMemory("functional OOM allocating " +
+                               graph_->tensor(key.tensor).name + ": " +
+                               offset.status().message());
+  }
+  offsets_[key] = *offset;
+  device_[key] = Tensor(std::move(shape));
+  return Status::OK();
+}
+
+Status FunctionalExecutor::FreeBuffer(const BufferKey& key) {
+  auto it = offsets_.find(key);
+  if (it == offsets_.end()) {
+    return Status::Internal("free of unallocated buffer t" +
+                            std::to_string(key.tensor));
+  }
+  RETURN_IF_ERROR(pool_.Free(it->second));
+  offsets_.erase(it);
+  auto device_it = device_.find(key);
+  if (device_it != device_.end()) {
+    if (keep_freed_values_) {
+      archive_[key] = std::move(device_it->second);
+    }
+    device_.erase(device_it);
+  }
+  return Status::OK();
+}
+
+Result<const Tensor*> FunctionalExecutor::DeviceTensor(
+    const BufferKey& key) const {
+  auto it = device_.find(key);
+  if (it == device_.end()) {
+    return Status::Internal("buffer t" + std::to_string(key.tensor) + "." +
+                            std::to_string(key.micro) +
+                            " not device-resident");
+  }
+  return &it->second;
+}
+
+Result<const Tensor*> FunctionalExecutor::ResolveGroup(
+    const std::vector<BufferKey>& group, const rewrite::Program& program,
+    std::vector<Tensor>* storage) const {
+  TSPLIT_CHECK(!group.empty());
+  if (group.size() == 1) {
+    return DeviceTensor(group[0]);
+  }
+  // Micro set: merge by concatenation along the tensor's split axis.
+  TensorId tensor = group[0].tensor;
+  auto split_it = program.split_configs.find(tensor);
+  if (split_it == program.split_configs.end()) {
+    return Status::Internal("micro group for unsplit tensor");
+  }
+  const SplitConfig& split = split_it->second;
+  const Shape& whole_shape = graph_->tensor(tensor).shape;
+  Tensor merged(whole_shape);
+  for (const BufferKey& key : group) {
+    ASSIGN_OR_RETURN(const Tensor* part, DeviceTensor(key));
+    ASSIGN_OR_RETURN(
+        int64_t offset,
+        whole_shape.SplitOffset(split.dim, split.p_num, key.micro));
+    RETURN_IF_ERROR(merged.PasteSlice(split.dim, offset, *part));
+  }
+  storage->push_back(std::move(merged));
+  return &storage->back();
+}
+
+Status FunctionalExecutor::Run(const rewrite::Program& program) {
+  // Stage sources onto the device (split sources land as micro parts).
+  for (const TensorDesc& tensor : graph_->tensors()) {
+    if (tensor.producer != kInvalidOp) continue;
+    auto binding = bindings_.find(tensor.id);
+    if (binding == bindings_.end()) {
+      return Status::FailedPrecondition("source tensor " + tensor.name +
+                                        " unbound");
+    }
+    auto split_it = program.split_configs.find(tensor.id);
+    if (split_it == program.split_configs.end()) {
+      BufferKey key{tensor.id, -1};
+      RETURN_IF_ERROR(AllocBuffer(key, program, tensor.shape));
+      device_[key] = binding->second;
+    } else {
+      const SplitConfig& split = split_it->second;
+      for (int j = 0; j < split.p_num; ++j) {
+        BufferKey key{tensor.id, j};
+        ASSIGN_OR_RETURN(Shape part_shape, KeyShape(key, program));
+        ASSIGN_OR_RETURN(
+            int64_t offset,
+            tensor.shape.SplitOffset(split.dim, split.p_num, j));
+        ASSIGN_OR_RETURN(Tensor part,
+                         binding->second.Slice(split.dim, offset,
+                                               part_shape.dim(split.dim)));
+        RETURN_IF_ERROR(AllocBuffer(key, program, part_shape));
+        device_[key] = std::move(part);
+      }
+    }
+  }
+
+  for (const Step& step : program.steps) {
+    switch (step.kind) {
+      case StepKind::kAlloc: {
+        ASSIGN_OR_RETURN(Shape shape, KeyShape(step.buffer, program));
+        RETURN_IF_ERROR(AllocBuffer(step.buffer, program, std::move(shape)));
+        break;
+      }
+      case StepKind::kFree:
+      case StepKind::kDrop: {
+        RETURN_IF_ERROR(FreeBuffer(step.buffer));
+        break;
+      }
+      case StepKind::kSwapOut: {
+        auto it = device_.find(step.buffer);
+        if (it == device_.end()) {
+          return Status::Internal("swap-out of non-resident buffer");
+        }
+        host_[step.buffer] = std::move(it->second);
+        RETURN_IF_ERROR(FreeBuffer(step.buffer));
+        break;
+      }
+      case StepKind::kSwapIn: {
+        auto it = host_.find(step.buffer);
+        if (it == host_.end()) {
+          return Status::Internal("swap-in without a host copy");
+        }
+        ASSIGN_OR_RETURN(Shape shape, KeyShape(step.buffer, program));
+        RETURN_IF_ERROR(AllocBuffer(step.buffer, program, std::move(shape)));
+        device_[step.buffer] = std::move(it->second);
+        host_.erase(it);
+        break;
+      }
+      case StepKind::kSplitCopy: {
+        // Whole buffer -> micro buffers (micros were just alloc'd).
+        BufferKey whole_key{step.buffer.tensor, -1};
+        ASSIGN_OR_RETURN(const Tensor* whole, DeviceTensor(whole_key));
+        auto split_it = program.split_configs.find(step.buffer.tensor);
+        if (split_it == program.split_configs.end()) {
+          return Status::Internal("split copy without split config");
+        }
+        const SplitConfig& split = split_it->second;
+        for (int j = 0; j < split.p_num; ++j) {
+          BufferKey key{step.buffer.tensor, j};
+          ASSIGN_OR_RETURN(
+              int64_t offset,
+              whole->shape().SplitOffset(split.dim, split.p_num, j));
+          ASSIGN_OR_RETURN(Shape part_shape, KeyShape(key, program));
+          ASSIGN_OR_RETURN(Tensor part,
+                           whole->Slice(split.dim, offset,
+                                        part_shape.dim(split.dim)));
+          device_[key] = std::move(part);
+        }
+        break;
+      }
+      case StepKind::kMergeCopy: {
+        BufferKey whole_key{step.buffer.tensor, -1};
+        auto whole_it = device_.find(whole_key);
+        if (whole_it == device_.end()) {
+          return Status::Internal("merge copy without whole buffer");
+        }
+        auto split_it = program.split_configs.find(step.buffer.tensor);
+        if (split_it == program.split_configs.end()) {
+          return Status::Internal("merge copy without split config");
+        }
+        const SplitConfig& split = split_it->second;
+        const Shape& whole_shape = whole_it->second.shape();
+        for (int j = 0; j < split.p_num; ++j) {
+          ASSIGN_OR_RETURN(const Tensor* part,
+                           DeviceTensor(BufferKey{step.buffer.tensor, j}));
+          ASSIGN_OR_RETURN(
+              int64_t offset,
+              whole_shape.SplitOffset(split.dim, split.p_num, j));
+          RETURN_IF_ERROR(
+              whole_it->second.PasteSlice(split.dim, offset, *part));
+        }
+        break;
+      }
+      case StepKind::kCompute: {
+        RETURN_IF_ERROR(RunCompute(step, program));
+        break;
+      }
+    }
+  }
+  program_ = &program;
+  return Status::OK();
+}
+
+Status FunctionalExecutor::RunCompute(const rewrite::Step& step,
+                                      const rewrite::Program& program) {
+  const OpNode& node = graph_->node(step.op);
+
+  // Workspace accounting (the functional path needs no real scratch).
+  size_t workspace_offset = 0;
+  bool has_workspace = step.workspace_bytes > 0;
+  if (has_workspace) {
+    auto offset = pool_.Allocate(step.workspace_bytes);
+    if (!offset.ok()) {
+      return Status::OutOfMemory("functional OOM on workspace of " +
+                                 node.name);
+    }
+    workspace_offset = *offset;
+  }
+
+  std::vector<Tensor> merged_storage;
+  std::vector<Tensor> sliced_storage;
+  std::vector<const Tensor*> inputs;
+  // Capacity must cover the worst case (a reshape temp AND a slice temp
+  // per input) — pointers into these vectors must never be invalidated by
+  // reallocation.
+  merged_storage.reserve(step.inputs.size());
+  sliced_storage.reserve(2 * step.inputs.size() + 2);
+
+  // The op's declared input shapes: a buffer may back a Reshape view, in
+  // which case its data re-wraps into the view's shape.
+  std::vector<Shape> declared_in = graph_->InputShapes(step.op);
+  auto reshape_to_declared = [&](const Tensor* value,
+                                 const Shape& declared) -> const Tensor* {
+    if (value->shape() == declared) return value;
+    TSPLIT_CHECK_EQ(value->num_elements(), declared.num_elements());
+    Tensor rewrapped(declared);
+    rewrapped.vec() = value->vec();
+    sliced_storage.push_back(std::move(rewrapped));
+    return &sliced_storage.back();
+  };
+
+  if (step.micro < 0) {
+    // Whole-op execution.
+    for (size_t idx = 0; idx < step.inputs.size(); ++idx) {
+      ASSIGN_OR_RETURN(const Tensor* value,
+                       ResolveGroup(step.inputs[idx], program,
+                                    &merged_storage));
+      inputs.push_back(reshape_to_declared(value, declared_in[idx]));
+    }
+    std::vector<Tensor> results;
+    std::vector<Tensor*> outputs;
+    results.reserve(step.outputs.size());
+    for (size_t i = 0; i < step.outputs.size(); ++i) {
+      results.emplace_back(graph_->tensor(step.outputs[i].tensor).shape);
+    }
+    for (Tensor& t : results) outputs.push_back(&t);
+    RETURN_IF_ERROR(node.op->Compute(inputs, outputs));
+    for (size_t i = 0; i < step.outputs.size(); ++i) {
+      auto it = device_.find(step.outputs[i]);
+      if (it == device_.end()) {
+        return Status::Internal("compute output buffer missing for " +
+                                node.name);
+      }
+      it->second = std::move(results[i]);
+    }
+  } else {
+    // Micro-part execution: derive the rule to slice whole inputs.
+    std::vector<Shape> in_shapes = graph_->InputShapes(step.op);
+    std::vector<Shape> out_shapes = graph_->OutputShapes(step.op);
+    ASSIGN_OR_RETURN(SplitRule rule,
+                     node.op->SplitRuleFor(step.split_axis, in_shapes,
+                                           out_shapes));
+    for (size_t idx = 0; idx < step.inputs.size(); ++idx) {
+      const auto& group = step.inputs[idx];
+      ASSIGN_OR_RETURN(const Tensor* value,
+                       ResolveGroup(group, program, &merged_storage));
+      int axis = rule.input_axes[idx];
+      bool already_micro = group.size() == 1 && group[0].micro >= 0;
+      if (already_micro && axis != kReplicateInput) {
+        // A covering part from a coarser split: carve this exec-part's
+        // range out of it (§V-C in-place re-split; contiguous on axis 0).
+        ASSIGN_OR_RETURN(Shape expected, declared_in[idx].SplitPart(
+                                             axis, step.p_num, step.micro));
+        if (value->shape().dim(axis) != expected.dim(axis)) {
+          auto split_it = program.split_configs.find(group[0].tensor);
+          if (split_it == program.split_configs.end()) {
+            return Status::Internal("covering part without split config");
+          }
+          const Shape& whole = graph_->tensor(group[0].tensor).shape;
+          ASSIGN_OR_RETURN(int64_t part_offset,
+                           whole.SplitOffset(axis, step.p_num, step.micro));
+          ASSIGN_OR_RETURN(
+              int64_t cover_offset,
+              whole.SplitOffset(axis, split_it->second.p_num,
+                                group[0].micro));
+          ASSIGN_OR_RETURN(Tensor carved,
+                           value->Slice(axis, part_offset - cover_offset,
+                                        expected.dim(axis)));
+          sliced_storage.push_back(std::move(carved));
+          inputs.push_back(&sliced_storage.back());
+          continue;
+        }
+      }
+      if (!already_micro) {
+        value = reshape_to_declared(value, declared_in[idx]);
+      }
+      if (axis != kReplicateInput && !already_micro) {
+        // Slice the whole input for this part.
+        ASSIGN_OR_RETURN(
+            int64_t offset,
+            value->shape().SplitOffset(axis, step.p_num, step.micro));
+        ASSIGN_OR_RETURN(Shape part_shape, value->shape().SplitPart(
+                                               axis, step.p_num, step.micro));
+        ASSIGN_OR_RETURN(Tensor sliced,
+                         value->Slice(axis, offset,
+                                      part_shape.dim(axis)));
+        sliced_storage.push_back(std::move(sliced));
+        inputs.push_back(&sliced_storage.back());
+      } else {
+        inputs.push_back(value);
+      }
+    }
+
+    // Micro output shape: a slice for concat merges, the full shape for
+    // reduction (kSum) merges whose partials accumulate.
+    const Shape& whole_out = graph_->tensor(step.outputs[0].tensor).shape;
+    Shape micro_out_shape = whole_out;
+    if (step.split_axis >= 0) {
+      ASSIGN_OR_RETURN(micro_out_shape,
+                       whole_out.SplitPart(step.split_axis, step.p_num,
+                                           step.micro));
+    }
+    Tensor micro_out(micro_out_shape);
+    std::vector<Tensor*> outputs = {&micro_out};
+    RETURN_IF_ERROR(node.op->Compute(inputs, outputs));
+
+    const BufferKey& out_key = step.outputs[0];
+    auto it = device_.find(out_key);
+    if (it == device_.end()) {
+      return Status::Internal("micro output buffer missing for " + node.name);
+    }
+    if (out_key.micro >= 0) {
+      it->second = std::move(micro_out);
+    } else if (step.split_axis < 0) {
+      // Reduction merge: whole buffers are zero-initialized at allocation.
+      RETURN_IF_ERROR(it->second.AccumulateFrom(micro_out));
+    } else {
+      ASSIGN_OR_RETURN(int64_t offset,
+                       whole_out.SplitOffset(step.split_axis, step.p_num,
+                                             step.micro));
+      RETURN_IF_ERROR(
+          it->second.PasteSlice(step.split_axis, offset, micro_out));
+    }
+  }
+
+  if (has_workspace) {
+    RETURN_IF_ERROR(pool_.Free(workspace_offset));
+  }
+  return Status::OK();
+}
+
+Result<Tensor> FunctionalExecutor::ValueOf(TensorId id) const {
+  // Views resolve through their defining chain lazily: walk to the root.
+  TensorId root = id;
+  while (true) {
+    OpId producer = graph_->tensor(root).producer;
+    if (producer == kInvalidOp || !graph_->node(producer).op->is_view()) {
+      break;
+    }
+    root = graph_->node(producer).inputs[0];
+  }
+
+  auto fetch = [&](const BufferKey& key) -> const Tensor* {
+    auto device_it = device_.find(key);
+    if (device_it != device_.end()) return &device_it->second;
+    auto host_it = host_.find(key);
+    if (host_it != host_.end()) return &host_it->second;
+    auto archive_it = archive_.find(key);
+    if (archive_it != archive_.end()) return &archive_it->second;
+    return nullptr;
+  };
+
+  const rewrite::Program* program = program_;
+  const SplitConfig* split = nullptr;
+  if (program != nullptr) {
+    auto it = program->split_configs.find(root);
+    if (it != program->split_configs.end()) split = &it->second;
+  }
+
+  const Shape& root_shape = graph_->tensor(root).shape;
+  Tensor whole(root_shape);
+  if (split == nullptr) {
+    const Tensor* value = fetch(BufferKey{root, -1});
+    if (value == nullptr) {
+      return Status::NotFound("tensor " + graph_->tensor(root).name +
+                              " has no materialized value");
+    }
+    whole = *value;
+  } else {
+    for (int j = 0; j < split->p_num; ++j) {
+      const Tensor* part = fetch(BufferKey{root, j});
+      if (part == nullptr) {
+        return Status::NotFound("micro part missing for " +
+                                graph_->tensor(root).name);
+      }
+      ASSIGN_OR_RETURN(
+          int64_t offset,
+          root_shape.SplitOffset(split->dim, split->p_num, j));
+      RETURN_IF_ERROR(whole.PasteSlice(split->dim, offset, *part));
+    }
+  }
+
+  // Reshape views share the root's elements; re-wrap in the view's shape.
+  if (root != id) {
+    Tensor view(graph_->tensor(id).shape);
+    view.vec() = whole.vec();
+    return view;
+  }
+  return whole;
+}
+
+size_t FunctionalExecutor::host_bytes() const {
+  size_t bytes = 0;
+  for (const auto& [key, tensor] : host_) {
+    bytes += static_cast<size_t>(tensor.num_elements()) * 4;
+  }
+  return bytes;
+}
+
+}  // namespace tsplit::runtime

@@ -1,0 +1,102 @@
+#include "runtime/interpreter.h"
+
+#include <algorithm>
+
+#include "graph/schedule.h"
+
+namespace tsplit::runtime {
+
+Status Interpreter::Bind(TensorId id, Tensor value) {
+  if (id < 0 || id >= graph_->num_tensors()) {
+    return Status::InvalidArgument("Bind: bad tensor id");
+  }
+  const TensorDesc& desc = graph_->tensor(id);
+  if (desc.producer != kInvalidOp) {
+    return Status::InvalidArgument("Bind: tensor " + desc.name +
+                                   " is produced by an op");
+  }
+  if (value.shape() != desc.shape) {
+    return Status::InvalidArgument("Bind: shape mismatch for " + desc.name +
+                                   ": " + value.shape().ToString() + " vs " +
+                                   desc.shape.ToString());
+  }
+  values_[id] = std::move(value);
+  bound_.push_back(id);
+  return Status::OK();
+}
+
+Status Interpreter::Run() {
+  ASSIGN_OR_RETURN(Schedule schedule, BuildSchedule(*graph_));
+  for (OpId op_id : schedule.order) {
+    const OpNode& node = graph_->node(op_id);
+    std::vector<const Tensor*> inputs;
+    inputs.reserve(node.inputs.size());
+    for (TensorId t : node.inputs) {
+      auto it = values_.find(t);
+      if (it == values_.end()) {
+        return Status::FailedPrecondition(
+            "tensor " + graph_->tensor(t).name + " unbound when executing " +
+            node.name);
+      }
+      inputs.push_back(&it->second);
+    }
+    std::vector<Tensor*> outputs;
+    outputs.reserve(node.outputs.size());
+    for (TensorId t : node.outputs) {
+      values_[t] = Tensor(graph_->tensor(t).shape);
+      outputs.push_back(&values_[t]);
+    }
+    RETURN_IF_ERROR(node.op->Compute(inputs, outputs));
+  }
+  return Status::OK();
+}
+
+Result<const Tensor*> Interpreter::ValueOf(TensorId id) const {
+  auto it = values_.find(id);
+  if (it == values_.end()) {
+    return Status::NotFound("tensor " + std::to_string(id) + " has no value");
+  }
+  return &it->second;
+}
+
+void Interpreter::ClearComputed() {
+  std::unordered_map<TensorId, Tensor> kept;
+  for (TensorId id : bound_) {
+    auto it = values_.find(id);
+    if (it != values_.end()) kept[id] = std::move(it->second);
+  }
+  values_ = std::move(kept);
+}
+
+std::unordered_map<TensorId, Tensor> MakeRandomBindings(const Graph& graph,
+                                                        uint64_t seed) {
+  std::unordered_map<TensorId, Tensor> bindings;
+  uint64_t state = seed * 2654435761u + 1;
+  auto next_uniform = [&]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return static_cast<double>(state >> 11) / 9007199254740992.0;
+  };
+  for (const TensorDesc& desc : graph.tensors()) {
+    if (desc.producer != kInvalidOp) continue;
+    if (desc.kind != TensorKind::kParameter &&
+        desc.kind != TensorKind::kInput &&
+        desc.kind != TensorKind::kOptimizerState) {
+      continue;
+    }
+    Tensor t(desc.shape);
+    bool is_labels = desc.name.find("label") != std::string::npos;
+    for (int64_t i = 0; i < t.num_elements(); ++i) {
+      if (is_labels) {
+        t.at(i) = static_cast<float>(static_cast<int>(next_uniform() * 3));
+      } else {
+        t.at(i) = static_cast<float>(next_uniform() * 0.4 - 0.2);
+      }
+    }
+    bindings.emplace(desc.id, std::move(t));
+  }
+  return bindings;
+}
+
+}  // namespace tsplit::runtime

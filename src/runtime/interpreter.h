@@ -1,0 +1,50 @@
+#ifndef TSPLIT_RUNTIME_INTERPRETER_H_
+#define TSPLIT_RUNTIME_INTERPRETER_H_
+
+// Unconstrained reference interpreter: executes a graph on host tensors in
+// schedule order with no memory management at all. This is the ground truth
+// the plan-aware functional executor is checked against (a valid plan must
+// reproduce these values), and the engine behind the numeric gradient
+// tests.
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/status.h"
+#include "core/tensor.h"
+#include "graph/graph.h"
+
+namespace tsplit::runtime {
+
+class Interpreter {
+ public:
+  explicit Interpreter(const Graph* graph) : graph_(graph) {}
+
+  // Binds a value to a source tensor (input / parameter / state).
+  Status Bind(TensorId id, Tensor value);
+
+  // Executes every op in schedule order. All source tensors must be bound.
+  Status Run();
+
+  // Value of any tensor after Run().
+  Result<const Tensor*> ValueOf(TensorId id) const;
+
+  // Releases computed values (bindings stay).
+  void ClearComputed();
+
+ private:
+  const Graph* graph_;
+  std::unordered_map<TensorId, Tensor> values_;
+  std::vector<TensorId> bound_;
+};
+
+// Convenience: bind every kParameter / kInput tensor of `graph` with
+// deterministic pseudo-random values (inputs in [-1, 1], labels as small
+// non-negative class ids) and return the bindings. `seed` varies the draw.
+std::unordered_map<TensorId, Tensor> MakeRandomBindings(const Graph& graph,
+                                                        uint64_t seed);
+
+}  // namespace tsplit::runtime
+
+#endif  // TSPLIT_RUNTIME_INTERPRETER_H_

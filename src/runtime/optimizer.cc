@@ -1,0 +1,63 @@
+#include "runtime/optimizer.h"
+
+#include <cmath>
+
+namespace tsplit::runtime {
+
+Status SgdOptimizer::Step(std::unordered_map<TensorId, Tensor>* params,
+                          const std::unordered_map<TensorId, Tensor>& grads) {
+  for (auto& [id, param] : *params) {
+    auto grad_it = grads.find(id);
+    if (grad_it == grads.end()) continue;
+    const Tensor& grad = grad_it->second;
+    if (grad.shape() != param.shape()) {
+      return Status::InvalidArgument("SGD shape mismatch for tensor " +
+                                     std::to_string(id));
+    }
+    if (momentum_ > 0.0f) {
+      auto [it, inserted] = velocity_.try_emplace(id, param.shape(), 0.0f);
+      Tensor& vel = it->second;
+      for (int64_t i = 0; i < param.num_elements(); ++i) {
+        vel.at(i) = momentum_ * vel.at(i) + grad.at(i);
+        param.at(i) -= lr_ * vel.at(i);
+      }
+    } else {
+      for (int64_t i = 0; i < param.num_elements(); ++i) {
+        param.at(i) -= lr_ * grad.at(i);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status AdamOptimizer::Step(std::unordered_map<TensorId, Tensor>* params,
+                           const std::unordered_map<TensorId, Tensor>& grads) {
+  ++step_;
+  const double bc1 = 1.0 - std::pow(beta1_, step_);
+  const double bc2 = 1.0 - std::pow(beta2_, step_);
+  for (auto& [id, param] : *params) {
+    auto grad_it = grads.find(id);
+    if (grad_it == grads.end()) continue;
+    const Tensor& grad = grad_it->second;
+    if (grad.shape() != param.shape()) {
+      return Status::InvalidArgument("Adam shape mismatch for tensor " +
+                                     std::to_string(id));
+    }
+    auto [mit, m_new] = m_.try_emplace(id, param.shape(), 0.0f);
+    auto [vit, v_new] = v_.try_emplace(id, param.shape(), 0.0f);
+    Tensor& m = mit->second;
+    Tensor& v = vit->second;
+    for (int64_t i = 0; i < param.num_elements(); ++i) {
+      float g = grad.at(i);
+      m.at(i) = beta1_ * m.at(i) + (1.0f - beta1_) * g;
+      v.at(i) = beta2_ * v.at(i) + (1.0f - beta2_) * g * g;
+      double m_hat = m.at(i) / bc1;
+      double v_hat = v.at(i) / bc2;
+      param.at(i) -=
+          static_cast<float>(lr_ * m_hat / (std::sqrt(v_hat) + epsilon_));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tsplit::runtime

@@ -1,0 +1,52 @@
+#ifndef TSPLIT_RUNTIME_OPTIMIZER_H_
+#define TSPLIT_RUNTIME_OPTIMIZER_H_
+
+// Host-side optimizers for the functional training path. The iteration
+// graph produces parameter gradients; these apply the update rule between
+// iterations (mirroring how vDNN/SuperNeurons-era runtimes update outside
+// the DFG, and what ZeRO-Offload performs on the CPU).
+
+#include <unordered_map>
+
+#include "core/ids.h"
+#include "core/status.h"
+#include "core/tensor.h"
+
+namespace tsplit::runtime {
+
+class SgdOptimizer {
+ public:
+  explicit SgdOptimizer(float lr, float momentum = 0.0f)
+      : lr_(lr), momentum_(momentum) {}
+
+  // params[id] -= lr * grad (+ momentum buffer when configured).
+  Status Step(std::unordered_map<TensorId, Tensor>* params,
+              const std::unordered_map<TensorId, Tensor>& grads);
+
+ private:
+  float lr_;
+  float momentum_;
+  std::unordered_map<TensorId, Tensor> velocity_;
+};
+
+class AdamOptimizer {
+ public:
+  AdamOptimizer(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+                float epsilon = 1e-8f)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), epsilon_(epsilon) {}
+
+  Status Step(std::unordered_map<TensorId, Tensor>* params,
+              const std::unordered_map<TensorId, Tensor>& grads);
+
+  int steps_taken() const { return step_; }
+
+ private:
+  float lr_, beta1_, beta2_, epsilon_;
+  int step_ = 0;
+  std::unordered_map<TensorId, Tensor> m_;
+  std::unordered_map<TensorId, Tensor> v_;
+};
+
+}  // namespace tsplit::runtime
+
+#endif  // TSPLIT_RUNTIME_OPTIMIZER_H_

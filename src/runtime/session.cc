@@ -1,0 +1,129 @@
+#include "runtime/session.h"
+
+#include <algorithm>
+
+#include "graph/schedule.h"
+#include "planner/memory_sim.h"
+
+namespace tsplit::runtime {
+
+void AddAdamStates(models::Model* model) {
+  // Two fp32 moments per parameter (Adam m / v), named for diagnostics.
+  std::vector<TensorId> params = model->parameters;
+  for (TensorId param : params) {
+    const TensorDesc& desc = model->graph.tensor(param);
+    model->graph.AddTensor(desc.name + ".adam_m", desc.shape,
+                           TensorKind::kOptimizerState);
+    model->graph.AddTensor(desc.name + ".adam_v", desc.shape,
+                           TensorKind::kOptimizerState);
+  }
+}
+
+Result<SessionResult> SimulateIteration(models::Model* model,
+                                        const SessionOptions& options) {
+  if (options.with_adam_states) {
+    AddAdamStates(model);
+  }
+  ASSIGN_OR_RETURN(Schedule schedule, BuildSchedule(model->graph));
+  planner::GraphProfile profile =
+      planner::ProfileGraph(model->graph, options.device);
+
+  auto planner = planner::MakePlanner(options.planner_name);
+  if (planner == nullptr) {
+    return Status::NotFound("unknown planner " + options.planner_name);
+  }
+  auto planner_budget = static_cast<size_t>(
+      static_cast<double>(options.device.memory_bytes) *
+      options.planner_headroom);
+  ASSIGN_OR_RETURN(planner::Plan plan,
+                   planner->BuildPlan(model->graph, schedule, profile,
+                                      planner_budget));
+
+  ASSIGN_OR_RETURN(rewrite::Program program,
+                   rewrite::GenerateProgram(model->graph, schedule, plan,
+                                            profile,
+                                            options.program_options));
+
+  SimExecutor executor(options.device);
+  ASSIGN_OR_RETURN(IterationStats stats,
+                   executor.Execute(model->graph, program));
+
+  SessionResult result;
+  result.plan = std::move(plan);
+  result.stats = stats;
+  std::vector<planner::TensorFacts> facts =
+      planner::ComputeTensorFacts(model->graph, schedule);
+  std::vector<size_t> memory =
+      planner::PlannedMemory(model->graph, schedule, facts, result.plan);
+  result.planned_peak_bytes =
+      memory.empty() ? 0 : *std::max_element(memory.begin(), memory.end());
+  return result;
+}
+
+Result<SessionResult> SimulateModel(const std::string& model_name, int batch,
+                                    double param_scale,
+                                    const SessionOptions& options) {
+  ASSIGN_OR_RETURN(models::Model model,
+                   models::BuildByName(model_name, batch, param_scale,
+                                       /*with_backward=*/true));
+  return SimulateIteration(&model, options);
+}
+
+namespace {
+
+// True when the scale is trainable (plans and executes within memory).
+bool Trainable(const std::string& model_name, int batch, double param_scale,
+               const SessionOptions& options) {
+  auto result = SimulateModel(model_name, batch, param_scale, options);
+  return result.ok();
+}
+
+}  // namespace
+
+Result<int> MaxSampleScale(const std::string& model_name,
+                           const SessionOptions& options, int max_batch) {
+  if (!Trainable(model_name, 1, 1.0, options)) {
+    return 0;  // cannot even train batch 1
+  }
+  // Exponential growth, then binary search in (lo, hi].
+  int lo = 1, hi = 2;
+  while (hi <= max_batch && Trainable(model_name, hi, 1.0, options)) {
+    lo = hi;
+    hi *= 2;
+  }
+  if (hi > max_batch) return lo;
+  // Invariant: lo trainable, hi not.
+  while (hi - lo > 1) {
+    int mid = lo + (hi - lo) / 2;
+    if (Trainable(model_name, mid, 1.0, options)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+Result<int> MaxParamScale(const std::string& model_name,
+                          const SessionOptions& options, int max_scale) {
+  constexpr int kBatch = 16;  // paper Table V fixes batch at 16
+  if (!Trainable(model_name, kBatch, 1.0, options)) return 0;
+  int lo = 1, hi = 2;
+  while (hi <= max_scale &&
+         Trainable(model_name, kBatch, static_cast<double>(hi), options)) {
+    lo = hi;
+    hi *= 2;
+  }
+  if (hi > max_scale) return lo;
+  while (hi - lo > 1) {
+    int mid = lo + (hi - lo) / 2;
+    if (Trainable(model_name, kBatch, static_cast<double>(mid), options)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace tsplit::runtime

@@ -1,0 +1,67 @@
+#ifndef TSPLIT_RUNTIME_SESSION_H_
+#define TSPLIT_RUNTIME_SESSION_H_
+
+// High-level driver tying the pipeline together:
+//   model -> schedule -> profile -> plan -> augmented program -> executor.
+// Benches and examples use this to answer the paper's questions: what does
+// one iteration cost under planner X on device Y, and what is the largest
+// trainable sample / parameter scale?
+
+#include <string>
+
+#include "models/model.h"
+#include "planner/plan.h"
+#include "planner/planner.h"
+#include "rewrite/program.h"
+#include "runtime/sim_executor.h"
+#include "sim/device.h"
+
+namespace tsplit::runtime {
+
+struct SessionOptions {
+  std::string planner_name = "TSPLIT";
+  sim::DeviceProfile device = sim::TitanRtx();
+  rewrite::ProgramOptions program_options;
+  // Budget-aware planners target this fraction of device memory, keeping
+  // headroom for runtime transients (recompute checkpoints in flight,
+  // allocator fragmentation) their analytic model does not capture.
+  double planner_headroom = 0.93;
+  // Adds two Adam moment tensors per parameter before planning — the
+  // optimizer state the ZeRO-Offload comparison (Tables VI/VII) hinges on.
+  bool with_adam_states = false;
+};
+
+struct SessionResult {
+  planner::Plan plan;
+  IterationStats stats;
+  size_t planned_peak_bytes = 0;  // planner's own estimate
+};
+
+// Plans and simulates one training iteration. Fails (ResourceExhausted /
+// OutOfMemory) when the model scale is not trainable under this planner.
+Result<SessionResult> SimulateIteration(models::Model* model,
+                                        const SessionOptions& options);
+
+// Convenience: build-by-name + simulate; returns NotTrainable errors as-is.
+Result<SessionResult> SimulateModel(const std::string& model_name, int batch,
+                                    double param_scale,
+                                    const SessionOptions& options);
+
+// Largest batch size trainable for `model_name` under `options` (paper
+// Table IV / VI: sample scale). Exponential probe + binary search.
+Result<int> MaxSampleScale(const std::string& model_name,
+                           const SessionOptions& options,
+                           int max_batch = 4096);
+
+// Largest parameter scale (channel / hidden multiplier) trainable at a
+// fixed batch of 16 (paper Table V / VII). Returns the scale in the
+// paper's integer-multiplier units.
+Result<int> MaxParamScale(const std::string& model_name,
+                          const SessionOptions& options, int max_scale = 256);
+
+// Appends Adam first/second-moment state tensors for every parameter.
+void AddAdamStates(models::Model* model);
+
+}  // namespace tsplit::runtime
+
+#endif  // TSPLIT_RUNTIME_SESSION_H_

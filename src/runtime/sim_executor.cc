@@ -1,0 +1,365 @@
+#include "runtime/sim_executor.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/kernel_model.h"
+#include "sim/timeline.h"
+
+namespace tsplit::runtime {
+
+namespace {
+
+using rewrite::BufferKey;
+using rewrite::BufferKeyHash;
+using rewrite::Step;
+using rewrite::StepKind;
+
+// A device release that takes effect at a known virtual time (swap-out
+// completion, buffer death after its last reader).
+struct PendingFree {
+  double time;
+  size_t offset;
+  bool operator>(const PendingFree& o) const { return time > o.time; }
+};
+
+struct BufferInfo {
+  size_t offset = 0;
+  size_t bytes = 0;
+  bool resident = false;
+  double ready = 0;      // contents valid on device at this time
+  double last_read = 0;  // latest finish of a reader
+};
+
+class Simulation {
+ public:
+  Simulation(const Graph& graph, const rewrite::Program& program,
+             const sim::DeviceProfile& device)
+      : graph_(graph),
+        program_(program),
+        device_(device),
+        pool_(std::make_unique<mem::MemoryPool>(device.memory_bytes)) {
+    compute_ = timeline_.AddStream("compute");
+    d2h_ = timeline_.AddStream("d2h");
+    h2d_ = timeline_.AddStream("h2d");
+  }
+
+  Result<IterationStats> Run();
+  const sim::Timeline& timeline() const { return timeline_; }
+
+ private:
+  // Reserves `bytes`, draining pending frees (in time order) when the pool
+  // is full. Returns the virtual time at which the memory became available.
+  Result<double> Allocate(size_t bytes, size_t* offset);
+  void ScheduleFree(const BufferKey& key, double time);
+
+  Result<double> AllocateBuffer(const BufferKey& key);
+
+  // Relocates every live buffer to the front of the arena. Models the
+  // planned-allocation contiguity the paper's best-fit pool enforces
+  // (§V-C); charged as one on-device copy of the live bytes.
+  Status Compact();
+
+  const Graph& graph_;
+  const rewrite::Program& program_;
+  sim::DeviceProfile device_;
+  std::unique_ptr<mem::MemoryPool> pool_;
+  int num_compactions_ = 0;
+  sim::Timeline timeline_;
+  sim::StreamId compute_, d2h_, h2d_;
+
+  std::unordered_map<BufferKey, BufferInfo, BufferKeyHash> buffers_;
+  std::unordered_map<BufferKey, double, BufferKeyHash> host_ready_;
+  std::priority_queue<PendingFree, std::vector<PendingFree>,
+                      std::greater<PendingFree>>
+      pending_frees_;
+  size_t peak_memory_ = 0;
+  std::vector<MemorySample> memory_timeline_;
+};
+
+Result<double> Simulation::Allocate(size_t bytes, size_t* offset) {
+  double available_at = 0;
+  bool compacted = false;
+  for (;;) {
+    auto result = pool_->Allocate(bytes);
+    if (result.ok()) {
+      *offset = *result;
+      peak_memory_ = std::max(peak_memory_, pool_->in_use());
+      memory_timeline_.push_back(
+          MemorySample{std::max(available_at, timeline_.MakespanEnd()),
+                       pool_->in_use()});
+      return available_at;
+    }
+    if (!pending_frees_.empty()) {
+      // Apply the earliest pending release and retry.
+      PendingFree pending = pending_frees_.top();
+      pending_frees_.pop();
+      RETURN_IF_ERROR(pool_->Free(pending.offset));
+      available_at = std::max(available_at, pending.time);
+      continue;
+    }
+    if (!compacted && pool_->free_bytes() >= mem::MemoryPool::Align(bytes)) {
+      // Fragmentation, not exhaustion: defragment once and retry.
+      RETURN_IF_ERROR(Compact());
+      available_at = std::max(available_at, timeline_.MakespanEnd());
+      compacted = true;
+      continue;
+    }
+    return Status::OutOfMemory(
+        "device memory exhausted: need " + std::to_string(bytes) +
+        " bytes, " + pool_->DebugString());
+  }
+}
+
+Status Simulation::Compact() {
+  auto fresh = std::make_unique<mem::MemoryPool>(device_.memory_bytes);
+  size_t moved = 0;
+  for (auto& [key, info] : buffers_) {
+    if (!info.resident) continue;
+    auto offset = fresh->Allocate(info.bytes);
+    if (!offset.ok()) {
+      return Status::Internal("compaction failed: " +
+                              offset.status().message());
+    }
+    info.offset = *offset;
+    moved += info.bytes;
+  }
+  pool_ = std::move(fresh);
+  ++num_compactions_;
+  // One bulk on-device move, serialized on the compute stream.
+  timeline_.Schedule(compute_, sim::DeviceCopyTime(device_, moved),
+                     timeline_.MakespanEnd(), "compaction");
+  return Status::OK();
+}
+
+void Simulation::ScheduleFree(const BufferKey& key, double time) {
+  auto it = buffers_.find(key);
+  if (it == buffers_.end() || !it->second.resident) return;
+  pending_frees_.push(PendingFree{
+      std::max({time, it->second.ready, it->second.last_read}),
+      it->second.offset});
+  it->second.resident = false;
+}
+
+Result<double> Simulation::AllocateBuffer(const BufferKey& key) {
+  auto bytes_it = program_.buffer_bytes.find(key);
+  size_t bytes =
+      bytes_it != program_.buffer_bytes.end() ? bytes_it->second : 0;
+  BufferInfo& info = buffers_[key];
+  size_t offset = 0;
+  ASSIGN_OR_RETURN(double available_at, Allocate(bytes, &offset));
+  info.offset = offset;
+  info.bytes = bytes;
+  info.resident = true;
+  info.ready = available_at;
+  info.last_read = available_at;
+  return available_at;
+}
+
+Result<IterationStats> Simulation::Run() {
+  // Source tensors are resident before the iteration begins.
+  for (const TensorDesc& tensor : graph_.tensors()) {
+    if (tensor.producer != kInvalidOp) continue;
+    auto split_it = program_.split_configs.find(tensor.id);
+    std::vector<BufferKey> keys;
+    if (split_it != program_.split_configs.end()) {
+      for (int j = 0; j < split_it->second.p_num; ++j) {
+        keys.push_back(BufferKey{tensor.id, j});
+      }
+    } else {
+      keys.push_back(BufferKey{tensor.id, -1});
+    }
+    for (const BufferKey& key : keys) {
+      auto bytes_it = program_.buffer_bytes.find(key);
+      if (bytes_it == program_.buffer_bytes.end()) continue;
+      BufferInfo& info = buffers_[key];
+      size_t offset = 0;
+      ASSIGN_OR_RETURN(double at, Allocate(bytes_it->second, &offset));
+      (void)at;
+      info.offset = offset;
+      info.bytes = bytes_it->second;
+      info.resident = true;
+      info.ready = 0;
+      info.last_read = 0;
+    }
+  }
+
+  for (size_t step_index = 0; step_index < program_.steps.size();
+       ++step_index) {
+    const Step& step = program_.steps[step_index];
+    auto annotate = [&](Status status) {
+      if (status.ok()) return status;
+      std::string message = status.message();
+      message += " [step ";
+      message += std::to_string(step_index);
+      message += " ";
+      message += rewrite::StepKindToString(step.kind);
+      message += " t";
+      message += std::to_string(step.buffer.tensor);
+      message += ".";
+      message += std::to_string(step.buffer.micro);
+      message += " op";
+      message += std::to_string(step.op);
+      message += " sched_pos ";
+      message += std::to_string(step.sched_pos);
+      message += "]";
+      // Largest residents, for OOM diagnosis.
+      std::vector<std::pair<size_t, BufferKey>> residents;
+      for (const auto& [key, info] : buffers_) {
+        if (info.resident) residents.emplace_back(info.bytes, key);
+      }
+      std::sort(residents.rbegin(), residents.rend(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      for (size_t i = 0; i < std::min<size_t>(8, residents.size()); ++i) {
+        message += "\n  resident ";
+        message += graph_.tensor(residents[i].second.tensor).name;
+        message += " t";
+        message += std::to_string(residents[i].second.tensor);
+        message += ".";
+        message += std::to_string(residents[i].second.micro);
+        message += " ";
+        message += std::to_string(residents[i].first);
+        message += "B";
+      }
+      return Status(status.code(), message);
+    };
+    switch (step.kind) {
+      case StepKind::kAlloc: {
+        auto at = AllocateBuffer(step.buffer);
+        if (!at.ok()) return annotate(at.status());
+        break;
+      }
+      case StepKind::kFree:
+      case StepKind::kDrop: {
+        ScheduleFree(step.buffer, 0);
+        break;
+      }
+      case StepKind::kCompute: {
+        double ready = 0;
+        for (const auto& group : step.inputs) {
+          for (const BufferKey& key : group) {
+            ready = std::max(ready, buffers_[key].ready);
+          }
+        }
+        for (const BufferKey& key : step.outputs) {
+          ready = std::max(ready, buffers_[key].ready);
+        }
+        // Transient workspace: reserve for the duration of the kernel.
+        size_t workspace_offset = 0;
+        if (step.workspace_bytes > 0) {
+          auto at = Allocate(step.workspace_bytes, &workspace_offset);
+          if (!at.ok()) return annotate(at.status());
+          ready = std::max(ready, *at);
+        }
+        std::string label = graph_.node(step.op).name;
+        if (step.micro >= 0) {
+          label += "[";
+          label += std::to_string(step.micro);
+          label += "/";
+          label += std::to_string(step.p_num);
+          label += "]";
+        }
+        if (step.is_recompute) label += " (recompute)";
+        const auto& record =
+            timeline_.Schedule(compute_, step.seconds, ready,
+                               std::move(label));
+        for (const auto& group : step.inputs) {
+          for (const BufferKey& key : group) {
+            BufferInfo& info = buffers_[key];
+            info.last_read = std::max(info.last_read, record.finish);
+          }
+        }
+        for (const BufferKey& key : step.outputs) {
+          buffers_[key].ready = record.finish;
+        }
+        if (step.workspace_bytes > 0) {
+          pending_frees_.push(PendingFree{record.finish, workspace_offset});
+        }
+        break;
+      }
+      case StepKind::kSwapOut: {
+        BufferInfo& info = buffers_[step.buffer];
+        const auto& record = timeline_.Schedule(
+            d2h_, step.transfer_seconds, info.ready,
+            "swap_out " + graph_.tensor(step.buffer.tensor).name);
+        host_ready_[step.buffer] = record.finish;
+        ScheduleFree(step.buffer, record.finish);
+        break;
+      }
+      case StepKind::kSwapIn: {
+        auto mem_at_or = AllocateBuffer(step.buffer);
+        if (!mem_at_or.ok()) return annotate(mem_at_or.status());
+        double mem_at = *mem_at_or;
+        double host_at = 0;
+        auto it = host_ready_.find(step.buffer);
+        if (it != host_ready_.end()) host_at = it->second;
+        const auto& record = timeline_.Schedule(
+            h2d_, step.transfer_seconds, std::max(mem_at, host_at),
+            "swap_in " + graph_.tensor(step.buffer.tensor).name);
+        buffers_[step.buffer].ready = record.finish;
+        break;
+      }
+      case StepKind::kSplitCopy:
+      case StepKind::kMergeCopy: {
+        // On-device scatter / gather between a whole buffer and its micro
+        // buffers; modeled as one memory-bound kernel touching all keys of
+        // the tensor.
+        double ready = 0;
+        TensorId tensor = step.buffer.tensor;
+        for (auto& [key, info] : buffers_) {
+          if (key.tensor == tensor && info.resident) {
+            ready = std::max(ready, info.ready);
+          }
+        }
+        const auto& record = timeline_.Schedule(
+            compute_, sim::DeviceCopyTime(device_, step.bytes), ready);
+        for (auto& [key, info] : buffers_) {
+          if (key.tensor == tensor && info.resident) {
+            info.ready = std::max(info.ready, record.finish);
+            info.last_read = std::max(info.last_read, record.finish);
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  IterationStats stats;
+  stats.iteration_seconds = timeline_.MakespanEnd();
+  stats.compute_busy_seconds = timeline_.TotalBusy(compute_);
+  stats.d2h_busy_seconds = timeline_.TotalBusy(d2h_);
+  stats.h2d_busy_seconds = timeline_.TotalBusy(h2d_);
+  stats.peak_memory_bytes = peak_memory_;
+  stats.swap_out_bytes = program_.swap_out_bytes;
+  stats.swap_in_bytes = program_.swap_in_bytes;
+  stats.recompute_seconds = program_.recompute_seconds;
+  stats.num_micro_computes = program_.num_micro_computes;
+  stats.num_steps = static_cast<int>(program_.steps.size());
+  stats.num_compactions = num_compactions_;
+  stats.memory_timeline = std::move(memory_timeline_);
+  if (stats.iteration_seconds > 0) {
+    stats.pcie_utilization =
+        std::max(stats.d2h_busy_seconds, stats.h2d_busy_seconds) /
+        stats.iteration_seconds;
+    stats.compute_idle_fraction =
+        1.0 - stats.compute_busy_seconds / stats.iteration_seconds;
+  }
+  return stats;
+}
+
+}  // namespace
+
+Result<IterationStats> SimExecutor::Execute(const Graph& graph,
+                                            const rewrite::Program& program,
+                                            sim::Timeline* timeline_out) {
+  Simulation simulation(graph, program, device_);
+  auto stats = simulation.Run();
+  if (stats.ok() && timeline_out != nullptr) {
+    *timeline_out = simulation.timeline();
+  }
+  return stats;
+}
+
+}  // namespace tsplit::runtime

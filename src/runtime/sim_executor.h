@@ -1,0 +1,76 @@
+#ifndef TSPLIT_RUNTIME_SIM_EXECUTOR_H_
+#define TSPLIT_RUNTIME_SIM_EXECUTOR_H_
+
+// Timing executor: replays an augmented program against the discrete-event
+// GPU (paper §V-D runtime). Computation runs on the compute stream; swaps
+// run on dedicated D2H / H2D streams; cross-stream ordering is enforced by
+// per-buffer ready times (the CUDA-event synchronization). Device memory is
+// served by the best-fit pool — an allocation that does not fit blocks
+// until pending releases (e.g. in-flight swap-outs) complete, which is
+// exactly the stall Eq. 3's cost model predicts.
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "graph/graph.h"
+#include <memory>
+
+#include "mem/memory_pool.h"
+#include "rewrite/program.h"
+#include "sim/device.h"
+#include "sim/timeline.h"
+
+namespace tsplit::runtime {
+
+// (time, bytes) samples of device memory in use, recorded at every
+// allocation/release the executor performs — the Fig 2a curve.
+struct MemorySample {
+  double seconds = 0;
+  size_t bytes = 0;
+};
+
+struct IterationStats {
+  double iteration_seconds = 0;   // makespan of one training iteration
+  double compute_busy_seconds = 0;
+  double d2h_busy_seconds = 0;
+  double h2d_busy_seconds = 0;
+  size_t peak_memory_bytes = 0;
+  size_t swap_out_bytes = 0;
+  size_t swap_in_bytes = 0;
+  double recompute_seconds = 0;
+  int num_micro_computes = 0;
+  int num_steps = 0;
+  int num_compactions = 0;  // defragmentation events (see SimExecutor)
+  std::vector<MemorySample> memory_timeline;
+
+  // Fraction of the iteration the busier PCIe direction is occupied.
+  double pcie_utilization = 0;
+  // Compute-stream idle fraction (stalls on memory / transfers).
+  double compute_idle_fraction = 0;
+
+  double throughput(int batch) const {
+    return iteration_seconds > 0 ? batch / iteration_seconds : 0;
+  }
+};
+
+class SimExecutor {
+ public:
+  explicit SimExecutor(const sim::DeviceProfile& device) : device_(device) {}
+
+  // Simulates one training iteration. Fails with OutOfMemory when the
+  // program cannot run within device memory (the model scale is not
+  // trainable under this plan). When `timeline_out` is non-null the full
+  // per-stream task timeline is copied out (see runtime/trace.h for the
+  // Chrome-trace exporter).
+  Result<IterationStats> Execute(const Graph& graph,
+                                 const rewrite::Program& program,
+                                 sim::Timeline* timeline_out = nullptr);
+
+ private:
+  sim::DeviceProfile device_;
+};
+
+}  // namespace tsplit::runtime
+
+#endif  // TSPLIT_RUNTIME_SIM_EXECUTOR_H_

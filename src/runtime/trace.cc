@@ -1,0 +1,76 @@
+#include "runtime/trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace tsplit::runtime {
+
+namespace {
+
+// Escapes the few JSON-special characters op names can contain.
+std::string Escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToChromeTrace(const sim::Timeline& timeline,
+                          const std::vector<MemorySample>* memory) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  // Stream name metadata.
+  for (int stream = 0; stream < timeline.num_streams(); ++stream) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+       << stream << ",\"args\":{\"name\":\""
+       << Escape(timeline.stream_name(stream)) << "\"}}";
+  }
+  for (const sim::TaskRecord& task : timeline.tasks()) {
+    os << ",{\"name\":\""
+       << Escape(task.label.empty() ? "task" : task.label)
+       << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << task.stream
+       << ",\"ts\":" << task.start * 1e6
+       << ",\"dur\":" << (task.finish - task.start) * 1e6 << "}";
+  }
+  if (memory != nullptr) {
+    for (const MemorySample& sample : *memory) {
+      os << ",{\"name\":\"device memory\",\"ph\":\"C\",\"pid\":1,"
+            "\"ts\":"
+         << sample.seconds * 1e6 << ",\"args\":{\"MB\":"
+         << static_cast<double>(sample.bytes) / 1e6 << "}}";
+    }
+  }
+  os << "]}";
+  return os.str();
+}
+
+bool WriteChromeTrace(const sim::Timeline& timeline, const std::string& path,
+                      const std::vector<MemorySample>* memory) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  std::string json = ToChromeTrace(timeline, memory);
+  size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  std::fclose(file);
+  return written == json.size();
+}
+
+}  // namespace tsplit::runtime

@@ -1,0 +1,30 @@
+#ifndef TSPLIT_RUNTIME_TRACE_H_
+#define TSPLIT_RUNTIME_TRACE_H_
+
+// Chrome-trace export of a simulated iteration: load the JSON in
+// chrome://tracing or https://ui.perfetto.dev to see the compute / D2H /
+// H2D streams, kernel-transfer overlap, and memory-stall gaps — the visual
+// counterpart of the paper's overlap discussion.
+
+#include <string>
+#include <vector>
+
+#include "runtime/sim_executor.h"
+#include "sim/timeline.h"
+
+namespace tsplit::runtime {
+
+// Serializes every task on every stream as Chrome trace-event "X" (complete)
+// events; one trace "thread" per stream. Times are microseconds. When
+// `memory` is non-null its samples become a "device memory" counter track
+// (the Fig 2a footprint curve rendered alongside the streams).
+std::string ToChromeTrace(const sim::Timeline& timeline,
+                          const std::vector<MemorySample>* memory = nullptr);
+
+// Writes the trace to `path`; returns false on I/O failure.
+bool WriteChromeTrace(const sim::Timeline& timeline, const std::string& path,
+                      const std::vector<MemorySample>* memory = nullptr);
+
+}  // namespace tsplit::runtime
+
+#endif  // TSPLIT_RUNTIME_TRACE_H_

@@ -1,0 +1,81 @@
+#include "runtime/trainer.h"
+
+#include "graph/liveness.h"
+#include "graph/schedule.h"
+#include "planner/planner.h"
+#include "planner/profile.h"
+#include "runtime/functional_executor.h"
+#include "runtime/interpreter.h"
+
+namespace tsplit::runtime {
+
+Result<std::unique_ptr<Trainer>> Trainer::Create(models::Model model,
+                                                 TrainerOptions options) {
+  if (!model.has_backward) {
+    return Status::InvalidArgument("Trainer needs a backward graph");
+  }
+  auto trainer =
+      std::unique_ptr<Trainer>(new Trainer(std::move(model),
+                                           std::move(options)));
+  models::Model& m = trainer->model_;
+  const TrainerOptions& opts = trainer->options_;
+
+  ASSIGN_OR_RETURN(Schedule schedule, BuildSchedule(m.graph));
+  planner::GraphProfile profile =
+      planner::ProfileGraph(m.graph, opts.profile_device);
+
+  size_t capacity = opts.capacity_bytes;
+  if (capacity == 0) {
+    MemoryProfile baseline = ComputeMemoryProfile(m.graph, schedule);
+    size_t floor = baseline.always_live_bytes +
+                   m.graph.BytesOfKind(TensorKind::kParamGrad);
+    capacity = floor + static_cast<size_t>(
+                           (baseline.peak_bytes - floor) *
+                           opts.activation_fraction);
+  }
+  trainer->capacity_ = capacity;
+
+  auto planner = planner::MakePlanner(opts.planner_name);
+  if (planner == nullptr) {
+    return Status::NotFound("unknown planner " + opts.planner_name);
+  }
+  ASSIGN_OR_RETURN(trainer->plan_,
+                   planner->BuildPlan(m.graph, schedule, profile, capacity));
+  ASSIGN_OR_RETURN(trainer->program_,
+                   rewrite::GenerateProgram(m.graph, schedule,
+                                            trainer->plan_, profile));
+
+  // Parameter initialization.
+  auto bindings = MakeRandomBindings(m.graph, opts.init_seed);
+  for (TensorId id : m.parameters) {
+    trainer->params_[id] = std::move(bindings.at(id));
+  }
+  return trainer;
+}
+
+Result<StepResult> Trainer::Step(Tensor batch, Tensor labels) {
+  // Leave ~25% headroom over the planning budget: the functional pool pays
+  // alignment and transient-ordering costs the planner's model does not.
+  FunctionalExecutor executor(&model_.graph, capacity_ + capacity_ / 4);
+  for (const auto& [id, value] : params_) {
+    RETURN_IF_ERROR(executor.Bind(id, value));
+  }
+  RETURN_IF_ERROR(executor.Bind(model_.input, std::move(batch)));
+  RETURN_IF_ERROR(executor.Bind(model_.labels, std::move(labels)));
+  RETURN_IF_ERROR(executor.Run(program_));
+
+  std::unordered_map<TensorId, Tensor> grads;
+  for (auto [param, grad] : model_.autodiff.param_grads) {
+    ASSIGN_OR_RETURN(Tensor value, executor.ValueOf(grad));
+    grads[param] = std::move(value);
+  }
+  RETURN_IF_ERROR(optimizer_.Step(&params_, grads));
+
+  StepResult result;
+  ASSIGN_OR_RETURN(Tensor loss, executor.ValueOf(model_.loss));
+  result.loss = loss.at(0);
+  result.peak_device_bytes = executor.peak_device_bytes();
+  return result;
+}
+
+}  // namespace tsplit::runtime

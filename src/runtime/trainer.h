@@ -1,0 +1,73 @@
+#ifndef TSPLIT_RUNTIME_TRAINER_H_
+#define TSPLIT_RUNTIME_TRAINER_H_
+
+// Multi-iteration training driver over the functional path: plans once,
+// generates the augmented program once, then per step replays it with
+// fresh batch data under the capacity budget and applies an optimizer to
+// the host-resident parameters. This is the full "train a model through
+// TSPLIT-managed memory" loop as a reusable API.
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "models/model.h"
+#include "planner/plan.h"
+#include "rewrite/program.h"
+#include "runtime/optimizer.h"
+
+namespace tsplit::runtime {
+
+struct TrainerOptions {
+  std::string planner_name = "TSPLIT";
+  // Device-capacity budget for the functional executor. 0 = derive from
+  // the model: floor (params + grads + inputs) + activation_fraction of
+  // the remaining unconstrained peak.
+  size_t capacity_bytes = 0;
+  double activation_fraction = 0.5;
+  sim::DeviceProfile profile_device = sim::TitanRtx();
+  float learning_rate = 0.05f;
+  float momentum = 0.9f;
+  uint64_t init_seed = 1;
+};
+
+struct StepResult {
+  float loss = 0;
+  size_t peak_device_bytes = 0;
+};
+
+class Trainer {
+ public:
+  // Plans and compiles the augmented program; initializes parameters.
+  static Result<std::unique_ptr<Trainer>> Create(models::Model model,
+                                                 TrainerOptions options);
+
+  // Runs one iteration on the given batch (bound to the model's input and
+  // label tensors), then applies the optimizer.
+  Result<StepResult> Step(Tensor batch, Tensor labels);
+
+  const planner::Plan& plan() const { return plan_; }
+  size_t capacity_bytes() const { return capacity_; }
+  const models::Model& model() const { return model_; }
+  const std::unordered_map<TensorId, Tensor>& parameters() const {
+    return params_;
+  }
+
+ private:
+  Trainer(models::Model model, TrainerOptions options)
+      : model_(std::move(model)),
+        options_(std::move(options)),
+        optimizer_(options_.learning_rate, options_.momentum) {}
+
+  models::Model model_;
+  TrainerOptions options_;
+  planner::Plan plan_;
+  rewrite::Program program_;
+  size_t capacity_ = 0;
+  std::unordered_map<TensorId, Tensor> params_;
+  SgdOptimizer optimizer_;
+};
+
+}  // namespace tsplit::runtime
+
+#endif  // TSPLIT_RUNTIME_TRAINER_H_

@@ -1,0 +1,55 @@
+#include "sim/device.h"
+
+namespace tsplit::sim {
+
+namespace {
+constexpr size_t kGiB = size_t{1} << 30;
+}  // namespace
+
+DeviceProfile TitanRtx() {
+  DeviceProfile d;
+  d.name = "TITAN RTX";
+  d.memory_bytes = 24 * kGiB;
+  d.fp32_tflops = 16.3;
+  d.mem_bandwidth_gbps = 672.0;
+  d.pcie_gbps = 12.0;  // PCIe 3.0 x16, effective
+  return d;
+}
+
+DeviceProfile Gtx1080Ti() {
+  DeviceProfile d;
+  d.name = "GTX 1080Ti";
+  d.memory_bytes = 11 * kGiB;
+  d.fp32_tflops = 11.34;
+  d.mem_bandwidth_gbps = 484.0;
+  d.pcie_gbps = 12.0;
+  return d;
+}
+
+DeviceProfile TeslaP100() {
+  DeviceProfile d;
+  d.name = "Tesla P100";
+  d.memory_bytes = 16 * kGiB;
+  d.fp32_tflops = 9.3;
+  d.mem_bandwidth_gbps = 732.0;
+  d.pcie_gbps = 12.0;
+  return d;
+}
+
+DeviceProfile TeslaV100() {
+  DeviceProfile d;
+  d.name = "Tesla V100";
+  d.memory_bytes = 32 * kGiB;
+  d.fp32_tflops = 15.7;
+  d.mem_bandwidth_gbps = 900.0;
+  d.pcie_gbps = 12.0;
+  return d;
+}
+
+DeviceProfile WithMemory(const DeviceProfile& base, size_t memory_bytes) {
+  DeviceProfile d = base;
+  d.memory_bytes = memory_bytes;
+  return d;
+}
+
+}  // namespace tsplit::sim

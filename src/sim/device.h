@@ -1,0 +1,47 @@
+#ifndef TSPLIT_SIM_DEVICE_H_
+#define TSPLIT_SIM_DEVICE_H_
+
+// Device profiles for the simulated GPUs. The paper evaluates on a TITAN
+// RTX (24 GB, 16.3 TFLOPS FP32) and a GTX 1080Ti (11 GB, 11.34 TFLOPS ≈ 70%
+// of the RTX), both over PCIe 3.0; Fig 1 additionally references P100 and
+// V100 trainability frontiers. Profiles carry everything the kernel timing
+// model and the planner need.
+
+#include <cstdint>
+#include <string>
+
+namespace tsplit::sim {
+
+struct DeviceProfile {
+  std::string name;
+  size_t memory_bytes = 0;        // device memory capacity
+  double fp32_tflops = 0.0;       // peak FP32 throughput
+  double mem_bandwidth_gbps = 0;  // device DRAM bandwidth, GB/s
+  double pcie_gbps = 12.0;        // effective host<->device bandwidth, GB/s
+  double kernel_launch_us = 5.0;  // fixed per-kernel launch latency
+  // FLOP count at which a kernel reaches 50% of peak utilization; models
+  // GPU under-utilization of small (micro-tensor) kernels (paper Eq. 6's
+  // performance-degradation term).
+  double saturation_flops = 2.0e8;
+  // Fraction of peak FLOPS real kernels achieve when fully saturated.
+  double compute_efficiency = 0.55;
+
+  double pcie_bytes_per_sec() const { return pcie_gbps * 1e9; }
+  double dram_bytes_per_sec() const { return mem_bandwidth_gbps * 1e9; }
+  double flops_per_sec() const { return fp32_tflops * 1e12; }
+};
+
+// The two evaluation machines (paper §VI-A) ...
+DeviceProfile TitanRtx();    // 24 GB, 16.3 TFLOPS
+DeviceProfile Gtx1080Ti();   // 11 GB, 11.34 TFLOPS
+// ... and the Fig 1 frontier devices.
+DeviceProfile TeslaP100();   // 16 GB, 9.3 TFLOPS
+DeviceProfile TeslaV100();   // 32 GB, 15.7 TFLOPS
+
+// Returns a copy of `base` with the memory capacity overridden; used to
+// model memory over-subscription at a fixed compute throughput.
+DeviceProfile WithMemory(const DeviceProfile& base, size_t memory_bytes);
+
+}  // namespace tsplit::sim
+
+#endif  // TSPLIT_SIM_DEVICE_H_

@@ -1,0 +1,29 @@
+#include "sim/kernel_model.h"
+
+#include <algorithm>
+
+namespace tsplit::sim {
+
+double KernelTime(const DeviceProfile& device, double flops, double bytes) {
+  if (flops <= 0 && bytes <= 0) return 0.0;
+  double launch = device.kernel_launch_us * 1e-6;
+  double util = flops / (flops + device.saturation_flops);
+  double effective_flops =
+      device.flops_per_sec() * device.compute_efficiency * util;
+  double compute_time =
+      effective_flops > 0 ? flops / effective_flops : 0.0;
+  double memory_time = bytes / device.dram_bytes_per_sec();
+  return launch + std::max(compute_time, memory_time);
+}
+
+double TransferTime(const DeviceProfile& device, size_t bytes) {
+  return static_cast<double>(bytes) / device.pcie_bytes_per_sec();
+}
+
+double DeviceCopyTime(const DeviceProfile& device, size_t bytes) {
+  // Read + write through DRAM.
+  return device.kernel_launch_us * 1e-6 +
+         2.0 * static_cast<double>(bytes) / device.dram_bytes_per_sec();
+}
+
+}  // namespace tsplit::sim

@@ -1,0 +1,35 @@
+#ifndef TSPLIT_SIM_KERNEL_MODEL_H_
+#define TSPLIT_SIM_KERNEL_MODEL_H_
+
+// Analytic kernel timing model — the stand-in for profiling cuDNN kernels
+// with cudaEvent (paper §V-B). A kernel's duration is
+//
+//   launch + max(compute-bound time, memory-bound time)
+//
+// where the compute-bound term includes a size-dependent utilization factor
+//   util(f) = f / (f + saturation_flops)
+// capturing GPU under-utilization of small kernels. This produces the Fig 5
+// behaviour: splitting a kernel into p parts costs
+//   p·launch + (f + p·sat)/throughput  (when compute-bound)
+// i.e. large ops split nearly for free while small ops degrade steeply.
+
+#include <cstdint>
+
+#include "sim/device.h"
+
+namespace tsplit::sim {
+
+// Duration (seconds) of one kernel performing `flops` floating point
+// operations and touching `bytes` of device memory.
+double KernelTime(const DeviceProfile& device, double flops, double bytes);
+
+// Duration (seconds) of a host<->device transfer of `bytes` over PCIe,
+// assuming full bandwidth utilization (paper §V-B: size/B).
+double TransferTime(const DeviceProfile& device, size_t bytes);
+
+// Duration of an on-device memory copy of `bytes` (split/merge copies).
+double DeviceCopyTime(const DeviceProfile& device, size_t bytes);
+
+}  // namespace tsplit::sim
+
+#endif  // TSPLIT_SIM_KERNEL_MODEL_H_

@@ -1,0 +1,74 @@
+#include "sim/timeline.h"
+
+#include <algorithm>
+
+namespace tsplit::sim {
+
+StreamId Timeline::AddStream(std::string name) {
+  streams_.push_back(Stream{std::move(name), 0.0, {}, 0.0});
+  return static_cast<StreamId>(streams_.size() - 1);
+}
+
+const TaskRecord& Timeline::Schedule(StreamId stream, SimTime duration,
+                                     SimTime ready, std::string label) {
+  TSPLIT_CHECK_GE(stream, 0);
+  TSPLIT_CHECK_LT(stream, num_streams());
+  TSPLIT_CHECK_GE(duration, 0.0);
+  Stream& s = streams_[static_cast<size_t>(stream)];
+  TaskRecord rec;
+  rec.id = static_cast<TaskId>(tasks_.size());
+  rec.stream = stream;
+  rec.start = std::max(s.available, ready);
+  rec.finish = rec.start + duration;
+  rec.label = std::move(label);
+  s.available = rec.finish;
+  s.total_busy += duration;
+  s.task_indices.push_back(tasks_.size());
+  tasks_.push_back(std::move(rec));
+  return tasks_.back();
+}
+
+SimTime Timeline::MakespanEnd() const {
+  SimTime end = 0;
+  for (const auto& s : streams_) end = std::max(end, s.available);
+  return end;
+}
+
+SimTime Timeline::BusyWithin(StreamId stream, SimTime t0, SimTime t1) const {
+  if (t1 <= t0) return 0;
+  const Stream& s = streams_[static_cast<size_t>(stream)];
+  SimTime busy = 0;
+  // Tasks are sorted by start time; binary-search the first task whose
+  // finish exceeds t0.
+  const auto& idx = s.task_indices;
+  auto it = std::lower_bound(
+      idx.begin(), idx.end(), t0,
+      [&](size_t i, SimTime t) { return tasks_[i].finish <= t; });
+  for (; it != idx.end(); ++it) {
+    const TaskRecord& rec = tasks_[*it];
+    if (rec.start >= t1) break;
+    busy += std::max(0.0, std::min(rec.finish, t1) - std::max(rec.start, t0));
+  }
+  return busy;
+}
+
+double Timeline::OccupancyWithin(StreamId stream, SimTime t0,
+                                 SimTime t1) const {
+  if (t1 <= t0) return 0.0;
+  return BusyWithin(stream, t0, t1) / (t1 - t0);
+}
+
+SimTime Timeline::TotalBusy(StreamId stream) const {
+  return streams_[static_cast<size_t>(stream)].total_busy;
+}
+
+void Timeline::Reset() {
+  for (auto& s : streams_) {
+    s.available = 0;
+    s.task_indices.clear();
+    s.total_busy = 0;
+  }
+  tasks_.clear();
+}
+
+}  // namespace tsplit::sim

@@ -1,0 +1,91 @@
+#ifndef TSPLIT_SIM_TIMELINE_H_
+#define TSPLIT_SIM_TIMELINE_H_
+
+// Discrete-event execution timeline for the simulated GPU (paper §V-D).
+//
+// The real runtime schedules computation on a compute stream and swaps on
+// separate D2H / H2D streams, synchronized via CUDA events. This class
+// reproduces those semantics in virtual time:
+//
+//  * A stream executes tasks FIFO: a task starts no earlier than the
+//    stream's previous task finished.
+//  * A task additionally waits for an arbitrary ready time (the max finish
+//    time of its dependencies — the event-wait).
+//  * Every executed task is recorded, so occupancy of any stream over any
+//    window can be queried afterwards (the planner's PCIe-occupancy array
+//    `Oc_u`, Eq. 3).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/logging.h"
+
+namespace tsplit::sim {
+
+using SimTime = double;  // seconds of virtual time
+
+using StreamId = int;
+using TaskId = int64_t;
+
+struct TaskRecord {
+  TaskId id = -1;
+  StreamId stream = -1;
+  SimTime start = 0;
+  SimTime finish = 0;
+  std::string label;
+};
+
+class Timeline {
+ public:
+  Timeline() = default;
+
+  StreamId AddStream(std::string name);
+  int num_streams() const { return static_cast<int>(streams_.size()); }
+  const std::string& stream_name(StreamId s) const {
+    return streams_[static_cast<size_t>(s)].name;
+  }
+
+  // Enqueues a task of `duration` seconds on `stream`, not starting before
+  // `ready`. Returns the record (valid until the next Schedule call may
+  // reallocate; copy what you need).
+  const TaskRecord& Schedule(StreamId stream, SimTime duration, SimTime ready,
+                             std::string label = "");
+
+  // Earliest time a new task could start on `stream`.
+  SimTime StreamAvailable(StreamId stream) const {
+    return streams_[static_cast<size_t>(stream)].available;
+  }
+
+  // Virtual-time at which everything scheduled so far has finished.
+  SimTime MakespanEnd() const;
+
+  // Total busy seconds of `stream` within the window [t0, t1).
+  SimTime BusyWithin(StreamId stream, SimTime t0, SimTime t1) const;
+
+  // Busy fraction of `stream` within [t0, t1); 0 for an empty window.
+  double OccupancyWithin(StreamId stream, SimTime t0, SimTime t1) const;
+
+  // Total busy seconds of `stream` over its whole history.
+  SimTime TotalBusy(StreamId stream) const;
+
+  const std::vector<TaskRecord>& tasks() const { return tasks_; }
+
+  void Reset();
+
+ private:
+  struct Stream {
+    std::string name;
+    SimTime available = 0;
+    // Indices into tasks_, in start-time order (FIFO guarantees this).
+    std::vector<size_t> task_indices;
+    SimTime total_busy = 0;
+  };
+
+  std::vector<Stream> streams_;
+  std::vector<TaskRecord> tasks_;
+};
+
+}  // namespace tsplit::sim
+
+#endif  // TSPLIT_SIM_TIMELINE_H_

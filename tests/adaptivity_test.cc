@@ -1,0 +1,95 @@
+// Hardware- and workload-adaptivity properties of the TSPLIT planner —
+// the paper's Fig 14b claim as an executable assertion, plus the
+// Transformer-specific behaviours of the baselines (Tables IV/V "x").
+
+#include <gtest/gtest.h>
+
+#include "graph/schedule.h"
+#include "models/model.h"
+#include "planner/planner.h"
+#include "runtime/session.h"
+
+namespace tsplit {
+namespace {
+
+// Plans VGG-16 for a device, oversubscribed ~2x; returns (swap, recompute)
+// byte totals.
+std::pair<size_t, size_t> StrategyMix(const sim::DeviceProfile& device,
+                                      int batch) {
+  models::CnnConfig config;
+  config.batch = batch;
+  auto model = models::BuildVgg(16, config);
+  TSPLIT_CHECK_OK(model.status());
+  auto schedule = BuildSchedule(model->graph);
+  auto profile = planner::ProfileGraph(model->graph, device);
+  auto plan = planner::MakePlanner("TSPLIT")
+                  ->BuildPlan(model->graph, *schedule, profile,
+                              device.memory_bytes * 93 / 100);
+  TSPLIT_CHECK_OK(plan.status());
+  return {plan->BytesWithOpt(model->graph, MemOpt::kSwap),
+          plan->BytesWithOpt(model->graph, MemOpt::kRecompute)};
+}
+
+TEST(AdaptivityTest, SlowerGpuShiftsBytesFromRecomputeToSwap) {
+  // Fig 14b: on the 1080Ti (~70% FLOPS) recomputation is relatively more
+  // expensive, so the plan's swap share must be higher than on the RTX.
+  auto [rtx_swap, rtx_recompute] = StrategyMix(sim::TitanRtx(), 420);
+  auto [ti_swap, ti_recompute] = StrategyMix(sim::Gtx1080Ti(), 200);
+  ASSERT_GT(rtx_swap + rtx_recompute, 0u);
+  ASSERT_GT(ti_swap + ti_recompute, 0u);
+  double rtx_share =
+      static_cast<double>(rtx_swap) / (rtx_swap + rtx_recompute);
+  double ti_share = static_cast<double>(ti_swap) / (ti_swap + ti_recompute);
+  EXPECT_GT(ti_share, rtx_share);
+}
+
+TEST(AdaptivityTest, PlansDifferAcrossDevices) {
+  // The profiling-based cost model must produce genuinely different plans
+  // for the same model on different hardware (§V-B / Fig 14b).
+  models::CnnConfig config;
+  config.batch = 200;
+  auto model = models::BuildVgg(16, config);
+  ASSERT_TRUE(model.ok());
+  auto schedule = BuildSchedule(model->graph);
+
+  auto plan_for = [&](const sim::DeviceProfile& device) {
+    auto profile = planner::ProfileGraph(model->graph, device);
+    auto plan = planner::MakePlanner("TSPLIT")
+                    ->BuildPlan(model->graph, *schedule, profile,
+                                size_t{10} << 30);
+    TSPLIT_CHECK_OK(plan.status());
+    return std::move(*plan);
+  };
+  planner::Plan rtx = plan_for(sim::TitanRtx());
+  planner::Plan ti = plan_for(sim::Gtx1080Ti());
+  bool any_difference = rtx.configs.size() != ti.configs.size();
+  for (const auto& [id, config_rtx] : rtx.configs) {
+    if (!(ti.ConfigFor(id) == config_rtx)) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(AdaptivityTest, ConvCentricBaselinesInapplicableToTransformer) {
+  // Tables IV/V "x": on a conv-free model, vDNN-conv and SuperNeurons have
+  // no tensors to manage, so their max scale EQUALS Base's.
+  runtime::SessionOptions options;
+  options.device = sim::WithMemory(sim::TitanRtx(), size_t{4} << 30);
+  int base = 0, vdnn_conv = 0, superneurons = 0, tsplit = 0;
+  for (auto [name, out] :
+       std::initializer_list<std::pair<const char*, int*>>{
+           {"Base", &base},
+           {"vDNN-conv", &vdnn_conv},
+           {"SuperNeurons", &superneurons},
+           {"TSPLIT", &tsplit}}) {
+    options.planner_name = name;
+    auto scale = runtime::MaxSampleScale("Transformer", options, 512);
+    ASSERT_TRUE(scale.ok()) << name;
+    *out = *scale;
+  }
+  EXPECT_EQ(vdnn_conv, base);
+  EXPECT_EQ(superneurons, base);
+  EXPECT_GT(tsplit, base);
+}
+
+}  // namespace
+}  // namespace tsplit

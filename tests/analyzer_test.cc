@@ -1,0 +1,64 @@
+// Plan-report analysis tests.
+
+#include <gtest/gtest.h>
+
+#include "graph/schedule.h"
+#include "models/model.h"
+#include "planner/analyzer.h"
+#include "planner/planner.h"
+
+namespace tsplit::planner {
+namespace {
+
+TEST(AnalyzerTest, ReportReflectsPlanContents) {
+  models::CnnConfig config;
+  config.batch = 8;
+  config.image_size = 16;
+  config.num_classes = 4;
+  config.channel_scale = 8.0 / 64.0;
+  auto model = models::BuildVgg(16, config);
+  ASSERT_TRUE(model.ok());
+  auto schedule = BuildSchedule(model->graph);
+  auto profile = ProfileGraph(model->graph, sim::TitanRtx());
+  auto plan = MakePlanner("SuperNeurons")
+                  ->BuildPlan(model->graph, *schedule, profile, 1);
+  ASSERT_TRUE(plan.ok());
+
+  PlanReport report =
+      AnalyzePlan(model->graph, *schedule, profile, *plan);
+  EXPECT_EQ(report.swap.tensors, plan->CountOpt(MemOpt::kSwap));
+  EXPECT_EQ(report.recompute.tensors, plan->CountOpt(MemOpt::kRecompute));
+  EXPECT_EQ(report.swap.bytes,
+            plan->BytesWithOpt(model->graph, MemOpt::kSwap));
+  EXPECT_GT(report.swap.raw_seconds, 0.0);
+  EXPECT_GT(report.recompute.raw_seconds, 0.0);
+  // SuperNeurons manages conv outputs: category attribution shows it.
+  EXPECT_GT(report.managed_bytes_by_category["conv"], 0u);
+  // Managed peak is no larger than unmanaged, floor is below both.
+  EXPECT_LE(report.planned_peak_bytes, report.unmanaged_peak_bytes);
+  EXPECT_LE(report.floor_bytes, report.planned_peak_bytes);
+  EXPECT_GE(report.swap_share(), 0.0);
+  EXPECT_LE(report.swap_share(), 1.0);
+  // Human-readable rendering mentions the headline quantities.
+  std::string text = report.ToString();
+  EXPECT_NE(text.find("swap:"), std::string::npos);
+  EXPECT_NE(text.find("recompute:"), std::string::npos);
+}
+
+TEST(AnalyzerTest, EmptyPlanHasNoManagedBytes) {
+  models::MlpConfig config;
+  auto model = models::BuildMlp(config);
+  ASSERT_TRUE(model.ok());
+  auto schedule = BuildSchedule(model->graph);
+  auto profile = ProfileGraph(model->graph, sim::TitanRtx());
+  Plan plan;
+  PlanReport report =
+      AnalyzePlan(model->graph, *schedule, profile, plan);
+  EXPECT_EQ(report.swap.tensors, 0);
+  EXPECT_EQ(report.recompute.tensors, 0);
+  EXPECT_EQ(report.planned_peak_bytes, report.unmanaged_peak_bytes);
+  EXPECT_TRUE(report.managed_bytes_by_category.empty());
+}
+
+}  // namespace
+}  // namespace tsplit::planner

@@ -1,0 +1,95 @@
+// Exporter tests: annotated DOT graphs and the PyTorch conversion stub
+// (paper §VI-D applicability).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/schedule.h"
+#include "models/model.h"
+#include "planner/planner.h"
+#include "rewrite/export.h"
+
+namespace tsplit::rewrite {
+namespace {
+
+struct TestBench {
+  models::Model model;
+  planner::Plan plan;
+};
+
+TestBench MakePlanned() {
+  models::CnnConfig config;
+  config.batch = 8;
+  config.image_size = 16;
+  config.num_classes = 4;
+  config.channel_scale = 8.0 / 64.0;
+  auto model = models::BuildVgg(16, config);
+  TSPLIT_CHECK_OK(model.status());
+  auto schedule = BuildSchedule(model->graph);
+  auto profile = planner::ProfileGraph(model->graph, sim::TitanRtx());
+  auto plan = planner::MakePlanner("SuperNeurons")
+                  ->BuildPlan(model->graph, *schedule, profile, 1);
+  TSPLIT_CHECK_OK(plan.status());
+  // Force one split so both export paths see it.
+  for (const TensorDesc& t : model->graph.tensors()) {
+    if (t.kind == TensorKind::kActivation && t.shape.rank() == 4 &&
+        t.shape.dim(0) >= 4) {
+      plan->Set(t.id, STensorConfig{MemOpt::kSwap, SplitConfig{4, 0}});
+      break;
+    }
+  }
+  return TestBench{std::move(*model), std::move(*plan)};
+}
+
+TEST(ExportTest, GraphvizContainsOpsEdgesAndConfigs) {
+  TestBench bench = MakePlanned();
+  std::string dot = ExportGraphviz(bench.model.graph, bench.plan);
+  EXPECT_EQ(dot.find("digraph tsplit"), 0u);
+  EXPECT_NE(dot.find("conv1_1"), std::string::npos);
+  EXPECT_NE(dot.find("color=blue"), std::string::npos);        // swap
+  EXPECT_NE(dot.find("color=darkorange"), std::string::npos);  // recompute
+  EXPECT_NE(dot.find("p_num=4"), std::string::npos);           // split
+  // Forward-only export omits gradient ops.
+  EXPECT_EQ(dot.find("d_conv"), std::string::npos);
+  std::string full =
+      ExportGraphviz(bench.model.graph, bench.plan, /*include_backward=*/true);
+  EXPECT_NE(full.find("d_conv"), std::string::npos);
+  EXPECT_GT(full.size(), dot.size());
+}
+
+TEST(ExportTest, GraphvizIsBalanced) {
+  TestBench bench = MakePlanned();
+  std::string dot = ExportGraphviz(bench.model.graph, bench.plan, true);
+  // Structural sanity: balanced braces, every edge references op nodes.
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+  EXPECT_GT(std::count(dot.begin(), dot.end(), '\n'), 10);
+}
+
+TEST(ExportTest, PyTorchStubEmitsPlanAndHooks) {
+  TestBench bench = MakePlanned();
+  std::string py =
+      ExportPyTorchStub(bench.model.graph, bench.plan, "vgg16");
+  EXPECT_NE(py.find("import torch"), std::string::npos);
+  EXPECT_NE(py.find("TSPLIT_PLAN = {"), std::string::npos);
+  EXPECT_NE(py.find("saved_tensors_hooks"), std::string::npos);
+  EXPECT_NE(py.find("def run_vgg16_iteration"), std::string::npos);
+  // The plan dictionary carries our decisions.
+  EXPECT_NE(py.find("\"swap\""), std::string::npos);
+  EXPECT_NE(py.find("\"recompute\""), std::string::npos);
+  // Split config appears with its p_num.
+  EXPECT_NE(py.find(", 4, 0)"), std::string::npos);
+}
+
+TEST(ExportTest, EmptyPlanStillExports) {
+  TestBench bench = MakePlanned();
+  planner::Plan empty;
+  std::string dot = ExportGraphviz(bench.model.graph, empty);
+  EXPECT_EQ(dot.find("color=blue"), std::string::npos);
+  std::string py = ExportPyTorchStub(bench.model.graph, empty, "m");
+  EXPECT_NE(py.find("TSPLIT_PLAN = {\n}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tsplit::rewrite

@@ -1,0 +1,172 @@
+// The strongest property in the suite: RANDOM memory plans over random-ish
+// models must be semantically lossless end-to-end — the functional executor
+// replaying the generated augmented program reproduces the unconstrained
+// interpreter's loss and every parameter gradient. This subsumes swap,
+// recompute (all engines), splits on every legal axis, kSum reductions,
+// checkpoint parking, and their interactions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/schedule.h"
+#include "models/builder_util.h"
+#include "models/model.h"
+#include "planner/profile.h"
+#include "rewrite/program.h"
+#include "runtime/functional_executor.h"
+#include "runtime/interpreter.h"
+
+namespace tsplit {
+namespace {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed * 2654435761u + 99) {}
+  uint64_t Next() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    return state_;
+  }
+  int Below(int n) { return static_cast<int>(Next() % static_cast<uint64_t>(n)); }
+
+ private:
+  uint64_t state_;
+};
+
+// A small model mixing conv, pooling, residual adds, linear layers, and
+// softmax-attention-style matmuls — broad op coverage in one graph.
+models::Model MixedModel() {
+  models::Model model;
+  model.name = "fuzz-mixed";
+  model.input = model.graph.AddTensor("images", Shape{8, 4, 8, 8},
+                                      TensorKind::kInput);
+  model.labels =
+      model.graph.AddTensor("labels", Shape{8}, TensorKind::kInput);
+  models::internal::LayerBuilder b(&model);
+  TensorId x = b.Relu(b.Conv(model.input, 6, 3, 1, 1, "conv1"), "relu1");
+  TensorId shortcut = x;
+  x = b.Relu(b.Conv(x, 6, 3, 1, 1, "conv2"), "relu2");
+  x = b.Add(x, shortcut, "residual");
+  x = b.MaxPool(x, 2, 2, 0, "pool");
+  x = b.Flatten2d(x, "flatten");
+  x = b.Gelu(b.Linear(x, 24, "fc1"), "gelu");
+  x = b.LayerNorm(x, "ln");
+  TensorId logits = b.Linear(x, 4, "head");
+  model.loss = b.CrossEntropy(logits, model.labels, "loss");
+  auto finished = models::internal::FinishModel(std::move(model), true);
+  TSPLIT_CHECK_OK(finished.status());
+  return std::move(*finished);
+}
+
+planner::Plan RandomPlan(const Graph& graph, Rng* rng) {
+  planner::Plan plan;
+  plan.planner_name = "fuzz";
+  for (const TensorDesc& t : graph.tensors()) {
+    if (t.kind != TensorKind::kActivation &&
+        t.kind != TensorKind::kGradient) {
+      continue;
+    }
+    if (rng->Below(3) == 0) continue;
+    STensorConfig config;
+    switch (rng->Below(3)) {
+      case 0: config.opt = MemOpt::kReside; break;
+      case 1: config.opt = MemOpt::kSwap; break;
+      default: config.opt = MemOpt::kRecompute; break;
+    }
+    if (rng->Below(2) == 0 && t.shape.rank() > 0) {
+      config.split.p_num = 1 << (1 + rng->Below(2));  // 2 or 4
+      config.split.dim = rng->Below(t.shape.rank());
+    }
+    plan.Set(t.id, config);
+  }
+  return plan;
+}
+
+// A small transformer (embedding, attention matmuls, softmax, layernorm,
+// gelu, views) for the same treatment.
+models::Model TinyTransformerModel() {
+  models::TransformerConfig config;
+  config.num_layers = 1;
+  config.batch = 3;
+  config.seq_len = 6;
+  config.hidden = 8;
+  config.num_heads = 2;
+  config.ffn_mult = 2;
+  config.vocab = 11;
+  config.dropout_rate = 0.1f;
+  auto model = models::BuildTransformer(config);
+  TSPLIT_CHECK_OK(model.status());
+  return std::move(*model);
+}
+
+class FuzzEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzEquivalence, RandomPlanMatchesInterpreter) {
+  models::Model model =
+      GetParam() % 2 == 0 ? MixedModel() : TinyTransformerModel();
+  auto schedule = BuildSchedule(model.graph);
+  ASSERT_TRUE(schedule.ok());
+  auto profile = planner::ProfileGraph(model.graph, sim::TitanRtx());
+
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  planner::Plan plan = RandomPlan(model.graph, &rng);
+
+  rewrite::ProgramOptions options;
+  switch (GetParam() % 3) {
+    case 0:
+      options.recompute_mode = rewrite::RecomputeMode::kMemoryCentric;
+      break;
+    case 1:
+      options.recompute_mode = rewrite::RecomputeMode::kSpeedCentric;
+      break;
+    default:
+      options.recompute_mode = rewrite::RecomputeMode::kLru;
+      options.lru_budget_bytes = 1 << 16;
+      break;
+  }
+  auto program = rewrite::GenerateProgram(model.graph, *schedule, plan,
+                                          profile, options);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+  auto bindings = runtime::MakeRandomBindings(
+      model.graph, static_cast<uint64_t>(GetParam()) + 17);
+
+  runtime::Interpreter reference(&model.graph);
+  runtime::FunctionalExecutor replay(&model.graph, size_t{1} << 30);
+  for (const auto& [id, value] : bindings) {
+    ASSERT_TRUE(reference.Bind(id, value).ok());
+    ASSERT_TRUE(replay.Bind(id, value).ok());
+  }
+  ASSERT_TRUE(reference.Run().ok());
+  Status run = replay.Run(*program);
+  ASSERT_TRUE(run.ok()) << run.ToString();
+
+  float expected_loss = (*reference.ValueOf(model.loss))->at(0);
+  auto actual_loss = replay.ValueOf(model.loss);
+  ASSERT_TRUE(actual_loss.ok());
+  EXPECT_NEAR(actual_loss->at(0), expected_loss,
+              1e-4 * std::max(1.0f, std::abs(expected_loss)));
+
+  for (auto [param, grad] : model.autodiff.param_grads) {
+    const Tensor& expected = **reference.ValueOf(grad);
+    auto actual = replay.ValueOf(grad);
+    ASSERT_TRUE(actual.ok()) << model.graph.tensor(grad).name;
+    double max_abs = 1.0;
+    for (int64_t i = 0; i < expected.num_elements(); ++i) {
+      max_abs = std::max(max_abs,
+                         static_cast<double>(std::abs(expected.at(i))));
+    }
+    for (int64_t i = 0; i < expected.num_elements(); ++i) {
+      ASSERT_NEAR(actual->at(i), expected.at(i), 1e-4 * max_abs)
+          << model.graph.tensor(grad).name << " coord " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzEquivalence,
+                         ::testing::Range(1, 33));
+
+}  // namespace
+}  // namespace tsplit

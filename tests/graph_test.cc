@@ -1,0 +1,165 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/autodiff.h"
+#include "graph/liveness.h"
+#include "graph/schedule.h"
+#include "models/model.h"
+#include "ops/data_movement.h"
+#include "ops/elementwise.h"
+#include "ops/matmul.h"
+
+namespace tsplit {
+namespace {
+
+// x -> relu -> relu chain.
+Graph MakeChain() {
+  Graph g;
+  TensorId x = g.AddTensor("x", Shape{4, 4}, TensorKind::kInput);
+  auto a = g.AddOp(std::make_unique<ops::ReluOp>(), "relu1", {x});
+  auto b = g.AddOp(std::make_unique<ops::ReluOp>(), "relu2", {a->at(0)});
+  (void)b;
+  return g;
+}
+
+TEST(GraphTest, AddOpWiresProducersAndConsumers) {
+  Graph g = MakeChain();
+  EXPECT_EQ(g.num_ops(), 2);
+  EXPECT_EQ(g.num_tensors(), 3);
+  EXPECT_EQ(g.tensor(0).producer, kInvalidOp);
+  EXPECT_EQ(g.tensor(1).producer, 0);
+  ASSERT_EQ(g.tensor(0).consumers.size(), 1u);
+  EXPECT_EQ(g.tensor(0).consumers[0], 0);
+  ASSERT_EQ(g.tensor(1).consumers.size(), 1u);
+  EXPECT_EQ(g.tensor(1).consumers[0], 1);
+}
+
+TEST(GraphTest, AddOpRejectsBadShapes) {
+  Graph g;
+  TensorId a = g.AddTensor("a", Shape{2, 3}, TensorKind::kInput);
+  TensorId b = g.AddTensor("b", Shape{4, 4}, TensorKind::kInput);
+  auto bad = g.AddOp(std::make_unique<ops::AddOp>(), "add", {a, b});
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(ScheduleTest, ChainScheduledInOrder) {
+  Graph g = MakeChain();
+  auto schedule = BuildSchedule(g);
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_EQ(schedule->order, (std::vector<OpId>{0, 1}));
+}
+
+TEST(ScheduleTest, DiamondRespectsDependencies) {
+  // x -> a, x -> b, (a, b) -> add.
+  Graph g;
+  TensorId x = g.AddTensor("x", Shape{2, 2}, TensorKind::kInput);
+  auto a = g.AddOp(std::make_unique<ops::ReluOp>(), "a", {x});
+  auto b = g.AddOp(std::make_unique<ops::ReluOp>(), "b", {x});
+  auto add = g.AddOp(std::make_unique<ops::AddOp>(), "add",
+                     {a->at(0), b->at(0)});
+  ASSERT_TRUE(add.ok());
+  auto schedule = BuildSchedule(g);
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_EQ(schedule->order.size(), 3u);
+  // add must come last.
+  EXPECT_EQ(schedule->order.back(), 2);
+}
+
+TEST(ScheduleTest, DfsDivesDownBranchBeforeBacktracking) {
+  // Two independent chains from two inputs; DFS finishes the first chain
+  // before starting the second.
+  Graph g;
+  TensorId x = g.AddTensor("x", Shape{2}, TensorKind::kInput);
+  TensorId y = g.AddTensor("y", Shape{2}, TensorKind::kInput);
+  auto a1 = g.AddOp(std::make_unique<ops::ReluOp>(), "a1", {x});
+  auto a2 = g.AddOp(std::make_unique<ops::ReluOp>(), "a2", {a1->at(0)});
+  auto b1 = g.AddOp(std::make_unique<ops::ReluOp>(), "b1", {y});
+  ASSERT_TRUE(a2.ok());
+  ASSERT_TRUE(b1.ok());
+  auto schedule = BuildSchedule(g);
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_EQ(schedule->order, (std::vector<OpId>{0, 1, 2}));
+}
+
+TEST(LivenessTest, ActivationDiesAfterLastUse) {
+  Graph g = MakeChain();
+  auto schedule = BuildSchedule(g);
+  ASSERT_TRUE(schedule.ok());
+  auto live = ComputeLiveness(g, *schedule);
+  // Input is always live.
+  EXPECT_TRUE(live[0].always_live);
+  // relu1's output lives exactly [0, 1]: defined at op 0, consumed at op 1.
+  EXPECT_EQ(live[1].def_pos, 0);
+  EXPECT_EQ(live[1].last_use_pos, 1);
+  EXPECT_TRUE(live[1].LiveAt(0));
+  EXPECT_TRUE(live[1].LiveAt(1));
+  // relu2's output has no consumer and dies at its producer.
+  EXPECT_EQ(live[2].def_pos, 1);
+  EXPECT_EQ(live[2].last_use_pos, 1);
+}
+
+TEST(LivenessTest, MemoryProfilePeaksMidChain) {
+  Graph g = MakeChain();
+  auto schedule = BuildSchedule(g);
+  ASSERT_TRUE(schedule.ok());
+  MemoryProfile profile = ComputeMemoryProfile(g, *schedule);
+  ASSERT_EQ(profile.per_op_bytes.size(), 2u);
+  size_t tensor_bytes = 4 * 4 * 4;
+  EXPECT_EQ(profile.always_live_bytes, tensor_bytes);
+  // Executing relu1: input + relu1 out. Executing relu2: input + both.
+  EXPECT_EQ(profile.per_op_bytes[0], 2 * tensor_bytes);
+  EXPECT_EQ(profile.per_op_bytes[1], 3 * tensor_bytes);
+  EXPECT_EQ(profile.peak_bytes, 3 * tensor_bytes);
+  EXPECT_EQ(profile.peak_pos, 1);
+}
+
+TEST(AutodiffTest, MlpProducesGradForEveryParameter) {
+  models::MlpConfig config;
+  auto model = models::BuildMlp(config);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  EXPECT_TRUE(model->has_backward);
+  EXPECT_EQ(model->autodiff.param_grads.size(), model->parameters.size());
+  for (auto [param, grad] : model->autodiff.param_grads) {
+    EXPECT_EQ(model->graph.tensor(param).shape,
+              model->graph.tensor(grad).shape)
+        << model->graph.tensor(param).name;
+    EXPECT_EQ(model->graph.tensor(grad).kind, TensorKind::kParamGrad);
+  }
+}
+
+TEST(AutodiffTest, BackwardGraphSchedulable) {
+  models::MlpConfig config;
+  auto model = models::BuildMlp(config);
+  ASSERT_TRUE(model.ok());
+  auto schedule = BuildSchedule(model->graph);
+  ASSERT_TRUE(schedule.ok()) << schedule.status().ToString();
+  EXPECT_EQ(schedule->num_steps(), model->graph.num_ops());
+}
+
+TEST(AutodiffTest, RejectsNonScalarLoss) {
+  Graph g;
+  TensorId x = g.AddTensor("x", Shape{2, 2}, TensorKind::kInput);
+  auto y = g.AddOp(std::make_unique<ops::ReluOp>(), "relu", {x});
+  ASSERT_TRUE(y.ok());
+  auto result = BuildBackward(&g, y->at(0));
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(AutodiffTest, FanOutAccumulatesGradients) {
+  // loss = sum over both uses of x: z = x + x -> matmul to scalar-ish.
+  Graph g;
+  TensorId x = g.AddTensor("x", Shape{1, 1}, TensorKind::kParameter);
+  auto z = g.AddOp(std::make_unique<ops::AddOp>(), "z", {x, x});
+  ASSERT_TRUE(z.ok());
+  auto r = g.AddOp(std::make_unique<ops::ReshapeOp>(Shape{1}), "flat",
+                   {z->at(0)});
+  ASSERT_TRUE(r.ok());
+  auto result = BuildBackward(&g, r->at(0));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // x received a gradient (accumulated over both uses through an Add).
+  EXPECT_TRUE(result->grad_of.count(x));
+}
+
+}  // namespace
+}  // namespace tsplit

@@ -1,0 +1,60 @@
+// Host staging-area tests (the CPU-side cache swapped tensors live in).
+
+#include <gtest/gtest.h>
+
+#include "mem/host_store.h"
+
+namespace tsplit::mem {
+namespace {
+
+TEST(HostStoreTest, PutPeekTakeRoundTrip) {
+  HostStore store;
+  Tensor payload(Shape{4}, 7.0f);
+  ASSERT_TRUE(store.Put(1, 16, payload).ok());
+  EXPECT_TRUE(store.Contains(1));
+  EXPECT_EQ(store.in_use(), 16u);
+
+  auto peeked = store.Peek(1);
+  ASSERT_TRUE(peeked.ok());
+  EXPECT_FLOAT_EQ((*peeked)->at(0), 7.0f);
+  EXPECT_TRUE(store.Contains(1));  // peek does not remove
+
+  auto taken = store.Take(1);
+  ASSERT_TRUE(taken.ok());
+  EXPECT_FLOAT_EQ(taken->at(3), 7.0f);
+  EXPECT_FALSE(store.Contains(1));
+  EXPECT_EQ(store.in_use(), 0u);
+}
+
+TEST(HostStoreTest, DuplicateKeyRejected) {
+  HostStore store;
+  ASSERT_TRUE(store.Put(1, 8).ok());
+  EXPECT_EQ(store.Put(1, 8).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(HostStoreTest, MissingKeyErrors) {
+  HostStore store;
+  EXPECT_EQ(store.Peek(42).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.Take(42).status().code(), StatusCode::kNotFound);
+}
+
+TEST(HostStoreTest, CapacityEnforced) {
+  HostStore store(100);
+  ASSERT_TRUE(store.Put(1, 60).ok());
+  EXPECT_EQ(store.Put(2, 60).code(), StatusCode::kOutOfMemory);
+  ASSERT_TRUE(store.Put(3, 40).ok());
+  EXPECT_EQ(store.in_use(), 100u);
+}
+
+TEST(HostStoreTest, PeakTracksHighWater) {
+  HostStore store;
+  ASSERT_TRUE(store.Put(1, 50).ok());
+  ASSERT_TRUE(store.Put(2, 70).ok());
+  ASSERT_TRUE(store.Take(1).ok());
+  EXPECT_EQ(store.peak_in_use(), 120u);
+  EXPECT_EQ(store.in_use(), 70u);
+  EXPECT_EQ(store.num_entries(), 1u);
+}
+
+}  // namespace
+}  // namespace tsplit::mem

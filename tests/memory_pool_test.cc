@@ -1,0 +1,154 @@
+#include "mem/memory_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+namespace tsplit::mem {
+namespace {
+
+constexpr size_t kMiB = size_t{1} << 20;
+
+TEST(MemoryPoolTest, AllocateAndFree) {
+  MemoryPool pool(kMiB);
+  auto a = pool.Allocate(1000);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(pool.in_use(), MemoryPool::Align(1000));
+  ASSERT_TRUE(pool.Free(*a).ok());
+  EXPECT_EQ(pool.in_use(), 0u);
+  EXPECT_EQ(pool.free_bytes(), pool.capacity());
+}
+
+TEST(MemoryPoolTest, AlignmentIs256) {
+  EXPECT_EQ(MemoryPool::Align(0), 256u);
+  EXPECT_EQ(MemoryPool::Align(1), 256u);
+  EXPECT_EQ(MemoryPool::Align(256), 256u);
+  EXPECT_EQ(MemoryPool::Align(257), 512u);
+}
+
+TEST(MemoryPoolTest, OutOfMemory) {
+  MemoryPool pool(1024);
+  auto a = pool.Allocate(1024);
+  ASSERT_TRUE(a.ok());
+  auto b = pool.Allocate(1);
+  EXPECT_FALSE(b.ok());
+  EXPECT_EQ(b.status().code(), StatusCode::kOutOfMemory);
+  EXPECT_EQ(pool.stats().failed_allocs, 1u);
+}
+
+TEST(MemoryPoolTest, DoubleFreeRejected) {
+  MemoryPool pool(kMiB);
+  auto a = pool.Allocate(512);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(pool.Free(*a).ok());
+  EXPECT_FALSE(pool.Free(*a).ok());
+  EXPECT_FALSE(pool.Free(12345).ok());
+}
+
+TEST(MemoryPoolTest, CoalescingRestoresLargestBlock) {
+  MemoryPool pool(4096);
+  std::vector<size_t> offsets;
+  for (int i = 0; i < 4; ++i) {
+    auto a = pool.Allocate(1024);
+    ASSERT_TRUE(a.ok());
+    offsets.push_back(*a);
+  }
+  // Free out of order; neighbours must coalesce back to one 4096 block.
+  ASSERT_TRUE(pool.Free(offsets[1]).ok());
+  ASSERT_TRUE(pool.Free(offsets[3]).ok());
+  ASSERT_TRUE(pool.Free(offsets[0]).ok());
+  ASSERT_TRUE(pool.Free(offsets[2]).ok());
+  EXPECT_EQ(pool.stats().largest_free_block, 4096u);
+  EXPECT_DOUBLE_EQ(pool.stats().fragmentation(), 0.0);
+}
+
+TEST(MemoryPoolTest, BestFitPrefersSmallestSufficientHole) {
+  MemoryPool pool(10 * 1024);
+  // Carve [A=2k][B=1k][C=4k][D=rest]; free B and C leaving two holes.
+  auto a = pool.Allocate(2048);
+  auto b = pool.Allocate(1024);
+  auto c = pool.Allocate(4096);
+  auto d = pool.Allocate(10 * 1024 - 2048 - 1024 - 4096);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok() && d.ok());
+  ASSERT_TRUE(pool.Free(*b).ok());
+  ASSERT_TRUE(pool.Free(*c).ok());
+  // A 1k request should land in the 1k hole (B's), not split the 4k hole.
+  auto e = pool.Allocate(1024);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(*e, *b);
+}
+
+TEST(MemoryPoolTest, FirstFitPrefersLowestOffset) {
+  MemoryPool pool(10 * 1024, FitPolicy::kFirstFit);
+  auto a = pool.Allocate(2048);
+  auto b = pool.Allocate(1024);
+  auto c = pool.Allocate(4096);
+  auto d = pool.Allocate(10 * 1024 - 2048 - 1024 - 4096);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok() && d.ok());
+  ASSERT_TRUE(pool.Free(*a).ok());
+  ASSERT_TRUE(pool.Free(*c).ok());
+  // First fit takes A's hole even though C's fits more tightly after a
+  // bigger request.
+  auto e = pool.Allocate(1024);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(*e, *a);
+}
+
+TEST(MemoryPoolTest, PeakTracksHighWater) {
+  MemoryPool pool(kMiB);
+  auto a = pool.Allocate(256 * 1024);
+  auto b = pool.Allocate(256 * 1024);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(pool.Free(*a).ok());
+  EXPECT_EQ(pool.stats().peak_in_use, 512u * 1024);
+}
+
+TEST(MemoryPoolTest, CanAllocateReflectsFragmentation) {
+  MemoryPool pool(3 * 1024);
+  auto a = pool.Allocate(1024);
+  auto b = pool.Allocate(1024);
+  auto c = pool.Allocate(1024);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  ASSERT_TRUE(pool.Free(*a).ok());
+  ASSERT_TRUE(pool.Free(*c).ok());
+  // 2k free total but no contiguous 2k.
+  EXPECT_EQ(pool.free_bytes(), 2048u);
+  EXPECT_FALSE(pool.CanAllocate(2048));
+  EXPECT_TRUE(pool.CanAllocate(1024));
+  EXPECT_GT(pool.stats().fragmentation(), 0.0);
+}
+
+class PoolRandomTrace : public ::testing::TestWithParam<int> {};
+
+TEST_P(PoolRandomTrace, InvariantsHoldUnderRandomAllocFree) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  MemoryPool pool(1024 * 1024);
+  std::vector<size_t> live;
+  std::uniform_int_distribution<size_t> size_dist(1, 64 * 1024);
+  for (int step = 0; step < 2000; ++step) {
+    bool do_alloc = live.empty() || (rng() % 2 == 0);
+    if (do_alloc) {
+      auto offset = pool.Allocate(size_dist(rng));
+      if (offset.ok()) live.push_back(*offset);
+    } else {
+      size_t idx = rng() % live.size();
+      ASSERT_TRUE(pool.Free(live[idx]).ok());
+      live.erase(live.begin() + static_cast<long>(idx));
+    }
+    if (step % 100 == 0) {
+      auto consistent = pool.CheckConsistency();
+      ASSERT_TRUE(consistent.ok()) << consistent.ToString();
+    }
+  }
+  for (size_t offset : live) ASSERT_TRUE(pool.Free(offset).ok());
+  EXPECT_EQ(pool.in_use(), 0u);
+  EXPECT_EQ(pool.stats().largest_free_block, pool.capacity());
+  ASSERT_TRUE(pool.CheckConsistency().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PoolRandomTrace,
+                         ::testing::Values(1, 2, 3, 17, 42));
+
+}  // namespace
+}  // namespace tsplit::mem

@@ -1,0 +1,141 @@
+// Parameterized model-zoo properties: every paper model, across scale
+// knobs, must yield well-formed training graphs whose structural
+// invariants (schedulability, liveness sanity, grad coverage, memory
+// monotonicity) hold — the preconditions the planner relies on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/liveness.h"
+#include "graph/schedule.h"
+#include "graph/views.h"
+#include "models/model.h"
+#include "planner/memory_sim.h"
+
+namespace tsplit::models {
+namespace {
+
+struct Case {
+  std::string name;
+  int batch;
+  double scale;
+};
+
+class ModelInvariants : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ModelInvariants, TrainingGraphWellFormed) {
+  const Case& c = GetParam();
+  auto model = BuildByName(c.name, c.batch, c.scale, true);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  const Graph& graph = model->graph;
+
+  // 1. Schedulable, with every op placed exactly once.
+  auto schedule = BuildSchedule(graph);
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_EQ(schedule->num_steps(), graph.num_ops());
+
+  // 2. Producer/consumer wiring is consistent.
+  for (const TensorDesc& t : graph.tensors()) {
+    if (t.producer != kInvalidOp) {
+      const OpNode& producer = graph.node(t.producer);
+      EXPECT_NE(std::find(producer.outputs.begin(), producer.outputs.end(),
+                          t.id),
+                producer.outputs.end());
+    }
+    for (OpId consumer : t.consumers) {
+      const OpNode& node = graph.node(consumer);
+      EXPECT_NE(std::find(node.inputs.begin(), node.inputs.end(), t.id),
+                node.inputs.end());
+    }
+  }
+
+  // 3. Every parameter got exactly one gradient, same shape.
+  EXPECT_EQ(model->autodiff.param_grads.size(), model->parameters.size());
+  for (auto [param, grad] : model->autodiff.param_grads) {
+    EXPECT_EQ(graph.tensor(param).shape, graph.tensor(grad).shape);
+  }
+
+  // 4. Liveness: no tensor dies before it is born.
+  auto live = ComputeLiveness(graph, *schedule);
+  for (const TensorLiveness& l : live) {
+    if (l.always_live || l.is_view_alias) continue;
+    EXPECT_LE(l.def_pos, l.last_use_pos);
+  }
+
+  // 5. Facts agree with liveness on backward boundaries.
+  auto facts = planner::ComputeTensorFacts(graph, *schedule);
+  for (const TensorDesc& t : graph.tensors()) {
+    const auto& f = facts[static_cast<size_t>(t.id)];
+    if (f.is_view_alias || f.always_live) continue;
+    if (f.first_bwd_use >= 0) {
+      EXPECT_GE(f.first_bwd_use, f.def_pos) << graph.tensor(t.id).name;
+      EXPECT_LE(f.first_bwd_use, f.last_use);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, ModelInvariants,
+    ::testing::Values(Case{"VGG-16", 2, 0.125}, Case{"VGG-16", 4, 0.0625},
+                      Case{"VGG-19", 2, 0.125},
+                      Case{"ResNet-50", 2, 0.0625},
+                      Case{"ResNet-101", 2, 0.0625},
+                      Case{"Inception-V4", 2, 0.0625},
+                      Case{"Transformer", 2, 0.125},
+                      Case{"Transformer", 4, 0.25}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      std::string name = info.param.name + "_b" +
+                         std::to_string(info.param.batch) + "_i" +
+                         std::to_string(info.index);
+      for (char& c : name) {
+        if (c == '-' || c == '.') c = '_';
+      }
+      return name;
+    });
+
+TEST(ModelScalingTest, ParamScaleGrowsParameterBytes) {
+  for (const char* name : {"VGG-16", "ResNet-50"}) {
+    auto small = BuildByName(name, 2, 0.125, false);
+    auto large = BuildByName(name, 2, 0.25, false);
+    ASSERT_TRUE(small.ok() && large.ok());
+    EXPECT_GT(large->graph.BytesOfKind(TensorKind::kParameter),
+              small->graph.BytesOfKind(TensorKind::kParameter))
+        << name;
+  }
+}
+
+TEST(ModelScalingTest, BatchScaleGrowsActivationsNotParams) {
+  auto small = BuildByName("VGG-16", 2, 0.125, false);
+  auto large = BuildByName("VGG-16", 8, 0.125, false);
+  ASSERT_TRUE(small.ok() && large.ok());
+  EXPECT_EQ(large->graph.BytesOfKind(TensorKind::kParameter),
+            small->graph.BytesOfKind(TensorKind::kParameter));
+  EXPECT_GT(large->graph.BytesOfKind(TensorKind::kActivation),
+            small->graph.BytesOfKind(TensorKind::kActivation));
+}
+
+TEST(ModelScalingTest, AttentionScoresGrowQuadraticallyWithSeq) {
+  auto short_seq = BuildBertLarge(2, 256, 32, false);
+  auto long_seq = BuildBertLarge(2, 256, 128, false);
+  ASSERT_TRUE(short_seq.ok() && long_seq.ok());
+  // Attention-score tensors are [B*heads, S, S]: 4x sequence length means
+  // exactly 16x their bytes.
+  auto score_bytes = [](const Graph& graph) {
+    size_t bytes = 0;
+    for (const TensorDesc& t : graph.tensors()) {
+      if (t.shape.rank() == 3 && t.shape.dim(1) == t.shape.dim(2) &&
+          t.kind == TensorKind::kActivation) {
+        bytes += t.size_bytes();
+      }
+    }
+    return bytes;
+  };
+  size_t short_bytes = score_bytes(short_seq->graph);
+  size_t long_bytes = score_bytes(long_seq->graph);
+  ASSERT_GT(short_bytes, 0u);
+  EXPECT_EQ(long_bytes, 16 * short_bytes);
+}
+
+}  // namespace
+}  // namespace tsplit::models

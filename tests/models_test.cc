@@ -1,0 +1,138 @@
+#include "models/model.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/liveness.h"
+#include "graph/schedule.h"
+
+namespace tsplit::models {
+namespace {
+
+// Total parameter count of a model.
+int64_t ParamCount(const Model& model) {
+  int64_t count = 0;
+  for (TensorId id : model.parameters) {
+    count += model.graph.tensor(id).shape.num_elements();
+  }
+  return count;
+}
+
+TEST(ModelsTest, Vgg16ParamCountIsPlausible) {
+  CnnConfig config;
+  config.batch = 1;
+  config.with_backward = false;
+  auto model = BuildVgg(16, config);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  // Reference VGG-16 has ~138M parameters (ours omits nothing structural).
+  int64_t params = ParamCount(*model);
+  EXPECT_GT(params, 100'000'000);
+  EXPECT_LT(params, 180'000'000);
+}
+
+TEST(ModelsTest, Vgg19IsDeeperThanVgg16) {
+  CnnConfig config;
+  config.batch = 1;
+  config.with_backward = false;
+  auto m16 = BuildVgg(16, config);
+  auto m19 = BuildVgg(19, config);
+  ASSERT_TRUE(m16.ok() && m19.ok());
+  EXPECT_GT(m19->graph.num_ops(), m16->graph.num_ops());
+  EXPECT_GT(ParamCount(*m19), ParamCount(*m16));
+}
+
+TEST(ModelsTest, ResNet50ParamCountIsPlausible) {
+  CnnConfig config;
+  config.batch = 1;
+  config.with_backward = false;
+  auto model = BuildResNet(50, config);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  // Reference ResNet-50: ~25.6M.
+  int64_t params = ParamCount(*model);
+  EXPECT_GT(params, 20'000'000);
+  EXPECT_LT(params, 35'000'000);
+}
+
+TEST(ModelsTest, ResNet101HasMoreBlocks) {
+  CnnConfig config;
+  config.batch = 1;
+  config.with_backward = false;
+  auto m50 = BuildResNet(50, config);
+  auto m101 = BuildResNet(101, config);
+  ASSERT_TRUE(m50.ok() && m101.ok());
+  EXPECT_GT(ParamCount(*m101), ParamCount(*m50));
+}
+
+TEST(ModelsTest, InceptionV4Builds) {
+  CnnConfig config;
+  config.batch = 2;
+  config.image_size = 299;
+  config.with_backward = false;
+  auto model = BuildInceptionV4(config);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  // Reference Inception-V4: ~43M (ours approximates the factorized convs).
+  EXPECT_GT(ParamCount(*model), 20'000'000);
+  EXPECT_GT(model->graph.num_ops(), 100);
+}
+
+TEST(ModelsTest, TransformerScalesWithHidden) {
+  TransformerConfig small, big;
+  small.batch = big.batch = 2;
+  small.seq_len = big.seq_len = 16;
+  small.num_layers = big.num_layers = 2;
+  small.with_backward = big.with_backward = false;
+  small.hidden = 128;
+  small.num_heads = 2;
+  big.hidden = 256;
+  big.num_heads = 4;
+  auto ms = BuildTransformer(small);
+  auto mb = BuildTransformer(big);
+  ASSERT_TRUE(ms.ok() && mb.ok());
+  EXPECT_GT(ParamCount(*mb), 2 * ParamCount(*ms));
+}
+
+TEST(ModelsTest, BertLargeHas24LayersWorthOfParams) {
+  auto model = BuildBertLarge(/*batch=*/1, /*hidden=*/1024, /*seq_len=*/16,
+                              /*with_backward=*/false);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  // BERT-Large: ~340M (incl. embeddings + LM head).
+  int64_t params = ParamCount(*model);
+  EXPECT_GT(params, 250'000'000);
+  EXPECT_LT(params, 450'000'000);
+}
+
+TEST(ModelsTest, EveryPaperModelSchedulesWithBackward) {
+  for (const std::string& name : PaperModelNames()) {
+    auto model = BuildByName(name, /*batch=*/2, /*param_scale=*/
+                             name == "Transformer" ? 0.25 : 0.125,
+                             /*with_backward=*/true);
+    ASSERT_TRUE(model.ok()) << name << ": " << model.status().ToString();
+    auto schedule = BuildSchedule(model->graph);
+    ASSERT_TRUE(schedule.ok()) << name;
+    MemoryProfile profile = ComputeMemoryProfile(model->graph, *schedule);
+    EXPECT_GT(profile.peak_bytes, 0u) << name;
+    // Backward ops exist and come after some forward ops.
+    EXPECT_GT(model->graph.num_ops(),
+              model->autodiff.first_backward_op);
+  }
+}
+
+TEST(ModelsTest, MemoryGrowsWithBatch) {
+  for (const char* name : {"VGG-16", "Transformer"}) {
+    auto small = BuildByName(name, 2, 0.25, true);
+    auto large = BuildByName(name, 4, 0.25, true);
+    ASSERT_TRUE(small.ok() && large.ok()) << name;
+    auto s_sched = BuildSchedule(small->graph);
+    auto l_sched = BuildSchedule(large->graph);
+    ASSERT_TRUE(s_sched.ok() && l_sched.ok());
+    EXPECT_GT(ComputeMemoryProfile(large->graph, *l_sched).peak_bytes,
+              ComputeMemoryProfile(small->graph, *s_sched).peak_bytes)
+        << name;
+  }
+}
+
+TEST(ModelsTest, BuildByNameRejectsUnknown) {
+  EXPECT_FALSE(BuildByName("AlexNet", 8).ok());
+}
+
+}  // namespace
+}  // namespace tsplit::models

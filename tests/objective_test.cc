@@ -1,0 +1,143 @@
+// The paper's optimization objective (Eq. 1) as executable assertions:
+// among plans that fit the same memory budget, TSPLIT's ΔT/ΔM-greedy plan
+// should not be slower than the fixed-policy baselines' — and it must
+// degrade gracefully as the budget tightens.
+
+#include <gtest/gtest.h>
+
+#include "graph/liveness.h"
+#include "graph/schedule.h"
+#include "models/model.h"
+#include "planner/planner.h"
+#include "rewrite/program.h"
+#include "runtime/sim_executor.h"
+#include "runtime/functional_executor.h"
+#include "runtime/interpreter.h"
+#include "runtime/session.h"
+
+namespace tsplit {
+namespace {
+
+struct TestBench {
+  models::Model model;
+  Schedule schedule;
+  planner::GraphProfile profile;
+  size_t budget;
+};
+
+TestBench MakeOversubscribed() {
+  models::CnnConfig config;
+  config.batch = 24;
+  config.image_size = 32;
+  config.num_classes = 8;
+  config.channel_scale = 16.0 / 64.0;
+  auto model = models::BuildVgg(16, config);
+  TSPLIT_CHECK_OK(model.status());
+  auto schedule = BuildSchedule(model->graph);
+  auto profile = planner::ProfileGraph(model->graph, sim::TitanRtx());
+  MemoryProfile baseline = ComputeMemoryProfile(model->graph, *schedule);
+  size_t floor = baseline.always_live_bytes +
+                 model->graph.BytesOfKind(TensorKind::kParamGrad);
+  size_t budget = floor + (baseline.peak_bytes - floor) / 2;
+  return TestBench{std::move(*model), std::move(*schedule),
+                   std::move(profile), budget};
+}
+
+// Simulated iteration time of `planner_name` at the bench's budget;
+// returns +inf when the plan cannot run within it.
+double IterationSeconds(const TestBench& bench,
+                        const std::string& planner_name) {
+  auto planner = planner::MakePlanner(planner_name);
+  auto plan = planner->BuildPlan(bench.model.graph, bench.schedule,
+                                 bench.profile, bench.budget);
+  if (!plan.ok()) return 1e18;
+  auto program = rewrite::GenerateProgram(bench.model.graph, bench.schedule,
+                                          *plan, bench.profile);
+  if (!program.ok()) return 1e18;
+  runtime::SimExecutor executor(
+      sim::WithMemory(sim::TitanRtx(), bench.budget + bench.budget / 4));
+  auto stats = executor.Execute(bench.model.graph, *program);
+  return stats.ok() ? stats->iteration_seconds : 1e18;
+}
+
+TEST(ObjectiveTest, TsplitNoSlowerThanFixedPoliciesAtSameBudget) {
+  TestBench bench = MakeOversubscribed();
+  double tsplit = IterationSeconds(bench, "TSPLIT");
+  ASSERT_LT(tsplit, 1e17) << "TSPLIT must fit its own budget";
+  for (const char* baseline : {"vDNN-all", "SuperNeurons", "Checkpoints"}) {
+    double other = IterationSeconds(bench, baseline);
+    EXPECT_LE(tsplit, other * 1.02) << baseline;  // 2% simulator slack
+  }
+}
+
+TEST(ObjectiveTest, TimeDegradesMonotonicallyWithBudget) {
+  TestBench bench = MakeOversubscribed();
+  MemoryProfile baseline =
+      ComputeMemoryProfile(bench.model.graph, bench.schedule);
+  size_t floor = baseline.always_live_bytes +
+                 bench.model.graph.BytesOfKind(TensorKind::kParamGrad);
+  double previous = 0;
+  // Loosening the budget must never make TSPLIT meaningfully slower.
+  for (double fraction : {1.0, 0.8, 0.6, 0.45}) {
+    bench.budget = floor + static_cast<size_t>(
+                               (baseline.peak_bytes - floor) * fraction);
+    double seconds = IterationSeconds(bench, "TSPLIT");
+    ASSERT_LT(seconds, 1e17) << "fraction " << fraction;
+    if (previous > 0) {
+      EXPECT_GE(seconds, previous * 0.98)
+          << "tighter budget got faster at fraction " << fraction;
+    }
+    previous = seconds;
+  }
+}
+
+TEST(ObjectiveTest, FullBudgetPlanMatchesBase) {
+  // With memory to spare, Eq. 1's optimum is the empty plan: TSPLIT's
+  // iteration time must equal the unmanaged Base exactly.
+  TestBench bench = MakeOversubscribed();
+  MemoryProfile baseline =
+      ComputeMemoryProfile(bench.model.graph, bench.schedule);
+  bench.budget = baseline.peak_bytes * 2;
+  double tsplit = IterationSeconds(bench, "TSPLIT");
+  double base = IterationSeconds(bench, "Base");
+  EXPECT_DOUBLE_EQ(tsplit, base);
+}
+
+TEST(ObjectiveTest, GptPlansAreLosslessToo) {
+  models::GptConfig config;
+  config.num_layers = 1;
+  config.batch = 2;
+  config.seq_len = 8;
+  config.hidden = 16;
+  config.num_heads = 2;
+  config.vocab = 13;
+  auto model = models::BuildGpt(config);
+  ASSERT_TRUE(model.ok());
+  auto schedule = BuildSchedule(model->graph);
+  auto profile = planner::ProfileGraph(model->graph, sim::TitanRtx());
+  MemoryProfile baseline = ComputeMemoryProfile(model->graph, *schedule);
+  size_t floor = baseline.always_live_bytes +
+                 model->graph.BytesOfKind(TensorKind::kParamGrad);
+  size_t budget = floor + (baseline.peak_bytes - floor) * 6 / 10;
+  auto plan = planner::MakePlanner("TSPLIT")
+                  ->BuildPlan(model->graph, *schedule, profile, budget);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto program = rewrite::GenerateProgram(model->graph, *schedule, *plan,
+                                          profile);
+  ASSERT_TRUE(program.ok());
+
+  auto bindings = runtime::MakeRandomBindings(model->graph, 5);
+  runtime::Interpreter reference(&model->graph);
+  runtime::FunctionalExecutor replay(&model->graph, size_t{1} << 30);
+  for (const auto& [id, value] : bindings) {
+    ASSERT_TRUE(reference.Bind(id, value).ok());
+    ASSERT_TRUE(replay.Bind(id, value).ok());
+  }
+  ASSERT_TRUE(reference.Run().ok());
+  ASSERT_TRUE(replay.Run(*program).ok());
+  EXPECT_NEAR(replay.ValueOf(model->loss)->at(0),
+              (*reference.ValueOf(model->loss))->at(0), 1e-4);
+}
+
+}  // namespace
+}  // namespace tsplit

@@ -1,0 +1,374 @@
+// Operator unit tests: shape inference contracts and reference-kernel
+// correctness against hand-computed values.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ops/batchnorm.h"
+#include "ops/conv2d.h"
+#include "ops/data_movement.h"
+#include "ops/dropout.h"
+#include "ops/elementwise.h"
+#include "ops/embedding.h"
+#include "ops/fill.h"
+#include "ops/layernorm.h"
+#include "ops/matmul.h"
+#include "ops/pool.h"
+#include "ops/softmax.h"
+
+namespace tsplit::ops {
+namespace {
+
+Tensor Make(Shape shape, std::vector<float> values) {
+  Tensor t(shape);
+  TSPLIT_CHECK_EQ(t.num_elements(), static_cast<int64_t>(values.size()));
+  t.vec() = std::move(values);
+  return t;
+}
+
+// Runs a single op on given inputs and returns its (single) output.
+Tensor RunOp(const Op& op, const std::vector<const Tensor*>& inputs) {
+  std::vector<Shape> shapes;
+  for (const Tensor* t : inputs) shapes.push_back(t->shape());
+  auto out_shapes = op.InferShapes(shapes);
+  TSPLIT_CHECK_OK(out_shapes.status());
+  Tensor out(out_shapes->at(0));
+  std::vector<Tensor*> outputs = {&out};
+  TSPLIT_CHECK_OK(op.Compute(inputs, outputs));
+  return out;
+}
+
+// ------------------------------------------------------------------ conv
+
+TEST(Conv2dTest, InferShapesStrideAndPadding) {
+  Conv2dOp conv({2, 1});
+  auto out = conv.InferShapes({Shape{2, 3, 8, 8}, Shape{16, 3, 3, 3}});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->at(0), (Shape{2, 16, 4, 4}));
+  // Channel mismatch rejected.
+  EXPECT_FALSE(conv.InferShapes({Shape{2, 4, 8, 8}, Shape{16, 3, 3, 3}}).ok());
+}
+
+TEST(Conv2dTest, IdentityKernelPreservesInput) {
+  // 1x1 kernel with weight 1 copies the channel.
+  Conv2dOp conv({1, 0});
+  Tensor x = Make(Shape{1, 1, 2, 2}, {1, 2, 3, 4});
+  Tensor w = Make(Shape{1, 1, 1, 1}, {1});
+  Tensor y = RunOp(conv, {&x, &w});
+  EXPECT_EQ(y.vec(), x.vec());
+}
+
+TEST(Conv2dTest, HandComputed3x3) {
+  // Single 3x3 window, all-ones kernel: output = sum of inputs.
+  Conv2dOp conv({1, 0});
+  Tensor x = Make(Shape{1, 1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  Tensor w = Make(Shape{1, 1, 3, 3}, std::vector<float>(9, 1.0f));
+  Tensor y = RunOp(conv, {&x, &w});
+  ASSERT_EQ(y.num_elements(), 1);
+  EXPECT_FLOAT_EQ(y.at(0), 45.0f);
+}
+
+TEST(Conv2dTest, WorkspaceShrinksWithChannels) {
+  Conv2dOp conv({1, 1});
+  size_t big = conv.WorkspaceBytes({Shape{8, 64, 28, 28},
+                                    Shape{64, 64, 3, 3}},
+                                   {Shape{8, 64, 28, 28}});
+  size_t small = conv.WorkspaceBytes({Shape{8, 16, 28, 28},
+                                      Shape{64, 16, 3, 3}},
+                                     {Shape{8, 64, 28, 28}});
+  EXPECT_GT(big, small);
+}
+
+// ------------------------------------------------------------------ pool
+
+TEST(PoolTest, MaxPoolPicksWindowMax) {
+  Pool2dOp pool({2, 2, 0, PoolMode::kMax});
+  Tensor x = Make(Shape{1, 1, 2, 2}, {1, 9, 3, 4});
+  Tensor y = RunOp(pool, {&x});
+  EXPECT_FLOAT_EQ(y.at(0), 9.0f);
+}
+
+TEST(PoolTest, AvgPoolAverages) {
+  Pool2dOp pool({2, 2, 0, PoolMode::kAvg});
+  Tensor x = Make(Shape{1, 1, 2, 2}, {1, 2, 3, 6});
+  Tensor y = RunOp(pool, {&x});
+  EXPECT_FLOAT_EQ(y.at(0), 3.0f);
+}
+
+TEST(PoolTest, PaddingExtendsOutput) {
+  Pool2dOp pool({3, 2, 1, PoolMode::kMax});
+  auto out = pool.InferShapes({Shape{1, 1, 8, 8}});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->at(0), (Shape{1, 1, 4, 4}));
+}
+
+TEST(PoolTest, MaxPoolGradRoutesToArgmax) {
+  Pool2dGradOp grad({2, 2, 0, PoolMode::kMax});
+  Tensor x = Make(Shape{1, 1, 2, 2}, {1, 9, 3, 4});
+  Tensor dy = Make(Shape{1, 1, 1, 1}, {5});
+  Tensor dx = RunOp(grad, {&x, &dy});
+  EXPECT_EQ(dx.vec(), (std::vector<float>{0, 5, 0, 0}));
+}
+
+// ------------------------------------------------------------ batchnorm
+
+TEST(BatchNormTest, NormalizesToZeroMeanUnitVar) {
+  BatchNorm2dOp bn;
+  Tensor x = Make(Shape{2, 1, 1, 2}, {1, 2, 3, 4});
+  Tensor gamma = Make(Shape{1}, {1});
+  Tensor beta = Make(Shape{1}, {0});
+  Tensor y = RunOp(bn, {&x, &gamma, &beta});
+  double mean = 0, var = 0;
+  for (int64_t i = 0; i < 4; ++i) mean += y.at(i);
+  mean /= 4;
+  for (int64_t i = 0; i < 4; ++i) var += (y.at(i) - mean) * (y.at(i) - mean);
+  var /= 4;
+  EXPECT_NEAR(mean, 0.0, 1e-5);
+  EXPECT_NEAR(var, 1.0, 1e-3);
+}
+
+TEST(BatchNormTest, GammaBetaAffine) {
+  BatchNorm2dOp bn;
+  Tensor x = Make(Shape{1, 1, 1, 2}, {-1, 1});
+  Tensor gamma = Make(Shape{1}, {3});
+  Tensor beta = Make(Shape{1}, {10});
+  Tensor y = RunOp(bn, {&x, &gamma, &beta});
+  EXPECT_NEAR(y.at(0), 10 - 3, 1e-2);
+  EXPECT_NEAR(y.at(1), 10 + 3, 1e-2);
+}
+
+TEST(BatchNormTest, OnlyChannelAxisSplittable) {
+  BatchNorm2dOp bn;
+  std::vector<Shape> in = {Shape{4, 8, 2, 2}, Shape{8}, Shape{8}};
+  std::vector<Shape> out = {Shape{4, 8, 2, 2}};
+  auto rules = bn.split_rules(in, out);
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].output_axis, 1);
+}
+
+// ------------------------------------------------------------ layernorm
+
+TEST(LayerNormTest, RowsNormalizedIndependently) {
+  LayerNormOp ln;
+  Tensor x = Make(Shape{2, 2}, {0, 2, 100, 104});
+  Tensor gamma = Make(Shape{2}, {1, 1});
+  Tensor beta = Make(Shape{2}, {0, 0});
+  Tensor y = RunOp(ln, {&x, &gamma, &beta});
+  // Both rows normalize to the same z-scores despite different scales.
+  EXPECT_NEAR(y.at(0), y.at(2), 1e-4);
+  EXPECT_NEAR(y.at(1), y.at(3), 1e-4);
+  EXPECT_LT(y.at(0), 0);
+  EXPECT_GT(y.at(1), 0);
+}
+
+// -------------------------------------------------------------- softmax
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  SoftmaxOp softmax;
+  Tensor x = Make(Shape{2, 3}, {1, 2, 3, -5, 0, 5});
+  Tensor y = RunOp(softmax, {&x});
+  for (int64_t r = 0; r < 2; ++r) {
+    float sum = y.at2(r, 0) + y.at2(r, 1) + y.at2(r, 2);
+    EXPECT_NEAR(sum, 1.0f, 1e-5);
+  }
+  // Monotone in the logits.
+  EXPECT_LT(y.at2(0, 0), y.at2(0, 2));
+}
+
+TEST(SoftmaxTest, NumericallyStableForLargeLogits) {
+  SoftmaxOp softmax;
+  Tensor x = Make(Shape{1, 2}, {1000.0f, 1000.0f});
+  Tensor y = RunOp(softmax, {&x});
+  EXPECT_NEAR(y.at(0), 0.5f, 1e-5);
+  EXPECT_FALSE(std::isnan(y.at(1)));
+}
+
+TEST(CrossEntropyTest, PerfectPredictionHasLowLoss) {
+  CrossEntropyLossOp loss;
+  Tensor logits = Make(Shape{1, 3}, {100, 0, 0});
+  Tensor labels = Make(Shape{1}, {0});
+  Tensor value = RunOp(loss, {&logits, &labels});
+  EXPECT_NEAR(value.at(0), 0.0f, 1e-4);
+  // Uniform prediction: loss = ln(3).
+  Tensor uniform = Make(Shape{1, 3}, {1, 1, 1});
+  Tensor value2 = RunOp(loss, {&uniform, &labels});
+  EXPECT_NEAR(value2.at(0), std::log(3.0f), 1e-5);
+}
+
+TEST(CrossEntropyGradTest, SliceNormalizationUsesTotalRows) {
+  // Gradient of a 1-row slice of a 4-row batch uses /4, not /1.
+  CrossEntropyGradOp grad(/*total_rows=*/4);
+  Tensor logits = Make(Shape{1, 2}, {0, 0});
+  Tensor labels = Make(Shape{1}, {0});
+  Tensor dloss = Make(Shape{1}, {1});
+  Tensor dx = RunOp(grad, {&logits, &labels, &dloss});
+  // softmax = 0.5 each; dlogit[0] = (0.5 - 1) / 4.
+  EXPECT_NEAR(dx.at(0), -0.125f, 1e-5);
+  EXPECT_NEAR(dx.at(1), 0.125f, 1e-5);
+}
+
+// --------------------------------------------------------------- matmul
+
+TEST(MatMulTest, HandComputed) {
+  MatMulOp matmul;
+  Tensor a = Make(Shape{2, 2}, {1, 2, 3, 4});
+  Tensor b = Make(Shape{2, 2}, {5, 6, 7, 8});
+  Tensor y = RunOp(matmul, {&a, &b});
+  EXPECT_EQ(y.vec(), (std::vector<float>{19, 22, 43, 50}));
+}
+
+TEST(MatMulTest, TransposeFlags) {
+  Tensor a = Make(Shape{2, 2}, {1, 2, 3, 4});
+  Tensor b = Make(Shape{2, 2}, {5, 6, 7, 8});
+  // a^T @ b = [[1,3],[2,4]] @ [[5,6],[7,8]].
+  Tensor y = RunOp(MatMulOp(true, false), {&a, &b});
+  EXPECT_EQ(y.vec(), (std::vector<float>{26, 30, 38, 44}));
+  // a @ b^T.
+  Tensor z = RunOp(MatMulOp(false, true), {&a, &b});
+  EXPECT_EQ(z.vec(), (std::vector<float>{17, 23, 39, 53}));
+}
+
+TEST(MatMulTest, BatchedGroupsIndependent) {
+  MatMulOp matmul;
+  Tensor a = Make(Shape{2, 1, 2}, {1, 2, 3, 4});
+  Tensor b = Make(Shape{2, 2, 1}, {1, 1, 10, 10});
+  Tensor y = RunOp(matmul, {&a, &b});
+  EXPECT_EQ(y.shape(), (Shape{2, 1, 1}));
+  EXPECT_FLOAT_EQ(y.at(0), 3.0f);
+  EXPECT_FLOAT_EQ(y.at(1), 70.0f);
+}
+
+TEST(MatMulTest, RejectsMismatchedInner) {
+  MatMulOp matmul;
+  EXPECT_FALSE(matmul.InferShapes({Shape{2, 3}, Shape{4, 5}}).ok());
+  EXPECT_FALSE(matmul.InferShapes({Shape{2, 3}, Shape{2, 3, 4}}).ok());
+}
+
+// ---------------------------------------------------------- elementwise
+
+TEST(ElementwiseTest, AddScaleBias) {
+  Tensor a = Make(Shape{2, 2}, {1, 2, 3, 4});
+  Tensor b = Make(Shape{2, 2}, {10, 20, 30, 40});
+  EXPECT_EQ(RunOp(AddOp(), {&a, &b}).vec(),
+            (std::vector<float>{11, 22, 33, 44}));
+  EXPECT_EQ(RunOp(ScaleOp(2.0f), {&a}).vec(),
+            (std::vector<float>{2, 4, 6, 8}));
+  Tensor bias = Make(Shape{2}, {100, 200});
+  EXPECT_EQ(RunOp(BiasAddOp(1), {&a, &bias}).vec(),
+            (std::vector<float>{101, 202, 103, 204}));
+}
+
+TEST(ElementwiseTest, ReluAndGrad) {
+  Tensor x = Make(Shape{4}, {-2, -0.5, 0.5, 2});
+  EXPECT_EQ(RunOp(ReluOp(), {&x}).vec(), (std::vector<float>{0, 0, 0.5, 2}));
+  Tensor dy = Make(Shape{4}, {1, 1, 1, 1});
+  EXPECT_EQ(RunOp(ReluGradOp(), {&x, &dy}).vec(),
+            (std::vector<float>{0, 0, 1, 1}));
+}
+
+TEST(ElementwiseTest, GeluMatchesDerivativeNumerically) {
+  for (float x : {-2.0f, -0.3f, 0.0f, 0.7f, 3.0f}) {
+    float eps = 1e-3f;
+    float numeric = (GeluOp::Value(x + eps) - GeluOp::Value(x - eps)) /
+                    (2 * eps);
+    EXPECT_NEAR(GeluOp::Derivative(x), numeric, 1e-3) << "x=" << x;
+  }
+}
+
+TEST(ElementwiseTest, ReduceToAxisSumsBiasGrad) {
+  ReduceToAxisOp reduce(1);
+  Tensor dy = Make(Shape{2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(RunOp(reduce, {&dy}).vec(), (std::vector<float>{4, 6}));
+}
+
+// -------------------------------------------------------------- dropout
+
+TEST(DropoutTest, ForwardBackwardMasksAgree) {
+  const uint64_t seed = 1234;
+  DropoutOp dropout(0.5f, seed);
+  DropoutGradOp grad(0.5f, seed);
+  Tensor x = Make(Shape{64}, std::vector<float>(64, 1.0f));
+  Tensor y = RunOp(dropout, {&x});
+  Tensor dy = Make(Shape{64}, std::vector<float>(64, 1.0f));
+  Tensor dx = RunOp(grad, {&dy});
+  for (int64_t i = 0; i < 64; ++i) {
+    // Kept positions scale by 2, dropped are 0 — in BOTH passes.
+    EXPECT_EQ(y.at(i), dx.at(i)) << i;
+    EXPECT_TRUE(y.at(i) == 0.0f || y.at(i) == 2.0f);
+  }
+}
+
+TEST(DropoutTest, KeepRateApproximatelyHonored) {
+  int kept = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (DropoutKeep(42, i, 0.3f)) ++kept;
+  }
+  EXPECT_NEAR(kept / 10000.0, 0.7, 0.02);
+}
+
+TEST(DropoutTest, RejectsInvalidRate) {
+  DropoutOp bad(1.0f, 1);
+  EXPECT_FALSE(bad.InferShapes({Shape{4}}).ok());
+}
+
+// ------------------------------------------------------------ embedding
+
+TEST(EmbeddingTest, GatherAndScatterGrad) {
+  EmbeddingOp embed;
+  Tensor table = Make(Shape{3, 2}, {10, 11, 20, 21, 30, 31});
+  Tensor ids = Make(Shape{2}, {2, 0});
+  Tensor y = RunOp(embed, {&table, &ids});
+  EXPECT_EQ(y.vec(), (std::vector<float>{30, 31, 10, 11}));
+
+  EmbeddingGradOp grad(Shape{3, 2});
+  Tensor dy = Make(Shape{2, 2}, {1, 2, 3, 4});
+  Tensor dtable = RunOp(grad, {&ids, &dy});
+  EXPECT_EQ(dtable.vec(), (std::vector<float>{3, 4, 0, 0, 1, 2}));
+}
+
+// -------------------------------------------------------- data movement
+
+TEST(DataMovementTest, TransposeRoundTrips) {
+  TransposeOp perm({1, 0});
+  Tensor x = Make(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor y = RunOp(perm, {&x});
+  EXPECT_EQ(y.shape(), (Shape{3, 2}));
+  EXPECT_EQ(y.vec(), (std::vector<float>{1, 4, 2, 5, 3, 6}));
+  Tensor back = RunOp(perm, {&y});
+  EXPECT_EQ(back.vec(), x.vec());
+}
+
+TEST(DataMovementTest, Transpose4dHeadsPattern) {
+  // The attention [B,S,H,D] -> [B,H,S,D] shuffle.
+  TransposeOp perm({0, 2, 1, 3});
+  Tensor x = Make(Shape{1, 2, 2, 1}, {1, 2, 3, 4});
+  Tensor y = RunOp(perm, {&x});
+  EXPECT_EQ(y.vec(), (std::vector<float>{1, 3, 2, 4}));
+}
+
+TEST(DataMovementTest, ConcatSliceInverse) {
+  ConcatOp concat(0);
+  Tensor a = Make(Shape{1, 2}, {1, 2});
+  Tensor b = Make(Shape{2, 2}, {3, 4, 5, 6});
+  Tensor y = RunOp(concat, {&a, &b});
+  EXPECT_EQ(y.shape(), (Shape{3, 2}));
+  SliceOp tail(0, 1, 2);
+  EXPECT_EQ(RunOp(tail, {&y}).vec(), b.vec());
+}
+
+TEST(DataMovementTest, ReshapeIsViewWithZeroCost) {
+  ReshapeOp reshape(Shape{4});
+  EXPECT_TRUE(reshape.is_view());
+  EXPECT_EQ(reshape.Flops({Shape{2, 2}}, {Shape{4}}), 0.0);
+  EXPECT_FALSE(reshape.InferShapes({Shape{2, 3}}).ok());  // count mismatch
+}
+
+TEST(FillTest, FillsConstant) {
+  FillOp fill(2.5f);
+  Tensor x = Make(Shape{3}, {0, 0, 0});
+  EXPECT_EQ(RunOp(fill, {&x}).vec(), (std::vector<float>{2.5, 2.5, 2.5}));
+}
+
+}  // namespace
+}  // namespace tsplit::ops

@@ -1,0 +1,91 @@
+// Host optimizer tests: update rules against hand-computed values.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "runtime/optimizer.h"
+
+namespace tsplit::runtime {
+namespace {
+
+std::unordered_map<TensorId, Tensor> OneParam(float value) {
+  std::unordered_map<TensorId, Tensor> params;
+  params.emplace(0, Tensor(Shape{2}, value));
+  return params;
+}
+
+std::unordered_map<TensorId, Tensor> OneGrad(float value) {
+  std::unordered_map<TensorId, Tensor> grads;
+  grads.emplace(0, Tensor(Shape{2}, value));
+  return grads;
+}
+
+TEST(SgdTest, PlainStep) {
+  SgdOptimizer sgd(0.1f);
+  auto params = OneParam(1.0f);
+  ASSERT_TRUE(sgd.Step(&params, OneGrad(2.0f)).ok());
+  EXPECT_FLOAT_EQ(params.at(0).at(0), 1.0f - 0.1f * 2.0f);
+}
+
+TEST(SgdTest, MomentumAccumulates) {
+  SgdOptimizer sgd(0.1f, 0.9f);
+  auto params = OneParam(0.0f);
+  ASSERT_TRUE(sgd.Step(&params, OneGrad(1.0f)).ok());
+  EXPECT_FLOAT_EQ(params.at(0).at(0), -0.1f);  // v = 1
+  ASSERT_TRUE(sgd.Step(&params, OneGrad(1.0f)).ok());
+  // v = 0.9 * 1 + 1 = 1.9 -> param -= 0.19.
+  EXPECT_NEAR(params.at(0).at(0), -0.29f, 1e-6);
+}
+
+TEST(SgdTest, MissingGradIsSkipped) {
+  SgdOptimizer sgd(0.1f);
+  auto params = OneParam(3.0f);
+  std::unordered_map<TensorId, Tensor> empty;
+  ASSERT_TRUE(sgd.Step(&params, empty).ok());
+  EXPECT_FLOAT_EQ(params.at(0).at(0), 3.0f);
+}
+
+TEST(SgdTest, ShapeMismatchRejected) {
+  SgdOptimizer sgd(0.1f);
+  auto params = OneParam(0.0f);
+  std::unordered_map<TensorId, Tensor> grads;
+  grads.emplace(0, Tensor(Shape{3}, 1.0f));
+  EXPECT_FALSE(sgd.Step(&params, grads).ok());
+}
+
+TEST(AdamTest, FirstStepIsBiasCorrectedLearningRate) {
+  AdamOptimizer adam(0.01f);
+  auto params = OneParam(0.0f);
+  ASSERT_TRUE(adam.Step(&params, OneGrad(0.5f)).ok());
+  // After bias correction the first step is ~ -lr * sign(g).
+  EXPECT_NEAR(params.at(0).at(0), -0.01f, 1e-4);
+  EXPECT_EQ(adam.steps_taken(), 1);
+}
+
+TEST(AdamTest, StepSizeBoundedRegardlessOfGradScale) {
+  AdamOptimizer adam(0.01f);
+  auto small_params = OneParam(0.0f);
+  auto big_params = OneParam(0.0f);
+  AdamOptimizer adam2(0.01f);
+  ASSERT_TRUE(adam.Step(&small_params, OneGrad(1e-3f)).ok());
+  ASSERT_TRUE(adam2.Step(&big_params, OneGrad(1e3f)).ok());
+  // Adam normalizes by sqrt(v): both steps land near -lr.
+  EXPECT_NEAR(small_params.at(0).at(0), big_params.at(0).at(0), 1e-3);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  // Minimize (x - 3)^2 with Adam; gradient = 2(x - 3).
+  AdamOptimizer adam(0.2f);
+  auto params = OneParam(0.0f);
+  for (int i = 0; i < 200; ++i) {
+    float x = params.at(0).at(0);
+    std::unordered_map<TensorId, Tensor> grads;
+    grads.emplace(0, Tensor(Shape{2}, 2.0f * (x - 3.0f)));
+    ASSERT_TRUE(adam.Step(&params, grads).ok());
+  }
+  EXPECT_NEAR(params.at(0).at(0), 3.0f, 0.05f);
+}
+
+}  // namespace
+}  // namespace tsplit::runtime

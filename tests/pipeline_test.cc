@@ -1,0 +1,402 @@
+// End-to-end pipeline integration: plan -> augmented program -> executors.
+// The load-bearing property: ANY plan (swap / recompute / split / mixes,
+// from any planner) must be semantically lossless — the functional executor
+// replaying the augmented program reproduces the unconstrained
+// interpreter's loss and parameter gradients exactly (fp32 bit-for-bit for
+// swap, tight tolerance for recompute/split reorderings).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/liveness.h"
+#include "graph/schedule.h"
+#include "models/builder_util.h"
+#include "models/model.h"
+#include "planner/memory_sim.h"
+#include "planner/planner.h"
+#include "rewrite/program.h"
+#include "runtime/functional_executor.h"
+#include "runtime/interpreter.h"
+#include "runtime/session.h"
+#include "runtime/sim_executor.h"
+
+namespace tsplit {
+namespace {
+
+using planner::Plan;
+using runtime::FunctionalExecutor;
+using runtime::Interpreter;
+using runtime::MakeRandomBindings;
+
+struct GroundTruth {
+  float loss;
+  std::vector<std::pair<TensorId, Tensor>> param_grads;
+};
+
+GroundTruth ComputeGroundTruth(
+    const models::Model& model,
+    const std::unordered_map<TensorId, Tensor>& bindings) {
+  Interpreter interp(&model.graph);
+  for (const auto& [id, value] : bindings) {
+    TSPLIT_CHECK_OK(interp.Bind(id, value));
+  }
+  TSPLIT_CHECK_OK(interp.Run());
+  GroundTruth truth;
+  truth.loss = (*interp.ValueOf(model.loss))->at(0);
+  for (auto [param, grad] : model.autodiff.param_grads) {
+    truth.param_grads.emplace_back(grad, **interp.ValueOf(grad));
+  }
+  return truth;
+}
+
+// Replays `plan` functionally at `capacity` and checks the results against
+// the interpreter.
+void CheckPlanLossless(const models::Model& model, const Plan& plan,
+                       size_t capacity, double tolerance,
+                       const rewrite::ProgramOptions& options = {}) {
+  auto schedule = BuildSchedule(model.graph);
+  ASSERT_TRUE(schedule.ok());
+  auto profile = planner::ProfileGraph(model.graph, sim::TitanRtx());
+  auto program =
+      rewrite::GenerateProgram(model.graph, *schedule, plan, profile,
+                               options);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+  auto bindings = MakeRandomBindings(model.graph, 11);
+  GroundTruth truth = ComputeGroundTruth(model, bindings);
+
+  FunctionalExecutor executor(&model.graph, capacity);
+  for (const auto& [id, value] : bindings) {
+    ASSERT_TRUE(executor.Bind(id, value).ok());
+  }
+  Status run = executor.Run(*program);
+  ASSERT_TRUE(run.ok()) << plan.planner_name << ": " << run.ToString();
+
+  auto loss = executor.ValueOf(model.loss);
+  ASSERT_TRUE(loss.ok()) << loss.status().ToString();
+  EXPECT_NEAR(loss->at(0), truth.loss, tolerance * std::abs(truth.loss));
+
+  for (const auto& [grad_id, expected] : truth.param_grads) {
+    auto actual = executor.ValueOf(grad_id);
+    ASSERT_TRUE(actual.ok()) << model.graph.tensor(grad_id).name;
+    ASSERT_EQ(actual->num_elements(), expected.num_elements());
+    double max_abs = 0;
+    for (int64_t i = 0; i < expected.num_elements(); ++i) {
+      max_abs = std::max(max_abs,
+                         static_cast<double>(std::abs(expected.at(i))));
+    }
+    double bound = tolerance * std::max(1.0, max_abs);
+    for (int64_t i = 0; i < expected.num_elements(); ++i) {
+      ASSERT_NEAR(actual->at(i), expected.at(i), bound)
+          << model.graph.tensor(grad_id).name << " coord " << i << " under "
+          << plan.planner_name;
+    }
+  }
+}
+
+models::Model TinyCnn() {
+  models::CnnConfig config;
+  config.batch = 4;
+  config.image_size = 16;
+  config.num_classes = 3;
+  config.channel_scale = 4.0 / 64.0;
+  auto model = models::BuildVgg(16, config);
+  TSPLIT_CHECK_OK(model.status());
+  return std::move(*model);
+}
+
+models::Model TinyTransformer() {
+  models::TransformerConfig config;
+  config.num_layers = 2;
+  config.batch = 2;
+  config.seq_len = 8;
+  config.hidden = 16;
+  config.num_heads = 2;
+  config.vocab = 19;
+  config.dropout_rate = 0.1f;
+  auto model = models::BuildTransformer(config);
+  TSPLIT_CHECK_OK(model.status());
+  return std::move(*model);
+}
+
+// Conv stack whose activations dwarf its parameters (the regime the paper
+// targets): batch 32 of 16x16 images through 8-channel convs.
+models::Model ActivationHeavyCnn() {
+  models::Model model;
+  model.name = "act-heavy-cnn";
+  model.input = model.graph.AddTensor("images", Shape{32, 3, 16, 16},
+                                      TensorKind::kInput);
+  model.labels =
+      model.graph.AddTensor("labels", Shape{32}, TensorKind::kInput);
+  models::internal::LayerBuilder b(&model);
+  TensorId x = model.input;
+  for (int i = 0; i < 6; ++i) {
+    x = b.Relu(b.Conv(x, 8, 3, 1, 1, "conv" + std::to_string(i)),
+               "relu" + std::to_string(i));
+  }
+  x = b.AvgPool(x, 16, 1, 0, "gap");
+  x = b.Flatten2d(x, "flatten");
+  TensorId logits = b.Linear(x, 5, "head");
+  model.loss = b.CrossEntropy(logits, model.labels, "loss");
+  TSPLIT_CHECK_OK(b.status());
+  auto finished = models::internal::FinishModel(std::move(model), true);
+  TSPLIT_CHECK_OK(finished.status());
+  return std::move(*finished);
+}
+
+size_t GenerousCapacity() { return size_t{1} << 30; }
+
+// A budget that is genuinely tight but feasible: parameters, inputs, and
+// accumulated parameter gradients are not evictable (TSPLIT manages
+// feature maps), so squeeze only the activation portion to `fraction` of
+// its unconstrained peak.
+size_t TightBudget(const models::Model& model, double fraction) {
+  auto schedule = BuildSchedule(model.graph);
+  TSPLIT_CHECK_OK(schedule.status());
+  MemoryProfile profile = ComputeMemoryProfile(model.graph, *schedule);
+  size_t floor = profile.always_live_bytes +
+                 model.graph.BytesOfKind(TensorKind::kParamGrad);
+  size_t dynamic =
+      profile.peak_bytes > floor ? profile.peak_bytes - floor : 0;
+  return floor + static_cast<size_t>(dynamic * fraction);
+}
+
+// --- Every planner's plan is lossless on a CNN ---
+
+class PlannerLossless : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PlannerLossless, TinyCnnMatchesInterpreter) {
+  models::Model model = TinyCnn();
+  auto schedule = BuildSchedule(model.graph);
+  ASSERT_TRUE(schedule.ok());
+  auto profile = planner::ProfileGraph(model.graph, sim::TitanRtx());
+  auto planner = planner::MakePlanner(GetParam());
+  ASSERT_NE(planner, nullptr);
+  auto plan = planner->BuildPlan(model.graph, *schedule, profile,
+                                 GenerousCapacity());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  CheckPlanLossless(model, *plan, GenerousCapacity(), 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPlanners, PlannerLossless,
+    ::testing::Values("Base", "vDNN-conv", "vDNN-all", "Checkpoints",
+                      "SuperNeurons", "ZeRO-Offload", "FairScale-Offload"));
+
+// --- Forced-strategy plans ---
+
+TEST(PipelineTest, AllSwapPlanLosslessOnTransformer) {
+  models::Model model = TinyTransformer();
+  auto vdnn = planner::MakePlanner("vDNN-all");
+  auto schedule = BuildSchedule(model.graph);
+  ASSERT_TRUE(schedule.ok());
+  auto profile = planner::ProfileGraph(model.graph, sim::TitanRtx());
+  auto plan =
+      vdnn->BuildPlan(model.graph, *schedule, profile, GenerousCapacity());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_GT(plan->CountOpt(MemOpt::kSwap), 10);
+  CheckPlanLossless(model, *plan, GenerousCapacity(), 1e-4);
+}
+
+TEST(PipelineTest, ForcedRecomputePlanLossless) {
+  models::Model model = TinyCnn();
+  auto schedule = BuildSchedule(model.graph);
+  ASSERT_TRUE(schedule.ok());
+  auto facts = planner::ComputeTensorFacts(model.graph, *schedule);
+
+  Plan plan;
+  plan.planner_name = "forced-recompute";
+  for (const TensorDesc& t : model.graph.tensors()) {
+    const auto& f = facts[static_cast<size_t>(t.id)];
+    if (f.is_view_alias || f.always_live) continue;
+    if (t.kind != TensorKind::kActivation) continue;
+    if (f.first_bwd_use <= f.fwd_last_use || f.first_bwd_use < 0) continue;
+    OpId producer = t.producer;
+    if (producer == kInvalidOp ||
+        !model.graph.node(producer).op->recompute_safe()) {
+      continue;
+    }
+    plan.Set(t.id, STensorConfig{MemOpt::kRecompute, {}});
+  }
+  EXPECT_GT(plan.CountOpt(MemOpt::kRecompute), 5);
+  CheckPlanLossless(model, plan, GenerousCapacity(), 1e-4);
+}
+
+// Per-recompute-mode losslessness (memory/speed/LRU engines, §V-D).
+class RecomputeModeLossless
+    : public ::testing::TestWithParam<rewrite::RecomputeMode> {};
+
+TEST_P(RecomputeModeLossless, ChainedRecomputeMatches) {
+  models::Model model = TinyCnn();
+  auto schedule = BuildSchedule(model.graph);
+  ASSERT_TRUE(schedule.ok());
+  auto profile = planner::ProfileGraph(model.graph, sim::TitanRtx());
+  auto checkpoints = planner::MakePlanner("Checkpoints");
+  auto plan = checkpoints->BuildPlan(model.graph, *schedule, profile,
+                                     GenerousCapacity());
+  ASSERT_TRUE(plan.ok());
+  rewrite::ProgramOptions options;
+  options.recompute_mode = GetParam();
+  options.lru_budget_bytes = 1 << 20;
+  CheckPlanLossless(model, *plan, GenerousCapacity(), 1e-4, options);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, RecomputeModeLossless,
+    ::testing::Values(rewrite::RecomputeMode::kMemoryCentric,
+                      rewrite::RecomputeMode::kSpeedCentric,
+                      rewrite::RecomputeMode::kLru));
+
+// --- Split plans ---
+
+TEST(PipelineTest, ForcedSplitPlanLosslessAcrossAxesAndParts) {
+  models::Model model = TinyCnn();
+  auto schedule = BuildSchedule(model.graph);
+  ASSERT_TRUE(schedule.ok());
+  auto facts = planner::ComputeTensorFacts(model.graph, *schedule);
+
+  // Split every large conv activation along the sample axis with varying
+  // p_num, paired with both swap and recompute.
+  Plan plan;
+  plan.planner_name = "forced-split";
+  int counter = 0;
+  for (const TensorDesc& t : model.graph.tensors()) {
+    const auto& f = facts[static_cast<size_t>(t.id)];
+    if (f.is_view_alias || f.always_live) continue;
+    if (t.kind != TensorKind::kActivation || t.shape.rank() != 4) continue;
+    if (f.first_bwd_use <= f.fwd_last_use || f.first_bwd_use < 0) continue;
+    OpId producer = t.producer;
+    if (producer == kInvalidOp) continue;
+    MemOpt opt = (counter % 2 == 0) ? MemOpt::kSwap : MemOpt::kRecompute;
+    if (opt == MemOpt::kRecompute &&
+        !model.graph.node(producer).op->recompute_safe()) {
+      opt = MemOpt::kSwap;
+    }
+    int p_num = (counter % 3 == 0) ? 4 : 2;
+    plan.Set(t.id, STensorConfig{opt, SplitConfig{p_num, 0}});
+    ++counter;
+  }
+  ASSERT_GT(plan.CountSplit(), 5);
+  CheckPlanLossless(model, plan, GenerousCapacity(), 1e-4);
+}
+
+TEST(PipelineTest, ChannelAxisSplitLossless) {
+  models::Model model = TinyCnn();
+  auto schedule = BuildSchedule(model.graph);
+  ASSERT_TRUE(schedule.ok());
+  auto facts = planner::ComputeTensorFacts(model.graph, *schedule);
+
+  Plan plan;
+  plan.planner_name = "channel-split";
+  for (const TensorDesc& t : model.graph.tensors()) {
+    const auto& f = facts[static_cast<size_t>(t.id)];
+    if (f.is_view_alias || f.always_live) continue;
+    if (t.kind != TensorKind::kActivation || t.shape.rank() != 4) continue;
+    if (t.shape.dim(1) < 4) continue;
+    if (f.first_bwd_use <= f.fwd_last_use || f.first_bwd_use < 0) continue;
+    plan.Set(t.id, STensorConfig{MemOpt::kSwap, SplitConfig{2, 1}});
+  }
+  ASSERT_GT(plan.CountSplit(), 3);
+  CheckPlanLossless(model, plan, GenerousCapacity(), 1e-4);
+}
+
+TEST(PipelineTest, TsplitPlanLosslessUnderTightMemory) {
+  models::Model model = TinyCnn();
+  auto schedule = BuildSchedule(model.graph);
+  ASSERT_TRUE(schedule.ok());
+  auto profile = planner::ProfileGraph(model.graph, sim::TitanRtx());
+
+  // Squeezing activations well below their peak forces real decisions
+  // (the floor estimate is approximate, so leave a little slack).
+  size_t budget = TightBudget(model, 0.55);
+
+  auto tsplit = planner::MakePlanner("TSPLIT");
+  auto plan = tsplit->BuildPlan(model.graph, *schedule, profile, budget);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_GT(plan->configs.size(), 0u);
+  // The functional executor must fit in the SAME budget the planner used
+  // (plus alignment slack) and still agree with the interpreter.
+  CheckPlanLossless(model, *plan, budget + (budget / 4), 1e-4);
+}
+
+TEST(PipelineTest, TransformerTsplitPlanLossless) {
+  models::Model model = TinyTransformer();
+  auto schedule = BuildSchedule(model.graph);
+  ASSERT_TRUE(schedule.ok());
+  auto profile = planner::ProfileGraph(model.graph, sim::TitanRtx());
+  size_t budget = TightBudget(model, 0.5);
+  auto tsplit = planner::MakePlanner("TSPLIT");
+  auto plan = tsplit->BuildPlan(model.graph, *schedule, profile, budget);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  CheckPlanLossless(model, *plan, budget + (budget / 4), 1e-4);
+}
+
+// --- Sim executor behaviour ---
+
+TEST(SimExecutorTest, BasePlanOomsWhenModelExceedsMemory) {
+  models::Model model = TinyCnn();
+  auto schedule = BuildSchedule(model.graph);
+  ASSERT_TRUE(schedule.ok());
+  MemoryProfile profile = ComputeMemoryProfile(model.graph, *schedule);
+
+  runtime::SessionOptions options;
+  options.planner_name = "Base";
+  options.device = sim::WithMemory(sim::TitanRtx(), profile.peak_bytes / 2);
+  auto result = runtime::SimulateIteration(&model, options);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(SimExecutorTest, TsplitFitsWhereBaseOoms) {
+  models::Model base_model = ActivationHeavyCnn();
+  size_t capacity = TightBudget(base_model, 0.45);
+  auto schedule = BuildSchedule(base_model.graph);
+  ASSERT_TRUE(schedule.ok());
+  MemoryProfile profile =
+      ComputeMemoryProfile(base_model.graph, *schedule);
+  ASSERT_LT(capacity, profile.peak_bytes);
+
+  runtime::SessionOptions options;
+  options.planner_name = "TSPLIT";
+  options.device = sim::WithMemory(sim::TitanRtx(), capacity);
+  models::Model model = ActivationHeavyCnn();
+  auto result = runtime::SimulateIteration(&model, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_LE(result->stats.peak_memory_bytes, capacity);
+  EXPECT_GT(result->stats.iteration_seconds, 0);
+}
+
+TEST(SimExecutorTest, EvictionsProduceTransferTraffic) {
+  models::Model model = TinyCnn();
+  runtime::SessionOptions options;
+  options.planner_name = "vDNN-all";
+  options.device = sim::TitanRtx();
+  auto result = runtime::SimulateIteration(&model, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->stats.swap_out_bytes, 0u);
+  EXPECT_GT(result->stats.swap_in_bytes, 0u);
+  EXPECT_GT(result->stats.d2h_busy_seconds, 0.0);
+}
+
+TEST(SimExecutorTest, MemoryPressureCostsTime) {
+  // The same model under Base (fits) vs TSPLIT at half memory: the
+  // constrained run cannot be faster.
+  models::Model m1 = ActivationHeavyCnn();
+  runtime::SessionOptions generous;
+  generous.planner_name = "Base";
+  generous.device = sim::TitanRtx();
+  auto unconstrained = runtime::SimulateIteration(&m1, generous);
+  ASSERT_TRUE(unconstrained.ok());
+
+  models::Model m2 = ActivationHeavyCnn();
+  runtime::SessionOptions tight;
+  tight.planner_name = "TSPLIT";
+  tight.device = sim::WithMemory(sim::TitanRtx(), TightBudget(m2, 0.45));
+  auto constrained = runtime::SimulateIteration(&m2, tight);
+  ASSERT_TRUE(constrained.ok()) << constrained.status().ToString();
+  EXPECT_GE(constrained->stats.iteration_seconds,
+            unconstrained->stats.iteration_seconds * 0.999);
+}
+
+}  // namespace
+}  // namespace tsplit

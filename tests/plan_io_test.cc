@@ -1,0 +1,161 @@
+// Plan serialization round-trip and error handling.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "graph/schedule.h"
+#include "models/model.h"
+#include "graph/liveness.h"
+#include "planner/plan_io.h"
+#include "rewrite/program.h"
+#include "runtime/sim_executor.h"
+#include "planner/planner.h"
+
+namespace tsplit::planner {
+namespace {
+
+struct TestBench {
+  models::Model model;
+  Plan plan;
+};
+
+TestBench MakePlanned() {
+  models::CnnConfig config;
+  config.batch = 8;
+  config.image_size = 16;
+  config.num_classes = 4;
+  config.channel_scale = 8.0 / 64.0;
+  auto model = models::BuildVgg(16, config);
+  TSPLIT_CHECK_OK(model.status());
+  auto schedule = BuildSchedule(model->graph);
+  auto profile = ProfileGraph(model->graph, sim::TitanRtx());
+  auto plan = MakePlanner("SuperNeurons")
+                  ->BuildPlan(model->graph, *schedule, profile, 1);
+  TSPLIT_CHECK_OK(plan.status());
+  // Add a split entry so the round trip exercises it.
+  for (const TensorDesc& t : model->graph.tensors()) {
+    if (t.kind == TensorKind::kActivation && t.shape.rank() == 4 &&
+        t.shape.dim(0) >= 4) {
+      plan->Set(t.id, STensorConfig{MemOpt::kSwap, SplitConfig{4, 0}});
+      break;
+    }
+  }
+  return TestBench{std::move(*model), std::move(*plan)};
+}
+
+TEST(PlanIoTest, RoundTripPreservesEveryDecision) {
+  TestBench bench = MakePlanned();
+  std::string text = SerializePlan(bench.model.graph, bench.plan);
+  auto parsed = ParsePlan(bench.model.graph, text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->planner_name, bench.plan.planner_name);
+  for (const auto& [id, config] : bench.plan.configs) {
+    if (config.opt == MemOpt::kReside && !config.split.active()) continue;
+    EXPECT_TRUE(parsed->ConfigFor(id) == config)
+        << bench.model.graph.tensor(id).name;
+  }
+  EXPECT_EQ(parsed->CountOpt(MemOpt::kSwap),
+            bench.plan.CountOpt(MemOpt::kSwap));
+  EXPECT_EQ(parsed->CountSplit(), bench.plan.CountSplit());
+}
+
+TEST(PlanIoTest, FileRoundTrip) {
+  TestBench bench = MakePlanned();
+  std::string path = ::testing::TempDir() + "/tsplit_plan.txt";
+  ASSERT_TRUE(SavePlan(bench.model.graph, bench.plan, path).ok());
+  auto loaded = LoadPlan(bench.model.graph, path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->configs.size() > 0, true);
+  EXPECT_EQ(SerializePlan(bench.model.graph, *loaded),
+            SerializePlan(bench.model.graph, bench.plan));
+  std::remove(path.c_str());
+}
+
+TEST(PlanIoTest, RejectsUnknownTensor) {
+  TestBench bench = MakePlanned();
+  auto parsed =
+      ParsePlan(bench.model.graph, "no_such_tensor swap\n");
+  EXPECT_EQ(parsed.status().code(), StatusCode::kNotFound);
+}
+
+TEST(PlanIoTest, RejectsMalformedLines) {
+  TestBench bench = MakePlanned();
+  EXPECT_EQ(ParsePlan(bench.model.graph, "conv1_1 frobnicate\n")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParsePlan(bench.model.graph, "conv1_1 swap 4\n")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);  // split missing dim
+  EXPECT_EQ(ParsePlan(bench.model.graph, "# tsplit-plan v99 x\n")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PlanIoTest, MissingFileIsNotFound) {
+  TestBench bench = MakePlanned();
+  EXPECT_EQ(LoadPlan(bench.model.graph, "/nonexistent/plan.txt")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace tsplit::planner
+
+namespace tsplit::planner {
+namespace {
+
+TEST(PlanIoTest, PortablePlanExecutesIdentically) {
+  // A saved TSPLIT plan, reloaded into a freshly built copy of the same
+  // model, must generate a program with identical memory behaviour.
+  models::CnnConfig config;
+  config.batch = 16;
+  config.image_size = 16;
+  config.num_classes = 4;
+  config.channel_scale = 8.0 / 64.0;
+  auto original = models::BuildVgg(16, config);
+  ASSERT_TRUE(original.ok());
+  auto schedule = BuildSchedule(original->graph);
+  auto profile = ProfileGraph(original->graph, sim::TitanRtx());
+  MemoryProfile baseline = ComputeMemoryProfile(original->graph, *schedule);
+  size_t floor = baseline.always_live_bytes +
+                 original->graph.BytesOfKind(TensorKind::kParamGrad);
+  size_t budget = floor + (baseline.peak_bytes - floor) / 2;
+  auto plan = MakePlanner("TSPLIT")
+                  ->BuildPlan(original->graph, *schedule, profile, budget);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_GT(plan->configs.size(), 0u);
+
+  std::string text = SerializePlan(original->graph, *plan);
+
+  // A brand-new build of the same model (different object, same names).
+  auto rebuilt = models::BuildVgg(16, config);
+  ASSERT_TRUE(rebuilt.ok());
+  auto loaded = ParsePlan(rebuilt->graph, text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  auto schedule2 = BuildSchedule(rebuilt->graph);
+  auto profile2 = ProfileGraph(rebuilt->graph, sim::TitanRtx());
+  auto program1 = rewrite::GenerateProgram(original->graph, *schedule,
+                                           *plan, profile);
+  auto program2 = rewrite::GenerateProgram(rebuilt->graph, *schedule2,
+                                           *loaded, profile2);
+  ASSERT_TRUE(program1.ok() && program2.ok());
+  EXPECT_EQ(program1->steps.size(), program2->steps.size());
+  EXPECT_EQ(program1->swap_out_bytes, program2->swap_out_bytes);
+  EXPECT_EQ(program1->num_micro_computes, program2->num_micro_computes);
+
+  runtime::SimExecutor executor(sim::TitanRtx());
+  auto stats1 = executor.Execute(original->graph, *program1);
+  auto stats2 = executor.Execute(rebuilt->graph, *program2);
+  ASSERT_TRUE(stats1.ok() && stats2.ok());
+  EXPECT_DOUBLE_EQ(stats1->iteration_seconds, stats2->iteration_seconds);
+  EXPECT_EQ(stats1->peak_memory_bytes, stats2->peak_memory_bytes);
+}
+
+}  // namespace
+}  // namespace tsplit::planner

@@ -1,0 +1,273 @@
+// Planner behaviour tests: TSPLIT's Algorithm-2 properties and every
+// baseline's characteristic policy decisions.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/liveness.h"
+#include "graph/schedule.h"
+#include "models/model.h"
+#include "planner/memory_sim.h"
+#include "planner/planner.h"
+#include "planner/tsplit_planner.h"
+
+namespace tsplit::planner {
+namespace {
+
+struct TestBench {
+  models::Model model;
+  Schedule schedule;
+  GraphProfile profile;
+  MemoryProfile baseline;
+};
+
+TestBench MakeVggSetup(int batch = 8, int image = 16) {
+  models::CnnConfig config;
+  config.batch = batch;
+  config.image_size = image;
+  config.num_classes = 4;
+  config.channel_scale = 8.0 / 64.0;
+  auto model = models::BuildVgg(16, config);
+  TSPLIT_CHECK_OK(model.status());
+  auto schedule = BuildSchedule(model->graph);
+  TSPLIT_CHECK_OK(schedule.status());
+  auto profile = ProfileGraph(model->graph, sim::TitanRtx());
+  auto baseline = ComputeMemoryProfile(model->graph, *schedule);
+  return TestBench{std::move(*model), std::move(*schedule), std::move(profile),
+               baseline};
+}
+
+size_t EvictableBudget(const TestBench& setup, double fraction) {
+  size_t floor = setup.baseline.always_live_bytes +
+                 setup.model.graph.BytesOfKind(TensorKind::kParamGrad);
+  return floor + static_cast<size_t>(
+                     (setup.baseline.peak_bytes - floor) * fraction);
+}
+
+TEST(TsplitPlannerTest, GenerousBudgetLeavesPlanEmpty) {
+  TestBench setup = MakeVggSetup();
+  TsplitPlanner planner;
+  auto plan = planner.BuildPlan(setup.model.graph, setup.schedule,
+                                setup.profile, size_t{1} << 40);
+  ASSERT_TRUE(plan.ok());
+  // No bottleneck -> the paper's "set reside" default for every tensor.
+  EXPECT_EQ(plan->CountOpt(MemOpt::kSwap), 0);
+  EXPECT_EQ(plan->CountOpt(MemOpt::kRecompute), 0);
+  EXPECT_EQ(plan->CountSplit(), 0);
+}
+
+TEST(TsplitPlannerTest, PlanRespectsBudgetInItsOwnModel) {
+  TestBench setup = MakeVggSetup();
+  size_t budget = EvictableBudget(setup, 0.5);
+  TsplitPlanner planner;
+  auto plan = planner.BuildPlan(setup.model.graph, setup.schedule,
+                                setup.profile, budget);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto facts = ComputeTensorFacts(setup.model.graph, setup.schedule);
+  auto memory = PlannedMemory(setup.model.graph, setup.schedule, facts,
+                              *plan);
+  size_t peak = *std::max_element(memory.begin(), memory.end());
+  EXPECT_LE(peak, budget);
+  EXPECT_GT(plan->configs.size(), 0u);
+}
+
+TEST(TsplitPlannerTest, TighterBudgetNeverEvictsLess) {
+  TestBench setup = MakeVggSetup();
+  TsplitPlanner planner;
+  auto loose = planner.BuildPlan(setup.model.graph, setup.schedule,
+                                 setup.profile, EvictableBudget(setup, 0.8));
+  auto tight = planner.BuildPlan(setup.model.graph, setup.schedule,
+                                 setup.profile, EvictableBudget(setup, 0.4));
+  ASSERT_TRUE(loose.ok() && tight.ok());
+  size_t loose_bytes =
+      loose->BytesWithOpt(setup.model.graph, MemOpt::kSwap) +
+      loose->BytesWithOpt(setup.model.graph, MemOpt::kRecompute);
+  size_t tight_bytes =
+      tight->BytesWithOpt(setup.model.graph, MemOpt::kSwap) +
+      tight->BytesWithOpt(setup.model.graph, MemOpt::kRecompute);
+  EXPECT_GE(tight_bytes, loose_bytes);
+}
+
+TEST(TsplitPlannerTest, ImpossibleBudgetFailsCleanly) {
+  TestBench setup = MakeVggSetup();
+  TsplitPlanner planner;
+  // Below the always-live floor nothing can help.
+  auto plan = planner.BuildPlan(setup.model.graph, setup.schedule,
+                                setup.profile,
+                                setup.baseline.always_live_bytes / 2);
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(TsplitPlannerTest, NoSplitVariantAssignsNoSplits) {
+  TestBench setup = MakeVggSetup(16);
+  TsplitOptions options;
+  options.enable_split = false;
+  TsplitPlanner planner(options);
+  auto plan = planner.BuildPlan(setup.model.graph, setup.schedule,
+                                setup.profile, EvictableBudget(setup, 0.4));
+  if (plan.ok()) {
+    EXPECT_EQ(plan->CountSplit(), 0);
+  }
+  // Full TSPLIT must be able to plan at least as tight a budget.
+  TsplitPlanner full;
+  auto full_plan = full.BuildPlan(setup.model.graph, setup.schedule,
+                                  setup.profile,
+                                  EvictableBudget(setup, 0.4));
+  EXPECT_TRUE(full_plan.ok()) << full_plan.status().ToString();
+}
+
+TEST(TsplitPlannerTest, NeverTouchesParametersOrInputs) {
+  TestBench setup = MakeVggSetup();
+  TsplitPlanner planner;
+  auto plan = planner.BuildPlan(setup.model.graph, setup.schedule,
+                                setup.profile, EvictableBudget(setup, 0.4));
+  ASSERT_TRUE(plan.ok());
+  for (const auto& [id, config] : plan->configs) {
+    TensorKind kind = setup.model.graph.tensor(id).kind;
+    EXPECT_NE(kind, TensorKind::kParameter)
+        << setup.model.graph.tensor(id).name;
+    EXPECT_NE(kind, TensorKind::kInput);
+  }
+}
+
+TEST(TsplitPlannerTest, OffloadsOptimizerStateWhenPresent) {
+  TestBench setup = MakeVggSetup();
+  // Add one Adam moment tensor manually.
+  TensorId moment = setup.model.graph.AddTensor(
+      "m", Shape{64, 64}, TensorKind::kOptimizerState);
+  TsplitPlanner planner;
+  auto plan = planner.BuildPlan(setup.model.graph, setup.schedule,
+                                setup.profile, size_t{1} << 40);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->ConfigFor(moment).opt, MemOpt::kSwap);
+}
+
+// ------------------------------------------------------------ baselines
+
+TEST(BaselinesTest, BasePlansNothing) {
+  TestBench setup = MakeVggSetup();
+  auto planner = MakePlanner("Base");
+  auto plan = planner->BuildPlan(setup.model.graph, setup.schedule,
+                                 setup.profile, 1);
+  ASSERT_TRUE(plan.ok());  // policy planners never fail on budget
+  EXPECT_TRUE(plan->configs.empty());
+}
+
+TEST(BaselinesTest, VdnnConvSwapsExactlyConvInputs) {
+  TestBench setup = MakeVggSetup();
+  auto planner = MakePlanner("vDNN-conv");
+  auto plan = planner->BuildPlan(setup.model.graph, setup.schedule,
+                                 setup.profile, size_t{1} << 40);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_GT(plan->CountOpt(MemOpt::kSwap), 0);
+  EXPECT_EQ(plan->CountOpt(MemOpt::kRecompute), 0);
+  // Every swapped tensor feeds some forward conv.
+  for (const auto& [id, config] : plan->configs) {
+    if (config.opt != MemOpt::kSwap) continue;
+    bool feeds_conv = false;
+    for (OpId consumer : setup.model.graph.tensor(id).consumers) {
+      const OpNode& node = setup.model.graph.node(consumer);
+      if (node.op->category() == OpCategory::kConv &&
+          !node.op->is_backward()) {
+        feeds_conv = true;
+      }
+    }
+    EXPECT_TRUE(feeds_conv) << setup.model.graph.tensor(id).name;
+  }
+}
+
+TEST(BaselinesTest, VdnnAllSwapsMoreThanVdnnConv) {
+  TestBench setup = MakeVggSetup();
+  auto conv_plan = MakePlanner("vDNN-conv")
+                       ->BuildPlan(setup.model.graph, setup.schedule,
+                                   setup.profile, 1);
+  auto all_plan = MakePlanner("vDNN-all")
+                      ->BuildPlan(setup.model.graph, setup.schedule,
+                                  setup.profile, 1);
+  ASSERT_TRUE(conv_plan.ok() && all_plan.ok());
+  EXPECT_GT(all_plan->CountOpt(MemOpt::kSwap),
+            conv_plan->CountOpt(MemOpt::kSwap));
+}
+
+TEST(BaselinesTest, CheckpointsKeepsSqrtSpacedResidents) {
+  TestBench setup = MakeVggSetup();
+  auto plan = MakePlanner("Checkpoints")
+                  ->BuildPlan(setup.model.graph, setup.schedule,
+                              setup.profile, 1);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_GT(plan->CountOpt(MemOpt::kRecompute), 0);
+  EXPECT_EQ(plan->CountOpt(MemOpt::kSwap), 0);
+}
+
+TEST(BaselinesTest, SuperNeuronsMixedPolicyOnCnnOnly) {
+  TestBench setup = MakeVggSetup();
+  auto plan = MakePlanner("SuperNeurons")
+                  ->BuildPlan(setup.model.graph, setup.schedule,
+                              setup.profile, 1);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_GT(plan->CountOpt(MemOpt::kSwap), 0);       // conv outputs
+  EXPECT_GT(plan->CountOpt(MemOpt::kRecompute), 0);  // cheap layers
+
+  // Conv-free model: nothing to act on (the paper's "x").
+  models::TransformerConfig config;
+  config.num_layers = 1;
+  config.batch = 2;
+  config.seq_len = 8;
+  config.hidden = 16;
+  config.num_heads = 2;
+  config.vocab = 13;
+  auto transformer = models::BuildTransformer(config);
+  ASSERT_TRUE(transformer.ok());
+  auto t_schedule = BuildSchedule(transformer->graph);
+  auto t_profile = ProfileGraph(transformer->graph, sim::TitanRtx());
+  auto t_plan = MakePlanner("SuperNeurons")
+                    ->BuildPlan(transformer->graph, *t_schedule, t_profile,
+                                1);
+  ASSERT_TRUE(t_plan.ok());
+  EXPECT_TRUE(t_plan->configs.empty());
+}
+
+TEST(BaselinesTest, ZeroOffloadTargetsGradientsAndState) {
+  TestBench setup = MakeVggSetup();
+  setup.model.graph.AddTensor("adam_m", Shape{8, 8},
+                              TensorKind::kOptimizerState);
+  auto plan = MakePlanner("ZeRO-Offload")
+                  ->BuildPlan(setup.model.graph, setup.schedule,
+                              setup.profile, 1);
+  ASSERT_TRUE(plan.ok());
+  for (const auto& [id, config] : plan->configs) {
+    TensorKind kind = setup.model.graph.tensor(id).kind;
+    EXPECT_TRUE(kind == TensorKind::kParamGrad ||
+                kind == TensorKind::kOptimizerState)
+        << setup.model.graph.tensor(id).name;
+    EXPECT_EQ(config.opt, MemOpt::kSwap);
+  }
+}
+
+TEST(BaselinesTest, FairscaleOffloadsParamsAndActivations) {
+  TestBench setup = MakeVggSetup();
+  auto plan = MakePlanner("FairScale-Offload")
+                  ->BuildPlan(setup.model.graph, setup.schedule,
+                              setup.profile, 1);
+  ASSERT_TRUE(plan.ok());
+  bool has_param = false, has_activation = false;
+  for (const auto& [id, config] : plan->configs) {
+    TensorKind kind = setup.model.graph.tensor(id).kind;
+    has_param |= kind == TensorKind::kParameter;
+    has_activation |= kind == TensorKind::kActivation;
+  }
+  EXPECT_TRUE(has_param);
+  EXPECT_TRUE(has_activation);
+}
+
+TEST(PlannerRegistryTest, AllNamesResolve) {
+  for (const std::string& name : PlannerNames()) {
+    EXPECT_NE(MakePlanner(name), nullptr) << name;
+  }
+  EXPECT_EQ(MakePlanner("NoSuchPlanner"), nullptr);
+}
+
+}  // namespace
+}  // namespace tsplit::planner

@@ -1,0 +1,269 @@
+// Augmented-program generator invariants: every program, for every plan,
+// must be a well-formed buffer state machine — computes only read resident
+// buffers, frees balance allocs, swap-ins follow swap-outs, and the whole
+// of every tensor's data exists whenever a consumer needs it.
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "graph/liveness.h"
+#include "graph/schedule.h"
+#include "models/model.h"
+#include "planner/planner.h"
+#include "rewrite/program.h"
+
+namespace tsplit::rewrite {
+namespace {
+
+enum class State { kNone, kResident, kHost };
+
+// Replays a program symbolically and checks state-machine legality.
+::testing::AssertionResult ValidateProgram(const Graph& graph,
+                                           const Program& program) {
+  std::unordered_map<BufferKey, State, BufferKeyHash> state;
+  // Sources start resident.
+  for (const TensorDesc& t : graph.tensors()) {
+    if (t.producer != kInvalidOp) continue;
+    auto split_it = program.split_configs.find(t.id);
+    if (split_it == program.split_configs.end()) {
+      state[BufferKey{t.id, -1}] = State::kResident;
+    } else {
+      for (int j = 0; j < split_it->second.p_num; ++j) {
+        state[BufferKey{t.id, j}] = State::kResident;
+      }
+    }
+  }
+  auto describe = [](const BufferKey& key) {
+    return "t" + std::to_string(key.tensor) + "." +
+           std::to_string(key.micro);
+  };
+
+  for (size_t i = 0; i < program.steps.size(); ++i) {
+    const Step& step = program.steps[i];
+    auto fail = [&](const std::string& what) {
+      return ::testing::AssertionFailure()
+             << "step " << i << " (" << StepKindToString(step.kind)
+             << "): " << what;
+    };
+    switch (step.kind) {
+      case StepKind::kAlloc:
+        if (state[step.buffer] == State::kResident) {
+          return fail("double alloc of " + describe(step.buffer));
+        }
+        state[step.buffer] = State::kResident;
+        break;
+      case StepKind::kFree:
+      case StepKind::kDrop:
+        if (state[step.buffer] != State::kResident) {
+          return fail("free of non-resident " + describe(step.buffer));
+        }
+        state[step.buffer] = State::kNone;
+        break;
+      case StepKind::kSwapOut:
+        if (state[step.buffer] != State::kResident) {
+          return fail("swap-out of non-resident " + describe(step.buffer));
+        }
+        state[step.buffer] = State::kHost;
+        break;
+      case StepKind::kSwapIn:
+        if (state[step.buffer] != State::kHost) {
+          return fail("swap-in without host copy of " +
+                      describe(step.buffer));
+        }
+        state[step.buffer] = State::kResident;
+        break;
+      case StepKind::kCompute:
+        for (const auto& group : step.inputs) {
+          for (const BufferKey& key : group) {
+            if (state[key] != State::kResident) {
+              return fail("compute reads non-resident " + describe(key));
+            }
+          }
+        }
+        for (const BufferKey& key : step.outputs) {
+          if (state[key] != State::kResident) {
+            return fail("compute writes unallocated " + describe(key));
+          }
+        }
+        break;
+      case StepKind::kSplitCopy: {
+        if (state[BufferKey{step.buffer.tensor, -1}] != State::kResident) {
+          return fail("split-copy from non-resident whole");
+        }
+        break;
+      }
+      case StepKind::kMergeCopy: {
+        if (state[BufferKey{step.buffer.tensor, -1}] != State::kResident) {
+          return fail("merge-copy into unallocated whole");
+        }
+        break;
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+struct TestBench {
+  models::Model model;
+  Schedule schedule;
+  planner::GraphProfile profile;
+};
+
+TestBench MakeCnn(int batch = 6) {
+  models::CnnConfig config;
+  config.batch = batch;
+  config.image_size = 16;
+  config.num_classes = 4;
+  config.channel_scale = 8.0 / 64.0;
+  auto model = models::BuildVgg(16, config);
+  TSPLIT_CHECK_OK(model.status());
+  auto schedule = BuildSchedule(model->graph);
+  auto profile = planner::ProfileGraph(model->graph, sim::TitanRtx());
+  return TestBench{std::move(*model), std::move(*schedule),
+                   std::move(profile)};
+}
+
+class ProgramValidity : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ProgramValidity, EveryPlannerGeneratesLegalPrograms) {
+  TestBench bench = MakeCnn();
+  auto planner = planner::MakePlanner(GetParam());
+  ASSERT_NE(planner, nullptr);
+  auto plan = planner->BuildPlan(bench.model.graph, bench.schedule,
+                                 bench.profile, size_t{1} << 40);
+  ASSERT_TRUE(plan.ok());
+  auto program = GenerateProgram(bench.model.graph, bench.schedule, *plan,
+                                 bench.profile);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_TRUE(ValidateProgram(bench.model.graph, *program));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPlanners, ProgramValidity,
+    ::testing::Values("Base", "vDNN-conv", "vDNN-all", "Checkpoints",
+                      "SuperNeurons", "ZeRO-Offload", "FairScale-Offload"));
+
+TEST(ProgramTest, TightTsplitPlanStillLegal) {
+  TestBench bench = MakeCnn(16);
+  MemoryProfile baseline =
+      ComputeMemoryProfile(bench.model.graph, bench.schedule);
+  size_t floor = baseline.always_live_bytes +
+                 bench.model.graph.BytesOfKind(TensorKind::kParamGrad);
+  size_t budget = floor + (baseline.peak_bytes - floor) / 2;
+  auto planner = planner::MakePlanner("TSPLIT");
+  auto plan = planner->BuildPlan(bench.model.graph, bench.schedule,
+                                 bench.profile, budget);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto program = GenerateProgram(bench.model.graph, bench.schedule, *plan,
+                                 bench.profile);
+  ASSERT_TRUE(program.ok());
+  EXPECT_TRUE(ValidateProgram(bench.model.graph, *program));
+  EXPECT_GT(program->swap_out_bytes + program->recompute_seconds, 0.0);
+}
+
+TEST(ProgramTest, RandomizedPlansAreLegal) {
+  // Fuzz: random (opt, split) assignments over activation tensors must
+  // always yield a legal program (illegal requests degrade gracefully).
+  TestBench bench = MakeCnn(8);
+  uint64_t rng = 12345;
+  auto next = [&]() {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  for (int round = 0; round < 12; ++round) {
+    planner::Plan plan;
+    plan.planner_name = "fuzz";
+    for (const TensorDesc& t : bench.model.graph.tensors()) {
+      if (t.kind != TensorKind::kActivation &&
+          t.kind != TensorKind::kGradient) {
+        continue;
+      }
+      if (next() % 3 == 0) continue;  // leave some tensors alone
+      STensorConfig config;
+      switch (next() % 3) {
+        case 0: config.opt = MemOpt::kReside; break;
+        case 1: config.opt = MemOpt::kSwap; break;
+        default: config.opt = MemOpt::kRecompute; break;
+      }
+      if (next() % 2 == 0 && t.shape.rank() > 0) {
+        config.split.p_num = 1 << (1 + next() % 3);  // 2/4/8
+        config.split.dim = static_cast<int>(next() %
+                                            static_cast<uint64_t>(
+                                                t.shape.rank()));
+      }
+      plan.Set(t.id, config);
+    }
+    auto program = GenerateProgram(bench.model.graph, bench.schedule, plan,
+                                   bench.profile);
+    ASSERT_TRUE(program.ok())
+        << "round " << round << ": " << program.status().ToString();
+    EXPECT_TRUE(ValidateProgram(bench.model.graph, *program))
+        << "round " << round;
+  }
+}
+
+TEST(ProgramTest, SwapPlanEmitsBalancedTransfers) {
+  TestBench bench = MakeCnn();
+  auto planner = planner::MakePlanner("vDNN-all");
+  auto plan = planner->BuildPlan(bench.model.graph, bench.schedule,
+                                 bench.profile, 1);
+  ASSERT_TRUE(plan.ok());
+  auto program = GenerateProgram(bench.model.graph, bench.schedule, *plan,
+                                 bench.profile);
+  ASSERT_TRUE(program.ok());
+  int swap_outs = 0, swap_ins = 0;
+  for (const Step& step : program->steps) {
+    swap_outs += step.kind == StepKind::kSwapOut;
+    swap_ins += step.kind == StepKind::kSwapIn;
+  }
+  EXPECT_GT(swap_outs, 0);
+  // Everything swapped out for a backward consumer comes back.
+  EXPECT_LE(swap_ins, swap_outs);
+  EXPECT_GT(swap_ins, 0);
+  EXPECT_EQ(program->swap_out_bytes >= program->swap_in_bytes, true);
+}
+
+TEST(ProgramTest, RecomputeModesTradeStepsForMemory) {
+  TestBench bench = MakeCnn();
+  auto planner = planner::MakePlanner("Checkpoints");
+  auto plan = planner->BuildPlan(bench.model.graph, bench.schedule,
+                                 bench.profile, 1);
+  ASSERT_TRUE(plan.ok());
+  ProgramOptions memory_centric;
+  memory_centric.recompute_mode = RecomputeMode::kMemoryCentric;
+  ProgramOptions speed_centric;
+  speed_centric.recompute_mode = RecomputeMode::kSpeedCentric;
+  auto mc = GenerateProgram(bench.model.graph, bench.schedule, *plan,
+                            bench.profile, memory_centric);
+  auto sc = GenerateProgram(bench.model.graph, bench.schedule, *plan,
+                            bench.profile, speed_centric);
+  ASSERT_TRUE(mc.ok() && sc.ok());
+  // O(N^2) recomputation never runs fewer recompute-seconds than O(N).
+  EXPECT_GE(mc->recompute_seconds, sc->recompute_seconds);
+}
+
+TEST(ProgramTest, DebugStringMentionsMicroComputes) {
+  TestBench bench = MakeCnn(8);
+  planner::Plan plan;
+  // Split one conv activation.
+  for (const TensorDesc& t : bench.model.graph.tensors()) {
+    if (t.kind == TensorKind::kActivation && t.shape.rank() == 4 &&
+        t.shape.dim(0) >= 4) {
+      plan.Set(t.id, STensorConfig{MemOpt::kSwap, SplitConfig{4, 0}});
+      break;
+    }
+  }
+  auto program = GenerateProgram(bench.model.graph, bench.schedule, plan,
+                                 bench.profile);
+  ASSERT_TRUE(program.ok());
+  EXPECT_GT(program->num_micro_computes, 0);
+  EXPECT_NE(program->DebugString(bench.model.graph).find("compute"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace tsplit::rewrite

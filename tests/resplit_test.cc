@@ -1,0 +1,134 @@
+// In-place re-split tests (§V-C): a tensor split p=2 feeding an op whose
+// split executes p=4 on the same batch axis must be consumed via covering
+// parts — no whole-tensor merge copy — and remain functionally lossless.
+
+#include <gtest/gtest.h>
+
+#include "graph/schedule.h"
+#include "models/builder_util.h"
+#include "models/model.h"
+#include "planner/profile.h"
+#include "rewrite/program.h"
+#include "runtime/functional_executor.h"
+#include "runtime/interpreter.h"
+
+namespace tsplit::rewrite {
+namespace {
+
+// conv -> relu chain on batch 8 (divisible by both 2 and 4).
+models::Model ChainModel() {
+  models::Model model;
+  model.name = "resplit-chain";
+  model.input = model.graph.AddTensor("images", Shape{8, 4, 6, 6},
+                                      TensorKind::kInput);
+  model.labels =
+      model.graph.AddTensor("labels", Shape{8}, TensorKind::kInput);
+  models::internal::LayerBuilder b(&model);
+  TensorId x = b.Relu(b.Conv(model.input, 4, 3, 1, 1, "conv1"), "relu1");
+  x = b.Relu(b.Conv(x, 4, 3, 1, 1, "conv2"), "relu2");
+  x = b.AvgPool(x, 6, 1, 0, "gap");
+  x = b.Flatten2d(x, "flatten");
+  TensorId logits = b.Linear(x, 3, "head");
+  model.loss = b.CrossEntropy(logits, model.labels, "loss");
+  auto finished = models::internal::FinishModel(std::move(model), true);
+  TSPLIT_CHECK_OK(finished.status());
+  return std::move(*finished);
+}
+
+// Finds the tensor produced by op `name`.
+TensorId OutputOf(const Graph& graph, const std::string& name) {
+  for (const OpNode& node : graph.nodes()) {
+    if (node.name == name) return node.outputs[0];
+  }
+  TSPLIT_CHECK(false) << "no op named " << name;
+  return kInvalidTensor;
+}
+
+TEST(ResplitTest, CompatibleRefinementAvoidsMergeCopy) {
+  models::Model model = ChainModel();
+  auto schedule = BuildSchedule(model.graph);
+  auto profile = planner::ProfileGraph(model.graph, sim::TitanRtx());
+
+  planner::Plan plan;
+  // conv1's output split coarse (2), conv2's output split fine (4): conv2
+  // micro-executes 4-way and reads conv1's parts as covering views.
+  plan.Set(OutputOf(model.graph, "conv1"),
+           STensorConfig{MemOpt::kSwap, SplitConfig{2, 0}});
+  plan.Set(OutputOf(model.graph, "conv1.bias"),
+           STensorConfig{MemOpt::kSwap, SplitConfig{2, 0}});
+  plan.Set(OutputOf(model.graph, "relu1"),
+           STensorConfig{MemOpt::kSwap, SplitConfig{2, 0}});
+  plan.Set(OutputOf(model.graph, "conv2"),
+           STensorConfig{MemOpt::kSwap, SplitConfig{4, 0}});
+
+  auto program =
+      GenerateProgram(model.graph, *schedule, plan, profile);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+  // The relu1 tensor must never be merge-copied, and conv2 must run as 4
+  // micro parts consuming relu1's 2 covering parts.
+  TensorId relu1 = OutputOf(model.graph, "relu1");
+  int conv2_micros = 0;
+  for (const Step& step : program->steps) {
+    if (step.kind == StepKind::kMergeCopy) {
+      EXPECT_NE(step.buffer.tensor, relu1) << "merge copy not elided";
+    }
+    if (step.kind == StepKind::kCompute && step.micro >= 0 &&
+        model.graph.node(step.op).name == "conv2") {
+      ++conv2_micros;
+      // Its x-input group is a single covering part of relu1.
+      ASSERT_EQ(step.inputs[0].size(), 1u);
+      EXPECT_EQ(step.inputs[0][0].tensor, relu1);
+      EXPECT_EQ(step.inputs[0][0].micro, step.micro / 2);
+    }
+  }
+  EXPECT_EQ(conv2_micros, 4);
+}
+
+TEST(ResplitTest, RefinementIsLossless) {
+  models::Model model = ChainModel();
+  auto schedule = BuildSchedule(model.graph);
+  auto profile = planner::ProfileGraph(model.graph, sim::TitanRtx());
+
+  planner::Plan plan;
+  plan.Set(OutputOf(model.graph, "conv1"),
+           STensorConfig{MemOpt::kSwap, SplitConfig{2, 0}});
+  plan.Set(OutputOf(model.graph, "conv1.bias"),
+           STensorConfig{MemOpt::kRecompute, SplitConfig{2, 0}});
+  plan.Set(OutputOf(model.graph, "relu1"),
+           STensorConfig{MemOpt::kSwap, SplitConfig{2, 0}});
+  plan.Set(OutputOf(model.graph, "conv2"),
+           STensorConfig{MemOpt::kSwap, SplitConfig{4, 0}});
+  plan.Set(OutputOf(model.graph, "conv2.bias"),
+           STensorConfig{MemOpt::kSwap, SplitConfig{4, 0}});
+
+  auto program =
+      GenerateProgram(model.graph, *schedule, plan, profile);
+  ASSERT_TRUE(program.ok());
+
+  auto bindings = runtime::MakeRandomBindings(model.graph, 21);
+  runtime::Interpreter reference(&model.graph);
+  runtime::FunctionalExecutor replay(&model.graph, size_t{1} << 30);
+  for (const auto& [id, value] : bindings) {
+    ASSERT_TRUE(reference.Bind(id, value).ok());
+    ASSERT_TRUE(replay.Bind(id, value).ok());
+  }
+  ASSERT_TRUE(reference.Run().ok());
+  Status run = replay.Run(*program);
+  ASSERT_TRUE(run.ok()) << run.ToString();
+
+  float expected = (*reference.ValueOf(model.loss))->at(0);
+  EXPECT_NEAR(replay.ValueOf(model.loss)->at(0), expected, 1e-5);
+  for (auto [param, grad] : model.autodiff.param_grads) {
+    const Tensor& want = **reference.ValueOf(grad);
+    auto got = replay.ValueOf(grad);
+    ASSERT_TRUE(got.ok());
+    for (int64_t i = 0; i < want.num_elements(); ++i) {
+      ASSERT_NEAR(got->at(i), want.at(i), 1e-4)
+          << model.graph.tensor(grad).name << " coord " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tsplit::rewrite

@@ -1,0 +1,95 @@
+#include "core/shape.h"
+
+#include <gtest/gtest.h>
+
+namespace tsplit {
+namespace {
+
+TEST(ShapeTest, Basics) {
+  Shape s{64, 3, 224, 224};
+  EXPECT_EQ(s.rank(), 4);
+  EXPECT_EQ(s.dim(0), 64);
+  EXPECT_EQ(s.num_elements(), 64LL * 3 * 224 * 224);
+  EXPECT_TRUE(s.IsValid());
+  EXPECT_EQ(s.ToString(), "[64, 3, 224, 224]");
+}
+
+TEST(ShapeTest, InvalidOnZeroDim) {
+  Shape s{4, 0};
+  EXPECT_FALSE(s.IsValid());
+}
+
+TEST(ShapeTest, EvenSplit) {
+  Shape s{8, 16};
+  for (int part = 0; part < 4; ++part) {
+    auto p = s.SplitPart(0, 4, part);
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ(p->dim(0), 2);
+    EXPECT_EQ(p->dim(1), 16);
+  }
+}
+
+TEST(ShapeTest, UnevenSplitDistributesRemainderToLeadingParts) {
+  Shape s{7};
+  int64_t total = 0;
+  std::vector<int64_t> extents;
+  for (int part = 0; part < 3; ++part) {
+    auto p = s.SplitPart(0, 3, part);
+    ASSERT_TRUE(p.ok());
+    extents.push_back(p->dim(0));
+    total += p->dim(0);
+  }
+  EXPECT_EQ(total, 7);
+  EXPECT_EQ(extents, (std::vector<int64_t>{3, 2, 2}));
+}
+
+TEST(ShapeTest, SplitOffsetsTileTheAxis) {
+  Shape s{11, 4};
+  int64_t expected_offset = 0;
+  for (int part = 0; part < 4; ++part) {
+    auto offset = s.SplitOffset(0, 4, part);
+    auto extent = s.SplitPart(0, 4, part);
+    ASSERT_TRUE(offset.ok());
+    ASSERT_TRUE(extent.ok());
+    EXPECT_EQ(*offset, expected_offset);
+    expected_offset += extent->dim(0);
+  }
+  EXPECT_EQ(expected_offset, 11);
+}
+
+TEST(ShapeTest, SplitErrors) {
+  Shape s{4, 4};
+  EXPECT_FALSE(s.SplitPart(2, 2, 0).ok());   // axis out of range
+  EXPECT_FALSE(s.SplitPart(0, 8, 0).ok());   // more parts than extent
+  EXPECT_FALSE(s.SplitPart(0, 2, 2).ok());   // part index out of range
+  EXPECT_FALSE(s.SplitPart(0, 0, 0).ok());   // zero parts
+}
+
+class ShapeSplitSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ShapeSplitSweep, PartsAlwaysCoverAxisExactly) {
+  auto [extent, parts] = GetParam();
+  if (parts > extent) GTEST_SKIP();
+  Shape s{extent, 3};
+  int64_t covered = 0;
+  int64_t max_part = 0, min_part = extent + 1;
+  for (int i = 0; i < parts; ++i) {
+    auto p = s.SplitPart(0, parts, i);
+    ASSERT_TRUE(p.ok());
+    covered += p->dim(0);
+    max_part = std::max(max_part, p->dim(0));
+    min_part = std::min(min_part, p->dim(0));
+  }
+  EXPECT_EQ(covered, extent);
+  // Parts are balanced: extents differ by at most one.
+  EXPECT_LE(max_part - min_part, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ShapeSplitSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 7, 8, 16, 31, 64, 1024),
+                       ::testing::Values(1, 2, 3, 4, 8, 16)));
+
+}  // namespace
+}  // namespace tsplit

@@ -1,0 +1,255 @@
+// Split-rule equivalence properties: for every operator that advertises a
+// SplitRule, executing p micro-ops on aligned slices and merging (concat or
+// sum) must reproduce the whole-op result. This is the semantic foundation
+// the entire sTensor mechanism rests on.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ops/batchnorm.h"
+#include "ops/conv2d.h"
+#include "ops/elementwise.h"
+#include "ops/layernorm.h"
+#include "ops/matmul.h"
+#include "ops/pool.h"
+#include "ops/softmax.h"
+
+namespace tsplit {
+namespace {
+
+Tensor Sequential(Shape shape, float scale = 0.1f) {
+  Tensor t(shape);
+  for (int64_t i = 0; i < t.num_elements(); ++i) {
+    t.at(i) = scale * static_cast<float>((i * 37 % 101) - 50);
+  }
+  return t;
+}
+
+Tensor RunWhole(const Op& op, const std::vector<const Tensor*>& inputs) {
+  std::vector<Shape> shapes;
+  for (const Tensor* t : inputs) shapes.push_back(t->shape());
+  auto out_shapes = op.InferShapes(shapes);
+  TSPLIT_CHECK_OK(out_shapes.status());
+  Tensor out(out_shapes->at(0));
+  std::vector<Tensor*> outputs = {&out};
+  TSPLIT_CHECK_OK(op.Compute(inputs, outputs));
+  return out;
+}
+
+// Executes `op` micro-wise along `rule` with `p_num` parts and merges.
+Tensor RunMicro(const Op& op, const std::vector<const Tensor*>& inputs,
+                const SplitRule& rule, int p_num) {
+  std::vector<Shape> shapes;
+  for (const Tensor* t : inputs) shapes.push_back(t->shape());
+  auto out_shapes = op.InferShapes(shapes);
+  TSPLIT_CHECK_OK(out_shapes.status());
+  Tensor merged(out_shapes->at(0));
+
+  for (int part = 0; part < p_num; ++part) {
+    std::vector<Tensor> slices;
+    slices.reserve(inputs.size());
+    std::vector<const Tensor*> micro_inputs;
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      int axis = rule.input_axes[i];
+      if (axis == kReplicateInput) {
+        micro_inputs.push_back(inputs[i]);
+        continue;
+      }
+      auto offset = inputs[i]->shape().SplitOffset(axis, p_num, part);
+      auto part_shape = inputs[i]->shape().SplitPart(axis, p_num, part);
+      TSPLIT_CHECK_OK(offset.status());
+      TSPLIT_CHECK_OK(part_shape.status());
+      auto slice =
+          inputs[i]->Slice(axis, *offset, part_shape->dim(axis));
+      TSPLIT_CHECK_OK(slice.status());
+      slices.push_back(std::move(*slice));
+      micro_inputs.push_back(&slices.back());
+    }
+
+    if (rule.merge == MergeKind::kConcat) {
+      auto micro_out_shape =
+          merged.shape().SplitPart(rule.output_axis, p_num, part);
+      TSPLIT_CHECK_OK(micro_out_shape.status());
+      Tensor micro_out(*micro_out_shape);
+      std::vector<Tensor*> outputs = {&micro_out};
+      TSPLIT_CHECK_OK(op.Compute(micro_inputs, outputs));
+      auto offset =
+          merged.shape().SplitOffset(rule.output_axis, p_num, part);
+      TSPLIT_CHECK_OK(offset.status());
+      TSPLIT_CHECK_OK(
+          merged.PasteSlice(rule.output_axis, *offset, micro_out));
+    } else {
+      Tensor partial(merged.shape());
+      std::vector<Tensor*> outputs = {&partial};
+      TSPLIT_CHECK_OK(op.Compute(micro_inputs, outputs));
+      TSPLIT_CHECK_OK(merged.AccumulateFrom(partial));
+    }
+  }
+  return merged;
+}
+
+void ExpectNear(const Tensor& a, const Tensor& b, double tolerance) {
+  ASSERT_EQ(a.shape(), b.shape());
+  for (int64_t i = 0; i < a.num_elements(); ++i) {
+    ASSERT_NEAR(a.at(i), b.at(i), tolerance) << "coord " << i;
+  }
+}
+
+// Checks every advertised rule of `op` at several partition counts.
+void CheckAllRules(const Op& op, const std::vector<const Tensor*>& inputs,
+                   double tolerance = 1e-4) {
+  std::vector<Shape> shapes;
+  for (const Tensor* t : inputs) shapes.push_back(t->shape());
+  auto out_shapes = op.InferShapes(shapes);
+  ASSERT_TRUE(out_shapes.ok());
+  Tensor whole = RunWhole(op, inputs);
+
+  auto rules = op.split_rules(shapes, *out_shapes);
+  ASSERT_FALSE(rules.empty()) << op.type_name() << " advertises no rules";
+  for (const SplitRule& rule : rules) {
+    for (int p_num : {2, 4}) {
+      // Skip partition counts the involved extents cannot support.
+      bool feasible = true;
+      if (rule.merge == MergeKind::kConcat) {
+        feasible = out_shapes->at(0).dim(rule.output_axis) >= p_num;
+      }
+      for (size_t i = 0; i < shapes.size() && feasible; ++i) {
+        if (rule.input_axes[i] == kReplicateInput) continue;
+        feasible = shapes[i].dim(rule.input_axes[i]) >= p_num;
+      }
+      if (!feasible) continue;
+      Tensor micro = RunMicro(op, inputs, rule, p_num);
+      ExpectNear(whole, micro, tolerance);
+    }
+  }
+}
+
+TEST(SplitRulesTest, Conv2dForward) {
+  ops::Conv2dOp conv({1, 1});
+  Tensor x = Sequential(Shape{4, 6, 5, 5});
+  Tensor w = Sequential(Shape{8, 6, 3, 3}, 0.05f);
+  CheckAllRules(conv, {&x, &w});
+}
+
+TEST(SplitRulesTest, Conv2dGradInput) {
+  ops::Conv2dGradInputOp grad({1, 1}, Shape{4, 6, 5, 5});
+  Tensor w = Sequential(Shape{8, 6, 3, 3}, 0.05f);
+  Tensor dy = Sequential(Shape{4, 8, 5, 5});
+  CheckAllRules(grad, {&w, &dy});
+}
+
+TEST(SplitRulesTest, Conv2dGradFilterIncludingSumReduction) {
+  ops::Conv2dGradFilterOp grad({1, 1}, Shape{8, 6, 3, 3});
+  Tensor x = Sequential(Shape{4, 6, 5, 5});
+  Tensor dy = Sequential(Shape{4, 8, 5, 5});
+  CheckAllRules(grad, {&x, &dy}, 1e-3);
+}
+
+TEST(SplitRulesTest, MatMulIncludingContractionSum) {
+  ops::MatMulOp matmul;
+  Tensor a = Sequential(Shape{8, 6});
+  Tensor b = Sequential(Shape{6, 4});
+  CheckAllRules(matmul, {&a, &b}, 1e-3);
+}
+
+TEST(SplitRulesTest, MatMulTransposedVariants) {
+  Tensor a = Sequential(Shape{6, 8});
+  Tensor b = Sequential(Shape{6, 4});
+  ops::MatMulOp ta(true, false);
+  CheckAllRules(ta, {&a, &b}, 1e-3);
+  Tensor c = Sequential(Shape{8, 6});
+  Tensor d = Sequential(Shape{4, 6});
+  ops::MatMulOp tb(false, true);
+  CheckAllRules(tb, {&c, &d}, 1e-3);
+}
+
+TEST(SplitRulesTest, BatchedMatMul) {
+  ops::MatMulOp matmul;
+  Tensor a = Sequential(Shape{4, 3, 5});
+  Tensor b = Sequential(Shape{4, 5, 2});
+  CheckAllRules(matmul, {&a, &b}, 1e-3);
+}
+
+TEST(SplitRulesTest, PoolForwardAndBackward) {
+  ops::Pool2dOp pool({2, 2, 0, ops::PoolMode::kMax});
+  Tensor x = Sequential(Shape{4, 4, 6, 6});
+  CheckAllRules(pool, {&x});
+  ops::Pool2dGradOp grad({2, 2, 0, ops::PoolMode::kMax});
+  Tensor dy = Sequential(Shape{4, 4, 3, 3});
+  CheckAllRules(grad, {&x, &dy});
+}
+
+TEST(SplitRulesTest, BatchNormChannelSplit) {
+  ops::BatchNorm2dOp bn;
+  Tensor x = Sequential(Shape{3, 4, 4, 4});
+  Tensor gamma = Sequential(Shape{4}, 0.2f);
+  Tensor beta = Sequential(Shape{4}, 0.1f);
+  CheckAllRules(bn, {&x, &gamma, &beta}, 1e-3);
+}
+
+TEST(SplitRulesTest, LayerNormLeadingAxes) {
+  ops::LayerNormOp ln;
+  Tensor x = Sequential(Shape{6, 8});
+  Tensor gamma = Sequential(Shape{8}, 0.2f);
+  Tensor beta = Sequential(Shape{8}, 0.1f);
+  CheckAllRules(ln, {&x, &gamma, &beta}, 1e-3);
+}
+
+TEST(SplitRulesTest, SoftmaxAndGrad) {
+  ops::SoftmaxOp softmax;
+  Tensor x = Sequential(Shape{6, 5});
+  CheckAllRules(softmax, {&x});
+  Tensor y = RunWhole(softmax, {&x});
+  Tensor dy = Sequential(Shape{6, 5});
+  ops::SoftmaxGradOp grad;
+  CheckAllRules(grad, {&y, &dy});
+}
+
+TEST(SplitRulesTest, CrossEntropyGradRowSplit) {
+  ops::CrossEntropyGradOp grad(/*total_rows=*/6);
+  Tensor logits = Sequential(Shape{6, 4});
+  Tensor labels(Shape{6});
+  for (int i = 0; i < 6; ++i) labels.at(i) = static_cast<float>(i % 4);
+  Tensor dloss(Shape{1}, 1.0f);
+  CheckAllRules(grad, {&logits, &labels, &dloss});
+}
+
+TEST(SplitRulesTest, ElementwiseAllAxes) {
+  Tensor a = Sequential(Shape{4, 6});
+  Tensor b = Sequential(Shape{4, 6}, 0.3f);
+  CheckAllRules(ops::AddOp(), {&a, &b});
+  CheckAllRules(ops::ReluOp(), {&a});
+  Tensor dy = Sequential(Shape{4, 6});
+  CheckAllRules(ops::ReluGradOp(), {&a, &dy});
+  Tensor bias = Sequential(Shape{6}, 0.2f);
+  CheckAllRules(ops::BiasAddOp(1), {&a, &bias});
+}
+
+// Property sweep: conv sample-split equivalence across shapes and parts
+// (uneven divisions included).
+class ConvSplitSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ConvSplitSweep, SampleSplitMatchesWhole) {
+  auto [batch, p_num] = GetParam();
+  if (p_num > batch) GTEST_SKIP();
+  ops::Conv2dOp conv({1, 1});
+  Tensor x = Sequential(Shape{batch, 3, 5, 5});
+  Tensor w = Sequential(Shape{4, 3, 3, 3}, 0.05f);
+  std::vector<Shape> in = {x.shape(), w.shape()};
+  auto out = conv.InferShapes(in);
+  ASSERT_TRUE(out.ok());
+  auto rule = conv.SplitRuleFor(0, in, *out);
+  ASSERT_TRUE(rule.ok());
+  Tensor whole = RunWhole(conv, {&x, &w});
+  Tensor micro = RunMicro(conv, {&x, &w}, *rule, p_num);
+  ExpectNear(whole, micro, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ConvSplitSweep,
+                         ::testing::Combine(::testing::Values(2, 3, 5, 8),
+                                            ::testing::Values(2, 3, 4)));
+
+}  // namespace
+}  // namespace tsplit

@@ -1,0 +1,153 @@
+// Structural-layer tests: view aliasing, view-aware liveness, sTensor
+// config plumbing, plan introspection, and schedule edge cases.
+
+#include <gtest/gtest.h>
+
+#include "graph/liveness.h"
+#include "graph/schedule.h"
+#include "graph/views.h"
+#include "models/model.h"
+#include "ops/data_movement.h"
+#include "ops/elementwise.h"
+#include "planner/plan.h"
+
+namespace tsplit {
+namespace {
+
+TEST(ViewsTest, ChainsCollapseToRoot) {
+  Graph g;
+  TensorId x = g.AddTensor("x", Shape{2, 3, 4}, TensorKind::kInput);
+  auto r1 = g.AddOp(std::make_unique<ops::ReshapeOp>(Shape{6, 4}), "r1",
+                    {x});
+  auto r2 = g.AddOp(std::make_unique<ops::ReshapeOp>(Shape{24}), "r2",
+                    {r1->at(0)});
+  auto relu = g.AddOp(std::make_unique<ops::ReluOp>(), "relu", {r2->at(0)});
+  ASSERT_TRUE(relu.ok());
+  auto roots = ComputeViewRoots(g);
+  EXPECT_EQ(roots[static_cast<size_t>(r1->at(0))], x);
+  EXPECT_EQ(roots[static_cast<size_t>(r2->at(0))], x);
+  // Relu output is real storage.
+  EXPECT_EQ(roots[static_cast<size_t>(relu->at(0))], relu->at(0));
+}
+
+TEST(ViewsTest, LivenessCountsViewsAsZeroBytes) {
+  Graph g;
+  TensorId x = g.AddTensor("x", Shape{64, 64}, TensorKind::kInput);
+  auto relu = g.AddOp(std::make_unique<ops::ReluOp>(), "relu", {x});
+  auto view = g.AddOp(std::make_unique<ops::ReshapeOp>(Shape{4096}), "view",
+                      {relu->at(0)});
+  auto relu2 = g.AddOp(std::make_unique<ops::ReluOp>(), "relu2",
+                       {view->at(0)});
+  ASSERT_TRUE(relu2.ok());
+  auto schedule = BuildSchedule(g);
+  ASSERT_TRUE(schedule.ok());
+  MemoryProfile profile = ComputeMemoryProfile(g, *schedule);
+  size_t tensor_bytes = 64 * 64 * 4;
+  // Peak: input (always live) + relu out + relu2 out. The view adds zero.
+  EXPECT_EQ(profile.peak_bytes, 3 * tensor_bytes);
+}
+
+TEST(ViewsTest, ViewUseExtendsRootLifetime) {
+  Graph g;
+  TensorId x = g.AddTensor("x", Shape{8, 8}, TensorKind::kInput);
+  auto a = g.AddOp(std::make_unique<ops::ReluOp>(), "a", {x});
+  auto view = g.AddOp(std::make_unique<ops::ReshapeOp>(Shape{64}), "view",
+                      {a->at(0)});
+  auto b = g.AddOp(std::make_unique<ops::ReluOp>(), "b", {x});
+  auto c = g.AddOp(std::make_unique<ops::ReluOp>(), "c", {view->at(0)});
+  ASSERT_TRUE(b.ok() && c.ok());
+  auto schedule = BuildSchedule(g);
+  auto live = ComputeLiveness(g, *schedule);
+  const TensorLiveness& root = live[static_cast<size_t>(a->at(0))];
+  int c_pos = schedule->pos_of_op[static_cast<size_t>(3)];
+  // a's storage must survive until c consumes it through the view.
+  EXPECT_GE(root.last_use_pos, c_pos);
+  EXPECT_TRUE(live[static_cast<size_t>(view->at(0))].is_view_alias);
+}
+
+TEST(STensorTest, ConfigFormatting) {
+  STensorConfig config;
+  EXPECT_EQ(config.ToString(), "reside");
+  config.opt = MemOpt::kSwap;
+  config.split = SplitConfig{4, 1};
+  EXPECT_EQ(config.ToString(), "swap(p_num=4,dim=1)");
+  EXPECT_TRUE(config.split.active());
+  EXPECT_FALSE(SplitConfig{}.active());
+  STensorConfig same = config;
+  EXPECT_TRUE(config == same);
+}
+
+TEST(PlanTest, CountsAndByteAccounting) {
+  Graph g;
+  TensorId a = g.AddTensor("a", Shape{100}, TensorKind::kActivation);
+  TensorId b = g.AddTensor("b", Shape{200}, TensorKind::kActivation);
+  TensorId c = g.AddTensor("c", Shape{300}, TensorKind::kActivation);
+  planner::Plan plan;
+  plan.Set(a, STensorConfig{MemOpt::kSwap, {}});
+  plan.Set(b, STensorConfig{MemOpt::kRecompute, SplitConfig{2, 0}});
+  plan.Set(c, STensorConfig{MemOpt::kSwap, {}});
+  EXPECT_EQ(plan.CountOpt(MemOpt::kSwap), 2);
+  EXPECT_EQ(plan.CountOpt(MemOpt::kRecompute), 1);
+  EXPECT_EQ(plan.CountSplit(), 1);
+  EXPECT_EQ(plan.BytesWithOpt(g, MemOpt::kSwap), 400u * 4);
+  EXPECT_EQ(plan.BytesWithOpt(g, MemOpt::kRecompute), 200u * 4);
+  // Default for unknown tensors is reside/unsplit.
+  EXPECT_EQ(plan.ConfigFor(999).opt, MemOpt::kReside);
+  std::string text = plan.ToString(g);
+  EXPECT_NE(text.find("recompute(p_num=2,dim=0)"), std::string::npos);
+}
+
+TEST(ScheduleTest2, CycleDetected) {
+  // Manufacture a cycle by hand-editing consumer/producer links is not
+  // possible through the public API; instead check the unsatisfiable-op
+  // path via an op whose input is produced later... The API prevents both,
+  // so assert the invariant the scheduler relies on: ids are topological.
+  models::MlpConfig config;
+  auto model = models::BuildMlp(config);
+  ASSERT_TRUE(model.ok());
+  auto schedule = BuildSchedule(model->graph);
+  ASSERT_TRUE(schedule.ok());
+  // Every op is scheduled after all producers of its inputs.
+  for (const OpNode& node : model->graph.nodes()) {
+    int pos = schedule->pos_of_op[static_cast<size_t>(node.id)];
+    for (TensorId input : node.inputs) {
+      OpId producer = model->graph.tensor(input).producer;
+      if (producer == kInvalidOp) continue;
+      EXPECT_LT(schedule->pos_of_op[static_cast<size_t>(producer)], pos);
+    }
+  }
+}
+
+TEST(GraphTest2, DebugStringListsOps) {
+  models::MlpConfig config;
+  config.hidden_sizes = {8};
+  auto model = models::BuildMlp(config);
+  ASSERT_TRUE(model.ok());
+  std::string text = model->graph.DebugString();
+  EXPECT_NE(text.find("MatMul"), std::string::npos);
+  EXPECT_NE(text.find("CrossEntropyLoss"), std::string::npos);
+}
+
+TEST(GraphTest2, BytesOfKindSeparatesRoles) {
+  models::MlpConfig config;
+  auto model = models::BuildMlp(config);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(model->graph.BytesOfKind(TensorKind::kParameter), 0u);
+  EXPECT_GT(model->graph.BytesOfKind(TensorKind::kActivation), 0u);
+  EXPECT_GT(model->graph.BytesOfKind(TensorKind::kParamGrad), 0u);
+  EXPECT_EQ(model->graph.BytesOfKind(TensorKind::kOptimizerState), 0u);
+}
+
+TEST(AutodiffTest2, GradSeedIsFillOfOne) {
+  models::MlpConfig config;
+  auto model = models::BuildMlp(config);
+  ASSERT_TRUE(model.ok());
+  // The loss gradient exists and is a produced tensor of shape [1].
+  auto it = model->autodiff.grad_of.find(model->loss);
+  ASSERT_NE(it, model->autodiff.grad_of.end());
+  EXPECT_EQ(model->graph.tensor(it->second).shape, (Shape{1}));
+  EXPECT_NE(model->graph.tensor(it->second).producer, kInvalidOp);
+}
+
+}  // namespace
+}  // namespace tsplit

@@ -1,0 +1,98 @@
+#include "core/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace tsplit {
+namespace {
+
+Tensor Iota(Shape shape) {
+  Tensor t(shape);
+  for (int64_t i = 0; i < t.num_elements(); ++i) {
+    t.at(i) = static_cast<float>(i);
+  }
+  return t;
+}
+
+TEST(TensorTest, ConstructAndFill) {
+  Tensor t(Shape{2, 3}, 1.5f);
+  EXPECT_EQ(t.num_elements(), 6);
+  for (int64_t i = 0; i < 6; ++i) EXPECT_EQ(t.at(i), 1.5f);
+  t.Fill(0.0f);
+  EXPECT_EQ(t.at(5), 0.0f);
+}
+
+TEST(TensorTest, Indexing4d) {
+  Tensor t = Iota(Shape{2, 3, 4, 5});
+  EXPECT_EQ(t.at4(0, 0, 0, 0), 0.0f);
+  EXPECT_EQ(t.at4(1, 2, 3, 4), static_cast<float>(2 * 3 * 4 * 5 - 1));
+  EXPECT_EQ(t.at4(1, 0, 0, 0), static_cast<float>(3 * 4 * 5));
+}
+
+TEST(TensorTest, SliceAxis0) {
+  Tensor t = Iota(Shape{4, 3});
+  auto part = t.Slice(0, 1, 2);
+  ASSERT_TRUE(part.ok());
+  EXPECT_EQ(part->shape(), (Shape{2, 3}));
+  EXPECT_EQ(part->at(0), 3.0f);
+  EXPECT_EQ(part->at(5), 8.0f);
+}
+
+TEST(TensorTest, SliceInnerAxis) {
+  Tensor t = Iota(Shape{2, 4});
+  auto part = t.Slice(1, 2, 2);
+  ASSERT_TRUE(part.ok());
+  EXPECT_EQ(part->shape(), (Shape{2, 2}));
+  EXPECT_EQ(part->at2(0, 0), 2.0f);
+  EXPECT_EQ(part->at2(1, 1), 7.0f);
+}
+
+TEST(TensorTest, SliceBoundsChecked) {
+  Tensor t = Iota(Shape{4, 3});
+  EXPECT_FALSE(t.Slice(2, 0, 1).ok());
+  EXPECT_FALSE(t.Slice(0, 3, 2).ok());
+  EXPECT_FALSE(t.Slice(0, 0, 0).ok());
+}
+
+TEST(TensorTest, PasteSliceRoundTrip) {
+  Tensor t = Iota(Shape{4, 3});
+  Tensor rebuilt(Shape{4, 3});
+  for (int part = 0; part < 2; ++part) {
+    auto slice = t.Slice(0, part * 2, 2);
+    ASSERT_TRUE(slice.ok());
+    ASSERT_TRUE(rebuilt.PasteSlice(0, part * 2, *slice).ok());
+  }
+  EXPECT_EQ(rebuilt.vec(), t.vec());
+}
+
+TEST(TensorTest, PasteSliceInnerAxisRoundTrip) {
+  Tensor t = Iota(Shape{3, 6, 2});
+  Tensor rebuilt(Shape{3, 6, 2});
+  int64_t offset = 0;
+  for (int64_t extent : {1, 2, 3}) {
+    auto slice = t.Slice(1, offset, extent);
+    ASSERT_TRUE(slice.ok());
+    ASSERT_TRUE(rebuilt.PasteSlice(1, offset, *slice).ok());
+    offset += extent;
+  }
+  EXPECT_EQ(rebuilt.vec(), t.vec());
+}
+
+TEST(TensorTest, PasteSliceShapeChecked) {
+  Tensor t(Shape{4, 3});
+  Tensor wrong(Shape{2, 2});
+  EXPECT_FALSE(t.PasteSlice(0, 0, wrong).ok());
+  Tensor too_big(Shape{3, 3});
+  EXPECT_FALSE(t.PasteSlice(0, 2, too_big).ok());
+}
+
+TEST(TensorTest, AccumulateFrom) {
+  Tensor a(Shape{2, 2}, 1.0f);
+  Tensor b(Shape{2, 2}, 2.5f);
+  ASSERT_TRUE(a.AccumulateFrom(b).ok());
+  EXPECT_EQ(a.at(3), 3.5f);
+  Tensor mismatched(Shape{4});
+  EXPECT_FALSE(a.AccumulateFrom(mismatched).ok());
+}
+
+}  // namespace
+}  // namespace tsplit

@@ -1,0 +1,131 @@
+#include "sim/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/device.h"
+#include "sim/kernel_model.h"
+
+namespace tsplit::sim {
+namespace {
+
+TEST(TimelineTest, FifoWithinStream) {
+  Timeline tl;
+  StreamId s = tl.AddStream("compute");
+  auto a = tl.Schedule(s, 1.0, 0.0, "a");
+  EXPECT_DOUBLE_EQ(a.start, 0.0);
+  EXPECT_DOUBLE_EQ(a.finish, 1.0);
+  // Second task queues behind the first even though ready at 0.
+  auto b = tl.Schedule(s, 0.5, 0.0, "b");
+  EXPECT_DOUBLE_EQ(b.start, 1.0);
+  EXPECT_DOUBLE_EQ(b.finish, 1.5);
+}
+
+TEST(TimelineTest, ReadyTimeDelaysStart) {
+  Timeline tl;
+  StreamId s = tl.AddStream("compute");
+  auto a = tl.Schedule(s, 1.0, 2.0, "a");
+  EXPECT_DOUBLE_EQ(a.start, 2.0);
+  EXPECT_DOUBLE_EQ(a.finish, 3.0);
+}
+
+TEST(TimelineTest, CrossStreamDependency) {
+  Timeline tl;
+  StreamId compute = tl.AddStream("compute");
+  StreamId d2h = tl.AddStream("d2h");
+  auto produce = tl.Schedule(compute, 2.0, 0.0, "produce");
+  // Transfer waits on the producing kernel (event semantics).
+  auto transfer = tl.Schedule(d2h, 1.0, produce.finish, "swap_out");
+  EXPECT_DOUBLE_EQ(transfer.start, 2.0);
+  EXPECT_DOUBLE_EQ(tl.MakespanEnd(), 3.0);
+}
+
+TEST(TimelineTest, OccupancyWithin) {
+  Timeline tl;
+  StreamId s = tl.AddStream("pcie");
+  tl.Schedule(s, 1.0, 0.0);   // busy [0, 1)
+  tl.Schedule(s, 1.0, 3.0);   // busy [3, 4)
+  EXPECT_DOUBLE_EQ(tl.BusyWithin(s, 0.0, 4.0), 2.0);
+  EXPECT_DOUBLE_EQ(tl.OccupancyWithin(s, 0.0, 4.0), 0.5);
+  EXPECT_DOUBLE_EQ(tl.OccupancyWithin(s, 1.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(tl.OccupancyWithin(s, 0.5, 3.5), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(tl.OccupancyWithin(s, 2.0, 2.0), 0.0);  // empty window
+}
+
+TEST(TimelineTest, TotalBusyAndReset) {
+  Timeline tl;
+  StreamId s = tl.AddStream("compute");
+  tl.Schedule(s, 1.5, 0.0);
+  tl.Schedule(s, 0.5, 0.0);
+  EXPECT_DOUBLE_EQ(tl.TotalBusy(s), 2.0);
+  tl.Reset();
+  EXPECT_DOUBLE_EQ(tl.TotalBusy(s), 0.0);
+  EXPECT_DOUBLE_EQ(tl.MakespanEnd(), 0.0);
+  EXPECT_TRUE(tl.tasks().empty());
+}
+
+TEST(KernelModelTest, LargeKernelsApproachPeakEfficiency) {
+  DeviceProfile rtx = TitanRtx();
+  // A 100-GFLOP kernel should run near compute_efficiency of peak.
+  double t = KernelTime(rtx, 1e11, 1e9);
+  double ideal = 1e11 / (rtx.flops_per_sec() * rtx.compute_efficiency);
+  EXPECT_GT(t, ideal);
+  EXPECT_LT(t, ideal * 1.2);
+}
+
+TEST(KernelModelTest, SmallKernelsHitTheFixedCostFloor) {
+  DeviceProfile rtx = TitanRtx();
+  double t = KernelTime(rtx, 1e3, 1e3);
+  // Tiny kernels pay launch latency plus the under-utilization floor
+  // (~saturation_flops worth of wasted cycles), independent of their size.
+  double floor = rtx.kernel_launch_us * 1e-6;
+  double ceiling = floor + 1.2 * rtx.saturation_flops /
+                               (rtx.flops_per_sec() * rtx.compute_efficiency);
+  EXPECT_GE(t, floor);
+  EXPECT_LT(t, ceiling);
+  // Halving an already-tiny kernel barely changes its cost.
+  EXPECT_NEAR(KernelTime(rtx, 5e2, 5e2), t, 0.1 * t);
+}
+
+TEST(KernelModelTest, SplittingAKernelNeverReducesTotalTime) {
+  DeviceProfile rtx = TitanRtx();
+  for (double flops : {1e7, 1e9, 1e11}) {
+    double whole = KernelTime(rtx, flops, flops);
+    for (int parts : {2, 4, 8}) {
+      double split_total = parts * KernelTime(rtx, flops / parts,
+                                              flops / parts);
+      EXPECT_GE(split_total, whole)
+          << "flops=" << flops << " parts=" << parts;
+    }
+  }
+}
+
+TEST(KernelModelTest, SplitPenaltyIsRelativelyWorseForSmallKernels) {
+  DeviceProfile rtx = TitanRtx();
+  auto relative_penalty = [&](double flops) {
+    double whole = KernelTime(rtx, flops, flops);
+    double split = 8 * KernelTime(rtx, flops / 8, flops / 8);
+    return split / whole;
+  };
+  // Fig 5's shape: large convs split nearly for free, small ops degrade.
+  EXPECT_GT(relative_penalty(1e6), relative_penalty(1e11));
+}
+
+TEST(KernelModelTest, TransferUsesFullPcieBandwidth) {
+  DeviceProfile rtx = TitanRtx();
+  size_t bytes = 1200000000;  // 1.2 GB
+  EXPECT_DOUBLE_EQ(TransferTime(rtx, bytes),
+                   static_cast<double>(bytes) / (12.0 * 1e9));
+}
+
+TEST(DeviceTest, PaperDeviceProfiles) {
+  EXPECT_EQ(TitanRtx().memory_bytes, size_t{24} << 30);
+  EXPECT_EQ(Gtx1080Ti().memory_bytes, size_t{11} << 30);
+  // 1080Ti FP32 is ~70% of the RTX (paper §VI-C).
+  EXPECT_NEAR(Gtx1080Ti().fp32_tflops / TitanRtx().fp32_tflops, 0.70, 0.02);
+  DeviceProfile small = WithMemory(TitanRtx(), 1 << 30);
+  EXPECT_EQ(small.memory_bytes, size_t{1} << 30);
+  EXPECT_EQ(small.fp32_tflops, TitanRtx().fp32_tflops);
+}
+
+}  // namespace
+}  // namespace tsplit::sim

@@ -1,0 +1,77 @@
+// Chrome-trace exporter tests.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "graph/schedule.h"
+#include "models/model.h"
+#include "planner/planner.h"
+#include "rewrite/program.h"
+#include "runtime/sim_executor.h"
+#include "runtime/trace.h"
+
+namespace tsplit::runtime {
+namespace {
+
+TEST(TraceTest, TimelineSerializesToChromeEvents) {
+  sim::Timeline timeline;
+  auto compute = timeline.AddStream("compute");
+  auto d2h = timeline.AddStream("d2h");
+  timeline.Schedule(compute, 1e-3, 0.0, "conv1");
+  timeline.Schedule(d2h, 5e-4, 1e-3, "swap_out \"x\"");
+
+  std::string json = ToChromeTrace(timeline);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("conv1"), std::string::npos);
+  EXPECT_NE(json.find("compute"), std::string::npos);
+  // Quotes inside labels are escaped.
+  EXPECT_NE(json.find("swap_out \\\"x\\\""), std::string::npos);
+  // Durations are in microseconds.
+  EXPECT_NE(json.find("\"dur\":1000"), std::string::npos);
+}
+
+TEST(TraceTest, ExecutorTimelineRoundTripsToFile) {
+  models::CnnConfig config;
+  config.batch = 4;
+  config.image_size = 16;
+  config.num_classes = 3;
+  config.channel_scale = 4.0 / 64.0;
+  auto model = models::BuildVgg(16, config);
+  ASSERT_TRUE(model.ok());
+  auto schedule = BuildSchedule(model->graph);
+  auto profile = planner::ProfileGraph(model->graph, sim::TitanRtx());
+  auto plan = planner::MakePlanner("vDNN-all")
+                  ->BuildPlan(model->graph, *schedule, profile, 1);
+  ASSERT_TRUE(plan.ok());
+  auto program = rewrite::GenerateProgram(model->graph, *schedule, *plan,
+                                          profile);
+  ASSERT_TRUE(program.ok());
+
+  sim::Timeline timeline;
+  SimExecutor executor(sim::TitanRtx());
+  auto stats = executor.Execute(model->graph, *program, &timeline);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(timeline.tasks().size(), 0u);
+
+  // Compute tasks carry op names; transfers carry tensor names.
+  bool found_compute = false, found_swap = false;
+  for (const auto& task : timeline.tasks()) {
+    found_compute |= task.label.find("conv1_1") != std::string::npos;
+    found_swap |= task.label.find("swap_out") != std::string::npos;
+  }
+  EXPECT_TRUE(found_compute);
+  EXPECT_TRUE(found_swap);
+
+  std::string path = ::testing::TempDir() + "/tsplit_trace.json";
+  ASSERT_TRUE(WriteChromeTrace(timeline, path));
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, ToChromeTrace(timeline));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tsplit::runtime

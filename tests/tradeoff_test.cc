@@ -1,0 +1,125 @@
+// Trade-off property sweeps: the LRU recompute budget interpolates between
+// the memory-centric and speed-centric engines, and kernel-model behaviour
+// is consistent across device profiles.
+
+#include <gtest/gtest.h>
+
+#include "graph/schedule.h"
+#include "models/model.h"
+#include "planner/planner.h"
+#include "rewrite/program.h"
+#include "runtime/sim_executor.h"
+#include "sim/kernel_model.h"
+
+namespace tsplit {
+namespace {
+
+struct TestBench {
+  models::Model model;
+  Schedule schedule;
+  planner::GraphProfile profile;
+  planner::Plan plan;
+};
+
+TestBench MakeCheckpointed() {
+  models::CnnConfig config;
+  config.batch = 12;
+  config.image_size = 16;
+  config.num_classes = 4;
+  config.channel_scale = 8.0 / 64.0;
+  auto model = models::BuildVgg(16, config);
+  TSPLIT_CHECK_OK(model.status());
+  auto schedule = BuildSchedule(model->graph);
+  auto profile = planner::ProfileGraph(model->graph, sim::TitanRtx());
+  auto plan = planner::MakePlanner("Checkpoints")
+                  ->BuildPlan(model->graph, *schedule, *&profile, 1);
+  TSPLIT_CHECK_OK(plan.status());
+  return TestBench{std::move(*model), std::move(*schedule),
+                   std::move(profile), std::move(*plan)};
+}
+
+TEST(LruSweepTest, LargerBudgetNeverRecomputesMore) {
+  TestBench bench = MakeCheckpointed();
+  double previous = 1e18;
+  for (size_t budget : {size_t{0}, size_t{64} << 10, size_t{1} << 20,
+                        size_t{64} << 20}) {
+    rewrite::ProgramOptions options;
+    options.recompute_mode = rewrite::RecomputeMode::kLru;
+    options.lru_budget_bytes = budget;
+    auto program = rewrite::GenerateProgram(bench.model.graph,
+                                            bench.schedule, bench.plan,
+                                            bench.profile, options);
+    ASSERT_TRUE(program.ok());
+    EXPECT_LE(program->recompute_seconds, previous + 1e-12)
+        << "budget " << budget;
+    previous = program->recompute_seconds;
+  }
+}
+
+TEST(LruSweepTest, EndpointsMatchTheDedicatedEngines) {
+  TestBench bench = MakeCheckpointed();
+  auto seconds_for = [&](rewrite::RecomputeMode mode, size_t budget) {
+    rewrite::ProgramOptions options;
+    options.recompute_mode = mode;
+    options.lru_budget_bytes = budget;
+    auto program = rewrite::GenerateProgram(bench.model.graph,
+                                            bench.schedule, bench.plan,
+                                            bench.profile, options);
+    TSPLIT_CHECK_OK(program.status());
+    return program->recompute_seconds;
+  };
+  double memory_centric =
+      seconds_for(rewrite::RecomputeMode::kMemoryCentric, 0);
+  double speed_centric =
+      seconds_for(rewrite::RecomputeMode::kSpeedCentric, 0);
+  double lru_zero = seconds_for(rewrite::RecomputeMode::kLru, 0);
+  double lru_huge =
+      seconds_for(rewrite::RecomputeMode::kLru, size_t{1} << 40);
+  // Zero budget degenerates to memory-centric; infinite to speed-centric.
+  EXPECT_DOUBLE_EQ(lru_zero, memory_centric);
+  EXPECT_DOUBLE_EQ(lru_huge, speed_centric);
+  EXPECT_GE(memory_centric, speed_centric);
+}
+
+class DeviceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeviceSweep, KernelModelConsistency) {
+  sim::DeviceProfile device;
+  switch (GetParam()) {
+    case 0: device = sim::TitanRtx(); break;
+    case 1: device = sim::Gtx1080Ti(); break;
+    case 2: device = sim::TeslaP100(); break;
+    default: device = sim::TeslaV100(); break;
+  }
+  // Monotone in flops.
+  double prev = 0;
+  for (double flops : {1e6, 1e8, 1e10, 1e12}) {
+    double t = sim::KernelTime(device, flops, flops);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+  // Transfers scale linearly with bytes.
+  EXPECT_DOUBLE_EQ(sim::TransferTime(device, 2 << 20),
+                   2 * sim::TransferTime(device, 1 << 20));
+  // Device copies beat PCIe transfers for the same bytes.
+  EXPECT_LT(sim::DeviceCopyTime(device, 1 << 24) -
+                device.kernel_launch_us * 1e-6,
+            sim::TransferTime(device, 1 << 24));
+  // A memory-bound kernel is bounded below by DRAM bandwidth.
+  double bytes = 1e9;
+  EXPECT_GE(sim::KernelTime(device, 1.0, bytes),
+            bytes / device.dram_bytes_per_sec());
+}
+
+INSTANTIATE_TEST_SUITE_P(Devices, DeviceSweep, ::testing::Range(0, 4));
+
+TEST(DeviceSweepTest, FasterDeviceFasterKernels) {
+  double rtx = sim::KernelTime(sim::TitanRtx(), 1e11, 1e8);
+  double ti = sim::KernelTime(sim::Gtx1080Ti(), 1e11, 1e8);
+  double p100 = sim::KernelTime(sim::TeslaP100(), 1e11, 1e8);
+  EXPECT_LT(rtx, ti);
+  EXPECT_LT(ti, p100);
+}
+
+}  // namespace
+}  // namespace tsplit
