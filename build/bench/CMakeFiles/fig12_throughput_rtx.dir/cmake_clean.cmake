@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_throughput_rtx.dir/fig12_throughput_rtx.cc.o"
+  "CMakeFiles/fig12_throughput_rtx.dir/fig12_throughput_rtx.cc.o.d"
+  "fig12_throughput_rtx"
+  "fig12_throughput_rtx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_throughput_rtx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

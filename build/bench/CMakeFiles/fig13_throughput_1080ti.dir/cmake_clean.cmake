@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_throughput_1080ti.dir/fig13_throughput_1080ti.cc.o"
+  "CMakeFiles/fig13_throughput_1080ti.dir/fig13_throughput_1080ti.cc.o.d"
+  "fig13_throughput_1080ti"
+  "fig13_throughput_1080ti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_throughput_1080ti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14a_split_ablation.dir/fig14a_split_ablation.cc.o"
+  "CMakeFiles/fig14a_split_ablation.dir/fig14a_split_ablation.cc.o.d"
+  "fig14a_split_ablation"
+  "fig14a_split_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14a_split_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

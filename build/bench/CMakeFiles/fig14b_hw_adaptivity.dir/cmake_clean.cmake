@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14b_hw_adaptivity.dir/fig14b_hw_adaptivity.cc.o"
+  "CMakeFiles/fig14b_hw_adaptivity.dir/fig14b_hw_adaptivity.cc.o.d"
+  "fig14b_hw_adaptivity"
+  "fig14b_hw_adaptivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14b_hw_adaptivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_bert_memory.dir/fig1_bert_memory.cc.o"
+  "CMakeFiles/fig1_bert_memory.dir/fig1_bert_memory.cc.o.d"
+  "fig1_bert_memory"
+  "fig1_bert_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_bert_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

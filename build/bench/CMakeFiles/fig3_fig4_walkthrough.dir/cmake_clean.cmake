@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_fig4_walkthrough.dir/fig3_fig4_walkthrough.cc.o"
+  "CMakeFiles/fig3_fig4_walkthrough.dir/fig3_fig4_walkthrough.cc.o.d"
+  "fig3_fig4_walkthrough"
+  "fig3_fig4_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_fig4_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

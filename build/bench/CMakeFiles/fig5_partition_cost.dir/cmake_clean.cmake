@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_partition_cost.dir/fig5_partition_cost.cc.o"
+  "CMakeFiles/fig5_partition_cost.dir/fig5_partition_cost.cc.o.d"
+  "fig5_partition_cost"
+  "fig5_partition_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_partition_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpt_causal_scale.dir/gpt_causal_scale.cc.o"
+  "CMakeFiles/gpt_causal_scale.dir/gpt_causal_scale.cc.o.d"
+  "gpt_causal_scale"
+  "gpt_causal_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpt_causal_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

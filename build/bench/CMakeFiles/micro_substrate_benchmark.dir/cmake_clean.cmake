@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_substrate_benchmark.dir/micro_substrate_benchmark.cc.o"
+  "CMakeFiles/micro_substrate_benchmark.dir/micro_substrate_benchmark.cc.o.d"
+  "micro_substrate_benchmark"
+  "micro_substrate_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_substrate_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_sample_scale.dir/table4_sample_scale.cc.o"
+  "CMakeFiles/table4_sample_scale.dir/table4_sample_scale.cc.o.d"
+  "table4_sample_scale"
+  "table4_sample_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_sample_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_offload_sample.dir/table6_offload_sample.cc.o"
+  "CMakeFiles/table6_offload_sample.dir/table6_offload_sample.cc.o.d"
+  "table6_offload_sample"
+  "table6_offload_sample.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_offload_sample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

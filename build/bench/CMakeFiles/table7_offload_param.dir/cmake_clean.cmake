@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_offload_param.dir/table7_offload_param.cc.o"
+  "CMakeFiles/table7_offload_param.dir/table7_offload_param.cc.o.d"
+  "table7_offload_param"
+  "table7_offload_param.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_offload_param.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

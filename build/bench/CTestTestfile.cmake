@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_fig1_smoke "/root/repo/build/bench/fig1_bert_memory")
+set_tests_properties(bench_fig1_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_table2_smoke "/root/repo/build/bench/table2_tensor_sizes")
+set_tests_properties(bench_table2_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;13;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig5_smoke "/root/repo/build/bench/fig5_partition_cost")
+set_tests_properties(bench_fig5_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;14;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_walkthrough_smoke "/root/repo/build/bench/fig3_fig4_walkthrough")
+set_tests_properties(bench_walkthrough_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;15;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig14b_smoke "/root/repo/build/bench/fig14b_hw_adaptivity")
+set_tests_properties(bench_fig14b_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;16;add_test;/root/repo/bench/CMakeLists.txt;0;")

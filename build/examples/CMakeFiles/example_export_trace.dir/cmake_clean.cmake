@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_export_trace.dir/export_trace.cpp.o"
+  "CMakeFiles/example_export_trace.dir/export_trace.cpp.o.d"
+  "example_export_trace"
+  "example_export_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_export_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_inspect_plan.dir/inspect_plan.cpp.o"
+  "CMakeFiles/example_inspect_plan.dir/inspect_plan.cpp.o.d"
+  "example_inspect_plan"
+  "example_inspect_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_inspect_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_max_batch_explorer.dir/max_batch_explorer.cpp.o"
+  "CMakeFiles/example_max_batch_explorer.dir/max_batch_explorer.cpp.o.d"
+  "example_max_batch_explorer"
+  "example_max_batch_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_max_batch_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_train_under_pressure.dir/train_under_pressure.cpp.o"
+  "CMakeFiles/example_train_under_pressure.dir/train_under_pressure.cpp.o.d"
+  "example_train_under_pressure"
+  "example_train_under_pressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_train_under_pressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

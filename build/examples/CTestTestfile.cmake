@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart_smoke "/root/repo/build/examples/example_quickstart")
+set_tests_properties(example_quickstart_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;11;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_train_smoke "/root/repo/build/examples/example_train_under_pressure" "12")
+set_tests_properties(example_train_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;12;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_explorer_smoke "/root/repo/build/examples/example_max_batch_explorer" "VGG-16" "rtx" "TSPLIT")
+set_tests_properties(example_explorer_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;13;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_inspect_smoke "/root/repo/build/examples/example_inspect_plan" "VGG-16" "128" "SuperNeurons")
+set_tests_properties(example_inspect_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trace_smoke "/root/repo/build/examples/example_export_trace" "VGG-16" "64" "vDNN-all" "/root/repo/build/examples/smoke_trace.json")
+set_tests_properties(example_trace_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/baselines.cc" "src/CMakeFiles/tsplit.dir/baselines/baselines.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/baselines/baselines.cc.o.d"
+  "/root/repo/src/core/shape.cc" "src/CMakeFiles/tsplit.dir/core/shape.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/core/shape.cc.o.d"
+  "/root/repo/src/core/status.cc" "src/CMakeFiles/tsplit.dir/core/status.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/core/status.cc.o.d"
+  "/root/repo/src/core/stensor.cc" "src/CMakeFiles/tsplit.dir/core/stensor.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/core/stensor.cc.o.d"
+  "/root/repo/src/core/tensor.cc" "src/CMakeFiles/tsplit.dir/core/tensor.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/core/tensor.cc.o.d"
+  "/root/repo/src/graph/autodiff.cc" "src/CMakeFiles/tsplit.dir/graph/autodiff.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/graph/autodiff.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/tsplit.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/liveness.cc" "src/CMakeFiles/tsplit.dir/graph/liveness.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/graph/liveness.cc.o.d"
+  "/root/repo/src/graph/op.cc" "src/CMakeFiles/tsplit.dir/graph/op.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/graph/op.cc.o.d"
+  "/root/repo/src/graph/schedule.cc" "src/CMakeFiles/tsplit.dir/graph/schedule.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/graph/schedule.cc.o.d"
+  "/root/repo/src/graph/views.cc" "src/CMakeFiles/tsplit.dir/graph/views.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/graph/views.cc.o.d"
+  "/root/repo/src/mem/host_store.cc" "src/CMakeFiles/tsplit.dir/mem/host_store.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/mem/host_store.cc.o.d"
+  "/root/repo/src/mem/memory_pool.cc" "src/CMakeFiles/tsplit.dir/mem/memory_pool.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/mem/memory_pool.cc.o.d"
+  "/root/repo/src/models/builder_util.cc" "src/CMakeFiles/tsplit.dir/models/builder_util.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/models/builder_util.cc.o.d"
+  "/root/repo/src/models/gpt.cc" "src/CMakeFiles/tsplit.dir/models/gpt.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/models/gpt.cc.o.d"
+  "/root/repo/src/models/inception.cc" "src/CMakeFiles/tsplit.dir/models/inception.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/models/inception.cc.o.d"
+  "/root/repo/src/models/mlp.cc" "src/CMakeFiles/tsplit.dir/models/mlp.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/models/mlp.cc.o.d"
+  "/root/repo/src/models/resnet.cc" "src/CMakeFiles/tsplit.dir/models/resnet.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/models/resnet.cc.o.d"
+  "/root/repo/src/models/transformer.cc" "src/CMakeFiles/tsplit.dir/models/transformer.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/models/transformer.cc.o.d"
+  "/root/repo/src/models/vgg.cc" "src/CMakeFiles/tsplit.dir/models/vgg.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/models/vgg.cc.o.d"
+  "/root/repo/src/ops/batchnorm.cc" "src/CMakeFiles/tsplit.dir/ops/batchnorm.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/ops/batchnorm.cc.o.d"
+  "/root/repo/src/ops/conv2d.cc" "src/CMakeFiles/tsplit.dir/ops/conv2d.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/ops/conv2d.cc.o.d"
+  "/root/repo/src/ops/data_movement.cc" "src/CMakeFiles/tsplit.dir/ops/data_movement.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/ops/data_movement.cc.o.d"
+  "/root/repo/src/ops/dropout.cc" "src/CMakeFiles/tsplit.dir/ops/dropout.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/ops/dropout.cc.o.d"
+  "/root/repo/src/ops/elementwise.cc" "src/CMakeFiles/tsplit.dir/ops/elementwise.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/ops/elementwise.cc.o.d"
+  "/root/repo/src/ops/embedding.cc" "src/CMakeFiles/tsplit.dir/ops/embedding.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/ops/embedding.cc.o.d"
+  "/root/repo/src/ops/fill.cc" "src/CMakeFiles/tsplit.dir/ops/fill.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/ops/fill.cc.o.d"
+  "/root/repo/src/ops/layernorm.cc" "src/CMakeFiles/tsplit.dir/ops/layernorm.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/ops/layernorm.cc.o.d"
+  "/root/repo/src/ops/matmul.cc" "src/CMakeFiles/tsplit.dir/ops/matmul.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/ops/matmul.cc.o.d"
+  "/root/repo/src/ops/pool.cc" "src/CMakeFiles/tsplit.dir/ops/pool.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/ops/pool.cc.o.d"
+  "/root/repo/src/ops/softmax.cc" "src/CMakeFiles/tsplit.dir/ops/softmax.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/ops/softmax.cc.o.d"
+  "/root/repo/src/planner/analyzer.cc" "src/CMakeFiles/tsplit.dir/planner/analyzer.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/planner/analyzer.cc.o.d"
+  "/root/repo/src/planner/cost_model.cc" "src/CMakeFiles/tsplit.dir/planner/cost_model.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/planner/cost_model.cc.o.d"
+  "/root/repo/src/planner/memory_sim.cc" "src/CMakeFiles/tsplit.dir/planner/memory_sim.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/planner/memory_sim.cc.o.d"
+  "/root/repo/src/planner/plan_io.cc" "src/CMakeFiles/tsplit.dir/planner/plan_io.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/planner/plan_io.cc.o.d"
+  "/root/repo/src/planner/profile.cc" "src/CMakeFiles/tsplit.dir/planner/profile.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/planner/profile.cc.o.d"
+  "/root/repo/src/planner/registry.cc" "src/CMakeFiles/tsplit.dir/planner/registry.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/planner/registry.cc.o.d"
+  "/root/repo/src/planner/tsplit_planner.cc" "src/CMakeFiles/tsplit.dir/planner/tsplit_planner.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/planner/tsplit_planner.cc.o.d"
+  "/root/repo/src/rewrite/export.cc" "src/CMakeFiles/tsplit.dir/rewrite/export.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/rewrite/export.cc.o.d"
+  "/root/repo/src/rewrite/program.cc" "src/CMakeFiles/tsplit.dir/rewrite/program.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/rewrite/program.cc.o.d"
+  "/root/repo/src/runtime/functional_executor.cc" "src/CMakeFiles/tsplit.dir/runtime/functional_executor.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/runtime/functional_executor.cc.o.d"
+  "/root/repo/src/runtime/interpreter.cc" "src/CMakeFiles/tsplit.dir/runtime/interpreter.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/runtime/interpreter.cc.o.d"
+  "/root/repo/src/runtime/optimizer.cc" "src/CMakeFiles/tsplit.dir/runtime/optimizer.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/runtime/optimizer.cc.o.d"
+  "/root/repo/src/runtime/session.cc" "src/CMakeFiles/tsplit.dir/runtime/session.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/runtime/session.cc.o.d"
+  "/root/repo/src/runtime/sim_executor.cc" "src/CMakeFiles/tsplit.dir/runtime/sim_executor.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/runtime/sim_executor.cc.o.d"
+  "/root/repo/src/runtime/trace.cc" "src/CMakeFiles/tsplit.dir/runtime/trace.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/runtime/trace.cc.o.d"
+  "/root/repo/src/runtime/trainer.cc" "src/CMakeFiles/tsplit.dir/runtime/trainer.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/runtime/trainer.cc.o.d"
+  "/root/repo/src/sim/device.cc" "src/CMakeFiles/tsplit.dir/sim/device.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/sim/device.cc.o.d"
+  "/root/repo/src/sim/kernel_model.cc" "src/CMakeFiles/tsplit.dir/sim/kernel_model.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/sim/kernel_model.cc.o.d"
+  "/root/repo/src/sim/timeline.cc" "src/CMakeFiles/tsplit.dir/sim/timeline.cc.o" "gcc" "src/CMakeFiles/tsplit.dir/sim/timeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/adaptivity_test.cc" "tests/CMakeFiles/tsplit_tests.dir/adaptivity_test.cc.o" "gcc" "tests/CMakeFiles/tsplit_tests.dir/adaptivity_test.cc.o.d"
+  "/root/repo/tests/analyzer_test.cc" "tests/CMakeFiles/tsplit_tests.dir/analyzer_test.cc.o" "gcc" "tests/CMakeFiles/tsplit_tests.dir/analyzer_test.cc.o.d"
+  "/root/repo/tests/cost_model_test.cc" "tests/CMakeFiles/tsplit_tests.dir/cost_model_test.cc.o" "gcc" "tests/CMakeFiles/tsplit_tests.dir/cost_model_test.cc.o.d"
+  "/root/repo/tests/executor_test.cc" "tests/CMakeFiles/tsplit_tests.dir/executor_test.cc.o" "gcc" "tests/CMakeFiles/tsplit_tests.dir/executor_test.cc.o.d"
+  "/root/repo/tests/export_test.cc" "tests/CMakeFiles/tsplit_tests.dir/export_test.cc.o" "gcc" "tests/CMakeFiles/tsplit_tests.dir/export_test.cc.o.d"
+  "/root/repo/tests/fuzz_equivalence_test.cc" "tests/CMakeFiles/tsplit_tests.dir/fuzz_equivalence_test.cc.o" "gcc" "tests/CMakeFiles/tsplit_tests.dir/fuzz_equivalence_test.cc.o.d"
+  "/root/repo/tests/gpt_test.cc" "tests/CMakeFiles/tsplit_tests.dir/gpt_test.cc.o" "gcc" "tests/CMakeFiles/tsplit_tests.dir/gpt_test.cc.o.d"
+  "/root/repo/tests/gradcheck_test.cc" "tests/CMakeFiles/tsplit_tests.dir/gradcheck_test.cc.o" "gcc" "tests/CMakeFiles/tsplit_tests.dir/gradcheck_test.cc.o.d"
+  "/root/repo/tests/graph_test.cc" "tests/CMakeFiles/tsplit_tests.dir/graph_test.cc.o" "gcc" "tests/CMakeFiles/tsplit_tests.dir/graph_test.cc.o.d"
+  "/root/repo/tests/host_store_test.cc" "tests/CMakeFiles/tsplit_tests.dir/host_store_test.cc.o" "gcc" "tests/CMakeFiles/tsplit_tests.dir/host_store_test.cc.o.d"
+  "/root/repo/tests/memory_pool_test.cc" "tests/CMakeFiles/tsplit_tests.dir/memory_pool_test.cc.o" "gcc" "tests/CMakeFiles/tsplit_tests.dir/memory_pool_test.cc.o.d"
+  "/root/repo/tests/model_properties_test.cc" "tests/CMakeFiles/tsplit_tests.dir/model_properties_test.cc.o" "gcc" "tests/CMakeFiles/tsplit_tests.dir/model_properties_test.cc.o.d"
+  "/root/repo/tests/models_test.cc" "tests/CMakeFiles/tsplit_tests.dir/models_test.cc.o" "gcc" "tests/CMakeFiles/tsplit_tests.dir/models_test.cc.o.d"
+  "/root/repo/tests/objective_test.cc" "tests/CMakeFiles/tsplit_tests.dir/objective_test.cc.o" "gcc" "tests/CMakeFiles/tsplit_tests.dir/objective_test.cc.o.d"
+  "/root/repo/tests/ops_test.cc" "tests/CMakeFiles/tsplit_tests.dir/ops_test.cc.o" "gcc" "tests/CMakeFiles/tsplit_tests.dir/ops_test.cc.o.d"
+  "/root/repo/tests/optimizer_test.cc" "tests/CMakeFiles/tsplit_tests.dir/optimizer_test.cc.o" "gcc" "tests/CMakeFiles/tsplit_tests.dir/optimizer_test.cc.o.d"
+  "/root/repo/tests/pipeline_test.cc" "tests/CMakeFiles/tsplit_tests.dir/pipeline_test.cc.o" "gcc" "tests/CMakeFiles/tsplit_tests.dir/pipeline_test.cc.o.d"
+  "/root/repo/tests/plan_io_test.cc" "tests/CMakeFiles/tsplit_tests.dir/plan_io_test.cc.o" "gcc" "tests/CMakeFiles/tsplit_tests.dir/plan_io_test.cc.o.d"
+  "/root/repo/tests/planner_test.cc" "tests/CMakeFiles/tsplit_tests.dir/planner_test.cc.o" "gcc" "tests/CMakeFiles/tsplit_tests.dir/planner_test.cc.o.d"
+  "/root/repo/tests/program_test.cc" "tests/CMakeFiles/tsplit_tests.dir/program_test.cc.o" "gcc" "tests/CMakeFiles/tsplit_tests.dir/program_test.cc.o.d"
+  "/root/repo/tests/resplit_test.cc" "tests/CMakeFiles/tsplit_tests.dir/resplit_test.cc.o" "gcc" "tests/CMakeFiles/tsplit_tests.dir/resplit_test.cc.o.d"
+  "/root/repo/tests/shape_test.cc" "tests/CMakeFiles/tsplit_tests.dir/shape_test.cc.o" "gcc" "tests/CMakeFiles/tsplit_tests.dir/shape_test.cc.o.d"
+  "/root/repo/tests/split_rules_test.cc" "tests/CMakeFiles/tsplit_tests.dir/split_rules_test.cc.o" "gcc" "tests/CMakeFiles/tsplit_tests.dir/split_rules_test.cc.o.d"
+  "/root/repo/tests/status_test.cc" "tests/CMakeFiles/tsplit_tests.dir/status_test.cc.o" "gcc" "tests/CMakeFiles/tsplit_tests.dir/status_test.cc.o.d"
+  "/root/repo/tests/structure_test.cc" "tests/CMakeFiles/tsplit_tests.dir/structure_test.cc.o" "gcc" "tests/CMakeFiles/tsplit_tests.dir/structure_test.cc.o.d"
+  "/root/repo/tests/tensor_test.cc" "tests/CMakeFiles/tsplit_tests.dir/tensor_test.cc.o" "gcc" "tests/CMakeFiles/tsplit_tests.dir/tensor_test.cc.o.d"
+  "/root/repo/tests/timeline_test.cc" "tests/CMakeFiles/tsplit_tests.dir/timeline_test.cc.o" "gcc" "tests/CMakeFiles/tsplit_tests.dir/timeline_test.cc.o.d"
+  "/root/repo/tests/trace_test.cc" "tests/CMakeFiles/tsplit_tests.dir/trace_test.cc.o" "gcc" "tests/CMakeFiles/tsplit_tests.dir/trace_test.cc.o.d"
+  "/root/repo/tests/tradeoff_test.cc" "tests/CMakeFiles/tsplit_tests.dir/tradeoff_test.cc.o" "gcc" "tests/CMakeFiles/tsplit_tests.dir/tradeoff_test.cc.o.d"
+  "/root/repo/tests/trainer_test.cc" "tests/CMakeFiles/tsplit_tests.dir/trainer_test.cc.o" "gcc" "tests/CMakeFiles/tsplit_tests.dir/trainer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tsplit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
