@@ -1,0 +1,115 @@
+// Benchmarks for the parallel execution substrate: serial vs multi-thread
+// kernels (the ParallelFor thread pool) and sync vs async swap execution
+// (the background copy engine) on a swap-heavy augmented program.
+//
+// The thread-count argument maps through core::SetNumThreads, so
+//   BM_MatMulRank3Threads/1   = forced-serial baseline
+//   BM_MatMulRank3Threads/4   = 4 worker threads
+// On a single-core host the parallel rows measure pool overhead only.
+
+#include <benchmark/benchmark.h>
+
+#include "core/parallel.h"
+#include "core/tensor.h"
+#include "models/model.h"
+#include "ops/conv2d.h"
+#include "ops/matmul.h"
+#include "planner/planner.h"
+#include "rewrite/program.h"
+#include "runtime/functional_executor.h"
+#include "runtime/interpreter.h"
+
+namespace {
+
+using namespace tsplit;
+
+Tensor Filled(Shape shape) {
+  Tensor t(shape);
+  for (int64_t i = 0; i < t.num_elements(); ++i) {
+    t.at(i) = 0.01f * static_cast<float>(i % 97);
+  }
+  return t;
+}
+
+void BM_MatMulRank3Threads(benchmark::State& state) {
+  core::SetNumThreads(static_cast<int>(state.range(0)));
+  ops::MatMulOp matmul;
+  Tensor a = Filled(Shape{8, 192, 192});
+  Tensor b = Filled(Shape{8, 192, 192});
+  Tensor y(Shape{8, 192, 192});
+  std::vector<const Tensor*> inputs = {&a, &b};
+  std::vector<Tensor*> outputs = {&y};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul.Compute(inputs, outputs));
+  }
+  core::SetNumThreads(0);
+  state.SetItemsProcessed(state.iterations() * 2 * 8 * 192 * 192 * 192);
+}
+BENCHMARK(BM_MatMulRank3Threads)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_Conv2dThreads(benchmark::State& state) {
+  core::SetNumThreads(static_cast<int>(state.range(0)));
+  ops::Conv2dOp conv({1, 1});
+  Tensor x = Filled(Shape{8, 16, 32, 32});
+  Tensor w = Filled(Shape{16, 16, 3, 3});
+  Tensor y(Shape{8, 16, 32, 32});
+  std::vector<const Tensor*> inputs = {&x, &w};
+  std::vector<Tensor*> outputs = {&y};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Compute(inputs, outputs));
+  }
+  core::SetNumThreads(0);
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_Conv2dThreads)->Arg(1)->Arg(2)->Arg(4);
+
+// Sync vs async swap on a vDNN-all program (every op's inputs swapped out
+// after use and prefetched back): arg 0 = synchronous swaps, arg 1 = the
+// background copy engine overlapping D2H/H2D with compute.
+void BM_ExecutorSwapHeavy(benchmark::State& state) {
+  const bool async = state.range(0) != 0;
+  models::CnnConfig config;
+  config.batch = 8;
+  config.image_size = 16;
+  config.num_classes = 4;
+  config.channel_scale = 16.0 / 64.0;
+  auto model = models::BuildVgg(16, config);
+  if (!model.ok()) {
+    state.SkipWithError("model build failed");
+    return;
+  }
+  auto schedule = BuildSchedule(model->graph);
+  auto profile = planner::ProfileGraph(model->graph, sim::TitanRtx());
+  auto planner = planner::MakePlanner("vDNN-all");
+  auto plan = planner->BuildPlan(model->graph, *schedule, profile, 1);
+  auto program =
+      rewrite::GenerateProgram(model->graph, *schedule, *plan, profile);
+  if (!program.ok()) {
+    state.SkipWithError("program generation failed");
+    return;
+  }
+  auto bindings = runtime::MakeRandomBindings(model->graph, 11);
+  for (auto _ : state) {
+    runtime::FunctionalExecutor executor(&model->graph, size_t{1} << 30);
+    executor.set_async_swap(async);
+    executor.set_keep_freed_values(false);
+    for (const auto& [id, value] : bindings) {
+      if (!executor.Bind(id, value).ok()) {
+        state.SkipWithError("bind failed");
+        return;
+      }
+    }
+    Status status = executor.Run(*program);
+    if (!status.ok()) {
+      state.SkipWithError(status.message().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(executor.peak_device_bytes());
+  }
+}
+BENCHMARK(BM_ExecutorSwapHeavy)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,193 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tsplit::core {
+
+namespace {
+
+int HardwareThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int EnvThreads() {
+  const char* env = std::getenv("TSPLIT_NUM_THREADS");
+  if (env != nullptr) {
+    int parsed = std::atoi(env);
+    if (parsed >= 1) return std::min(parsed, 256);
+  }
+  return HardwareThreads();
+}
+
+std::atomic<int> g_thread_override{0};
+
+// One ParallelFor invocation. Workers pull chunk indices from a shared
+// counter; the last finished chunk wakes the caller. Held by shared_ptr so
+// a worker that dequeues its task after all chunks are claimed can still
+// touch the counters safely.
+struct Region {
+  const std::function<void(int64_t, int64_t)>* fn = nullptr;
+  int64_t begin = 0;
+  int64_t end = 0;
+  int64_t grain = 1;
+  int64_t num_chunks = 0;
+  std::atomic<int64_t> next_chunk{0};
+  std::atomic<int64_t> done_chunks{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+
+  // Claims and runs one chunk; false when all chunks are claimed. `fn` is
+  // only dereferenced for a successfully claimed chunk, which the caller
+  // cannot outlive (it waits for done_chunks == num_chunks).
+  bool RunOneChunk() {
+    int64_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (c >= num_chunks) return false;
+    int64_t lo = begin + c * grain;
+    (*fn)(lo, std::min(end, lo + grain));
+    if (done_chunks.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        num_chunks) {
+      std::lock_guard<std::mutex> lock(mu);
+      done_cv.notify_all();
+    }
+    return true;
+  }
+
+  void WaitAllDone() {
+    std::unique_lock<std::mutex> lock(mu);
+    done_cv.wait(lock, [this] {
+      return done_chunks.load(std::memory_order_acquire) == num_chunks;
+    });
+  }
+};
+
+// True while this thread executes a chunk: nested ParallelFor degrades to
+// serial instead of oversubscribing the pool.
+thread_local bool t_in_parallel_region = false;
+
+// Lazily started task-queue pool. Grows on demand (SetNumThreads may ask
+// for more workers than the initial environment sizing); never shrinks —
+// ParallelFor simply enqueues fewer helper tasks when the effective thread
+// count is lower than the worker count.
+class ThreadPool {
+ public:
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    wake_cv_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  static ThreadPool& Instance() {
+    // Leaked on purpose: workers may outlive static destruction order.
+    static ThreadPool* pool = new ThreadPool();
+    return *pool;
+  }
+
+  void EnsureWorkers(int count) {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (static_cast<int>(workers_.size()) < count) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  void Submit(std::shared_ptr<Region> region) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tasks_.push_back(std::move(region));
+    }
+    wake_cv_.notify_one();
+  }
+
+ private:
+  void WorkerLoop() {
+    t_in_parallel_region = true;  // nested ParallelFor in a chunk is serial
+    for (;;) {
+      std::shared_ptr<Region> region;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        wake_cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+        if (shutdown_) return;
+        region = std::move(tasks_.front());
+        tasks_.pop_front();
+      }
+      while (region->RunOneChunk()) {
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable wake_cv_;
+  std::deque<std::shared_ptr<Region>> tasks_;
+  std::vector<std::thread> workers_;
+  bool shutdown_ = false;
+};
+
+}  // namespace
+
+int NumThreads() {
+  int override_threads = g_thread_override.load(std::memory_order_relaxed);
+  if (override_threads >= 1) return std::min(override_threads, 256);
+  static const int env_threads = EnvThreads();
+  return env_threads;
+}
+
+void SetNumThreads(int n) {
+  g_thread_override.store(n, std::memory_order_relaxed);
+}
+
+int64_t GrainFor(int64_t total_items, int64_t cost_per_item,
+                 int64_t min_cost_per_chunk) {
+  if (total_items <= 0) return 1;
+  cost_per_item = std::max<int64_t>(cost_per_item, 1);
+  return std::clamp<int64_t>(min_cost_per_chunk / cost_per_item, 1,
+                             total_items);
+}
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  if (end <= begin) return;
+  if (grain < 1) grain = 1;
+  const int64_t num_chunks = (end - begin + grain - 1) / grain;
+  const int threads = NumThreads();
+
+  if (threads == 1 || num_chunks == 1 || t_in_parallel_region) {
+    // Serial path: identical chunk decomposition, caller runs every chunk.
+    for (int64_t c = 0; c < num_chunks; ++c) {
+      int64_t lo = begin + c * grain;
+      fn(lo, std::min(end, lo + grain));
+    }
+    return;
+  }
+
+  auto region = std::make_shared<Region>();
+  region->fn = &fn;
+  region->begin = begin;
+  region->end = end;
+  region->grain = grain;
+  region->num_chunks = num_chunks;
+
+  const int helpers =
+      static_cast<int>(std::min<int64_t>(threads, num_chunks)) - 1;
+  ThreadPool& pool = ThreadPool::Instance();
+  pool.EnsureWorkers(helpers);
+  for (int i = 0; i < helpers; ++i) pool.Submit(region);
+
+  t_in_parallel_region = true;
+  while (region->RunOneChunk()) {
+  }
+  t_in_parallel_region = false;
+  region->WaitAllDone();
+}
+
+}  // namespace tsplit::core

@@ -1,0 +1,51 @@
+#ifndef TSPLIT_CORE_PARALLEL_H_
+#define TSPLIT_CORE_PARALLEL_H_
+
+// Shared thread pool + parallel_for primitive for the CPU reference
+// kernels (the functional executor's compute substrate).
+//
+// Determinism contract: ParallelFor decomposes [begin, end) into chunks of
+// `grain` indices. The chunk boundaries depend only on (begin, end, grain)
+// — never on the thread count — and every chunk is executed exactly once.
+// A kernel whose chunks write disjoint output ranges therefore produces
+// bitwise-identical results for every thread count, including the serial
+// path. Kernels that reduce across chunks must materialize one partial per
+// chunk and combine the partials serially in chunk order (see
+// LayerNormGradOp::Compute for the pattern).
+//
+// Sizing: the pool holds NumThreads() - 1 workers (the calling thread
+// participates). NumThreads() defaults to std::thread::hardware_concurrency
+// and is overridable via the TSPLIT_NUM_THREADS environment variable;
+// TSPLIT_NUM_THREADS=1 runs every ParallelFor inline on the caller with no
+// pool interaction at all (the determinism-debugging escape hatch).
+// SetNumThreads overrides both at runtime (tests / benchmarks).
+
+#include <cstdint>
+#include <functional>
+
+namespace tsplit::core {
+
+// Effective worker count (>= 1): runtime override if set, else
+// TSPLIT_NUM_THREADS, else hardware concurrency.
+int NumThreads();
+
+// Runtime override for the thread count; pass 0 to revert to the
+// environment/hardware default. Thread-safe; takes effect on the next
+// ParallelFor call.
+void SetNumThreads(int n);
+
+// Runs fn(chunk_begin, chunk_end) for every grain-sized chunk of
+// [begin, end). Chunks run concurrently on the shared pool (the caller
+// works too); nested calls from inside a chunk degrade to serial.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+// Grain that packs roughly `min_cost_per_chunk` units of work (item count
+// x per-item cost) into each chunk. Depends only on its arguments — never
+// on the thread count — so chunk decompositions stay deterministic.
+int64_t GrainFor(int64_t total_items, int64_t cost_per_item,
+                 int64_t min_cost_per_chunk = int64_t{1} << 14);
+
+}  // namespace tsplit::core
+
+#endif  // TSPLIT_CORE_PARALLEL_H_

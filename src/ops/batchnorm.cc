@@ -3,6 +3,7 @@
 #include <cmath>
 #include <vector>
 
+#include "core/parallel.h"
 #include "graph/graph.h"
 
 namespace tsplit::ops {
@@ -22,23 +23,26 @@ ChannelStats ComputeStats(const Tensor& x) {
   ChannelStats stats;
   stats.mean.assign(static_cast<size_t>(c), 0.0);
   stats.invstd.assign(static_cast<size_t>(c), 0.0);
-  for (int64_t ic = 0; ic < c; ++ic) {
-    double sum = 0, sq = 0;
-    for (int64_t in = 0; in < n; ++in) {
-      for (int64_t i = 0; i < h; ++i) {
-        for (int64_t j = 0; j < w; ++j) {
-          double v = x.at4(in, ic, i, j);
-          sum += v;
-          sq += v * v;
+  core::ParallelFor(
+      0, c, core::GrainFor(c, n * h * w), [&](int64_t lo, int64_t hi) {
+        for (int64_t ic = lo; ic < hi; ++ic) {
+          double sum = 0, sq = 0;
+          for (int64_t in = 0; in < n; ++in) {
+            for (int64_t i = 0; i < h; ++i) {
+              for (int64_t j = 0; j < w; ++j) {
+                double v = x.at4(in, ic, i, j);
+                sum += v;
+                sq += v * v;
+              }
+            }
+          }
+          double mean = sum / count;
+          double var = sq / count - mean * mean;
+          stats.mean[static_cast<size_t>(ic)] = mean;
+          stats.invstd[static_cast<size_t>(ic)] =
+              1.0 / std::sqrt(var + kBatchNormEpsilon);
         }
-      }
-    }
-    double mean = sum / count;
-    double var = sq / count - mean * mean;
-    stats.mean[static_cast<size_t>(ic)] = mean;
-    stats.invstd[static_cast<size_t>(ic)] =
-        1.0 / std::sqrt(var + kBatchNormEpsilon);
-  }
+      });
   return stats;
 }
 
@@ -77,18 +81,22 @@ Status BatchNorm2dOp::Compute(const std::vector<const Tensor*>& inputs,
   ChannelStats stats = ComputeStats(x);
   const int64_t n = x.shape().dim(0), c = x.shape().dim(1);
   const int64_t h = x.shape().dim(2), w = x.shape().dim(3);
-  for (int64_t in = 0; in < n; ++in) {
-    for (int64_t ic = 0; ic < c; ++ic) {
-      float m = static_cast<float>(stats.mean[static_cast<size_t>(ic)]);
-      float is = static_cast<float>(stats.invstd[static_cast<size_t>(ic)]);
-      float g = gamma.at(ic), b = beta.at(ic);
-      for (int64_t i = 0; i < h; ++i) {
-        for (int64_t j = 0; j < w; ++j) {
-          y.at4(in, ic, i, j) = g * (x.at4(in, ic, i, j) - m) * is + b;
+  core::ParallelFor(
+      0, n * c, core::GrainFor(n * c, h * w), [&](int64_t lo, int64_t hi) {
+        for (int64_t task = lo; task < hi; ++task) {
+          const int64_t in = task / c;
+          const int64_t ic = task % c;
+          float m = static_cast<float>(stats.mean[static_cast<size_t>(ic)]);
+          float is =
+              static_cast<float>(stats.invstd[static_cast<size_t>(ic)]);
+          float g = gamma.at(ic), b = beta.at(ic);
+          for (int64_t i = 0; i < h; ++i) {
+            for (int64_t j = 0; j < w; ++j) {
+              y.at4(in, ic, i, j) = g * (x.at4(in, ic, i, j) - m) * is + b;
+            }
+          }
         }
-      }
-    }
-  }
+      });
   return Status::OK();
 }
 
@@ -141,7 +149,9 @@ Status BatchNorm2dGradOp::Compute(const std::vector<const Tensor*>& inputs,
   const int64_t h = x.shape().dim(2), w = x.shape().dim(3);
   const double count = static_cast<double>(n * h * w);
 
-  for (int64_t ic = 0; ic < c; ++ic) {
+  core::ParallelFor(
+      0, c, core::GrainFor(c, 4 * n * h * w), [&](int64_t lo, int64_t hi) {
+    for (int64_t ic = lo; ic < hi; ++ic) {
     double mean = stats.mean[static_cast<size_t>(ic)];
     double invstd = stats.invstd[static_cast<size_t>(ic)];
     // First pass: sum(dy) and sum(dy * xhat).
@@ -171,7 +181,8 @@ Status BatchNorm2dGradOp::Compute(const std::vector<const Tensor*>& inputs,
         }
       }
     }
-  }
+    }
+      });
   return Status::OK();
 }
 

@@ -1,5 +1,7 @@
 #include "ops/conv2d.h"
 
+#include "core/dtype.h"
+#include "core/parallel.h"
 #include "graph/graph.h"
 
 namespace tsplit::ops {
@@ -12,9 +14,12 @@ int64_t OutExtent(int64_t in, int kernel, const ConvConfig& cfg) {
 
 // Per-sample im2col scratch: the implicit-GEMM lowering cuDNN commonly
 // picks. Splitting the channel or sample dimension shrinks this (§III-A).
+// The scratch holds the compute dtype (float32 for the reference kernels);
+// sized via SizeOf rather than a literal so a dtype change can't drift.
 size_t Im2ColBytes(int64_t c, int64_t kh, int64_t kw, int64_t oh,
                    int64_t ow) {
-  return static_cast<size_t>(c * kh * kw * oh * ow) * 4;
+  return static_cast<size_t>(c * kh * kw * oh * ow) *
+         SizeOf(DataType::kFloat32);
 }
 
 }  // namespace
@@ -71,27 +76,33 @@ Status Conv2dOp::Compute(const std::vector<const Tensor*>& inputs,
   const int64_t oh = y.shape().dim(2), ow = y.shape().dim(3);
   const int s = config_.stride, p = config_.padding;
 
-  for (int64_t in = 0; in < n; ++in) {
-    for (int64_t of = 0; of < f; ++of) {
-      for (int64_t i = 0; i < oh; ++i) {
-        for (int64_t j = 0; j < ow; ++j) {
-          float acc = 0;
-          for (int64_t ic = 0; ic < c; ++ic) {
-            for (int64_t ki = 0; ki < kh; ++ki) {
-              int64_t hi = i * s - p + ki;
-              if (hi < 0 || hi >= h) continue;
-              for (int64_t kj = 0; kj < kw; ++kj) {
-                int64_t wi = j * s - p + kj;
-                if (wi < 0 || wi >= wd) continue;
-                acc += x.at4(in, ic, hi, wi) * w.at4(of, ic, ki, kj);
+  // Each (sample, filter) pair owns a disjoint y plane.
+  const int64_t plane_cost = oh * ow * c * kh * kw;
+  core::ParallelFor(
+      0, n * f, core::GrainFor(n * f, plane_cost),
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t task = lo; task < hi; ++task) {
+          const int64_t in = task / f;
+          const int64_t of = task % f;
+          for (int64_t i = 0; i < oh; ++i) {
+            for (int64_t j = 0; j < ow; ++j) {
+              float acc = 0;
+              for (int64_t ic = 0; ic < c; ++ic) {
+                for (int64_t ki = 0; ki < kh; ++ki) {
+                  int64_t hi2 = i * s - p + ki;
+                  if (hi2 < 0 || hi2 >= h) continue;
+                  for (int64_t kj = 0; kj < kw; ++kj) {
+                    int64_t wi = j * s - p + kj;
+                    if (wi < 0 || wi >= wd) continue;
+                    acc += x.at4(in, ic, hi2, wi) * w.at4(of, ic, ki, kj);
+                  }
+                }
               }
+              y.at4(in, of, i, j) = acc;
             }
           }
-          y.at4(in, of, i, j) = acc;
         }
-      }
-    }
-  }
+      });
   return Status::OK();
 }
 
@@ -170,27 +181,33 @@ Status Conv2dGradInputOp::Compute(const std::vector<const Tensor*>& inputs,
   const int64_t oh = dy.shape().dim(2), ow = dy.shape().dim(3);
   const int s = config_.stride, p = config_.padding;
 
-  for (int64_t in = 0; in < n; ++in) {
-    for (int64_t of = 0; of < f; ++of) {
-      for (int64_t i = 0; i < oh; ++i) {
-        for (int64_t j = 0; j < ow; ++j) {
-          float g = dy.at4(in, of, i, j);
-          if (g == 0.0f) continue;
-          for (int64_t ic = 0; ic < c; ++ic) {
-            for (int64_t ki = 0; ki < kh; ++ki) {
-              int64_t hi = i * s - p + ki;
-              if (hi < 0 || hi >= h) continue;
-              for (int64_t kj = 0; kj < kw; ++kj) {
-                int64_t wi = j * s - p + kj;
-                if (wi < 0 || wi >= wd) continue;
-                dx.at4(in, ic, hi, wi) += g * w.at4(of, ic, ki, kj);
+  // dx accumulates across filters but each sample's dx volume is private
+  // to its chunk, so the scatter stays race-free and deterministic.
+  const int64_t sample_cost = f * oh * ow * c * kh * kw;
+  core::ParallelFor(
+      0, n, core::GrainFor(n, sample_cost), [&](int64_t lo, int64_t hi) {
+        for (int64_t in = lo; in < hi; ++in) {
+          for (int64_t of = 0; of < f; ++of) {
+            for (int64_t i = 0; i < oh; ++i) {
+              for (int64_t j = 0; j < ow; ++j) {
+                float g = dy.at4(in, of, i, j);
+                if (g == 0.0f) continue;
+                for (int64_t ic = 0; ic < c; ++ic) {
+                  for (int64_t ki = 0; ki < kh; ++ki) {
+                    int64_t hi2 = i * s - p + ki;
+                    if (hi2 < 0 || hi2 >= h) continue;
+                    for (int64_t kj = 0; kj < kw; ++kj) {
+                      int64_t wi = j * s - p + kj;
+                      if (wi < 0 || wi >= wd) continue;
+                      dx.at4(in, ic, hi2, wi) += g * w.at4(of, ic, ki, kj);
+                    }
+                  }
+                }
               }
             }
           }
         }
-      }
-    }
-  }
+      });
   return Status::OK();
 }
 
@@ -245,27 +262,34 @@ Status Conv2dGradFilterOp::Compute(
   const int64_t oh = dy.shape().dim(2), ow = dy.shape().dim(3);
   const int s = config_.stride, p = config_.padding;
 
-  for (int64_t in = 0; in < n; ++in) {
-    for (int64_t of = 0; of < f; ++of) {
-      for (int64_t i = 0; i < oh; ++i) {
-        for (int64_t j = 0; j < ow; ++j) {
-          float g = dy.at4(in, of, i, j);
-          if (g == 0.0f) continue;
-          for (int64_t ic = 0; ic < c; ++ic) {
-            for (int64_t ki = 0; ki < kh; ++ki) {
-              int64_t hi = i * s - p + ki;
-              if (hi < 0 || hi >= h) continue;
-              for (int64_t kj = 0; kj < kw; ++kj) {
-                int64_t wi = j * s - p + kj;
-                if (wi < 0 || wi >= wd) continue;
-                dw.at4(of, ic, ki, kj) += g * x.at4(in, ic, hi, wi);
+  // Filter-major chunking: dw[of, ...] is owned by one chunk, and each
+  // element still accumulates its (in, i, j) contributions in ascending
+  // order, so any thread count reproduces the serial result bitwise.
+  const int64_t filter_cost = n * oh * ow * c * kh * kw;
+  core::ParallelFor(
+      0, f, core::GrainFor(f, filter_cost), [&](int64_t lo, int64_t hi) {
+        for (int64_t of = lo; of < hi; ++of) {
+          for (int64_t in = 0; in < n; ++in) {
+            for (int64_t i = 0; i < oh; ++i) {
+              for (int64_t j = 0; j < ow; ++j) {
+                float g = dy.at4(in, of, i, j);
+                if (g == 0.0f) continue;
+                for (int64_t ic = 0; ic < c; ++ic) {
+                  for (int64_t ki = 0; ki < kh; ++ki) {
+                    int64_t hi2 = i * s - p + ki;
+                    if (hi2 < 0 || hi2 >= h) continue;
+                    for (int64_t kj = 0; kj < kw; ++kj) {
+                      int64_t wi = j * s - p + kj;
+                      if (wi < 0 || wi >= wd) continue;
+                      dw.at4(of, ic, ki, kj) += g * x.at4(in, ic, hi2, wi);
+                    }
+                  }
+                }
               }
             }
           }
         }
-      }
-    }
-  }
+      });
   return Status::OK();
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/parallel.h"
 #include "graph/graph.h"
 
 namespace tsplit::ops {
@@ -55,9 +56,12 @@ Status AddOp::Compute(const std::vector<const Tensor*>& inputs,
   const Tensor& a = *inputs[0];
   const Tensor& b = *inputs[1];
   Tensor& y = *outputs[0];
-  for (int64_t i = 0; i < y.num_elements(); ++i) {
-    y.at(i) = a.at(i) + b.at(i);
-  }
+  core::ParallelFor(0, y.num_elements(), core::GrainFor(y.num_elements(), 1),
+                    [&](int64_t lo, int64_t hi) {
+                      for (int64_t i = lo; i < hi; ++i) {
+                        y.at(i) = a.at(i) + b.at(i);
+                      }
+                    });
   return Status::OK();
 }
 
@@ -91,7 +95,12 @@ Status ScaleOp::Compute(const std::vector<const Tensor*>& inputs,
                         const std::vector<Tensor*>& outputs) const {
   const Tensor& x = *inputs[0];
   Tensor& y = *outputs[0];
-  for (int64_t i = 0; i < y.num_elements(); ++i) y.at(i) = alpha_ * x.at(i);
+  core::ParallelFor(0, y.num_elements(), core::GrainFor(y.num_elements(), 1),
+                    [&](int64_t lo, int64_t hi) {
+                      for (int64_t i = lo; i < hi; ++i) {
+                        y.at(i) = alpha_ * x.at(i);
+                      }
+                    });
   return Status::OK();
 }
 
@@ -143,15 +152,20 @@ Status BiasAddOp::Compute(const std::vector<const Tensor*>& inputs,
   for (int a = axis_ + 1; a < shape.rank(); ++a) inner *= shape.dim(a);
   int64_t axis_extent = shape.dim(axis_);
   int64_t outer = shape.num_elements() / (inner * axis_extent);
-  int64_t i = 0;
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t c = 0; c < axis_extent; ++c) {
-      float bias = b.at(c);
-      for (int64_t k = 0; k < inner; ++k, ++i) {
-        y.at(i) = x.at(i) + bias;
-      }
-    }
-  }
+  const int64_t outer_cost = axis_extent * inner;
+  core::ParallelFor(
+      0, outer, core::GrainFor(outer, outer_cost),
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t o = lo; o < hi; ++o) {
+          int64_t i = o * outer_cost;
+          for (int64_t c = 0; c < axis_extent; ++c) {
+            float bias = b.at(c);
+            for (int64_t k = 0; k < inner; ++k, ++i) {
+              y.at(i) = x.at(i) + bias;
+            }
+          }
+        }
+      });
   return Status::OK();
 }
 
@@ -233,9 +247,12 @@ Status ReluOp::Compute(const std::vector<const Tensor*>& inputs,
                        const std::vector<Tensor*>& outputs) const {
   const Tensor& x = *inputs[0];
   Tensor& y = *outputs[0];
-  for (int64_t i = 0; i < y.num_elements(); ++i) {
-    y.at(i) = x.at(i) > 0 ? x.at(i) : 0.0f;
-  }
+  core::ParallelFor(0, y.num_elements(), core::GrainFor(y.num_elements(), 1),
+                    [&](int64_t lo, int64_t hi) {
+                      for (int64_t i = lo; i < hi; ++i) {
+                        y.at(i) = x.at(i) > 0 ? x.at(i) : 0.0f;
+                      }
+                    });
   return Status::OK();
 }
 
@@ -274,9 +291,13 @@ Status ReluGradOp::Compute(const std::vector<const Tensor*>& inputs,
   const Tensor& x = *inputs[0];
   const Tensor& dy = *inputs[1];
   Tensor& dx = *outputs[0];
-  for (int64_t i = 0; i < dx.num_elements(); ++i) {
-    dx.at(i) = x.at(i) > 0 ? dy.at(i) : 0.0f;
-  }
+  core::ParallelFor(0, dx.num_elements(),
+                    core::GrainFor(dx.num_elements(), 1),
+                    [&](int64_t lo, int64_t hi) {
+                      for (int64_t i = lo; i < hi; ++i) {
+                        dx.at(i) = x.at(i) > 0 ? dy.at(i) : 0.0f;
+                      }
+                    });
   return Status::OK();
 }
 
@@ -320,7 +341,13 @@ Status GeluOp::Compute(const std::vector<const Tensor*>& inputs,
                        const std::vector<Tensor*>& outputs) const {
   const Tensor& x = *inputs[0];
   Tensor& y = *outputs[0];
-  for (int64_t i = 0; i < y.num_elements(); ++i) y.at(i) = Value(x.at(i));
+  core::ParallelFor(0, y.num_elements(),
+                    core::GrainFor(y.num_elements(), 10),
+                    [&](int64_t lo, int64_t hi) {
+                      for (int64_t i = lo; i < hi; ++i) {
+                        y.at(i) = Value(x.at(i));
+                      }
+                    });
   return Status::OK();
 }
 
@@ -359,9 +386,13 @@ Status GeluGradOp::Compute(const std::vector<const Tensor*>& inputs,
   const Tensor& x = *inputs[0];
   const Tensor& dy = *inputs[1];
   Tensor& dx = *outputs[0];
-  for (int64_t i = 0; i < dx.num_elements(); ++i) {
-    dx.at(i) = dy.at(i) * GeluOp::Derivative(x.at(i));
-  }
+  core::ParallelFor(0, dx.num_elements(),
+                    core::GrainFor(dx.num_elements(), 14),
+                    [&](int64_t lo, int64_t hi) {
+                      for (int64_t i = lo; i < hi; ++i) {
+                        dx.at(i) = dy.at(i) * GeluOp::Derivative(x.at(i));
+                      }
+                    });
   return Status::OK();
 }
 

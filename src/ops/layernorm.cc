@@ -1,7 +1,9 @@
 #include "ops/layernorm.h"
 
 #include <cmath>
+#include <vector>
 
+#include "core/parallel.h"
 #include "graph/graph.h"
 
 namespace tsplit::ops {
@@ -48,22 +50,25 @@ Status LayerNormOp::Compute(const std::vector<const Tensor*>& inputs,
   Tensor& y = *outputs[0];
   const int64_t d = x.shape().dim(x.shape().rank() - 1);
   const int64_t rows = x.num_elements() / d;
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* xr = x.data() + r * d;
-    float* yr = y.data() + r * d;
-    double sum = 0, sq = 0;
-    for (int64_t i = 0; i < d; ++i) {
-      sum += xr[i];
-      sq += static_cast<double>(xr[i]) * xr[i];
-    }
-    double mean = sum / d;
-    double var = sq / d - mean * mean;
-    double invstd = 1.0 / std::sqrt(var + kLayerNormEpsilon);
-    for (int64_t i = 0; i < d; ++i) {
-      yr[i] = static_cast<float>(gamma.at(i) * (xr[i] - mean) * invstd +
-                                 beta.at(i));
-    }
-  }
+  core::ParallelFor(
+      0, rows, core::GrainFor(rows, d), [&](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+          const float* xr = x.data() + r * d;
+          float* yr = y.data() + r * d;
+          double sum = 0, sq = 0;
+          for (int64_t i = 0; i < d; ++i) {
+            sum += xr[i];
+            sq += static_cast<double>(xr[i]) * xr[i];
+          }
+          double mean = sum / d;
+          double var = sq / d - mean * mean;
+          double invstd = 1.0 / std::sqrt(var + kLayerNormEpsilon);
+          for (int64_t i = 0; i < d; ++i) {
+            yr[i] = static_cast<float>(gamma.at(i) * (xr[i] - mean) * invstd +
+                                       beta.at(i));
+          }
+        }
+      });
   return Status::OK();
 }
 
@@ -115,38 +120,63 @@ Status LayerNormGradOp::Compute(const std::vector<const Tensor*>& inputs,
   Tensor& dx = *outputs[0];
   Tensor& dgamma = *outputs[1];
   Tensor& dbeta = *outputs[2];
-  dgamma.Fill(0.0f);
-  dbeta.Fill(0.0f);
-
   const int64_t d = x.shape().dim(x.shape().rank() - 1);
   const int64_t rows = x.num_elements() / d;
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* xr = x.data() + r * d;
-    const float* dyr = dy.data() + r * d;
-    float* dxr = dx.data() + r * d;
-    double sum = 0, sq = 0;
-    for (int64_t i = 0; i < d; ++i) {
-      sum += xr[i];
-      sq += static_cast<double>(xr[i]) * xr[i];
-    }
-    double mean = sum / d;
-    double var = sq / d - mean * mean;
-    double invstd = 1.0 / std::sqrt(var + kLayerNormEpsilon);
 
-    double sum_g = 0, sum_g_xhat = 0;
+  // dx rows are chunk-private; dgamma/dbeta reduce across rows, so each
+  // chunk accumulates into its own partial and the partials are combined
+  // serially in chunk order — deterministic for every thread count (the
+  // chunk decomposition depends only on the shape; see core/parallel.h).
+  const int64_t grain = core::GrainFor(rows, 4 * d);
+  const int64_t num_chunks = (rows + grain - 1) / grain;
+  std::vector<std::vector<float>> partial_dgamma(
+      static_cast<size_t>(num_chunks)),
+      partial_dbeta(static_cast<size_t>(num_chunks));
+
+  core::ParallelFor(
+      0, rows, grain, [&](int64_t lo, int64_t hi) {
+        const size_t chunk = static_cast<size_t>(lo / grain);
+        partial_dgamma[chunk].assign(static_cast<size_t>(d), 0.0f);
+        partial_dbeta[chunk].assign(static_cast<size_t>(d), 0.0f);
+        float* pg = partial_dgamma[chunk].data();
+        float* pb = partial_dbeta[chunk].data();
+        for (int64_t r = lo; r < hi; ++r) {
+          const float* xr = x.data() + r * d;
+          const float* dyr = dy.data() + r * d;
+          float* dxr = dx.data() + r * d;
+          double sum = 0, sq = 0;
+          for (int64_t i = 0; i < d; ++i) {
+            sum += xr[i];
+            sq += static_cast<double>(xr[i]) * xr[i];
+          }
+          double mean = sum / d;
+          double var = sq / d - mean * mean;
+          double invstd = 1.0 / std::sqrt(var + kLayerNormEpsilon);
+
+          double sum_g = 0, sum_g_xhat = 0;
+          for (int64_t i = 0; i < d; ++i) {
+            double xhat = (xr[i] - mean) * invstd;
+            double g = static_cast<double>(dyr[i]) * gamma.at(i);
+            sum_g += g;
+            sum_g_xhat += g * xhat;
+            pg[i] += static_cast<float>(dyr[i] * xhat);
+            pb[i] += dyr[i];
+          }
+          for (int64_t i = 0; i < d; ++i) {
+            double xhat = (xr[i] - mean) * invstd;
+            double g = static_cast<double>(dyr[i]) * gamma.at(i);
+            dxr[i] = static_cast<float>(
+                invstd * (g - sum_g / d - xhat * sum_g_xhat / d));
+          }
+        }
+      });
+
+  dgamma.Fill(0.0f);
+  dbeta.Fill(0.0f);
+  for (size_t chunk = 0; chunk < static_cast<size_t>(num_chunks); ++chunk) {
     for (int64_t i = 0; i < d; ++i) {
-      double xhat = (xr[i] - mean) * invstd;
-      double g = static_cast<double>(dyr[i]) * gamma.at(i);
-      sum_g += g;
-      sum_g_xhat += g * xhat;
-      dgamma.at(i) += static_cast<float>(dyr[i] * xhat);
-      dbeta.at(i) += dyr[i];
-    }
-    for (int64_t i = 0; i < d; ++i) {
-      double xhat = (xr[i] - mean) * invstd;
-      double g = static_cast<double>(dyr[i]) * gamma.at(i);
-      dxr[i] = static_cast<float>(
-          invstd * (g - sum_g / d - xhat * sum_g_xhat / d));
+      dgamma.at(i) += partial_dgamma[chunk][static_cast<size_t>(i)];
+      dbeta.at(i) += partial_dbeta[chunk][static_cast<size_t>(i)];
     }
   }
   return Status::OK();

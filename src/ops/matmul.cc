@@ -1,8 +1,63 @@
 #include "ops/matmul.h"
 
+#include <algorithm>
+
+#include "core/parallel.h"
 #include "graph/graph.h"
 
 namespace tsplit::ops {
+
+namespace {
+
+// K-blocking keeps a b-panel of kKBlock rows hot in cache across the rows
+// of a chunk. Accumulation into y stays in ascending-k order, so blocked
+// results are bitwise identical to the naive i/j/k kernel.
+constexpr int64_t kKBlock = 64;
+constexpr int64_t kRowBlock = 32;
+
+// One (group, row-range) chunk of C = op_a(A) @ op_b(B), B not transposed:
+// i/k/j ordering with a contiguous axpy inner loop over B's rows.
+void MatMulRowsBNormal(const float* ag, const float* bg, float* yg,
+                       int64_t row_lo, int64_t row_hi, int64_t n, int64_t k,
+                       int64_t a_cols, bool trans_a) {
+  std::fill(yg + row_lo * n, yg + row_hi * n, 0.0f);
+  for (int64_t k0 = 0; k0 < k; k0 += kKBlock) {
+    const int64_t k1 = std::min(k, k0 + kKBlock);
+    for (int64_t i = row_lo; i < row_hi; ++i) {
+      float* yrow = yg + i * n;
+      for (int64_t kk = k0; kk < k1; ++kk) {
+        const float av = trans_a ? ag[kk * a_cols + i] : ag[i * a_cols + kk];
+        const float* brow = bg + kk * n;
+        for (int64_t j = 0; j < n; ++j) yrow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+// Same chunk with B transposed ([N, K] row-major): every (i, j) output is a
+// dot of a contiguous B row against A's row (gathered when A is transposed).
+void MatMulRowsBTrans(const float* ag, const float* bg, float* yg,
+                      int64_t row_lo, int64_t row_hi, int64_t n, int64_t k,
+                      int64_t a_cols, bool trans_a) {
+  for (int64_t i = row_lo; i < row_hi; ++i) {
+    float* yrow = yg + i * n;
+    const float* arow = trans_a ? nullptr : ag + i * a_cols;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = bg + j * k;
+      float acc = 0;
+      if (arow != nullptr) {
+        for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      } else {
+        for (int64_t kk = 0; kk < k; ++kk) {
+          acc += ag[kk * a_cols + i] * brow[kk];
+        }
+      }
+      yrow[j] = acc;
+    }
+  }
+}
+
+}  // namespace
 
 Result<MatMulOp::Dims> MatMulOp::ResolveDims(
     const std::vector<Shape>& inputs) const {
@@ -65,26 +120,28 @@ Status MatMulOp::Compute(const std::vector<const Tensor*>& inputs,
 
   const int64_t a_rows = trans_a_ ? d.k : d.m;
   const int64_t a_cols = trans_a_ ? d.m : d.k;
-  const int64_t b_rows = trans_b_ ? d.n : d.k;
-  const int64_t b_cols = trans_b_ ? d.k : d.n;
-  (void)b_rows;
 
-  for (int64_t g = 0; g < d.groups; ++g) {
-    const float* ag = a + g * a_rows * a_cols;
-    const float* bg = b + g * (trans_b_ ? d.n * d.k : d.k * d.n);
-    float* yg = y + g * d.m * d.n;
-    for (int64_t i = 0; i < d.m; ++i) {
-      for (int64_t j = 0; j < d.n; ++j) {
-        float acc = 0;
-        for (int64_t kk = 0; kk < d.k; ++kk) {
-          float av = trans_a_ ? ag[kk * a_cols + i] : ag[i * a_cols + kk];
-          float bv = trans_b_ ? bg[j * b_cols + kk] : bg[kk * b_cols + j];
-          acc += av * bv;
+  // Chunks are (group, fixed-size row block) pairs: disjoint output rows,
+  // so the decomposition is exact for any thread count.
+  const int64_t row_blocks = (d.m + kRowBlock - 1) / kRowBlock;
+  core::ParallelFor(
+      0, d.groups * row_blocks, 1, [&](int64_t lo, int64_t hi) {
+        for (int64_t task = lo; task < hi; ++task) {
+          const int64_t g = task / row_blocks;
+          const int64_t row_lo = (task % row_blocks) * kRowBlock;
+          const int64_t row_hi = std::min(d.m, row_lo + kRowBlock);
+          const float* ag = a + g * a_rows * a_cols;
+          const float* bg = b + g * d.k * d.n;
+          float* yg = y + g * d.m * d.n;
+          if (trans_b_) {
+            MatMulRowsBTrans(ag, bg, yg, row_lo, row_hi, d.n, d.k, a_cols,
+                             trans_a_);
+          } else {
+            MatMulRowsBNormal(ag, bg, yg, row_lo, row_hi, d.n, d.k, a_cols,
+                              trans_a_);
+          }
         }
-        yg[i * d.n + j] = acc;
-      }
-    }
-  }
+      });
   return Status::OK();
 }
 

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "core/parallel.h"
 #include "graph/graph.h"
 
 namespace tsplit::ops {
@@ -54,8 +55,12 @@ Status Pool2dOp::Compute(const std::vector<const Tensor*>& inputs,
   const int64_t oh = y.shape().dim(2), ow = y.shape().dim(3);
   const int k = config_.kernel, s = config_.stride, p = config_.padding;
 
-  for (int64_t in = 0; in < n; ++in) {
-    for (int64_t ic = 0; ic < c; ++ic) {
+  core::ParallelFor(
+      0, n * c, core::GrainFor(n * c, oh * ow * k * k),
+      [&, s, p](int64_t task_lo, int64_t task_hi) {
+    for (int64_t task = task_lo; task < task_hi; ++task) {
+      const int64_t in = task / c;
+      const int64_t ic = task % c;
       for (int64_t i = 0; i < oh; ++i) {
         for (int64_t j = 0; j < ow; ++j) {
           if (config_.mode == PoolMode::kMax) {
@@ -86,7 +91,7 @@ Status Pool2dOp::Compute(const std::vector<const Tensor*>& inputs,
         }
       }
     }
-  }
+      });
   return Status::OK();
 }
 
@@ -130,8 +135,12 @@ Status Pool2dGradOp::Compute(const std::vector<const Tensor*>& inputs,
   const int64_t oh = dy.shape().dim(2), ow = dy.shape().dim(3);
   const int k = config_.kernel, s = config_.stride, p = config_.padding;
 
-  for (int64_t in = 0; in < n; ++in) {
-    for (int64_t ic = 0; ic < c; ++ic) {
+  core::ParallelFor(
+      0, n * c, core::GrainFor(n * c, oh * ow * k * k),
+      [&, s, p](int64_t task_lo, int64_t task_hi) {
+    for (int64_t task = task_lo; task < task_hi; ++task) {
+      const int64_t in = task / c;
+      const int64_t ic = task % c;
       for (int64_t i = 0; i < oh; ++i) {
         for (int64_t j = 0; j < ow; ++j) {
           float g = dy.at4(in, ic, i, j);
@@ -169,7 +178,7 @@ Status Pool2dGradOp::Compute(const std::vector<const Tensor*>& inputs,
         }
       }
     }
-  }
+      });
   return Status::OK();
 }
 

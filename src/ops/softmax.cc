@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
+#include "core/parallel.h"
 #include "graph/graph.h"
 
 namespace tsplit::ops {
@@ -55,9 +57,12 @@ Status SoftmaxOp::Compute(const std::vector<const Tensor*>& inputs,
   Tensor& y = *outputs[0];
   const int64_t d = x.shape().dim(x.shape().rank() - 1);
   const int64_t rows = x.num_elements() / d;
-  for (int64_t r = 0; r < rows; ++r) {
-    SoftmaxRow(x.data() + r * d, y.data() + r * d, d);
-  }
+  core::ParallelFor(0, rows, core::GrainFor(rows, d),
+                    [&](int64_t lo, int64_t hi) {
+                      for (int64_t r = lo; r < hi; ++r) {
+                        SoftmaxRow(x.data() + r * d, y.data() + r * d, d);
+                      }
+                    });
   return Status::OK();
 }
 
@@ -97,16 +102,21 @@ Status SoftmaxGradOp::Compute(const std::vector<const Tensor*>& inputs,
   Tensor& dx = *outputs[0];
   const int64_t d = y.shape().dim(y.shape().rank() - 1);
   const int64_t rows = y.num_elements() / d;
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* yr = y.data() + r * d;
-    const float* dyr = dy.data() + r * d;
-    float* dxr = dx.data() + r * d;
-    double dot = 0;
-    for (int64_t i = 0; i < d; ++i) dot += static_cast<double>(yr[i]) * dyr[i];
-    for (int64_t i = 0; i < d; ++i) {
-      dxr[i] = static_cast<float>(yr[i] * (dyr[i] - dot));
-    }
-  }
+  core::ParallelFor(
+      0, rows, core::GrainFor(rows, d), [&](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+          const float* yr = y.data() + r * d;
+          const float* dyr = dy.data() + r * d;
+          float* dxr = dx.data() + r * d;
+          double dot = 0;
+          for (int64_t i = 0; i < d; ++i) {
+            dot += static_cast<double>(yr[i]) * dyr[i];
+          }
+          for (int64_t i = 0; i < d; ++i) {
+            dxr[i] = static_cast<float>(yr[i] * (dyr[i] - dot));
+          }
+        }
+      });
   return Status::OK();
 }
 
@@ -140,10 +150,13 @@ Status CausalSoftmaxOp::Compute(const std::vector<const Tensor*>& inputs,
   Tensor& y = *outputs[0];
   const int64_t groups = x.shape().dim(0);
   const int64_t s = x.shape().dim(1);
-  for (int64_t g = 0; g < groups; ++g) {
-    for (int64_t i = 0; i < s; ++i) {
-      const float* row = x.data() + (g * s + i) * s;
-      float* out = y.data() + (g * s + i) * s;
+  core::ParallelFor(
+      0, groups * s, core::GrainFor(groups * s, s),
+      [&](int64_t lo, int64_t hi) {
+    for (int64_t row_idx = lo; row_idx < hi; ++row_idx) {
+      const int64_t i = row_idx % s;
+      const float* row = x.data() + row_idx * s;
+      float* out = y.data() + row_idx * s;
       // Softmax over the causal prefix [0, i]; masked tail is exactly 0.
       float max = row[0];
       for (int64_t j = 1; j <= i; ++j) max = std::max(max, row[j]);
@@ -156,7 +169,7 @@ Status CausalSoftmaxOp::Compute(const std::vector<const Tensor*>& inputs,
       for (int64_t j = 0; j <= i; ++j) out[j] *= inv;
       for (int64_t j = i + 1; j < s; ++j) out[j] = 0.0f;
     }
-  }
+      });
   return Status::OK();
 }
 
@@ -207,14 +220,22 @@ Status CrossEntropyLossOp::Compute(const std::vector<const Tensor*>& inputs,
   const Tensor& labels = *inputs[1];
   const int64_t rows = logits.shape().dim(0);
   const int64_t classes = logits.shape().dim(1);
-  std::vector<float> probs(static_cast<size_t>(classes));
+  // Per-row losses computed in parallel, then reduced serially in row
+  // order — the same fp addition sequence for every thread count.
+  std::vector<double> row_loss(static_cast<size_t>(rows));
+  core::ParallelFor(
+      0, rows, core::GrainFor(rows, classes), [&](int64_t lo, int64_t hi) {
+        std::vector<float> probs(static_cast<size_t>(classes));
+        for (int64_t r = lo; r < hi; ++r) {
+          SoftmaxRow(logits.data() + r * classes, probs.data(), classes);
+          auto label = static_cast<int64_t>(labels.at(r));
+          label = std::clamp<int64_t>(label, 0, classes - 1);
+          row_loss[static_cast<size_t>(r)] =
+              std::log(std::max(probs[static_cast<size_t>(label)], 1e-12f));
+        }
+      });
   double loss = 0;
-  for (int64_t r = 0; r < rows; ++r) {
-    SoftmaxRow(logits.data() + r * classes, probs.data(), classes);
-    auto label = static_cast<int64_t>(labels.at(r));
-    label = std::clamp<int64_t>(label, 0, classes - 1);
-    loss -= std::log(std::max(probs[static_cast<size_t>(label)], 1e-12f));
-  }
+  for (int64_t r = 0; r < rows; ++r) loss -= row_loss[static_cast<size_t>(r)];
   outputs[0]->at(0) = static_cast<float>(loss / rows);
   return Status::OK();
 }
@@ -256,14 +277,17 @@ Status CrossEntropyGradOp::Compute(const std::vector<const Tensor*>& inputs,
   const int64_t classes = logits.shape().dim(1);
   // Normalize by the forward batch, not the (possibly sliced) local rows.
   const float scale = dloss / static_cast<float>(total_rows_);
-  for (int64_t r = 0; r < rows; ++r) {
-    float* dxr = dx.data() + r * classes;
-    SoftmaxRow(logits.data() + r * classes, dxr, classes);
-    auto label = static_cast<int64_t>(labels.at(r));
-    label = std::clamp<int64_t>(label, 0, classes - 1);
-    dxr[label] -= 1.0f;
-    for (int64_t c = 0; c < classes; ++c) dxr[c] *= scale;
-  }
+  core::ParallelFor(
+      0, rows, core::GrainFor(rows, classes), [&](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+          float* dxr = dx.data() + r * classes;
+          SoftmaxRow(logits.data() + r * classes, dxr, classes);
+          auto label = static_cast<int64_t>(labels.at(r));
+          label = std::clamp<int64_t>(label, 0, classes - 1);
+          dxr[label] -= 1.0f;
+          for (int64_t c = 0; c < classes; ++c) dxr[c] *= scale;
+        }
+      });
   return Status::OK();
 }
 

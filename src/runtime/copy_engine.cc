@@ -1,0 +1,65 @@
+#include "runtime/copy_engine.h"
+
+namespace tsplit::runtime {
+
+CopyEngine::CopyEngine(size_t max_depth)
+    : max_depth_(max_depth == 0 ? 1 : max_depth),
+      worker_([this] { WorkerLoop(); }) {}
+
+CopyEngine::~CopyEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  worker_.join();
+}
+
+CopyEngine::Ticket CopyEngine::Submit(std::function<void()> job) {
+  Ticket ticket;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_cv_.wait(lock, [this] { return queue_.size() < max_depth_; });
+    ticket = next_ticket_++;
+    queue_.emplace_back(ticket, std::move(job));
+  }
+  work_cv_.notify_one();
+  return ticket;
+}
+
+bool CopyEngine::Finished(Ticket ticket) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_ >= ticket;
+}
+
+void CopyEngine::Wait(Ticket ticket) {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this, ticket] { return completed_ >= ticket; });
+}
+
+void CopyEngine::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return completed_ + 1 == next_ticket_; });
+}
+
+void CopyEngine::WorkerLoop() {
+  for (;;) {
+    std::pair<Ticket, std::function<void()>> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with nothing left to copy
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    queue_cv_.notify_one();
+    job.second();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      completed_ = job.first;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+}  // namespace tsplit::runtime

@@ -1,0 +1,64 @@
+#ifndef TSPLIT_RUNTIME_COPY_ENGINE_H_
+#define TSPLIT_RUNTIME_COPY_ENGINE_H_
+
+// Background copy thread standing in for the runtime's dedicated transfer
+// stream (paper §V-D; SuperNeurons-style async prefetch/offload). Jobs are
+// executed strictly FIFO by one worker — exactly the per-stream ordering
+// the augmented program's timing edges assume — while the submitting
+// (compute) thread keeps running, which is what lets a kSwapOut D2H copy
+// or a kSwapIn prefetch overlap with kernel execution.
+//
+// The queue is bounded: Submit blocks when `max_depth` jobs are pending,
+// modelling the transfer FIFO backpressure a real stream exerts.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace tsplit::runtime {
+
+class CopyEngine {
+ public:
+  using Ticket = uint64_t;
+
+  explicit CopyEngine(size_t max_depth = 8);
+  ~CopyEngine();
+
+  CopyEngine(const CopyEngine&) = delete;
+  CopyEngine& operator=(const CopyEngine&) = delete;
+
+  // Enqueues `job`; blocks while the queue is at max depth. Returns a
+  // monotonically increasing ticket. Jobs complete in ticket order.
+  Ticket Submit(std::function<void()> job);
+
+  // True once the job for `ticket` has finished (never blocks).
+  bool Finished(Ticket ticket) const;
+
+  // Blocks until the job for `ticket` has finished — the executor's fence.
+  void Wait(Ticket ticket);
+
+  // Blocks until every submitted job has finished.
+  void Drain();
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;   // signals space in the queue
+  std::condition_variable work_cv_;    // signals work for the worker
+  std::condition_variable done_cv_;    // signals job completion
+  std::deque<std::pair<Ticket, std::function<void()>>> queue_;
+  size_t max_depth_;
+  Ticket next_ticket_ = 1;
+  Ticket completed_ = 0;  // FIFO worker => tickets complete in order
+  bool shutdown_ = false;
+  std::thread worker_;
+};
+
+}  // namespace tsplit::runtime
+
+#endif  // TSPLIT_RUNTIME_COPY_ENGINE_H_

@@ -1,6 +1,8 @@
 #include "runtime/functional_executor.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 
 #include "core/logging.h"
 
@@ -11,6 +13,18 @@ using rewrite::BufferKey;
 using rewrite::Step;
 using rewrite::StepKind;
 }  // namespace
+
+FunctionalExecutor::FunctionalExecutor(const Graph* graph,
+                                       size_t device_capacity)
+    : graph_(graph), pool_(device_capacity) {
+  const char* env = std::getenv("TSPLIT_ASYNC_SWAP");
+  async_swap_ = !(env != nullptr && env[0] == '0');
+}
+
+// engine_ is declared after the buffer maps, so its destructor (which
+// drains the worker) runs while the tensors the copies reference are
+// still alive.
+FunctionalExecutor::~FunctionalExecutor() = default;
 
 Status FunctionalExecutor::Bind(TensorId id, Tensor value) {
   if (id < 0 || id >= graph_->num_tensors()) {
@@ -40,14 +54,34 @@ Result<Shape> FunctionalExecutor::KeyShape(
                          key.micro);
 }
 
+size_t FunctionalExecutor::KeyBytes(const BufferKey& key,
+                                    const Tensor& tensor) const {
+  if (program_ != nullptr) {
+    auto it = program_->buffer_bytes.find(key);
+    if (it != program_->buffer_bytes.end()) return it->second;
+  }
+  return static_cast<size_t>(tensor.num_elements()) *
+         SizeOf(graph_->tensor(key.tensor).dtype);
+}
+
+Result<size_t> FunctionalExecutor::AllocateWithDrain(size_t bytes) {
+  auto offset = pool_.Allocate(bytes);
+  if (offset.ok() || inflight_.empty()) return offset;
+  // Deferred swap-out frees may be holding the space: land everything in
+  // flight (the sync path would have freed these already) and retry.
+  RETURN_IF_ERROR(ProcessLanded(/*wait_all=*/true));
+  return pool_.Allocate(bytes);
+}
+
 Status FunctionalExecutor::AllocBuffer(const BufferKey& key,
                                        const rewrite::Program& program,
                                        Shape shape) {
   auto bytes_it = program.buffer_bytes.find(key);
   size_t bytes = bytes_it != program.buffer_bytes.end()
                      ? bytes_it->second
-                     : static_cast<size_t>(shape.num_elements()) * 4;
-  auto offset = pool_.Allocate(bytes);
+                     : static_cast<size_t>(shape.num_elements()) *
+                           SizeOf(graph_->tensor(key.tensor).dtype);
+  auto offset = AllocateWithDrain(bytes);
   if (!offset.ok()) {
     return Status::OutOfMemory("functional OOM allocating " +
                                graph_->tensor(key.tensor).name + ": " +
@@ -114,7 +148,106 @@ Result<const Tensor*> FunctionalExecutor::ResolveGroup(
   return &storage->back();
 }
 
+// ----------------------------------------------------- async swap engine
+
+Status FunctionalExecutor::Land(const BufferKey& key,
+                                const InflightCopy& copy) {
+  if (copy.is_swap_out) {
+    // Nothing left to do: the pool reservation was released at the
+    // swap-out step; dropping `copy.retained` frees the source storage.
+    (void)key;
+  } else {
+    // The H2D copy has landed: the host staging copy is consumed.
+    host_.erase(key);
+  }
+  return Status::OK();
+}
+
+Status FunctionalExecutor::FenceKey(const BufferKey& key) {
+  auto it = inflight_.find(key);
+  if (it == inflight_.end()) return Status::OK();
+  engine_->Wait(it->second.ticket);
+  InflightCopy copy = std::move(it->second);
+  inflight_.erase(it);
+  return Land(key, copy);
+}
+
+Status FunctionalExecutor::ProcessLanded(bool wait_all) {
+  if (inflight_.empty()) return Status::OK();
+  if (wait_all) engine_->Drain();
+  for (auto it = inflight_.begin(); it != inflight_.end();) {
+    if (engine_->Finished(it->second.ticket)) {
+      RETURN_IF_ERROR(Land(it->first, it->second));
+      it = inflight_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::OK();
+}
+
+Status FunctionalExecutor::ExecSwapOut(const Step& step) {
+  RETURN_IF_ERROR(FenceKey(step.buffer));
+  auto it = device_.find(step.buffer);
+  if (it == device_.end()) {
+    return Status::Internal("swap-out of non-resident buffer");
+  }
+  if (!engine_) engine_ = std::make_unique<CopyEngine>();
+
+  // Release the pool reservation NOW — the capacity timeline the planner
+  // modelled — but retain the source storage until the copy lands. Mirrors
+  // the sync path's bookkeeping (which also archives the post-move husk).
+  auto offset_it = offsets_.find(step.buffer);
+  if (offset_it == offsets_.end()) {
+    return Status::Internal("swap-out of unallocated buffer");
+  }
+  RETURN_IF_ERROR(pool_.Free(offset_it->second));
+  offsets_.erase(offset_it);
+
+  InflightCopy copy;
+  copy.is_swap_out = true;
+  copy.retained = std::move(it->second);
+  device_.erase(it);
+  if (keep_freed_values_) archive_[step.buffer] = Tensor();
+
+  // Stage the host destination; the worker fills it. Map nodes are
+  // pointer-stable and every later touch of this key fences first, so the
+  // raw pointers stay valid for the copy's lifetime.
+  Tensor& host_dst = host_[step.buffer];
+  host_dst = Tensor(copy.retained.shape());
+  const float* src = copy.retained.data();
+  float* dst = host_dst.data();
+  const size_t count = static_cast<size_t>(copy.retained.num_elements());
+  copy.ticket = engine_->Submit(
+      [src, dst, count] { std::memcpy(dst, src, count * sizeof(float)); });
+  inflight_[step.buffer] = std::move(copy);
+  return Status::OK();
+}
+
+Status FunctionalExecutor::ExecSwapIn(const Step& step,
+                                      const rewrite::Program& program) {
+  RETURN_IF_ERROR(FenceKey(step.buffer));
+  auto it = host_.find(step.buffer);
+  if (it == host_.end()) {
+    return Status::Internal("swap-in without a host copy");
+  }
+  ASSIGN_OR_RETURN(Shape shape, KeyShape(step.buffer, program));
+  RETURN_IF_ERROR(AllocBuffer(step.buffer, program, std::move(shape)));
+  if (!engine_) engine_ = std::make_unique<CopyEngine>();
+  const float* src = it->second.data();
+  float* dst = device_[step.buffer].data();
+  const size_t count = static_cast<size_t>(it->second.num_elements());
+  auto ticket = engine_->Submit(
+      [src, dst, count] { std::memcpy(dst, src, count * sizeof(float)); });
+  inflight_[step.buffer] = InflightCopy{ticket, /*is_swap_out=*/false};
+  return Status::OK();
+}
+
+// ------------------------------------------------------------------ run
+
 Status FunctionalExecutor::Run(const rewrite::Program& program) {
+  program_ = &program;
+
   // Stage sources onto the device (split sources land as micro parts).
   for (const TensorDesc& tensor : graph_->tensors()) {
     if (tensor.producer != kInvalidOp) continue;
@@ -146,18 +279,27 @@ Status FunctionalExecutor::Run(const rewrite::Program& program) {
   }
 
   for (const Step& step : program.steps) {
+    // Opportunistically retire landed copies (applies deferred frees
+    // without blocking — the compute/transfer overlap point).
+    RETURN_IF_ERROR(ProcessLanded(/*wait_all=*/false));
     switch (step.kind) {
       case StepKind::kAlloc: {
+        RETURN_IF_ERROR(FenceKey(step.buffer));
         ASSIGN_OR_RETURN(Shape shape, KeyShape(step.buffer, program));
         RETURN_IF_ERROR(AllocBuffer(step.buffer, program, std::move(shape)));
         break;
       }
       case StepKind::kFree:
       case StepKind::kDrop: {
+        RETURN_IF_ERROR(FenceKey(step.buffer));
         RETURN_IF_ERROR(FreeBuffer(step.buffer));
         break;
       }
       case StepKind::kSwapOut: {
+        if (async_swap_) {
+          RETURN_IF_ERROR(ExecSwapOut(step));
+          break;
+        }
         auto it = device_.find(step.buffer);
         if (it == device_.end()) {
           return Status::Internal("swap-out of non-resident buffer");
@@ -167,6 +309,10 @@ Status FunctionalExecutor::Run(const rewrite::Program& program) {
         break;
       }
       case StepKind::kSwapIn: {
+        if (async_swap_) {
+          RETURN_IF_ERROR(ExecSwapIn(step, program));
+          break;
+        }
         auto it = host_.find(step.buffer);
         if (it == host_.end()) {
           return Status::Internal("swap-in without a host copy");
@@ -180,12 +326,16 @@ Status FunctionalExecutor::Run(const rewrite::Program& program) {
       case StepKind::kSplitCopy: {
         // Whole buffer -> micro buffers (micros were just alloc'd).
         BufferKey whole_key{step.buffer.tensor, -1};
-        ASSIGN_OR_RETURN(const Tensor* whole, DeviceTensor(whole_key));
+        RETURN_IF_ERROR(FenceKey(whole_key));
         auto split_it = program.split_configs.find(step.buffer.tensor);
         if (split_it == program.split_configs.end()) {
           return Status::Internal("split copy without split config");
         }
         const SplitConfig& split = split_it->second;
+        for (int j = 0; j < split.p_num; ++j) {
+          RETURN_IF_ERROR(FenceKey(BufferKey{step.buffer.tensor, j}));
+        }
+        ASSIGN_OR_RETURN(const Tensor* whole, DeviceTensor(whole_key));
         for (int j = 0; j < split.p_num; ++j) {
           BufferKey key{step.buffer.tensor, j};
           ASSIGN_OR_RETURN(
@@ -201,6 +351,7 @@ Status FunctionalExecutor::Run(const rewrite::Program& program) {
       }
       case StepKind::kMergeCopy: {
         BufferKey whole_key{step.buffer.tensor, -1};
+        RETURN_IF_ERROR(FenceKey(whole_key));
         auto whole_it = device_.find(whole_key);
         if (whole_it == device_.end()) {
           return Status::Internal("merge copy without whole buffer");
@@ -211,6 +362,9 @@ Status FunctionalExecutor::Run(const rewrite::Program& program) {
         }
         const SplitConfig& split = split_it->second;
         const Shape& whole_shape = whole_it->second.shape();
+        for (int j = 0; j < split.p_num; ++j) {
+          RETURN_IF_ERROR(FenceKey(BufferKey{step.buffer.tensor, j}));
+        }
         for (int j = 0; j < split.p_num; ++j) {
           ASSIGN_OR_RETURN(const Tensor* part,
                            DeviceTensor(BufferKey{step.buffer.tensor, j}));
@@ -228,7 +382,8 @@ Status FunctionalExecutor::Run(const rewrite::Program& program) {
       }
     }
   }
-  program_ = &program;
+  // Land everything so ValueOf and the byte accounting see final state.
+  RETURN_IF_ERROR(ProcessLanded(/*wait_all=*/true));
   return Status::OK();
 }
 
@@ -236,11 +391,20 @@ Status FunctionalExecutor::RunCompute(const rewrite::Step& step,
                                       const rewrite::Program& program) {
   const OpNode& node = graph_->node(step.op);
 
+  // Fence: a compute must not read a buffer whose H2D prefetch is still in
+  // flight, nor write one whose D2H copy has not landed.
+  if (!inflight_.empty()) {
+    for (const auto& group : step.inputs) {
+      for (const BufferKey& key : group) RETURN_IF_ERROR(FenceKey(key));
+    }
+    for (const BufferKey& key : step.outputs) RETURN_IF_ERROR(FenceKey(key));
+  }
+
   // Workspace accounting (the functional path needs no real scratch).
   size_t workspace_offset = 0;
   bool has_workspace = step.workspace_bytes > 0;
   if (has_workspace) {
-    auto offset = pool_.Allocate(step.workspace_bytes);
+    auto offset = AllocateWithDrain(step.workspace_bytes);
     if (!offset.ok()) {
       return Status::OutOfMemory("functional OOM on workspace of " +
                                  node.name);
@@ -453,7 +617,15 @@ Result<Tensor> FunctionalExecutor::ValueOf(TensorId id) const {
 size_t FunctionalExecutor::host_bytes() const {
   size_t bytes = 0;
   for (const auto& [key, tensor] : host_) {
-    bytes += static_cast<size_t>(tensor.num_elements()) * 4;
+    bytes += KeyBytes(key, tensor);
+  }
+  return bytes;
+}
+
+size_t FunctionalExecutor::archived_bytes() const {
+  size_t bytes = 0;
+  for (const auto& [key, tensor] : archive_) {
+    bytes += KeyBytes(key, tensor);
   }
   return bytes;
 }

@@ -1,0 +1,233 @@
+// Determinism tests for the parallel execution substrate: every
+// parallelized kernel must produce bitwise-identical outputs regardless of
+// the thread count (the ParallelFor contract — chunk decomposition depends
+// only on the loop bounds and grain, and cross-chunk reductions happen in
+// chunk order on one thread). Also asserts the functional executor's async
+// swap engine reproduces the synchronous path's values exactly.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "core/parallel.h"
+#include "models/model.h"
+#include "ops/batchnorm.h"
+#include "ops/conv2d.h"
+#include "ops/elementwise.h"
+#include "ops/layernorm.h"
+#include "ops/matmul.h"
+#include "ops/pool.h"
+#include "ops/softmax.h"
+#include "planner/planner.h"
+#include "rewrite/program.h"
+#include "runtime/functional_executor.h"
+#include "runtime/interpreter.h"
+
+namespace tsplit {
+namespace {
+
+using core::SetNumThreads;
+
+Tensor RandomTensor(const Shape& shape, uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  Tensor t(shape);
+  for (float& v : t.vec()) v = dist(rng);
+  return t;
+}
+
+// Class-id labels stored as floats, as CrossEntropyLossOp expects.
+Tensor RandomLabels(int64_t rows, int64_t classes, uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> dist(0, static_cast<int>(classes) - 1);
+  Tensor t(Shape{rows});
+  for (float& v : t.vec()) v = static_cast<float>(dist(rng));
+  return t;
+}
+
+// Runs `op` on `inputs` and returns all outputs.
+std::vector<Tensor> RunOp(const Op& op,
+                          const std::vector<const Tensor*>& inputs) {
+  std::vector<Shape> shapes;
+  for (const Tensor* t : inputs) shapes.push_back(t->shape());
+  auto out_shapes = op.InferShapes(shapes);
+  TSPLIT_CHECK_OK(out_shapes.status());
+  std::vector<Tensor> outs;
+  outs.reserve(out_shapes->size());
+  for (const Shape& s : *out_shapes) outs.emplace_back(s);
+  std::vector<Tensor*> out_ptrs;
+  for (Tensor& t : outs) out_ptrs.push_back(&t);
+  TSPLIT_CHECK_OK(op.Compute(inputs, out_ptrs));
+  return outs;
+}
+
+// The core assertion: serial and 4-thread runs agree bit for bit.
+void ExpectThreadCountInvariant(const Op& op,
+                                const std::vector<const Tensor*>& inputs) {
+  SetNumThreads(1);
+  std::vector<Tensor> serial = RunOp(op, inputs);
+  SetNumThreads(4);
+  std::vector<Tensor> parallel = RunOp(op, inputs);
+  SetNumThreads(0);  // restore the env/hardware default
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    // Vector equality on floats is exact — bitwise up to -0.0f == 0.0f.
+    EXPECT_EQ(serial[i].vec(), parallel[i].vec())
+        << op.type_name() << " output " << i
+        << " differs between 1 and 4 threads";
+  }
+}
+
+TEST(ParallelDeterminismTest, MatMulAllTransposeCombos) {
+  Tensor a = RandomTensor(Shape{37, 29}, 1);
+  Tensor at = RandomTensor(Shape{29, 37}, 2);
+  Tensor b = RandomTensor(Shape{29, 23}, 3);
+  Tensor bt = RandomTensor(Shape{23, 29}, 4);
+  ExpectThreadCountInvariant(ops::MatMulOp(false, false), {&a, &b});
+  ExpectThreadCountInvariant(ops::MatMulOp(true, false), {&at, &b});
+  ExpectThreadCountInvariant(ops::MatMulOp(false, true), {&a, &bt});
+  ExpectThreadCountInvariant(ops::MatMulOp(true, true), {&at, &bt});
+}
+
+TEST(ParallelDeterminismTest, MatMulBatchedRank3) {
+  Tensor a = RandomTensor(Shape{5, 17, 33}, 5);
+  Tensor b = RandomTensor(Shape{5, 33, 19}, 6);
+  ExpectThreadCountInvariant(ops::MatMulOp(), {&a, &b});
+  Tensor bt = RandomTensor(Shape{5, 19, 33}, 7);
+  ExpectThreadCountInvariant(ops::MatMulOp(false, true), {&a, &bt});
+}
+
+TEST(ParallelDeterminismTest, Conv2dForwardAndGrads) {
+  ops::ConvConfig config{/*stride=*/2, /*padding=*/1};
+  Shape x_shape{3, 5, 13, 13};
+  Shape w_shape{7, 5, 3, 3};
+  Tensor x = RandomTensor(x_shape, 8);
+  Tensor w = RandomTensor(w_shape, 9);
+  ExpectThreadCountInvariant(ops::Conv2dOp(config), {&x, &w});
+
+  ops::Conv2dOp conv(config);
+  auto y_shape = conv.InferShapes({x_shape, w_shape});
+  ASSERT_TRUE(y_shape.ok());
+  Tensor dy = RandomTensor(y_shape->at(0), 10);
+  ExpectThreadCountInvariant(ops::Conv2dGradInputOp(config, x_shape),
+                             {&w, &dy});
+  ExpectThreadCountInvariant(ops::Conv2dGradFilterOp(config, w_shape),
+                             {&x, &dy});
+}
+
+TEST(ParallelDeterminismTest, Elementwise) {
+  Shape shape{11, 253};
+  Tensor a = RandomTensor(shape, 11);
+  Tensor b = RandomTensor(shape, 12);
+  Tensor bias = RandomTensor(Shape{253}, 13);
+  ExpectThreadCountInvariant(ops::AddOp(), {&a, &b});
+  ExpectThreadCountInvariant(ops::ScaleOp(0.37f), {&a});
+  ExpectThreadCountInvariant(ops::BiasAddOp(1), {&a, &bias});
+  ExpectThreadCountInvariant(ops::ReluOp(), {&a});
+  ExpectThreadCountInvariant(ops::ReluGradOp(), {&a, &b});
+  ExpectThreadCountInvariant(ops::GeluOp(), {&a});
+  ExpectThreadCountInvariant(ops::GeluGradOp(), {&a, &b});
+}
+
+TEST(ParallelDeterminismTest, SoftmaxFamily) {
+  Tensor logits = RandomTensor(Shape{41, 57}, 14);
+  ExpectThreadCountInvariant(ops::SoftmaxOp(), {&logits});
+
+  std::vector<Tensor> y = RunOp(ops::SoftmaxOp(), {&logits});
+  Tensor dy = RandomTensor(Shape{41, 57}, 15);
+  ExpectThreadCountInvariant(ops::SoftmaxGradOp(), {&y[0], &dy});
+
+  Tensor scores = RandomTensor(Shape{6, 21, 21}, 16);
+  ExpectThreadCountInvariant(ops::CausalSoftmaxOp(), {&scores});
+
+  Tensor labels = RandomLabels(41, 57, 17);
+  ExpectThreadCountInvariant(ops::CrossEntropyLossOp(), {&logits, &labels});
+  Tensor dloss = RandomTensor(Shape{}, 18);
+  ExpectThreadCountInvariant(ops::CrossEntropyGradOp(41),
+                             {&logits, &labels, &dloss});
+}
+
+TEST(ParallelDeterminismTest, LayerNormForwardAndGrad) {
+  Tensor x = RandomTensor(Shape{45, 67}, 19);
+  Tensor gamma = RandomTensor(Shape{67}, 20);
+  Tensor beta = RandomTensor(Shape{67}, 21);
+  Tensor dy = RandomTensor(Shape{45, 67}, 22);
+  ExpectThreadCountInvariant(ops::LayerNormOp(), {&x, &gamma, &beta});
+  ExpectThreadCountInvariant(ops::LayerNormGradOp(), {&x, &gamma, &dy});
+}
+
+TEST(ParallelDeterminismTest, BatchNormForwardAndGrad) {
+  Tensor x = RandomTensor(Shape{4, 9, 7, 7}, 23);
+  Tensor gamma = RandomTensor(Shape{9}, 24);
+  Tensor beta = RandomTensor(Shape{9}, 25);
+  Tensor dy = RandomTensor(Shape{4, 9, 7, 7}, 26);
+  ExpectThreadCountInvariant(ops::BatchNorm2dOp(), {&x, &gamma, &beta});
+  ExpectThreadCountInvariant(ops::BatchNorm2dGradOp(), {&x, &gamma, &dy});
+}
+
+TEST(ParallelDeterminismTest, PoolForwardAndGrad) {
+  for (ops::PoolMode mode : {ops::PoolMode::kMax, ops::PoolMode::kAvg}) {
+    ops::PoolConfig config{/*kernel=*/3, /*stride=*/2, /*padding=*/1, mode};
+    Tensor x = RandomTensor(Shape{3, 5, 11, 11}, 27);
+    ExpectThreadCountInvariant(ops::Pool2dOp(config), {&x});
+
+    ops::Pool2dOp pool(config);
+    auto y_shape = pool.InferShapes({x.shape()});
+    ASSERT_TRUE(y_shape.ok());
+    Tensor dy = RandomTensor(y_shape->at(0), 28);
+    ExpectThreadCountInvariant(ops::Pool2dGradOp(config), {&x, &dy});
+  }
+}
+
+// The async swap engine must be value-transparent: a swap-heavy program
+// replayed with the background copy thread yields exactly the values the
+// synchronous path produces.
+TEST(ParallelDeterminismTest, AsyncSwapMatchesSyncExecution) {
+  models::CnnConfig config;
+  config.batch = 4;
+  config.image_size = 16;
+  config.num_classes = 4;
+  config.channel_scale = 8.0 / 64.0;
+  auto model = models::BuildVgg(16, config);
+  ASSERT_TRUE(model.ok());
+  auto schedule = BuildSchedule(model->graph);
+  auto profile = planner::ProfileGraph(model->graph, sim::TitanRtx());
+  auto planner = planner::MakePlanner("vDNN-all");
+  auto plan = planner->BuildPlan(model->graph, *schedule, profile, 1);
+  ASSERT_TRUE(plan.ok());
+  auto program =
+      rewrite::GenerateProgram(model->graph, *schedule, *plan, profile);
+  ASSERT_TRUE(program.ok());
+
+  auto bindings = runtime::MakeRandomBindings(model->graph, 7);
+  auto run = [&](bool async) {
+    runtime::FunctionalExecutor executor(&model->graph, size_t{1} << 30);
+    executor.set_async_swap(async);
+    for (const auto& [id, value] : bindings) {
+      TSPLIT_CHECK_OK(executor.Bind(id, value));
+    }
+    TSPLIT_CHECK_OK(executor.Run(*program));
+    std::vector<Tensor> values;
+    for (const TensorDesc& tensor : model->graph.tensors()) {
+      auto value = executor.ValueOf(tensor.id);
+      values.push_back(value.ok() ? std::move(*value) : Tensor());
+    }
+    return values;
+  };
+
+  std::vector<Tensor> sync_values = run(false);
+  std::vector<Tensor> async_values = run(true);
+  ASSERT_EQ(sync_values.size(), async_values.size());
+  int compared = 0;
+  for (size_t i = 0; i < sync_values.size(); ++i) {
+    EXPECT_EQ(sync_values[i].vec(), async_values[i].vec())
+        << "tensor " << model->graph.tensor(static_cast<TensorId>(i)).name
+        << " differs between sync and async swap";
+    if (sync_values[i].num_elements() > 0) ++compared;
+  }
+  EXPECT_GT(compared, 0);
+}
+
+}  // namespace
+}  // namespace tsplit
