@@ -1,0 +1,266 @@
+// Planner scaling bench: BuildPlan wall time under the reference engine
+// (flat M_i vector, full per-round rebuild — the original Algorithm-2 data
+// path) vs the incremental engine (segment-tree timeline, dirty-set
+// resync, cached PCIe/transient evaluation), across models and memory
+// budgets. Verifies both engines emit identical plans, prints a table, and
+// writes machine-readable BENCH_planner.json.
+//
+//   $ ./planner_scaling_benchmark [--smoke] [--out path.json]
+//
+// --smoke runs the two smallest configs only (ctest wiring); --out
+// defaults to BENCH_planner.json in the working directory
+// (bench/run_benchmarks.sh points it at the repo root).
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "graph/liveness.h"
+#include "graph/schedule.h"
+#include "models/model.h"
+#include "planner/memory_sim.h"
+#include "planner/tsplit_planner.h"
+
+using namespace tsplit;
+
+namespace {
+
+struct BenchCase {
+  std::string label;
+  models::Model model;
+  bool is_gpt = false;
+};
+
+struct BenchResult {
+  std::string label;
+  double budget_fraction = 0;
+  size_t budget_bytes = 0;
+  int steps = 0;
+  int tensors = 0;
+  bool planned = false;
+  bool plans_equal = false;
+  double reference_seconds = 0;
+  double incremental_seconds = 0;
+  bool is_gpt = false;
+  planner::PlannerStats stats;  // from the incremental run
+
+  double speedup() const {
+    return incremental_seconds > 0 ? reference_seconds / incremental_seconds
+                                   : 0;
+  }
+};
+
+models::Model MustBuild(Result<models::Model> model) {
+  TSPLIT_CHECK_OK(model.status());
+  return std::move(*model);
+}
+
+models::Model Gpt(int layers, int batch, int seq, int hidden, int heads) {
+  models::GptConfig config;
+  config.num_layers = layers;
+  config.batch = batch;
+  config.seq_len = seq;
+  config.hidden = hidden;
+  config.num_heads = heads;
+  config.vocab = 8000;
+  return MustBuild(models::BuildGpt(config));
+}
+
+std::vector<BenchCase> MakeCases(bool smoke) {
+  std::vector<BenchCase> cases;
+  {
+    models::CnnConfig config;
+    config.batch = smoke ? 8 : 32;
+    config.image_size = 32;
+    config.num_classes = 10;
+    config.channel_scale = 16.0 / 64.0;
+    cases.push_back(
+        {"VGG-16", MustBuild(models::BuildVgg(16, config)), false});
+  }
+  cases.push_back({"GPT-small", Gpt(4, 4, 64, 256, 4), true});
+  if (smoke) return cases;
+  {
+    models::CnnConfig config;
+    config.batch = 16;
+    config.image_size = 64;
+    config.num_classes = 100;
+    config.channel_scale = 16.0 / 64.0;
+    cases.push_back(
+        {"ResNet-50", MustBuild(models::BuildResNet(50, config)), false});
+  }
+  cases.push_back({"GPT-medium", Gpt(8, 8, 128, 512, 8), true});
+  cases.push_back({"GPT-large", Gpt(24, 8, 256, 1024, 16), true});
+  return cases;
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+BenchResult RunCase(BenchCase& c, double fraction) {
+  BenchResult r;
+  r.label = c.label;
+  r.budget_fraction = fraction;
+  r.is_gpt = c.is_gpt;
+
+  auto schedule = BuildSchedule(c.model.graph);
+  TSPLIT_CHECK_OK(schedule.status());
+  auto profile = planner::ProfileGraph(c.model.graph, sim::TitanRtx());
+  auto baseline = ComputeMemoryProfile(c.model.graph, *schedule);
+  size_t floor = baseline.always_live_bytes +
+                 c.model.graph.BytesOfKind(TensorKind::kParamGrad);
+  r.budget_bytes =
+      floor +
+      static_cast<size_t>((baseline.peak_bytes - floor) * fraction);
+  r.steps = schedule->num_steps();
+  r.tensors = c.model.graph.num_tensors();
+
+  planner::TsplitOptions ref_options;
+  ref_options.use_incremental_engine = false;
+  planner::TsplitPlanner reference(ref_options);
+  auto t0 = std::chrono::steady_clock::now();
+  auto ref_plan = reference.BuildPlan(c.model.graph, *schedule, profile,
+                                      r.budget_bytes);
+  r.reference_seconds = SecondsSince(t0);
+
+  planner::TsplitPlanner incremental;  // default: incremental engine
+  t0 = std::chrono::steady_clock::now();
+  auto inc_plan = incremental.BuildPlan(c.model.graph, *schedule, profile,
+                                        r.budget_bytes);
+  r.incremental_seconds = SecondsSince(t0);
+
+  if (ref_plan.ok() != inc_plan.ok()) {
+    std::fprintf(stderr,
+                 "ENGINE DISAGREEMENT on %s @ %.2f: reference %s, "
+                 "incremental %s\n",
+                 c.label.c_str(), fraction,
+                 ref_plan.status().ToString().c_str(),
+                 inc_plan.status().ToString().c_str());
+    return r;
+  }
+  if (!ref_plan.ok()) return r;  // budget infeasible for both: skip row
+  r.planned = true;
+  r.plans_equal = ref_plan->configs == inc_plan->configs;
+  r.stats = inc_plan->stats;
+  return r;
+}
+
+void AppendJson(std::string* out, const BenchResult& r) {
+  char buffer[1024];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "    {\"model\": \"%s\", \"budget_fraction\": %.2f, "
+      "\"budget_bytes\": %zu, \"steps\": %d, \"tensors\": %d, "
+      "\"planned\": %s, \"plans_equal\": %s, "
+      "\"reference_seconds\": %.6f, \"incremental_seconds\": %.6f, "
+      "\"speedup\": %.2f, \"rounds\": %lld, \"candidates_scored\": %lld, "
+      "\"assignments\": %lld, \"rebuilds_avoided\": %lld, "
+      "\"tensors_resynced\": %lld, \"pcie_hit_rate\": %.4f, "
+      "\"transient_hit_rate\": %.4f}",
+      r.label.c_str(), r.budget_fraction, r.budget_bytes, r.steps,
+      r.tensors, r.planned ? "true" : "false",
+      r.plans_equal ? "true" : "false", r.reference_seconds,
+      r.incremental_seconds, r.speedup(),
+      static_cast<long long>(r.stats.rounds),
+      static_cast<long long>(r.stats.candidates_scored),
+      static_cast<long long>(r.stats.assignments),
+      static_cast<long long>(r.stats.rebuilds_avoided),
+      static_cast<long long>(r.stats.tensors_resynced),
+      r.stats.PcieHitRate(), r.stats.TransientHitRate());
+  *out += buffer;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_planner.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+
+  bench::PrintHeader(
+      "Planner scaling: incremental engine vs reference (identical plans)",
+      "reference = flat M_i + full per-round rebuild; incremental = "
+      "segment tree + dirty-set resync + cached PCIe/transients");
+  std::printf("%-12s %6s %7s %8s %10s %10s %8s %6s\n", "model", "budget",
+              "steps", "tensors", "ref (s)", "inc (s)", "speedup", "equal");
+
+  std::vector<double> fractions =
+      smoke ? std::vector<double>{0.5} : std::vector<double>{0.7, 0.5, 0.3};
+  std::vector<BenchCase> cases = MakeCases(smoke);
+  std::vector<BenchResult> results;
+  bool all_equal = true;
+  for (BenchCase& c : cases) {
+    for (double fraction : fractions) {
+      BenchResult r = RunCase(c, fraction);
+      results.push_back(r);
+      if (!r.planned) {
+        std::printf("%-12s %5.0f%% %7d %8d %21s\n", r.label.c_str(),
+                    fraction * 100, r.steps, r.tensors, "infeasible");
+        continue;
+      }
+      all_equal = all_equal && r.plans_equal;
+      std::printf("%-12s %5.0f%% %7d %8d %10.4f %10.4f %7.1fx %6s\n",
+                  r.label.c_str(), fraction * 100, r.steps, r.tensors,
+                  r.reference_seconds, r.incremental_seconds, r.speedup(),
+                  r.plans_equal ? "yes" : "NO");
+    }
+  }
+
+  // The acceptance metric: the largest GPT config at the tightest budget.
+  const BenchResult* flagship = nullptr;
+  for (const BenchResult& r : results) {
+    if (!r.is_gpt || !r.planned) continue;
+    if (flagship == nullptr || r.steps > flagship->steps ||
+        (r.steps == flagship->steps &&
+         r.budget_fraction < flagship->budget_fraction)) {
+      flagship = &r;
+    }
+  }
+  if (flagship != nullptr) {
+    std::printf("\nflagship (largest GPT, tightest budget): %s @ %.0f%% -> "
+                "%.1fx speedup\n",
+                flagship->label.c_str(), flagship->budget_fraction * 100,
+                flagship->speedup());
+  }
+
+  std::string json = "{\n  \"benchmark\": \"planner_scaling\",\n";
+  json += "  \"smoke\": " + std::string(smoke ? "true" : "false") + ",\n";
+  json += "  \"all_plans_equal\": " +
+          std::string(all_equal ? "true" : "false") + ",\n";
+  if (flagship != nullptr) {
+    char buffer[256];
+    std::snprintf(buffer, sizeof(buffer),
+                  "  \"flagship\": {\"model\": \"%s\", \"budget_fraction\": "
+                  "%.2f, \"speedup\": %.2f},\n",
+                  flagship->label.c_str(), flagship->budget_fraction,
+                  flagship->speedup());
+    json += buffer;
+  }
+  json += "  \"results\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    AppendJson(&json, results[i]);
+    json += i + 1 < results.size() ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+
+  std::FILE* file = std::fopen(out_path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), file);
+  std::fclose(file);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  return all_equal ? 0 : 1;
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Builds (if needed) and runs the planner scaling bench, writing
+# machine-readable BENCH_planner.json at the repo root. Pass --smoke for
+# the quick configuration the ctest smoke test uses.
+#
+#   $ bench/run_benchmarks.sh [--smoke]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${BUILD_DIR:-$repo_root/build}"
+
+if [[ ! -d "$build_dir" ]]; then
+  cmake -B "$build_dir" -S "$repo_root"
+fi
+cmake --build "$build_dir" -j --target planner_scaling_benchmark
+
+"$build_dir/bench/planner_scaling_benchmark" "$@" \
+    --out "$repo_root/BENCH_planner.json"
+
+echo "BENCH_planner.json written to $repo_root"

@@ -58,8 +58,8 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  if (!runtime::WriteChromeTrace(timeline, path,
-                                 &stats->memory_timeline)) {
+  if (!runtime::WriteChromeTrace(timeline, path, &stats->memory_timeline,
+                                 &plan->stats)) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return 1;
   }
@@ -68,5 +68,8 @@ int main(int argc, char** argv) {
       "open in chrome://tracing or https://ui.perfetto.dev\n",
       model_name.c_str(), batch, planner_name.c_str(),
       stats->iteration_seconds, timeline.tasks().size(), path.c_str());
+  if (plan->stats.Populated()) {
+    std::printf("planner: %s\n", plan->stats.ToString().c_str());
+  }
   return 0;
 }

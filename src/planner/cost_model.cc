@@ -4,41 +4,9 @@
 
 namespace tsplit::planner {
 
-namespace {
-
-// Busy intervals on one PCIe direction.
-struct Link {
-  double free_at = 0;
-  std::vector<std::pair<double, double>> busy;
-
-  // Books a transfer of `seconds` not starting before `earliest`; returns
-  // its [start, end).
-  std::pair<double, double> Book(double earliest, double seconds) {
-    double start = std::max(free_at, earliest);
-    double end = start + seconds;
-    busy.emplace_back(start, end);
-    free_at = end;
-    return {start, end};
-  }
-
-  double OverlapWith(double from, double to) const {
-    double total = 0;
-    for (const auto& [start, end] : busy) {
-      total += std::max(0.0, std::min(end, to) - std::max(start, from));
-    }
-    return total;
-  }
-};
-
-}  // namespace
-
-PcieOccupancy SimulatePcie(const Graph& graph, const Schedule& schedule,
-                           const std::vector<TensorFacts>& facts,
-                           const GraphProfile& profile, const Plan& plan) {
-  (void)graph;
+std::vector<double> ComputeOpStartTimes(const Schedule& schedule,
+                                        const GraphProfile& profile) {
   const int num_steps = schedule.num_steps();
-
-  // Idealized compute timeline: ops back to back.
   std::vector<double> op_start(static_cast<size_t>(num_steps) + 1, 0);
   for (int pos = 0; pos < num_steps; ++pos) {
     OpId id = schedule.order[static_cast<size_t>(pos)];
@@ -46,29 +14,63 @@ PcieOccupancy SimulatePcie(const Graph& graph, const Schedule& schedule,
         op_start[static_cast<size_t>(pos)] +
         profile.ops[static_cast<size_t>(id)].seconds;
   }
+  return op_start;
+}
 
-  // Book every planned swap: swap-out begins at the tensor's generation
-  // (end of last forward use); swap-in begins at the op preceding the first
-  // backward use (paper §V-B's ideal begin times).
-  Link d2h, h2d;
+std::vector<TensorId> SwapTransferSet(const std::vector<TensorFacts>& facts,
+                                      const Plan& plan) {
+  std::vector<TensorId> swaps;
   for (const auto& [tensor, config] : plan.configs) {
     if (config.opt != MemOpt::kSwap) continue;
     const TensorFacts& f = facts[static_cast<size_t>(tensor)];
     if (f.is_view_alias) continue;
     if (f.first_bwd_use <= f.fwd_last_use || f.first_bwd_use < 0) continue;
+    swaps.push_back(tensor);
+  }
+  std::sort(swaps.begin(), swaps.end());
+  return swaps;
+}
+
+void BookSwapTransfers(const std::vector<TensorFacts>& facts,
+                       const GraphProfile& profile,
+                       const std::vector<double>& op_start,
+                       const std::vector<TensorId>& swaps, size_t from,
+                       PcieBookings* bookings) {
+  bookings->d2h.resize(from);
+  bookings->h2d.resize(from);
+  // Each link serializes its transfers: a booking starts at
+  // max(link free, ideal begin time) and the link frees at its end.
+  double d2h_free = from > 0 ? bookings->d2h[from - 1].second : 0.0;
+  double h2d_free = from > 0 ? bookings->h2d[from - 1].second : 0.0;
+  for (size_t i = from; i < swaps.size(); ++i) {
+    const TensorFacts& f = facts[static_cast<size_t>(swaps[i])];
     double seconds =
         static_cast<double>(f.bytes) / profile.device.pcie_bytes_per_sec();
+    // Swap-out begins at the tensor's generation (end of last forward
+    // use); swap-in at the op preceding the first backward use (paper
+    // §V-B's ideal begin times).
     double out_earliest =
         op_start[static_cast<size_t>(std::max(0, f.fwd_last_use)) + 1];
-    d2h.Book(out_earliest, seconds);
+    double out_start = std::max(d2h_free, out_earliest);
+    d2h_free = out_start + seconds;
+    bookings->d2h.emplace_back(out_start, d2h_free);
     double in_earliest =
         op_start[static_cast<size_t>(std::max(0, f.first_bwd_use - 1))];
-    h2d.Book(in_earliest, seconds);
+    double in_start = std::max(h2d_free, in_earliest);
+    h2d_free = in_start + seconds;
+    bookings->h2d.emplace_back(in_start, h2d_free);
   }
+}
 
+PcieOccupancy OccupancyFromBookings(const Schedule& schedule,
+                                    const std::vector<double>& op_start,
+                                    const PcieBookings& bookings) {
+  const int num_steps = schedule.num_steps();
   // Sort busy intervals once so per-op overlap queries are a sweep.
-  std::sort(d2h.busy.begin(), d2h.busy.end());
-  std::sort(h2d.busy.begin(), h2d.busy.end());
+  std::vector<std::pair<double, double>> d2h_busy = bookings.d2h;
+  std::vector<std::pair<double, double>> h2d_busy = bookings.h2d;
+  std::sort(d2h_busy.begin(), d2h_busy.end());
+  std::sort(h2d_busy.begin(), h2d_busy.end());
 
   PcieOccupancy occupancy;
   occupancy.d2h.assign(static_cast<size_t>(num_steps), 0);
@@ -82,27 +84,27 @@ PcieOccupancy SimulatePcie(const Graph& graph, const Schedule& schedule,
     double duration = to - from;
     if (duration > 0) {
       // Advance cursors past intervals that end before this window.
-      while (d2h_cursor < d2h.busy.size() &&
-             d2h.busy[d2h_cursor].second <= from) {
+      while (d2h_cursor < d2h_busy.size() &&
+             d2h_busy[d2h_cursor].second <= from) {
         ++d2h_cursor;
       }
       double overlap = 0;
       for (size_t i = d2h_cursor;
-           i < d2h.busy.size() && d2h.busy[i].first < to; ++i) {
-        overlap += std::max(0.0, std::min(d2h.busy[i].second, to) -
-                                     std::max(d2h.busy[i].first, from));
+           i < d2h_busy.size() && d2h_busy[i].first < to; ++i) {
+        overlap += std::max(0.0, std::min(d2h_busy[i].second, to) -
+                                     std::max(d2h_busy[i].first, from));
       }
       occupancy.d2h[static_cast<size_t>(pos)] =
           std::min(1.0, overlap / duration);
-      while (h2d_cursor < h2d.busy.size() &&
-             h2d.busy[h2d_cursor].second <= from) {
+      while (h2d_cursor < h2d_busy.size() &&
+             h2d_busy[h2d_cursor].second <= from) {
         ++h2d_cursor;
       }
       overlap = 0;
       for (size_t i = h2d_cursor;
-           i < h2d.busy.size() && h2d.busy[i].first < to; ++i) {
-        overlap += std::max(0.0, std::min(h2d.busy[i].second, to) -
-                                     std::max(h2d.busy[i].first, from));
+           i < h2d_busy.size() && h2d_busy[i].first < to; ++i) {
+        overlap += std::max(0.0, std::min(h2d_busy[i].second, to) -
+                                     std::max(h2d_busy[i].first, from));
       }
       occupancy.h2d[static_cast<size_t>(pos)] =
           std::min(1.0, overlap / duration);
@@ -115,6 +117,17 @@ PcieOccupancy SimulatePcie(const Graph& graph, const Schedule& schedule,
         (1.0 - occupancy.h2d[static_cast<size_t>(pos)]) * duration;
   }
   return occupancy;
+}
+
+PcieOccupancy SimulatePcie(const Graph& graph, const Schedule& schedule,
+                           const std::vector<TensorFacts>& facts,
+                           const GraphProfile& profile, const Plan& plan) {
+  (void)graph;
+  std::vector<double> op_start = ComputeOpStartTimes(schedule, profile);
+  std::vector<TensorId> swaps = SwapTransferSet(facts, plan);
+  PcieBookings bookings;
+  BookSwapTransfers(facts, profile, op_start, swaps, 0, &bookings);
+  return OccupancyFromBookings(schedule, op_start, bookings);
 }
 
 double SwapCost(const Graph& graph, const Schedule& schedule,

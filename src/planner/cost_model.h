@@ -11,6 +11,7 @@
 //            degradation ΔT_split(p_num, dim) (+ split/merge copies,
 //            negligible and counted only off the batch axis)
 
+#include <utility>
 #include <vector>
 
 #include "graph/graph.h"
@@ -36,6 +37,42 @@ struct PcieOccupancy {
 PcieOccupancy SimulatePcie(const Graph& graph, const Schedule& schedule,
                            const std::vector<TensorFacts>& facts,
                            const GraphProfile& profile, const Plan& plan);
+
+// ---- Decomposed PCIe simulation ----
+// SimulatePcie composes the pieces below; the incremental engine's PCIe
+// cache reuses them to re-book only the suffix of transfers a new swap
+// assignment perturbs (a booking's slot depends only on earlier bookings,
+// so the sorted prefix stays valid).
+
+// Idealized back-to-back compute timeline: op_start[p] is when schedule
+// position p begins; op_start[num_steps] is total compute time.
+std::vector<double> ComputeOpStartTimes(const Schedule& schedule,
+                                        const GraphProfile& profile);
+
+// Root tensors the plan swaps across a forward->backward gap, in tensor-id
+// order — the deterministic booking order and the PCIe cache key.
+std::vector<TensorId> SwapTransferSet(const std::vector<TensorFacts>& facts,
+                                      const Plan& plan);
+
+// One D2H and one H2D busy interval per swap tensor, in SwapTransferSet
+// order (booking i belongs to swaps[i]).
+struct PcieBookings {
+  std::vector<std::pair<double, double>> d2h;
+  std::vector<std::pair<double, double>> h2d;
+};
+
+// Books transfers for swaps[from..] onto `bookings`, leaving entries
+// before `from` untouched.
+void BookSwapTransfers(const std::vector<TensorFacts>& facts,
+                       const GraphProfile& profile,
+                       const std::vector<double>& op_start,
+                       const std::vector<TensorId>& swaps, size_t from,
+                       PcieBookings* bookings);
+
+// Per-op occupancy fractions and free-time prefix sums from the bookings.
+PcieOccupancy OccupancyFromBookings(const Schedule& schedule,
+                                    const std::vector<double>& op_start,
+                                    const PcieBookings& bookings);
 
 // ΔT of assigning swap to root tensor `t` with the bottleneck at
 // `bottleneck_pos` (Eq. 3). `bytes` may be the whole tensor or one

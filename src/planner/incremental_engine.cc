@@ -1,0 +1,341 @@
+// The incremental planner engine: segment-tree memory timeline, memoized
+// recompute-chain transients, and a PCIe-occupancy cache keyed on the
+// swap-transfer set. Bit-exact with the reference engine (planner_engine.cc)
+// by construction:
+//
+//  - mid-round, both apply the identical ComputeApplyDeltas updates, so
+//    point queries agree even while cross-tensor transients drift;
+//  - at EndRound the reference rebuilds M_i from scratch; this engine
+//    reverts the round's deltas (returning to the last exact state) and
+//    repaints only the dirty set — tensors whose config changed plus
+//    tensors whose recorded PlanDeps include a changed config. Everything
+//    else provably kept identical ranges, so the results coincide.
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "planner/memory_timeline.h"
+#include "planner/planner_engine.h"
+
+namespace tsplit::planner {
+
+namespace {
+
+class IncrementalPlannerEngine : public PlannerEngine {
+ public:
+  IncrementalPlannerEngine(const Graph& graph, const Schedule& schedule,
+                           const std::vector<TensorFacts>& facts,
+                           const GraphProfile& profile, const Plan& plan,
+                           bool paranoid)
+      : graph_(graph),
+        schedule_(schedule),
+        facts_(facts),
+        profile_(profile),
+        paranoid_(paranoid),
+        timeline_(schedule.num_steps()),
+        op_start_(ComputeOpStartTimes(schedule, profile)) {
+    const auto num_tensors = static_cast<size_t>(graph.num_tensors());
+    const auto num_ops = static_cast<size_t>(graph.nodes().size());
+    base_ranges_.resize(num_tensors);
+    range_deps_.resize(num_tensors);
+    synced_config_.resize(num_tensors);
+    transient_.resize(num_tensors);
+    in_round_changed_.assign(num_tensors, 0);
+    workspace_bytes_.assign(num_ops, 0);
+    base_workspace_.assign(num_ops, 0);
+    ops_touching_root_.resize(num_tensors);
+
+    // Divisor adjacency: every op that consults a root's split config in
+    // OpSplitDivisor (outputs directly, inputs through their view root).
+    for (const OpNode& node : graph.nodes()) {
+      std::vector<TensorId> roots;
+      for (TensorId out : node.outputs) roots.push_back(out);
+      for (TensorId in : node.inputs) {
+        roots.push_back(facts[static_cast<size_t>(in)].root);
+      }
+      std::sort(roots.begin(), roots.end());
+      roots.erase(std::unique(roots.begin(), roots.end()), roots.end());
+      for (TensorId root : roots) {
+        ops_touching_root_[static_cast<size_t>(root)].push_back(node.id);
+      }
+    }
+
+    // Initial paint (the one unavoidable O(tensors x steps) pass).
+    const int num_steps = schedule.num_steps();
+    std::vector<uint64_t> initial(
+        static_cast<size_t>(std::max(num_steps, 1)), 0);
+    for (const TensorFacts& f : facts) {
+      if (f.is_view_alias) continue;
+      const auto t = static_cast<size_t>(f.root);
+      synced_config_[t] = plan.ConfigFor(f.root);
+      std::vector<PlanDep> deps;
+      base_ranges_[t] = TensorMemoryRanges(graph, facts, plan, f,
+                                           synced_config_[t], num_steps,
+                                           &deps);
+      SetRangeDeps(f.root, deps);
+      for (const MemRange& range : base_ranges_[t]) {
+        for (int pos = range.from; pos <= range.to; ++pos) {
+          initial[static_cast<size_t>(pos)] += range.bytes;
+        }
+      }
+    }
+    for (int pos = 0; pos < num_steps; ++pos) {
+      OpId id = schedule.order[static_cast<size_t>(pos)];
+      const auto op = static_cast<size_t>(id);
+      workspace_bytes_[op] = graph.node(id).op->WorkspaceBytes(
+          graph.InputShapes(id), graph.OutputShapes(id));
+      int divisor = OpSplitDivisor(graph, plan, facts, id);
+      base_workspace_[op] =
+          workspace_bytes_[op] / static_cast<size_t>(divisor);
+      initial[static_cast<size_t>(pos)] += base_workspace_[op];
+    }
+    if (num_steps > 0) timeline_.Assign(initial);
+  }
+
+  size_t At(int pos) const override {
+    return static_cast<size_t>(timeline_.At(pos));
+  }
+
+  int NextBottleneck(int from, size_t budget) override {
+    return timeline_.FirstOver(static_cast<uint64_t>(budget), from);
+  }
+
+  const PcieOccupancy& Occupancy(const Plan& plan) override {
+    std::vector<TensorId> swaps = SwapTransferSet(facts_, plan);
+    if (occupancy_valid_ && swaps == swap_set_) {
+      if (stats_ != nullptr) ++stats_->pcie_cache_hits;
+      return occupancy_;
+    }
+    size_t common = 0;
+    size_t limit = std::min(swaps.size(), swap_set_.size());
+    while (common < limit && swaps[common] == swap_set_[common]) ++common;
+    if (stats_ != nullptr) {
+      if (occupancy_valid_ && common > 0) {
+        ++stats_->pcie_incremental_updates;
+      } else {
+        ++stats_->pcie_simulations;
+      }
+    }
+    BookSwapTransfers(facts_, profile_, op_start_, swaps, common,
+                      &bookings_);
+    swap_set_ = std::move(swaps);
+    occupancy_ = OccupancyFromBookings(schedule_, op_start_, bookings_);
+    occupancy_valid_ = true;
+    return occupancy_;
+  }
+
+  void Apply(const Plan& plan_after, TensorId tensor,
+             const STensorConfig& before,
+             const STensorConfig& after) override {
+    for (const TimelineDelta& d :
+         ComputeApplyDeltas(graph_, schedule_, facts_, plan_after, tensor,
+                            before, after)) {
+      timeline_.RangeAdd(d.from, d.to, d.delta);
+      round_deltas_.push_back(d);
+    }
+    MarkChanged(tensor);
+  }
+
+  void NotifyConfigSet(TensorId tensor) override { MarkChanged(tensor); }
+
+  Status EndRound(const Plan& plan) override {
+    if (round_changed_.empty()) {
+      // No config changed: the timeline is already the exact M_i (the
+      // reference engine's rebuild would be a no-op).
+      if (stats_ != nullptr) ++stats_->rebuilds_avoided;
+      return ParanoidCheck(plan);
+    }
+    // Revert this round's incremental deltas: back to the exact state of
+    // the last sync.
+    for (const TimelineDelta& d : round_deltas_) {
+      timeline_.RangeAdd(d.from, d.to, -d.delta);
+    }
+    round_deltas_.clear();
+
+    // Dirty set: changed tensors plus every tensor whose recorded plan
+    // deps (recompute-chain consultations) include a changed one.
+    std::vector<TensorId> dirty = round_changed_;
+    for (TensorId changed : round_changed_) {
+      auto it = dependents_.find(changed);
+      if (it == dependents_.end()) continue;
+      dirty.insert(dirty.end(), it->second.begin(), it->second.end());
+    }
+    std::sort(dirty.begin(), dirty.end());
+    dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+
+    const int num_steps = schedule_.num_steps();
+    for (TensorId t : dirty) {
+      const auto idx = static_cast<size_t>(t);
+      const TensorFacts& f = facts_[idx];
+      if (f.is_view_alias) continue;
+      for (const MemRange& range : base_ranges_[idx]) {
+        timeline_.RangeAdd(range.from, range.to,
+                           -static_cast<int64_t>(range.bytes));
+      }
+      std::vector<PlanDep> deps;
+      STensorConfig config = plan.ConfigFor(t);
+      base_ranges_[idx] = TensorMemoryRanges(graph_, facts_, plan, f,
+                                             config, num_steps, &deps);
+      SetRangeDeps(t, deps);
+      for (const MemRange& range : base_ranges_[idx]) {
+        timeline_.RangeAdd(range.from, range.to,
+                           static_cast<int64_t>(range.bytes));
+      }
+      if (stats_ != nullptr) ++stats_->tensors_resynced;
+    }
+
+    // Workspace divisors of ops adjacent to split-changed tensors.
+    std::vector<OpId> affected_ops;
+    for (TensorId changed : round_changed_) {
+      const auto idx = static_cast<size_t>(changed);
+      if (plan.ConfigFor(changed).split == synced_config_[idx].split) {
+        continue;
+      }
+      const std::vector<OpId>& ops = ops_touching_root_[idx];
+      affected_ops.insert(affected_ops.end(), ops.begin(), ops.end());
+    }
+    std::sort(affected_ops.begin(), affected_ops.end());
+    affected_ops.erase(
+        std::unique(affected_ops.begin(), affected_ops.end()),
+        affected_ops.end());
+    for (OpId op : affected_ops) {
+      const auto idx = static_cast<size_t>(op);
+      if (workspace_bytes_[idx] == 0) continue;
+      int divisor = OpSplitDivisor(graph_, plan, facts_, op);
+      size_t painted =
+          workspace_bytes_[idx] / static_cast<size_t>(divisor);
+      if (painted == base_workspace_[idx]) continue;
+      int pos = schedule_.pos_of_op[idx];
+      timeline_.RangeAdd(pos, pos,
+                         static_cast<int64_t>(painted) -
+                             static_cast<int64_t>(base_workspace_[idx]));
+      base_workspace_[idx] = painted;
+    }
+
+    for (TensorId changed : round_changed_) {
+      const auto idx = static_cast<size_t>(changed);
+      synced_config_[idx] = plan.ConfigFor(changed);
+      in_round_changed_[idx] = 0;
+    }
+    round_changed_.clear();
+    if (stats_ != nullptr) ++stats_->rebuilds_avoided;
+    return ParanoidCheck(plan);
+  }
+
+  size_t ChainTransient(const Plan& plan, TensorId tensor) override {
+    TransientEntry& entry = transient_[static_cast<size_t>(tensor)];
+    if (entry.valid) {
+      bool fresh = true;
+      for (const PlanDep& dep : entry.deps) {
+        if (!(plan.ConfigFor(dep.tensor) == dep.config)) {
+          fresh = false;
+          break;
+        }
+      }
+      // Identical consulted configs replay the identical computation.
+      if (fresh) {
+        if (stats_ != nullptr) ++stats_->transient_cache_hits;
+        return entry.value;
+      }
+    }
+    entry.deps.clear();
+    entry.value =
+        RecomputeChainTransient(graph_, facts_, plan, tensor, &entry.deps);
+    entry.valid = true;
+    if (stats_ != nullptr) ++stats_->transient_evals;
+    return entry.value;
+  }
+
+ private:
+  struct TransientEntry {
+    bool valid = false;
+    size_t value = 0;
+    std::vector<PlanDep> deps;
+  };
+
+  void MarkChanged(TensorId tensor) {
+    const auto idx = static_cast<size_t>(tensor);
+    if (in_round_changed_[idx]) return;
+    in_round_changed_[idx] = 1;
+    round_changed_.push_back(tensor);
+  }
+
+  void SetRangeDeps(TensorId tensor, const std::vector<PlanDep>& deps) {
+    const auto idx = static_cast<size_t>(tensor);
+    for (TensorId old_dep : range_deps_[idx]) {
+      auto it = dependents_.find(old_dep);
+      if (it != dependents_.end()) it->second.erase(tensor);
+    }
+    range_deps_[idx].clear();
+    for (const PlanDep& dep : deps) {
+      range_deps_[idx].push_back(dep.tensor);
+    }
+    std::sort(range_deps_[idx].begin(), range_deps_[idx].end());
+    range_deps_[idx].erase(
+        std::unique(range_deps_[idx].begin(), range_deps_[idx].end()),
+        range_deps_[idx].end());
+    for (TensorId dep : range_deps_[idx]) {
+      dependents_[dep].insert(tensor);
+    }
+  }
+
+  Status ParanoidCheck(const Plan& plan) const {
+    if (!paranoid_) return Status::OK();
+    std::vector<size_t> reference =
+        PlannedMemory(graph_, schedule_, facts_, plan);
+    for (int pos = 0; pos < schedule_.num_steps(); ++pos) {
+      if (reference[static_cast<size_t>(pos)] !=
+          static_cast<size_t>(timeline_.At(pos))) {
+        return Status::Internal(
+            "incremental timeline diverged from PlannedMemory at pos " +
+            std::to_string(pos) + ": " +
+            std::to_string(timeline_.At(pos)) + " vs " +
+            std::to_string(reference[static_cast<size_t>(pos)]));
+      }
+    }
+    return Status::OK();
+  }
+
+  const Graph& graph_;
+  const Schedule& schedule_;
+  const std::vector<TensorFacts>& facts_;
+  const GraphProfile& profile_;
+  const bool paranoid_;
+
+  MemoryTimeline timeline_;
+  // Per root tensor: the ranges currently painted (as of last sync) and
+  // the plan deps consulted while computing them.
+  std::vector<std::vector<MemRange>> base_ranges_;
+  std::vector<std::vector<TensorId>> range_deps_;
+  std::vector<STensorConfig> synced_config_;
+  std::unordered_map<TensorId, std::unordered_set<TensorId>> dependents_;
+  // Per op: raw workspace bytes and the divisor-scaled bytes painted.
+  std::vector<size_t> workspace_bytes_;
+  std::vector<size_t> base_workspace_;
+  std::vector<std::vector<OpId>> ops_touching_root_;
+  // Round-scoped state.
+  std::vector<TimelineDelta> round_deltas_;
+  std::vector<TensorId> round_changed_;
+  std::vector<char> in_round_changed_;
+  // Transient memoization.
+  std::vector<TransientEntry> transient_;
+  // PCIe occupancy cache.
+  std::vector<double> op_start_;
+  std::vector<TensorId> swap_set_;
+  PcieBookings bookings_;
+  PcieOccupancy occupancy_;
+  bool occupancy_valid_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<PlannerEngine> MakeIncrementalPlannerEngine(
+    const Graph& graph, const Schedule& schedule,
+    const std::vector<TensorFacts>& facts, const GraphProfile& profile,
+    const Plan& plan, bool paranoid) {
+  return std::make_unique<IncrementalPlannerEngine>(graph, schedule, facts,
+                                                    profile, plan, paranoid);
+}
+
+}  // namespace tsplit::planner

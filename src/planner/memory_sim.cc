@@ -53,15 +53,21 @@ std::vector<TensorFacts> ComputeTensorFacts(const Graph& graph,
 
 size_t RecomputeChainTransient(const Graph& graph,
                                const std::vector<TensorFacts>& all_facts,
-                               const Plan& plan, TensorId t) {
+                               const Plan& plan, TensorId t,
+                               std::vector<PlanDep>* deps) {
   const TensorFacts& tf = all_facts[static_cast<size_t>(t)];
   int window_start = tf.first_bwd_use;
 
+  auto consult = [&](TensorId r) {
+    STensorConfig cfg = plan.ConfigFor(r);
+    if (deps != nullptr) deps->push_back(PlanDep{r, cfg});
+    return cfg;
+  };
   // True when `r` is still device-resident when `t` regenerates.
   auto available = [&](TensorId r) {
     const TensorFacts& rf = all_facts[static_cast<size_t>(r)];
     if (rf.always_live) return true;
-    STensorConfig cfg = plan.ConfigFor(r);
+    STensorConfig cfg = consult(r);
     return cfg.opt == MemOpt::kReside && rf.last_use >= window_start;
   };
   // Largest input of `x`'s producer that must be re-materialized.
@@ -85,7 +91,7 @@ size_t RecomputeChainTransient(const Graph& graph,
   // A split ancestor streams back one part at a time.
   auto regen_bytes = [&](TensorId r) {
     size_t bytes = all_facts[static_cast<size_t>(r)].bytes;
-    SplitConfig split = plan.ConfigFor(r).split;
+    SplitConfig split = consult(r).split;
     if (split.active()) bytes /= static_cast<size_t>(split.p_num);
     return bytes;
   };
@@ -93,7 +99,7 @@ size_t RecomputeChainTransient(const Graph& graph,
   TensorId level1 = largest_unavailable(t);
   if (level1 == kInvalidTensor) return 0;
   size_t transient = regen_bytes(level1);
-  if (plan.ConfigFor(level1).opt == MemOpt::kRecompute) {
+  if (consult(level1).opt == MemOpt::kRecompute) {
     TensorId level2 = largest_unavailable(level1);
     if (level2 != kInvalidTensor) transient += regen_bytes(level2);
   }
@@ -103,7 +109,7 @@ size_t RecomputeChainTransient(const Graph& graph,
 std::vector<MemRange> TensorMemoryRanges(
     const Graph& graph, const std::vector<TensorFacts>& all_facts,
     const Plan& plan, const TensorFacts& f, const STensorConfig& config,
-    int num_steps) {
+    int num_steps, std::vector<PlanDep>* deps) {
   std::vector<MemRange> ranges;
   if (f.is_view_alias || f.bytes == 0) return ranges;
   const TensorDesc& t = graph.tensor(f.root);
@@ -165,7 +171,7 @@ std::vector<MemRange> TensorMemoryRanges(
   // split+swap when checkpoints are huge (frontier behaviour, Fig 14b).
   if (evicted && config.opt == MemOpt::kRecompute) {
     size_t transient =
-        RecomputeChainTransient(graph, all_facts, plan, f.root);
+        RecomputeChainTransient(graph, all_facts, plan, f.root, deps);
     if (transient > 0) {
       clamp_range(f.first_bwd_use, f.last_use, transient);
     }

@@ -40,21 +40,34 @@ struct MemRange {
   size_t bytes;
 };
 
+// A plan entry consulted while deriving a tensor's ranges or transient:
+// the root examined and the config it had at the time. The incremental
+// engine records these to know exactly which cached results a later
+// assignment invalidates (and to validate memo entries by re-reading the
+// plan — a snapshot mismatch means stale).
+struct PlanDep {
+  TensorId tensor;
+  STensorConfig config;
+};
+
 // Memory held by one (root) tensor under `config`, as schedule ranges.
 // This is the single source of truth shared by the full simulation and the
-// planner's incremental updates.
+// planner's incremental updates. When `deps` is non-null, every other
+// tensor whose plan config influenced the result is appended to it.
 std::vector<MemRange> TensorMemoryRanges(
     const Graph& graph, const std::vector<TensorFacts>& all_facts,
     const Plan& plan, const TensorFacts& facts, const STensorConfig& config,
-    int num_steps);
+    int num_steps, std::vector<PlanDep>* deps = nullptr);
 
 // Peak extra bytes co-resident while regenerating a recompute-marked
 // tensor: the chain's nearest unavailable ancestor plus (for recompute
 // ancestors) one more level — memory-centric chains hold at most two
-// levels at once.
+// levels at once. `deps` (optional) collects every root whose config was
+// consulted, for cache invalidation.
 size_t RecomputeChainTransient(const Graph& graph,
                                const std::vector<TensorFacts>& all_facts,
-                               const Plan& plan, TensorId t);
+                               const Plan& plan, TensorId t,
+                               std::vector<PlanDep>* deps = nullptr);
 
 // Memory a tensor holds at schedule position `pos` under `config`.
 size_t BytesAtPos(const Graph& graph,

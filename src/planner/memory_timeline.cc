@@ -1,0 +1,110 @@
+#include "planner/memory_timeline.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+
+namespace tsplit::planner {
+
+namespace {
+
+// Wrapping signed add (defined behavior via unsigned arithmetic).
+inline int64_t WrapAdd(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) +
+                              static_cast<uint64_t>(b));
+}
+
+}  // namespace
+
+MemoryTimeline::MemoryTimeline(int size) : size_(std::max(size, 1)) {
+  max_.assign(static_cast<size_t>(4 * size_), 0);
+  add_.assign(static_cast<size_t>(4 * size_), 0);
+}
+
+void MemoryTimeline::Assign(const std::vector<uint64_t>& values) {
+  TSPLIT_CHECK(static_cast<int>(values.size()) == size_);
+  std::fill(add_.begin(), add_.end(), 0);
+  Build(values, 1, 0, size_ - 1);
+}
+
+void MemoryTimeline::Build(const std::vector<uint64_t>& values, int v,
+                           int lo, int hi) {
+  add_[static_cast<size_t>(v)] = 0;
+  if (lo == hi) {
+    max_[static_cast<size_t>(v)] =
+        static_cast<int64_t>(values[static_cast<size_t>(lo)]);
+    return;
+  }
+  int mid = lo + (hi - lo) / 2;
+  Build(values, 2 * v, lo, mid);
+  Build(values, 2 * v + 1, mid + 1, hi);
+  max_[static_cast<size_t>(v)] = std::max(max_[static_cast<size_t>(2 * v)],
+                                          max_[static_cast<size_t>(2 * v + 1)]);
+}
+
+void MemoryTimeline::RangeAdd(int from, int to, int64_t delta) {
+  from = std::max(from, 0);
+  to = std::min(to, size_ - 1);
+  if (from > to || delta == 0) return;
+  RangeAdd(1, 0, size_ - 1, from, to, delta);
+}
+
+void MemoryTimeline::RangeAdd(int v, int lo, int hi, int from, int to,
+                              int64_t delta) {
+  if (from <= lo && hi <= to) {
+    add_[static_cast<size_t>(v)] = WrapAdd(add_[static_cast<size_t>(v)], delta);
+    max_[static_cast<size_t>(v)] = WrapAdd(max_[static_cast<size_t>(v)], delta);
+    return;
+  }
+  int mid = lo + (hi - lo) / 2;
+  if (from <= mid) RangeAdd(2 * v, lo, mid, from, to, delta);
+  if (to > mid) RangeAdd(2 * v + 1, mid + 1, hi, from, to, delta);
+  max_[static_cast<size_t>(v)] =
+      WrapAdd(std::max(max_[static_cast<size_t>(2 * v)],
+                       max_[static_cast<size_t>(2 * v + 1)]),
+              add_[static_cast<size_t>(v)]);
+}
+
+int64_t MemoryTimeline::PointQuery(int v, int lo, int hi, int pos) const {
+  if (lo == hi) return max_[static_cast<size_t>(v)];
+  int mid = lo + (hi - lo) / 2;
+  int64_t below = pos <= mid ? PointQuery(2 * v, lo, mid, pos)
+                             : PointQuery(2 * v + 1, mid + 1, hi, pos);
+  return WrapAdd(below, add_[static_cast<size_t>(v)]);
+}
+
+uint64_t MemoryTimeline::At(int pos) const {
+  TSPLIT_CHECK(pos >= 0 && pos < size_);
+  return static_cast<uint64_t>(PointQuery(1, 0, size_ - 1, pos));
+}
+
+uint64_t MemoryTimeline::Max() const {
+  return static_cast<uint64_t>(max_[1]);
+}
+
+int MemoryTimeline::FirstOver(int v, int lo, int hi, int from,
+                              int64_t threshold, int64_t pending) const {
+  if (hi < from) return -1;
+  int64_t subtree_max = WrapAdd(max_[static_cast<size_t>(v)], pending);
+  if (subtree_max <= threshold) return -1;
+  if (lo == hi) return lo;
+  int64_t below = WrapAdd(pending, add_[static_cast<size_t>(v)]);
+  int mid = lo + (hi - lo) / 2;
+  int found = FirstOver(2 * v, lo, mid, from, threshold, below);
+  if (found >= 0) return found;
+  return FirstOver(2 * v + 1, mid + 1, hi, from, threshold, below);
+}
+
+int MemoryTimeline::FirstOver(uint64_t threshold, int from) const {
+  if (from >= size_) return -1;
+  return FirstOver(1, 0, size_ - 1, std::max(from, 0),
+                   static_cast<int64_t>(threshold), 0);
+}
+
+std::vector<uint64_t> MemoryTimeline::Snapshot() const {
+  std::vector<uint64_t> out(static_cast<size_t>(size_));
+  for (int pos = 0; pos < size_; ++pos) out[static_cast<size_t>(pos)] = At(pos);
+  return out;
+}
+
+}  // namespace tsplit::planner

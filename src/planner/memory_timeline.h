@@ -1,0 +1,62 @@
+#ifndef TSPLIT_PLANNER_MEMORY_TIMELINE_H_
+#define TSPLIT_PLANNER_MEMORY_TIMELINE_H_
+
+// Range-add / range-max segment tree over schedule positions — the
+// incremental planner engine's replacement for the flat M_i vector.
+// Painting one tensor's memory range is O(log steps) instead of O(range
+// length); "is position p over budget" is a point query and "next
+// bottleneck at or after p" a single tree descent.
+//
+// Values are int64_t with two's-complement wrap-around on add, which makes
+// point queries bit-identical to the reference simulation's size_t
+// arithmetic even while a round's incremental deltas transiently drift
+// (the reference repairs drift with a full rebuild; the engine reverts and
+// resyncs — see planner_engine.h). Max/descent queries are only meaningful
+// between rounds, when every position holds a true (non-negative) sum.
+
+#include <cstdint>
+#include <vector>
+
+namespace tsplit::planner {
+
+class MemoryTimeline {
+ public:
+  explicit MemoryTimeline(int size);
+
+  int size() const { return size_; }
+
+  // Replaces all leaf values (full rebuild); O(size).
+  void Assign(const std::vector<uint64_t>& values);
+
+  // Adds `delta` to every position in [from, to] (inclusive); O(log size).
+  void RangeAdd(int from, int to, int64_t delta);
+
+  // Value at `pos`, with the same wrap-around bits as size_t arithmetic.
+  uint64_t At(int pos) const;
+
+  // Maximum value over the whole timeline (valid between rounds only).
+  uint64_t Max() const;
+
+  // Leftmost position >= `from` whose value exceeds `threshold`, or -1.
+  int FirstOver(uint64_t threshold, int from) const;
+
+  // All leaf values, index order (tests / paranoid engine checks).
+  std::vector<uint64_t> Snapshot() const;
+
+ private:
+  // max_[v] is the subtree max *including* add_[v] but excluding ancestor
+  // pending adds; add_[v] is a pending addition to the whole subtree.
+  void Build(const std::vector<uint64_t>& values, int v, int lo, int hi);
+  void RangeAdd(int v, int lo, int hi, int from, int to, int64_t delta);
+  int64_t PointQuery(int v, int lo, int hi, int pos) const;
+  int FirstOver(int v, int lo, int hi, int from, int64_t threshold,
+                int64_t pending) const;
+
+  int size_;
+  std::vector<int64_t> max_;
+  std::vector<int64_t> add_;
+};
+
+}  // namespace tsplit::planner
+
+#endif  // TSPLIT_PLANNER_MEMORY_TIMELINE_H_

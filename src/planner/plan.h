@@ -11,12 +11,16 @@
 #include "core/ids.h"
 #include "core/stensor.h"
 #include "graph/graph.h"
+#include "planner/planner_stats.h"
 
 namespace tsplit::planner {
 
 struct Plan {
   std::string planner_name = "base";
   std::unordered_map<TensorId, STensorConfig> configs;
+  // Instrumentation of the BuildPlan run that produced this plan; default
+  // (unpopulated) for baseline policies and hand-built plans.
+  PlannerStats stats;
 
   STensorConfig ConfigFor(TensorId id) const {
     auto it = configs.find(id);

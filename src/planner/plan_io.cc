@@ -1,5 +1,6 @@
 #include "planner/plan_io.h"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <unordered_map>
@@ -28,9 +29,18 @@ std::unordered_map<TensorId, std::string> StableKeys(const Graph& graph) {
 
 }  // namespace
 
-std::string SerializePlan(const Graph& graph, const Plan& plan) {
+std::string SerializePlan(const Graph& graph, const Plan& plan,
+                          bool include_stats) {
   std::ostringstream os;
   os << "# tsplit-plan v1 " << plan.planner_name << "\n";
+  if (include_stats && plan.stats.Populated()) {
+    char buffer[128];
+    for (const auto& [key, value] : plan.stats.Items()) {
+      std::snprintf(buffer, sizeof(buffer), "# stat %s %.17g\n", key.c_str(),
+                    value);
+      os << buffer;
+    }
+  }
   auto keys = StableKeys(graph);
   // Deterministic order: tensor id.
   for (const TensorDesc& t : graph.tensors()) {
@@ -71,6 +81,10 @@ Result<Plan> ParsePlan(const Graph& graph, const std::string& text) {
           return Status::InvalidArgument("unsupported plan version " +
                                          version);
         }
+      } else if (magic == "stat") {
+        // "# stat <key> <value>" — `version` already holds the key.
+        double value = 0;
+        if (header >> value) plan.stats.SetItem(version, value);
       }
       continue;
     }

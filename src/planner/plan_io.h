@@ -7,10 +7,13 @@
 // diffable:
 //
 //   # tsplit-plan v1 <planner-name>
+//   # stat <key> <value>          (optional planner instrumentation)
 //   <tensor-name> <opt> [p_num dim]
 //
 // Tensors are keyed by NAME (stable across rebuilds of the same model),
-// not by id.
+// not by id. "# stat" lines persist the PlannerStats of the producing run;
+// parsers that predate them skip comment lines, so the format stays
+// readable both ways.
 
 #include <string>
 
@@ -19,8 +22,12 @@
 
 namespace tsplit::planner {
 
-// Serializes every non-default config, keyed by tensor name.
-std::string SerializePlan(const Graph& graph, const Plan& plan);
+// Serializes every non-default config, keyed by tensor name. When
+// `include_stats` is set and the plan carries populated PlannerStats,
+// they are embedded as "# stat" lines (pass false for byte-stable output
+// across runs, e.g. golden comparisons — wall times differ run to run).
+std::string SerializePlan(const Graph& graph, const Plan& plan,
+                          bool include_stats = true);
 
 // Parses a serialized plan against `graph` (names resolve to ids). Unknown
 // tensor names fail with NotFound; malformed lines with InvalidArgument.

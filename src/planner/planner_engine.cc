@@ -1,0 +1,131 @@
+#include "planner/planner_engine.h"
+
+#include <algorithm>
+
+namespace tsplit::planner {
+
+std::vector<TimelineDelta> ComputeApplyDeltas(
+    const Graph& graph, const Schedule& schedule,
+    const std::vector<TensorFacts>& facts, const Plan& plan_after,
+    TensorId tensor, const STensorConfig& before,
+    const STensorConfig& after) {
+  std::vector<TimelineDelta> deltas;
+  const TensorFacts& f = facts[static_cast<size_t>(tensor)];
+  const int num_steps = schedule.num_steps();
+  for (const MemRange& range :
+       TensorMemoryRanges(graph, facts, plan_after, f, before, num_steps)) {
+    deltas.push_back(TimelineDelta{range.from, range.to,
+                                   -static_cast<int64_t>(range.bytes)});
+  }
+  for (const MemRange& range :
+       TensorMemoryRanges(graph, facts, plan_after, f, after, num_steps)) {
+    deltas.push_back(TimelineDelta{range.from, range.to,
+                                   static_cast<int64_t>(range.bytes)});
+  }
+  // Workspace divisors of the tensor's producer / consumers may change
+  // when a split appears.
+  if (before.split == after.split) return deltas;
+  const TensorDesc& desc = graph.tensor(tensor);
+  std::vector<OpId> affected = desc.consumers;
+  if (desc.producer != kInvalidOp) affected.push_back(desc.producer);
+  // Reconstruct the pre-assignment divisor from one plan copy for the
+  // whole Apply (the plan already holds the new config).
+  Plan old_plan = plan_after;
+  old_plan.Set(tensor, before);
+  for (OpId op : affected) {
+    if (graph.node(op).op->is_view()) continue;
+    int pos = schedule.pos_of_op[static_cast<size_t>(op)];
+    size_t workspace = graph.node(op).op->WorkspaceBytes(
+        graph.InputShapes(op), graph.OutputShapes(op));
+    if (workspace == 0) continue;
+    int new_div = OpSplitDivisor(graph, plan_after, facts, op);
+    int old_div = OpSplitDivisor(graph, old_plan, facts, op);
+    if (old_div == new_div) continue;
+    deltas.push_back(TimelineDelta{
+        pos, pos,
+        static_cast<int64_t>(workspace / static_cast<size_t>(new_div)) -
+            static_cast<int64_t>(workspace / static_cast<size_t>(old_div))});
+  }
+  return deltas;
+}
+
+namespace {
+
+// The original Algorithm-2 data path: flat M_i vector, full re-simulation
+// at every round boundary. Kept as the golden model the incremental engine
+// is checked against.
+class ReferencePlannerEngine : public PlannerEngine {
+ public:
+  ReferencePlannerEngine(const Graph& graph, const Schedule& schedule,
+                         const std::vector<TensorFacts>& facts,
+                         const GraphProfile& profile, const Plan& plan)
+      : graph_(graph),
+        schedule_(schedule),
+        facts_(facts),
+        profile_(profile),
+        memory_(PlannedMemory(graph, schedule, facts, plan)) {}
+
+  size_t At(int pos) const override {
+    return memory_[static_cast<size_t>(pos)];
+  }
+
+  int NextBottleneck(int from, size_t budget) override {
+    for (int pos = std::max(from, 0);
+         pos < static_cast<int>(memory_.size()); ++pos) {
+      if (memory_[static_cast<size_t>(pos)] > budget) return pos;
+    }
+    return -1;
+  }
+
+  const PcieOccupancy& Occupancy(const Plan& plan) override {
+    occupancy_ = SimulatePcie(graph_, schedule_, facts_, profile_, plan);
+    if (stats_ != nullptr) ++stats_->pcie_simulations;
+    return occupancy_;
+  }
+
+  void Apply(const Plan& plan_after, TensorId tensor,
+             const STensorConfig& before,
+             const STensorConfig& after) override {
+    for (const TimelineDelta& d :
+         ComputeApplyDeltas(graph_, schedule_, facts_, plan_after, tensor,
+                            before, after)) {
+      for (int pos = d.from; pos <= d.to; ++pos) {
+        memory_[static_cast<size_t>(pos)] += static_cast<size_t>(d.delta);
+      }
+    }
+  }
+
+  void NotifyConfigSet(TensorId) override {}
+
+  Status EndRound(const Plan& plan) override {
+    // Cross-tensor transients may have shifted; re-simulate from scratch.
+    memory_ = PlannedMemory(graph_, schedule_, facts_, plan);
+    if (stats_ != nullptr) ++stats_->full_rebuilds;
+    return Status::OK();
+  }
+
+  size_t ChainTransient(const Plan& plan, TensorId tensor) override {
+    if (stats_ != nullptr) ++stats_->transient_evals;
+    return RecomputeChainTransient(graph_, facts_, plan, tensor);
+  }
+
+ private:
+  const Graph& graph_;
+  const Schedule& schedule_;
+  const std::vector<TensorFacts>& facts_;
+  const GraphProfile& profile_;
+  std::vector<size_t> memory_;
+  PcieOccupancy occupancy_;
+};
+
+}  // namespace
+
+std::unique_ptr<PlannerEngine> MakeReferencePlannerEngine(
+    const Graph& graph, const Schedule& schedule,
+    const std::vector<TensorFacts>& facts, const GraphProfile& profile,
+    const Plan& plan) {
+  return std::make_unique<ReferencePlannerEngine>(graph, schedule, facts,
+                                                  profile, plan);
+}
+
+}  // namespace tsplit::planner

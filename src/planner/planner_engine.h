@@ -1,0 +1,107 @@
+#ifndef TSPLIT_PLANNER_PLANNER_ENGINE_H_
+#define TSPLIT_PLANNER_PLANNER_ENGINE_H_
+
+// The planner's mutable view of the memory timeline M_i and the PCIe
+// occupancy under the evolving plan. Two implementations share bit-exact
+// semantics:
+//
+//  - the *reference* engine keeps the flat M_i vector, re-simulates PCIe
+//    occupancy every round, and closes each round with a full
+//    PlannedMemory rebuild — Algorithm 2 exactly as first implemented,
+//    O(tensors x steps) per round; it is the golden model.
+//  - the *incremental* engine keeps a range-add/range-max segment tree
+//    over schedule positions, memoizes recompute-chain transients and the
+//    PCIe simulation, and closes a round by reverting the round's deltas
+//    and repainting only the tensors whose ranges actually changed
+//    (tracked through PlanDep recording) — O(changed x log steps).
+//
+// BuildPlan drives either through this interface; the golden-equivalence
+// test asserts both produce identical plans and identical M_i.
+
+#include <memory>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/schedule.h"
+#include "planner/cost_model.h"
+#include "planner/memory_sim.h"
+#include "planner/plan.h"
+#include "planner/planner_stats.h"
+#include "planner/profile.h"
+
+namespace tsplit::planner {
+
+// One additive update to the memory timeline: `delta` is added to every
+// position in [from, to] with size_t wrap-around semantics. Produced by
+// ComputeApplyDeltas so both engines mutate their timeline identically.
+struct TimelineDelta {
+  int from;
+  int to;  // inclusive
+  int64_t delta;
+};
+
+// The timeline updates for re-assigning `tensor` from `before` to `after`
+// under `plan_after` (which already holds `after`): un-paint the ranges it
+// had under `before`, paint the ranges under `after`, and adjust the
+// workspace of producer/consumer ops whose split divisor changed.
+std::vector<TimelineDelta> ComputeApplyDeltas(
+    const Graph& graph, const Schedule& schedule,
+    const std::vector<TensorFacts>& facts, const Plan& plan_after,
+    TensorId tensor, const STensorConfig& before, const STensorConfig& after);
+
+class PlannerEngine {
+ public:
+  virtual ~PlannerEngine() = default;
+
+  void set_stats(PlannerStats* stats) { stats_ = stats; }
+
+  // M_pos under the current timeline (mid-round values include the same
+  // transient drift the reference path exhibits between Apply and rebuild).
+  virtual size_t At(int pos) const = 0;
+
+  // Leftmost position >= `from` with M_pos > budget, or -1. Only called
+  // between rounds, when the timeline is exact.
+  virtual int NextBottleneck(int from, size_t budget) = 0;
+
+  // PCIe occupancy for the current plan (cached in the incremental engine,
+  // keyed on the swap-transfer set).
+  virtual const PcieOccupancy& Occupancy(const Plan& plan) = 0;
+
+  // Incrementally applies a config change (plan already updated).
+  virtual void Apply(const Plan& plan_after, TensorId tensor,
+                     const STensorConfig& before,
+                     const STensorConfig& after) = 0;
+
+  // Records a config change made without Apply (split propagation up a
+  // recompute chain); picked up at EndRound, matching the reference
+  // engine's rebuild-only visibility.
+  virtual void NotifyConfigSet(TensorId tensor) = 0;
+
+  // Closes a round: restores the timeline to the exact M_i of `plan`.
+  virtual Status EndRound(const Plan& plan) = 0;
+
+  // RecomputeChainTransient under `plan` (memoized in the incremental
+  // engine with plan-dep validation).
+  virtual size_t ChainTransient(const Plan& plan, TensorId tensor) = 0;
+
+ protected:
+  PlannerStats* stats_ = nullptr;
+};
+
+// `plan` must already hold any pre-seeded assignments (optimizer-state
+// offload) — the engine paints its initial timeline from it.
+std::unique_ptr<PlannerEngine> MakeReferencePlannerEngine(
+    const Graph& graph, const Schedule& schedule,
+    const std::vector<TensorFacts>& facts, const GraphProfile& profile,
+    const Plan& plan);
+
+// `paranoid` cross-checks the resynced timeline against PlannedMemory
+// after every round (tests); EndRound fails with Internal on divergence.
+std::unique_ptr<PlannerEngine> MakeIncrementalPlannerEngine(
+    const Graph& graph, const Schedule& schedule,
+    const std::vector<TensorFacts>& facts, const GraphProfile& profile,
+    const Plan& plan, bool paranoid = false);
+
+}  // namespace tsplit::planner
+
+#endif  // TSPLIT_PLANNER_PLANNER_ENGINE_H_

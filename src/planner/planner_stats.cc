@@ -1,0 +1,91 @@
+#include "planner/planner_stats.h"
+
+#include <cstdio>
+
+namespace tsplit::planner {
+
+namespace {
+
+double Rate(int64_t hits, int64_t total) {
+  return total > 0 ? static_cast<double>(hits) / static_cast<double>(total)
+                   : 0.0;
+}
+
+}  // namespace
+
+double PlannerStats::PcieHitRate() const {
+  return Rate(pcie_cache_hits,
+              pcie_cache_hits + pcie_incremental_updates + pcie_simulations);
+}
+
+double PlannerStats::TransientHitRate() const {
+  return Rate(transient_cache_hits, transient_cache_hits + transient_evals);
+}
+
+std::vector<std::pair<std::string, double>> PlannerStats::Items() const {
+  return {
+      {"bottlenecks", static_cast<double>(bottlenecks)},
+      {"rounds", static_cast<double>(rounds)},
+      {"candidates_scored", static_cast<double>(candidates_scored)},
+      {"assignments", static_cast<double>(assignments)},
+      {"full_rebuilds", static_cast<double>(full_rebuilds)},
+      {"rebuilds_avoided", static_cast<double>(rebuilds_avoided)},
+      {"tensors_resynced", static_cast<double>(tensors_resynced)},
+      {"pcie_simulations", static_cast<double>(pcie_simulations)},
+      {"pcie_cache_hits", static_cast<double>(pcie_cache_hits)},
+      {"pcie_incremental_updates",
+       static_cast<double>(pcie_incremental_updates)},
+      {"transient_evals", static_cast<double>(transient_evals)},
+      {"transient_cache_hits", static_cast<double>(transient_cache_hits)},
+      {"pcie_hit_rate", PcieHitRate()},
+      {"transient_hit_rate", TransientHitRate()},
+      {"pcie_seconds", pcie_seconds},
+      {"enumerate_seconds", enumerate_seconds},
+      {"score_seconds", score_seconds},
+      {"apply_seconds", apply_seconds},
+      {"sync_seconds", sync_seconds},
+      {"total_seconds", total_seconds},
+  };
+}
+
+bool PlannerStats::SetItem(const std::string& key, double value) {
+  auto as_count = [&](int64_t* field) { *field = static_cast<int64_t>(value); };
+  if (key == "bottlenecks") return as_count(&bottlenecks), true;
+  if (key == "rounds") return as_count(&rounds), true;
+  if (key == "candidates_scored") return as_count(&candidates_scored), true;
+  if (key == "assignments") return as_count(&assignments), true;
+  if (key == "full_rebuilds") return as_count(&full_rebuilds), true;
+  if (key == "rebuilds_avoided") return as_count(&rebuilds_avoided), true;
+  if (key == "tensors_resynced") return as_count(&tensors_resynced), true;
+  if (key == "pcie_simulations") return as_count(&pcie_simulations), true;
+  if (key == "pcie_cache_hits") return as_count(&pcie_cache_hits), true;
+  if (key == "pcie_incremental_updates") {
+    return as_count(&pcie_incremental_updates), true;
+  }
+  if (key == "transient_evals") return as_count(&transient_evals), true;
+  if (key == "transient_cache_hits") {
+    return as_count(&transient_cache_hits), true;
+  }
+  if (key == "pcie_seconds") return pcie_seconds = value, true;
+  if (key == "enumerate_seconds") return enumerate_seconds = value, true;
+  if (key == "score_seconds") return score_seconds = value, true;
+  if (key == "apply_seconds") return apply_seconds = value, true;
+  if (key == "sync_seconds") return sync_seconds = value, true;
+  if (key == "total_seconds") return total_seconds = value, true;
+  // Derived rates are recomputed, not stored.
+  return key == "pcie_hit_rate" || key == "transient_hit_rate";
+}
+
+std::string PlannerStats::ToString() const {
+  char buffer[256];
+  std::string out = "PlannerStats{";
+  for (const auto& [key, value] : Items()) {
+    std::snprintf(buffer, sizeof(buffer), "%s=%.6g ", key.c_str(), value);
+    out += buffer;
+  }
+  if (out.back() == ' ') out.pop_back();
+  out += "}";
+  return out;
+}
+
+}  // namespace tsplit::planner

@@ -1,0 +1,64 @@
+#ifndef TSPLIT_PLANNER_PLANNER_STATS_H_
+#define TSPLIT_PLANNER_PLANNER_STATS_H_
+
+// Instrumentation of one BuildPlan run: phase wall times, round/candidate
+// counts, and the incremental engine's cache effectiveness. Rides on the
+// Plan so plan_io can persist it (as "# stat" comment lines) and the
+// runtime trace can embed it next to the simulated iteration.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tsplit::planner {
+
+struct PlannerStats {
+  // Work counters.
+  int64_t bottlenecks = 0;        // schedule positions that went over budget
+  int64_t rounds = 0;             // bottleneck-relief rounds
+  int64_t candidates_scored = 0;  // candidates evaluated (parallel scoring)
+  int64_t assignments = 0;        // configs applied to the plan
+
+  // Memory-timeline maintenance.
+  int64_t full_rebuilds = 0;      // O(tensors x steps) reference rebuilds
+  int64_t rebuilds_avoided = 0;   // rounds closed by incremental resync
+  int64_t tensors_resynced = 0;   // dirty tensors repainted during resyncs
+
+  // PCIe occupancy cache.
+  int64_t pcie_simulations = 0;         // full from-scratch simulations
+  int64_t pcie_cache_hits = 0;          // swap set unchanged, reused as-is
+  int64_t pcie_incremental_updates = 0; // suffix re-bookings
+
+  // Recompute-chain transient memoization.
+  int64_t transient_evals = 0;
+  int64_t transient_cache_hits = 0;
+
+  // Phase wall times (seconds).
+  double pcie_seconds = 0;
+  double enumerate_seconds = 0;
+  double score_seconds = 0;
+  double apply_seconds = 0;
+  double sync_seconds = 0;   // EndRound rebuild / resync time
+  double total_seconds = 0;
+
+  double PcieHitRate() const;       // hits / (hits + updates + simulations)
+  double TransientHitRate() const;  // hits / (hits + evals)
+
+  // Stable (key, value) view — the single schema shared by plan_io, the
+  // Chrome trace, and the scaling bench's JSON output.
+  std::vector<std::pair<std::string, double>> Items() const;
+
+  // Restores a field from its Items() key; false for unknown keys.
+  bool SetItem(const std::string& key, double value);
+
+  // True when this struct was filled by a planner run (baselines leave it
+  // default-initialized and serialization skips it).
+  bool Populated() const { return rounds > 0 || total_seconds > 0; }
+
+  std::string ToString() const;
+};
+
+}  // namespace tsplit::planner
+
+#endif  // TSPLIT_PLANNER_PLANNER_STATS_H_

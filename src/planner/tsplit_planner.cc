@@ -1,19 +1,31 @@
 #include "planner/tsplit_planner.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <optional>
 
+#include "core/parallel.h"
 #include "planner/cost_model.h"
 #include "planner/memory_sim.h"
+#include "planner/planner_engine.h"
 
 namespace tsplit::planner {
 
 namespace {
 
+// What a candidate proposes; decides which cost formula scores it.
+enum class CandidateKind {
+  kGradStream,  // stream an accumulated parameter gradient to the host
+  kEvict,       // whole-tensor swap / recompute of a live bystander
+  kSplit,       // micro-tensor split (with per-micro opt) at the bottleneck
+};
+
 struct Candidate {
   TensorId tensor = kInvalidTensor;
+  CandidateKind kind = CandidateKind::kEvict;
   STensorConfig config;
+  STensorConfig current;  // the tensor's config when enumerated
   double delta_t = 0;
   double delta_m = 0;  // bytes reduced at the bottleneck
 
@@ -23,6 +35,24 @@ struct Candidate {
   }
 };
 
+// Total order on candidates: ΔT/ΔM first (Algorithm 2's greedy key), then
+// (tensor, opt, p_num, dim) so equal ratios — common when several split
+// factors hit the same ceiling — resolve identically on every platform and
+// thread count.
+bool CandidateBefore(const Candidate& a, const Candidate& b) {
+  double ra = a.ratio();
+  double rb = b.ratio();
+  if (ra != rb) return ra < rb;
+  if (a.tensor != b.tensor) return a.tensor < b.tensor;
+  if (a.config.opt != b.config.opt) {
+    return static_cast<int>(a.config.opt) < static_cast<int>(b.config.opt);
+  }
+  if (a.config.split.p_num != b.config.split.p_num) {
+    return a.config.split.p_num < b.config.split.p_num;
+  }
+  return a.config.split.dim < b.config.split.dim;
+}
+
 bool RecomputeEligible(const Graph& graph, TensorId t) {
   OpId producer = graph.tensor(t).producer;
   return producer != kInvalidOp &&
@@ -30,24 +60,18 @@ bool RecomputeEligible(const Graph& graph, TensorId t) {
          !graph.node(producer).op->is_backward();
 }
 
-// Recompute is only worthwhile when its chain re-materializes nothing (its
-// producer inputs stay available): transient-free recomputation, the
-// regime SuperNeurons exploits for cheap layers above a kept checkpoint.
-bool RecomputeTransientFree(const Graph& graph,
-                            const std::vector<TensorFacts>& facts,
-                            const Plan& plan, TensorId t) {
-  return RecomputeChainTransient(graph, facts, plan, t) == 0;
-}
-
 // Joint split planning up the regeneration chain: when a recompute tensor
 // is split, its producer re-executes per micro-part, so the producer's
 // inputs are consumed as aligned slices. Giving those ancestors matching
 // split configs lets checkpoints stream back one part at a time instead of
 // re-materializing whole (the paper's joint optimization of split with
-// swap/recompute across the dataflow graph).
+// swap/recompute across the dataflow graph). Every root whose config this
+// sets is appended to `changed` so the engine learns about the
+// out-of-band plan mutation.
 void PropagateSplitUpChain(const Graph& graph,
                            const std::vector<TensorFacts>& facts, Plan* plan,
-                           TensorId t, int depth = 0) {
+                           TensorId t, std::vector<TensorId>* changed,
+                           int depth = 0) {
   if (depth > 16) return;
   STensorConfig cfg = plan->ConfigFor(t);
   if (!cfg.split.active() || cfg.opt != MemOpt::kRecompute) return;
@@ -76,8 +100,9 @@ void PropagateSplitUpChain(const Graph& graph,
     }
     ancestor.split = SplitConfig{cfg.split.p_num, axis};
     plan->Set(root, ancestor);
+    if (changed != nullptr) changed->push_back(root);
     if (ancestor.opt == MemOpt::kRecompute) {
-      PropagateSplitUpChain(graph, facts, plan, root, depth + 1);
+      PropagateSplitUpChain(graph, facts, plan, root, changed, depth + 1);
     }
   }
 }
@@ -96,74 +121,84 @@ bool IsRecomputeCheckpoint(const Graph& graph, const Plan& plan,
   return false;
 }
 
-// Incrementally applies a config change to the M_i array.
-class MemoryState {
- public:
-  MemoryState(const Graph& graph, const Schedule& schedule,
-              const std::vector<TensorFacts>& facts, const Plan& plan)
-      : graph_(graph),
-        schedule_(schedule),
-        facts_(facts),
-        memory_(PlannedMemory(graph, schedule, facts, plan)) {}
-
-  size_t at(int pos) const { return memory_[static_cast<size_t>(pos)]; }
-
-  // Full re-simulation (assignments change other tensors' recompute-chain
-  // transients, which the incremental path cannot track).
-  void Rebuild(const Plan& plan) {
-    memory_ = PlannedMemory(graph_, schedule_, facts_, plan);
-  }
-
-  void Apply(const Plan& plan_after, TensorId tensor,
-             const STensorConfig& before, const STensorConfig& after) {
-    const TensorFacts& f = facts_[static_cast<size_t>(tensor)];
-    int num_steps = schedule_.num_steps();
-    for (const MemRange& range :
-         TensorMemoryRanges(graph_, facts_, plan_after, f, before,
-                            num_steps)) {
-      for (int pos = range.from; pos <= range.to; ++pos) {
-        memory_[static_cast<size_t>(pos)] -= range.bytes;
+// Fills delta_t / delta_m. Pure: reads only const state (the plan and
+// occupancy are frozen while scoring runs), so candidates score in
+// parallel, each writing its own slot — bitwise-identical results at any
+// thread count.
+void ScoreCandidate(const Graph& graph, const Schedule& schedule,
+                    const std::vector<TensorFacts>& facts,
+                    const GraphProfile& profile, const Plan& plan,
+                    const PcieOccupancy& occupancy, int pos,
+                    OpId bottleneck_op, Candidate* c) {
+  const TensorFacts& f = facts[static_cast<size_t>(c->tensor)];
+  const int num_steps = schedule.num_steps();
+  switch (c->kind) {
+    case CandidateKind::kGradStream: {
+      c->delta_m = static_cast<double>(f.bytes);
+      c->delta_t = SwapCost(graph, schedule, facts, profile, occupancy,
+                            c->tensor, f.bytes, pos);
+      return;
+    }
+    case CandidateKind::kEvict: {
+      size_t at_pos_now = BytesAtPos(graph, facts, plan, f, c->current, pos,
+                                     num_steps);
+      c->delta_m =
+          static_cast<double>(at_pos_now) -
+          static_cast<double>(BytesAtPos(graph, facts, plan, f, c->config,
+                                         pos, num_steps));
+      if (c->config.opt == MemOpt::kSwap) {
+        c->delta_t = SwapCost(graph, schedule, facts, profile, occupancy,
+                              c->tensor, f.bytes, pos);
+      } else {
+        c->delta_t =
+            RecomputeCost(graph, schedule, facts, profile, plan, c->tensor);
       }
+      return;
     }
-    for (const MemRange& range :
-         TensorMemoryRanges(graph_, facts_, plan_after, f, after,
-                            num_steps)) {
-      for (int pos = range.from; pos <= range.to; ++pos) {
-        memory_[static_cast<size_t>(pos)] += range.bytes;
+    case CandidateKind::kSplit: {
+      int p_num = c->config.split.p_num;
+      int dim = c->config.split.dim;
+      size_t current_at_pos = BytesAtPos(graph, facts, plan, f, c->current,
+                                         pos, num_steps);
+      size_t new_at_pos =
+          BytesAtPos(graph, facts, plan, f, c->config, pos, num_steps);
+      c->delta_m = static_cast<double>(current_at_pos) -
+                   static_cast<double>(new_at_pos);
+      double degradation =
+          SplitDegradation(graph, profile, c->tensor, p_num, dim);
+      double regen_cost;
+      if (c->config.opt == MemOpt::kReside) {
+        regen_cost = 0;  // parts free in place; only degradation
+      } else if (c->config.opt == MemOpt::kSwap) {
+        // Micro transfers hide under the op's own micro-pipeline (Eq. 6's
+        // summed micro swap costs).
+        double whole_cost = SwapCost(graph, schedule, facts, profile,
+                                     occupancy, c->tensor, f.bytes, pos);
+        double micro_op_seconds = SplitOpSeconds(graph, profile.device,
+                                                 bottleneck_op, dim, p_num);
+        double pipeline_cover = micro_op_seconds * (p_num - 1) / p_num;
+        regen_cost = std::max(whole_cost - pipeline_cover, 0.0);
+        if (c->current.opt == MemOpt::kSwap) {
+          // Already paying the transfer; only the degradation and any
+          // overlap change are new.
+          regen_cost = 0;
+        }
+      } else {
+        regen_cost =
+            RecomputeCost(graph, schedule, facts, profile, plan, c->tensor);
+        if (c->current.opt == MemOpt::kRecompute) regen_cost = 0;
       }
-    }
-    // Workspace divisors of the tensor's producer / consumers may change
-    // when a split appears.
-    if (before.split == after.split) return;
-    const TensorDesc& desc = graph_.tensor(tensor);
-    std::vector<OpId> affected = desc.consumers;
-    if (desc.producer != kInvalidOp) affected.push_back(desc.producer);
-    for (OpId op : affected) {
-      if (graph_.node(op).op->is_view()) continue;
-      int pos = schedule_.pos_of_op[static_cast<size_t>(op)];
-      size_t workspace = graph_.node(op).op->WorkspaceBytes(
-          graph_.InputShapes(op), graph_.OutputShapes(op));
-      if (workspace == 0) continue;
-      // Recompute this op's divisor before/after (the plan already holds
-      // the new config; reconstruct the old divisor from `before`).
-      int new_div = OpSplitDivisor(graph_, plan_after, facts_, op);
-      Plan old_plan = plan_after;
-      old_plan.Set(tensor, before);
-      int old_div = OpSplitDivisor(graph_, old_plan, facts_, op);
-      if (old_div == new_div) continue;
-      memory_[static_cast<size_t>(pos)] -=
-          workspace / static_cast<size_t>(old_div);
-      memory_[static_cast<size_t>(pos)] +=
-          workspace / static_cast<size_t>(new_div);
+      c->delta_t = regen_cost + degradation;
+      return;
     }
   }
+}
 
- private:
-  const Graph& graph_;
-  const Schedule& schedule_;
-  const std::vector<TensorFacts>& facts_;
-  std::vector<size_t> memory_;
-};
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
 
 }  // namespace
 
@@ -171,8 +206,10 @@ Result<Plan> TsplitPlanner::BuildPlan(const Graph& graph,
                                       const Schedule& schedule,
                                       const GraphProfile& profile,
                                       size_t memory_budget) {
+  const auto plan_start = std::chrono::steady_clock::now();
   Plan plan;
   plan.planner_name = name();
+  PlannerStats stats;
 
   std::vector<TensorFacts> facts = ComputeTensorFacts(graph, schedule);
 
@@ -184,22 +221,33 @@ Result<Plan> TsplitPlanner::BuildPlan(const Graph& graph,
     }
   }
 
-  MemoryState memory(graph, schedule, facts, plan);
+  std::unique_ptr<PlannerEngine> engine =
+      options_.use_incremental_engine
+          ? MakeIncrementalPlannerEngine(graph, schedule, facts, profile,
+                                         plan, options_.paranoid_checks)
+          : MakeReferencePlannerEngine(graph, schedule, facts, profile,
+                                       plan);
+  engine->set_stats(&stats);
 
   int assignments = 0;
-  const int num_steps = schedule.num_steps();
 
-  for (int pos = 0; pos < num_steps; ++pos) {
+  int pos = engine->NextBottleneck(0, memory_budget);
+  while (pos >= 0) {
+    ++stats.bottlenecks;
     // Multiple rounds per bottleneck: applying candidates changes other
-    // tensors' recompute-chain transients, so re-simulate and re-collect
-    // until the position truly fits (or no candidate helps).
-    for (int round = 0; round < 6 && memory.at(pos) > memory_budget;
+    // tensors' recompute-chain transients, so re-sync and re-collect until
+    // the position truly fits (or no candidate helps).
+    for (int round = 0; round < 6 && engine->At(pos) > memory_budget;
          ++round) {
+    ++stats.rounds;
     // Refresh the PCIe occupancy view for this bottleneck (paper §V-B).
-    PcieOccupancy occupancy =
-        SimulatePcie(graph, schedule, facts, profile, plan);
+    auto phase_start = std::chrono::steady_clock::now();
+    const PcieOccupancy& occupancy = engine->Occupancy(plan);
+    stats.pcie_seconds += SecondsSince(phase_start);
 
-    // ---- Collect candidates for this bottleneck ----
+    // ---- Collect candidates for this bottleneck (serial: eligibility
+    // checks consult the engine's mutable transient cache) ----
+    phase_start = std::chrono::steady_clock::now();
     std::vector<Candidate> candidates;
 
     OpId bottleneck_op = schedule.order[static_cast<size_t>(pos)];
@@ -216,11 +264,10 @@ Result<Plan> TsplitPlanner::BuildPlan(const Graph& graph,
       if (t.kind == TensorKind::kParamGrad && f.def_pos < pos) {
         Candidate stream;
         stream.tensor = t.id;
+        stream.kind = CandidateKind::kGradStream;
         stream.config.opt = MemOpt::kSwap;
         stream.config.split = current.split;
-        stream.delta_m = static_cast<double>(f.bytes);
-        stream.delta_t = SwapCost(graph, schedule, facts, profile,
-                                  occupancy, t.id, f.bytes, pos);
+        stream.current = current;
         candidates.push_back(stream);
         continue;
       }
@@ -228,39 +275,29 @@ Result<Plan> TsplitPlanner::BuildPlan(const Graph& graph,
             f.first_bwd_use >= 0 && f.def_pos < pos)) {
         continue;
       }
-      size_t at_pos_now = BytesAtPos(graph, facts, plan, f, current, pos,
-                                     schedule.num_steps());
 
       Candidate swap;
       swap.tensor = t.id;
+      swap.kind = CandidateKind::kEvict;
       swap.config.opt = MemOpt::kSwap;
       swap.config.split = current.split;  // preserve a propagated split
-      swap.delta_m =
-          static_cast<double>(at_pos_now) -
-          static_cast<double>(BytesAtPos(graph, facts, plan, f,
-                                         swap.config, pos,
-                                         schedule.num_steps()));
-      swap.delta_t = SwapCost(graph, schedule, facts, profile, occupancy,
-                              t.id, f.bytes, pos);
+      swap.current = current;
       candidates.push_back(swap);
 
       if (IsRecomputeCheckpoint(graph, plan, t.id)) continue;
 
+      // Recompute is only worthwhile when its chain re-materializes
+      // nothing (transient-free, the regime SuperNeurons exploits for
+      // cheap layers above a kept checkpoint). The transient comes from
+      // the engine's memo — exact, dep-validated.
       if (RecomputeEligible(graph, t.id) &&
-          RecomputeTransientFree(graph, facts, plan, t.id)) {
+          engine->ChainTransient(plan, t.id) == 0) {
         Candidate recompute;
         recompute.tensor = t.id;
+        recompute.kind = CandidateKind::kEvict;
         recompute.config.opt = MemOpt::kRecompute;
         recompute.config.split = current.split;
-        // The model diff includes the checkpoint transient recomputation
-        // drags back in (its producer's largest input).
-        recompute.delta_m =
-            static_cast<double>(at_pos_now) -
-            static_cast<double>(BytesAtPos(graph, facts, plan, f,
-                                           recompute.config, pos,
-                                           schedule.num_steps()));
-        recompute.delta_t =
-            RecomputeCost(graph, schedule, facts, profile, plan, t.id);
+        recompute.current = current;
         candidates.push_back(recompute);
       }
     }
@@ -282,8 +319,6 @@ Result<Plan> TsplitPlanner::BuildPlan(const Graph& graph,
         if (current.split.active()) return;
         const Shape& shape = graph.tensor(tensor).shape;
         if (dim < 0 || dim >= shape.rank()) return;
-        size_t current_at_pos = BytesAtPos(graph, facts, plan, f, current, pos,
-                                           schedule.num_steps());
         // Candidate memory options: keep an already-chosen opt (upgrade a
         // whole-tensor swap to a split swap), otherwise try both. A tensor
         // that dies at this op needs no regeneration: pure split
@@ -314,49 +349,18 @@ Result<Plan> TsplitPlanner::BuildPlan(const Graph& graph,
         for (int p_num : options_.p_num_candidates) {
           if (shape.dim(dim) < p_num) continue;
           if (neighbor_p != 0 && p_num != neighbor_p) continue;
-          double degradation =
-              SplitDegradation(graph, profile, tensor, p_num, dim);
-          double micro_op_seconds = SplitOpSeconds(
-              graph, profile.device, bottleneck_op, dim, p_num);
           for (MemOpt opt : opts) {
             if (opt == MemOpt::kRecompute &&
                 (!RecomputeEligible(graph, tensor) ||
-                 !RecomputeTransientFree(graph, facts, plan, tensor))) {
+                 engine->ChainTransient(plan, tensor) != 0)) {
               continue;
             }
             Candidate candidate;
             candidate.tensor = tensor;
+            candidate.kind = CandidateKind::kSplit;
             candidate.config.opt = opt;
             candidate.config.split = SplitConfig{p_num, dim};
-            size_t new_at_pos =
-                BytesAtPos(graph, facts, plan, f, candidate.config, pos,
-                           schedule.num_steps());
-            candidate.delta_m =
-                static_cast<double>(current_at_pos) -
-                static_cast<double>(new_at_pos);
-            double regen_cost;
-            if (opt == MemOpt::kReside) {
-              regen_cost = 0;  // parts free in place; only degradation
-            } else if (opt == MemOpt::kSwap) {
-              // Micro transfers hide under the op's own micro-pipeline
-              // (Eq. 6's summed micro swap costs).
-              double whole_cost =
-                  SwapCost(graph, schedule, facts, profile, occupancy,
-                           tensor, f.bytes, pos);
-              double pipeline_cover =
-                  micro_op_seconds * (p_num - 1) / p_num;
-              regen_cost = std::max(whole_cost - pipeline_cover, 0.0);
-              if (current.opt == MemOpt::kSwap) {
-                // Already paying the transfer; only the degradation and
-                // any overlap change are new.
-                regen_cost = 0;
-              }
-            } else {
-              regen_cost = RecomputeCost(graph, schedule, facts, profile,
-                                         plan, tensor);
-              if (current.opt == MemOpt::kRecompute) regen_cost = 0;
-            }
-            candidate.delta_t = regen_cost + degradation;
+            candidate.current = current;
             candidates.push_back(candidate);
           }
         }
@@ -393,16 +397,31 @@ Result<Plan> TsplitPlanner::BuildPlan(const Graph& graph,
         }
       }
     }
+    stats.enumerate_seconds += SecondsSince(phase_start);
+
+    // ---- Score candidates (parallel over disjoint slots; every cost
+    // function is pure and the plan/occupancy are frozen) ----
+    phase_start = std::chrono::steady_clock::now();
+    const auto count = static_cast<int64_t>(candidates.size());
+    core::ParallelFor(0, count, core::GrainFor(count, /*cost_per_item=*/256),
+                      [&](int64_t begin, int64_t end) {
+                        for (int64_t i = begin; i < end; ++i) {
+                          ScoreCandidate(graph, schedule, facts, profile,
+                                         plan, occupancy, pos, bottleneck_op,
+                                         &candidates[static_cast<size_t>(i)]);
+                        }
+                      });
+    stats.candidates_scored += count;
+    stats.score_seconds += SecondsSince(phase_start);
 
     // Greedily apply the best remaining candidate until the bottleneck is
-    // relieved (ties in the tensor resolve to its first assignment).
-    std::sort(candidates.begin(), candidates.end(),
-              [](const Candidate& a, const Candidate& b) {
-                return a.ratio() < b.ratio();
-              });
+    // relieved. The full sort key makes the order — and therefore the plan
+    // — identical on every platform and thread count.
+    phase_start = std::chrono::steady_clock::now();
+    std::stable_sort(candidates.begin(), candidates.end(), CandidateBefore);
     bool applied_any = false;
     for (const Candidate& candidate : candidates) {
-      if (memory.at(pos) <= memory_budget) break;
+      if (engine->At(pos) <= memory_budget) break;
       if (candidate.delta_m <= 0) continue;
       STensorConfig before = plan.ConfigFor(candidate.tensor);
       // Accept fresh assignments, opt-preserving split upgrades, and
@@ -419,20 +438,27 @@ Result<Plan> TsplitPlanner::BuildPlan(const Graph& graph,
         return Status::ResourceExhausted("planner assignment limit hit");
       }
       plan.Set(candidate.tensor, candidate.config);
-      memory.Apply(plan, candidate.tensor, before, candidate.config);
+      engine->Apply(plan, candidate.tensor, before, candidate.config);
       if (candidate.config.split.active() &&
           candidate.config.opt == MemOpt::kRecompute) {
-        PropagateSplitUpChain(graph, facts, &plan, candidate.tensor);
+        std::vector<TensorId> propagated;
+        PropagateSplitUpChain(graph, facts, &plan, candidate.tensor,
+                              &propagated);
+        for (TensorId t : propagated) engine->NotifyConfigSet(t);
       }
       applied_any = true;
     }
-    // Cross-tensor transients may have shifted; re-simulate before deciding
-    // this position's fate.
-    memory.Rebuild(plan);
-    if (!applied_any && memory.at(pos) > memory_budget) break;
+    stats.apply_seconds += SecondsSince(phase_start);
+    // Cross-tensor transients may have shifted; restore the exact timeline
+    // before deciding this position's fate.
+    phase_start = std::chrono::steady_clock::now();
+    Status sync = engine->EndRound(plan);
+    stats.sync_seconds += SecondsSince(phase_start);
+    if (!sync.ok()) return sync;
+    if (!applied_any && engine->At(pos) > memory_budget) break;
     }  // rounds
 
-    if (memory.at(pos) > memory_budget) {
+    if (engine->At(pos) > memory_budget) {
       const OpNode& node = graph.node(schedule.order[static_cast<size_t>(pos)]);
       // Diagnostic: the largest contributors at the stuck position.
       std::vector<std::pair<size_t, TensorId>> contributors;
@@ -454,11 +480,18 @@ Result<Plan> TsplitPlanner::BuildPlan(const Graph& graph,
       }
       return Status::ResourceExhausted(
           "no strategy can relieve the bottleneck at op " + node.name +
-          " (" + std::to_string(memory.at(pos)) + " > " +
+          " (" + std::to_string(engine->At(pos)) + " > " +
           std::to_string(memory_budget) + " bytes); top residents:" +
           detail);
     }
+    // Positions before `pos` were already cleared (assignments never
+    // re-raise an earlier position the forward scan accepted — matching
+    // the original single forward pass).
+    pos = engine->NextBottleneck(pos, memory_budget);
   }
+  stats.assignments = assignments;
+  stats.total_seconds = SecondsSince(plan_start);
+  plan.stats = stats;
   return plan;
 }
 

@@ -18,6 +18,14 @@ struct TsplitOptions {
   bool enable_split = true;            // false = TSPLIT w/o Split (Fig 14a)
   std::vector<int> p_num_candidates = {2, 4, 8, 16, 32};
   int max_assignments = 100000;        // safety valve
+  // Drive the incremental planner engine (segment-tree timeline, cached
+  // PCIe/transient evaluation). false selects the reference engine — the
+  // original flat-vector + full-rebuild data path, kept as the golden
+  // model. Both produce identical plans.
+  bool use_incremental_engine = true;
+  // Cross-check the incremental timeline against PlannedMemory after every
+  // round (slow; tests only).
+  bool paranoid_checks = false;
 };
 
 class TsplitPlanner : public Planner {

@@ -32,7 +32,8 @@ std::string Escape(const std::string& text) {
 }  // namespace
 
 std::string ToChromeTrace(const sim::Timeline& timeline,
-                          const std::vector<MemorySample>* memory) {
+                          const std::vector<MemorySample>* memory,
+                          const planner::PlannerStats* planner_stats) {
   std::ostringstream os;
   os << "{\"traceEvents\":[";
   bool first = true;
@@ -59,15 +60,27 @@ std::string ToChromeTrace(const sim::Timeline& timeline,
          << static_cast<double>(sample.bytes) / 1e6 << "}}";
     }
   }
+  if (planner_stats != nullptr && planner_stats->Populated()) {
+    os << ",{\"name\":\"planner stats\",\"ph\":\"i\",\"s\":\"g\","
+          "\"pid\":1,\"tid\":0,\"ts\":0,\"args\":{";
+    bool first_arg = true;
+    for (const auto& [key, value] : planner_stats->Items()) {
+      if (!first_arg) os << ",";
+      first_arg = false;
+      os << "\"" << key << "\":" << value;
+    }
+    os << "}}";
+  }
   os << "]}";
   return os.str();
 }
 
 bool WriteChromeTrace(const sim::Timeline& timeline, const std::string& path,
-                      const std::vector<MemorySample>* memory) {
+                      const std::vector<MemorySample>* memory,
+                      const planner::PlannerStats* planner_stats) {
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) return false;
-  std::string json = ToChromeTrace(timeline, memory);
+  std::string json = ToChromeTrace(timeline, memory, planner_stats);
   size_t written = std::fwrite(json.data(), 1, json.size(), file);
   std::fclose(file);
   return written == json.size();

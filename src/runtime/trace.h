@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "planner/planner_stats.h"
 #include "runtime/sim_executor.h"
 #include "sim/timeline.h"
 
@@ -17,13 +18,20 @@ namespace tsplit::runtime {
 // Serializes every task on every stream as Chrome trace-event "X" (complete)
 // events; one trace "thread" per stream. Times are microseconds. When
 // `memory` is non-null its samples become a "device memory" counter track
-// (the Fig 2a footprint curve rendered alongside the streams).
-std::string ToChromeTrace(const sim::Timeline& timeline,
-                          const std::vector<MemorySample>* memory = nullptr);
+// (the Fig 2a footprint curve rendered alongside the streams). When
+// `planner_stats` is non-null and populated, an instant event at t=0 embeds
+// the planning-phase instrumentation (rounds, cache hit rates, phase wall
+// times) so a trace is self-describing about how its plan was built.
+std::string ToChromeTrace(
+    const sim::Timeline& timeline,
+    const std::vector<MemorySample>* memory = nullptr,
+    const planner::PlannerStats* planner_stats = nullptr);
 
 // Writes the trace to `path`; returns false on I/O failure.
-bool WriteChromeTrace(const sim::Timeline& timeline, const std::string& path,
-                      const std::vector<MemorySample>* memory = nullptr);
+bool WriteChromeTrace(
+    const sim::Timeline& timeline, const std::string& path,
+    const std::vector<MemorySample>* memory = nullptr,
+    const planner::PlannerStats* planner_stats = nullptr);
 
 }  // namespace tsplit::runtime
 

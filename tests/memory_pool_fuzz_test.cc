@@ -1,0 +1,140 @@
+// Randomized property tests for the device memory pool: long interleaved
+// allocate/free sequences under both fit policies, with every invariant
+// checked against an external shadow model — accounting identities, block
+// disjointness, coalescing, and alignment.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <vector>
+
+#include "mem/memory_pool.h"
+
+namespace tsplit::mem {
+namespace {
+
+struct ShadowBlock {
+  size_t offset;
+  size_t requested;  // bytes asked for (pre-alignment)
+};
+
+// Cross-checks the pool against a shadow interval map after every step.
+void CheckAgainstShadow(const MemoryPool& pool,
+                        const std::map<size_t, ShadowBlock>& shadow) {
+  Status consistency = pool.CheckConsistency();
+  ASSERT_TRUE(consistency.ok()) << consistency.ToString();
+
+  const PoolStats& stats = pool.stats();
+  // Accounting identity: every byte is either in use or free.
+  ASSERT_EQ(stats.in_use + stats.free_bytes, stats.capacity);
+  ASSERT_EQ(stats.capacity, pool.capacity());
+  ASSERT_EQ(pool.in_use(), stats.in_use);
+  ASSERT_EQ(pool.free_bytes(), stats.free_bytes);
+  ASSERT_LE(stats.in_use, stats.peak_in_use);
+  // The largest free block is a free sub-region.
+  ASSERT_LE(stats.largest_free_block, stats.free_bytes);
+  if (stats.free_bytes > 0) ASSERT_GT(stats.largest_free_block, 0u);
+  // Fragmentation is a well-formed ratio.
+  ASSERT_GE(stats.fragmentation(), 0.0);
+  ASSERT_LE(stats.fragmentation(), 1.0);
+
+  // Shadow agreement: aligned sizes sum to in_use, blocks are disjoint and
+  // inside the arena.
+  size_t shadow_in_use = 0;
+  size_t prev_end = 0;
+  for (const auto& [offset, block] : shadow) {
+    size_t aligned = MemoryPool::Align(block.requested);
+    ASSERT_GE(offset, prev_end) << "allocations overlap at " << offset;
+    prev_end = offset + aligned;
+    ASSERT_LE(prev_end, pool.capacity());
+    shadow_in_use += aligned;
+  }
+  ASSERT_EQ(shadow_in_use, stats.in_use);
+  // CanAllocate must accept the largest free block and reject anything
+  // larger than all free bytes.
+  if (stats.largest_free_block > 0) {
+    ASSERT_TRUE(pool.CanAllocate(stats.largest_free_block));
+  }
+  ASSERT_FALSE(pool.CanAllocate(stats.free_bytes + 1));
+}
+
+void RunFuzz(FitPolicy policy, uint32_t seed) {
+  constexpr size_t kCapacity = size_t{1} << 20;  // 1 MiB arena
+  MemoryPool pool(kCapacity, policy);
+  std::map<size_t, ShadowBlock> shadow;
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> action(0, 99);
+  // Mix tiny, aligned, odd, and huge requests.
+  std::uniform_int_distribution<size_t> small(1, 4096);
+  std::uniform_int_distribution<size_t> large(4096, kCapacity / 4);
+
+  for (int step = 0; step < 2000; ++step) {
+    int roll = action(rng);
+    if (roll < 55 || shadow.empty()) {
+      size_t bytes = roll % 2 == 0 ? small(rng) : large(rng);
+      auto offset = pool.Allocate(bytes);
+      if (offset.ok()) {
+        ASSERT_EQ(shadow.count(*offset), 0u);
+        shadow.emplace(*offset, ShadowBlock{*offset, bytes});
+      } else {
+        // Only out-of-memory is a legal failure, and only when no free
+        // block fits the aligned request.
+        ASSERT_EQ(offset.status().code(), StatusCode::kOutOfMemory);
+        ASSERT_LT(pool.stats().largest_free_block,
+                  MemoryPool::Align(bytes));
+        ASSERT_FALSE(pool.CanAllocate(bytes));
+      }
+    } else {
+      // Free a pseudo-random live block.
+      auto it = shadow.begin();
+      std::advance(it, static_cast<long>(rng() % shadow.size()));
+      ASSERT_TRUE(pool.Free(it->first).ok());
+      shadow.erase(it);
+    }
+    if (step % 16 == 0) CheckAgainstShadow(pool, shadow);
+  }
+
+  // Drain everything: the free list must coalesce back to one arena-sized
+  // block with zero fragmentation.
+  while (!shadow.empty()) {
+    ASSERT_TRUE(pool.Free(shadow.begin()->first).ok());
+    shadow.erase(shadow.begin());
+  }
+  CheckAgainstShadow(pool, shadow);
+  ASSERT_EQ(pool.in_use(), 0u);
+  ASSERT_EQ(pool.free_bytes(), pool.capacity());
+  ASSERT_EQ(pool.stats().largest_free_block, pool.capacity());
+  ASSERT_DOUBLE_EQ(pool.stats().fragmentation(), 0.0);
+  // And the drained pool serves a capacity-sized allocation.
+  ASSERT_TRUE(pool.CanAllocate(pool.capacity()));
+}
+
+class MemoryPoolFuzz : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(MemoryPoolFuzz, BestFitInvariantsHold) {
+  RunFuzz(FitPolicy::kBestFit, GetParam());
+}
+
+TEST_P(MemoryPoolFuzz, FirstFitInvariantsHold) {
+  RunFuzz(FitPolicy::kFirstFit, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MemoryPoolFuzz,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99991u));
+
+// Double free and foreign offsets must fail without corrupting state.
+TEST(MemoryPoolFuzzTest, InvalidFreesAreRejected) {
+  MemoryPool pool(1 << 16);
+  auto a = pool.Allocate(1000);
+  ASSERT_TRUE(a.ok());
+  ASSERT_FALSE(pool.Free(*a + 1).ok());
+  ASSERT_TRUE(pool.Free(*a).ok());
+  ASSERT_FALSE(pool.Free(*a).ok());  // double free
+  ASSERT_TRUE(pool.CheckConsistency().ok());
+  ASSERT_EQ(pool.in_use(), 0u);
+}
+
+}  // namespace
+}  // namespace tsplit::mem

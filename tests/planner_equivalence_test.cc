@@ -1,0 +1,289 @@
+// Golden equivalence of the two planner engines: the incremental engine
+// (segment-tree timeline, memoized transients, cached PCIe simulation,
+// parallel candidate scoring) must reproduce the reference engine's plan
+// byte for byte — same configs, same serialized text, same per-step M_i —
+// on every model, at every budget, at every thread count. The incremental
+// runs also enable paranoid mode, which cross-checks the resynced timeline
+// against a from-scratch PlannedMemory after every planning round.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/parallel.h"
+#include "graph/liveness.h"
+#include "graph/schedule.h"
+#include "models/model.h"
+#include "planner/memory_sim.h"
+#include "planner/plan_io.h"
+#include "planner/tsplit_planner.h"
+
+namespace tsplit::planner {
+namespace {
+
+struct TestBench {
+  models::Model model;
+  Schedule schedule;
+  GraphProfile profile;
+  MemoryProfile baseline;
+};
+
+TestBench MakeBench(models::Model model) {
+  auto schedule = BuildSchedule(model.graph);
+  TSPLIT_CHECK_OK(schedule.status());
+  auto profile = ProfileGraph(model.graph, sim::TitanRtx());
+  auto baseline = ComputeMemoryProfile(model.graph, *schedule);
+  return TestBench{std::move(model), std::move(*schedule),
+                   std::move(profile), baseline};
+}
+
+TestBench MakeVggBench() {
+  models::CnnConfig config;
+  config.batch = 8;
+  config.image_size = 16;
+  config.num_classes = 4;
+  config.channel_scale = 8.0 / 64.0;
+  auto model = models::BuildVgg(16, config);
+  TSPLIT_CHECK_OK(model.status());
+  return MakeBench(std::move(*model));
+}
+
+TestBench MakeResNetBench() {
+  models::CnnConfig config;
+  config.batch = 2;
+  config.image_size = 32;
+  config.num_classes = 3;
+  config.channel_scale = 4.0 / 64.0;
+  auto model = models::BuildResNet(50, config);
+  TSPLIT_CHECK_OK(model.status());
+  return MakeBench(std::move(*model));
+}
+
+TestBench MakeGptBench() {
+  models::GptConfig config;
+  config.num_layers = 2;
+  config.batch = 2;
+  config.seq_len = 16;
+  config.hidden = 32;
+  config.num_heads = 2;
+  config.vocab = 64;
+  auto model = models::BuildGpt(config);
+  TSPLIT_CHECK_OK(model.status());
+  return MakeBench(std::move(*model));
+}
+
+TestBench MakeTransformerBench() {
+  models::TransformerConfig config;
+  config.num_layers = 2;
+  config.batch = 2;
+  config.seq_len = 8;
+  config.hidden = 16;
+  config.num_heads = 2;
+  config.ffn_mult = 2;
+  config.vocab = 32;
+  auto model = models::BuildTransformer(config);
+  TSPLIT_CHECK_OK(model.status());
+  return MakeBench(std::move(*model));
+}
+
+TestBench MakeMlpBench() {
+  auto model = models::BuildMlp({});
+  TSPLIT_CHECK_OK(model.status());
+  return MakeBench(std::move(*model));
+}
+
+size_t EvictableBudget(const TestBench& bench, double fraction) {
+  size_t floor = bench.baseline.always_live_bytes +
+                 bench.model.graph.BytesOfKind(TensorKind::kParamGrad);
+  return floor + static_cast<size_t>(
+                     (bench.baseline.peak_bytes - floor) * fraction);
+}
+
+// Plans `bench` at `budget` with both engines and asserts equivalence.
+// Returns the incremental plan when both succeed (for stats checks).
+Result<Plan> ExpectEquivalentAt(const TestBench& bench, size_t budget) {
+  TsplitOptions ref_options;
+  ref_options.use_incremental_engine = false;
+  TsplitPlanner reference(ref_options);
+  auto ref = reference.BuildPlan(bench.model.graph, bench.schedule,
+                                 bench.profile, budget);
+
+  TsplitOptions inc_options;
+  inc_options.use_incremental_engine = true;
+  inc_options.paranoid_checks = true;
+  TsplitPlanner incremental(inc_options);
+  auto inc = incremental.BuildPlan(bench.model.graph, bench.schedule,
+                                   bench.profile, budget);
+
+  EXPECT_EQ(ref.ok(), inc.ok())
+      << "reference: " << ref.status().ToString()
+      << "\nincremental: " << inc.status().ToString();
+  if (!ref.ok() || !inc.ok()) {
+    if (!ref.ok() && !inc.ok()) {
+      EXPECT_EQ(ref.status().code(), inc.status().code());
+    }
+    return Status::ResourceExhausted("planning failed under both engines");
+  }
+
+  // Identical decisions (configs are the plan; stats are excluded from the
+  // serialization because wall times differ run to run).
+  EXPECT_EQ(SerializePlan(bench.model.graph, *ref, /*include_stats=*/false),
+            SerializePlan(bench.model.graph, *inc, /*include_stats=*/false));
+  EXPECT_TRUE(ref->configs == inc->configs);
+
+  // Identical per-step memory requirement M_i.
+  auto facts = ComputeTensorFacts(bench.model.graph, bench.schedule);
+  EXPECT_EQ(PlannedMemory(bench.model.graph, bench.schedule, facts, *ref),
+            PlannedMemory(bench.model.graph, bench.schedule, facts, *inc));
+  return inc;
+}
+
+void ExpectEquivalentAcrossBudgets(const TestBench& bench) {
+  for (double fraction : {0.8, 0.6, 0.4}) {
+    SCOPED_TRACE("budget fraction " + std::to_string(fraction));
+    (void)ExpectEquivalentAt(bench, EvictableBudget(bench, fraction));
+  }
+}
+
+TEST(PlannerEquivalenceTest, Vgg16) {
+  ExpectEquivalentAcrossBudgets(MakeVggBench());
+}
+
+TEST(PlannerEquivalenceTest, ResNet50) {
+  ExpectEquivalentAcrossBudgets(MakeResNetBench());
+}
+
+TEST(PlannerEquivalenceTest, Gpt) {
+  ExpectEquivalentAcrossBudgets(MakeGptBench());
+}
+
+TEST(PlannerEquivalenceTest, Transformer) {
+  ExpectEquivalentAcrossBudgets(MakeTransformerBench());
+}
+
+TEST(PlannerEquivalenceTest, Mlp) {
+  ExpectEquivalentAcrossBudgets(MakeMlpBench());
+}
+
+TEST(PlannerEquivalenceTest, NoSplitVariant) {
+  TestBench bench = MakeVggBench();
+  size_t budget = EvictableBudget(bench, 0.5);
+  TsplitOptions ref_options;
+  ref_options.enable_split = false;
+  ref_options.use_incremental_engine = false;
+  TsplitOptions inc_options;
+  inc_options.enable_split = false;
+  inc_options.paranoid_checks = true;
+  auto ref = TsplitPlanner(ref_options)
+                 .BuildPlan(bench.model.graph, bench.schedule, bench.profile,
+                            budget);
+  auto inc = TsplitPlanner(inc_options)
+                 .BuildPlan(bench.model.graph, bench.schedule, bench.profile,
+                            budget);
+  ASSERT_EQ(ref.ok(), inc.ok());
+  if (ref.ok()) {
+    EXPECT_TRUE(ref->configs == inc->configs);
+  }
+}
+
+// The parallel scoring phase must not change the plan: chunk decomposition
+// is thread-count-independent and every candidate writes its own slot, so
+// 1-thread and 4-thread runs serialize byte-identically.
+TEST(PlannerEquivalenceTest, PlanIsThreadCountInvariant) {
+  TestBench bench = MakeVggBench();
+  size_t budget = EvictableBudget(bench, 0.4);
+  TsplitPlanner planner;
+
+  core::SetNumThreads(1);
+  auto serial = planner.BuildPlan(bench.model.graph, bench.schedule,
+                                  bench.profile, budget);
+  core::SetNumThreads(4);
+  auto parallel = planner.BuildPlan(bench.model.graph, bench.schedule,
+                                    bench.profile, budget);
+  core::SetNumThreads(0);  // restore the environment/hardware default
+
+  ASSERT_TRUE(serial.ok() && parallel.ok());
+  EXPECT_EQ(
+      SerializePlan(bench.model.graph, *serial, /*include_stats=*/false),
+      SerializePlan(bench.model.graph, *parallel, /*include_stats=*/false));
+  EXPECT_TRUE(serial->configs == parallel->configs);
+}
+
+// Both engines must also agree at every thread count, not just with each
+// other at the default.
+TEST(PlannerEquivalenceTest, EnginesAgreeAtFourThreads) {
+  core::SetNumThreads(4);
+  TestBench bench = MakeGptBench();
+  (void)ExpectEquivalentAt(bench, EvictableBudget(bench, 0.4));
+  core::SetNumThreads(0);
+}
+
+TEST(PlannerEquivalenceTest, IncrementalRunReportsCacheEffectiveness) {
+  TestBench bench = MakeVggBench();
+  auto plan = ExpectEquivalentAt(bench, EvictableBudget(bench, 0.4));
+  ASSERT_TRUE(plan.ok());
+  const PlannerStats& stats = plan->stats;
+  ASSERT_TRUE(stats.Populated());
+  EXPECT_GT(stats.bottlenecks, 0);
+  EXPECT_GT(stats.rounds, 0);
+  EXPECT_GT(stats.candidates_scored, 0);
+  EXPECT_GT(stats.assignments, 0);
+  // The incremental engine never falls back to a full rebuild; every round
+  // closes with a dirty-set resync.
+  EXPECT_EQ(stats.full_rebuilds, 0);
+  EXPECT_EQ(stats.rebuilds_avoided, stats.rounds);
+  // Transient memoization must actually hit: candidates re-check the same
+  // chains round after round.
+  EXPECT_GT(stats.transient_cache_hits, 0);
+  EXPECT_GT(stats.TransientHitRate(), 0.0);
+  // Every round queries the occupancy exactly once; the queries partition
+  // into from-scratch simulations, suffix re-bookings, and pure hits — and
+  // the cache must be doing real work (not every query from scratch).
+  EXPECT_EQ(stats.pcie_simulations + stats.pcie_incremental_updates +
+                stats.pcie_cache_hits,
+            stats.rounds);
+  EXPECT_GT(stats.pcie_cache_hits + stats.pcie_incremental_updates, 0);
+  EXPECT_GT(stats.total_seconds, 0.0);
+}
+
+TEST(PlannerEquivalenceTest, ReferenceRunCountsFullRebuilds) {
+  TestBench bench = MakeVggBench();
+  TsplitOptions options;
+  options.use_incremental_engine = false;
+  TsplitPlanner planner(options);
+  auto plan = planner.BuildPlan(bench.model.graph, bench.schedule,
+                                bench.profile, EvictableBudget(bench, 0.4));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_GT(plan->stats.full_rebuilds, 0);
+  EXPECT_EQ(plan->stats.rebuilds_avoided, 0);
+}
+
+// Stats round-trip through the plan text format as "# stat" lines.
+TEST(PlannerEquivalenceTest, StatsSurviveSerialization) {
+  TestBench bench = MakeVggBench();
+  TsplitPlanner planner;
+  auto plan = planner.BuildPlan(bench.model.graph, bench.schedule,
+                                bench.profile, EvictableBudget(bench, 0.4));
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(plan->stats.Populated());
+  std::string text = SerializePlan(bench.model.graph, *plan);
+  EXPECT_NE(text.find("# stat rounds"), std::string::npos);
+  auto restored = ParsePlan(bench.model.graph, text);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_TRUE(restored->configs == plan->configs);
+  EXPECT_EQ(restored->stats.rounds, plan->stats.rounds);
+  EXPECT_EQ(restored->stats.candidates_scored,
+            plan->stats.candidates_scored);
+  EXPECT_DOUBLE_EQ(restored->stats.total_seconds, plan->stats.total_seconds);
+  // A plan without stats keeps serializing exactly as before (format
+  // stability for existing goldens).
+  Plan bare;
+  bare.planner_name = "manual";
+  EXPECT_EQ(SerializePlan(bench.model.graph, bare).find("# stat"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace tsplit::planner
