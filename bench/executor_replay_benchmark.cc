@@ -1,0 +1,324 @@
+// Executor replay bench: steady-state steps/sec of the compiled execution
+// path (flat instruction stream, slot-interned buffers, accounting-only
+// workspaces, persistent scratch) vs the map-based reference executor,
+// replaying one planned program per model family the way the Trainer does
+// (one executor reused across iterations, keep_freed_values off, the loss
+// retained for read-back). Verifies the two paths stay bitwise-identical on
+// the retained loss and report the same device peak, prints a table, and
+// writes machine-readable BENCH_executor.json.
+//
+//   $ ./executor_replay_benchmark [--smoke] [--out path.json]
+//
+// --smoke runs the smallest model at the tight budget only (ctest wiring);
+// --out defaults to BENCH_executor.json in the working directory
+// (bench/run_benchmarks.sh points it at the repo root).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "graph/liveness.h"
+#include "graph/schedule.h"
+#include "models/model.h"
+#include "planner/tsplit_planner.h"
+#include "rewrite/program.h"
+#include "runtime/functional_executor.h"
+#include "runtime/interpreter.h"
+
+using namespace tsplit;
+
+namespace {
+
+struct BenchCase {
+  std::string label;
+  models::Model model;
+};
+
+struct BenchResult {
+  std::string label;
+  double budget_fraction = 0;
+  size_t budget_bytes = 0;
+  int program_steps = 0;
+  int iters = 0;
+  bool planned = false;
+  bool ran = false;
+  bool values_match = false;
+  bool peak_match = false;
+  double reference_steps_per_sec = 0;
+  double compiled_steps_per_sec = 0;
+
+  double speedup() const {
+    return reference_steps_per_sec > 0
+               ? compiled_steps_per_sec / reference_steps_per_sec
+               : 0;
+  }
+  bool match() const { return ran && values_match && peak_match; }
+};
+
+models::Model MustBuild(Result<models::Model> model) {
+  TSPLIT_CHECK_OK(model.status());
+  return std::move(*model);
+}
+
+// The five model families the compiled-exec parity tests cover, at the
+// same scales: framework overhead (what the compiled path removes) is
+// measured against real kernel work, not against a mock.
+std::vector<BenchCase> MakeCases(bool smoke) {
+  std::vector<BenchCase> cases;
+  cases.push_back({"MLP", MustBuild(models::BuildMlp({}))});
+  if (smoke) return cases;
+  {
+    models::CnnConfig config;
+    config.batch = 8;
+    config.image_size = 16;
+    config.num_classes = 4;
+    config.channel_scale = 8.0 / 64.0;
+    cases.push_back({"VGG-16", MustBuild(models::BuildVgg(16, config))});
+  }
+  {
+    models::CnnConfig config;
+    config.batch = 2;
+    config.image_size = 32;
+    config.num_classes = 3;
+    config.channel_scale = 4.0 / 64.0;
+    cases.push_back({"ResNet-50", MustBuild(models::BuildResNet(50, config))});
+  }
+  {
+    models::GptConfig config;
+    config.num_layers = 2;
+    config.batch = 2;
+    config.seq_len = 16;
+    config.hidden = 32;
+    config.num_heads = 2;
+    config.vocab = 64;
+    cases.push_back({"GPT", MustBuild(models::BuildGpt(config))});
+  }
+  {
+    models::TransformerConfig config;
+    config.num_layers = 2;
+    config.batch = 2;
+    config.seq_len = 8;
+    config.hidden = 16;
+    config.num_heads = 2;
+    config.ffn_mult = 2;
+    config.vocab = 32;
+    cases.push_back(
+        {"Transformer", MustBuild(models::BuildTransformer(config))});
+  }
+  return cases;
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// One executor reused across iterations in the Trainer's steady-state
+// configuration; returns iterations/sec over `iters` timed replays after
+// one warmup (which also pays the one-time compilation on the compiled
+// path — exactly the cost profile of a training run).
+struct VariantRun {
+  bool ok = false;
+  double steps_per_sec = 0;
+  size_t peak_device_bytes = 0;
+  Tensor loss;
+};
+
+VariantRun RunVariant(const models::Model& model,
+                      const rewrite::Program& program, size_t capacity,
+                      bool compiled, int iters) {
+  VariantRun out;
+  runtime::FunctionalExecutor exec(&model.graph, capacity);
+  exec.set_compiled(compiled);
+  exec.set_keep_freed_values(false);
+  exec.RetainValue(model.loss);
+  auto bindings = runtime::MakeRandomBindings(model.graph, 17);
+  for (auto& [id, value] : bindings) {
+    TSPLIT_CHECK_OK(exec.Bind(id, std::move(value)));
+  }
+  if (!exec.Run(program).ok()) return out;  // warmup + compile
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    if (!exec.Run(program).ok()) return out;
+  }
+  double seconds = SecondsSince(t0);
+  auto loss = exec.ValueOf(model.loss);
+  if (!loss.ok()) return out;
+  out.ok = true;
+  out.steps_per_sec = seconds > 0 ? iters / seconds : 0;
+  out.peak_device_bytes = exec.peak_device_bytes();
+  out.loss = std::move(*loss);
+  return out;
+}
+
+BenchResult RunCase(const BenchCase& c, double fraction, bool smoke) {
+  BenchResult r;
+  r.label = c.label;
+  r.budget_fraction = fraction;
+
+  auto schedule = BuildSchedule(c.model.graph);
+  TSPLIT_CHECK_OK(schedule.status());
+  auto profile = planner::ProfileGraph(c.model.graph, sim::TitanRtx());
+  auto baseline = ComputeMemoryProfile(c.model.graph, *schedule);
+  size_t floor = baseline.always_live_bytes +
+                 c.model.graph.BytesOfKind(TensorKind::kParamGrad);
+  r.budget_bytes =
+      floor + static_cast<size_t>((baseline.peak_bytes - floor) * fraction);
+
+  planner::TsplitPlanner planner;
+  auto plan = planner.BuildPlan(c.model.graph, *schedule, profile,
+                                r.budget_bytes);
+  if (!plan.ok()) return r;  // budget infeasible: skip row
+  auto program = rewrite::GenerateProgram(c.model.graph, *schedule, *plan,
+                                          profile);
+  TSPLIT_CHECK_OK(program.status());
+  r.planned = true;
+  r.program_steps = static_cast<int>(program->steps.size());
+
+  // Same headroom over the planning budget the Trainer leaves.
+  size_t capacity = r.budget_bytes + r.budget_bytes / 4;
+
+  // Size the timed loop off one untimed reference replay (~0.5s per
+  // variant in the full sweep), same iteration count for both variants.
+  int iters = 2;
+  if (!smoke) {
+    auto t0 = std::chrono::steady_clock::now();
+    VariantRun probe =
+        RunVariant(c.model, *program, capacity, /*compiled=*/false, 1);
+    double per_iter = SecondsSince(t0) / 2;  // warmup + 1 timed
+    if (!probe.ok) return r;
+    iters = std::clamp(static_cast<int>(0.5 / std::max(per_iter, 1e-6)), 3,
+                       200);
+  }
+  r.iters = iters;
+
+  VariantRun ref =
+      RunVariant(c.model, *program, capacity, /*compiled=*/false, iters);
+  VariantRun comp =
+      RunVariant(c.model, *program, capacity, /*compiled=*/true, iters);
+  if (!ref.ok || !comp.ok) return r;
+  r.ran = true;
+  r.reference_steps_per_sec = ref.steps_per_sec;
+  r.compiled_steps_per_sec = comp.steps_per_sec;
+  r.peak_match = ref.peak_device_bytes == comp.peak_device_bytes;
+  r.values_match =
+      ref.loss.shape() == comp.loss.shape() &&
+      std::memcmp(ref.loss.vec().data(), comp.loss.vec().data(),
+                  ref.loss.vec().size() * sizeof(float)) == 0;
+  return r;
+}
+
+void AppendJson(std::string* out, const BenchResult& r) {
+  char buffer[512];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "    {\"model\": \"%s\", \"budget_fraction\": %.2f, "
+      "\"budget_bytes\": %zu, \"program_steps\": %d, \"iters\": %d, "
+      "\"planned\": %s, \"ran\": %s, \"values_match\": %s, "
+      "\"peak_match\": %s, \"reference_steps_per_sec\": %.3f, "
+      "\"compiled_steps_per_sec\": %.3f, \"speedup\": %.2f}",
+      r.label.c_str(), r.budget_fraction, r.budget_bytes, r.program_steps,
+      r.iters, r.planned ? "true" : "false", r.ran ? "true" : "false",
+      r.values_match ? "true" : "false", r.peak_match ? "true" : "false",
+      r.reference_steps_per_sec, r.compiled_steps_per_sec, r.speedup());
+  *out += buffer;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_executor.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+
+  bench::PrintHeader(
+      "Executor replay: compiled instruction stream vs map-based reference",
+      "one executor reused across iterations (Trainer steady state); both "
+      "paths must agree on the loss bitwise and on the device peak");
+  std::printf("%-12s %6s %7s %6s %12s %12s %8s %6s\n", "model", "budget",
+              "steps", "iters", "ref it/s", "comp it/s", "speedup",
+              "match");
+
+  std::vector<double> fractions =
+      smoke ? std::vector<double>{0.3} : std::vector<double>{0.3, 0.6};
+  std::vector<BenchCase> cases = MakeCases(smoke);
+  std::vector<BenchResult> results;
+  bool all_match = true;
+  for (const BenchCase& c : cases) {
+    for (double fraction : fractions) {
+      BenchResult r = RunCase(c, fraction, smoke);
+      results.push_back(r);
+      if (!r.planned) {
+        std::printf("%-12s %5.0f%% %28s\n", r.label.c_str(),
+                    fraction * 100, "infeasible");
+        continue;
+      }
+      if (!r.ran) {
+        std::printf("%-12s %5.0f%% %7d %27s\n", r.label.c_str(),
+                    fraction * 100, r.program_steps, "RUN FAILED");
+        all_match = false;
+        continue;
+      }
+      all_match = all_match && r.match();
+      std::printf("%-12s %5.0f%% %7d %6d %12.2f %12.2f %7.2fx %6s\n",
+                  r.label.c_str(), fraction * 100, r.program_steps,
+                  r.iters, r.reference_steps_per_sec,
+                  r.compiled_steps_per_sec, r.speedup(),
+                  r.match() ? "yes" : "NO");
+    }
+  }
+
+  // The acceptance metric: best speedup at the tight (30%) budget.
+  const BenchResult* flagship = nullptr;
+  for (const BenchResult& r : results) {
+    if (!r.ran || r.budget_fraction > 0.31) continue;
+    if (flagship == nullptr || r.speedup() > flagship->speedup()) {
+      flagship = &r;
+    }
+  }
+  if (flagship != nullptr) {
+    std::printf("\nflagship (best at 30%% budget): %s -> %.2fx steps/sec\n",
+                flagship->label.c_str(), flagship->speedup());
+  }
+
+  std::string json = "{\n  \"benchmark\": \"executor_replay\",\n";
+  json += "  \"smoke\": " + std::string(smoke ? "true" : "false") + ",\n";
+  json += "  \"all_match\": " + std::string(all_match ? "true" : "false") +
+          ",\n";
+  if (flagship != nullptr) {
+    char buffer[256];
+    std::snprintf(buffer, sizeof(buffer),
+                  "  \"flagship\": {\"model\": \"%s\", \"budget_fraction\": "
+                  "%.2f, \"speedup\": %.2f},\n",
+                  flagship->label.c_str(), flagship->budget_fraction,
+                  flagship->speedup());
+    json += buffer;
+  }
+  json += "  \"results\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    AppendJson(&json, results[i]);
+    json += i + 1 < results.size() ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+
+  std::FILE* file = std::fopen(out_path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fputs(json.c_str(), file);
+  std::fclose(file);
+  std::printf("wrote %s\n", out_path.c_str());
+  return all_match ? 0 : 2;
+}

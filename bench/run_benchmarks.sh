@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Builds (if needed) and runs the planner scaling bench, writing
-# machine-readable BENCH_planner.json at the repo root. Pass --smoke for
-# the quick configuration the ctest smoke test uses.
+# Builds (if needed) and runs the machine-readable benches, writing
+# BENCH_planner.json and BENCH_executor.json at the repo root. Pass
+# --smoke for the quick configurations the ctest smoke tests use.
 #
 #   $ bench/run_benchmarks.sh [--smoke]
 set -euo pipefail
@@ -12,9 +12,13 @@ build_dir="${BUILD_DIR:-$repo_root/build}"
 if [[ ! -d "$build_dir" ]]; then
   cmake -B "$build_dir" -S "$repo_root"
 fi
-cmake --build "$build_dir" -j --target planner_scaling_benchmark
+cmake --build "$build_dir" -j --target planner_scaling_benchmark \
+    executor_replay_benchmark
 
 "$build_dir/bench/planner_scaling_benchmark" "$@" \
     --out "$repo_root/BENCH_planner.json"
 
-echo "BENCH_planner.json written to $repo_root"
+"$build_dir/bench/executor_replay_benchmark" "$@" \
+    --out "$repo_root/BENCH_executor.json"
+
+echo "BENCH_planner.json and BENCH_executor.json written to $repo_root"

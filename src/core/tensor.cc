@@ -61,6 +61,34 @@ Result<Tensor> Tensor::Slice(int axis, int64_t offset, int64_t extent) const {
   return out;
 }
 
+Status Tensor::CopySliceInto(int axis, int64_t offset, int64_t extent,
+                             Tensor* dst) const {
+  if (axis < 0 || axis >= shape_.rank()) {
+    return Status::InvalidArgument("CopySliceInto: axis out of range");
+  }
+  if (offset < 0 || extent < 1 || offset + extent > shape_.dim(axis)) {
+    return Status::InvalidArgument("CopySliceInto: range out of bounds");
+  }
+  if (dst->shape().rank() != shape_.rank() ||
+      dst->shape().dim(axis) != extent) {
+    return Status::InvalidArgument("CopySliceInto: dst shape mismatch");
+  }
+  for (int a = 0; a < shape_.rank(); ++a) {
+    if (a != axis && dst->shape().dim(a) != shape_.dim(a)) {
+      return Status::InvalidArgument("CopySliceInto: dst shape mismatch");
+    }
+  }
+  int64_t outer, inner;
+  OuterInner(shape_, axis, &outer, &inner);
+  int64_t src_axis = shape_.dim(axis);
+  for (int64_t o = 0; o < outer; ++o) {
+    const float* src = data() + (o * src_axis + offset) * inner;
+    float* out = dst->data() + o * extent * inner;
+    std::copy(src, src + extent * inner, out);
+  }
+  return Status::OK();
+}
+
 Status Tensor::PasteSlice(int axis, int64_t offset, const Tensor& part) {
   if (axis < 0 || axis >= shape_.rank()) {
     return Status::InvalidArgument("PasteSlice: axis out of range");

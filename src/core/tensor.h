@@ -92,6 +92,13 @@ class Tensor {
   // a new tensor (used to materialize micro-tensors).
   Result<Tensor> Slice(int axis, int64_t offset, int64_t extent) const;
 
+  // Slice without the allocation: copies [offset, offset+extent) along
+  // `axis` into `dst`, which must already carry the slice shape. Fully
+  // overwrites dst's elements (the compiled executor reuses one scratch
+  // tensor across iterations through this).
+  Status CopySliceInto(int axis, int64_t offset, int64_t extent,
+                       Tensor* dst) const;
+
   // Writes `part` into this tensor at [offset, ...) along `axis` (used to
   // merge micro-tensors by concatenation).
   Status PasteSlice(int axis, int64_t offset, const Tensor& part);

@@ -129,6 +129,21 @@ bool MemoryPool::CanAllocate(size_t bytes) const {
   return stats_.largest_free_block >= Align(bytes);
 }
 
+Status MemoryPool::AccountTransient(size_t bytes) {
+  size_t need = Align(bytes);
+  if (stats_.largest_free_block < need) {
+    ++stats_.failed_allocs;
+    return Status::OutOfMemory(
+        "pool cannot fit " + std::to_string(need) + " bytes (free " +
+        std::to_string(stats_.free_bytes) + ", largest block " +
+        std::to_string(stats_.largest_free_block) + ")");
+  }
+  stats_.peak_in_use = std::max(stats_.peak_in_use, stats_.in_use + need);
+  ++stats_.num_allocs;
+  ++stats_.num_frees;
+  return Status::OK();
+}
+
 Status MemoryPool::CheckConsistency() const {
   // Walk free + allocated blocks; together they must tile [0, capacity)
   // with no overlap, and no two free blocks may be adjacent.
@@ -168,9 +183,11 @@ Status MemoryPool::CheckConsistency() const {
 std::string MemoryPool::DebugString() const {
   std::ostringstream os;
   os << "MemoryPool(capacity=" << capacity_ << ", in_use=" << stats_.in_use
-     << ", free=" << stats_.free_bytes
+     << ", peak=" << stats_.peak_in_use << ", free=" << stats_.free_bytes
      << ", largest_free=" << stats_.largest_free_block
-     << ", frag=" << stats_.fragmentation() << ")";
+     << ", frag=" << stats_.fragmentation()
+     << ", allocs=" << stats_.num_allocs << ", frees=" << stats_.num_frees
+     << ", failed=" << stats_.failed_allocs << ")";
   return os.str();
 }
 

@@ -67,6 +67,16 @@ class MemoryPool {
   // True if a block of `bytes` could be allocated right now.
   bool CanAllocate(size_t bytes) const;
 
+  // Accounts a transient reservation (an Allocate that would be Freed
+  // before the next pool operation) without mutating the free list: fails
+  // with OutOfMemory exactly when Allocate would (no free block fits),
+  // otherwise folds the would-be usage into peak_in_use and the alloc/free
+  // counters. Because Allocate immediately followed by Free restores the
+  // free list exactly (the carved block re-coalesces with its neighbours),
+  // this is observationally identical to the alloc/free pair — the
+  // compiled executor uses it to retire per-compute workspace churn.
+  Status AccountTransient(size_t bytes);
+
   // Checks internal invariants (no overlap, full coverage, coalesced free
   // list); used by property tests.
   Status CheckConsistency() const;

@@ -32,6 +32,55 @@ const char* StepKindToString(StepKind kind) {
   return "?";
 }
 
+uint64_t Program::Fingerprint() const {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  auto mix = [&h](uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  };
+  auto mix_key = [&mix](const BufferKey& key) {
+    mix(static_cast<uint64_t>(key.tensor) + 1);
+    mix(static_cast<uint64_t>(key.micro) + 2);
+  };
+  mix(steps.size());
+  for (const Step& step : steps) {
+    mix(static_cast<uint64_t>(step.kind));
+    mix(static_cast<uint64_t>(step.op) + 1);
+    mix(static_cast<uint64_t>(step.micro) + 2);
+    mix(static_cast<uint64_t>(step.p_num));
+    mix(static_cast<uint64_t>(step.split_axis) + 2);
+    mix(step.workspace_bytes);
+    mix(static_cast<uint64_t>(step.is_recompute));
+    mix_key(step.buffer);
+    mix(step.bytes);
+    mix(step.inputs.size());
+    for (const auto& group : step.inputs) {
+      mix(group.size());
+      for (const BufferKey& key : group) mix_key(key);
+    }
+    mix(step.outputs.size());
+    for (const BufferKey& key : step.outputs) mix_key(key);
+  }
+  // Unordered maps fold in order-independently (XOR of per-entry hashes)
+  // so the fingerprint does not depend on hash-table iteration order.
+  uint64_t buffers = 0;
+  for (const auto& [key, bytes] : buffer_bytes) {
+    uint64_t e = static_cast<uint64_t>(key.tensor) * 0x100000001b3ull;
+    e ^= (static_cast<uint64_t>(key.micro) + 2) * 0x9e3779b97f4a7c15ull;
+    e ^= bytes * 0xc2b2ae3d27d4eb4full;
+    buffers ^= e;
+  }
+  mix(buffers);
+  uint64_t splits = 0;
+  for (const auto& [tensor, config] : split_configs) {
+    uint64_t e = static_cast<uint64_t>(tensor) * 0x100000001b3ull;
+    e ^= static_cast<uint64_t>(config.p_num) * 0x9e3779b97f4a7c15ull;
+    e ^= (static_cast<uint64_t>(config.dim) + 1) * 0xc2b2ae3d27d4eb4full;
+    splits ^= e;
+  }
+  mix(splits);
+  return h;
+}
+
 std::string Program::DebugString(const Graph& graph) const {
   std::ostringstream os;
   os << "Program{" << steps.size() << " steps, swap_out=" << swap_out_bytes

@@ -109,6 +109,12 @@ struct Program {
   int num_micro_computes = 0;
 
   std::string DebugString(const Graph& graph) const;
+
+  // Order-sensitive structural hash over the step stream plus
+  // (order-independent) split configs and buffer sizes. The compiled
+  // executor keys its lowering cache on this, so a program mutated in
+  // place between Run calls triggers recompilation. O(steps).
+  uint64_t Fingerprint() const;
 };
 
 // How recomputation subgraphs manage their intermediate tensors (§V-D).

@@ -1,0 +1,1035 @@
+#include "runtime/compiled_program.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/logging.h"
+#include "mem/memory_pool.h"
+#include "runtime/functional_executor.h"
+
+namespace tsplit::runtime {
+
+namespace {
+
+using compiled::ComputeInstr;
+using compiled::InputRef;
+using compiled::Instr;
+using compiled::InstrKind;
+using compiled::MergeRef;
+using compiled::MicroSink;
+using compiled::ScatterInstr;
+using compiled::SlotInfo;
+using compiled::StageInstr;
+using rewrite::BufferKey;
+using rewrite::Step;
+using rewrite::StepKind;
+
+// Lowers one rewrite::Program into a CompiledProgram. Single-use: Build()
+// moves the artifact out.
+class Compiler {
+ public:
+  Compiler(const Graph& graph, const rewrite::Program& program,
+           const CompileOptions& options)
+      : graph_(graph), program_(program), options_(options) {}
+
+  Result<CompiledProgram> Build() {
+    RETURN_IF_ERROR(AddStages());
+    for (const Step& step : program_.steps) {
+      RETURN_IF_ERROR(AddStep(step));
+    }
+    for (const ComputeInstr& c : cp_.computes) {
+      // Align(0) is one alignment unit, so only genuine workspaces count.
+      if (c.workspace_bytes > 0) {
+        cp_.workspace_highwater =
+            std::max(cp_.workspace_highwater,
+                     mem::MemoryPool::Align(c.workspace_bytes));
+      }
+    }
+    cp_.fingerprint = program_.Fingerprint();
+    cp_.swap_in_lookahead = options_.swap_in_lookahead;
+    HoistSwapIns();
+    return std::move(cp_);
+  }
+
+ private:
+  // Static shape of the buffer behind `key` under the program's splits.
+  Result<Shape> KeyShape(const BufferKey& key) const {
+    const Shape& whole = graph_.tensor(key.tensor).shape;
+    if (key.micro < 0) return whole;
+    auto split_it = program_.split_configs.find(key.tensor);
+    if (split_it == program_.split_configs.end()) {
+      return Status::Internal("micro key for unsplit tensor " +
+                              graph_.tensor(key.tensor).name);
+    }
+    return whole.SplitPart(split_it->second.dim, split_it->second.p_num,
+                           key.micro);
+  }
+
+  Result<int> SlotOf(const BufferKey& key) {
+    auto it = cp_.slot_of.find(key);
+    if (it != cp_.slot_of.end()) return it->second;
+    ASSIGN_OR_RETURN(Shape shape, KeyShape(key));
+    SlotInfo info;
+    info.key = key;
+    auto bytes_it = program_.buffer_bytes.find(key);
+    info.alloc_bytes = bytes_it != program_.buffer_bytes.end()
+                           ? bytes_it->second
+                           : static_cast<size_t>(shape.num_elements()) *
+                                 SizeOf(graph_.tensor(key.tensor).dtype);
+    info.shape = std::move(shape);
+    int slot = static_cast<int>(cp_.slots.size());
+    cp_.slots.push_back(std::move(info));
+    cp_.slot_of.emplace(key, slot);
+    return slot;
+  }
+
+  // Whether the slot's device tensor is provably all-zero at this point in
+  // the stream (freshly kAlloc'd, nothing has written it since). Gates the
+  // in-place output sinks: starting from zeros is what makes writing the
+  // slot tensor directly bit-identical to the reference's fresh-zero-tensor
+  // dance.
+  void SetZeroed(int slot, bool zeroed) {
+    if (static_cast<size_t>(slot) >= zeroed_.size()) {
+      zeroed_.resize(static_cast<size_t>(slot) + 1, 0);
+    }
+    zeroed_[static_cast<size_t>(slot)] = zeroed ? 1 : 0;
+  }
+  bool IsZeroed(int slot) const {
+    return static_cast<size_t>(slot) < zeroed_.size() &&
+           zeroed_[static_cast<size_t>(slot)] != 0;
+  }
+
+  // Scratch tensors live for one compute step only, so distinct steps share
+  // them; distinct uses within one step get distinct ids via the per-step
+  // usage counter (cleared by AddCompute).
+  int AcquireScratch(const Shape& shape) {
+    std::string key = shape.ToString();
+    std::vector<int>& ids = scratch_ids_[key];
+    size_t& used = step_used_[key];
+    if (used < ids.size()) return ids[used++];
+    int id = static_cast<int>(cp_.scratch_shapes.size());
+    cp_.scratch_shapes.push_back(shape);
+    ids.push_back(id);
+    ++used;
+    return id;
+  }
+
+  // Persistent merge scratch: one whole-shaped tensor per distinct micro
+  // group, reused across steps and iterations.
+  Result<int> MergeOf(const std::vector<BufferKey>& group) {
+    TensorId tensor = group[0].tensor;
+    auto split_it = program_.split_configs.find(tensor);
+    if (split_it == program_.split_configs.end()) {
+      return Status::Internal("micro group for unsplit tensor");
+    }
+    const SplitConfig& split = split_it->second;
+    std::string sig;
+    for (const BufferKey& k : group) sig += std::to_string(k.micro) + ",";
+    auto cache_key = std::make_pair(tensor, sig);
+    auto cached = merge_of_.find(cache_key);
+    if (cached != merge_of_.end()) return cached->second;
+
+    const Shape& whole = graph_.tensor(tensor).shape;
+    MergeRef merge;
+    merge.dim = split.dim;
+    std::vector<char> seen(static_cast<size_t>(split.p_num), 0);
+    bool full = static_cast<int>(group.size()) == split.p_num;
+    for (const BufferKey& k : group) {
+      ASSIGN_OR_RETURN(int slot, SlotOf(k));
+      merge.part_slots.push_back(slot);
+      ASSIGN_OR_RETURN(int64_t offset,
+                       whole.SplitOffset(split.dim, split.p_num, k.micro));
+      merge.offsets.push_back(offset);
+      if (k.micro < 0 || k.micro >= split.p_num ||
+          seen[static_cast<size_t>(k.micro)] != 0) {
+        full = false;
+      } else {
+        seen[static_cast<size_t>(k.micro)] = 1;
+      }
+    }
+    merge.full_cover = full;
+    merge.scratch = static_cast<int>(cp_.merge_shapes.size());
+    cp_.merge_shapes.push_back(whole);
+    int index = static_cast<int>(cp_.merges.size());
+    cp_.merges.push_back(std::move(merge));
+    merge_of_.emplace(std::move(cache_key), index);
+    return index;
+  }
+
+  // Mirrors the reference Run prologue: every source tensor lands on the
+  // device, split sources as micro parts.
+  Status AddStages() {
+    for (const TensorDesc& tensor : graph_.tensors()) {
+      if (tensor.producer != kInvalidOp) continue;
+      auto split_it = program_.split_configs.find(tensor.id);
+      if (split_it == program_.split_configs.end()) {
+        StageInstr st;
+        st.tensor = tensor.id;
+        ASSIGN_OR_RETURN(st.slot, SlotOf(BufferKey{tensor.id, -1}));
+        cp_.stages.push_back(st);
+      } else {
+        const SplitConfig& split = split_it->second;
+        for (int j = 0; j < split.p_num; ++j) {
+          StageInstr st;
+          st.tensor = tensor.id;
+          st.is_part = true;
+          st.axis = split.dim;
+          ASSIGN_OR_RETURN(st.slot, SlotOf(BufferKey{tensor.id, j}));
+          ASSIGN_OR_RETURN(
+              st.offset, tensor.shape.SplitOffset(split.dim, split.p_num, j));
+          st.extent = cp_.slots[static_cast<size_t>(st.slot)].shape.dim(
+              split.dim);
+          cp_.stages.push_back(st);
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  Status AddStep(const Step& step) {
+    switch (step.kind) {
+      case StepKind::kAlloc: {
+        ASSIGN_OR_RETURN(int slot, SlotOf(step.buffer));
+        cp_.instrs.push_back(Instr{InstrKind::kAlloc, slot, -1});
+        SetZeroed(slot, true);
+        return Status::OK();
+      }
+      case StepKind::kFree:
+      case StepKind::kDrop: {
+        ASSIGN_OR_RETURN(int slot, SlotOf(step.buffer));
+        cp_.instrs.push_back(Instr{step.kind == StepKind::kFree
+                                       ? InstrKind::kFree
+                                       : InstrKind::kDrop,
+                                   slot, -1});
+        SetZeroed(slot, false);
+        return Status::OK();
+      }
+      case StepKind::kSwapOut: {
+        ASSIGN_OR_RETURN(int slot, SlotOf(step.buffer));
+        cp_.instrs.push_back(Instr{InstrKind::kSwapOut, slot, -1});
+        SetZeroed(slot, false);
+        return Status::OK();
+      }
+      case StepKind::kSwapIn: {
+        ASSIGN_OR_RETURN(int slot, SlotOf(step.buffer));
+        cp_.instrs.push_back(Instr{InstrKind::kSwapIn, slot, -1});
+        SetZeroed(slot, false);
+        return Status::OK();
+      }
+      case StepKind::kSplitCopy:
+        return AddScatter(step, InstrKind::kSplitCopy);
+      case StepKind::kMergeCopy:
+        return AddScatter(step, InstrKind::kMergeCopy);
+      case StepKind::kCompute:
+        return AddCompute(step);
+    }
+    return Status::Internal("unknown step kind");
+  }
+
+  Status AddScatter(const Step& step, InstrKind kind) {
+    auto split_it = program_.split_configs.find(step.buffer.tensor);
+    if (split_it == program_.split_configs.end()) {
+      return Status::Internal(kind == InstrKind::kSplitCopy
+                                  ? "split copy without split config"
+                                  : "merge copy without split config");
+    }
+    const SplitConfig& split = split_it->second;
+    const Shape& whole = graph_.tensor(step.buffer.tensor).shape;
+    ScatterInstr sc;
+    sc.dim = split.dim;
+    ASSIGN_OR_RETURN(sc.whole_slot, SlotOf(BufferKey{step.buffer.tensor, -1}));
+    for (int j = 0; j < split.p_num; ++j) {
+      ASSIGN_OR_RETURN(int slot, SlotOf(BufferKey{step.buffer.tensor, j}));
+      sc.part_slots.push_back(slot);
+      ASSIGN_OR_RETURN(int64_t offset,
+                       whole.SplitOffset(split.dim, split.p_num, j));
+      sc.offsets.push_back(offset);
+      sc.extents.push_back(
+          cp_.slots[static_cast<size_t>(slot)].shape.dim(split.dim));
+    }
+    if (kind == InstrKind::kSplitCopy) {
+      for (int slot : sc.part_slots) SetZeroed(slot, false);
+    } else {
+      SetZeroed(sc.whole_slot, false);
+    }
+    int aux = static_cast<int>(cp_.scatters.size());
+    cp_.scatters.push_back(std::move(sc));
+    cp_.instrs.push_back(Instr{kind, -1, aux});
+    return Status::OK();
+  }
+
+  Status AddCompute(const Step& step) {
+    const OpNode& node = graph_.node(step.op);
+    ComputeInstr c;
+    c.node = &node;
+    c.workspace_bytes = step.workspace_bytes;
+    c.whole = step.micro < 0;
+    step_used_.clear();
+
+    std::vector<Shape> declared_in = graph_.InputShapes(step.op);
+    if (declared_in.size() != step.inputs.size()) {
+      return Status::Internal("compute arity mismatch for " + node.name);
+    }
+
+    auto fence = [&c](int slot) {
+      if (std::find(c.fence_slots.begin(), c.fence_slots.end(), slot) ==
+          c.fence_slots.end()) {
+        c.fence_slots.push_back(slot);
+      }
+    };
+
+    SplitRule rule;
+    if (!c.whole) {
+      std::vector<Shape> out_shapes = graph_.OutputShapes(step.op);
+      ASSIGN_OR_RETURN(rule, node.op->SplitRuleFor(step.split_axis,
+                                                   declared_in, out_shapes));
+      if (rule.input_axes.size() != step.inputs.size()) {
+        return Status::Internal("split rule arity mismatch for " + node.name);
+      }
+    }
+
+    // Slots fed to the kernel without an intermediate copy: writing an
+    // output in place is unsafe when it aliases one of these.
+    std::vector<int> direct_slots;
+    for (size_t idx = 0; idx < step.inputs.size(); ++idx) {
+      const std::vector<BufferKey>& group = step.inputs[idx];
+      if (group.empty()) {
+        return Status::Internal("empty input group for " + node.name);
+      }
+      InputRef in;
+      Shape value_shape;
+      if (group.size() == 1) {
+        ASSIGN_OR_RETURN(in.slot, SlotOf(group[0]));
+        fence(in.slot);
+        value_shape = cp_.slots[static_cast<size_t>(in.slot)].shape;
+      } else {
+        ASSIGN_OR_RETURN(in.merge, MergeOf(group));
+        for (int slot : cp_.merges[static_cast<size_t>(in.merge)].part_slots) {
+          fence(slot);
+        }
+        value_shape = graph_.tensor(group[0].tensor).shape;
+      }
+
+      if (c.whole) {
+        if (value_shape != declared_in[idx]) {
+          if (value_shape.num_elements() != declared_in[idx].num_elements()) {
+            return Status::Internal("reshape element mismatch for " +
+                                    node.name);
+          }
+          in.reshape_scratch = AcquireScratch(declared_in[idx]);
+        }
+      } else {
+        int axis = rule.input_axes[idx];
+        bool already_micro = group.size() == 1 && group[0].micro >= 0;
+        if (already_micro && axis != kReplicateInput) {
+          // A covering part from a coarser split: carve this exec-part's
+          // range out of it (offsets resolved here, once).
+          ASSIGN_OR_RETURN(
+              Shape expected,
+              declared_in[idx].SplitPart(axis, step.p_num, step.micro));
+          if (value_shape.dim(axis) != expected.dim(axis)) {
+            auto split_it = program_.split_configs.find(group[0].tensor);
+            if (split_it == program_.split_configs.end()) {
+              return Status::Internal("covering part without split config");
+            }
+            const Shape& whole = graph_.tensor(group[0].tensor).shape;
+            ASSIGN_OR_RETURN(
+                int64_t part_offset,
+                whole.SplitOffset(axis, step.p_num, step.micro));
+            ASSIGN_OR_RETURN(int64_t cover_offset,
+                             whole.SplitOffset(axis, split_it->second.p_num,
+                                               group[0].micro));
+            in.slice_axis = axis;
+            in.slice_offset = part_offset - cover_offset;
+            in.slice_extent = expected.dim(axis);
+            Shape carved = value_shape;
+            carved.set_dim(axis, in.slice_extent);
+            in.slice_scratch = AcquireScratch(carved);
+          }
+        } else if (!already_micro) {
+          if (value_shape != declared_in[idx]) {
+            if (value_shape.num_elements() !=
+                declared_in[idx].num_elements()) {
+              return Status::Internal("reshape element mismatch for " +
+                                      node.name);
+            }
+            in.reshape_scratch = AcquireScratch(declared_in[idx]);
+            value_shape = declared_in[idx];
+          }
+          if (axis != kReplicateInput) {
+            ASSIGN_OR_RETURN(
+                in.slice_offset,
+                value_shape.SplitOffset(axis, step.p_num, step.micro));
+            ASSIGN_OR_RETURN(
+                Shape part_shape,
+                value_shape.SplitPart(axis, step.p_num, step.micro));
+            in.slice_axis = axis;
+            in.slice_extent = part_shape.dim(axis);
+            in.slice_scratch = AcquireScratch(part_shape);
+          }
+        }
+        // already_micro with a replicated axis: pass the part directly.
+      }
+      if (in.merge < 0 && in.reshape_scratch < 0 && in.slice_scratch < 0) {
+        direct_slots.push_back(in.slot);
+      }
+      c.inputs.push_back(std::move(in));
+    }
+
+    for (const BufferKey& out : step.outputs) {
+      ASSIGN_OR_RETURN(int slot, SlotOf(out));
+      c.out_slots.push_back(slot);
+      fence(slot);
+    }
+
+    if (c.whole) {
+      c.inplace = true;
+      for (size_t i = 0; i < c.out_slots.size(); ++i) {
+        int slot = c.out_slots[i];
+        const Shape& graph_shape = graph_.tensor(step.outputs[i].tensor).shape;
+        bool aliased = std::find(direct_slots.begin(), direct_slots.end(),
+                                 slot) != direct_slots.end();
+        bool dup = std::count(c.out_slots.begin(), c.out_slots.end(), slot) >
+                   1;
+        if (cp_.slots[static_cast<size_t>(slot)].shape != graph_shape ||
+            aliased || dup || !IsZeroed(slot)) {
+          c.inplace = false;
+          break;
+        }
+      }
+      if (!c.inplace) {
+        for (size_t i = 0; i < c.out_slots.size(); ++i) {
+          c.out_scratch.push_back(
+              AcquireScratch(graph_.tensor(step.outputs[i].tensor).shape));
+        }
+      }
+    } else {
+      const BufferKey& out_key = step.outputs[0];
+      const Shape& whole_out = graph_.tensor(out_key.tensor).shape;
+      c.micro_out_shape = whole_out;
+      if (step.split_axis >= 0) {
+        ASSIGN_OR_RETURN(
+            c.micro_out_shape,
+            whole_out.SplitPart(step.split_axis, step.p_num, step.micro));
+      }
+      int out_slot = c.out_slots[0];
+      bool aliased = std::find(direct_slots.begin(), direct_slots.end(),
+                               out_slot) != direct_slots.end();
+      if (out_key.micro >= 0) {
+        if (!aliased && IsZeroed(out_slot) &&
+            cp_.slots[static_cast<size_t>(out_slot)].shape ==
+                c.micro_out_shape) {
+          c.sink = MicroSink::kInPlace;
+        } else {
+          c.sink = MicroSink::kStore;
+          c.micro_scratch = AcquireScratch(c.micro_out_shape);
+        }
+      } else if (step.split_axis < 0) {
+        c.sink = MicroSink::kAccumulate;
+        c.micro_scratch = AcquireScratch(c.micro_out_shape);
+      } else {
+        c.sink = MicroSink::kPaste;
+        c.paste_axis = step.split_axis;
+        ASSIGN_OR_RETURN(
+            c.paste_offset,
+            whole_out.SplitOffset(step.split_axis, step.p_num, step.micro));
+        c.micro_scratch = AcquireScratch(c.micro_out_shape);
+      }
+    }
+    for (int slot : c.out_slots) SetZeroed(slot, false);
+
+    int aux = static_cast<int>(cp_.computes.size());
+    cp_.computes.push_back(std::move(c));
+    cp_.instrs.push_back(Instr{InstrKind::kCompute, -1, aux});
+    return Status::OK();
+  }
+
+  // Bubbles each kSwapIn up to `swap_in_lookahead` computes earlier,
+  // stopping at the stream start, any other transfer instruction (per-
+  // stream FIFO order must hold), or any instruction touching the same
+  // slot. Depth 0 keeps generator order — the parity configuration.
+  void HoistSwapIns() {
+    if (options_.swap_in_lookahead <= 0) return;
+    auto touches = [this](const Instr& ins, int slot) {
+      switch (ins.kind) {
+        case InstrKind::kCompute: {
+          const std::vector<int>& f =
+              cp_.computes[static_cast<size_t>(ins.aux)].fence_slots;
+          return std::find(f.begin(), f.end(), slot) != f.end();
+        }
+        case InstrKind::kSplitCopy:
+        case InstrKind::kMergeCopy: {
+          const ScatterInstr& sc = cp_.scatters[static_cast<size_t>(ins.aux)];
+          if (sc.whole_slot == slot) return true;
+          return std::find(sc.part_slots.begin(), sc.part_slots.end(),
+                           slot) != sc.part_slots.end();
+        }
+        default:
+          return ins.slot == slot;
+      }
+    };
+    for (size_t i = 0; i < cp_.instrs.size(); ++i) {
+      if (cp_.instrs[i].kind != InstrKind::kSwapIn) continue;
+      int slot = cp_.instrs[i].slot;
+      size_t j = i;
+      int crossed = 0;
+      while (j > 0 && crossed < options_.swap_in_lookahead) {
+        const Instr& prev = cp_.instrs[j - 1];
+        if (prev.kind == InstrKind::kSwapIn ||
+            prev.kind == InstrKind::kSwapOut || touches(prev, slot)) {
+          break;
+        }
+        if (prev.kind == InstrKind::kCompute) ++crossed;
+        std::swap(cp_.instrs[j - 1], cp_.instrs[j]);
+        --j;
+      }
+    }
+  }
+
+  const Graph& graph_;
+  const rewrite::Program& program_;
+  const CompileOptions& options_;
+  CompiledProgram cp_;
+  // shape string -> scratch ids of that shape; usage count within the
+  // current compute step.
+  std::map<std::string, std::vector<int>> scratch_ids_;
+  std::map<std::string, size_t> step_used_;
+  // (tensor, micro signature) -> merge index.
+  std::map<std::pair<TensorId, std::string>, int> merge_of_;
+  std::vector<char> zeroed_;
+};
+
+}  // namespace
+
+Result<CompiledProgram> CompiledProgram::Compile(
+    const Graph& graph, const rewrite::Program& program,
+    const CompileOptions& options) {
+  Compiler compiler(graph, program, options);
+  return compiler.Build();
+}
+
+// ------------------------------------------------------- executor side
+
+Status FunctionalExecutor::EnsureCompiled(const rewrite::Program& program) {
+  uint64_t fp = program.Fingerprint();
+  if (compiled_ != nullptr && compiled_source_ == &program &&
+      compiled_fingerprint_ == fp &&
+      compiled_->swap_in_lookahead == swap_in_lookahead_) {
+    return Status::OK();
+  }
+  CompileOptions options;
+  options.swap_in_lookahead = swap_in_lookahead_;
+  auto cp = CompiledProgram::Compile(*graph_, program, options);
+  if (!cp.ok()) return cp.status();
+  compiled_ = std::make_unique<CompiledProgram>(std::move(*cp));
+  compiled_source_ = &program;
+  compiled_fingerprint_ = fp;
+
+  const size_t n = compiled_->slots.size();
+  slot_device_.assign(n, Tensor());
+  slot_host_.assign(n, Tensor());
+  slot_archive_.assign(n, Tensor());
+  slot_offset_.assign(n, kNoOffset);
+  slot_flags_.assign(n, 0);
+  slot_inflight_.assign(n, InflightCopy{});
+  inflight_slots_.clear();
+  scratch_.clear();
+  scratch_.resize(compiled_->scratch_shapes.size());
+  merge_scratch_.clear();
+  merge_scratch_.resize(compiled_->merge_shapes.size());
+  return Status::OK();
+}
+
+Result<size_t> FunctionalExecutor::AllocateSlotWithDrain(size_t bytes) {
+  auto offset = pool_.Allocate(bytes);
+  if (offset.ok() || inflight_slots_.empty()) return offset;
+  RETURN_IF_ERROR(ProcessLandedSlots(/*wait_all=*/true));
+  return pool_.Allocate(bytes);
+}
+
+Status FunctionalExecutor::ReserveSlot(const CompiledProgram& cp, int slot) {
+  auto offset =
+      AllocateSlotWithDrain(cp.slots[static_cast<size_t>(slot)].alloc_bytes);
+  if (!offset.ok()) {
+    return Status::OutOfMemory(
+        "functional OOM allocating " +
+        graph_->tensor(cp.slots[static_cast<size_t>(slot)].key.tensor).name +
+        ": " + offset.status().message());
+  }
+  slot_offset_[static_cast<size_t>(slot)] = *offset;
+  return Status::OK();
+}
+
+Status FunctionalExecutor::LandSlot(int slot, InflightCopy copy) {
+  if (copy.is_swap_out) {
+    // Recycle the source storage into the (currently empty) device slot so
+    // a later reallocation of this buffer reuses it; the flag stays clear,
+    // so no reader can observe the stale bytes.
+    slot_device_[static_cast<size_t>(slot)] = std::move(copy.retained);
+  } else {
+    // H2D landed: the staging copy is consumed (storage kept for the next
+    // swap-out of this slot).
+    slot_flags_[static_cast<size_t>(slot)] &=
+        static_cast<uint8_t>(~kHasHost);
+  }
+  return Status::OK();
+}
+
+Status FunctionalExecutor::FenceSlot(int slot) {
+  if (!(slot_flags_[static_cast<size_t>(slot)] & kInflight)) {
+    return Status::OK();
+  }
+  InflightCopy copy = std::move(slot_inflight_[static_cast<size_t>(slot)]);
+  engine_->Wait(copy.ticket);
+  slot_flags_[static_cast<size_t>(slot)] &= static_cast<uint8_t>(~kInflight);
+  for (size_t i = 0; i < inflight_slots_.size(); ++i) {
+    if (inflight_slots_[i] == slot) {
+      inflight_slots_[i] = inflight_slots_.back();
+      inflight_slots_.pop_back();
+      break;
+    }
+  }
+  return LandSlot(slot, std::move(copy));
+}
+
+Status FunctionalExecutor::ProcessLandedSlots(bool wait_all) {
+  if (inflight_slots_.empty()) return Status::OK();
+  if (wait_all) engine_->Drain();
+  for (size_t i = 0; i < inflight_slots_.size();) {
+    int slot = inflight_slots_[i];
+    if (engine_->Finished(slot_inflight_[static_cast<size_t>(slot)].ticket)) {
+      InflightCopy copy =
+          std::move(slot_inflight_[static_cast<size_t>(slot)]);
+      slot_flags_[static_cast<size_t>(slot)] &=
+          static_cast<uint8_t>(~kInflight);
+      inflight_slots_[i] = inflight_slots_.back();
+      inflight_slots_.pop_back();
+      RETURN_IF_ERROR(LandSlot(slot, std::move(copy)));
+    } else {
+      ++i;
+    }
+  }
+  return Status::OK();
+}
+
+Status FunctionalExecutor::ExecAllocSlot(const CompiledProgram& cp,
+                                         int slot) {
+  RETURN_IF_ERROR(FenceSlot(slot));
+  RETURN_IF_ERROR(ReserveSlot(cp, slot));
+  Tensor& dst = slot_device_[static_cast<size_t>(slot)];
+  const Shape& shape = cp.slots[static_cast<size_t>(slot)].shape;
+  if (dst.shape() == shape) {
+    dst.Fill(0.0f);  // storage recycled; reference allocs a zero tensor
+  } else {
+    dst = Tensor(shape);
+  }
+  slot_flags_[static_cast<size_t>(slot)] |= kHasDevice;
+  return Status::OK();
+}
+
+Status FunctionalExecutor::ExecFreeSlot(const CompiledProgram& cp,
+                                        int slot) {
+  size_t& offset = slot_offset_[static_cast<size_t>(slot)];
+  if (offset == kNoOffset) {
+    return Status::Internal(
+        "free of unallocated buffer t" +
+        std::to_string(cp.slots[static_cast<size_t>(slot)].key.tensor));
+  }
+  RETURN_IF_ERROR(pool_.Free(offset));
+  offset = kNoOffset;
+  uint8_t& flags = slot_flags_[static_cast<size_t>(slot)];
+  if (flags & kHasDevice) {
+    if (keep_freed_values_ ||
+        IsRetained(cp.slots[static_cast<size_t>(slot)].key.tensor)) {
+      slot_archive_[static_cast<size_t>(slot)] =
+          std::move(slot_device_[static_cast<size_t>(slot)]);
+      flags |= kHasArchive;
+    }
+    flags &= static_cast<uint8_t>(~kHasDevice);
+  }
+  return Status::OK();
+}
+
+Status FunctionalExecutor::ExecSwapOutSlot(const CompiledProgram& cp,
+                                           int slot) {
+  uint8_t& flags = slot_flags_[static_cast<size_t>(slot)];
+  if (!async_swap_) {
+    if (!(flags & kHasDevice)) {
+      return Status::Internal("swap-out of non-resident buffer");
+    }
+    slot_host_[static_cast<size_t>(slot)] =
+        std::move(slot_device_[static_cast<size_t>(slot)]);
+    flags |= kHasHost;
+    size_t& offset = slot_offset_[static_cast<size_t>(slot)];
+    if (offset == kNoOffset) {
+      return Status::Internal(
+          "free of unallocated buffer t" +
+          std::to_string(cp.slots[static_cast<size_t>(slot)].key.tensor));
+    }
+    RETURN_IF_ERROR(pool_.Free(offset));
+    offset = kNoOffset;
+    // Mirrors the reference sync path, which archives the moved-from husk.
+    if (keep_freed_values_ ||
+        IsRetained(cp.slots[static_cast<size_t>(slot)].key.tensor)) {
+      slot_archive_[static_cast<size_t>(slot)] = Tensor();
+      flags |= kHasArchive;
+    }
+    flags &= static_cast<uint8_t>(~kHasDevice);
+    return Status::OK();
+  }
+
+  RETURN_IF_ERROR(FenceSlot(slot));
+  if (!(flags & kHasDevice)) {
+    return Status::Internal("swap-out of non-resident buffer");
+  }
+  if (!engine_) engine_ = std::make_unique<CopyEngine>();
+
+  // Release the pool reservation NOW (the planner's capacity timeline) but
+  // retain the source storage until the copy lands.
+  size_t& offset = slot_offset_[static_cast<size_t>(slot)];
+  if (offset == kNoOffset) {
+    return Status::Internal("swap-out of unallocated buffer");
+  }
+  RETURN_IF_ERROR(pool_.Free(offset));
+  offset = kNoOffset;
+
+  InflightCopy copy;
+  copy.is_swap_out = true;
+  copy.retained = std::move(slot_device_[static_cast<size_t>(slot)]);
+  flags &= static_cast<uint8_t>(~kHasDevice);
+  if (keep_freed_values_) {
+    slot_archive_[static_cast<size_t>(slot)] = Tensor();
+    flags |= kHasArchive;
+  }
+
+  // Stage the host destination (storage reused across iterations; the
+  // memcpy fully overwrites it). Slot arrays never resize during Run, and
+  // every later touch of this slot fences first, so the raw pointers stay
+  // valid for the copy's lifetime.
+  Tensor& host_dst = slot_host_[static_cast<size_t>(slot)];
+  if (host_dst.shape() != copy.retained.shape()) {
+    host_dst = Tensor(copy.retained.shape());
+  }
+  flags |= kHasHost;
+  const float* src = copy.retained.data();
+  float* dst = host_dst.data();
+  const size_t count = static_cast<size_t>(copy.retained.num_elements());
+  copy.ticket = engine_->Submit(
+      [src, dst, count] { std::memcpy(dst, src, count * sizeof(float)); });
+  slot_inflight_[static_cast<size_t>(slot)] = std::move(copy);
+  flags |= kInflight;
+  inflight_slots_.push_back(slot);
+  return Status::OK();
+}
+
+Status FunctionalExecutor::ExecSwapInSlot(const CompiledProgram& cp,
+                                          int slot) {
+  uint8_t& flags = slot_flags_[static_cast<size_t>(slot)];
+  if (!async_swap_) {
+    if (!(flags & kHasHost)) {
+      return Status::Internal("swap-in without a host copy");
+    }
+    RETURN_IF_ERROR(ReserveSlot(cp, slot));
+    slot_device_[static_cast<size_t>(slot)] =
+        std::move(slot_host_[static_cast<size_t>(slot)]);
+    flags |= kHasDevice;
+    flags &= static_cast<uint8_t>(~kHasHost);
+    return Status::OK();
+  }
+
+  RETURN_IF_ERROR(FenceSlot(slot));
+  if (!(flags & kHasHost)) {
+    return Status::Internal("swap-in without a host copy");
+  }
+  RETURN_IF_ERROR(ReserveSlot(cp, slot));
+  Tensor& dst = slot_device_[static_cast<size_t>(slot)];
+  const Shape& shape = cp.slots[static_cast<size_t>(slot)].shape;
+  // No zero-fill: the H2D memcpy fully overwrites, and fences keep any
+  // reader behind the landing.
+  if (dst.shape() != shape) dst = Tensor(shape);
+  flags |= kHasDevice;
+  if (!engine_) engine_ = std::make_unique<CopyEngine>();
+  const Tensor& host_src = slot_host_[static_cast<size_t>(slot)];
+  const float* src = host_src.data();
+  float* out = dst.data();
+  const size_t count = static_cast<size_t>(host_src.num_elements());
+  CopyEngine::Ticket ticket = engine_->Submit(
+      [src, out, count] { std::memcpy(out, src, count * sizeof(float)); });
+  slot_inflight_[static_cast<size_t>(slot)] =
+      InflightCopy{ticket, /*is_swap_out=*/false};
+  flags |= kInflight;
+  inflight_slots_.push_back(slot);
+  return Status::OK();
+}
+
+Status FunctionalExecutor::ExecSplitCopy(const CompiledProgram& cp,
+                                         const compiled::ScatterInstr& sc) {
+  RETURN_IF_ERROR(FenceSlot(sc.whole_slot));
+  for (int slot : sc.part_slots) RETURN_IF_ERROR(FenceSlot(slot));
+  if (!(slot_flags_[static_cast<size_t>(sc.whole_slot)] & kHasDevice)) {
+    const rewrite::BufferKey& key =
+        cp.slots[static_cast<size_t>(sc.whole_slot)].key;
+    return Status::Internal("buffer t" + std::to_string(key.tensor) + "." +
+                            std::to_string(key.micro) +
+                            " not device-resident");
+  }
+  const Tensor& whole = slot_device_[static_cast<size_t>(sc.whole_slot)];
+  for (size_t j = 0; j < sc.part_slots.size(); ++j) {
+    int slot = sc.part_slots[j];
+    Tensor& dst = slot_device_[static_cast<size_t>(slot)];
+    const Shape& part_shape = cp.slots[static_cast<size_t>(slot)].shape;
+    if (dst.shape() != part_shape) dst = Tensor(part_shape);
+    RETURN_IF_ERROR(
+        whole.CopySliceInto(sc.dim, sc.offsets[j], sc.extents[j], &dst));
+    slot_flags_[static_cast<size_t>(slot)] |= kHasDevice;
+  }
+  return Status::OK();
+}
+
+Status FunctionalExecutor::ExecMergeCopy(const CompiledProgram& cp,
+                                         const compiled::ScatterInstr& sc) {
+  RETURN_IF_ERROR(FenceSlot(sc.whole_slot));
+  if (!(slot_flags_[static_cast<size_t>(sc.whole_slot)] & kHasDevice)) {
+    return Status::Internal("merge copy without whole buffer");
+  }
+  for (int slot : sc.part_slots) RETURN_IF_ERROR(FenceSlot(slot));
+  Tensor& whole = slot_device_[static_cast<size_t>(sc.whole_slot)];
+  for (size_t j = 0; j < sc.part_slots.size(); ++j) {
+    int slot = sc.part_slots[j];
+    if (!(slot_flags_[static_cast<size_t>(slot)] & kHasDevice)) {
+      const rewrite::BufferKey& key =
+          cp.slots[static_cast<size_t>(slot)].key;
+      return Status::Internal("buffer t" + std::to_string(key.tensor) + "." +
+                              std::to_string(key.micro) +
+                              " not device-resident");
+    }
+    RETURN_IF_ERROR(whole.PasteSlice(
+        sc.dim, sc.offsets[j], slot_device_[static_cast<size_t>(slot)]));
+  }
+  return Status::OK();
+}
+
+Tensor& FunctionalExecutor::EnsureScratch(const CompiledProgram& cp, int id) {
+  Tensor& t = scratch_[static_cast<size_t>(id)];
+  if (t.shape() != cp.scratch_shapes[static_cast<size_t>(id)]) {
+    t = Tensor(cp.scratch_shapes[static_cast<size_t>(id)]);
+  }
+  return t;
+}
+
+Result<const Tensor*> FunctionalExecutor::ResolveCompiledInput(
+    const CompiledProgram& cp, const compiled::InputRef& in) {
+  const Tensor* value = nullptr;
+  if (in.merge >= 0) {
+    const compiled::MergeRef& m = cp.merges[static_cast<size_t>(in.merge)];
+    Tensor& scratch = merge_scratch_[static_cast<size_t>(m.scratch)];
+    const Shape& whole_shape = cp.merge_shapes[static_cast<size_t>(m.scratch)];
+    if (scratch.shape() != whole_shape) {
+      scratch = Tensor(whole_shape);  // fresh: already zero
+    } else if (!m.full_cover) {
+      // The parts do not tile the whole; uncovered elements must read as
+      // zero, exactly like the reference's fresh merge tensor.
+      scratch.Fill(0.0f);
+    }
+    for (size_t j = 0; j < m.part_slots.size(); ++j) {
+      int slot = m.part_slots[j];
+      if (!(slot_flags_[static_cast<size_t>(slot)] & kHasDevice)) {
+        const rewrite::BufferKey& key =
+            cp.slots[static_cast<size_t>(slot)].key;
+        return Status::Internal("buffer t" + std::to_string(key.tensor) +
+                                "." + std::to_string(key.micro) +
+                                " not device-resident");
+      }
+      RETURN_IF_ERROR(scratch.PasteSlice(
+          m.dim, m.offsets[j], slot_device_[static_cast<size_t>(slot)]));
+    }
+    value = &scratch;
+  } else {
+    if (!(slot_flags_[static_cast<size_t>(in.slot)] & kHasDevice)) {
+      const rewrite::BufferKey& key =
+          cp.slots[static_cast<size_t>(in.slot)].key;
+      return Status::Internal("buffer t" + std::to_string(key.tensor) + "." +
+                              std::to_string(key.micro) +
+                              " not device-resident");
+    }
+    value = &slot_device_[static_cast<size_t>(in.slot)];
+  }
+  if (in.reshape_scratch >= 0) {
+    // Re-wrap into the declared view shape; the element copy fully
+    // overwrites the scratch.
+    Tensor& rs = EnsureScratch(cp, in.reshape_scratch);
+    rs.vec() = value->vec();
+    value = &rs;
+  }
+  if (in.slice_axis >= 0) {
+    Tensor& ss = EnsureScratch(cp, in.slice_scratch);
+    RETURN_IF_ERROR(value->CopySliceInto(in.slice_axis, in.slice_offset,
+                                         in.slice_extent, &ss));
+    value = &ss;
+  }
+  return value;
+}
+
+Status FunctionalExecutor::ExecCompiledCompute(
+    const CompiledProgram& cp, const compiled::ComputeInstr& c) {
+  if (!inflight_slots_.empty()) {
+    for (int slot : c.fence_slots) RETURN_IF_ERROR(FenceSlot(slot));
+  }
+
+  // Workspace: pure accounting (AccountTransient is observationally
+  // identical to the reference's Allocate+Free pair), with the same
+  // drain-and-retry the allocating path uses.
+  if (c.workspace_bytes > 0) {
+    Status ws = pool_.AccountTransient(c.workspace_bytes);
+    if (!ws.ok() && !inflight_slots_.empty()) {
+      RETURN_IF_ERROR(ProcessLandedSlots(/*wait_all=*/true));
+      ws = pool_.AccountTransient(c.workspace_bytes);
+    }
+    if (!ws.ok()) {
+      return Status::OutOfMemory("functional OOM on workspace of " +
+                                 c.node->name);
+    }
+  }
+
+  input_ptrs_.clear();
+  for (const compiled::InputRef& in : c.inputs) {
+    ASSIGN_OR_RETURN(const Tensor* value, ResolveCompiledInput(cp, in));
+    input_ptrs_.push_back(value);
+  }
+  output_ptrs_.clear();
+
+  if (c.whole) {
+    if (c.inplace) {
+      // The slot tensors were zero-filled at their kAlloc and untouched
+      // since (compile-time guarantee), so the kernel sees exactly the
+      // reference's fresh zero outputs.
+      for (int slot : c.out_slots) {
+        if (!(slot_flags_[static_cast<size_t>(slot)] & kHasDevice)) {
+          return Status::Internal("compute output buffer missing for " +
+                                  c.node->name);
+        }
+        output_ptrs_.push_back(&slot_device_[static_cast<size_t>(slot)]);
+      }
+      return c.node->op->Compute(input_ptrs_, output_ptrs_);
+    }
+    for (size_t i = 0; i < c.out_slots.size(); ++i) {
+      Tensor& out = EnsureScratch(cp, c.out_scratch[i]);
+      out.Fill(0.0f);
+      output_ptrs_.push_back(&out);
+    }
+    RETURN_IF_ERROR(c.node->op->Compute(input_ptrs_, output_ptrs_));
+    for (size_t i = 0; i < c.out_slots.size(); ++i) {
+      int slot = c.out_slots[i];
+      if (!(slot_flags_[static_cast<size_t>(slot)] & kHasDevice)) {
+        return Status::Internal("compute output buffer missing for " +
+                                c.node->name);
+      }
+      slot_device_[static_cast<size_t>(slot)] = *output_ptrs_[i];
+    }
+    return Status::OK();
+  }
+
+  // Micro-op: single output, pre-analyzed sink.
+  int out_slot = c.out_slots[0];
+  if (c.sink == compiled::MicroSink::kInPlace) {
+    if (!(slot_flags_[static_cast<size_t>(out_slot)] & kHasDevice)) {
+      return Status::Internal("micro output buffer missing for " +
+                              c.node->name);
+    }
+    output_ptrs_.push_back(&slot_device_[static_cast<size_t>(out_slot)]);
+    return c.node->op->Compute(input_ptrs_, output_ptrs_);
+  }
+  Tensor& micro_out = EnsureScratch(cp, c.micro_scratch);
+  micro_out.Fill(0.0f);
+  output_ptrs_.push_back(&micro_out);
+  RETURN_IF_ERROR(c.node->op->Compute(input_ptrs_, output_ptrs_));
+  if (!(slot_flags_[static_cast<size_t>(out_slot)] & kHasDevice)) {
+    return Status::Internal("micro output buffer missing for " +
+                            c.node->name);
+  }
+  Tensor& out = slot_device_[static_cast<size_t>(out_slot)];
+  switch (c.sink) {
+    case compiled::MicroSink::kStore:
+      out = micro_out;
+      return Status::OK();
+    case compiled::MicroSink::kAccumulate:
+      return out.AccumulateFrom(micro_out);
+    case compiled::MicroSink::kPaste:
+      return out.PasteSlice(c.paste_axis, c.paste_offset, micro_out);
+    case compiled::MicroSink::kInPlace:
+      break;  // handled above
+  }
+  return Status::Internal("bad micro sink");
+}
+
+Status FunctionalExecutor::RunCompiled(const CompiledProgram& cp) {
+#ifndef NDEBUG
+  // The pool must be pristine after ResetRunState and the compiler's
+  // workspace sizing; catches accounting drift early in debug builds.
+  TSPLIT_CHECK_OK(pool_.CheckConsistency());
+#endif
+
+  // Stage sources (the compiled form of the reference Run prologue).
+  for (const compiled::StageInstr& st : cp.stages) {
+    auto binding = bindings_.find(st.tensor);
+    if (binding == bindings_.end()) {
+      return Status::FailedPrecondition(
+          "source tensor " + graph_->tensor(st.tensor).name + " unbound");
+    }
+    RETURN_IF_ERROR(ReserveSlot(cp, st.slot));
+    Tensor& dst = slot_device_[static_cast<size_t>(st.slot)];
+    if (!st.is_part) {
+      dst = binding->second;
+    } else {
+      const Shape& part_shape = cp.slots[static_cast<size_t>(st.slot)].shape;
+      if (dst.shape() != part_shape) dst = Tensor(part_shape);
+      RETURN_IF_ERROR(binding->second.CopySliceInto(st.axis, st.offset,
+                                                    st.extent, &dst));
+    }
+    slot_flags_[static_cast<size_t>(st.slot)] |= kHasDevice;
+  }
+
+  for (const compiled::Instr& ins : cp.instrs) {
+    // Opportunistically retire landed copies (applies deferred frees
+    // without blocking — the compute/transfer overlap point).
+    if (!inflight_slots_.empty()) {
+      RETURN_IF_ERROR(ProcessLandedSlots(/*wait_all=*/false));
+    }
+    switch (ins.kind) {
+      case compiled::InstrKind::kAlloc:
+        RETURN_IF_ERROR(ExecAllocSlot(cp, ins.slot));
+        break;
+      case compiled::InstrKind::kFree:
+      case compiled::InstrKind::kDrop:
+        RETURN_IF_ERROR(FenceSlot(ins.slot));
+        RETURN_IF_ERROR(ExecFreeSlot(cp, ins.slot));
+        break;
+      case compiled::InstrKind::kSwapOut:
+        RETURN_IF_ERROR(ExecSwapOutSlot(cp, ins.slot));
+        break;
+      case compiled::InstrKind::kSwapIn:
+        RETURN_IF_ERROR(ExecSwapInSlot(cp, ins.slot));
+        break;
+      case compiled::InstrKind::kSplitCopy:
+        RETURN_IF_ERROR(
+            ExecSplitCopy(cp, cp.scatters[static_cast<size_t>(ins.aux)]));
+        break;
+      case compiled::InstrKind::kMergeCopy:
+        RETURN_IF_ERROR(
+            ExecMergeCopy(cp, cp.scatters[static_cast<size_t>(ins.aux)]));
+        break;
+      case compiled::InstrKind::kCompute:
+        RETURN_IF_ERROR(ExecCompiledCompute(
+            cp, cp.computes[static_cast<size_t>(ins.aux)]));
+        break;
+    }
+  }
+  // Land everything so ValueOf and the byte accounting see final state.
+  return ProcessLandedSlots(/*wait_all=*/true);
+}
+
+}  // namespace tsplit::runtime

@@ -1,0 +1,192 @@
+#ifndef TSPLIT_RUNTIME_COMPILED_PROGRAM_H_
+#define TSPLIT_RUNTIME_COMPILED_PROGRAM_H_
+
+// Ahead-of-time lowering of a rewrite::Program into a flat instruction
+// stream for FunctionalExecutor. A TSPLIT plan is static per iteration
+// (paper §V-A), so everything the map-based replay path resolves per step
+// — BufferKey hashing, shapes, planned byte sizes, split offsets, merge
+// layouts, SplitRuleFor, reshape-to-declared analysis — is resolved once
+// here and amortized across every subsequent Run:
+//
+//  * every BufferKey is interned to a dense slot index; the executor keeps
+//    per-slot arrays (device/host/archive tensor, pool offset, state
+//    flags, in-flight copy) instead of five unordered_maps;
+//  * each compute carries pre-resolved input references (direct slot,
+//    persistent merge scratch, reshape/slice scratch ids with precomputed
+//    offsets) and a pre-analyzed output sink (in-place into the slot
+//    tensor when provably bit-identical, else scratch + store/paste/
+//    accumulate);
+//  * micro-merge groups get persistent whole-shaped scratch tensors
+//    (one per distinct group) reused across steps and iterations instead
+//    of a fresh allocation per ResolveGroup call;
+//  * per-compute workspace alloc/free churn is replaced by an O(1)
+//    accounting check against the pool (MemoryPool::AccountTransient);
+//    the compiler derives the high-water workspace bound up front;
+//  * kSwapIn instructions can be hoisted up to `swap_in_lookahead`
+//    computes earlier at compile time to sweep prefetch depth.
+//
+// The lowering preserves bitwise result parity and identical
+// peak/OOM behaviour with the reference path at lookahead 0 — see
+// DESIGN.md §4.6 for the argument.
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/shape.h"
+#include "core/status.h"
+#include "graph/graph.h"
+#include "rewrite/program.h"
+
+namespace tsplit::runtime {
+
+struct CompileOptions {
+  // How many compute instructions each kSwapIn is hoisted past (stopping
+  // at any instruction touching the same slot, any other transfer, or the
+  // stream start). 0 keeps the generator's stream order exactly — required
+  // for bit/peak parity with the reference executor.
+  int swap_in_lookahead = 0;
+};
+
+namespace compiled {
+
+// One interned device buffer (a whole tensor or one micro part).
+struct SlotInfo {
+  rewrite::BufferKey key;
+  Shape shape;             // static buffer shape under the split configs
+  size_t alloc_bytes = 0;  // planned bytes if known, else dtype-aware size
+};
+
+enum class InstrKind : uint8_t {
+  kAlloc = 0,
+  kFree,
+  kDrop,
+  kSwapOut,
+  kSwapIn,
+  kSplitCopy,   // aux -> scatters
+  kMergeCopy,   // aux -> scatters
+  kCompute,     // aux -> computes
+};
+
+struct Instr {
+  InstrKind kind = InstrKind::kAlloc;
+  int slot = -1;  // buffer slot for memory/transfer instructions
+  int aux = -1;   // side-table index for kSplitCopy/kMergeCopy/kCompute
+};
+
+// Source staging (the Run prologue): copy a binding (or a slice of it)
+// into a freshly reserved slot.
+struct StageInstr {
+  TensorId tensor = kInvalidTensor;
+  int slot = -1;
+  bool is_part = false;
+  int axis = 0;          // is_part only
+  int64_t offset = 0;    // is_part only
+  int64_t extent = 0;    // is_part only
+};
+
+// Whole <-> micro scatter/gather layout for kSplitCopy / kMergeCopy.
+struct ScatterInstr {
+  int whole_slot = -1;
+  int dim = 0;
+  std::vector<int> part_slots;
+  std::vector<int64_t> offsets;  // element offset along dim, per part
+  std::vector<int64_t> extents;  // part extent along dim, per part
+};
+
+// A micro-input group merged by concatenation into a persistent
+// whole-shaped scratch tensor.
+struct MergeRef {
+  int scratch = -1;  // index into CompiledProgram::merge_shapes
+  int dim = 0;
+  std::vector<int> part_slots;
+  std::vector<int64_t> offsets;
+  // True when the parts tile the whole shape exactly, so pasting fully
+  // overwrites the scratch and no zero-fill is needed between reuses.
+  bool full_cover = false;
+};
+
+// Pre-resolved transform chain feeding one op input.
+struct InputRef {
+  int slot = -1;            // direct source slot (ignored when merge >= 0)
+  int merge = -1;           // index into CompiledProgram::merges
+  int reshape_scratch = -1; // >= 0: re-wrap into the declared view shape
+  int slice_axis = -1;      // >= 0: slice/carve into slice_scratch
+  int64_t slice_offset = 0;
+  int64_t slice_extent = 0;
+  int slice_scratch = -1;
+};
+
+// How a micro-compute's result lands in its output buffer.
+enum class MicroSink : uint8_t {
+  kInPlace = 0,  // kernel writes the output slot's tensor directly
+  kStore,        // compute into scratch, then assign the slot tensor
+  kPaste,        // paste scratch into the whole buffer at paste_offset
+  kAccumulate,   // accumulate scratch into the whole buffer (kSum merge)
+};
+
+struct ComputeInstr {
+  const OpNode* node = nullptr;
+  std::vector<InputRef> inputs;
+  // Every slot the step touches (inputs then outputs, deduped) for the
+  // in-flight fence sweep; skipped entirely when nothing is in flight.
+  std::vector<int> fence_slots;
+  size_t workspace_bytes = 0;
+
+  bool whole = true;  // step.micro < 0
+  std::vector<int> out_slots;
+
+  // Whole-op: write output slot tensors directly when provably identical
+  // to the reference's fresh-zero-tensor + move (no input aliases an
+  // output slot, slot shape matches). Falls back to scratch + store.
+  bool inplace = true;
+  std::vector<int> out_scratch;  // when !inplace, scratch id per output
+
+  // Micro-op (whole == false): single output, pre-analyzed sink.
+  MicroSink sink = MicroSink::kInPlace;
+  Shape micro_out_shape;
+  int micro_scratch = -1;  // for kStore/kPaste/kAccumulate
+  int paste_axis = 0;
+  int64_t paste_offset = 0;
+};
+
+}  // namespace compiled
+
+// The compiled artifact: immutable once built; the executor owns the
+// mutable per-slot state. Scratch pools are described by shape only and
+// materialized lazily by the executor (then reused across iterations).
+struct CompiledProgram {
+  std::vector<compiled::SlotInfo> slots;
+  std::unordered_map<rewrite::BufferKey, int, rewrite::BufferKeyHash>
+      slot_of;  // cold-path lookup (ValueOf)
+
+  std::vector<compiled::StageInstr> stages;
+  std::vector<compiled::Instr> instrs;
+  std::vector<compiled::ScatterInstr> scatters;
+  std::vector<compiled::ComputeInstr> computes;
+  std::vector<compiled::MergeRef> merges;
+
+  std::vector<Shape> scratch_shapes;  // per-step transform scratch pool
+  std::vector<Shape> merge_shapes;    // persistent merge scratch pool
+
+  // Max aligned workspace_bytes over all computes: the high-water bound a
+  // real backend would reserve once per Run. The functional pool instead
+  // folds each compute's transient into peak accounting (AccountTransient)
+  // to keep peak/OOM bitwise-comparable with the reference path.
+  size_t workspace_highwater = 0;
+
+  uint64_t fingerprint = 0;  // of the source rewrite::Program
+  int swap_in_lookahead = 0;
+
+  // Lowers `program` against `graph`. Fails (Internal) on structurally
+  // malformed programs — the same ones the reference path rejects at
+  // runtime.
+  static Result<CompiledProgram> Compile(const Graph& graph,
+                                         const rewrite::Program& program,
+                                         const CompileOptions& options = {});
+};
+
+}  // namespace tsplit::runtime
+
+#endif  // TSPLIT_RUNTIME_COMPILED_PROGRAM_H_

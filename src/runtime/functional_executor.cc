@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "core/logging.h"
+#include "runtime/compiled_program.h"
 
 namespace tsplit::runtime {
 
@@ -19,6 +20,12 @@ FunctionalExecutor::FunctionalExecutor(const Graph* graph,
     : graph_(graph), pool_(device_capacity) {
   const char* env = std::getenv("TSPLIT_ASYNC_SWAP");
   async_swap_ = !(env != nullptr && env[0] == '0');
+  const char* compiled_env = std::getenv("TSPLIT_COMPILED_EXEC");
+  compiled_exec_ = !(compiled_env != nullptr && compiled_env[0] == '0');
+  const char* lookahead_env = std::getenv("TSPLIT_SWAP_IN_LOOKAHEAD");
+  if (lookahead_env != nullptr) {
+    swap_in_lookahead_ = std::atoi(lookahead_env);
+  }
 }
 
 // engine_ is declared after the buffer maps, so its destructor (which
@@ -37,8 +44,20 @@ Status FunctionalExecutor::Bind(TensorId id, Tensor value) {
   if (value.shape() != desc.shape) {
     return Status::InvalidArgument("Bind: shape mismatch for " + desc.name);
   }
-  bindings_.emplace(id, std::move(value));
+  bindings_.insert_or_assign(id, std::move(value));
   return Status::OK();
+}
+
+void FunctionalExecutor::RetainValue(TensorId id) {
+  TensorId root = id;
+  while (true) {
+    OpId producer = graph_->tensor(root).producer;
+    if (producer == kInvalidOp || !graph_->node(producer).op->is_view()) {
+      break;
+    }
+    root = graph_->node(producer).inputs[0];
+  }
+  retained_.insert(root);
 }
 
 Result<Shape> FunctionalExecutor::KeyShape(
@@ -102,7 +121,7 @@ Status FunctionalExecutor::FreeBuffer(const BufferKey& key) {
   offsets_.erase(it);
   auto device_it = device_.find(key);
   if (device_it != device_.end()) {
-    if (keep_freed_values_) {
+    if (keep_freed_values_ || IsRetained(key.tensor)) {
       archive_[key] = std::move(device_it->second);
     }
     device_.erase(device_it);
@@ -245,9 +264,46 @@ Status FunctionalExecutor::ExecSwapIn(const Step& step,
 
 // ------------------------------------------------------------------ run
 
+void FunctionalExecutor::ResetRunState() {
+  // A failed Run can leave copies in flight: drain before tearing down the
+  // tensors they reference.
+  if (engine_ && (!inflight_.empty() || !inflight_slots_.empty())) {
+    engine_->Drain();
+  }
+  inflight_.clear();
+  for (int s : inflight_slots_) {
+    slot_inflight_[s] = InflightCopy{};
+  }
+  inflight_slots_.clear();
+  for (const auto& [key, offset] : offsets_) {
+    (void)pool_.Free(offset);
+  }
+  offsets_.clear();
+  device_.clear();
+  host_.clear();
+  archive_.clear();
+  for (size_t s = 0; s < slot_offset_.size(); ++s) {
+    if (slot_offset_[s] != kNoOffset) {
+      (void)pool_.Free(slot_offset_[s]);
+      slot_offset_[s] = kNoOffset;
+    }
+  }
+  std::fill(slot_flags_.begin(), slot_flags_.end(), uint8_t{0});
+}
+
 Status FunctionalExecutor::Run(const rewrite::Program& program) {
   program_ = &program;
+  ResetRunState();
+  if (compiled_exec_) {
+    RETURN_IF_ERROR(EnsureCompiled(program));
+    last_run_compiled_ = true;
+    return RunCompiled(*compiled_);
+  }
+  last_run_compiled_ = false;
+  return RunReference(program);
+}
 
+Status FunctionalExecutor::RunReference(const rewrite::Program& program) {
   // Stage sources onto the device (split sources land as micro parts).
   for (const TensorDesc& tensor : graph_->tensors()) {
     if (tensor.producer != kInvalidOp) continue;
@@ -400,16 +456,25 @@ Status FunctionalExecutor::RunCompute(const rewrite::Step& step,
     for (const BufferKey& key : step.outputs) RETURN_IF_ERROR(FenceKey(key));
   }
 
-  // Workspace accounting (the functional path needs no real scratch).
-  size_t workspace_offset = 0;
-  bool has_workspace = step.workspace_bytes > 0;
-  if (has_workspace) {
+  // Workspace accounting (the functional path needs no real scratch). The
+  // reservation is released by a scope guard so an error on ANY later exit
+  // path — merge failure, kernel error, missing output buffer — cannot
+  // leak it and poison the pool for the rest of the run.
+  struct WorkspaceRelease {
+    mem::MemoryPool* pool = nullptr;
+    size_t offset = 0;
+    ~WorkspaceRelease() {
+      if (pool != nullptr) (void)pool->Free(offset);
+    }
+  } workspace_release;
+  if (step.workspace_bytes > 0) {
     auto offset = AllocateWithDrain(step.workspace_bytes);
     if (!offset.ok()) {
       return Status::OutOfMemory("functional OOM on workspace of " +
                                  node.name);
     }
-    workspace_offset = *offset;
+    workspace_release.pool = &pool_;
+    workspace_release.offset = *offset;
   }
 
   std::vector<Tensor> merged_storage;
@@ -548,9 +613,6 @@ Status FunctionalExecutor::RunCompute(const rewrite::Step& step,
     }
   }
 
-  if (has_workspace) {
-    RETURN_IF_ERROR(pool_.Free(workspace_offset));
-  }
   return Status::OK();
 }
 
@@ -566,6 +628,15 @@ Result<Tensor> FunctionalExecutor::ValueOf(TensorId id) const {
   }
 
   auto fetch = [&](const BufferKey& key) -> const Tensor* {
+    if (last_run_compiled_ && compiled_ != nullptr) {
+      auto slot_it = compiled_->slot_of.find(key);
+      if (slot_it == compiled_->slot_of.end()) return nullptr;
+      int s = slot_it->second;
+      if (slot_flags_[s] & kHasDevice) return &slot_device_[s];
+      if (slot_flags_[s] & kHasHost) return &slot_host_[s];
+      if (slot_flags_[s] & kHasArchive) return &slot_archive_[s];
+      return nullptr;
+    }
     auto device_it = device_.find(key);
     if (device_it != device_.end()) return &device_it->second;
     auto host_it = host_.find(key);
@@ -616,6 +687,14 @@ Result<Tensor> FunctionalExecutor::ValueOf(TensorId id) const {
 
 size_t FunctionalExecutor::host_bytes() const {
   size_t bytes = 0;
+  if (last_run_compiled_ && compiled_ != nullptr) {
+    for (size_t s = 0; s < compiled_->slots.size(); ++s) {
+      if (slot_flags_[s] & kHasHost) {
+        bytes += KeyBytes(compiled_->slots[s].key, slot_host_[s]);
+      }
+    }
+    return bytes;
+  }
   for (const auto& [key, tensor] : host_) {
     bytes += KeyBytes(key, tensor);
   }
@@ -624,6 +703,14 @@ size_t FunctionalExecutor::host_bytes() const {
 
 size_t FunctionalExecutor::archived_bytes() const {
   size_t bytes = 0;
+  if (last_run_compiled_ && compiled_ != nullptr) {
+    for (size_t s = 0; s < compiled_->slots.size(); ++s) {
+      if (slot_flags_[s] & kHasArchive) {
+        bytes += KeyBytes(compiled_->slots[s].key, slot_archive_[s]);
+      }
+    }
+    return bytes;
+  }
   for (const auto& [key, tensor] : archive_) {
     bytes += KeyBytes(key, tensor);
   }

@@ -9,6 +9,13 @@
 
 namespace tsplit::runtime {
 
+Trainer::Trainer(models::Model model, TrainerOptions options)
+    : model_(std::move(model)),
+      options_(std::move(options)),
+      optimizer_(options_.learning_rate, options_.momentum) {}
+
+Trainer::~Trainer() = default;
+
 Result<std::unique_ptr<Trainer>> Trainer::Create(models::Model model,
                                                  TrainerOptions options) {
   if (!model.has_backward) {
@@ -54,27 +61,40 @@ Result<std::unique_ptr<Trainer>> Trainer::Create(models::Model model,
 }
 
 Result<StepResult> Trainer::Step(Tensor batch, Tensor labels) {
-  // Leave ~25% headroom over the planning budget: the functional pool pays
-  // alignment and transient-ordering costs the planner's model does not.
-  FunctionalExecutor executor(&model_.graph, capacity_ + capacity_ / 4);
-  for (const auto& [id, value] : params_) {
-    RETURN_IF_ERROR(executor.Bind(id, value));
+  if (executor_ == nullptr) {
+    // Leave ~25% headroom over the planning budget: the functional pool
+    // pays alignment and transient-ordering costs the planner's model does
+    // not. The executor persists across Steps, so the compiled program and
+    // buffer storage amortize; only the values read back below are kept
+    // after their buffers are freed.
+    executor_ = std::make_unique<FunctionalExecutor>(&model_.graph,
+                                                     capacity_ +
+                                                         capacity_ / 4);
+    executor_->set_keep_freed_values(false);
+    executor_->RetainValue(model_.loss);
+    for (auto [param, grad] : model_.autodiff.param_grads) {
+      (void)param;
+      executor_->RetainValue(grad);
+    }
   }
-  RETURN_IF_ERROR(executor.Bind(model_.input, std::move(batch)));
-  RETURN_IF_ERROR(executor.Bind(model_.labels, std::move(labels)));
-  RETURN_IF_ERROR(executor.Run(program_));
+  for (const auto& [id, value] : params_) {
+    RETURN_IF_ERROR(executor_->Bind(id, value));
+  }
+  RETURN_IF_ERROR(executor_->Bind(model_.input, std::move(batch)));
+  RETURN_IF_ERROR(executor_->Bind(model_.labels, std::move(labels)));
+  RETURN_IF_ERROR(executor_->Run(program_));
 
   std::unordered_map<TensorId, Tensor> grads;
   for (auto [param, grad] : model_.autodiff.param_grads) {
-    ASSIGN_OR_RETURN(Tensor value, executor.ValueOf(grad));
+    ASSIGN_OR_RETURN(Tensor value, executor_->ValueOf(grad));
     grads[param] = std::move(value);
   }
   RETURN_IF_ERROR(optimizer_.Step(&params_, grads));
 
   StepResult result;
-  ASSIGN_OR_RETURN(Tensor loss, executor.ValueOf(model_.loss));
+  ASSIGN_OR_RETURN(Tensor loss, executor_->ValueOf(model_.loss));
   result.loss = loss.at(0);
-  result.peak_device_bytes = executor.peak_device_bytes();
+  result.peak_device_bytes = executor_->peak_device_bytes();
   return result;
 }
 

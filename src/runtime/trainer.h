@@ -18,6 +18,8 @@
 
 namespace tsplit::runtime {
 
+class FunctionalExecutor;
+
 struct TrainerOptions {
   std::string planner_name = "TSPLIT";
   // Device-capacity budget for the functional executor. 0 = derive from
@@ -41,6 +43,7 @@ class Trainer {
   // Plans and compiles the augmented program; initializes parameters.
   static Result<std::unique_ptr<Trainer>> Create(models::Model model,
                                                  TrainerOptions options);
+  ~Trainer();
 
   // Runs one iteration on the given batch (bound to the model's input and
   // label tensors), then applies the optimizer.
@@ -54,10 +57,9 @@ class Trainer {
   }
 
  private:
-  Trainer(models::Model model, TrainerOptions options)
-      : model_(std::move(model)),
-        options_(std::move(options)),
-        optimizer_(options_.learning_rate, options_.momentum) {}
+  // Defined in trainer.cc: members include a unique_ptr to the
+  // forward-declared FunctionalExecutor.
+  Trainer(models::Model model, TrainerOptions options);
 
   models::Model model_;
   TrainerOptions options_;
@@ -66,6 +68,11 @@ class Trainer {
   size_t capacity_ = 0;
   std::unordered_map<TensorId, Tensor> params_;
   SgdOptimizer optimizer_;
+  // One executor reused across Steps: the compiled artifact, buffer
+  // storage, and host staging amortize over the whole training run.
+  // Steady-state configuration — keep_freed_values off; the loss and the
+  // parameter gradients are RetainValue'd explicitly.
+  std::unique_ptr<FunctionalExecutor> executor_;
 };
 
 }  // namespace tsplit::runtime

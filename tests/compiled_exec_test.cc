@@ -1,0 +1,320 @@
+// Bitwise parity of the compiled execution path (flat instruction stream,
+// slot-interned buffers, accounting-only workspaces, persistent scratch)
+// against the map-based reference executor: on every model family, under
+// tight and loose budgets, with the async swap engine on and off, both
+// paths must produce bitwise-identical ValueOf for EVERY tensor, identical
+// peak_device_bytes, and identical OOM behaviour. Also covers the compile
+// cache (repeated Run on one executor), swap-in hoisting (value parity at
+// lookahead > 0), and the workspace-leak regression for failing computes.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/liveness.h"
+#include "graph/schedule.h"
+#include "mem/memory_pool.h"
+#include "models/model.h"
+#include "ops/elementwise.h"
+#include "planner/profile.h"
+#include "planner/tsplit_planner.h"
+#include "rewrite/program.h"
+#include "runtime/compiled_program.h"
+#include "runtime/functional_executor.h"
+#include "runtime/interpreter.h"
+
+namespace tsplit {
+namespace {
+
+struct TestBench {
+  models::Model model;
+  Schedule schedule;
+  planner::GraphProfile profile;
+  MemoryProfile baseline;
+};
+
+TestBench MakeBench(models::Model model) {
+  auto schedule = BuildSchedule(model.graph);
+  TSPLIT_CHECK_OK(schedule.status());
+  auto profile = planner::ProfileGraph(model.graph, sim::TitanRtx());
+  auto baseline = ComputeMemoryProfile(model.graph, *schedule);
+  return TestBench{std::move(model), std::move(*schedule),
+                   std::move(profile), baseline};
+}
+
+TestBench MakeVggBench() {
+  models::CnnConfig config;
+  config.batch = 8;
+  config.image_size = 16;
+  config.num_classes = 4;
+  config.channel_scale = 8.0 / 64.0;
+  auto model = models::BuildVgg(16, config);
+  TSPLIT_CHECK_OK(model.status());
+  return MakeBench(std::move(*model));
+}
+
+TestBench MakeResNetBench() {
+  models::CnnConfig config;
+  config.batch = 2;
+  config.image_size = 32;
+  config.num_classes = 3;
+  config.channel_scale = 4.0 / 64.0;
+  auto model = models::BuildResNet(50, config);
+  TSPLIT_CHECK_OK(model.status());
+  return MakeBench(std::move(*model));
+}
+
+TestBench MakeGptBench() {
+  models::GptConfig config;
+  config.num_layers = 2;
+  config.batch = 2;
+  config.seq_len = 16;
+  config.hidden = 32;
+  config.num_heads = 2;
+  config.vocab = 64;
+  auto model = models::BuildGpt(config);
+  TSPLIT_CHECK_OK(model.status());
+  return MakeBench(std::move(*model));
+}
+
+TestBench MakeTransformerBench() {
+  models::TransformerConfig config;
+  config.num_layers = 2;
+  config.batch = 2;
+  config.seq_len = 8;
+  config.hidden = 16;
+  config.num_heads = 2;
+  config.ffn_mult = 2;
+  config.vocab = 32;
+  auto model = models::BuildTransformer(config);
+  TSPLIT_CHECK_OK(model.status());
+  return MakeBench(std::move(*model));
+}
+
+TestBench MakeMlpBench() {
+  auto model = models::BuildMlp({});
+  TSPLIT_CHECK_OK(model.status());
+  return MakeBench(std::move(*model));
+}
+
+TestBench MakeBenchByName(const std::string& name) {
+  if (name == "vgg16") return MakeVggBench();
+  if (name == "resnet50") return MakeResNetBench();
+  if (name == "gpt") return MakeGptBench();
+  if (name == "transformer") return MakeTransformerBench();
+  return MakeMlpBench();
+}
+
+size_t EvictableBudget(const TestBench& bench, double fraction) {
+  size_t floor = bench.baseline.always_live_bytes +
+                 bench.model.graph.BytesOfKind(TensorKind::kParamGrad);
+  return floor + static_cast<size_t>(
+                     (bench.baseline.peak_bytes - floor) * fraction);
+}
+
+Result<rewrite::Program> PlanProgram(const TestBench& bench, size_t budget) {
+  planner::TsplitPlanner planner;
+  ASSIGN_OR_RETURN(planner::Plan plan,
+                   planner.BuildPlan(bench.model.graph, bench.schedule,
+                                     bench.profile, budget));
+  return rewrite::GenerateProgram(bench.model.graph, bench.schedule, plan,
+                                  bench.profile);
+}
+
+std::unique_ptr<runtime::FunctionalExecutor> MakeExecutor(
+    const TestBench& bench, size_t capacity, bool compiled, bool async) {
+  auto exec = std::make_unique<runtime::FunctionalExecutor>(
+      &bench.model.graph, capacity);
+  exec->set_compiled(compiled);
+  exec->set_async_swap(async);
+  auto bindings = runtime::MakeRandomBindings(bench.model.graph, 17);
+  for (auto& [id, value] : bindings) {
+    TSPLIT_CHECK_OK(exec->Bind(id, std::move(value)));
+  }
+  return exec;
+}
+
+// Every tensor of the graph must have bitwise-identical ValueOf under both
+// executors (including not-materialized parity).
+void ExpectIdenticalValues(const TestBench& bench,
+                           const runtime::FunctionalExecutor& ref,
+                           const runtime::FunctionalExecutor& comp) {
+  const Graph& graph = bench.model.graph;
+  for (TensorId id = 0; id < graph.num_tensors(); ++id) {
+    auto a = ref.ValueOf(id);
+    auto b = comp.ValueOf(id);
+    ASSERT_EQ(a.ok(), b.ok())
+        << graph.tensor(id).name << ": reference " << a.status().ToString()
+        << " vs compiled " << b.status().ToString();
+    if (!a.ok()) continue;
+    ASSERT_TRUE(a->shape() == b->shape())
+        << graph.tensor(id).name << ": " << a->shape().ToString() << " vs "
+        << b->shape().ToString();
+    ASSERT_EQ(a->vec().size(), b->vec().size()) << graph.tensor(id).name;
+    EXPECT_EQ(std::memcmp(a->vec().data(), b->vec().data(),
+                          a->vec().size() * sizeof(float)),
+              0)
+        << "bitwise mismatch in " << graph.tensor(id).name;
+  }
+}
+
+// Runs the program under both paths at `capacity`; asserts identical
+// success/failure, and on success bitwise-equal values plus identical
+// peak / host / archive byte accounting.
+void ExpectParity(const TestBench& bench, const rewrite::Program& program,
+                  size_t capacity, bool async) {
+  auto ref = MakeExecutor(bench, capacity, /*compiled=*/false, async);
+  auto comp = MakeExecutor(bench, capacity, /*compiled=*/true, async);
+  Status ref_run = ref->Run(program);
+  Status comp_run = comp->Run(program);
+  ASSERT_EQ(ref_run.ok(), comp_run.ok())
+      << "reference: " << ref_run.ToString()
+      << "\ncompiled: " << comp_run.ToString();
+  if (!ref_run.ok()) {
+    EXPECT_EQ(ref_run.code(), comp_run.code())
+        << "reference: " << ref_run.ToString()
+        << "\ncompiled: " << comp_run.ToString();
+    return;
+  }
+  EXPECT_EQ(ref->peak_device_bytes(), comp->peak_device_bytes());
+  EXPECT_EQ(ref->host_bytes(), comp->host_bytes());
+  EXPECT_EQ(ref->archived_bytes(), comp->archived_bytes());
+  ExpectIdenticalValues(bench, *ref, *comp);
+}
+
+class CompiledExecTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CompiledExecTest, BitwiseParityAcrossBudgetsAndSwapModes) {
+  TestBench bench = MakeBenchByName(GetParam());
+  for (double fraction : {0.3, 0.9}) {
+    size_t budget = EvictableBudget(bench, fraction);
+    auto program = PlanProgram(bench, budget);
+    if (!program.ok()) continue;  // plan infeasible at this budget
+    size_t capacity = budget + budget / 4;
+    for (bool async : {true, false}) {
+      SCOPED_TRACE(std::string(GetParam()) + " fraction " +
+                   std::to_string(fraction) +
+                   (async ? " async" : " sync"));
+      ExpectParity(bench, *program, capacity, async);
+    }
+  }
+}
+
+TEST_P(CompiledExecTest, OomParityAtTinyCapacity) {
+  TestBench bench = MakeBenchByName(GetParam());
+  size_t budget = EvictableBudget(bench, 0.9);
+  auto program = PlanProgram(bench, budget);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  // A capacity far below the plan's needs must OOM identically: same
+  // failure, same status code on both paths.
+  for (bool async : {true, false}) {
+    SCOPED_TRACE(async ? "async" : "sync");
+    auto ref = MakeExecutor(bench, budget / 8, /*compiled=*/false, async);
+    auto comp = MakeExecutor(bench, budget / 8, /*compiled=*/true, async);
+    Status ref_run = ref->Run(*program);
+    Status comp_run = comp->Run(*program);
+    ASSERT_FALSE(ref_run.ok());
+    ASSERT_FALSE(comp_run.ok());
+    EXPECT_EQ(ref_run.code(), comp_run.code())
+        << "reference: " << ref_run.ToString()
+        << "\ncompiled: " << comp_run.ToString();
+    EXPECT_EQ(ref_run.code(), StatusCode::kOutOfMemory)
+        << ref_run.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, CompiledExecTest,
+                         ::testing::Values("vgg16", "resnet50", "gpt",
+                                           "transformer", "mlp"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+TEST(CompiledExecCacheTest, RepeatedRunReusesTheCompiledArtifact) {
+  TestBench bench = MakeMlpBench();
+  size_t budget = EvictableBudget(bench, 0.5);
+  auto program = PlanProgram(bench, budget);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  size_t capacity = budget + budget / 4;
+
+  auto ref = MakeExecutor(bench, capacity, /*compiled=*/false, true);
+  ASSERT_TRUE(ref->Run(*program).ok());
+
+  auto comp = MakeExecutor(bench, capacity, /*compiled=*/true, true);
+  ASSERT_TRUE(comp->Run(*program).ok());
+  const runtime::CompiledProgram* artifact = comp->compiled_program();
+  ASSERT_NE(artifact, nullptr);
+
+  // Second replay on the same executor: no recompilation, same values.
+  ASSERT_TRUE(comp->Run(*program).ok());
+  EXPECT_EQ(comp->compiled_program(), artifact);
+  ExpectIdenticalValues(bench, *ref, *comp);
+
+  // Changing the prefetch depth invalidates the cache.
+  comp->set_swap_in_lookahead(1);
+  ASSERT_TRUE(comp->Run(*program).ok());
+  ASSERT_NE(comp->compiled_program(), nullptr);
+  EXPECT_EQ(comp->compiled_program()->swap_in_lookahead, 1);
+}
+
+TEST(CompiledExecLookaheadTest, HoistedSwapInsKeepValueParity) {
+  // Deeper prefetch may legally change the peak, but values must stay
+  // bitwise identical (fences preserve the read-after-landing order).
+  TestBench bench = MakeVggBench();
+  size_t budget = EvictableBudget(bench, 0.3);
+  auto program = PlanProgram(bench, budget);
+  if (!program.ok()) GTEST_SKIP() << program.status().ToString();
+
+  // Generous capacity so the hoisted allocations cannot introduce an OOM.
+  size_t capacity = bench.baseline.peak_bytes * 2;
+  auto ref = MakeExecutor(bench, capacity, /*compiled=*/false, true);
+  ASSERT_TRUE(ref->Run(*program).ok());
+  for (int depth : {1, 4}) {
+    SCOPED_TRACE("lookahead " + std::to_string(depth));
+    auto comp = MakeExecutor(bench, capacity, /*compiled=*/true, true);
+    comp->set_swap_in_lookahead(depth);
+    Status run = comp->Run(*program);
+    ASSERT_TRUE(run.ok()) << run.ToString();
+    ExpectIdenticalValues(bench, *ref, *comp);
+  }
+}
+
+TEST(WorkspaceLeakRegressionTest, FailingComputeReleasesWorkspace) {
+  // A compute whose workspace reservation succeeds but whose execution
+  // then fails (output buffer never allocated) must not leak the
+  // reservation: pool in_use afterwards equals exactly the staged source.
+  Graph graph;
+  TensorId a = graph.AddTensor("a", Shape{4, 4}, TensorKind::kInput);
+  auto added = graph.AddOp(std::make_unique<ops::ReluOp>(), "relu", {a});
+  ASSERT_TRUE(added.ok());
+  TensorId b = (*added)[0];
+
+  rewrite::Program program;
+  rewrite::Step compute;
+  compute.kind = rewrite::StepKind::kCompute;
+  compute.op = graph.tensor(b).producer;
+  compute.inputs = {{rewrite::BufferKey{a, -1}}};
+  compute.outputs = {rewrite::BufferKey{b, -1}};
+  compute.workspace_bytes = size_t{1} << 12;
+  program.steps.push_back(compute);
+  // Deliberately no kAlloc for b: the step fails after the workspace is
+  // reserved.
+
+  size_t staged = mem::MemoryPool::Align(graph.tensor(a).size_bytes());
+  for (bool compiled : {false, true}) {
+    SCOPED_TRACE(compiled ? "compiled" : "reference");
+    runtime::FunctionalExecutor exec(&graph, size_t{1} << 20);
+    exec.set_compiled(compiled);
+    ASSERT_TRUE(exec.Bind(a, Tensor(Shape{4, 4}, 1.0f)).ok());
+    Status run = exec.Run(program);
+    ASSERT_FALSE(run.ok());
+    EXPECT_EQ(run.code(), StatusCode::kInternal) << run.ToString();
+    EXPECT_EQ(exec.device_bytes_in_use(), staged);
+  }
+}
+
+}  // namespace
+}  // namespace tsplit
