@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Run clang-tidy over src/ using the compile database of a configured
+# build tree. Usage:
+#
+#   scripts/run_clang_tidy.sh [BUILD_DIR]
+#
+# BUILD_DIR defaults to ./build and must contain compile_commands.json
+# (the top-level CMakeLists.txt sets CMAKE_EXPORT_COMPILE_COMMANDS).
+# The check profile lives in .clang-tidy at the repo root.
+#
+# Exits 0 with a notice when clang-tidy is not installed, so the `lint`
+# CMake target stays usable in containers that only ship GCC.
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+
+tidy_bin="$(command -v clang-tidy || true)"
+if [[ -z "${tidy_bin}" ]]; then
+  echo "run_clang_tidy.sh: clang-tidy not found on PATH; skipping lint" >&2
+  echo "(install clang-tidy >= 14 to enable the 'lint' target)" >&2
+  exit 0
+fi
+
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "run_clang_tidy.sh: ${build_dir}/compile_commands.json missing." >&2
+  echo "Configure first: cmake -B '${build_dir}' -S '${repo_root}'" >&2
+  exit 1
+fi
+
+mapfile -t sources < <(find "${repo_root}/src" "${repo_root}/tools" \
+  -name '*.cc' | sort)
+
+echo "linting ${#sources[@]} files with $("${tidy_bin}" --version |
+  head -n 1)"
+"${tidy_bin}" -p "${build_dir}" --quiet "${sources[@]}"
+status=$?
+if [[ ${status} -ne 0 ]]; then
+  echo "run_clang_tidy.sh: clang-tidy reported findings (exit ${status})" >&2
+fi
+exit ${status}

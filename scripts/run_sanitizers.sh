@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Sanitizer matrix: build + test under ASan, UBSan, and TSan.
+#
+#   scripts/run_sanitizers.sh [address|undefined|thread]...
+#
+# With no arguments runs all three. Each sanitizer gets its own build
+# tree (build-asan/, build-ubsan/, build-tsan/) configured with
+# -DTSPLIT_SANITIZE=<name>, so trees can be reused incrementally.
+#
+# Expected-clean suites (see .claude/skills/verify/SKILL.md):
+#   address / undefined — the full tsplit_tests binary.
+#   thread              — the concurrency-relevant suites only; the rest
+#                         of the suite is single-threaded and would just
+#                         multiply TSan's ~10x slowdown for no coverage.
+set -eu
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+sanitizers=("$@")
+if [[ ${#sanitizers[@]} -eq 0 ]]; then
+  sanitizers=(address undefined thread)
+fi
+
+# Suites that actually exercise threads: the parallel execution
+# substrate, planner scoring workers, and the compiled path's async
+# copy engine.
+tsan_filter='ParallelDeterminismTest.*:PlannerEquivalenceTest.*:*CompiledExec*'
+
+failures=0
+for sanitizer in "${sanitizers[@]}"; do
+  case "${sanitizer}" in
+    address)   build_dir="${repo_root}/build-asan" ;;
+    undefined) build_dir="${repo_root}/build-ubsan" ;;
+    thread)    build_dir="${repo_root}/build-tsan" ;;
+    *)
+      echo "unknown sanitizer '${sanitizer}'" \
+           "(expected address|undefined|thread)" >&2
+      exit 2
+      ;;
+  esac
+
+  echo "=== ${sanitizer}: configure + build (${build_dir}) ==="
+  cmake -B "${build_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DTSPLIT_SANITIZE="${sanitizer}" >/dev/null
+  cmake --build "${build_dir}" -j >/dev/null
+
+  echo "=== ${sanitizer}: test ==="
+  test_bin="${build_dir}/tests/tsplit_tests"
+  if [[ "${sanitizer}" == thread ]]; then
+    run=("${test_bin}" "--gtest_filter=${tsan_filter}")
+  else
+    run=("${test_bin}")
+  fi
+  if ! "${run[@]}"; then
+    echo "=== ${sanitizer}: FAILED ===" >&2
+    failures=$((failures + 1))
+  else
+    echo "=== ${sanitizer}: clean ==="
+  fi
+done
+
+exit "${failures}"

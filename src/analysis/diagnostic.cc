@@ -1,0 +1,174 @@
+#include "analysis/diagnostic.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+
+namespace tsplit::analysis {
+
+const char* SeverityToString(Severity severity) {
+  switch (severity) {
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+const std::vector<DiagnosticInfo>& DiagnosticRegistry() {
+  static const std::vector<DiagnosticInfo>* registry =
+      new std::vector<DiagnosticInfo>{
+          {"TSV001", Severity::kError,
+           "schedule is not a topological order of the graph"},
+          {"TSV002", Severity::kError,
+           "program is structurally malformed (unknown op/tensor id, empty "
+           "input group, micro key without a split config)"},
+          {"TSV003", Severity::kError,
+           "invalid split config (p_num < 2, axis out of range, or axis "
+           "extent smaller than p_num)"},
+          {"TSV004", Severity::kError,
+           "step reads or writes a buffer that is not device-resident "
+           "(def-before-use, use-after-free, or missing/late swap-in)"},
+          {"TSV005", Severity::kError,
+           "invalid buffer state transition (double alloc, free/swap-out of "
+           "a non-resident buffer, swap-in without a host copy)"},
+          {"TSV006", Severity::kError,
+           "recompute of an op that is not recompute-safe (RNG-bearing or "
+           "otherwise non-replayable)"},
+          {"TSV007", Severity::kError,
+           "micro-tensor set does not partition its parent (out-of-range or "
+           "duplicate part index)"},
+          {"TSV008", Severity::kWarning,
+           "transient buffer still device-resident at program end (leak)"},
+          {"TSV009", Severity::kWarning,
+           "buffer has no planned byte size; verifier fell back to the "
+           "dtype-aware shape size"},
+          {"TSV010", Severity::kError, "plan references an unknown tensor id"},
+          {"TSV011", Severity::kWarning,
+           "static replay peak exceeds the planner's modeled peak by more "
+           "than the allowed slack"},
+          {"TSV012", Severity::kError,
+           "static replay peak exceeds the device capacity budget (plan is "
+           "infeasible)"},
+          {"TSV013", Severity::kWarning,
+           "plan assigns recompute to a tensor that cannot be recomputed "
+           "(producer-less, or its producer is not recompute-safe)"},
+          {"TSV014", Severity::kWarning,
+           "plan split config is invalid for the tensor shape; the program "
+           "generator will degrade it to unsplit"},
+          {"TSV020", Severity::kError,
+           "compiled program is structurally malformed (slot/aux/scratch "
+           "index out of range, or fingerprint mismatch with its source "
+           "program)"},
+          {"TSV021", Severity::kError,
+           "compiled instruction touches a slot with no live device value "
+           "(slot-lifetime violation)"},
+          {"TSV022", Severity::kError,
+           "compute workspace exceeds the compiled workspace high-water "
+           "bound"},
+          {"TSV023", Severity::kError,
+           "compiled scatter/merge offsets do not tile the whole buffer "
+           "(overlap or gap between micro-tensor extents)"},
+      };
+  return *registry;
+}
+
+const DiagnosticInfo* FindDiagnostic(std::string_view code) {
+  for (const DiagnosticInfo& info : DiagnosticRegistry()) {
+    if (code == info.code) return &info;
+  }
+  return nullptr;
+}
+
+Diagnostic MakeDiagnostic(std::string_view code, std::string message) {
+  const DiagnosticInfo* info = FindDiagnostic(code);
+  TSPLIT_CHECK(info != nullptr);
+  Diagnostic diagnostic;
+  diagnostic.code = std::string(code);
+  diagnostic.severity = info->severity;
+  diagnostic.message = std::move(message);
+  return diagnostic;
+}
+
+std::string Render(const Diagnostic& diagnostic, const Graph* graph) {
+  std::string out = SeverityToString(diagnostic.severity);
+  out += "[";
+  out += diagnostic.code;
+  out += "] ";
+  out += diagnostic.message;
+
+  std::string where;
+  auto append = [&where](const std::string& part) {
+    if (!where.empty()) where += " ";
+    where += part;
+  };
+  if (diagnostic.op != kInvalidOp) {
+    std::string name = "op" + std::to_string(diagnostic.op);
+    if (graph != nullptr && diagnostic.op >= 0 &&
+        diagnostic.op < graph->num_ops()) {
+      name = graph->node(diagnostic.op).name;
+    }
+    append("op=" + name);
+  }
+  if (diagnostic.tensor != kInvalidTensor) {
+    std::string name = "t" + std::to_string(diagnostic.tensor);
+    if (graph != nullptr && diagnostic.tensor >= 0 &&
+        diagnostic.tensor < graph->num_tensors()) {
+      name = graph->tensor(diagnostic.tensor).name;
+    }
+    if (diagnostic.micro >= 0) name += "." + std::to_string(diagnostic.micro);
+    append("tensor=" + name);
+  }
+  if (diagnostic.position >= 0) {
+    append("pos=" + std::to_string(diagnostic.position));
+  }
+  if (!where.empty()) out += " (" + where + ")";
+  return out;
+}
+
+std::string RenderAll(const std::vector<Diagnostic>& diagnostics,
+                      const Graph* graph) {
+  std::string out;
+  for (Severity severity : {Severity::kError, Severity::kWarning}) {
+    for (const Diagnostic& diagnostic : diagnostics) {
+      if (diagnostic.severity != severity) continue;
+      out += Render(diagnostic, graph);
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+bool HasErrors(const std::vector<Diagnostic>& diagnostics) {
+  return std::any_of(diagnostics.begin(), diagnostics.end(),
+                     [](const Diagnostic& d) {
+                       return d.severity == Severity::kError;
+                     });
+}
+
+int CountErrors(const std::vector<Diagnostic>& diagnostics) {
+  return static_cast<int>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [](const Diagnostic& d) {
+                      return d.severity == Severity::kError;
+                    }));
+}
+
+bool HasCode(const std::vector<Diagnostic>& diagnostics,
+             std::string_view code) {
+  return std::any_of(
+      diagnostics.begin(), diagnostics.end(),
+      [code](const Diagnostic& d) { return d.code == code; });
+}
+
+Status ToStatus(const std::vector<Diagnostic>& diagnostics,
+                const Graph* graph) {
+  if (!HasErrors(diagnostics)) return Status::OK();
+  return Status::FailedPrecondition(
+      "static verification failed with " +
+      std::to_string(CountErrors(diagnostics)) + " error(s):\n" +
+      RenderAll(diagnostics, graph));
+}
+
+}  // namespace tsplit::analysis

@@ -1,0 +1,81 @@
+#ifndef TSPLIT_ANALYSIS_DIAGNOSTIC_H_
+#define TSPLIT_ANALYSIS_DIAGNOSTIC_H_
+
+// Diagnostic model for the static verifier (analysis/verifier.h): every
+// finding carries a stable code ("TSV004"), a severity, a human message,
+// and an optional location (op / tensor / micro part / stream position).
+// Codes are registered centrally so tools can enumerate them and DESIGN.md
+// §4.7 can document exactly what each one proves; tests assert on codes,
+// never on message text.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/status.h"
+#include "graph/graph.h"
+
+namespace tsplit::analysis {
+
+enum class Severity : uint8_t {
+  kWarning = 0,  // suspicious but executable; reported, never fatal
+  kError,        // the artifact would misbehave or OOM if executed
+};
+
+const char* SeverityToString(Severity severity);
+
+struct Diagnostic {
+  std::string code;  // stable registry code, e.g. "TSV004"
+  Severity severity = Severity::kError;
+  std::string message;
+
+  // Optional location; kInvalid / -1 when not applicable.
+  OpId op = kInvalidOp;
+  TensorId tensor = kInvalidTensor;
+  int micro = -1;     // micro-tensor part index
+  int position = -1;  // step / instruction / schedule position
+};
+
+// One registry row: the code, its fixed severity, and a one-line summary
+// of the invariant it checks (shown by `tsplit_lint --list-codes`).
+struct DiagnosticInfo {
+  const char* code;
+  Severity severity;
+  const char* summary;
+};
+
+// All registered codes in code order.
+const std::vector<DiagnosticInfo>& DiagnosticRegistry();
+
+// Registry row for `code`, or nullptr if unknown.
+const DiagnosticInfo* FindDiagnostic(std::string_view code);
+
+// Factory that stamps the registry severity for `code` (and CHECK-fails
+// on unregistered codes in debug builds).
+Diagnostic MakeDiagnostic(std::string_view code, std::string message);
+
+// "error[TSV004] <message> (op=relu_3 tensor=conv1_out.2 pos=57)".
+// `graph` (optional) resolves op/tensor ids to names.
+std::string Render(const Diagnostic& diagnostic,
+                   const Graph* graph = nullptr);
+
+// One Render line per diagnostic, errors first.
+std::string RenderAll(const std::vector<Diagnostic>& diagnostics,
+                      const Graph* graph = nullptr);
+
+bool HasErrors(const std::vector<Diagnostic>& diagnostics);
+int CountErrors(const std::vector<Diagnostic>& diagnostics);
+
+// True if any diagnostic in `diagnostics` carries `code`.
+bool HasCode(const std::vector<Diagnostic>& diagnostics,
+             std::string_view code);
+
+// OK when no error-severity diagnostic is present; otherwise
+// FailedPrecondition with every finding rendered into the message.
+Status ToStatus(const std::vector<Diagnostic>& diagnostics,
+                const Graph* graph = nullptr);
+
+}  // namespace tsplit::analysis
+
+#endif  // TSPLIT_ANALYSIS_DIAGNOSTIC_H_

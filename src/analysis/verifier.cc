@@ -1,0 +1,1016 @@
+#include "analysis/verifier.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "core/dtype.h"
+#include "mem/memory_pool.h"
+#include "planner/memory_sim.h"
+#include "runtime/compiled_program.h"
+
+namespace tsplit::analysis {
+
+namespace {
+
+using rewrite::BufferKey;
+using rewrite::BufferKeyHash;
+using rewrite::Step;
+using rewrite::StepKind;
+
+std::string KeyName(const Graph& graph, const BufferKey& key) {
+  std::string name = key.tensor >= 0 && key.tensor < graph.num_tensors()
+                         ? graph.tensor(key.tensor).name
+                         : "t" + std::to_string(key.tensor);
+  if (key.micro >= 0) name += "." + std::to_string(key.micro);
+  return name;
+}
+
+Diagnostic At(std::string_view code, std::string message,
+              const BufferKey& key, int position) {
+  Diagnostic d = MakeDiagnostic(code, std::move(message));
+  d.tensor = key.tensor;
+  d.micro = key.micro;
+  d.position = position;
+  return d;
+}
+
+// Whether (p_num, dim) is a legal split of `shape`: axis in range and
+// every part non-empty.
+bool SplitIsLegal(const Shape& shape, int p_num, int dim) {
+  return p_num >= 2 && dim >= 0 && dim < shape.rank() &&
+         shape.dim(dim) >= p_num;
+}
+
+// ---------------------------------------------------------------- replay
+
+// Static buffer state machine mirroring the generator's BufState and the
+// executors' runtime checks: what the functional executor would reject
+// mid-run, this replay rejects ahead of time.
+enum class BufState : uint8_t { kNone = 0, kResident, kHost, kReleased };
+
+struct BufInfo {
+  BufState state = BufState::kNone;
+  bool defined = false;  // holds a value (not just a fresh allocation)
+  size_t bytes = 0;      // aligned accounting size while resident
+};
+
+class ProgramReplay {
+ public:
+  ProgramReplay(const Graph& graph, const rewrite::Program& program,
+                const VerifyOptions& options,
+                std::vector<Diagnostic>* diagnostics)
+      : graph_(graph),
+        program_(program),
+        options_(options),
+        diagnostics_(diagnostics) {}
+
+  size_t Run() {
+    CheckSplitConfigs();
+    StageSources();
+    int position = 0;
+    for (const Step& step : program_.steps) {
+      CheckStep(step, position);
+      ++position;
+    }
+    Epilogue();
+    if (options_.capacity_bytes > 0 && peak_ > options_.capacity_bytes) {
+      Emit(MakeDiagnostic(
+          "TSV012", "static replay peak " + std::to_string(peak_) +
+                        " bytes exceeds the device capacity budget of " +
+                        std::to_string(options_.capacity_bytes) + " bytes"));
+    }
+    return peak_;
+  }
+
+ private:
+  void Emit(Diagnostic diagnostic) {
+    if (diagnostics_ != nullptr) {
+      diagnostics_->push_back(std::move(diagnostic));
+    }
+  }
+
+  bool ValidTensor(TensorId id) const {
+    return id >= 0 && id < graph_.num_tensors();
+  }
+
+  // Validates a key's ids; returns false (after emitting TSV002/TSV007)
+  // when the key cannot be interpreted against the graph at all.
+  bool CheckKey(const BufferKey& key, int position) {
+    if (!ValidTensor(key.tensor)) {
+      Emit(At("TSV002",
+              "step references unknown tensor id " +
+                  std::to_string(key.tensor),
+              key, position));
+      return false;
+    }
+    if (key.micro >= 0) {
+      auto it = program_.split_configs.find(key.tensor);
+      if (it == program_.split_configs.end()) {
+        Emit(At("TSV002",
+                "micro buffer " + KeyName(graph_, key) +
+                    " has no split config",
+                key, position));
+        return false;
+      }
+      if (key.micro >= it->second.p_num) {
+        Emit(At("TSV007",
+                "part index " + std::to_string(key.micro) +
+                    " out of range for p_num=" +
+                    std::to_string(it->second.p_num),
+                key, position));
+        return false;
+      }
+    }
+    return true;
+  }
+
+  size_t BytesOf(const BufferKey& key) {
+    auto planned = program_.buffer_bytes.find(key);
+    if (planned != program_.buffer_bytes.end()) {
+      return mem::MemoryPool::Align(planned->second);
+    }
+    if (!ValidTensor(key.tensor)) return mem::MemoryPool::Align(0);
+    const TensorDesc& tensor = graph_.tensor(key.tensor);
+    size_t bytes = tensor.size_bytes();
+    if (key.micro >= 0) {
+      auto it = program_.split_configs.find(key.tensor);
+      if (it != program_.split_configs.end()) {
+        auto part = tensor.shape.SplitPart(it->second.dim, it->second.p_num,
+                                           key.micro);
+        if (part.ok()) {
+          bytes = static_cast<size_t>(part->num_elements()) *
+                  SizeOf(tensor.dtype);
+        } else if (it->second.p_num > 0) {
+          bytes /= static_cast<size_t>(it->second.p_num);
+        }
+      }
+    }
+    return mem::MemoryPool::Align(bytes);
+  }
+
+  BufInfo& Info(const BufferKey& key) { return buffers_[key]; }
+
+  void AddUsage(size_t bytes) {
+    usage_ += bytes;
+    peak_ = std::max(peak_, usage_);
+  }
+
+  void CheckSplitConfigs() {
+    std::vector<TensorId> ids;
+    ids.reserve(program_.split_configs.size());
+    for (const auto& [id, config] : program_.split_configs) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    for (TensorId id : ids) {
+      const SplitConfig& config = program_.split_configs.at(id);
+      if (!ValidTensor(id)) {
+        Diagnostic d = MakeDiagnostic(
+            "TSV002", "split config references unknown tensor id " +
+                          std::to_string(id));
+        d.tensor = id;
+        Emit(std::move(d));
+        continue;
+      }
+      const Shape& shape = graph_.tensor(id).shape;
+      if (!SplitIsLegal(shape, config.p_num, config.dim)) {
+        Diagnostic d = MakeDiagnostic(
+            "TSV003", "split config p_num=" + std::to_string(config.p_num) +
+                          " dim=" + std::to_string(config.dim) +
+                          " is invalid for shape " + shape.ToString());
+        d.tensor = id;
+        Emit(std::move(d));
+      }
+    }
+  }
+
+  // Mirrors the executors' Run prologue: every source tensor is staged
+  // onto the device, split sources as micro parts.
+  void StageSources() {
+    for (const TensorDesc& tensor : graph_.tensors()) {
+      if (tensor.producer != kInvalidOp) continue;
+      auto split_it = program_.split_configs.find(tensor.id);
+      int parts = 1;
+      if (split_it != program_.split_configs.end() &&
+          SplitIsLegal(tensor.shape, split_it->second.p_num,
+                       split_it->second.dim)) {
+        parts = split_it->second.p_num;
+      } else {
+        split_it = program_.split_configs.end();
+      }
+      for (int j = 0; j < parts; ++j) {
+        BufferKey key{tensor.id,
+                      split_it == program_.split_configs.end() ? -1 : j};
+        BufInfo& info = Info(key);
+        info.state = BufState::kResident;
+        info.defined = true;
+        info.bytes = BytesOf(key);
+        AddUsage(info.bytes);
+      }
+    }
+  }
+
+  // A buffer is readable when it is device-resident and carries a value.
+  // Emits TSV004 with a message naming the actual failure mode.
+  void RequireReadable(const BufferKey& key, int position,
+                       const std::string& what) {
+    const BufInfo& info = Info(key);
+    if (info.state == BufState::kResident && info.defined) return;
+    std::string why;
+    switch (info.state) {
+      case BufState::kNone:
+        why = "used before it is ever defined";
+        break;
+      case BufState::kHost:
+        why = "used while swapped out (missing or late swap-in)";
+        break;
+      case BufState::kReleased:
+        why = "used after free/drop";
+        break;
+      case BufState::kResident:
+        why = "allocated but never written before this read";
+        break;
+    }
+    Emit(At("TSV004", what + " " + KeyName(graph_, key) + " " + why, key,
+            position));
+  }
+
+  // A buffer is writable when its device allocation exists.
+  void RequireAllocated(const BufferKey& key, int position,
+                        const std::string& what) {
+    if (Info(key).state == BufState::kResident) return;
+    Emit(At("TSV004",
+            what + " " + KeyName(graph_, key) +
+                " has no device allocation at this step",
+            key, position));
+  }
+
+  void CheckStep(const Step& step, int position) {
+    switch (step.kind) {
+      case StepKind::kAlloc: {
+        if (!CheckKey(step.buffer, position)) return;
+        BufInfo& info = Info(step.buffer);
+        if (info.state == BufState::kResident ||
+            info.state == BufState::kHost) {
+          Emit(At("TSV005",
+                  "alloc of " + KeyName(graph_, step.buffer) +
+                      " which is already " +
+                      (info.state == BufState::kResident ? "device-resident"
+                                                         : "swapped out"),
+                  step.buffer, position));
+          return;
+        }
+        info.state = BufState::kResident;
+        info.defined = false;
+        info.bytes = BytesOf(step.buffer);
+        AddUsage(info.bytes);
+        return;
+      }
+      case StepKind::kFree:
+      case StepKind::kDrop: {
+        if (!CheckKey(step.buffer, position)) return;
+        BufInfo& info = Info(step.buffer);
+        if (info.state != BufState::kResident) {
+          Emit(At("TSV005",
+                  std::string(step.kind == StepKind::kFree ? "free"
+                                                           : "drop") +
+                      " of non-resident buffer " +
+                      KeyName(graph_, step.buffer),
+                  step.buffer, position));
+          return;
+        }
+        usage_ -= info.bytes;
+        info.state = BufState::kReleased;
+        info.defined = false;
+        return;
+      }
+      case StepKind::kSwapOut: {
+        if (!CheckKey(step.buffer, position)) return;
+        BufInfo& info = Info(step.buffer);
+        if (info.state != BufState::kResident) {
+          Emit(At("TSV005",
+                  "swap-out of non-resident buffer " +
+                      KeyName(graph_, step.buffer),
+                  step.buffer, position));
+          return;
+        }
+        usage_ -= info.bytes;
+        info.state = BufState::kHost;
+        return;
+      }
+      case StepKind::kSwapIn: {
+        if (!CheckKey(step.buffer, position)) return;
+        BufInfo& info = Info(step.buffer);
+        if (info.state != BufState::kHost) {
+          Emit(At("TSV005",
+                  "swap-in of " + KeyName(graph_, step.buffer) +
+                      " without a host copy",
+                  step.buffer, position));
+          return;
+        }
+        info.state = BufState::kResident;
+        info.defined = true;
+        info.bytes = BytesOf(step.buffer);
+        AddUsage(info.bytes);
+        return;
+      }
+      case StepKind::kSplitCopy:
+      case StepKind::kMergeCopy: {
+        if (!CheckKey(step.buffer, position)) return;
+        BufferKey whole{step.buffer.tensor, -1};
+        auto split_it = program_.split_configs.find(step.buffer.tensor);
+        if (split_it == program_.split_configs.end()) {
+          Emit(At("TSV002",
+                  std::string(StepKindToString(step.kind)) + " of " +
+                      KeyName(graph_, whole) + " without a split config",
+                  whole, position));
+          return;
+        }
+        if (step.kind == StepKind::kSplitCopy) {
+          RequireReadable(whole, position, "split-copy source");
+        } else {
+          RequireAllocated(whole, position, "merge-copy destination");
+        }
+        for (int j = 0; j < split_it->second.p_num; ++j) {
+          BufferKey part{step.buffer.tensor, j};
+          if (step.kind == StepKind::kSplitCopy) {
+            RequireAllocated(part, position, "split-copy destination");
+            Info(part).defined = true;
+          } else {
+            RequireReadable(part, position, "merge-copy source");
+          }
+        }
+        if (step.kind == StepKind::kMergeCopy) Info(whole).defined = true;
+        return;
+      }
+      case StepKind::kCompute:
+        CheckCompute(step, position);
+        return;
+    }
+  }
+
+  void CheckCompute(const Step& step, int position) {
+    if (step.op < 0 || step.op >= graph_.num_ops()) {
+      Diagnostic d = MakeDiagnostic(
+          "TSV002",
+          "compute step references unknown op id " + std::to_string(step.op));
+      d.position = position;
+      Emit(std::move(d));
+      return;
+    }
+    const OpNode& node = graph_.node(step.op);
+
+    if (step.is_recompute && !node.op->recompute_safe()) {
+      Diagnostic d = MakeDiagnostic(
+          "TSV006", "recompute of op '" + node.name +
+                        "' which is not recompute-safe (its replay would "
+                        "not reproduce the original value)");
+      d.op = step.op;
+      d.position = position;
+      Emit(std::move(d));
+    }
+
+    if (step.inputs.size() != node.inputs.size()) {
+      Diagnostic d = MakeDiagnostic(
+          "TSV002", "compute step for '" + node.name + "' carries " +
+                        std::to_string(step.inputs.size()) +
+                        " input groups, op declares " +
+                        std::to_string(node.inputs.size()));
+      d.op = step.op;
+      d.position = position;
+      Emit(std::move(d));
+      return;
+    }
+
+    if (step.micro >= 0 &&
+        (step.p_num < 2 || step.micro >= step.p_num)) {
+      Diagnostic d = MakeDiagnostic(
+          "TSV007", "micro compute part " + std::to_string(step.micro) +
+                        "/" + std::to_string(step.p_num) +
+                        " is out of range");
+      d.op = step.op;
+      d.position = position;
+      Emit(std::move(d));
+    }
+
+    for (size_t i = 0; i < step.inputs.size(); ++i) {
+      const std::vector<BufferKey>& group = step.inputs[i];
+      if (group.empty()) {
+        Diagnostic d = MakeDiagnostic(
+            "TSV002", "empty input group " + std::to_string(i) +
+                          " for compute of '" + node.name + "'");
+        d.op = step.op;
+        d.position = position;
+        Emit(std::move(d));
+        continue;
+      }
+      // A multi-key group is a micro set merged on read: every part must
+      // be distinct and in range (overlapping parts would double-paste).
+      if (group.size() > 1) {
+        std::vector<int> micros;
+        for (const BufferKey& key : group) micros.push_back(key.micro);
+        std::sort(micros.begin(), micros.end());
+        if (std::adjacent_find(micros.begin(), micros.end()) !=
+            micros.end()) {
+          Emit(At("TSV007",
+                  "input group for '" + node.name +
+                      "' lists the same micro part twice",
+                  group[0], position));
+        }
+      }
+      for (const BufferKey& key : group) {
+        if (!CheckKey(key, position)) continue;
+        RequireReadable(key, position, "compute input");
+      }
+    }
+
+    for (const BufferKey& key : step.outputs) {
+      if (!CheckKey(key, position)) continue;
+      RequireAllocated(key, position, "compute output");
+      Info(key).defined = true;
+    }
+
+    if (step.workspace_bytes > 0) {
+      peak_ = std::max(peak_,
+                       usage_ + mem::MemoryPool::Align(step.workspace_bytes));
+    }
+  }
+
+  void Epilogue() {
+    // Leak lint: transients (activations / gradients) should have been
+    // freed by their end-of-life steps; anything still resident leaks
+    // device memory across iterations. Params / grads / sources
+    // legitimately stay.
+    std::vector<BufferKey> leaked;
+    for (const auto& [key, info] : buffers_) {
+      if (info.state != BufState::kResident) continue;
+      if (!ValidTensor(key.tensor)) continue;
+      const TensorDesc& tensor = graph_.tensor(key.tensor);
+      if (tensor.producer == kInvalidOp) continue;
+      if (tensor.kind != TensorKind::kActivation &&
+          tensor.kind != TensorKind::kGradient) {
+        continue;
+      }
+      leaked.push_back(key);
+    }
+    std::sort(leaked.begin(), leaked.end(),
+              [](const BufferKey& a, const BufferKey& b) {
+                return a.tensor != b.tensor ? a.tensor < b.tensor
+                                            : a.micro < b.micro;
+              });
+    for (const BufferKey& key : leaked) {
+      Emit(At("TSV008",
+              "transient buffer " + KeyName(graph_, key) +
+                  " is still device-resident at program end",
+              key, static_cast<int>(program_.steps.size())));
+    }
+
+    // Planned-size gaps, one warning per program (not per key).
+    size_t missing = 0;
+    for (const auto& [key, info] : buffers_) {
+      if (program_.buffer_bytes.find(key) == program_.buffer_bytes.end()) {
+        ++missing;
+      }
+    }
+    if (missing > 0) {
+      Emit(MakeDiagnostic(
+          "TSV009", std::to_string(missing) +
+                        " buffer(s) have no planned byte size; the replay "
+                        "used dtype-aware shape sizes"));
+    }
+  }
+
+  const Graph& graph_;
+  const rewrite::Program& program_;
+  const VerifyOptions& options_;
+  std::vector<Diagnostic>* diagnostics_;
+
+  std::unordered_map<BufferKey, BufInfo, BufferKeyHash> buffers_;
+  size_t usage_ = 0;
+  size_t peak_ = 0;
+};
+
+}  // namespace
+
+// ------------------------------------------------------------- schedule
+
+std::vector<Diagnostic> VerifySchedule(const Graph& graph,
+                                       const Schedule& schedule) {
+  std::vector<Diagnostic> diagnostics;
+  auto emit = [&diagnostics](std::string message, OpId op, int position) {
+    Diagnostic d = MakeDiagnostic("TSV001", std::move(message));
+    d.op = op;
+    d.position = position;
+    diagnostics.push_back(std::move(d));
+  };
+
+  if (static_cast<int>(schedule.order.size()) != graph.num_ops()) {
+    emit("schedule has " + std::to_string(schedule.order.size()) +
+             " positions for " + std::to_string(graph.num_ops()) + " ops",
+         kInvalidOp, -1);
+    return diagnostics;
+  }
+
+  std::vector<int> pos(static_cast<size_t>(graph.num_ops()), -1);
+  for (int p = 0; p < static_cast<int>(schedule.order.size()); ++p) {
+    OpId op = schedule.order[static_cast<size_t>(p)];
+    if (op < 0 || op >= graph.num_ops()) {
+      emit("schedule position references unknown op id " +
+               std::to_string(op),
+           kInvalidOp, p);
+      return diagnostics;
+    }
+    if (pos[static_cast<size_t>(op)] >= 0) {
+      emit("op appears twice in the schedule", op, p);
+      return diagnostics;
+    }
+    pos[static_cast<size_t>(op)] = p;
+    if (static_cast<size_t>(op) < schedule.pos_of_op.size() &&
+        schedule.pos_of_op[static_cast<size_t>(op)] != p) {
+      emit("pos_of_op disagrees with the order vector", op, p);
+    }
+  }
+
+  for (OpId op = 0; op < graph.num_ops(); ++op) {
+    int p = pos[static_cast<size_t>(op)];
+    for (TensorId input : graph.node(op).inputs) {
+      OpId producer = graph.tensor(input).producer;
+      if (producer == kInvalidOp) continue;
+      if (pos[static_cast<size_t>(producer)] >= p) {
+        emit("op '" + graph.node(op).name + "' is scheduled before its "
+                 "input producer '" +
+                 graph.node(producer).name + "'",
+             op, p);
+      }
+    }
+  }
+  return diagnostics;
+}
+
+// ----------------------------------------------------------------- plan
+
+std::vector<Diagnostic> VerifyPlan(const Graph& graph,
+                                   const planner::Plan& plan) {
+  std::vector<Diagnostic> diagnostics;
+  std::vector<TensorId> ids;
+  ids.reserve(plan.configs.size());
+  for (const auto& [id, config] : plan.configs) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+
+  for (TensorId id : ids) {
+    const STensorConfig& config = plan.configs.at(id);
+    if (id < 0 || id >= graph.num_tensors()) {
+      Diagnostic d = MakeDiagnostic(
+          "TSV010",
+          "plan references unknown tensor id " + std::to_string(id));
+      d.tensor = id;
+      diagnostics.push_back(std::move(d));
+      continue;
+    }
+    const TensorDesc& tensor = graph.tensor(id);
+    if (config.opt == MemOpt::kRecompute) {
+      if (tensor.producer == kInvalidOp) {
+        Diagnostic d = MakeDiagnostic(
+            "TSV013", "recompute assigned to source tensor '" + tensor.name +
+                          "' which has no producer to replay");
+        d.tensor = id;
+        diagnostics.push_back(std::move(d));
+      } else if (!graph.node(tensor.producer).op->recompute_safe()) {
+        Diagnostic d = MakeDiagnostic(
+            "TSV013", "recompute assigned to '" + tensor.name +
+                          "' whose producer '" +
+                          graph.node(tensor.producer).name +
+                          "' is not recompute-safe");
+        d.tensor = id;
+        d.op = tensor.producer;
+        diagnostics.push_back(std::move(d));
+      }
+    }
+    if (config.split.active() &&
+        !SplitIsLegal(tensor.shape, config.split.p_num, config.split.dim)) {
+      Diagnostic d = MakeDiagnostic(
+          "TSV014", "plan split p_num=" + std::to_string(config.split.p_num) +
+                        " dim=" + std::to_string(config.split.dim) +
+                        " is invalid for '" + tensor.name + "' with shape " +
+                        tensor.shape.ToString() +
+                        "; the generator will fall back to unsplit");
+      d.tensor = id;
+      diagnostics.push_back(std::move(d));
+    }
+  }
+  return diagnostics;
+}
+
+// -------------------------------------------------------------- program
+
+std::vector<Diagnostic> VerifyProgram(const Graph& graph,
+                                      const rewrite::Program& program,
+                                      const VerifyOptions& options) {
+  std::vector<Diagnostic> diagnostics;
+  ProgramReplay(graph, program, options, &diagnostics).Run();
+  return diagnostics;
+}
+
+size_t ReplayPeakBytes(const Graph& graph, const rewrite::Program& program) {
+  VerifyOptions options;
+  return ProgramReplay(graph, program, options, nullptr).Run();
+}
+
+// ------------------------------------------------------------- compiled
+
+namespace {
+
+using runtime::CompiledProgram;
+using runtime::compiled::ComputeInstr;
+using runtime::compiled::Instr;
+using runtime::compiled::InstrKind;
+using runtime::compiled::MergeRef;
+using runtime::compiled::ScatterInstr;
+
+class CompiledReplay {
+ public:
+  CompiledReplay(const Graph& graph, const rewrite::Program& program,
+                 const CompiledProgram& cp,
+                 std::vector<Diagnostic>* diagnostics)
+      : graph_(graph), program_(program), cp_(cp),
+        diagnostics_(diagnostics) {}
+
+  void Run() {
+    if (cp_.fingerprint != program_.Fingerprint()) {
+      Emit(MakeDiagnostic(
+          "TSV020",
+          "compiled fingerprint does not match the source program (stale "
+          "lowering; the executor would recompile)"));
+    }
+    const size_t n = cp_.slots.size();
+    device_.assign(n, 0);
+    host_.assign(n, 0);
+
+    for (const auto& stage : cp_.stages) {
+      if (!CheckSlot(stage.slot, -1, "stage instruction")) continue;
+      device_[static_cast<size_t>(stage.slot)] = 1;
+    }
+
+    int position = 0;
+    for (const Instr& ins : cp_.instrs) {
+      CheckInstr(ins, position);
+      ++position;
+    }
+
+    for (size_t i = 0; i < cp_.scatters.size(); ++i) {
+      CheckScatterTiling(cp_.scatters[i], static_cast<int>(i));
+    }
+    for (size_t i = 0; i < cp_.merges.size(); ++i) {
+      CheckMergeTiling(cp_.merges[i], static_cast<int>(i));
+    }
+  }
+
+ private:
+  void Emit(Diagnostic diagnostic) {
+    diagnostics_->push_back(std::move(diagnostic));
+  }
+
+  Diagnostic AtSlot(std::string_view code, std::string message, int slot,
+                    int position) {
+    Diagnostic d = MakeDiagnostic(code, std::move(message));
+    if (slot >= 0 && static_cast<size_t>(slot) < cp_.slots.size()) {
+      d.tensor = cp_.slots[static_cast<size_t>(slot)].key.tensor;
+      d.micro = cp_.slots[static_cast<size_t>(slot)].key.micro;
+    }
+    d.position = position;
+    return d;
+  }
+
+  std::string SlotName(int slot) const {
+    if (slot < 0 || static_cast<size_t>(slot) >= cp_.slots.size()) {
+      return "slot" + std::to_string(slot);
+    }
+    return KeyName(graph_, cp_.slots[static_cast<size_t>(slot)].key);
+  }
+
+  bool CheckSlot(int slot, int position, const std::string& what) {
+    if (slot >= 0 && static_cast<size_t>(slot) < cp_.slots.size()) {
+      return true;
+    }
+    Diagnostic d = MakeDiagnostic(
+        "TSV020", what + " references slot " + std::to_string(slot) +
+                      " outside the slot table of size " +
+                      std::to_string(cp_.slots.size()));
+    d.position = position;
+    Emit(std::move(d));
+    return false;
+  }
+
+  void RequireLive(int slot, int position, const std::string& what) {
+    if (!CheckSlot(slot, position, what)) return;
+    if (device_[static_cast<size_t>(slot)]) return;
+    Emit(AtSlot("TSV021",
+                what + " reads slot " + SlotName(slot) +
+                    " which has no live device value",
+                slot, position));
+  }
+
+  void CheckInstr(const Instr& ins, int position) {
+    switch (ins.kind) {
+      case InstrKind::kAlloc: {
+        if (!CheckSlot(ins.slot, position, "alloc instruction")) return;
+        if (device_[static_cast<size_t>(ins.slot)]) {
+          Emit(AtSlot("TSV021",
+                      "alloc of slot " + SlotName(ins.slot) +
+                          " which is already live",
+                      ins.slot, position));
+        }
+        device_[static_cast<size_t>(ins.slot)] = 1;
+        return;
+      }
+      case InstrKind::kFree:
+      case InstrKind::kDrop: {
+        if (!CheckSlot(ins.slot, position, "free instruction")) return;
+        if (!device_[static_cast<size_t>(ins.slot)]) {
+          Emit(AtSlot("TSV021",
+                      "free/drop of dead slot " + SlotName(ins.slot),
+                      ins.slot, position));
+        }
+        device_[static_cast<size_t>(ins.slot)] = 0;
+        return;
+      }
+      case InstrKind::kSwapOut: {
+        if (!CheckSlot(ins.slot, position, "swap-out instruction")) return;
+        if (!device_[static_cast<size_t>(ins.slot)]) {
+          Emit(AtSlot("TSV021",
+                      "swap-out of dead slot " + SlotName(ins.slot),
+                      ins.slot, position));
+        }
+        device_[static_cast<size_t>(ins.slot)] = 0;
+        host_[static_cast<size_t>(ins.slot)] = 1;
+        return;
+      }
+      case InstrKind::kSwapIn: {
+        if (!CheckSlot(ins.slot, position, "swap-in instruction")) return;
+        if (!host_[static_cast<size_t>(ins.slot)]) {
+          Emit(AtSlot("TSV021",
+                      "swap-in of slot " + SlotName(ins.slot) +
+                          " without a host copy",
+                      ins.slot, position));
+        }
+        host_[static_cast<size_t>(ins.slot)] = 0;
+        device_[static_cast<size_t>(ins.slot)] = 1;
+        return;
+      }
+      case InstrKind::kSplitCopy:
+      case InstrKind::kMergeCopy: {
+        if (ins.aux < 0 ||
+            static_cast<size_t>(ins.aux) >= cp_.scatters.size()) {
+          Diagnostic d = MakeDiagnostic(
+              "TSV020", "scatter instruction aux index " +
+                            std::to_string(ins.aux) + " out of range");
+          d.position = position;
+          Emit(std::move(d));
+          return;
+        }
+        const ScatterInstr& sc = cp_.scatters[static_cast<size_t>(ins.aux)];
+        if (ins.kind == InstrKind::kSplitCopy) {
+          RequireLive(sc.whole_slot, position, "split-copy");
+          for (int part : sc.part_slots) {
+            RequireLive(part, position, "split-copy destination");
+          }
+        } else {
+          RequireLive(sc.whole_slot, position, "merge-copy destination");
+          for (int part : sc.part_slots) {
+            RequireLive(part, position, "merge-copy");
+          }
+        }
+        return;
+      }
+      case InstrKind::kCompute: {
+        if (ins.aux < 0 ||
+            static_cast<size_t>(ins.aux) >= cp_.computes.size()) {
+          Diagnostic d = MakeDiagnostic(
+              "TSV020", "compute instruction aux index " +
+                            std::to_string(ins.aux) + " out of range");
+          d.position = position;
+          Emit(std::move(d));
+          return;
+        }
+        CheckCompute(cp_.computes[static_cast<size_t>(ins.aux)], position);
+        return;
+      }
+    }
+  }
+
+  void CheckScratch(int id, int position, const std::string& what) {
+    if (id < 0) return;  // unused
+    if (static_cast<size_t>(id) < cp_.scratch_shapes.size()) return;
+    Diagnostic d = MakeDiagnostic(
+        "TSV020", what + " scratch id " + std::to_string(id) +
+                      " outside the scratch pool of size " +
+                      std::to_string(cp_.scratch_shapes.size()));
+    d.position = position;
+    Emit(std::move(d));
+  }
+
+  void CheckCompute(const ComputeInstr& c, int position) {
+    for (const auto& in : c.inputs) {
+      if (in.merge >= 0) {
+        if (static_cast<size_t>(in.merge) >= cp_.merges.size()) {
+          Diagnostic d = MakeDiagnostic(
+              "TSV020", "input merge index " + std::to_string(in.merge) +
+                            " out of range");
+          d.position = position;
+          Emit(std::move(d));
+          continue;
+        }
+        const MergeRef& merge = cp_.merges[static_cast<size_t>(in.merge)];
+        if (merge.scratch < 0 ||
+            static_cast<size_t>(merge.scratch) >= cp_.merge_shapes.size()) {
+          Diagnostic d = MakeDiagnostic(
+              "TSV020", "merge scratch index " +
+                            std::to_string(merge.scratch) + " out of range");
+          d.position = position;
+          Emit(std::move(d));
+        }
+        for (int part : merge.part_slots) {
+          RequireLive(part, position, "compute input (merged)");
+        }
+      } else {
+        RequireLive(in.slot, position, "compute input");
+      }
+      CheckScratch(in.reshape_scratch, position, "input reshape");
+      CheckScratch(in.slice_scratch, position, "input slice");
+    }
+    for (int slot : c.out_slots) {
+      RequireLive(slot, position, "compute output");
+    }
+    for (int id : c.out_scratch) CheckScratch(id, position, "output");
+    CheckScratch(c.micro_scratch, position, "micro output");
+
+    if (c.workspace_bytes > 0 &&
+        mem::MemoryPool::Align(c.workspace_bytes) > cp_.workspace_highwater) {
+      std::string name = c.node != nullptr ? c.node->name : "?";
+      Diagnostic d = MakeDiagnostic(
+          "TSV022", "workspace of '" + name + "' (" +
+                        std::to_string(c.workspace_bytes) +
+                        " bytes) exceeds the compiled high-water bound of " +
+                        std::to_string(cp_.workspace_highwater) + " bytes");
+      d.position = position;
+      Emit(std::move(d));
+    }
+  }
+
+  // The parts of a scatter must tile [0, whole_extent) exactly: the
+  // paper's partition property (no overlap, no gap) made machine-checked.
+  void CheckTiling(const std::vector<int64_t>& offsets,
+                   const std::vector<int64_t>& extents, int64_t whole_extent,
+                   bool require_full, int tensor_slot, int index,
+                   const char* what) {
+    std::vector<std::pair<int64_t, int64_t>> parts;
+    for (size_t j = 0; j < offsets.size(); ++j) {
+      parts.emplace_back(offsets[j],
+                         j < extents.size() ? extents[j] : int64_t{0});
+    }
+    std::sort(parts.begin(), parts.end());
+    int64_t cursor = 0;
+    for (const auto& [offset, extent] : parts) {
+      if (offset < cursor) {
+        Emit(AtSlot("TSV023",
+                    std::string(what) + " " + std::to_string(index) +
+                        " has overlapping part extents at offset " +
+                        std::to_string(offset),
+                    tensor_slot, index));
+        return;
+      }
+      if (require_full && offset > cursor) {
+        Emit(AtSlot("TSV023",
+                    std::string(what) + " " + std::to_string(index) +
+                        " leaves a gap before offset " +
+                        std::to_string(offset),
+                    tensor_slot, index));
+        return;
+      }
+      cursor = offset + extent;
+    }
+    if (cursor > whole_extent || (require_full && cursor != whole_extent)) {
+      Emit(AtSlot("TSV023",
+                  std::string(what) + " " + std::to_string(index) +
+                      " covers " + std::to_string(cursor) +
+                      " of " + std::to_string(whole_extent) +
+                      " elements along the split axis",
+                  tensor_slot, index));
+    }
+  }
+
+  void CheckScatterTiling(const ScatterInstr& sc, int index) {
+    if (sc.whole_slot < 0 ||
+        static_cast<size_t>(sc.whole_slot) >= cp_.slots.size()) {
+      return;  // already reported by the instruction replay
+    }
+    const Shape& whole = cp_.slots[static_cast<size_t>(sc.whole_slot)].shape;
+    if (sc.dim < 0 || sc.dim >= whole.rank()) {
+      Emit(AtSlot("TSV020",
+                  "scatter " + std::to_string(index) + " splits axis " +
+                      std::to_string(sc.dim) + " of rank-" +
+                      std::to_string(whole.rank()) + " shape",
+                  sc.whole_slot, index));
+      return;
+    }
+    CheckTiling(sc.offsets, sc.extents, whole.dim(sc.dim),
+                /*require_full=*/true, sc.whole_slot, index, "scatter");
+  }
+
+  void CheckMergeTiling(const MergeRef& merge, int index) {
+    if (merge.scratch < 0 ||
+        static_cast<size_t>(merge.scratch) >= cp_.merge_shapes.size()) {
+      return;  // reported by CheckCompute
+    }
+    const Shape& whole =
+        cp_.merge_shapes[static_cast<size_t>(merge.scratch)];
+    if (merge.dim < 0 || merge.dim >= whole.rank()) {
+      Emit(AtSlot("TSV020",
+                  "merge " + std::to_string(index) + " gathers axis " +
+                      std::to_string(merge.dim) + " of rank-" +
+                      std::to_string(whole.rank()) + " shape",
+                  merge.part_slots.empty() ? -1 : merge.part_slots[0],
+                  index));
+      return;
+    }
+    std::vector<int64_t> extents;
+    for (int part : merge.part_slots) {
+      if (part < 0 || static_cast<size_t>(part) >= cp_.slots.size()) return;
+      extents.push_back(
+          cp_.slots[static_cast<size_t>(part)].shape.dim(merge.dim));
+    }
+    CheckTiling(merge.offsets, extents, whole.dim(merge.dim),
+                merge.full_cover,
+                merge.part_slots.empty() ? -1 : merge.part_slots[0], index,
+                "merge");
+  }
+
+  const Graph& graph_;
+  const rewrite::Program& program_;
+  const CompiledProgram& cp_;
+  std::vector<Diagnostic>* diagnostics_;
+  std::vector<char> device_;
+  std::vector<char> host_;
+};
+
+}  // namespace
+
+std::vector<Diagnostic> VerifyCompiled(const Graph& graph,
+                                       const rewrite::Program& program,
+                                       const CompiledProgram& compiled) {
+  std::vector<Diagnostic> diagnostics;
+  CompiledReplay(graph, program, compiled, &diagnostics).Run();
+  return diagnostics;
+}
+
+// ------------------------------------------------------------- umbrella
+
+std::vector<Diagnostic> VerifyAll(const Graph& graph,
+                                  const Schedule* schedule,
+                                  const planner::Plan* plan,
+                                  const rewrite::Program* program,
+                                  const runtime::CompiledProgram* compiled,
+                                  const VerifyOptions& options) {
+  std::vector<Diagnostic> diagnostics;
+  auto append = [&diagnostics](std::vector<Diagnostic> more) {
+    for (Diagnostic& d : more) diagnostics.push_back(std::move(d));
+  };
+
+  if (schedule != nullptr) append(VerifySchedule(graph, *schedule));
+  if (plan != nullptr) append(VerifyPlan(graph, *plan));
+  size_t replay_peak = 0;
+  if (program != nullptr) {
+    std::vector<Diagnostic> program_diags;
+    replay_peak =
+        ProgramReplay(graph, *program, options, &program_diags).Run();
+    append(std::move(program_diags));
+  }
+  if (program != nullptr && compiled != nullptr) {
+    append(VerifyCompiled(graph, *program, *compiled));
+  }
+
+  // Cross-artifact check: the schedule-level M_i the planner optimized
+  // (Eq. 2–6) against the bytes the generated step stream actually holds.
+  if (schedule != nullptr && plan != nullptr && program != nullptr &&
+      !HasErrors(diagnostics)) {
+    std::vector<planner::TensorFacts> facts =
+        planner::ComputeTensorFacts(graph, *schedule);
+    std::vector<size_t> planned =
+        planner::PlannedMemory(graph, *schedule, facts, *plan);
+    size_t planner_peak = 0;
+    for (size_t m : planned) planner_peak = std::max(planner_peak, m);
+    if (planner_peak > 0 &&
+        static_cast<double>(replay_peak) >
+            options.planner_peak_slack * static_cast<double>(planner_peak)) {
+      diagnostics.push_back(MakeDiagnostic(
+          "TSV011",
+          "static replay peak " + std::to_string(replay_peak) +
+              " bytes exceeds the planner's modeled peak " +
+              std::to_string(planner_peak) + " bytes by more than " +
+              std::to_string(options.planner_peak_slack) + "x"));
+    }
+  }
+  return diagnostics;
+}
+
+}  // namespace tsplit::analysis

@@ -1,0 +1,88 @@
+#ifndef TSPLIT_ANALYSIS_VERIFIER_H_
+#define TSPLIT_ANALYSIS_VERIFIER_H_
+
+// Static verifier for TSPLIT's planning artifacts. Every invariant the
+// paper states — split/merge shape algebra exactness (§V-A, Fig 10),
+// swap-in before first use and eviction after last def on the augmented
+// graph's control edges, recompute-subgraph replayability, and the
+// planner's per-op M_i (Eq. 2–6) matching what the step stream actually
+// allocates — is checked here WITHOUT executing the program, by replaying
+// the buffer state machine and the pool's byte accounting symbolically.
+//
+// Four artifact-level entry points plus an umbrella:
+//   VerifySchedule  — the schedule is a topological order (TSV001).
+//   VerifyPlan      — plan ids and split/recompute configs are applicable
+//                     to the graph (TSV010/TSV013/TSV014/TSV003).
+//   VerifyProgram   — structural validity, buffer-residency replay
+//                     (def-before-use, use-after-free, swap ordering),
+//                     recompute safety, split coverage, leak check, and
+//                     peak-vs-capacity feasibility (TSV002..TSV009,
+//                     TSV012).
+//   VerifyCompiled  — the flat instruction stream: index ranges,
+//                     slot-lifetime replay, workspace high-water bound,
+//                     scatter/merge tiling, fingerprint (TSV020..TSV023).
+//   VerifyAll       — everything applicable, plus the cross-artifact
+//                     planner-vs-replay peak check (TSV011).
+//
+// "Clean" means no error-severity diagnostic. The verifier never mutates
+// its inputs and is O(steps + instructions).
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "graph/graph.h"
+#include "graph/schedule.h"
+#include "planner/plan.h"
+#include "rewrite/program.h"
+
+namespace tsplit::runtime {
+struct CompiledProgram;
+}  // namespace tsplit::runtime
+
+namespace tsplit::analysis {
+
+struct VerifyOptions {
+  // Device capacity in bytes; the replayed peak must fit (TSV012).
+  // 0 disables the budget lint (policy planners overshoot by design).
+  size_t capacity_bytes = 0;
+
+  // TSV011 fires when the replayed peak exceeds planner_peak_slack times
+  // the planner's modeled peak. The planner's M_i is an estimate (it
+  // ignores alignment and transient ordering), so downstream consumers
+  // leave headroom — Trainer provisions 25% — and the verifier flags only
+  // what that headroom would not absorb.
+  double planner_peak_slack = 1.25;
+};
+
+std::vector<Diagnostic> VerifySchedule(const Graph& graph,
+                                       const Schedule& schedule);
+
+std::vector<Diagnostic> VerifyPlan(const Graph& graph,
+                                   const planner::Plan& plan);
+
+std::vector<Diagnostic> VerifyProgram(const Graph& graph,
+                                      const rewrite::Program& program,
+                                      const VerifyOptions& options = {});
+
+std::vector<Diagnostic> VerifyCompiled(
+    const Graph& graph, const rewrite::Program& program,
+    const runtime::CompiledProgram& compiled);
+
+// Runs every lint its non-null arguments enable. When schedule, plan, and
+// program are all present, additionally cross-checks the program's
+// replayed peak against max_i PlannedMemory (TSV011).
+std::vector<Diagnostic> VerifyAll(
+    const Graph& graph, const Schedule* schedule, const planner::Plan* plan,
+    const rewrite::Program* program,
+    const runtime::CompiledProgram* compiled,
+    const VerifyOptions& options = {});
+
+// Peak device bytes of the program's static replay (aligned buffer bytes
+// plus per-compute transient workspace) — the number TSV011/TSV012 check.
+// Structural errors make the replay best-effort; pair with VerifyProgram.
+size_t ReplayPeakBytes(const Graph& graph, const rewrite::Program& program);
+
+}  // namespace tsplit::analysis
+
+#endif  // TSPLIT_ANALYSIS_VERIFIER_H_

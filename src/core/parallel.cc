@@ -6,9 +6,11 @@
 #include <cstdlib>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
+
+#include "core/thread_annotations.h"
 
 namespace tsplit::core {
 
@@ -42,7 +44,9 @@ struct Region {
   int64_t num_chunks = 0;
   std::atomic<int64_t> next_chunk{0};
   std::atomic<int64_t> done_chunks{0};
-  std::mutex mu;
+  // `mu` only serializes the completion wakeup against the waiter (the
+  // progress counters themselves are atomic and need no guard).
+  Mutex mu;
   std::condition_variable done_cv;
 
   // Claims and runs one chunk; false when all chunks are claimed. `fn` is
@@ -55,17 +59,17 @@ struct Region {
     (*fn)(lo, std::min(end, lo + grain));
     if (done_chunks.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         num_chunks) {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(&mu);
       done_cv.notify_all();
     }
     return true;
   }
 
   void WaitAllDone() {
-    std::unique_lock<std::mutex> lock(mu);
-    done_cv.wait(lock, [this] {
-      return done_chunks.load(std::memory_order_acquire) == num_chunks;
-    });
+    MutexLock lock(&mu);
+    while (done_chunks.load(std::memory_order_acquire) != num_chunks) {
+      done_cv.wait(lock.native());
+    }
   }
 };
 
@@ -80,12 +84,16 @@ thread_local bool t_in_parallel_region = false;
 class ThreadPool {
  public:
   ~ThreadPool() {
+    // Swap the workers out under the lock, join outside it: a joining
+    // worker parked in wake_cv_.wait must relock mu_ to observe shutdown_.
+    std::vector<std::thread> workers;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       shutdown_ = true;
+      workers.swap(workers_);
     }
     wake_cv_.notify_all();
-    for (std::thread& worker : workers_) worker.join();
+    for (std::thread& worker : workers) worker.join();
   }
 
   static ThreadPool& Instance() {
@@ -94,29 +102,29 @@ class ThreadPool {
     return *pool;
   }
 
-  void EnsureWorkers(int count) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void EnsureWorkers(int count) TSPLIT_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     while (static_cast<int>(workers_.size()) < count) {
       workers_.emplace_back([this] { WorkerLoop(); });
     }
   }
 
-  void Submit(std::shared_ptr<Region> region) {
+  void Submit(std::shared_ptr<Region> region) TSPLIT_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       tasks_.push_back(std::move(region));
     }
     wake_cv_.notify_one();
   }
 
  private:
-  void WorkerLoop() {
+  void WorkerLoop() TSPLIT_EXCLUDES(mu_) {
     t_in_parallel_region = true;  // nested ParallelFor in a chunk is serial
     for (;;) {
       std::shared_ptr<Region> region;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        wake_cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+        MutexLock lock(&mu_);
+        while (!shutdown_ && tasks_.empty()) wake_cv_.wait(lock.native());
         if (shutdown_) return;
         region = std::move(tasks_.front());
         tasks_.pop_front();
@@ -126,11 +134,11 @@ class ThreadPool {
     }
   }
 
-  std::mutex mu_;
+  Mutex mu_;
   std::condition_variable wake_cv_;
-  std::deque<std::shared_ptr<Region>> tasks_;
-  std::vector<std::thread> workers_;
-  bool shutdown_ = false;
+  std::deque<std::shared_ptr<Region>> tasks_ TSPLIT_GUARDED_BY(mu_);
+  std::vector<std::thread> workers_ TSPLIT_GUARDED_BY(mu_);
+  bool shutdown_ TSPLIT_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace

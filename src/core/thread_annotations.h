@@ -1,0 +1,87 @@
+#ifndef TSPLIT_CORE_THREAD_ANNOTATIONS_H_
+#define TSPLIT_CORE_THREAD_ANNOTATIONS_H_
+
+// Clang Thread Safety Analysis support (-Wthread-safety): capability
+// macros plus an annotated mutex wrapper. libstdc++'s std::mutex carries
+// no capability attributes, so the concurrent classes in this codebase
+// (core/parallel, runtime/copy_engine) and the externally synchronized
+// ones (mem/memory_pool, mem/host_store) use core::Mutex / core::MutexLock
+// instead; the analysis then statically proves every GUARDED_BY member is
+// only touched under its lock. Under GCC (which has no such analysis) all
+// macros expand to nothing and Mutex is a zero-overhead std::mutex shim.
+//
+// The root CMakeLists promotes -Wthread-safety to an error when the
+// compiler is Clang, so an unguarded access is a build break, not a lint.
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define TSPLIT_THREAD_ANNOTATION__(x) __attribute__((x))
+#endif
+#endif
+#ifndef TSPLIT_THREAD_ANNOTATION__
+#define TSPLIT_THREAD_ANNOTATION__(x)
+#endif
+
+#define TSPLIT_CAPABILITY(x) TSPLIT_THREAD_ANNOTATION__(capability(x))
+#define TSPLIT_SCOPED_CAPABILITY TSPLIT_THREAD_ANNOTATION__(scoped_lockable)
+#define TSPLIT_GUARDED_BY(x) TSPLIT_THREAD_ANNOTATION__(guarded_by(x))
+#define TSPLIT_PT_GUARDED_BY(x) TSPLIT_THREAD_ANNOTATION__(pt_guarded_by(x))
+#define TSPLIT_ACQUIRE(...) \
+  TSPLIT_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define TSPLIT_RELEASE(...) \
+  TSPLIT_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define TSPLIT_REQUIRES(...) \
+  TSPLIT_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define TSPLIT_EXCLUDES(...) \
+  TSPLIT_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+#define TSPLIT_RETURN_CAPABILITY(x) \
+  TSPLIT_THREAD_ANNOTATION__(lock_returned(x))
+#define TSPLIT_NO_THREAD_SAFETY_ANALYSIS \
+  TSPLIT_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace tsplit::core {
+
+// std::mutex with a capability attribute so members can be GUARDED_BY it.
+class TSPLIT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() TSPLIT_ACQUIRE() { mu_.lock(); }
+  void Unlock() TSPLIT_RELEASE() { mu_.unlock(); }
+
+  // The wrapped mutex, for std::condition_variable interop.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+// RAII lock over core::Mutex. Exposes the underlying std::unique_lock so
+// condition-variable waits stay possible:
+//
+//   core::MutexLock lock(&mu_);
+//   while (!ready_) cv_.wait(lock.native());   // ready_ GUARDED_BY(mu_)
+//
+// cv.wait unlocks/relocks internally; caller code only ever runs with the
+// capability held, which is exactly what the analysis assumes.
+class TSPLIT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) TSPLIT_ACQUIRE(mu) : lock_(mu->native()) {}
+  ~MutexLock() TSPLIT_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace tsplit::core
+
+#endif  // TSPLIT_CORE_THREAD_ANNOTATIONS_H_

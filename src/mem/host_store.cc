@@ -3,6 +3,7 @@
 namespace tsplit::mem {
 
 Status HostStore::Put(int64_t key, size_t bytes, Tensor payload) {
+  core::MutexLock lock(&mu_);
   if (entries_.count(key)) {
     return Status::FailedPrecondition("host store already holds key " +
                                       std::to_string(key));
@@ -17,6 +18,7 @@ Status HostStore::Put(int64_t key, size_t bytes, Tensor payload) {
 }
 
 Result<const Tensor*> HostStore::Peek(int64_t key) const {
+  core::MutexLock lock(&mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     return Status::NotFound("host store has no key " + std::to_string(key));
@@ -25,6 +27,7 @@ Result<const Tensor*> HostStore::Peek(int64_t key) const {
 }
 
 Result<Tensor> HostStore::Take(int64_t key) {
+  core::MutexLock lock(&mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     return Status::NotFound("host store has no key " + std::to_string(key));

@@ -5,6 +5,10 @@
 // memory as a temporary cache for evicted feature maps (§II); this class is
 // that cache. The timing simulator uses only the byte accounting; the
 // functional executor also stores the real payload.
+//
+// The store is shared between the compute thread and the copy engine's
+// worker (async swap-out Puts from the worker, swap-in Takes from the
+// compute thread), so the entry map is internally locked.
 
 #include <cstdint>
 #include <string>
@@ -12,6 +16,7 @@
 
 #include "core/status.h"
 #include "core/tensor.h"
+#include "core/thread_annotations.h"
 
 namespace tsplit::mem {
 
@@ -21,21 +26,37 @@ class HostStore {
       : capacity_(capacity_bytes) {}
 
   // Registers `bytes` for `key`, optionally with a payload tensor.
-  Status Put(int64_t key, size_t bytes, Tensor payload = Tensor());
+  Status Put(int64_t key, size_t bytes, Tensor payload = Tensor())
+      TSPLIT_EXCLUDES(mu_);
 
   // True if `key` is currently staged on the host.
-  bool Contains(int64_t key) const { return entries_.count(key) > 0; }
+  bool Contains(int64_t key) const TSPLIT_EXCLUDES(mu_) {
+    core::MutexLock lock(&mu_);
+    return entries_.count(key) > 0;
+  }
 
-  // Retrieves the payload without removing it.
-  Result<const Tensor*> Peek(int64_t key) const;
+  // Retrieves the payload without removing it. The pointer stays valid
+  // until the entry's Take: payloads are immutable while staged, and only
+  // the thread that fenced the swap-out (and thus observes the entry)
+  // takes it back.
+  Result<const Tensor*> Peek(int64_t key) const TSPLIT_EXCLUDES(mu_);
 
   // Removes `key`, returning its payload (empty tensor if none stored).
-  Result<Tensor> Take(int64_t key);
+  Result<Tensor> Take(int64_t key) TSPLIT_EXCLUDES(mu_);
 
-  size_t in_use() const { return in_use_; }
+  size_t in_use() const TSPLIT_EXCLUDES(mu_) {
+    core::MutexLock lock(&mu_);
+    return in_use_;
+  }
   size_t capacity() const { return capacity_; }
-  size_t num_entries() const { return entries_.size(); }
-  size_t peak_in_use() const { return peak_in_use_; }
+  size_t num_entries() const TSPLIT_EXCLUDES(mu_) {
+    core::MutexLock lock(&mu_);
+    return entries_.size();
+  }
+  size_t peak_in_use() const TSPLIT_EXCLUDES(mu_) {
+    core::MutexLock lock(&mu_);
+    return peak_in_use_;
+  }
 
  private:
   struct Entry {
@@ -43,10 +64,11 @@ class HostStore {
     Tensor payload;
   };
 
-  size_t capacity_;
-  size_t in_use_ = 0;
-  size_t peak_in_use_ = 0;
-  std::unordered_map<int64_t, Entry> entries_;
+  const size_t capacity_;  // immutable after construction; no guard
+  mutable core::Mutex mu_;
+  size_t in_use_ TSPLIT_GUARDED_BY(mu_) = 0;
+  size_t peak_in_use_ TSPLIT_GUARDED_BY(mu_) = 0;
+  std::unordered_map<int64_t, Entry> entries_ TSPLIT_GUARDED_BY(mu_);
 };
 
 }  // namespace tsplit::mem

@@ -45,6 +45,7 @@ void MemoryPool::EraseFree(size_t offset, size_t size) {
 }
 
 Result<size_t> MemoryPool::Allocate(size_t bytes) {
+  core::MutexLock lock(&mu_);
   size_t need = Align(bytes);
   const FreeBlock* chosen = nullptr;
   FreeBlock candidate{0, 0};
@@ -90,6 +91,7 @@ Result<size_t> MemoryPool::Allocate(size_t bytes) {
 }
 
 Status MemoryPool::Free(size_t offset) {
+  core::MutexLock lock(&mu_);
   auto it = allocated_.find(offset);
   if (it == allocated_.end()) {
     return Status::InvalidArgument("Free of unallocated offset " +
@@ -126,10 +128,12 @@ Status MemoryPool::Free(size_t offset) {
 }
 
 bool MemoryPool::CanAllocate(size_t bytes) const {
+  core::MutexLock lock(&mu_);
   return stats_.largest_free_block >= Align(bytes);
 }
 
 Status MemoryPool::AccountTransient(size_t bytes) {
+  core::MutexLock lock(&mu_);
   size_t need = Align(bytes);
   if (stats_.largest_free_block < need) {
     ++stats_.failed_allocs;
@@ -145,6 +149,7 @@ Status MemoryPool::AccountTransient(size_t bytes) {
 }
 
 Status MemoryPool::CheckConsistency() const {
+  core::MutexLock lock(&mu_);
   // Walk free + allocated blocks; together they must tile [0, capacity)
   // with no overlap, and no two free blocks may be adjacent.
   std::map<size_t, std::pair<size_t, bool>> blocks;  // offset -> (size, free)
@@ -181,6 +186,7 @@ Status MemoryPool::CheckConsistency() const {
 }
 
 std::string MemoryPool::DebugString() const {
+  core::MutexLock lock(&mu_);
   std::ostringstream os;
   os << "MemoryPool(capacity=" << capacity_ << ", in_use=" << stats_.in_use
      << ", peak=" << stats_.peak_in_use << ", free=" << stats_.free_bytes

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "core/status.h"
+#include "core/thread_annotations.h"
 
 namespace tsplit::mem {
 
@@ -54,18 +55,29 @@ class MemoryPool {
   // returns the arena offset. Fails with OutOfMemory when no free block
   // fits — callers distinguish "no capacity at all" from fragmentation via
   // stats().
-  Result<size_t> Allocate(size_t bytes);
+  Result<size_t> Allocate(size_t bytes) TSPLIT_EXCLUDES(mu_);
 
   // Releases a block previously returned by Allocate.
-  Status Free(size_t offset);
+  Status Free(size_t offset) TSPLIT_EXCLUDES(mu_);
 
   size_t capacity() const { return capacity_; }
-  size_t in_use() const { return stats_.in_use; }
-  size_t free_bytes() const { return stats_.free_bytes; }
-  const PoolStats& stats() const { return stats_; }
+  size_t in_use() const TSPLIT_EXCLUDES(mu_) {
+    core::MutexLock lock(&mu_);
+    return stats_.in_use;
+  }
+  size_t free_bytes() const TSPLIT_EXCLUDES(mu_) {
+    core::MutexLock lock(&mu_);
+    return stats_.free_bytes;
+  }
+  // Snapshot by value: returning a reference to a guarded member would
+  // leak it past the lock (and trip -Wthread-safety-reference).
+  PoolStats stats() const TSPLIT_EXCLUDES(mu_) {
+    core::MutexLock lock(&mu_);
+    return stats_;
+  }
 
   // True if a block of `bytes` could be allocated right now.
-  bool CanAllocate(size_t bytes) const;
+  bool CanAllocate(size_t bytes) const TSPLIT_EXCLUDES(mu_);
 
   // Accounts a transient reservation (an Allocate that would be Freed
   // before the next pool operation) without mutating the free list: fails
@@ -75,13 +87,13 @@ class MemoryPool {
   // free list exactly (the carved block re-coalesces with its neighbours),
   // this is observationally identical to the alloc/free pair — the
   // compiled executor uses it to retire per-compute workspace churn.
-  Status AccountTransient(size_t bytes);
+  Status AccountTransient(size_t bytes) TSPLIT_EXCLUDES(mu_);
 
   // Checks internal invariants (no overlap, full coverage, coalesced free
   // list); used by property tests.
-  Status CheckConsistency() const;
+  Status CheckConsistency() const TSPLIT_EXCLUDES(mu_);
 
-  std::string DebugString() const;
+  std::string DebugString() const TSPLIT_EXCLUDES(mu_);
 
   static size_t Align(size_t bytes);
 
@@ -94,18 +106,22 @@ class MemoryPool {
     }
   };
 
-  void InsertFree(size_t offset, size_t size);
-  void EraseFree(size_t offset, size_t size);
+  void InsertFree(size_t offset, size_t size) TSPLIT_REQUIRES(mu_);
+  void EraseFree(size_t offset, size_t size) TSPLIT_REQUIRES(mu_);
 
-  size_t capacity_;
-  FitPolicy policy_;
-  PoolStats stats_;
+  const size_t capacity_;     // immutable after construction; no guard
+  const FitPolicy policy_;    // immutable after construction; no guard
+  // The pool is shared between the compute thread and the copy engine's
+  // worker (swap-out completion releases reservations asynchronously), so
+  // every mutable member is guarded.
+  mutable core::Mutex mu_;
+  PoolStats stats_ TSPLIT_GUARDED_BY(mu_);
   // offset -> size for free blocks (ordered for coalescing / first-fit).
-  std::map<size_t, size_t> free_by_offset_;
+  std::map<size_t, size_t> free_by_offset_ TSPLIT_GUARDED_BY(mu_);
   // (size, offset) ordering for best-fit.
-  std::set<FreeBlock> free_by_size_;
+  std::set<FreeBlock> free_by_size_ TSPLIT_GUARDED_BY(mu_);
   // offset -> size for live allocations.
-  std::map<size_t, size_t> allocated_;
+  std::map<size_t, size_t> allocated_ TSPLIT_GUARDED_BY(mu_);
 };
 
 }  // namespace tsplit::mem

@@ -1,3 +1,5 @@
+#include <algorithm>
+
 #include "models/builder_util.h"
 #include "models/model.h"
 
@@ -26,6 +28,15 @@ Result<Model> BuildMlp(const MlpConfig& config) {
 
 Result<Model> BuildByName(const std::string& name, int batch,
                           double param_scale, bool with_backward) {
+  if (name == "MLP") {
+    MlpConfig config;
+    config.batch = batch;
+    for (int& width : config.hidden_sizes) {
+      width = std::max(8, static_cast<int>(width * param_scale));
+    }
+    config.with_backward = with_backward;
+    return BuildMlp(config);
+  }
   if (name == "Transformer") {
     TransformerConfig config;
     config.batch = batch;

@@ -54,11 +54,17 @@ struct Plan {
     return bytes;
   }
 
+  // Deterministic: walks tensors in id order rather than iterating the
+  // unordered_map, so equal plans render identically regardless of
+  // insertion order (diffable logs, golden tests).
   std::string ToString(const Graph& graph) const {
     std::string out = "Plan[" + planner_name + "]\n";
-    for (const auto& [id, config] : configs) {
+    for (const TensorDesc& t : graph.tensors()) {
+      auto it = configs.find(t.id);
+      if (it == configs.end()) continue;
+      const STensorConfig& config = it->second;
       if (config.opt == MemOpt::kReside && !config.split.active()) continue;
-      out += "  " + graph.tensor(id).name + ": " + config.ToString() + "\n";
+      out += "  " + t.name + ": " + config.ToString() + "\n";
     }
     return out;
   }

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 #include <unordered_map>
+#include <vector>
 
 namespace tsplit::planner {
 
@@ -25,6 +26,23 @@ std::unordered_map<TensorId, std::string> StableKeys(const Graph& graph) {
                      : t.name;
   }
   return keys;
+}
+
+// Strict integer token: the whole token must be a (possibly signed)
+// decimal number. istream's operator>> would accept "4x" as 4 and treat
+// "x" as a failed-but-silent split field.
+bool ParseIntToken(const std::string& token, int* out) {
+  if (token.empty()) return false;
+  size_t i = token[0] == '-' || token[0] == '+' ? 1 : 0;
+  if (i == token.size()) return false;
+  long value = 0;
+  for (; i < token.size(); ++i) {
+    if (token[i] < '0' || token[i] > '9') return false;
+    value = value * 10 + (token[i] - '0');
+    if (value > 1000000000) return false;
+  }
+  *out = static_cast<int>(token[0] == '-' ? -value : value);
+  return true;
 }
 
 }  // namespace
@@ -113,13 +131,52 @@ Result<Plan> ParsePlan(const Graph& graph, const std::string& text) {
                                      "' (line " +
                                      std::to_string(line_number) + ")");
     }
-    int p_num = 0, dim = 0;
-    if (fields >> p_num) {
-      if (!(fields >> dim) || p_num < 2) {
-        return Status::InvalidArgument("malformed split config (line " +
-                                       std::to_string(line_number) + ")");
+    // Optional split config: exactly two integer tokens, valid for the
+    // tensor's shape. Anything else — a non-numeric token, a truncated
+    // pair, or trailing garbage — is a malformed line, not a default.
+    std::vector<std::string> rest;
+    std::string token;
+    while (fields >> token) rest.push_back(token);
+    if (rest.size() == 2) {
+      int p_num = 0, dim = 0;
+      if (!ParseIntToken(rest[0], &p_num) ||
+          !ParseIntToken(rest[1], &dim)) {
+        return Status::InvalidArgument(
+            "split config is not numeric: '" + rest[0] + " " + rest[1] +
+            "' (line " + std::to_string(line_number) + ")");
+      }
+      if (p_num < 2) {
+        return Status::InvalidArgument(
+            "split p_num must be >= 2, got " + std::to_string(p_num) +
+            " (line " + std::to_string(line_number) + ")");
+      }
+      const Shape& shape = graph.tensor(it->second).shape;
+      if (dim < 0 || dim >= shape.rank()) {
+        return Status::InvalidArgument(
+            "split dim " + std::to_string(dim) + " out of range for '" +
+            name + "' with shape " + shape.ToString() + " (line " +
+            std::to_string(line_number) + ")");
+      }
+      if (shape.dim(dim) < p_num) {
+        return Status::InvalidArgument(
+            "split p_num " + std::to_string(p_num) + " exceeds extent " +
+            std::to_string(shape.dim(dim)) + " of '" + name +
+            "' along dim " + std::to_string(dim) + " (line " +
+            std::to_string(line_number) + ")");
       }
       config.split = SplitConfig{p_num, dim};
+    } else if (!rest.empty()) {
+      return Status::InvalidArgument(
+          rest.size() == 1
+              ? "truncated split config (line " +
+                    std::to_string(line_number) + ")"
+              : "trailing garbage after split config (line " +
+                    std::to_string(line_number) + ")");
+    }
+    if (plan.configs.count(it->second) > 0) {
+      return Status::InvalidArgument("duplicate plan entry for '" + name +
+                                     "' (line " +
+                                     std::to_string(line_number) + ")");
     }
     plan.Set(it->second, config);
   }

@@ -5,6 +5,7 @@
 #include <limits>
 #include <optional>
 
+#include "analysis/verifier.h"
 #include "core/parallel.h"
 #include "planner/cost_model.h"
 #include "planner/memory_sim.h"
@@ -492,6 +493,11 @@ Result<Plan> TsplitPlanner::BuildPlan(const Graph& graph,
   stats.assignments = assignments;
   stats.total_seconds = SecondsSince(plan_start);
   plan.stats = stats;
+  if (options_.verify_before_run) {
+    std::vector<analysis::Diagnostic> diagnostics =
+        analysis::VerifyPlan(graph, plan);
+    RETURN_IF_ERROR(analysis::ToStatus(diagnostics, &graph));
+  }
   return plan;
 }
 

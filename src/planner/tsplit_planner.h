@@ -26,6 +26,10 @@ struct TsplitOptions {
   // Cross-check the incremental timeline against PlannedMemory after every
   // round (slow; tests only).
   bool paranoid_checks = false;
+  // Self-check the finished plan with the static verifier (VerifyPlan):
+  // error-severity findings fail BuildPlan. Cheap — O(tensors) — so it
+  // defaults to on; the deep program-level replay stays opt-in downstream.
+  bool verify_before_run = true;
 };
 
 class TsplitPlanner : public Planner {

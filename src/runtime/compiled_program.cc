@@ -760,7 +760,7 @@ Status FunctionalExecutor::ExecSwapInSlot(const CompiledProgram& cp,
   CopyEngine::Ticket ticket = engine_->Submit(
       [src, out, count] { std::memcpy(out, src, count * sizeof(float)); });
   slot_inflight_[static_cast<size_t>(slot)] =
-      InflightCopy{ticket, /*is_swap_out=*/false};
+      InflightCopy{ticket, /*is_swap_out=*/false, /*retained=*/{}};
   flags |= kInflight;
   inflight_slots_.push_back(slot);
   return Status::OK();

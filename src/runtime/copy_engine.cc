@@ -2,13 +2,19 @@
 
 namespace tsplit::runtime {
 
+// Condition waits are written as explicit while-loops over
+// MutexLock::native(): cv.wait unlocks/relocks the same mutex internally,
+// so the guarded predicate is only ever read with the capability held —
+// the form Clang's thread-safety analysis can verify (predicate lambdas
+// would read guarded members from an unannotated context).
+
 CopyEngine::CopyEngine(size_t max_depth)
     : max_depth_(max_depth == 0 ? 1 : max_depth),
       worker_([this] { WorkerLoop(); }) {}
 
 CopyEngine::~CopyEngine() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(&mu_);
     shutdown_ = true;
   }
   work_cv_.notify_all();
@@ -18,8 +24,8 @@ CopyEngine::~CopyEngine() {
 CopyEngine::Ticket CopyEngine::Submit(std::function<void()> job) {
   Ticket ticket;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    queue_cv_.wait(lock, [this] { return queue_.size() < max_depth_; });
+    core::MutexLock lock(&mu_);
+    while (queue_.size() >= max_depth_) queue_cv_.wait(lock.native());
     ticket = next_ticket_++;
     queue_.emplace_back(ticket, std::move(job));
   }
@@ -28,26 +34,26 @@ CopyEngine::Ticket CopyEngine::Submit(std::function<void()> job) {
 }
 
 bool CopyEngine::Finished(Ticket ticket) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(&mu_);
   return completed_ >= ticket;
 }
 
 void CopyEngine::Wait(Ticket ticket) {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this, ticket] { return completed_ >= ticket; });
+  core::MutexLock lock(&mu_);
+  while (completed_ < ticket) done_cv_.wait(lock.native());
 }
 
 void CopyEngine::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return completed_ + 1 == next_ticket_; });
+  core::MutexLock lock(&mu_);
+  while (completed_ + 1 != next_ticket_) done_cv_.wait(lock.native());
 }
 
 void CopyEngine::WorkerLoop() {
   for (;;) {
     std::pair<Ticket, std::function<void()>> job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      core::MutexLock lock(&mu_);
+      while (!shutdown_ && queue_.empty()) work_cv_.wait(lock.native());
       if (queue_.empty()) return;  // shutdown with nothing left to copy
       job = std::move(queue_.front());
       queue_.pop_front();
@@ -55,7 +61,7 @@ void CopyEngine::WorkerLoop() {
     queue_cv_.notify_one();
     job.second();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      core::MutexLock lock(&mu_);
       completed_ = job.first;
     }
     done_cv_.notify_all();

@@ -15,9 +15,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <utility>
+
+#include "core/thread_annotations.h"
 
 namespace tsplit::runtime {
 
@@ -33,29 +34,31 @@ class CopyEngine {
 
   // Enqueues `job`; blocks while the queue is at max depth. Returns a
   // monotonically increasing ticket. Jobs complete in ticket order.
-  Ticket Submit(std::function<void()> job);
+  Ticket Submit(std::function<void()> job) TSPLIT_EXCLUDES(mu_);
 
   // True once the job for `ticket` has finished (never blocks).
-  bool Finished(Ticket ticket) const;
+  bool Finished(Ticket ticket) const TSPLIT_EXCLUDES(mu_);
 
   // Blocks until the job for `ticket` has finished — the executor's fence.
-  void Wait(Ticket ticket);
+  void Wait(Ticket ticket) TSPLIT_EXCLUDES(mu_);
 
   // Blocks until every submitted job has finished.
-  void Drain();
+  void Drain() TSPLIT_EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() TSPLIT_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
+  mutable core::Mutex mu_;
   std::condition_variable queue_cv_;   // signals space in the queue
   std::condition_variable work_cv_;    // signals work for the worker
   std::condition_variable done_cv_;    // signals job completion
-  std::deque<std::pair<Ticket, std::function<void()>>> queue_;
-  size_t max_depth_;
-  Ticket next_ticket_ = 1;
-  Ticket completed_ = 0;  // FIFO worker => tickets complete in order
-  bool shutdown_ = false;
+  std::deque<std::pair<Ticket, std::function<void()>>> queue_
+      TSPLIT_GUARDED_BY(mu_);
+  const size_t max_depth_;  // immutable after construction; no guard
+  Ticket next_ticket_ TSPLIT_GUARDED_BY(mu_) = 1;
+  // FIFO worker => tickets complete in order.
+  Ticket completed_ TSPLIT_GUARDED_BY(mu_) = 0;
+  bool shutdown_ TSPLIT_GUARDED_BY(mu_) = false;
   std::thread worker_;
 };
 

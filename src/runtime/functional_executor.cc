@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "analysis/verifier.h"
 #include "core/logging.h"
 #include "runtime/compiled_program.h"
 
@@ -25,6 +26,15 @@ FunctionalExecutor::FunctionalExecutor(const Graph* graph,
   const char* lookahead_env = std::getenv("TSPLIT_SWAP_IN_LOOKAHEAD");
   if (lookahead_env != nullptr) {
     swap_in_lookahead_ = std::atoi(lookahead_env);
+  }
+#ifdef NDEBUG
+  verify_before_run_ = false;
+#else
+  verify_before_run_ = true;
+#endif
+  const char* verify_env = std::getenv("TSPLIT_VERIFY");
+  if (verify_env != nullptr) {
+    verify_before_run_ = verify_env[0] != '0';
   }
 }
 
@@ -258,7 +268,8 @@ Status FunctionalExecutor::ExecSwapIn(const Step& step,
   const size_t count = static_cast<size_t>(it->second.num_elements());
   auto ticket = engine_->Submit(
       [src, dst, count] { std::memcpy(dst, src, count * sizeof(float)); });
-  inflight_[step.buffer] = InflightCopy{ticket, /*is_swap_out=*/false};
+  inflight_[step.buffer] =
+      InflightCopy{ticket, /*is_swap_out=*/false, /*retained=*/{}};
   return Status::OK();
 }
 
@@ -297,10 +308,37 @@ Status FunctionalExecutor::Run(const rewrite::Program& program) {
   if (compiled_exec_) {
     RETURN_IF_ERROR(EnsureCompiled(program));
     last_run_compiled_ = true;
+    RETURN_IF_ERROR(VerifyBeforeRun(program, compiled_.get()));
     return RunCompiled(*compiled_);
   }
   last_run_compiled_ = false;
+  RETURN_IF_ERROR(VerifyBeforeRun(program, nullptr));
   return RunReference(program);
+}
+
+Status FunctionalExecutor::VerifyBeforeRun(const rewrite::Program& program,
+                                           const CompiledProgram* compiled) {
+  if (!verify_before_run_) return Status::OK();
+  const uint64_t fingerprint = program.Fingerprint();
+  const bool covers_compiled = compiled != nullptr;
+  // One verification per program version (and per lowering, when compiled).
+  if (fingerprint == verified_fingerprint_ &&
+      covers_compiled == verified_compiled_) {
+    return Status::OK();
+  }
+  analysis::VerifyOptions options;
+  options.capacity_bytes = pool_.capacity();
+  std::vector<analysis::Diagnostic> diagnostics =
+      analysis::VerifyProgram(*graph_, program, options);
+  if (compiled != nullptr) {
+    std::vector<analysis::Diagnostic> more =
+        analysis::VerifyCompiled(*graph_, program, *compiled);
+    for (analysis::Diagnostic& d : more) diagnostics.push_back(std::move(d));
+  }
+  RETURN_IF_ERROR(analysis::ToStatus(diagnostics, graph_));
+  verified_fingerprint_ = fingerprint;
+  verified_compiled_ = covers_compiled;
+  return Status::OK();
 }
 
 Status FunctionalExecutor::RunReference(const rewrite::Program& program) {

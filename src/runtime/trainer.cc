@@ -1,5 +1,6 @@
 #include "runtime/trainer.h"
 
+#include "analysis/verifier.h"
 #include "graph/liveness.h"
 #include "graph/schedule.h"
 #include "planner/planner.h"
@@ -52,6 +53,18 @@ Result<std::unique_ptr<Trainer>> Trainer::Create(models::Model model,
                    rewrite::GenerateProgram(m.graph, schedule,
                                             trainer->plan_, profile));
 
+  if (opts.verify_before_run) {
+    // Cross-artifact static verification before anything executes: the
+    // capacity matches what Step provisions the executor with (planning
+    // budget + 25% headroom).
+    analysis::VerifyOptions verify_options;
+    verify_options.capacity_bytes = capacity + capacity / 4;
+    std::vector<analysis::Diagnostic> diagnostics = analysis::VerifyAll(
+        m.graph, &schedule, &trainer->plan_, &trainer->program_,
+        /*compiled=*/nullptr, verify_options);
+    RETURN_IF_ERROR(analysis::ToStatus(diagnostics, &m.graph));
+  }
+
   // Parameter initialization.
   auto bindings = MakeRandomBindings(m.graph, opts.init_seed);
   for (TensorId id : m.parameters) {
@@ -71,6 +84,7 @@ Result<StepResult> Trainer::Step(Tensor batch, Tensor labels) {
                                                      capacity_ +
                                                          capacity_ / 4);
     executor_->set_keep_freed_values(false);
+    executor_->set_verify_before_run(options_.verify_before_run);
     executor_->RetainValue(model_.loss);
     for (auto [param, grad] : model_.autodiff.param_grads) {
       (void)param;

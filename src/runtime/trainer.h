@@ -31,6 +31,15 @@ struct TrainerOptions {
   float learning_rate = 0.05f;
   float momentum = 0.9f;
   uint64_t init_seed = 1;
+  // Statically verify the planning artifacts (schedule, plan, program) at
+  // Create, and the program again before each executor Run (memoized by
+  // fingerprint). Error-severity findings fail Create/Step with the
+  // rendered diagnostics. Defaults to on in debug builds.
+#ifdef NDEBUG
+  bool verify_before_run = false;
+#else
+  bool verify_before_run = true;
+#endif
 };
 
 struct StepResult {

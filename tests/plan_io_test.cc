@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "graph/schedule.h"
 #include "models/model.h"
@@ -93,6 +96,83 @@ TEST(PlanIoTest, RejectsMalformedLines) {
                 .status()
                 .code(),
             StatusCode::kInvalidArgument);
+}
+
+TEST(PlanIoTest, RejectsNonNumericSplitConfig) {
+  // istream extraction would silently fail on "abc" and drop the split;
+  // the parser must report it instead of defaulting to unsplit.
+  TestBench bench = MakePlanned();
+  auto parsed = ParsePlan(bench.model.graph, "conv1_1 swap abc 0\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().ToString().find("not numeric"),
+            std::string::npos)
+      << parsed.status().ToString();
+  // "4x" must not parse as 4.
+  EXPECT_EQ(ParsePlan(bench.model.graph, "conv1_1 swap 4x 0\n")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PlanIoTest, RejectsTrailingGarbage) {
+  TestBench bench = MakePlanned();
+  auto parsed = ParsePlan(bench.model.graph, "conv1_1 swap 4 0 junk\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().ToString().find("trailing garbage"),
+            std::string::npos)
+      << parsed.status().ToString();
+}
+
+TEST(PlanIoTest, RejectsSplitInvalidForShape) {
+  TestBench bench = MakePlanned();
+  // dim out of range for the tensor's rank.
+  auto out_of_range = ParsePlan(bench.model.graph, "conv1_1 swap 4 9\n");
+  ASSERT_FALSE(out_of_range.ok());
+  EXPECT_NE(out_of_range.status().ToString().find("out of range"),
+            std::string::npos)
+      << out_of_range.status().ToString();
+  // p_num exceeding the extent of the chosen dim (batch is 8).
+  auto too_many = ParsePlan(bench.model.graph, "conv1_1 swap 512 0\n");
+  ASSERT_FALSE(too_many.ok());
+  EXPECT_NE(too_many.status().ToString().find("exceeds extent"),
+            std::string::npos)
+      << too_many.status().ToString();
+  // p_num below the minimum.
+  EXPECT_EQ(ParsePlan(bench.model.graph, "conv1_1 swap 1 0\n")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PlanIoTest, RejectsDuplicateEntries) {
+  TestBench bench = MakePlanned();
+  auto parsed = ParsePlan(bench.model.graph,
+                          "conv1_1 swap\nconv1_1 recompute\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().ToString().find("duplicate"), std::string::npos)
+      << parsed.status().ToString();
+}
+
+TEST(PlanIoTest, PlanToStringIsInsertionOrderIndependent) {
+  // ToString must render in tensor-id order, not hash-table order, so two
+  // plans with the same decisions inserted in opposite orders print
+  // identically (diffable logs, golden comparisons).
+  TestBench bench = MakePlanned();
+  std::vector<std::pair<TensorId, STensorConfig>> entries(
+      bench.plan.configs.begin(), bench.plan.configs.end());
+  Plan forward, backward;
+  forward.planner_name = backward.planner_name = bench.plan.planner_name;
+  for (const auto& [id, config] : entries) forward.Set(id, config);
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    backward.Set(it->first, it->second);
+  }
+  std::string rendered = forward.ToString(bench.model.graph);
+  EXPECT_EQ(rendered, backward.ToString(bench.model.graph));
+  // Sanity: id order means the render itself is reproducible across runs.
+  EXPECT_EQ(rendered, bench.plan.ToString(bench.model.graph));
 }
 
 TEST(PlanIoTest, MissingFileIsNotFound) {

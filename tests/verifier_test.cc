@@ -1,0 +1,439 @@
+// Static verifier (src/analysis): every model family's artifacts —
+// schedule, plan, augmented program, compiled lowering — must verify
+// clean under both a reside-only Base plan and a tight-budget TSPLIT
+// plan; deliberately corrupted artifacts must produce exactly the
+// documented TSV code; and the executors' opt-in pre-run gate must turn
+// a corrupted program into a FailedPrecondition instead of executing it.
+// Tests assert on diagnostic codes, never message text (the registry
+// contract, analysis/diagnostic.h).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "analysis/verifier.h"
+#include "graph/liveness.h"
+#include "graph/schedule.h"
+#include "models/model.h"
+#include "ops/dropout.h"
+#include "planner/planner.h"
+#include "planner/profile.h"
+#include "planner/tsplit_planner.h"
+#include "rewrite/program.h"
+#include "runtime/compiled_program.h"
+#include "runtime/functional_executor.h"
+#include "runtime/interpreter.h"
+
+namespace tsplit::analysis {
+namespace {
+
+struct TestBench {
+  models::Model model;
+  Schedule schedule;
+  planner::GraphProfile profile;
+  MemoryProfile baseline;
+};
+
+TestBench MakeBench(models::Model model) {
+  auto schedule = BuildSchedule(model.graph);
+  TSPLIT_CHECK_OK(schedule.status());
+  auto profile = planner::ProfileGraph(model.graph, sim::TitanRtx());
+  auto baseline = ComputeMemoryProfile(model.graph, *schedule);
+  return TestBench{std::move(model), std::move(*schedule),
+                   std::move(profile), baseline};
+}
+
+TestBench MakeBenchByName(const std::string& name) {
+  if (name == "vgg16") {
+    models::CnnConfig config;
+    config.batch = 8;
+    config.image_size = 16;
+    config.num_classes = 4;
+    config.channel_scale = 8.0 / 64.0;
+    auto model = models::BuildVgg(16, config);
+    TSPLIT_CHECK_OK(model.status());
+    return MakeBench(std::move(*model));
+  }
+  if (name == "resnet50") {
+    models::CnnConfig config;
+    config.batch = 2;
+    config.image_size = 32;
+    config.num_classes = 3;
+    config.channel_scale = 4.0 / 64.0;
+    auto model = models::BuildResNet(50, config);
+    TSPLIT_CHECK_OK(model.status());
+    return MakeBench(std::move(*model));
+  }
+  if (name == "gpt") {
+    models::GptConfig config;
+    config.num_layers = 2;
+    config.batch = 2;
+    config.seq_len = 16;
+    config.hidden = 32;
+    config.num_heads = 2;
+    config.vocab = 64;
+    auto model = models::BuildGpt(config);
+    TSPLIT_CHECK_OK(model.status());
+    return MakeBench(std::move(*model));
+  }
+  if (name == "transformer") {
+    models::TransformerConfig config;
+    config.num_layers = 2;
+    config.batch = 2;
+    config.seq_len = 8;
+    config.hidden = 16;
+    config.num_heads = 2;
+    config.ffn_mult = 2;
+    config.vocab = 32;
+    auto model = models::BuildTransformer(config);
+    TSPLIT_CHECK_OK(model.status());
+    return MakeBench(std::move(*model));
+  }
+  auto model = models::BuildMlp({});
+  TSPLIT_CHECK_OK(model.status());
+  return MakeBench(std::move(*model));
+}
+
+size_t EvictableBudget(const TestBench& bench, double fraction) {
+  size_t floor = bench.baseline.always_live_bytes +
+                 bench.model.graph.BytesOfKind(TensorKind::kParamGrad);
+  return floor + static_cast<size_t>(
+                     (bench.baseline.peak_bytes - floor) * fraction);
+}
+
+struct Artifacts {
+  planner::Plan plan;
+  rewrite::Program program;
+  runtime::CompiledProgram compiled;
+  size_t capacity = 0;  // budget + Trainer's 25% headroom
+};
+
+Artifacts MakeArtifactsFromPlan(const TestBench& bench, planner::Plan plan,
+                                size_t budget) {
+  auto program = rewrite::GenerateProgram(bench.model.graph, bench.schedule,
+                                          plan, bench.profile);
+  TSPLIT_CHECK_OK(program.status());
+  auto compiled = runtime::CompiledProgram::Compile(bench.model.graph,
+                                                    *program);
+  TSPLIT_CHECK_OK(compiled.status());
+  return Artifacts{std::move(plan), std::move(*program),
+                   std::move(*compiled), budget + budget / 4};
+}
+
+Artifacts MakeArtifacts(const TestBench& bench, const std::string& planner,
+                        size_t budget) {
+  auto plan = planner::MakePlanner(planner)->BuildPlan(
+      bench.model.graph, bench.schedule, bench.profile, budget);
+  TSPLIT_CHECK_OK(plan.status());
+  return MakeArtifactsFromPlan(bench, std::move(*plan), budget);
+}
+
+// ---------------------------------------------------------------------
+// Clean verification: five families x {reside-only Base, tight TSPLIT}.
+// ---------------------------------------------------------------------
+
+class VerifierCleanTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(VerifierCleanTest, BasePlanVerifiesClean) {
+  TestBench bench = MakeBenchByName(GetParam());
+  Artifacts a =
+      MakeArtifacts(bench, "Base", bench.baseline.peak_bytes);
+  VerifyOptions options;
+  options.capacity_bytes = a.capacity;
+  auto diags = VerifyAll(bench.model.graph, &bench.schedule, &a.plan,
+                         &a.program, &a.compiled, options);
+  EXPECT_FALSE(HasErrors(diags))
+      << RenderAll(diags, &bench.model.graph);
+}
+
+TEST_P(VerifierCleanTest, TightTsplitPlanVerifiesClean) {
+  TestBench bench = MakeBenchByName(GetParam());
+  Artifacts a =
+      MakeArtifacts(bench, "TSPLIT", EvictableBudget(bench, 0.5));
+  VerifyOptions options;
+  options.capacity_bytes = a.capacity;
+  auto diags = VerifyAll(bench.model.graph, &bench.schedule, &a.plan,
+                         &a.program, &a.compiled, options);
+  EXPECT_FALSE(HasErrors(diags))
+      << RenderAll(diags, &bench.model.graph);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, VerifierCleanTest,
+                         ::testing::Values("mlp", "vgg16", "resnet50",
+                                           "gpt", "transformer"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+// A plan guaranteed to contain tensor splits (the planner only reaches
+// for splits on much larger workloads than the test benches): split
+// every 4D conv activation along the channel axis with per-micro swap —
+// channel splits force the lowering to materialize multi-part merge
+// tiles for consumers that need the whole tensor.
+Artifacts MakeSplitArtifacts(const TestBench& bench) {
+  planner::Plan plan;
+  plan.planner_name = "hand-split";
+  for (const TensorDesc& t : bench.model.graph.tensors()) {
+    if (t.kind == TensorKind::kActivation && t.shape.rank() == 4 &&
+        t.shape.dim(1) >= 4) {
+      plan.Set(t.id, STensorConfig{MemOpt::kSwap, SplitConfig{2, 1}});
+    }
+  }
+  TSPLIT_CHECK(plan.CountSplit() > 0);
+  Artifacts a = MakeArtifactsFromPlan(bench, std::move(plan),
+                                      bench.baseline.peak_bytes);
+  TSPLIT_CHECK(a.program.num_micro_computes > 0);
+  return a;
+}
+
+// ---------------------------------------------------------------------
+// Negative cases: each corruption yields its documented code.
+// ---------------------------------------------------------------------
+
+TEST(VerifierNegativeTest, ShuffledScheduleIsTSV001) {
+  TestBench bench = MakeBenchByName("mlp");
+  Schedule bad = bench.schedule;
+  ASSERT_GE(bad.order.size(), 2u);
+  // Swapping the first two ops breaks producer-before-consumer (and the
+  // pos_of_op agreement) somewhere in a chain-structured MLP.
+  std::swap(bad.order.front(), bad.order[1]);
+  auto diags = VerifySchedule(bench.model.graph, bad);
+  EXPECT_TRUE(HasCode(diags, "TSV001"))
+      << RenderAll(diags, &bench.model.graph);
+}
+
+TEST(VerifierNegativeTest, RemovedSwapInIsTSV004) {
+  TestBench bench = MakeBenchByName("vgg16");
+  Artifacts a = MakeArtifacts(bench, "TSPLIT", EvictableBudget(bench, 0.5));
+  auto it = std::find_if(a.program.steps.begin(), a.program.steps.end(),
+                         [](const rewrite::Step& s) {
+                           return s.kind == rewrite::StepKind::kSwapIn;
+                         });
+  ASSERT_NE(it, a.program.steps.end()) << "plan produced no swap";
+  a.program.steps.erase(it);
+  auto diags = VerifyProgram(bench.model.graph, a.program);
+  EXPECT_TRUE(HasCode(diags, "TSV004"))
+      << RenderAll(diags, &bench.model.graph);
+}
+
+TEST(VerifierNegativeTest, DoubleFreeIsTSV005) {
+  TestBench bench = MakeBenchByName("mlp");
+  Artifacts a = MakeArtifacts(bench, "Base", bench.baseline.peak_bytes);
+  auto it = std::find_if(a.program.steps.begin(), a.program.steps.end(),
+                         [](const rewrite::Step& s) {
+                           return s.kind == rewrite::StepKind::kFree;
+                         });
+  ASSERT_NE(it, a.program.steps.end());
+  a.program.steps.insert(std::next(it), *it);  // free the buffer twice
+  auto diags = VerifyProgram(bench.model.graph, a.program);
+  EXPECT_TRUE(HasCode(diags, "TSV005"))
+      << RenderAll(diags, &bench.model.graph);
+}
+
+// An RNG op whose mask is NOT regenerable (no counter seed): replaying it
+// would produce a different value than the original execution.
+class UnseededDropoutOp : public ops::DropoutOp {
+ public:
+  UnseededDropoutOp() : ops::DropoutOp(0.1f, 42) {}
+  std::string type_name() const override { return "UnseededDropout"; }
+  bool recompute_safe() const override { return false; }
+};
+
+TEST(VerifierNegativeTest, RecomputeOfRngOpIsTSV006) {
+  auto model = models::BuildMlp({});
+  TSPLIT_CHECK_OK(model.status());
+  auto grafted = model->graph.AddOp(std::make_unique<UnseededDropoutOp>(),
+                                    "rng_tap", {model->loss});
+  TSPLIT_CHECK_OK(grafted.status());
+  TestBench bench = MakeBench(std::move(*model));
+  Artifacts a = MakeArtifacts(bench, "Base", bench.baseline.peak_bytes);
+  bool marked = false;
+  for (rewrite::Step& step : a.program.steps) {
+    if (step.kind != rewrite::StepKind::kCompute) continue;
+    if (!bench.model.graph.node(step.op).op->recompute_safe()) {
+      step.is_recompute = true;
+      marked = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(marked);
+  auto diags = VerifyProgram(bench.model.graph, a.program);
+  EXPECT_TRUE(HasCode(diags, "TSV006"))
+      << RenderAll(diags, &bench.model.graph);
+}
+
+TEST(VerifierNegativeTest, MicroIndexOutOfRangeIsTSV007) {
+  TestBench bench = MakeBenchByName("vgg16");
+  Artifacts a = MakeSplitArtifacts(bench);
+  bool mutated = false;
+  for (rewrite::Step& step : a.program.steps) {
+    if (step.kind == rewrite::StepKind::kCompute && step.micro >= 0) {
+      step.micro = step.p_num;  // one past the last valid part
+      mutated = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(mutated) << "plan produced no micro-compute";
+  auto diags = VerifyProgram(bench.model.graph, a.program);
+  EXPECT_TRUE(HasCode(diags, "TSV007"))
+      << RenderAll(diags, &bench.model.graph);
+}
+
+TEST(VerifierNegativeTest, PlanForUnknownTensorIsTSV010) {
+  TestBench bench = MakeBenchByName("mlp");
+  planner::Plan plan;
+  plan.Set(9999, STensorConfig{MemOpt::kSwap, SplitConfig{}});
+  auto diags = VerifyPlan(bench.model.graph, plan);
+  EXPECT_TRUE(HasCode(diags, "TSV010"))
+      << RenderAll(diags, &bench.model.graph);
+}
+
+TEST(VerifierNegativeTest, TinyCapacityIsTSV012) {
+  TestBench bench = MakeBenchByName("mlp");
+  Artifacts a = MakeArtifacts(bench, "Base", bench.baseline.peak_bytes);
+  VerifyOptions options;
+  options.capacity_bytes = 1024;  // nothing fits in 1 KB
+  auto diags = VerifyProgram(bench.model.graph, a.program, options);
+  EXPECT_TRUE(HasCode(diags, "TSV012"))
+      << RenderAll(diags, &bench.model.graph);
+}
+
+TEST(VerifierNegativeTest, FingerprintMismatchIsTSV020) {
+  TestBench bench = MakeBenchByName("mlp");
+  Artifacts a = MakeArtifacts(bench, "Base", bench.baseline.peak_bytes);
+  // Mutating the program after compilation makes the lowering stale.
+  ASSERT_FALSE(a.program.steps.empty());
+  a.program.steps.pop_back();
+  auto diags = VerifyCompiled(bench.model.graph, a.program, a.compiled);
+  EXPECT_TRUE(HasCode(diags, "TSV020"))
+      << RenderAll(diags, &bench.model.graph);
+}
+
+TEST(VerifierNegativeTest, DuplicatedFreeInstrIsTSV021) {
+  TestBench bench = MakeBenchByName("mlp");
+  Artifacts a = MakeArtifacts(bench, "Base", bench.baseline.peak_bytes);
+  auto it = std::find_if(a.compiled.instrs.begin(), a.compiled.instrs.end(),
+                         [](const runtime::compiled::Instr& i) {
+                           return i.kind ==
+                                  runtime::compiled::InstrKind::kFree;
+                         });
+  ASSERT_NE(it, a.compiled.instrs.end());
+  a.compiled.instrs.insert(std::next(it), *it);  // touches a dead slot
+  auto diags = VerifyCompiled(bench.model.graph, a.program, a.compiled);
+  EXPECT_TRUE(HasCode(diags, "TSV021"))
+      << RenderAll(diags, &bench.model.graph);
+}
+
+TEST(VerifierNegativeTest, WorkspaceOverHighwaterIsTSV022) {
+  TestBench bench = MakeBenchByName("mlp");
+  Artifacts a = MakeArtifacts(bench, "Base", bench.baseline.peak_bytes);
+  ASSERT_FALSE(a.compiled.computes.empty());
+  a.compiled.computes.front().workspace_bytes =
+      a.compiled.workspace_highwater + (64u << 20);
+  auto diags = VerifyCompiled(bench.model.graph, a.program, a.compiled);
+  EXPECT_TRUE(HasCode(diags, "TSV022"))
+      << RenderAll(diags, &bench.model.graph);
+}
+
+TEST(VerifierNegativeTest, OverlappingScatterTilesAreTSV023) {
+  TestBench bench = MakeBenchByName("vgg16");
+  Artifacts a = MakeSplitArtifacts(bench);
+  bool mutated = false;
+  for (runtime::compiled::ScatterInstr& scatter : a.compiled.scatters) {
+    if (scatter.offsets.size() >= 2) {
+      scatter.offsets[1] = scatter.offsets[0];  // two tiles collide
+      mutated = true;
+      break;
+    }
+  }
+  if (!mutated) {
+    for (runtime::compiled::MergeRef& merge : a.compiled.merges) {
+      if (merge.offsets.size() >= 2) {
+        merge.offsets[1] = merge.offsets[0];
+        mutated = true;
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(mutated) << "split plan produced no scatter/merge tiles";
+  auto diags = VerifyCompiled(bench.model.graph, a.program, a.compiled);
+  EXPECT_TRUE(HasCode(diags, "TSV023"))
+      << RenderAll(diags, &bench.model.graph);
+}
+
+// ---------------------------------------------------------------------
+// Executor pre-run gate: a corrupted program must fail before running.
+// ---------------------------------------------------------------------
+
+TEST(VerifierGateTest, ExecutorRejectsCorruptedProgram) {
+  TestBench bench = MakeBenchByName("vgg16");
+  Artifacts a = MakeArtifacts(bench, "TSPLIT", EvictableBudget(bench, 0.5));
+  auto it = std::find_if(a.program.steps.begin(), a.program.steps.end(),
+                         [](const rewrite::Step& s) {
+                           return s.kind == rewrite::StepKind::kSwapIn;
+                         });
+  ASSERT_NE(it, a.program.steps.end());
+  a.program.steps.erase(it);
+
+  runtime::FunctionalExecutor exec(&bench.model.graph, a.capacity);
+  exec.set_verify_before_run(true);
+  auto bindings = runtime::MakeRandomBindings(bench.model.graph, 17);
+  for (auto& [id, value] : bindings) {
+    TSPLIT_CHECK_OK(exec.Bind(id, std::move(value)));
+  }
+  Status status = exec.Run(a.program);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition)
+      << status.ToString();
+}
+
+TEST(VerifierGateTest, ExecutorAcceptsCleanProgramWhenGated) {
+  TestBench bench = MakeBenchByName("mlp");
+  Artifacts a = MakeArtifacts(bench, "Base", bench.baseline.peak_bytes);
+  runtime::FunctionalExecutor exec(&bench.model.graph, a.capacity);
+  exec.set_verify_before_run(true);
+  auto bindings = runtime::MakeRandomBindings(bench.model.graph, 17);
+  for (auto& [id, value] : bindings) {
+    TSPLIT_CHECK_OK(exec.Bind(id, std::move(value)));
+  }
+  TSPLIT_CHECK_OK(exec.Run(a.program));
+}
+
+// ---------------------------------------------------------------------
+// Registry hygiene.
+// ---------------------------------------------------------------------
+
+TEST(DiagnosticRegistryTest, CodesAreSortedUniqueAndRenderable) {
+  const auto& registry = DiagnosticRegistry();
+  ASSERT_FALSE(registry.empty());
+  for (size_t i = 1; i < registry.size(); ++i) {
+    EXPECT_LT(std::string(registry[i - 1].code),
+              std::string(registry[i].code));
+  }
+  for (const DiagnosticInfo& info : registry) {
+    EXPECT_NE(FindDiagnostic(info.code), nullptr);
+    Diagnostic d = MakeDiagnostic(info.code, "probe");
+    EXPECT_EQ(d.severity, info.severity);
+    EXPECT_NE(Render(d).find(info.code), std::string::npos);
+  }
+  EXPECT_EQ(FindDiagnostic("TSV999"), nullptr);
+}
+
+TEST(DiagnosticRegistryTest, ToStatusFoldsErrorsOnly) {
+  std::vector<Diagnostic> warnings_only = {
+      MakeDiagnostic("TSV008", "leak probe")};
+  EXPECT_TRUE(ToStatus(warnings_only).ok());
+  std::vector<Diagnostic> with_error = {
+      MakeDiagnostic("TSV008", "leak probe"),
+      MakeDiagnostic("TSV004", "residency probe")};
+  Status status = ToStatus(with_error);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("TSV004"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tsplit::analysis

@@ -1,0 +1,374 @@
+// tsplit_lint: static verification of TSPLIT planning artifacts without
+// executing them. Builds a model, schedules it, obtains a plan (from a
+// planner or a plan file), generates the augmented program, lowers it, and
+// runs every analysis/verifier.h lint over the chain. Findings print as
+// "severity[CODE] message (location)" lines.
+//
+// Usage:
+//   tsplit_lint [--model NAME] [--batch N] [--scale F]
+//               [--planner NAME | --plan FILE]
+//               [--capacity-mb N | --fraction F] [--lookahead N]
+//               [--corrupt KIND] [--list-codes]
+//
+//   --model NAME      model zoo name (default MLP; see models::BuildByName)
+//   --batch N         batch size (default 8)
+//   --scale F         parameter-scale knob (default 1.0)
+//   --planner NAME    planner to build the plan with (default TSPLIT)
+//   --plan FILE       load the plan from FILE instead of planning
+//   --capacity-mb N   device budget in MiB for planning + feasibility
+//   --fraction F      derive the budget: floor + F * (peak - floor)
+//                     (default 0.6 when --capacity-mb is absent)
+//   --lookahead N     compile-time swap-in prefetch depth (default 0)
+//   --corrupt KIND    inject a deliberate defect first (self-test/demo):
+//                       swap-in-after-use  move a kSwapIn past its consumer
+//                       overlap-offsets    overlap compiled scatter extents
+//                       recompute-rng      mark an RNG op's compute step
+//                                          as recompute
+//   --list-codes      print the diagnostic registry and exit
+//
+// Exit status: 0 = clean (warnings allowed), 1 = error-severity
+// diagnostics, 2 = usage error or pipeline failure.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "analysis/verifier.h"
+#include "graph/liveness.h"
+#include "graph/schedule.h"
+#include "models/model.h"
+#include "ops/dropout.h"
+#include "planner/plan_io.h"
+#include "planner/planner.h"
+#include "planner/profile.h"
+#include "rewrite/program.h"
+#include "runtime/compiled_program.h"
+
+namespace {
+
+using namespace tsplit;  // NOLINT(google-build-using-namespace)
+
+struct Args {
+  std::string model = "MLP";
+  int batch = 8;
+  double scale = 1.0;
+  std::string planner = "TSPLIT";
+  std::string plan_file;
+  size_t capacity_mb = 0;
+  double fraction = 0.6;
+  int lookahead = 0;
+  std::string corrupt;
+  bool list_codes = false;
+};
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: tsplit_lint [--model NAME] [--batch N] [--scale F]\n"
+      "                   [--planner NAME | --plan FILE]\n"
+      "                   [--capacity-mb N | --fraction F] [--lookahead N]\n"
+      "                   [--corrupt swap-in-after-use|overlap-offsets|"
+      "recompute-rng]\n"
+      "                   [--list-codes]\n");
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--list-codes") {
+      args->list_codes = true;
+    } else if (flag == "--model") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      args->model = v;
+    } else if (flag == "--batch") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      args->batch = std::atoi(v);
+    } else if (flag == "--scale") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      args->scale = std::atof(v);
+    } else if (flag == "--planner") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      args->planner = v;
+    } else if (flag == "--plan") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      args->plan_file = v;
+    } else if (flag == "--capacity-mb") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      args->capacity_mb = static_cast<size_t>(std::atoll(v));
+    } else if (flag == "--fraction") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      args->fraction = std::atof(v);
+    } else if (flag == "--lookahead") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      args->lookahead = std::atoi(v);
+    } else if (flag == "--corrupt") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      args->corrupt = v;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+void ListCodes() {
+  for (const analysis::DiagnosticInfo& info :
+       analysis::DiagnosticRegistry()) {
+    std::printf("%s  %-7s  %s\n", info.code,
+                analysis::SeverityToString(info.severity), info.summary);
+  }
+}
+
+// A dropout whose mask is NOT derivable from a stored seed: the one op
+// family whose recomputation is semantically unsafe. Used to demonstrate
+// TSV006 on an otherwise valid program.
+class UnseededDropoutOp : public ops::DropoutOp {
+ public:
+  UnseededDropoutOp() : ops::DropoutOp(0.1f, 42) {}
+  std::string type_name() const override { return "UnseededDropout"; }
+  bool recompute_safe() const override { return false; }
+};
+
+// Moves the first kSwapIn step to just after the first later compute that
+// reads its buffer — the swap-in now lands too late (TSV004).
+bool CorruptSwapInAfterUse(rewrite::Program* program) {
+  for (size_t i = 0; i < program->steps.size(); ++i) {
+    if (program->steps[i].kind != rewrite::StepKind::kSwapIn) continue;
+    const rewrite::BufferKey key = program->steps[i].buffer;
+    for (size_t j = i + 1; j < program->steps.size(); ++j) {
+      const rewrite::Step& step = program->steps[j];
+      if (step.kind != rewrite::StepKind::kCompute) continue;
+      bool reads = false;
+      for (const auto& group : step.inputs) {
+        for (const auto& k : group) reads = reads || k == key;
+      }
+      if (!reads) continue;
+      rewrite::Step moved = program->steps[i];
+      program->steps.erase(program->steps.begin() +
+                           static_cast<ptrdiff_t>(i));
+      program->steps.insert(program->steps.begin() +
+                                static_cast<ptrdiff_t>(j),  // j shifted left
+                            std::move(moved));
+      return true;
+    }
+  }
+  return false;
+}
+
+// Duplicates a compiled scatter offset so two micro parts overlap
+// (TSV023).
+bool CorruptOverlapOffsets(runtime::CompiledProgram* compiled) {
+  for (auto& scatter : compiled->scatters) {
+    if (scatter.offsets.size() >= 2) {
+      scatter.offsets[1] = scatter.offsets[0];
+      return true;
+    }
+  }
+  for (auto& merge : compiled->merges) {
+    if (merge.offsets.size() >= 2) {
+      merge.offsets[1] = merge.offsets[0];
+      return true;
+    }
+  }
+  return false;
+}
+
+// Marks the RNG-bearing op's compute step as a recompute (TSV006).
+bool CorruptRecomputeRng(const Graph& graph, rewrite::Program* program) {
+  for (rewrite::Step& step : program->steps) {
+    if (step.kind != rewrite::StepKind::kCompute) continue;
+    if (step.op < 0 || step.op >= graph.num_ops()) continue;
+    if (!graph.node(step.op).op->recompute_safe()) {
+      step.is_recompute = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+int RunLint(const Args& args) {
+  // ---- model ----
+  Result<models::Model> model_or = models::BuildByName(
+      args.model, args.batch, args.scale, /*with_backward=*/true);
+  if (!model_or.ok()) {
+    std::fprintf(stderr, "building %s failed: %s\n", args.model.c_str(),
+                 model_or.status().ToString().c_str());
+    return 2;
+  }
+  models::Model model = std::move(model_or).value();
+  Graph& graph = model.graph;
+
+  // For --corrupt=recompute-rng the model graph gets one extra
+  // RNG-bearing (recompute-unsafe) op grafted onto the loss path so the
+  // program contains a step the lint can flag.
+  if (args.corrupt == "recompute-rng") {
+    Result<std::vector<TensorId>> out = graph.AddOp(
+        std::make_unique<UnseededDropoutOp>(), "rng_tap", {model.loss});
+    if (!out.ok()) {
+      std::fprintf(stderr, "grafting RNG op failed: %s\n",
+                   out.status().ToString().c_str());
+      return 2;
+    }
+  }
+
+  Result<Schedule> schedule_or = BuildSchedule(graph);
+  if (!schedule_or.ok()) {
+    std::fprintf(stderr, "scheduling failed: %s\n",
+                 schedule_or.status().ToString().c_str());
+    return 2;
+  }
+  Schedule schedule = std::move(schedule_or).value();
+  planner::GraphProfile profile =
+      planner::ProfileGraph(graph, sim::TitanRtx());
+
+  // ---- budget ----
+  size_t capacity;
+  if (args.capacity_mb > 0) {
+    capacity = args.capacity_mb * (size_t{1} << 20);
+  } else {
+    MemoryProfile baseline = ComputeMemoryProfile(graph, schedule);
+    size_t floor = baseline.always_live_bytes +
+                   graph.BytesOfKind(TensorKind::kParamGrad);
+    capacity = floor + static_cast<size_t>(
+                           static_cast<double>(baseline.peak_bytes - floor) *
+                           args.fraction);
+  }
+
+  // ---- plan ----
+  planner::Plan plan;
+  if (!args.plan_file.empty()) {
+    Result<planner::Plan> plan_or = planner::LoadPlan(graph, args.plan_file);
+    if (!plan_or.ok()) {
+      std::fprintf(stderr, "loading plan %s failed: %s\n",
+                   args.plan_file.c_str(),
+                   plan_or.status().ToString().c_str());
+      return 2;
+    }
+    plan = std::move(plan_or).value();
+  } else {
+    auto planner = planner::MakePlanner(args.planner);
+    if (planner == nullptr) {
+      std::fprintf(stderr, "unknown planner %s\n", args.planner.c_str());
+      return 2;
+    }
+    Result<planner::Plan> plan_or =
+        planner->BuildPlan(graph, schedule, profile, capacity);
+    if (!plan_or.ok()) {
+      std::fprintf(stderr, "planning failed: %s\n",
+                   plan_or.status().ToString().c_str());
+      return 2;
+    }
+    plan = std::move(plan_or).value();
+  }
+
+  // ---- program + lowering ----
+  Result<rewrite::Program> program_or =
+      rewrite::GenerateProgram(graph, schedule, plan, profile);
+  if (!program_or.ok()) {
+    std::fprintf(stderr, "program generation failed: %s\n",
+                 program_or.status().ToString().c_str());
+    return 2;
+  }
+  rewrite::Program program = std::move(program_or).value();
+
+  if (args.corrupt == "swap-in-after-use") {
+    if (!CorruptSwapInAfterUse(&program)) {
+      std::fprintf(stderr,
+                   "corrupt=swap-in-after-use: program has no swap-in with "
+                   "a later consumer (try a swapping planner / tighter "
+                   "budget)\n");
+      return 2;
+    }
+  } else if (args.corrupt == "recompute-rng") {
+    if (!CorruptRecomputeRng(graph, &program)) {
+      std::fprintf(stderr, "corrupt=recompute-rng: no RNG op step found\n");
+      return 2;
+    }
+  }
+
+  runtime::CompileOptions compile_options;
+  compile_options.swap_in_lookahead = args.lookahead;
+  Result<runtime::CompiledProgram> compiled_or =
+      runtime::CompiledProgram::Compile(graph, program, compile_options);
+  if (!compiled_or.ok()) {
+    std::fprintf(stderr, "lowering failed: %s\n",
+                 compiled_or.status().ToString().c_str());
+    return 2;
+  }
+  runtime::CompiledProgram compiled = std::move(compiled_or).value();
+
+  if (args.corrupt == "overlap-offsets") {
+    if (!CorruptOverlapOffsets(&compiled)) {
+      std::fprintf(stderr,
+                   "corrupt=overlap-offsets: compiled program has no "
+                   "multi-part scatter (use a splitting planner)\n");
+      return 2;
+    }
+  } else if (!args.corrupt.empty() &&
+             args.corrupt != "swap-in-after-use" &&
+             args.corrupt != "recompute-rng") {
+    std::fprintf(stderr, "unknown corruption kind %s\n",
+                 args.corrupt.c_str());
+    return 2;
+  }
+
+  // ---- verify ----
+  analysis::VerifyOptions options;
+  // The feasibility budget matches what Trainer provisions: the planning
+  // budget plus 25% headroom for alignment / transient ordering.
+  options.capacity_bytes = capacity + capacity / 4;
+  std::vector<analysis::Diagnostic> diagnostics = analysis::VerifyAll(
+      graph, &schedule, &plan, &program, &compiled, options);
+
+  std::printf("model=%s batch=%d planner=%s budget=%zu bytes\n",
+              args.model.c_str(), args.batch,
+              args.plan_file.empty() ? args.planner.c_str()
+                                     : args.plan_file.c_str(),
+              capacity);
+  std::printf("steps=%zu instrs=%zu slots=%zu replay_peak=%zu bytes\n",
+              program.steps.size(), compiled.instrs.size(),
+              compiled.slots.size(),
+              analysis::ReplayPeakBytes(graph, program));
+  if (diagnostics.empty()) {
+    std::printf("clean: no findings\n");
+    return 0;
+  }
+  std::fputs(analysis::RenderAll(diagnostics, &graph).c_str(), stdout);
+  std::printf("%d error(s), %zu warning(s)\n",
+              analysis::CountErrors(diagnostics),
+              diagnostics.size() -
+                  static_cast<size_t>(analysis::CountErrors(diagnostics)));
+  return analysis::HasErrors(diagnostics) ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    PrintUsage();
+    return 2;
+  }
+  if (args.list_codes) {
+    ListCodes();
+    return 0;
+  }
+  return RunLint(args);
+}
