@@ -12,6 +12,7 @@
 #include "models/model.h"
 #include "planner/planner.h"
 #include "rewrite/program.h"
+#include "runtime/compiled_program.h"
 #include "runtime/sim_executor.h"
 #include "runtime/trace.h"
 
@@ -35,8 +36,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown planner %s\n", planner_name.c_str());
     return 1;
   }
-  auto plan = planner->BuildPlan(model->graph, *schedule, profile,
-                                 sim::TitanRtx().memory_bytes * 93 / 100);
+  size_t budget = sim::TitanRtx().memory_bytes * 93 / 100;
+  auto plan = planner->BuildPlan(model->graph, *schedule, profile, budget);
   if (!plan.ok()) {
     std::fprintf(stderr, "planning failed: %s\n",
                  plan.status().ToString().c_str());
@@ -58,8 +59,21 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Also lower the program through the compiled-executor pass pipeline so
+  // the trace carries one instant event per pass (wall time, instruction /
+  // slot / static-byte deltas). The artifact itself is discarded — the sim
+  // replay above is the timed run.
+  runtime::CompileOptions copts;
+  copts.pool_capacity = budget;
+  copts.autotune_lookahead = true;
+  copts.freed_values_unobservable = true;
+  auto compiled =
+      runtime::CompiledProgram::Compile(model->graph, *program, copts);
+  const std::vector<runtime::PassStats>* pass_stats =
+      compiled.ok() ? &compiled->pass_stats : nullptr;
+
   if (!runtime::WriteChromeTrace(timeline, path, &stats->memory_timeline,
-                                 &plan->stats)) {
+                                 &plan->stats, pass_stats)) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return 1;
   }
@@ -70,6 +84,12 @@ int main(int argc, char** argv) {
       stats->iteration_seconds, timeline.tasks().size(), path.c_str());
   if (plan->stats.Populated()) {
     std::printf("planner: %s\n", plan->stats.ToString().c_str());
+  }
+  if (pass_stats != nullptr) {
+    for (const runtime::PassStats& p : *pass_stats) {
+      if (!p.changed) continue;
+      std::printf("compiled pass %s: %s\n", p.name.c_str(), p.note.c_str());
+    }
   }
   return 0;
 }

@@ -23,7 +23,7 @@ fi
 # Suites that actually exercise threads: the parallel execution
 # substrate, planner scoring workers, and the compiled path's async
 # copy engine.
-tsan_filter='ParallelDeterminismTest.*:PlannerEquivalenceTest.*:*CompiledExec*'
+tsan_filter='ParallelDeterminismTest.*:PlannerEquivalenceTest.*:*CompiledExec*:*CompiledPass*:PassPipelineTest.*:SlotColoringTest.*:LookaheadAutotuneTest.*'
 
 failures=0
 for sanitizer in "${sanitizers[@]}"; do

@@ -757,6 +757,39 @@ class CompiledReplay {
         device_[static_cast<size_t>(ins.slot)] = 1;
         return;
       }
+      case InstrKind::kAllocBatch:
+      case InstrKind::kFreeBatch: {
+        if (ins.aux < 0 ||
+            static_cast<size_t>(ins.aux) >= cp_.batches.size()) {
+          Diagnostic d = MakeDiagnostic(
+              "TSV020", "batch instruction aux index " +
+                            std::to_string(ins.aux) + " out of range");
+          d.position = position;
+          Emit(std::move(d));
+          return;
+        }
+        const bool alloc = ins.kind == InstrKind::kAllocBatch;
+        for (int slot : cp_.batches[static_cast<size_t>(ins.aux)]) {
+          if (!CheckSlot(slot, position, "batch instruction")) continue;
+          if (alloc) {
+            if (device_[static_cast<size_t>(slot)]) {
+              Emit(AtSlot("TSV021",
+                          "alloc of slot " + SlotName(slot) +
+                              " which is already live",
+                          slot, position));
+            }
+            device_[static_cast<size_t>(slot)] = 1;
+          } else {
+            if (!device_[static_cast<size_t>(slot)]) {
+              Emit(AtSlot("TSV021",
+                          "free/drop of dead slot " + SlotName(slot),
+                          slot, position));
+            }
+            device_[static_cast<size_t>(slot)] = 0;
+          }
+        }
+        return;
+      }
       case InstrKind::kSplitCopy:
       case InstrKind::kMergeCopy: {
         if (ins.aux < 0 ||

@@ -10,6 +10,7 @@
 #include "core/logging.h"
 #include "mem/memory_pool.h"
 #include "runtime/functional_executor.h"
+#include "runtime/passes/pass.h"
 
 namespace tsplit::runtime {
 
@@ -51,7 +52,9 @@ class Compiler {
     }
     cp_.fingerprint = program_.Fingerprint();
     cp_.swap_in_lookahead = options_.swap_in_lookahead;
-    HoistSwapIns();
+    if (options_.swap_in_lookahead > 0) {
+      passes::HoistSwapIns(cp_, cp_.instrs, options_.swap_in_lookahead);
+    }
     return std::move(cp_);
   }
 
@@ -448,48 +451,6 @@ class Compiler {
     return Status::OK();
   }
 
-  // Bubbles each kSwapIn up to `swap_in_lookahead` computes earlier,
-  // stopping at the stream start, any other transfer instruction (per-
-  // stream FIFO order must hold), or any instruction touching the same
-  // slot. Depth 0 keeps generator order — the parity configuration.
-  void HoistSwapIns() {
-    if (options_.swap_in_lookahead <= 0) return;
-    auto touches = [this](const Instr& ins, int slot) {
-      switch (ins.kind) {
-        case InstrKind::kCompute: {
-          const std::vector<int>& f =
-              cp_.computes[static_cast<size_t>(ins.aux)].fence_slots;
-          return std::find(f.begin(), f.end(), slot) != f.end();
-        }
-        case InstrKind::kSplitCopy:
-        case InstrKind::kMergeCopy: {
-          const ScatterInstr& sc = cp_.scatters[static_cast<size_t>(ins.aux)];
-          if (sc.whole_slot == slot) return true;
-          return std::find(sc.part_slots.begin(), sc.part_slots.end(),
-                           slot) != sc.part_slots.end();
-        }
-        default:
-          return ins.slot == slot;
-      }
-    };
-    for (size_t i = 0; i < cp_.instrs.size(); ++i) {
-      if (cp_.instrs[i].kind != InstrKind::kSwapIn) continue;
-      int slot = cp_.instrs[i].slot;
-      size_t j = i;
-      int crossed = 0;
-      while (j > 0 && crossed < options_.swap_in_lookahead) {
-        const Instr& prev = cp_.instrs[j - 1];
-        if (prev.kind == InstrKind::kSwapIn ||
-            prev.kind == InstrKind::kSwapOut || touches(prev, slot)) {
-          break;
-        }
-        if (prev.kind == InstrKind::kCompute) ++crossed;
-        std::swap(cp_.instrs[j - 1], cp_.instrs[j]);
-        --j;
-      }
-    }
-  }
-
   const Graph& graph_;
   const rewrite::Program& program_;
   const CompileOptions& options_;
@@ -505,29 +466,73 @@ class Compiler {
 
 }  // namespace
 
+size_t CompiledProgram::StaticFootprintBytes() const {
+  size_t bytes = SlotBytes();
+  for (const Shape& s : scratch_shapes) {
+    bytes += static_cast<size_t>(s.num_elements()) * sizeof(float);
+  }
+  for (const Shape& s : merge_shapes) {
+    bytes += static_cast<size_t>(s.num_elements()) * sizeof(float);
+  }
+  return bytes;
+}
+
 Result<CompiledProgram> CompiledProgram::Compile(
     const Graph& graph, const rewrite::Program& program,
     const CompileOptions& options) {
   Compiler compiler(graph, program, options);
-  return compiler.Build();
+  ASSIGN_OR_RETURN(CompiledProgram cp, compiler.Build());
+  passes::PassContext ctx;
+  ctx.graph = &graph;
+  ctx.program = &program;
+  ctx.options = &options;
+  passes::RunPassPipeline(ctx, &cp);
+  return cp;
 }
 
 // ------------------------------------------------------- executor side
 
-Status FunctionalExecutor::EnsureCompiled(const rewrite::Program& program) {
-  uint64_t fp = program.Fingerprint();
-  if (compiled_ != nullptr && compiled_source_ == &program &&
-      compiled_fingerprint_ == fp &&
-      compiled_->swap_in_lookahead == swap_in_lookahead_) {
-    return Status::OK();
-  }
+namespace {
+
+// The CompileOptions fields that shape the artifact; a change in any of
+// them invalidates the cached compilation.
+bool SameCompileOptions(const CompileOptions& a, const CompileOptions& b) {
+  return a.swap_in_lookahead == b.swap_in_lookahead &&
+         a.autotune_lookahead == b.autotune_lookahead &&
+         a.pool_capacity == b.pool_capacity &&
+         a.freed_values_unobservable == b.freed_values_unobservable &&
+         a.observable_tensors == b.observable_tensors &&
+         a.passes == b.passes;
+}
+
+}  // namespace
+
+CompileOptions FunctionalExecutor::BuildCompileOptions() const {
   CompileOptions options;
   options.swap_in_lookahead = swap_in_lookahead_;
+  // An explicit depth wins over the search (the sweep/tests path).
+  options.autotune_lookahead = autotune_lookahead_ && swap_in_lookahead_ == 0;
+  options.pool_capacity = pool_.capacity();
+  options.freed_values_unobservable = !keep_freed_values_;
+  options.observable_tensors = retained_;
+  options.passes = compiled_passes_;
+  return options;
+}
+
+Status FunctionalExecutor::EnsureCompiled(const rewrite::Program& program) {
+  uint64_t fp = program.Fingerprint();
+  CompileOptions options = BuildCompileOptions();
+  if (compiled_ != nullptr && compiled_source_ == &program &&
+      compiled_fingerprint_ == fp &&
+      SameCompileOptions(compiled_options_, options)) {
+    return Status::OK();
+  }
   auto cp = CompiledProgram::Compile(*graph_, program, options);
   if (!cp.ok()) return cp.status();
   compiled_ = std::make_unique<CompiledProgram>(std::move(*cp));
   compiled_source_ = &program;
   compiled_fingerprint_ = fp;
+  compiled_options_ = std::move(options);
 
   const size_t n = compiled_->slots.size();
   slot_device_.assign(n, Tensor());
@@ -1025,6 +1030,17 @@ Status FunctionalExecutor::RunCompiled(const CompiledProgram& cp) {
       case compiled::InstrKind::kCompute:
         RETURN_IF_ERROR(ExecCompiledCompute(
             cp, cp.computes[static_cast<size_t>(ins.aux)]));
+        break;
+      case compiled::InstrKind::kAllocBatch:
+        for (int slot : cp.batches[static_cast<size_t>(ins.aux)]) {
+          RETURN_IF_ERROR(ExecAllocSlot(cp, slot));
+        }
+        break;
+      case compiled::InstrKind::kFreeBatch:
+        for (int slot : cp.batches[static_cast<size_t>(ins.aux)]) {
+          RETURN_IF_ERROR(FenceSlot(slot));
+          RETURN_IF_ERROR(ExecFreeSlot(cp, slot));
+        }
         break;
     }
   }

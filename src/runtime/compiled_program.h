@@ -31,7 +31,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/shape.h"
@@ -47,15 +49,61 @@ struct CompileOptions {
   // stream start). 0 keeps the generator's stream order exactly — required
   // for bit/peak parity with the reference executor.
   int swap_in_lookahead = 0;
+
+  // When true (and swap_in_lookahead == 0), the autotune pass searches the
+  // hoist depth per program at compile time, scored with the sim cost
+  // model and constrained to bit-identical symbolic peak/OOM behaviour at
+  // pool_capacity. Requires pool_capacity > 0.
+  bool autotune_lookahead = false;
+
+  // The executor's pool capacity — the budget the autotune pass replays
+  // candidate streams against. 0 disables the autotune search.
+  size_t pool_capacity = 0;
+
+  // True when freed buffer values are unobservable after the run (the
+  // executor's keep_freed_values is off). Gates the passes whose rewrites
+  // are invisible only then: slot coloring (a shared slot cannot archive
+  // every occupant) and dead-instruction elimination (a removed kFree
+  // would otherwise skip an observable archive).
+  bool freed_values_unobservable = false;
+
+  // Tensors whose values stay observable regardless (RetainValue): their
+  // slots are never shared and their instructions never eliminated.
+  std::unordered_set<TensorId> observable_tensors;
+
+  // Pass selection (TSPLIT_COMPILED_PASSES): "all", "none", or a comma-
+  // separated subset of {dce, color, autotune, batch}.
+  std::string passes = "all";
+};
+
+// Instrumentation of one pipeline pass over the compiled artifact:
+// PlannerStats-style counters persisted on the artifact and embeddable as
+// a runtime/trace instant event.
+struct PassStats {
+  std::string name;
+  double wall_seconds = 0;
+  bool changed = false;
+  bool rolled_back = false;  // a safety net rejected the pass's rewrite
+  size_t instrs_before = 0;
+  size_t instrs_after = 0;
+  size_t slots_before = 0;
+  size_t slots_after = 0;
+  size_t static_bytes_before = 0;  // StaticFootprintBytes()
+  size_t static_bytes_after = 0;
+  std::string note;  // pass-specific summary (chosen depth, runs, ...)
 };
 
 namespace compiled {
 
-// One interned device buffer (a whole tensor or one micro part).
+// One interned device buffer (a whole tensor or one micro part). After
+// the slot-coloring pass a slot may host several disjoint-lifetime
+// buffers; `key` then names the end-of-stream occupant (the only one
+// ValueOf may still observe) and `shared` is set.
 struct SlotInfo {
   rewrite::BufferKey key;
   Shape shape;             // static buffer shape under the split configs
   size_t alloc_bytes = 0;  // planned bytes if known, else dtype-aware size
+  bool shared = false;     // hosts >1 buffer (disjoint lifetimes)
 };
 
 enum class InstrKind : uint8_t {
@@ -67,6 +115,8 @@ enum class InstrKind : uint8_t {
   kSplitCopy,   // aux -> scatters
   kMergeCopy,   // aux -> scatters
   kCompute,     // aux -> computes
+  kAllocBatch,  // aux -> batches: a coalesced run of kAlloc
+  kFreeBatch,   // aux -> batches: a coalesced run of kFree
 };
 
 struct Instr {
@@ -166,6 +216,8 @@ struct CompiledProgram {
   std::vector<compiled::ScatterInstr> scatters;
   std::vector<compiled::ComputeInstr> computes;
   std::vector<compiled::MergeRef> merges;
+  // Slot runs behind kAllocBatch/kFreeBatch (in original stream order).
+  std::vector<std::vector<int>> batches;
 
   std::vector<Shape> scratch_shapes;  // per-step transform scratch pool
   std::vector<Shape> merge_shapes;    // persistent merge scratch pool
@@ -177,11 +229,29 @@ struct CompiledProgram {
   size_t workspace_highwater = 0;
 
   uint64_t fingerprint = 0;  // of the source rewrite::Program
+  // Effective hoist depth baked into instrs: the explicit CompileOptions
+  // depth, or the autotune pass's per-program choice.
   int swap_in_lookahead = 0;
 
-  // Lowers `program` against `graph`. Fails (Internal) on structurally
-  // malformed programs — the same ones the reference path rejects at
-  // runtime.
+  // Per-pass instrumentation, in pipeline order (empty when the pipeline
+  // was disabled via passes="none").
+  std::vector<PassStats> pass_stats;
+
+  // Bytes of storage the executor pins for this artifact independent of
+  // the live set: every slot's buffer plus the persistent per-step and
+  // merge scratch pools. The slot-coloring pass exists to shrink the slot
+  // term of this sum.
+  size_t SlotBytes() const {
+    size_t bytes = 0;
+    for (const auto& s : slots) bytes += s.alloc_bytes;
+    return bytes;
+  }
+  size_t StaticFootprintBytes() const;
+
+  // Lowers `program` against `graph`, then runs the optimization pass
+  // pipeline selected by `options.passes` (runtime/passes/pass.h). Fails
+  // (Internal) on structurally malformed programs — the same ones the
+  // reference path rejects at runtime.
   static Result<CompiledProgram> Compile(const Graph& graph,
                                          const rewrite::Program& program,
                                          const CompileOptions& options = {});

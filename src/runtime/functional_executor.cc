@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "analysis/verifier.h"
 #include "core/logging.h"
@@ -25,7 +26,18 @@ FunctionalExecutor::FunctionalExecutor(const Graph* graph,
   compiled_exec_ = !(compiled_env != nullptr && compiled_env[0] == '0');
   const char* lookahead_env = std::getenv("TSPLIT_SWAP_IN_LOOKAHEAD");
   if (lookahead_env != nullptr) {
-    swap_in_lookahead_ = std::atoi(lookahead_env);
+    if (std::string(lookahead_env) == "auto") {
+      autotune_lookahead_ = true;  // explicit opt-in, same as the default
+    } else {
+      // An explicit numeric depth (including 0, the parity pin) disables
+      // the per-program autotune search.
+      swap_in_lookahead_ = std::atoi(lookahead_env);
+      autotune_lookahead_ = false;
+    }
+  }
+  const char* passes_env = std::getenv("TSPLIT_COMPILED_PASSES");
+  if (passes_env != nullptr) {
+    compiled_passes_ = passes_env;
   }
 #ifdef NDEBUG
   verify_before_run_ = false;
@@ -670,6 +682,11 @@ Result<Tensor> FunctionalExecutor::ValueOf(TensorId id) const {
       auto slot_it = compiled_->slot_of.find(key);
       if (slot_it == compiled_->slot_of.end()) return nullptr;
       int s = slot_it->second;
+      // A colored slot hosts several disjoint-lifetime buffers; only its
+      // end-of-stream occupant's value is observable after the run.
+      if (compiled_->slots[s].shared && !(compiled_->slots[s].key == key)) {
+        return nullptr;
+      }
       if (slot_flags_[s] & kHasDevice) return &slot_device_[s];
       if (slot_flags_[s] & kHasHost) return &slot_host_[s];
       if (slot_flags_[s] & kHasArchive) return &slot_archive_[s];

@@ -1,0 +1,137 @@
+// Dead-instruction elimination: removes kAlloc/kFree (or kDrop) pairs
+// with no intervening use of the slot, and kSwapOut/kSwapIn round trips
+// with no intervening touch — instructions whose only effect is pool
+// traffic nobody observes. Each removal is validated against the
+// symbolic pool replay: it must not change the stream's peak_in_use or
+// success/OOM outcome (a dead alloc can still set the high-water mark,
+// in which case removing it would break peak parity with the reference
+// executor and the candidate is kept).
+//
+// Only legal when freed values are unobservable (keep_freed_values off):
+// with the archive on, a kFree has the observable side effect of
+// snapshotting the buffer, so "dead" pairs are not dead.
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/passes/pass.h"
+#include "runtime/passes/pool_replay.h"
+
+namespace tsplit::runtime::passes {
+
+namespace {
+
+using compiled::Instr;
+using compiled::InstrKind;
+
+// Slots each instruction touches (fences, reads or writes).
+std::vector<int> TouchedSlots(const CompiledProgram& cp, const Instr& ins) {
+  switch (ins.kind) {
+    case InstrKind::kCompute:
+      return cp.computes[static_cast<size_t>(ins.aux)].fence_slots;
+    case InstrKind::kSplitCopy:
+    case InstrKind::kMergeCopy: {
+      const auto& sc = cp.scatters[static_cast<size_t>(ins.aux)];
+      std::vector<int> slots = sc.part_slots;
+      slots.push_back(sc.whole_slot);
+      return slots;
+    }
+    case InstrKind::kAllocBatch:
+    case InstrKind::kFreeBatch:
+      return cp.batches[static_cast<size_t>(ins.aux)];
+    default:
+      return {ins.slot};
+  }
+}
+
+class DeadInstructionEliminationPass : public CompiledPass {
+ public:
+  const char* name() const override { return "dce"; }
+
+  Result<bool> Run(const PassContext& ctx, CompiledProgram* cp,
+                   std::string* note) override {
+    const CompileOptions& options = *ctx.options;
+    if (!options.freed_values_unobservable) {
+      *note = "skipped: freed values observable";
+      return false;
+    }
+
+    const size_t n = cp->instrs.size();
+    // next_touch[i] = position of the next instruction touching the slot
+    // of instrs[i] (memory instructions only), or n.
+    std::vector<std::vector<int>> positions(cp->slots.size());
+    for (size_t i = 0; i < n; ++i) {
+      for (int slot : TouchedSlots(*cp, cp->instrs[i])) {
+        positions[static_cast<size_t>(slot)].push_back(static_cast<int>(i));
+      }
+    }
+    auto next_touch = [&](int slot, int after) {
+      const auto& p = positions[static_cast<size_t>(slot)];
+      auto it = std::upper_bound(p.begin(), p.end(), after);
+      return it == p.end() ? static_cast<int>(n) : *it;
+    };
+
+    std::vector<char> dead(n, 0);
+    auto observable = [&](int slot) {
+      const auto& info = cp->slots[static_cast<size_t>(slot)];
+      return info.shared ||
+             options.observable_tensors.count(info.key.tensor) > 0;
+    };
+    auto trial_stream = [&]() {
+      std::vector<Instr> trial;
+      trial.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        if (!dead[i]) trial.push_back(cp->instrs[i]);
+      }
+      return trial;
+    };
+
+    PoolReplayResult current =
+        ReplayPool(*cp, cp->instrs, options.pool_capacity);
+    int pairs = 0;
+    int round_trips = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (dead[i]) continue;
+      const Instr& ins = cp->instrs[i];
+      bool alloc_pair = ins.kind == InstrKind::kAlloc;
+      bool swap_pair = ins.kind == InstrKind::kSwapOut;
+      if (!alloc_pair && !swap_pair) continue;
+      if (observable(ins.slot)) continue;
+      int j = next_touch(ins.slot, static_cast<int>(i));
+      if (j >= static_cast<int>(n) || dead[static_cast<size_t>(j)]) continue;
+      const Instr& end = cp->instrs[static_cast<size_t>(j)];
+      if (end.slot != ins.slot) continue;
+      if (alloc_pair &&
+          end.kind != InstrKind::kFree && end.kind != InstrKind::kDrop) {
+        continue;
+      }
+      if (swap_pair && end.kind != InstrKind::kSwapIn) continue;
+
+      dead[i] = dead[static_cast<size_t>(j)] = 1;
+      std::vector<Instr> trial = trial_stream();
+      PoolReplayResult replay =
+          ReplayPool(*cp, trial, options.pool_capacity);
+      if (!SamePoolBehaviour(current, replay)) {
+        dead[i] = dead[static_cast<size_t>(j)] = 0;  // peak-setting pair
+        continue;
+      }
+      (alloc_pair ? pairs : round_trips)++;
+    }
+
+    if (pairs == 0 && round_trips == 0) return false;
+    cp->instrs = trial_stream();
+    *note = std::to_string(pairs) + " alloc/free pair(s), " +
+            std::to_string(round_trips) + " swap round-trip(s) removed";
+    return true;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<CompiledPass> MakeDeadInstructionEliminationPass() {
+  return std::make_unique<DeadInstructionEliminationPass>();
+}
+
+}  // namespace tsplit::runtime::passes

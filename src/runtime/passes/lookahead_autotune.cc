@@ -1,0 +1,185 @@
+// Per-model swap-in lookahead autotuning. Replaces the single global
+// TSPLIT_SWAP_IN_LOOKAHEAD default with a per-program search at compile
+// time: candidate hoist depths are applied to a copy of the instruction
+// stream, gated on bit-identical symbolic pool behaviour (peak and
+// success/OOM at the executor's capacity — so the parity guarantees of
+// depth 0 are preserved exactly), and scored with the sim cost model: a
+// FIFO transfer queue at the device's PCIe bandwidth, compute advancing
+// by each op's profiled kernel time, and fence stalls wherever an
+// instruction touches a slot whose copy has not landed — the same
+// overlap model the planner's SwapCost uses. The best depth is baked
+// into the artifact (CompiledProgram::swap_in_lookahead) and cached with
+// it.
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "planner/profile.h"
+#include "runtime/passes/pass.h"
+#include "runtime/passes/pool_replay.h"
+#include "sim/device.h"
+
+namespace tsplit::runtime::passes {
+
+namespace {
+
+using compiled::Instr;
+using compiled::InstrKind;
+
+bool SameStream(const std::vector<Instr>& a, const std::vector<Instr>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].kind != b[i].kind || a[i].slot != b[i].slot ||
+        a[i].aux != b[i].aux) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Estimated wall time of one iteration of `instrs` under the async swap
+// engine: one compute stream, one FIFO transfer stream, fences at every
+// touch of an in-flight slot.
+double SimulateSeconds(const CompiledProgram& cp,
+                       const std::vector<Instr>& instrs,
+                       const planner::GraphProfile& profile) {
+  const double pcie = profile.device.pcie_bytes_per_sec();
+  double now = 0;
+  double transfer_free = 0;
+  std::vector<double> lands(cp.slots.size(), 0);
+
+  auto fence = [&](int slot) {
+    now = std::max(now, lands[static_cast<size_t>(slot)]);
+  };
+  auto transfer = [&](int slot) {
+    double bytes =
+        static_cast<double>(cp.slots[static_cast<size_t>(slot)].alloc_bytes);
+    double start = std::max(now, transfer_free);
+    transfer_free = start + bytes / pcie;
+    lands[static_cast<size_t>(slot)] = transfer_free;
+  };
+
+  for (const Instr& ins : instrs) {
+    switch (ins.kind) {
+      case InstrKind::kSwapOut:
+        fence(ins.slot);
+        transfer(ins.slot);
+        break;
+      case InstrKind::kSwapIn:
+        fence(ins.slot);
+        transfer(ins.slot);
+        break;
+      case InstrKind::kAlloc:
+      case InstrKind::kFree:
+      case InstrKind::kDrop:
+        fence(ins.slot);
+        break;
+      case InstrKind::kAllocBatch:
+      case InstrKind::kFreeBatch:
+        for (int s : cp.batches[static_cast<size_t>(ins.aux)]) fence(s);
+        break;
+      case InstrKind::kSplitCopy:
+      case InstrKind::kMergeCopy: {
+        const auto& sc = cp.scatters[static_cast<size_t>(ins.aux)];
+        fence(sc.whole_slot);
+        for (int s : sc.part_slots) fence(s);
+        break;
+      }
+      case InstrKind::kCompute: {
+        const auto& c = cp.computes[static_cast<size_t>(ins.aux)];
+        for (int s : c.fence_slots) fence(s);
+        if (c.node != nullptr && c.node->id >= 0 &&
+            static_cast<size_t>(c.node->id) < profile.ops.size()) {
+          now += profile.ops[static_cast<size_t>(c.node->id)].seconds;
+        }
+        break;
+      }
+    }
+  }
+  // RunCompiled drains the engine before returning.
+  return std::max(now, transfer_free);
+}
+
+class LookaheadAutotunePass : public CompiledPass {
+ public:
+  const char* name() const override { return "autotune"; }
+
+  Result<bool> Run(const PassContext& ctx, CompiledProgram* cp,
+                   std::string* note) override {
+    const CompileOptions& options = *ctx.options;
+    if (options.swap_in_lookahead > 0) {
+      *note = "skipped: explicit lookahead depth";
+      return false;
+    }
+    if (!options.autotune_lookahead || options.pool_capacity == 0) {
+      *note = "skipped: autotune disabled";
+      return false;
+    }
+    bool has_swap_in = false;
+    for (const Instr& ins : cp->instrs) {
+      if (ins.kind == InstrKind::kSwapIn) {
+        has_swap_in = true;
+        break;
+      }
+    }
+    if (!has_swap_in) {
+      *note = "skipped: no swap-ins";
+      return false;
+    }
+    const PoolReplayResult baseline =
+        ReplayPool(*cp, cp->instrs, options.pool_capacity);
+    if (!baseline.ok) {
+      *note = "skipped: stream does not fit capacity at depth 0";
+      return false;
+    }
+
+    planner::GraphProfile profile =
+        planner::ProfileGraph(*ctx.graph, sim::TitanRtx());
+    const double base_seconds = SimulateSeconds(*cp, cp->instrs, profile);
+    int best_depth = 0;
+    double best_seconds = base_seconds;
+    std::vector<Instr> best_instrs;
+
+    for (int depth : {1, 2, 4, 8, 16, 32}) {
+      std::vector<Instr> trial = cp->instrs;
+      HoistSwapIns(*cp, trial, depth);
+      if (SameStream(trial, cp->instrs)) continue;  // no swap-in could move
+      if (!SamePoolBehaviour(
+              baseline, ReplayPool(*cp, trial, options.pool_capacity))) {
+        continue;  // earlier allocation would change peak/OOM
+      }
+      double seconds = SimulateSeconds(*cp, trial, profile);
+      // Strict improvement only: ties keep the shallower (safer) depth.
+      if (seconds < best_seconds * 0.999) {
+        best_depth = depth;
+        best_seconds = seconds;
+        best_instrs = std::move(trial);
+      }
+    }
+
+    if (best_depth == 0) {
+      *note = "kept depth 0 (no profitable peak-preserving hoist)";
+      return false;
+    }
+    cp->instrs = std::move(best_instrs);
+    cp->swap_in_lookahead = best_depth;
+    *note = "depth " + std::to_string(best_depth) + ", est " +
+            std::to_string(base_seconds > 0
+                               ? (base_seconds - best_seconds) * 100.0 /
+                                     base_seconds
+                               : 0.0)
+                .substr(0, 4) +
+            "% faster";
+    return true;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<CompiledPass> MakeLookaheadAutotunePass() {
+  return std::make_unique<LookaheadAutotunePass>();
+}
+
+}  // namespace tsplit::runtime::passes

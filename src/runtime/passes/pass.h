@@ -1,0 +1,100 @@
+#ifndef TSPLIT_RUNTIME_PASSES_PASS_H_
+#define TSPLIT_RUNTIME_PASSES_PASS_H_
+
+// Optimization pass pipeline over the compiled artifact
+// (runtime/compiled_program.h). Runs between the one-shot lowering and
+// artifact caching: each pass rewrites the flat instruction stream (and
+// the tables it indexes) under two machine-checked safety nets applied
+// after every pass by the pipeline itself:
+//
+//   1. analysis::VerifyCompiled must stay clean (slot liveness, tiling,
+//      workspace bound, fingerprint) — structural correctness;
+//   2. a symbolic pool replay (pool_replay.h) driving a real
+//      mem::MemoryPool through the rewritten stream must reproduce the
+//      pre-pass peak_in_use and success/OOM outcome exactly — peak/OOM
+//      parity with the reference executor.
+//
+// A pass that violates either net is rolled back (its changes discarded,
+// the failure recorded in its PassStats entry) rather than propagated, so
+// a buggy or overly aggressive pass can never corrupt execution.
+//
+// Passes (pipeline order):
+//   dce      — dead-instruction elimination: alloc/free pairs with no
+//              intervening use, and adjacent swap-out/swap-in round
+//              trips; only when freed values are unobservable.
+//   color    — lifetime-based slot coloring: interval-graph coloring over
+//              instruction-stream lifetimes so disjoint-lifetime,
+//              same-shape tensors share one arena slot (CHECKMATE-style
+//              register allocation over tensor lifetimes); shrinks the
+//              static slot footprint and the executor's resident storage.
+//   autotune — per-model swap-in lookahead search: candidate hoist depths
+//              scored with the sim cost model (FIFO transfer queue,
+//              fence stalls), constrained to bit-identical symbolic
+//              peak/OOM at the executor's pool capacity.
+//   batch    — pool-op batching: adjacent same-kind kAlloc/kFree runs
+//              coalesced into one kAllocBatch/kFreeBatch instruction
+//              (order-preserving, so the pool call sequence is
+//              unchanged) to cut per-instruction dispatch overhead.
+//
+// Selection: CompileOptions::passes — "all" (default), "none", or a
+// comma-separated subset of the names above (TSPLIT_COMPILED_PASSES).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "graph/graph.h"
+#include "rewrite/program.h"
+#include "runtime/compiled_program.h"
+
+namespace tsplit::runtime::passes {
+
+// Everything a pass may read; the artifact it may rewrite is passed to
+// Run separately.
+struct PassContext {
+  const Graph* graph = nullptr;
+  const rewrite::Program* program = nullptr;
+  const CompileOptions* options = nullptr;
+};
+
+// One pass over the compiled artifact. Run returns true when it changed
+// the artifact (false = structural no-op; the pipeline skips re-
+// verification). Passes must keep the artifact internally consistent —
+// the pipeline's safety nets catch semantic drift, not dangling indices.
+class CompiledPass {
+ public:
+  virtual ~CompiledPass() = default;
+  virtual const char* name() const = 0;
+  // May mutate `cp`; returns whether anything changed. `note` receives a
+  // short human-readable summary (shown by tsplit_lint --dump-compiled).
+  virtual Result<bool> Run(const PassContext& ctx, CompiledProgram* cp,
+                           std::string* note) = 0;
+};
+
+// Runs the selected passes in pipeline order with per-pass verification,
+// rollback, wall-time and before/after instrumentation. Never fails the
+// compile: a pass that errors or breaks a safety net is rolled back and
+// the failure is recorded in its stats entry.
+void RunPassPipeline(const PassContext& ctx, CompiledProgram* cp);
+
+// Individual pass factories (exposed for unit tests).
+std::unique_ptr<CompiledPass> MakeDeadInstructionEliminationPass();
+std::unique_ptr<CompiledPass> MakeSlotColoringPass();
+std::unique_ptr<CompiledPass> MakeLookaheadAutotunePass();
+std::unique_ptr<CompiledPass> MakePoolOpBatchingPass();
+
+// True when `name` is enabled by the selection string `passes`
+// ("all" / "none" / comma-separated subset).
+bool PassEnabled(const std::string& passes, const char* name);
+
+// Bubbles each kSwapIn in `instrs` up to `depth` compute instructions
+// earlier, stopping at the stream start, any other transfer instruction,
+// or any instruction touching the same slot. Shared by the compiler's
+// explicit-depth mode and the autotune pass's candidate sweep.
+void HoistSwapIns(const CompiledProgram& cp, std::vector<compiled::Instr>& instrs,
+                  int depth);
+
+}  // namespace tsplit::runtime::passes
+
+#endif  // TSPLIT_RUNTIME_PASSES_PASS_H_

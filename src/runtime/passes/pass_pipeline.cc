@@ -1,0 +1,149 @@
+#include "runtime/passes/pass.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <utility>
+
+#include "analysis/verifier.h"
+#include "runtime/passes/pool_replay.h"
+
+namespace tsplit::runtime::passes {
+
+using compiled::Instr;
+using compiled::InstrKind;
+
+bool PassEnabled(const std::string& passes, const char* name) {
+  if (passes.empty() || passes == "all") return true;
+  if (passes == "none") return false;
+  const std::string want(name);
+  size_t pos = 0;
+  while (pos <= passes.size()) {
+    size_t comma = passes.find(',', pos);
+    size_t end = comma == std::string::npos ? passes.size() : comma;
+    if (passes.compare(pos, end - pos, want) == 0) return true;
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return false;
+}
+
+void HoistSwapIns(const CompiledProgram& cp, std::vector<Instr>& instrs,
+                  int depth) {
+  if (depth <= 0) return;
+  auto touches = [&cp](const Instr& ins, int slot) {
+    switch (ins.kind) {
+      case InstrKind::kCompute: {
+        const std::vector<int>& f =
+            cp.computes[static_cast<size_t>(ins.aux)].fence_slots;
+        return std::find(f.begin(), f.end(), slot) != f.end();
+      }
+      case InstrKind::kSplitCopy:
+      case InstrKind::kMergeCopy: {
+        const auto& sc = cp.scatters[static_cast<size_t>(ins.aux)];
+        if (sc.whole_slot == slot) return true;
+        return std::find(sc.part_slots.begin(), sc.part_slots.end(), slot) !=
+               sc.part_slots.end();
+      }
+      case InstrKind::kAllocBatch:
+      case InstrKind::kFreeBatch: {
+        const auto& b = cp.batches[static_cast<size_t>(ins.aux)];
+        return std::find(b.begin(), b.end(), slot) != b.end();
+      }
+      default:
+        return ins.slot == slot;
+    }
+  };
+  for (size_t i = 0; i < instrs.size(); ++i) {
+    if (instrs[i].kind != InstrKind::kSwapIn) continue;
+    int slot = instrs[i].slot;
+    size_t j = i;
+    int crossed = 0;
+    while (j > 0 && crossed < depth) {
+      const Instr& prev = instrs[j - 1];
+      if (prev.kind == InstrKind::kSwapIn ||
+          prev.kind == InstrKind::kSwapOut || touches(prev, slot)) {
+        break;
+      }
+      if (prev.kind == InstrKind::kCompute) ++crossed;
+      std::swap(instrs[j - 1], instrs[j]);
+      --j;
+    }
+  }
+}
+
+namespace {
+
+bool VerifiesClean(const PassContext& ctx, const CompiledProgram& cp) {
+  std::vector<analysis::Diagnostic> diagnostics =
+      analysis::VerifyCompiled(*ctx.graph, *ctx.program, cp);
+  return analysis::ToStatus(diagnostics, ctx.graph).ok();
+}
+
+}  // namespace
+
+void RunPassPipeline(const PassContext& ctx, CompiledProgram* cp) {
+  const CompileOptions& options = *ctx.options;
+  std::vector<std::unique_ptr<CompiledPass>> pipeline;
+  if (PassEnabled(options.passes, "dce")) {
+    pipeline.push_back(MakeDeadInstructionEliminationPass());
+  }
+  if (PassEnabled(options.passes, "color")) {
+    pipeline.push_back(MakeSlotColoringPass());
+  }
+  if (PassEnabled(options.passes, "autotune")) {
+    pipeline.push_back(MakeLookaheadAutotunePass());
+  }
+  if (PassEnabled(options.passes, "batch")) {
+    pipeline.push_back(MakePoolOpBatchingPass());
+  }
+  if (pipeline.empty()) return;
+
+  // The oracle every accepted pass must reproduce: the pre-pipeline
+  // stream's pool behaviour (peak and success/OOM) at the executor's
+  // capacity. No pass is allowed to change it, so the baseline is
+  // computed once.
+  const PoolReplayResult baseline =
+      ReplayPool(*cp, cp->instrs, options.pool_capacity);
+
+  for (auto& pass : pipeline) {
+    PassStats stats;
+    stats.name = pass->name();
+    stats.instrs_before = cp->instrs.size();
+    stats.slots_before = cp->slots.size();
+    stats.static_bytes_before = cp->StaticFootprintBytes();
+
+    CompiledProgram backup = *cp;
+    auto start = std::chrono::steady_clock::now();
+    Result<bool> changed = pass->Run(ctx, cp, &stats.note);
+    stats.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+
+    if (!changed.ok()) {
+      *cp = std::move(backup);
+      stats.rolled_back = true;
+      stats.note = changed.status().message();
+    } else if (*changed) {
+      // Safety nets: structural verification plus bit-exact pool
+      // behaviour. A pass that breaks either is discarded wholesale.
+      if (VerifiesClean(ctx, *cp) &&
+          SamePoolBehaviour(
+              baseline, ReplayPool(*cp, cp->instrs, options.pool_capacity))) {
+        stats.changed = true;
+      } else {
+        *cp = std::move(backup);
+        stats.rolled_back = true;
+        if (stats.note.empty()) stats.note = "safety net rejected rewrite";
+      }
+    }
+
+    stats.instrs_after = cp->instrs.size();
+    stats.slots_after = cp->slots.size();
+    stats.static_bytes_after = cp->StaticFootprintBytes();
+    cp->pass_stats.push_back(std::move(stats));
+  }
+}
+
+}  // namespace tsplit::runtime::passes

@@ -1,0 +1,86 @@
+// Pool-op batching: coalesces adjacent runs of same-kind pool
+// instructions (kAlloc or kFree, length >= 2) into one
+// kAllocBatch/kFreeBatch instruction whose slot list lives in
+// CompiledProgram::batches. The run is order-preserving — the executor
+// replays the exact same pool calls in the exact same order — so value,
+// peak and OOM parity hold by construction; what changes is dispatch:
+// one instruction decode (and for frees, one fence sweep) per run
+// instead of one per slot. Plans that split tensors into many
+// micro-tensors produce long alloc/free trains around each scatter,
+// which is where the batching pays.
+//
+// kDrop is deliberately excluded: it marks a planner-initiated
+// recompute drop, and folding it into an anonymous free batch would
+// erase that distinction from the stream (lint/trace attribution).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/passes/pass.h"
+
+namespace tsplit::runtime::passes {
+
+namespace {
+
+using compiled::Instr;
+using compiled::InstrKind;
+
+class PoolOpBatchingPass : public CompiledPass {
+ public:
+  const char* name() const override { return "batch"; }
+
+  Result<bool> Run(const PassContext& ctx, CompiledProgram* cp,
+                   std::string* note) override {
+    (void)ctx;
+    const std::vector<Instr>& in = cp->instrs;
+    std::vector<Instr> out;
+    out.reserve(in.size());
+    int runs = 0;
+    size_t folded = 0;
+
+    size_t i = 0;
+    while (i < in.size()) {
+      InstrKind kind = in[i].kind;
+      if (kind != InstrKind::kAlloc && kind != InstrKind::kFree) {
+        out.push_back(in[i]);
+        ++i;
+        continue;
+      }
+      size_t j = i;
+      while (j < in.size() && in[j].kind == kind) ++j;
+      if (j - i < 2) {
+        out.push_back(in[i]);
+        ++i;
+        continue;
+      }
+      std::vector<int> slots;
+      slots.reserve(j - i);
+      for (size_t k = i; k < j; ++k) slots.push_back(in[k].slot);
+      Instr batch;
+      batch.kind = kind == InstrKind::kAlloc ? InstrKind::kAllocBatch
+                                             : InstrKind::kFreeBatch;
+      batch.slot = -1;
+      batch.aux = static_cast<int>(cp->batches.size());
+      cp->batches.push_back(std::move(slots));
+      out.push_back(batch);
+      ++runs;
+      folded += j - i;
+      i = j;
+    }
+
+    if (runs == 0) return false;
+    cp->instrs = std::move(out);
+    *note = std::to_string(folded) + " pool ops folded into " +
+            std::to_string(runs) + " batch(es)";
+    return true;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<CompiledPass> MakePoolOpBatchingPass() {
+  return std::make_unique<PoolOpBatchingPass>();
+}
+
+}  // namespace tsplit::runtime::passes

@@ -1,0 +1,76 @@
+#include "runtime/passes/pool_replay.h"
+
+#include "mem/memory_pool.h"
+
+namespace tsplit::runtime::passes {
+
+using compiled::Instr;
+using compiled::InstrKind;
+
+PoolReplayResult ReplayPool(const CompiledProgram& cp,
+                            const std::vector<Instr>& instrs,
+                            size_t capacity) {
+  constexpr size_t kUnbounded = size_t{1} << 60;
+  constexpr size_t kNoSlotOffset = static_cast<size_t>(-1);
+  mem::MemoryPool pool(capacity == 0 ? kUnbounded : capacity);
+  std::vector<size_t> offset(cp.slots.size(), kNoSlotOffset);
+  PoolReplayResult result;
+
+  auto alloc_slot = [&](int slot) {
+    auto off = pool.Allocate(cp.slots[static_cast<size_t>(slot)].alloc_bytes);
+    if (!off.ok()) return false;
+    offset[static_cast<size_t>(slot)] = *off;
+    return true;
+  };
+  auto free_slot = [&](int slot) {
+    size_t& o = offset[static_cast<size_t>(slot)];
+    if (o == kNoSlotOffset) return false;
+    if (!pool.Free(o).ok()) return false;
+    o = kNoSlotOffset;
+    return true;
+  };
+
+  for (const auto& stage : cp.stages) {
+    if (!alloc_slot(stage.slot)) return result;
+  }
+  for (const Instr& ins : instrs) {
+    switch (ins.kind) {
+      case InstrKind::kAlloc:
+      case InstrKind::kSwapIn:
+        if (!alloc_slot(ins.slot)) return result;
+        break;
+      case InstrKind::kFree:
+      case InstrKind::kDrop:
+      case InstrKind::kSwapOut:
+        if (!free_slot(ins.slot)) return result;
+        break;
+      case InstrKind::kAllocBatch:
+        for (int slot : cp.batches[static_cast<size_t>(ins.aux)]) {
+          if (!alloc_slot(slot)) return result;
+        }
+        break;
+      case InstrKind::kFreeBatch:
+        for (int slot : cp.batches[static_cast<size_t>(ins.aux)]) {
+          if (!free_slot(slot)) return result;
+        }
+        break;
+      case InstrKind::kCompute: {
+        const auto& c = cp.computes[static_cast<size_t>(ins.aux)];
+        if (c.workspace_bytes > 0 &&
+            !pool.AccountTransient(c.workspace_bytes).ok()) {
+          return result;
+        }
+        break;
+      }
+      case InstrKind::kSplitCopy:
+      case InstrKind::kMergeCopy:
+        break;  // no pool traffic
+    }
+  }
+  result.ok = true;
+  result.peak_in_use = pool.stats().peak_in_use;
+  result.final_in_use = pool.stats().in_use;
+  return result;
+}
+
+}  // namespace tsplit::runtime::passes

@@ -1,0 +1,48 @@
+#ifndef TSPLIT_RUNTIME_PASSES_POOL_REPLAY_H_
+#define TSPLIT_RUNTIME_PASSES_POOL_REPLAY_H_
+
+// Symbolic replay of a compiled instruction stream's pool traffic.
+//
+// Drives a real mem::MemoryPool (the same best-fit allocator, alignment
+// and AccountTransient semantics the executor uses) through the stage
+// prologue and instruction stream of a CompiledProgram, issuing exactly
+// the calls FunctionalExecutor::RunCompiled would: Allocate at stages /
+// kAlloc / kSwapIn, Free at kFree / kDrop / kSwapOut (the async engine
+// releases the reservation at swap-out issue), AccountTransient for each
+// compute's workspace. Because the executor's pool calls are a pure
+// function of the instruction order and the slots' alloc_bytes, the
+// replayed peak_in_use and success/OOM outcome are bit-exact predictions
+// — the oracle the pass pipeline uses to prove a rewrite preserves
+// peak/OOM parity before accepting it.
+
+#include <cstddef>
+#include <vector>
+
+#include "runtime/compiled_program.h"
+
+namespace tsplit::runtime::passes {
+
+struct PoolReplayResult {
+  bool ok = false;          // every Allocate/AccountTransient succeeded
+  size_t peak_in_use = 0;   // pool peak over the stream (valid when ok)
+  size_t final_in_use = 0;  // bytes still reserved at stream end
+};
+
+// Replays `instrs` (with `cp` supplying stages, slots, computes and
+// batches) against a fresh pool of `capacity` bytes. `capacity == 0`
+// replays against an effectively unbounded pool (peak tracking only).
+PoolReplayResult ReplayPool(const CompiledProgram& cp,
+                            const std::vector<compiled::Instr>& instrs,
+                            size_t capacity);
+
+// Two replays agree: same outcome, and (when successful) the same peak.
+inline bool SamePoolBehaviour(const PoolReplayResult& a,
+                              const PoolReplayResult& b) {
+  if (a.ok != b.ok) return false;
+  if (!a.ok) return true;
+  return a.peak_in_use == b.peak_in_use;
+}
+
+}  // namespace tsplit::runtime::passes
+
+#endif  // TSPLIT_RUNTIME_PASSES_POOL_REPLAY_H_

@@ -1,0 +1,270 @@
+// Lifetime-based slot coloring: interval-graph coloring over the
+// instruction stream so buffers with disjoint lifetimes and identical
+// (shape, alloc_bytes) share one arena slot — register allocation over
+// tensor lifetimes (the CHECKMATE-style packing angle), applied to the
+// many short-lived micro-tensors TSPLIT's splitting creates.
+//
+// Why it is safe:
+//  * Two buffers merge only when no instruction touches both lifetimes'
+//    ranges concurrently — a touch at the same position puts that
+//    position in both intervals, so they can never merge. Hence a
+//    compute's inputs and outputs, or a scatter's whole and parts, can
+//    never alias through a shared slot.
+//  * alloc_bytes must match, so the pool call sequence (sizes and order)
+//    is bit-identical and peak/OOM parity is preserved by construction.
+//  * The shape must match, so ExecAllocSlot's recycle-and-zero-fill path
+//    behaves exactly as before (and the kernel sees the same fresh-zero
+//    output buffer).
+//  * Gated on freed values being unobservable: a shared slot cannot keep
+//    an archive per occupant. Stage (source) slots, retained tensors and
+//    end-of-stream survivors' observability are handled by excluding
+//    stages/retained from sharing entirely and by recording the one
+//    end-of-stream occupant in SlotInfo::key (ValueOf rejects the rest).
+//
+// The payoff: the executor's per-slot resident storage (slot_device_)
+// shrinks from one tensor per buffer to one tensor per color, so the
+// steady-state working set tracks the plan's live set instead of the
+// whole program footprint — the ResNet-50 regression's root cause.
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/passes/pass.h"
+
+namespace tsplit::runtime::passes {
+
+namespace {
+
+using compiled::Instr;
+using compiled::InstrKind;
+using compiled::SlotInfo;
+
+constexpr int kNever = std::numeric_limits<int>::min();
+constexpr int kForever = std::numeric_limits<int>::max();
+
+class SlotColoringPass : public CompiledPass {
+ public:
+  const char* name() const override { return "color"; }
+
+  Result<bool> Run(const PassContext& ctx, CompiledProgram* cp,
+                   std::string* note) override {
+    const CompileOptions& options = *ctx.options;
+    if (!options.freed_values_unobservable) {
+      *note = "skipped: freed values observable";
+      return false;
+    }
+
+    const int n = static_cast<int>(cp->slots.size());
+    const int stream_end = static_cast<int>(cp->instrs.size());
+    std::vector<int> first(n, kForever);
+    std::vector<int> last(n, kNever);
+    std::vector<char> is_stage(n, 0);
+    std::vector<char> device(n, 0);
+    std::vector<char> host(n, 0);
+
+    for (const auto& st : cp->stages) {
+      is_stage[static_cast<size_t>(st.slot)] = 1;
+      first[static_cast<size_t>(st.slot)] = -1;
+      last[static_cast<size_t>(st.slot)] =
+          std::max(last[static_cast<size_t>(st.slot)], -1);
+      device[static_cast<size_t>(st.slot)] = 1;
+    }
+
+    auto touch = [&](int slot, int pos) {
+      first[static_cast<size_t>(slot)] =
+          std::min(first[static_cast<size_t>(slot)], pos);
+      last[static_cast<size_t>(slot)] =
+          std::max(last[static_cast<size_t>(slot)], pos);
+    };
+    for (int i = 0; i < stream_end; ++i) {
+      const Instr& ins = cp->instrs[i];
+      switch (ins.kind) {
+        case InstrKind::kCompute:
+          for (int s : cp->computes[static_cast<size_t>(ins.aux)].fence_slots) {
+            touch(s, i);
+          }
+          break;
+        case InstrKind::kSplitCopy:
+        case InstrKind::kMergeCopy: {
+          const auto& sc = cp->scatters[static_cast<size_t>(ins.aux)];
+          touch(sc.whole_slot, i);
+          for (int s : sc.part_slots) touch(s, i);
+          break;
+        }
+        case InstrKind::kAllocBatch:
+          for (int s : cp->batches[static_cast<size_t>(ins.aux)]) {
+            touch(s, i);
+            device[static_cast<size_t>(s)] = 1;
+          }
+          break;
+        case InstrKind::kFreeBatch:
+          for (int s : cp->batches[static_cast<size_t>(ins.aux)]) {
+            touch(s, i);
+            device[static_cast<size_t>(s)] = 0;
+          }
+          break;
+        default:
+          touch(ins.slot, i);
+          switch (ins.kind) {
+            case InstrKind::kAlloc:
+              device[static_cast<size_t>(ins.slot)] = 1;
+              break;
+            case InstrKind::kFree:
+            case InstrKind::kDrop:
+              device[static_cast<size_t>(ins.slot)] = 0;
+              break;
+            case InstrKind::kSwapOut:
+              device[static_cast<size_t>(ins.slot)] = 0;
+              host[static_cast<size_t>(ins.slot)] = 1;
+              break;
+            case InstrKind::kSwapIn:
+              host[static_cast<size_t>(ins.slot)] = 0;
+              device[static_cast<size_t>(ins.slot)] = 1;
+              break;
+            default:
+              break;
+          }
+          break;
+      }
+    }
+
+    // A buffer still device- or host-resident when the stream ends stays
+    // observable (ValueOf) — its lifetime extends past every instruction.
+    for (int s = 0; s < n; ++s) {
+      if (device[static_cast<size_t>(s)] || host[static_cast<size_t>(s)]) {
+        last[static_cast<size_t>(s)] = stream_end;
+      }
+    }
+
+    // Eligibility: the slot's lifetime must begin at a kAlloc (not a
+    // stage), its tensor must not be retained, and it must actually be
+    // touched. Ineligible slots keep their identity as singleton colors.
+    std::vector<char> eligible(n, 0);
+    for (int s = 0; s < n; ++s) {
+      if (is_stage[static_cast<size_t>(s)]) continue;
+      if (first[static_cast<size_t>(s)] == kForever) continue;
+      if (options.observable_tensors.count(
+              cp->slots[static_cast<size_t>(s)].key.tensor) > 0) {
+        continue;
+      }
+      const Instr& born = cp->instrs[static_cast<size_t>(
+          first[static_cast<size_t>(s)])];
+      if (born.kind != InstrKind::kAlloc || born.slot != s) continue;
+      eligible[static_cast<size_t>(s)] = 1;
+    }
+
+    // Greedy interval coloring in order of lifetime start. Colors are
+    // keyed by (shape, alloc_bytes) so every occupant of a color is
+    // interchangeable for both the pool and the tensor recycler.
+    struct Color {
+      int new_slot = -1;
+      int end = kNever;
+    };
+    std::vector<int> order;
+    for (int s = 0; s < n; ++s) order.push_back(s);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return first[static_cast<size_t>(a)] < first[static_cast<size_t>(b)];
+    });
+
+    std::map<std::pair<std::string, size_t>, std::vector<Color>> colors;
+    std::vector<int> remap(n, -1);
+    std::vector<SlotInfo> new_slots;
+    std::vector<int> end_of(n, kNever);  // new slot -> latest occupant end
+    std::vector<rewrite::BufferKey> end_key;
+
+    for (int s : order) {
+      const SlotInfo& info = cp->slots[static_cast<size_t>(s)];
+      int target = -1;
+      if (eligible[static_cast<size_t>(s)]) {
+        auto key = std::make_pair(info.shape.ToString(), info.alloc_bytes);
+        std::vector<Color>& bucket = colors[key];
+        for (Color& c : bucket) {
+          if (c.end < first[static_cast<size_t>(s)]) {
+            target = c.new_slot;
+            c.end = last[static_cast<size_t>(s)];
+            break;
+          }
+        }
+        if (target < 0) {
+          target = static_cast<int>(new_slots.size());
+          new_slots.push_back(info);
+          end_of.push_back(kNever);
+          end_key.resize(new_slots.size());
+          bucket.push_back(Color{target, last[static_cast<size_t>(s)]});
+        } else {
+          new_slots[static_cast<size_t>(target)].shared = true;
+        }
+      } else {
+        target = static_cast<int>(new_slots.size());
+        new_slots.push_back(info);
+        end_of.push_back(kNever);
+        end_key.resize(new_slots.size());
+      }
+      remap[static_cast<size_t>(s)] = target;
+      if (last[static_cast<size_t>(s)] >=
+          end_of[static_cast<size_t>(target)]) {
+        end_of[static_cast<size_t>(target)] = last[static_cast<size_t>(s)];
+        end_key[static_cast<size_t>(target)] = info.key;
+      }
+    }
+
+    if (new_slots.size() == cp->slots.size()) return false;
+
+    // The end-of-stream occupant is the only buffer whose value a shared
+    // slot can still expose; record it so ValueOf rejects the others.
+    for (size_t t = 0; t < new_slots.size(); ++t) {
+      if (new_slots[t].shared) new_slots[t].key = end_key[t];
+    }
+
+    const size_t before = cp->slots.size();
+    cp->slots = std::move(new_slots);
+    for (auto& [key, slot] : cp->slot_of) {
+      slot = remap[static_cast<size_t>(slot)];
+    }
+    for (auto& st : cp->stages) st.slot = remap[static_cast<size_t>(st.slot)];
+    for (auto& ins : cp->instrs) {
+      if (ins.slot >= 0) ins.slot = remap[static_cast<size_t>(ins.slot)];
+    }
+    for (auto& sc : cp->scatters) {
+      sc.whole_slot = remap[static_cast<size_t>(sc.whole_slot)];
+      for (int& s : sc.part_slots) s = remap[static_cast<size_t>(s)];
+    }
+    for (auto& m : cp->merges) {
+      for (int& s : m.part_slots) s = remap[static_cast<size_t>(s)];
+    }
+    for (auto& b : cp->batches) {
+      for (int& s : b) s = remap[static_cast<size_t>(s)];
+    }
+    for (auto& c : cp->computes) {
+      for (auto& in : c.inputs) {
+        if (in.slot >= 0) in.slot = remap[static_cast<size_t>(in.slot)];
+      }
+      for (int& s : c.out_slots) s = remap[static_cast<size_t>(s)];
+      std::vector<int> fences;
+      for (int s : c.fence_slots) {
+        int t = remap[static_cast<size_t>(s)];
+        if (std::find(fences.begin(), fences.end(), t) == fences.end()) {
+          fences.push_back(t);
+        }
+      }
+      c.fence_slots = std::move(fences);
+    }
+
+    *note = std::to_string(before) + " slots -> " +
+            std::to_string(cp->slots.size()) + " colors";
+    return true;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<CompiledPass> MakeSlotColoringPass() {
+  return std::make_unique<SlotColoringPass>();
+}
+
+}  // namespace tsplit::runtime::passes

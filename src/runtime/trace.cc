@@ -33,7 +33,8 @@ std::string Escape(const std::string& text) {
 
 std::string ToChromeTrace(const sim::Timeline& timeline,
                           const std::vector<MemorySample>* memory,
-                          const planner::PlannerStats* planner_stats) {
+                          const planner::PlannerStats* planner_stats,
+                          const std::vector<PassStats>* pass_stats) {
   std::ostringstream os;
   os << "{\"traceEvents\":[";
   bool first = true;
@@ -71,16 +72,34 @@ std::string ToChromeTrace(const sim::Timeline& timeline,
     }
     os << "}}";
   }
+  if (pass_stats != nullptr) {
+    for (const PassStats& pass : *pass_stats) {
+      os << ",{\"name\":\"compiled pass " << Escape(pass.name)
+         << "\",\"ph\":\"i\",\"s\":\"g\",\"pid\":1,\"tid\":0,\"ts\":0,"
+            "\"args\":{\"wall_us\":"
+         << pass.wall_seconds * 1e6 << ",\"changed\":"
+         << (pass.changed ? "true" : "false") << ",\"rolled_back\":"
+         << (pass.rolled_back ? "true" : "false") << ",\"instrs_before\":"
+         << pass.instrs_before << ",\"instrs_after\":" << pass.instrs_after
+         << ",\"slots_before\":" << pass.slots_before
+         << ",\"slots_after\":" << pass.slots_after
+         << ",\"static_bytes_before\":" << pass.static_bytes_before
+         << ",\"static_bytes_after\":" << pass.static_bytes_after
+         << ",\"note\":\"" << Escape(pass.note) << "\"}}";
+    }
+  }
   os << "]}";
   return os.str();
 }
 
 bool WriteChromeTrace(const sim::Timeline& timeline, const std::string& path,
                       const std::vector<MemorySample>* memory,
-                      const planner::PlannerStats* planner_stats) {
+                      const planner::PlannerStats* planner_stats,
+                      const std::vector<PassStats>* pass_stats) {
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) return false;
-  std::string json = ToChromeTrace(timeline, memory, planner_stats);
+  std::string json =
+      ToChromeTrace(timeline, memory, planner_stats, pass_stats);
   size_t written = std::fwrite(json.data(), 1, json.size(), file);
   std::fclose(file);
   return written == json.size();

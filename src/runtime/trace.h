@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "planner/planner_stats.h"
+#include "runtime/compiled_program.h"
 #include "runtime/sim_executor.h"
 #include "sim/timeline.h"
 
@@ -21,17 +22,21 @@ namespace tsplit::runtime {
 // (the Fig 2a footprint curve rendered alongside the streams). When
 // `planner_stats` is non-null and populated, an instant event at t=0 embeds
 // the planning-phase instrumentation (rounds, cache hit rates, phase wall
-// times) so a trace is self-describing about how its plan was built.
+// times) so a trace is self-describing about how its plan was built. When
+// `pass_stats` is non-null and non-empty, one "compiled pass" instant event
+// per pipeline pass embeds its wall time and instruction/slot/byte deltas.
 std::string ToChromeTrace(
     const sim::Timeline& timeline,
     const std::vector<MemorySample>* memory = nullptr,
-    const planner::PlannerStats* planner_stats = nullptr);
+    const planner::PlannerStats* planner_stats = nullptr,
+    const std::vector<PassStats>* pass_stats = nullptr);
 
 // Writes the trace to `path`; returns false on I/O failure.
 bool WriteChromeTrace(
     const sim::Timeline& timeline, const std::string& path,
     const std::vector<MemorySample>* memory = nullptr,
-    const planner::PlannerStats* planner_stats = nullptr);
+    const planner::PlannerStats* planner_stats = nullptr,
+    const std::vector<PassStats>* pass_stats = nullptr);
 
 }  // namespace tsplit::runtime
 

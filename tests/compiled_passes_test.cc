@@ -1,0 +1,396 @@
+// Per-pass correctness of the compiled-artifact optimization pipeline
+// (runtime/passes): every pass — alone and composed — must leave the
+// artifact VerifyCompiled-clean and the execution value/peak bit-identical
+// to the map-based reference executor, on all five model families under
+// tight and loose budgets, in the Trainer's steady-state configuration
+// (keep_freed_values off, loss retained) where the observability-gated
+// passes actually engage. Also pins the pipeline order, the slot-coloring
+// footprint reduction on ResNet-50/VGG-16 (the regression this pipeline
+// fixes), dead-pair elimination on a synthetic stream, and the pass
+// selection parser.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "analysis/verifier.h"
+#include "graph/liveness.h"
+#include "graph/schedule.h"
+#include "models/model.h"
+#include "planner/profile.h"
+#include "planner/tsplit_planner.h"
+#include "rewrite/program.h"
+#include "runtime/compiled_program.h"
+#include "runtime/functional_executor.h"
+#include "runtime/interpreter.h"
+#include "runtime/passes/pass.h"
+#include "runtime/passes/pool_replay.h"
+
+namespace tsplit {
+namespace {
+
+struct TestBench {
+  models::Model model;
+  Schedule schedule;
+  planner::GraphProfile profile;
+  MemoryProfile baseline;
+};
+
+TestBench MakeBench(models::Model model) {
+  auto schedule = BuildSchedule(model.graph);
+  TSPLIT_CHECK_OK(schedule.status());
+  auto profile = planner::ProfileGraph(model.graph, sim::TitanRtx());
+  auto baseline = ComputeMemoryProfile(model.graph, *schedule);
+  return TestBench{std::move(model), std::move(*schedule),
+                   std::move(profile), baseline};
+}
+
+models::Model MustBuild(Result<models::Model> model) {
+  TSPLIT_CHECK_OK(model.status());
+  return std::move(*model);
+}
+
+models::Model BuildByShortName(const std::string& name) {
+  if (name == "vgg16") {
+    models::CnnConfig config;
+    config.batch = 8;
+    config.image_size = 16;
+    config.num_classes = 4;
+    config.channel_scale = 8.0 / 64.0;
+    return MustBuild(models::BuildVgg(16, config));
+  }
+  if (name == "resnet50") {
+    models::CnnConfig config;
+    config.batch = 2;
+    config.image_size = 32;
+    config.num_classes = 3;
+    config.channel_scale = 4.0 / 64.0;
+    return MustBuild(models::BuildResNet(50, config));
+  }
+  if (name == "gpt") {
+    models::GptConfig config;
+    config.num_layers = 2;
+    config.batch = 2;
+    config.seq_len = 16;
+    config.hidden = 32;
+    config.num_heads = 2;
+    config.vocab = 64;
+    return MustBuild(models::BuildGpt(config));
+  }
+  if (name == "transformer") {
+    models::TransformerConfig config;
+    config.num_layers = 2;
+    config.batch = 2;
+    config.seq_len = 8;
+    config.hidden = 16;
+    config.num_heads = 2;
+    config.ffn_mult = 2;
+    config.vocab = 32;
+    return MustBuild(models::BuildTransformer(config));
+  }
+  return MustBuild(models::BuildMlp({}));
+}
+
+// Planning the larger families is the expensive part of these tests; one
+// bench and one program per (model, fraction) are shared across every
+// pass-selection case in the suite.
+TestBench& BenchFor(const std::string& name) {
+  static std::map<std::string, std::unique_ptr<TestBench>>& cache =
+      *new std::map<std::string, std::unique_ptr<TestBench>>();
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    it = cache
+             .emplace(name, std::make_unique<TestBench>(
+                                MakeBench(BuildByShortName(name))))
+             .first;
+  }
+  return *it->second;
+}
+
+size_t EvictableBudget(const TestBench& bench, double fraction) {
+  size_t floor = bench.baseline.always_live_bytes +
+                 bench.model.graph.BytesOfKind(TensorKind::kParamGrad);
+  return floor + static_cast<size_t>(
+                     (bench.baseline.peak_bytes - floor) * fraction);
+}
+
+const rewrite::Program* ProgramFor(const std::string& name,
+                                   double fraction) {
+  static std::map<std::string, std::unique_ptr<rewrite::Program>>& cache =
+      *new std::map<std::string, std::unique_ptr<rewrite::Program>>();
+  std::string key = name + "@" + std::to_string(fraction);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second.get();
+
+  TestBench& bench = BenchFor(name);
+  planner::TsplitPlanner planner;
+  auto plan = planner.BuildPlan(bench.model.graph, bench.schedule,
+                                bench.profile,
+                                EvictableBudget(bench, fraction));
+  std::unique_ptr<rewrite::Program> program;
+  if (plan.ok()) {
+    auto generated = rewrite::GenerateProgram(bench.model.graph,
+                                              bench.schedule, *plan,
+                                              bench.profile);
+    TSPLIT_CHECK_OK(generated.status());
+    program = std::make_unique<rewrite::Program>(std::move(*generated));
+  }
+  return cache.emplace(key, std::move(program)).first->second.get();
+}
+
+// Trainer steady state: keep_freed_values off, the loss retained — the
+// configuration where the observability-gated passes (dce, color) engage.
+std::unique_ptr<runtime::FunctionalExecutor> MakeExecutor(
+    const TestBench& bench, size_t capacity, bool compiled,
+    const std::string& passes) {
+  auto exec = std::make_unique<runtime::FunctionalExecutor>(
+      &bench.model.graph, capacity);
+  exec->set_compiled(compiled);
+  exec->set_keep_freed_values(false);
+  exec->set_compiled_passes(passes);
+  exec->RetainValue(bench.model.loss);
+  auto bindings = runtime::MakeRandomBindings(bench.model.graph, 17);
+  for (auto& [id, value] : bindings) {
+    TSPLIT_CHECK_OK(exec->Bind(id, std::move(value)));
+  }
+  return exec;
+}
+
+// Every tensor must agree bitwise between the two executors, including
+// which tensors are observable at all (NotFound parity).
+void ExpectIdenticalValues(const TestBench& bench,
+                           const runtime::FunctionalExecutor& ref,
+                           const runtime::FunctionalExecutor& comp) {
+  const Graph& graph = bench.model.graph;
+  for (TensorId id = 0; id < graph.num_tensors(); ++id) {
+    auto a = ref.ValueOf(id);
+    auto b = comp.ValueOf(id);
+    ASSERT_EQ(a.ok(), b.ok())
+        << graph.tensor(id).name << ": reference " << a.status().ToString()
+        << " vs compiled " << b.status().ToString();
+    if (!a.ok()) continue;
+    ASSERT_TRUE(a->shape() == b->shape()) << graph.tensor(id).name;
+    ASSERT_EQ(a->vec().size(), b->vec().size()) << graph.tensor(id).name;
+    EXPECT_EQ(std::memcmp(a->vec().data(), b->vec().data(),
+                          a->vec().size() * sizeof(float)),
+              0)
+        << "bitwise mismatch in " << graph.tensor(id).name;
+  }
+}
+
+void ExpectVerifyClean(const TestBench& bench,
+                       const rewrite::Program& program,
+                       const runtime::CompiledProgram& cp) {
+  auto diagnostics =
+      analysis::VerifyCompiled(bench.model.graph, program, cp);
+  EXPECT_TRUE(analysis::ToStatus(diagnostics, &bench.model.graph).ok())
+      << analysis::RenderAll(diagnostics, &bench.model.graph);
+}
+
+class CompiledPassTest
+    : public ::testing::TestWithParam<std::tuple<const char*, const char*>> {
+};
+
+TEST_P(CompiledPassTest, ParityAndVerifyAcrossBudgets) {
+  const std::string model = std::get<0>(GetParam());
+  const std::string passes = std::get<1>(GetParam());
+  TestBench& bench = BenchFor(model);
+  for (double fraction : {0.3, 0.9}) {
+    const rewrite::Program* program = ProgramFor(model, fraction);
+    if (program == nullptr) continue;  // plan infeasible at this budget
+    size_t budget = EvictableBudget(bench, fraction);
+    size_t capacity = budget + budget / 4;
+    SCOPED_TRACE(model + " passes=" + passes + " fraction " +
+                 std::to_string(fraction));
+
+    auto ref = MakeExecutor(bench, capacity, /*compiled=*/false, "none");
+    auto comp = MakeExecutor(bench, capacity, /*compiled=*/true, passes);
+    Status ref_run = ref->Run(*program);
+    Status comp_run = comp->Run(*program);
+    ASSERT_EQ(ref_run.ok(), comp_run.ok())
+        << "reference: " << ref_run.ToString()
+        << "\ncompiled: " << comp_run.ToString();
+    if (!ref_run.ok()) {
+      EXPECT_EQ(ref_run.code(), comp_run.code());
+      continue;
+    }
+    EXPECT_EQ(ref->peak_device_bytes(), comp->peak_device_bytes());
+    EXPECT_EQ(ref->host_bytes(), comp->host_bytes());
+    EXPECT_EQ(ref->archived_bytes(), comp->archived_bytes());
+    ExpectIdenticalValues(bench, *ref, *comp);
+
+    const runtime::CompiledProgram* artifact = comp->compiled_program();
+    ASSERT_NE(artifact, nullptr);
+    ExpectVerifyClean(bench, *program, *artifact);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, CompiledPassTest,
+    ::testing::Combine(::testing::Values("vgg16", "resnet50", "gpt",
+                                         "transformer", "mlp"),
+                       ::testing::Values("dce", "color", "autotune", "batch",
+                                         "all")),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param)) + "_" +
+             std::string(std::get<1>(info.param));
+    });
+
+TEST(PassPipelineTest, PassesRunInPipelineOrder) {
+  TestBench& bench = BenchFor("mlp");
+  const rewrite::Program* program = ProgramFor("mlp", 0.3);
+  ASSERT_NE(program, nullptr);
+  size_t budget = EvictableBudget(bench, 0.3);
+  auto comp =
+      MakeExecutor(bench, budget + budget / 4, /*compiled=*/true, "all");
+  ASSERT_TRUE(comp->Run(*program).ok());
+  const runtime::CompiledProgram* artifact = comp->compiled_program();
+  ASSERT_NE(artifact, nullptr);
+  ASSERT_EQ(artifact->pass_stats.size(), 4u);
+  EXPECT_EQ(artifact->pass_stats[0].name, "dce");
+  EXPECT_EQ(artifact->pass_stats[1].name, "color");
+  EXPECT_EQ(artifact->pass_stats[2].name, "autotune");
+  EXPECT_EQ(artifact->pass_stats[3].name, "batch");
+  for (const auto& stats : artifact->pass_stats) {
+    EXPECT_FALSE(stats.rolled_back) << stats.name << ": " << stats.note;
+  }
+}
+
+// The acceptance criterion behind the ResNet-50 fix: slot coloring must
+// measurably shrink the artifact's pinned slot storage on the two CNN
+// families whose long streams of short-lived conv tensors caused the
+// regression.
+TEST(SlotColoringTest, ReducesStaticFootprintOnCnns) {
+  for (const char* model : {"resnet50", "vgg16"}) {
+    TestBench& bench = BenchFor(model);
+    const rewrite::Program* program = ProgramFor(model, 0.3);
+    ASSERT_NE(program, nullptr) << model;
+    size_t budget = EvictableBudget(bench, 0.3);
+    size_t capacity = budget + budget / 4;
+
+    auto plain = MakeExecutor(bench, capacity, /*compiled=*/true, "none");
+    auto colored =
+        MakeExecutor(bench, capacity, /*compiled=*/true, "color");
+    ASSERT_TRUE(plain->Run(*program).ok()) << model;
+    ASSERT_TRUE(colored->Run(*program).ok()) << model;
+    const runtime::CompiledProgram* before = plain->compiled_program();
+    const runtime::CompiledProgram* after = colored->compiled_program();
+    ASSERT_NE(before, nullptr);
+    ASSERT_NE(after, nullptr);
+    EXPECT_LT(after->slots.size(), before->slots.size()) << model;
+    EXPECT_LT(after->SlotBytes(), before->SlotBytes()) << model;
+    EXPECT_LT(after->StaticFootprintBytes(), before->StaticFootprintBytes())
+        << model;
+  }
+}
+
+TEST(LookaheadAutotuneTest, ChosenDepthIsRecordedOnTheArtifact) {
+  TestBench& bench = BenchFor("resnet50");
+  const rewrite::Program* program = ProgramFor("resnet50", 0.3);
+  ASSERT_NE(program, nullptr);
+  size_t budget = EvictableBudget(bench, 0.3);
+  auto comp = MakeExecutor(bench, budget + budget / 4, /*compiled=*/true,
+                           "autotune");
+  ASSERT_TRUE(comp->Run(*program).ok());
+  const runtime::CompiledProgram* artifact = comp->compiled_program();
+  ASSERT_NE(artifact, nullptr);
+  ASSERT_EQ(artifact->pass_stats.size(), 1u);
+  const runtime::PassStats& stats = artifact->pass_stats[0];
+  EXPECT_EQ(stats.name, "autotune");
+  if (stats.changed) {
+    EXPECT_GT(artifact->swap_in_lookahead, 0) << stats.note;
+  } else {
+    EXPECT_EQ(artifact->swap_in_lookahead, 0) << stats.note;
+  }
+}
+
+// A synthetic dead alloc/free pair prepended to a real artifact must be
+// eliminated (it cannot set the peak from the stream prologue), while the
+// rest of the stream survives untouched.
+TEST(DeadInstructionEliminationTest, RemovesSyntheticDeadPair) {
+  TestBench& bench = BenchFor("mlp");
+  const rewrite::Program* program = ProgramFor("mlp", 0.9);
+  ASSERT_NE(program, nullptr);
+
+  runtime::CompileOptions options;
+  options.passes = "none";
+  auto compiled = runtime::CompiledProgram::Compile(bench.model.graph,
+                                                    *program, options);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  runtime::CompiledProgram cp = std::move(*compiled);
+
+  // A fresh 64-element slot, allocated and freed before the real stream
+  // begins: dead by construction and far below the later peak.
+  runtime::compiled::SlotInfo dead_slot;
+  dead_slot.key.tensor = bench.model.loss;
+  dead_slot.key.micro = 997;  // no real buffer uses this key
+  dead_slot.shape = Shape({64});
+  dead_slot.alloc_bytes = 64 * sizeof(float);
+  int slot_index = static_cast<int>(cp.slots.size());
+  cp.slots.push_back(dead_slot);
+  runtime::compiled::Instr alloc;
+  alloc.kind = runtime::compiled::InstrKind::kAlloc;
+  alloc.slot = slot_index;
+  runtime::compiled::Instr free_ins;
+  free_ins.kind = runtime::compiled::InstrKind::kFree;
+  free_ins.slot = slot_index;
+  cp.instrs.insert(cp.instrs.begin(), {alloc, free_ins});
+  const size_t with_pair = cp.instrs.size();
+
+  runtime::CompileOptions pass_options;
+  pass_options.freed_values_unobservable = true;
+  runtime::passes::PassContext ctx;
+  ctx.graph = &bench.model.graph;
+  ctx.program = program;
+  ctx.options = &pass_options;
+  auto pass = runtime::passes::MakeDeadInstructionEliminationPass();
+  std::string note;
+  auto changed = pass->Run(ctx, &cp, &note);
+  ASSERT_TRUE(changed.ok()) << changed.status().ToString();
+  EXPECT_TRUE(*changed) << note;
+  EXPECT_EQ(cp.instrs.size(), with_pair - 2) << note;
+  for (const auto& ins : cp.instrs) {
+    EXPECT_NE(ins.slot, slot_index);
+  }
+}
+
+TEST(PassSelectionTest, ParsesAllNoneAndSubsets) {
+  using runtime::passes::PassEnabled;
+  EXPECT_TRUE(PassEnabled("all", "dce"));
+  EXPECT_TRUE(PassEnabled("", "color"));
+  EXPECT_FALSE(PassEnabled("none", "dce"));
+  EXPECT_TRUE(PassEnabled("dce", "dce"));
+  EXPECT_FALSE(PassEnabled("dce", "color"));
+  EXPECT_TRUE(PassEnabled("dce,batch", "batch"));
+  EXPECT_TRUE(PassEnabled("color,autotune,batch", "autotune"));
+  EXPECT_FALSE(PassEnabled("color,autotune", "batch"));
+  EXPECT_FALSE(PassEnabled("dcex", "dce"));
+}
+
+// The pool replay used as the pipeline's peak/OOM oracle must agree with
+// the real executor's pool on a representative artifact.
+TEST(PoolReplayTest, MatchesExecutorPeak) {
+  TestBench& bench = BenchFor("mlp");
+  const rewrite::Program* program = ProgramFor("mlp", 0.3);
+  ASSERT_NE(program, nullptr);
+  size_t budget = EvictableBudget(bench, 0.3);
+  size_t capacity = budget + budget / 4;
+
+  auto comp = MakeExecutor(bench, capacity, /*compiled=*/true, "none");
+  ASSERT_TRUE(comp->Run(*program).ok());
+  const runtime::CompiledProgram* artifact = comp->compiled_program();
+  ASSERT_NE(artifact, nullptr);
+
+  runtime::passes::PoolReplayResult replay =
+      runtime::passes::ReplayPool(*artifact, artifact->instrs, capacity);
+  ASSERT_TRUE(replay.ok);
+  EXPECT_EQ(replay.peak_in_use, comp->peak_device_bytes());
+}
+
+}  // namespace
+}  // namespace tsplit

@@ -8,6 +8,7 @@
 //   tsplit_lint [--model NAME] [--batch N] [--scale F]
 //               [--planner NAME | --plan FILE]
 //               [--capacity-mb N | --fraction F] [--lookahead N]
+//               [--passes STR] [--dump-compiled]
 //               [--corrupt KIND] [--list-codes]
 //
 //   --model NAME      model zoo name (default MLP; see models::BuildByName)
@@ -19,6 +20,13 @@
 //   --fraction F      derive the budget: floor + F * (peak - floor)
 //                     (default 0.6 when --capacity-mb is absent)
 //   --lookahead N     compile-time swap-in prefetch depth (default 0)
+//   --passes STR      compiled pass selection: "all", "none", or a comma
+//                     subset of {dce,color,autotune,batch} (default all)
+//   --dump-compiled   compile with executor-equivalent pass options
+//                     (Trainer's steady state: freed values unobservable,
+//                     real pool capacity, autotune on) and print the pass
+//                     pipeline stats, slot lifetimes, workspace high-water
+//                     and the final instruction stream
 //   --corrupt KIND    inject a deliberate defect first (self-test/demo):
 //                       swap-in-after-use  move a kSwapIn past its consumer
 //                       overlap-offsets    overlap compiled scatter extents
@@ -61,6 +69,8 @@ struct Args {
   size_t capacity_mb = 0;
   double fraction = 0.6;
   int lookahead = 0;
+  std::string passes = "all";
+  bool dump_compiled = false;
   std::string corrupt;
   bool list_codes = false;
 };
@@ -71,6 +81,7 @@ void PrintUsage() {
       "usage: tsplit_lint [--model NAME] [--batch N] [--scale F]\n"
       "                   [--planner NAME | --plan FILE]\n"
       "                   [--capacity-mb N | --fraction F] [--lookahead N]\n"
+      "                   [--passes STR] [--dump-compiled]\n"
       "                   [--corrupt swap-in-after-use|overlap-offsets|"
       "recompute-rng]\n"
       "                   [--list-codes]\n");
@@ -116,6 +127,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = value();
       if (v == nullptr) return false;
       args->lookahead = std::atoi(v);
+    } else if (flag == "--passes") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      args->passes = v;
+    } else if (flag == "--dump-compiled") {
+      args->dump_compiled = true;
     } else if (flag == "--corrupt") {
       const char* v = value();
       if (v == nullptr) return false;
@@ -201,6 +218,204 @@ bool CorruptRecomputeRng(const Graph& graph, rewrite::Program* program) {
     }
   }
   return false;
+}
+
+std::string SlotName(const Graph& graph, const runtime::CompiledProgram& cp,
+                     int slot) {
+  if (slot < 0 || static_cast<size_t>(slot) >= cp.slots.size()) {
+    return "s" + std::to_string(slot);
+  }
+  const auto& key = cp.slots[static_cast<size_t>(slot)].key;
+  std::string name = key.tensor >= 0 && key.tensor < graph.num_tensors()
+                         ? graph.tensor(key.tensor).name
+                         : "t" + std::to_string(key.tensor);
+  if (key.micro >= 0) name += "." + std::to_string(key.micro);
+  return name;
+}
+
+// Prints the pass-pipeline stats, per-slot lifetimes, workspace
+// high-water and the final instruction stream of `cp`.
+void DumpCompiled(const Graph& graph, const runtime::CompiledProgram& cp) {
+  using runtime::compiled::Instr;
+  using runtime::compiled::InstrKind;
+
+  std::printf("== pass pipeline ==\n");
+  if (cp.pass_stats.empty()) {
+    std::printf("(no passes ran)\n");
+  } else {
+    std::printf("%-9s %-8s %8s  %-14s %-12s %-20s %s\n", "pass", "state",
+                "wall_ms", "instrs", "slots", "static KiB", "note");
+    for (const auto& p : cp.pass_stats) {
+      std::string instrs = std::to_string(p.instrs_before) + "->" +
+                           std::to_string(p.instrs_after);
+      std::string slots = std::to_string(p.slots_before) + "->" +
+                          std::to_string(p.slots_after);
+      std::string bytes = std::to_string(p.static_bytes_before >> 10) +
+                          "->" + std::to_string(p.static_bytes_after >> 10);
+      std::printf("%-9s %-8s %8.2f  %-14s %-12s %-20s %s\n", p.name.c_str(),
+                  p.rolled_back ? "ROLLBACK"
+                                : (p.changed ? "changed" : "no-op"),
+                  p.wall_seconds * 1e3, instrs.c_str(), slots.c_str(),
+                  bytes.c_str(), p.note.c_str());
+    }
+  }
+
+  // Slot lifetimes: first/last instruction position touching each slot
+  // (stages count as position -1, "end" marks survival past the stream).
+  const size_t n = cp.slots.size();
+  const int stream_end = static_cast<int>(cp.instrs.size());
+  std::vector<int> first(n, stream_end);
+  std::vector<int> last(n, -2);
+  std::vector<char> live(n, 0);
+  for (const auto& st : cp.stages) {
+    first[static_cast<size_t>(st.slot)] = -1;
+    last[static_cast<size_t>(st.slot)] = -1;
+    live[static_cast<size_t>(st.slot)] = 1;
+  }
+  auto touch = [&](int slot, int pos) {
+    if (slot < 0 || static_cast<size_t>(slot) >= n) return;
+    size_t s = static_cast<size_t>(slot);
+    if (pos < first[s]) first[s] = pos;
+    if (pos > last[s]) last[s] = pos;
+  };
+  for (int i = 0; i < stream_end; ++i) {
+    const Instr& ins = cp.instrs[static_cast<size_t>(i)];
+    switch (ins.kind) {
+      case InstrKind::kCompute:
+        for (int s : cp.computes[static_cast<size_t>(ins.aux)].fence_slots) {
+          touch(s, i);
+        }
+        break;
+      case InstrKind::kSplitCopy:
+      case InstrKind::kMergeCopy: {
+        const auto& sc = cp.scatters[static_cast<size_t>(ins.aux)];
+        touch(sc.whole_slot, i);
+        for (int s : sc.part_slots) touch(s, i);
+        break;
+      }
+      case InstrKind::kAllocBatch:
+        for (int s : cp.batches[static_cast<size_t>(ins.aux)]) {
+          touch(s, i);
+          live[static_cast<size_t>(s)] = 1;
+        }
+        break;
+      case InstrKind::kFreeBatch:
+        for (int s : cp.batches[static_cast<size_t>(ins.aux)]) {
+          touch(s, i);
+          live[static_cast<size_t>(s)] = 0;
+        }
+        break;
+      default:
+        touch(ins.slot, i);
+        if (ins.kind == InstrKind::kAlloc ||
+            ins.kind == InstrKind::kSwapIn) {
+          live[static_cast<size_t>(ins.slot)] = 1;
+        } else if (ins.kind == InstrKind::kFree ||
+                   ins.kind == InstrKind::kDrop ||
+                   ins.kind == InstrKind::kSwapOut) {
+          live[static_cast<size_t>(ins.slot)] = 0;
+        }
+        break;
+    }
+  }
+
+  size_t shared = 0;
+  for (const auto& s : cp.slots) shared += s.shared ? 1 : 0;
+  std::printf("\n== artifact ==\n");
+  std::printf(
+      "instrs=%zu slots=%zu (%zu shared) slot_bytes=%zu KiB "
+      "static_footprint=%zu KiB workspace_highwater=%zu KiB "
+      "lookahead=%d batches=%zu\n",
+      cp.instrs.size(), cp.slots.size(), shared, cp.SlotBytes() >> 10,
+      cp.StaticFootprintBytes() >> 10, cp.workspace_highwater >> 10,
+      cp.swap_in_lookahead, cp.batches.size());
+
+  std::printf("\n== slot lifetimes ==\n");
+  std::printf("%-5s %-28s %-16s %10s  %s\n", "slot", "buffer", "shape",
+              "KiB", "lifetime");
+  for (size_t s = 0; s < n; ++s) {
+    std::string life;
+    if (last[s] < -1) {
+      life = "untouched";
+    } else {
+      life = "[" + std::to_string(first[s]) + ", " +
+             (live[s] ? "end" : std::to_string(last[s])) + "]";
+    }
+    std::printf("%-5zu %-28s %-16s %10.1f  %s%s\n", s,
+                SlotName(graph, cp, static_cast<int>(s)).c_str(),
+                cp.slots[s].shape.ToString().c_str(),
+                static_cast<double>(cp.slots[s].alloc_bytes) / 1024.0,
+                life.c_str(), cp.slots[s].shared ? "  (shared)" : "");
+  }
+
+  std::printf("\n== instruction stream ==\n");
+  for (const auto& st : cp.stages) {
+    std::printf("stage  %s -> slot %d%s\n",
+                st.tensor >= 0 && st.tensor < graph.num_tensors()
+                    ? graph.tensor(st.tensor).name.c_str()
+                    : "?",
+                st.slot, st.is_part ? " (part)" : "");
+  }
+  for (int i = 0; i < stream_end; ++i) {
+    const Instr& ins = cp.instrs[static_cast<size_t>(i)];
+    std::printf("%5d  ", i);
+    switch (ins.kind) {
+      case InstrKind::kAlloc:
+        std::printf("alloc     s%-4d %s\n", ins.slot,
+                    SlotName(graph, cp, ins.slot).c_str());
+        break;
+      case InstrKind::kFree:
+        std::printf("free      s%-4d %s\n", ins.slot,
+                    SlotName(graph, cp, ins.slot).c_str());
+        break;
+      case InstrKind::kDrop:
+        std::printf("drop      s%-4d %s\n", ins.slot,
+                    SlotName(graph, cp, ins.slot).c_str());
+        break;
+      case InstrKind::kSwapOut:
+        std::printf("swap-out  s%-4d %s\n", ins.slot,
+                    SlotName(graph, cp, ins.slot).c_str());
+        break;
+      case InstrKind::kSwapIn:
+        std::printf("swap-in   s%-4d %s\n", ins.slot,
+                    SlotName(graph, cp, ins.slot).c_str());
+        break;
+      case InstrKind::kAllocBatch:
+      case InstrKind::kFreeBatch: {
+        const auto& b = cp.batches[static_cast<size_t>(ins.aux)];
+        std::printf("%s x%zu  [",
+                    ins.kind == InstrKind::kAllocBatch ? "alloc-batch"
+                                                       : "free-batch ",
+                    b.size());
+        for (size_t k = 0; k < b.size(); ++k) {
+          std::printf("%ss%d", k > 0 ? " " : "", b[k]);
+        }
+        std::printf("]\n");
+        break;
+      }
+      case InstrKind::kSplitCopy:
+      case InstrKind::kMergeCopy: {
+        const auto& sc = cp.scatters[static_cast<size_t>(ins.aux)];
+        std::printf("%s s%-4d %s x%zu parts\n",
+                    ins.kind == InstrKind::kSplitCopy ? "split    "
+                                                      : "merge    ",
+                    sc.whole_slot,
+                    SlotName(graph, cp, sc.whole_slot).c_str(),
+                    sc.part_slots.size());
+        break;
+      }
+      case InstrKind::kCompute: {
+        const auto& c = cp.computes[static_cast<size_t>(ins.aux)];
+        std::printf("compute   %s%s", c.node->name.c_str(),
+                    c.whole ? "" : " (micro)");
+        if (c.workspace_bytes > 0) {
+          std::printf("  ws=%zu KiB", c.workspace_bytes >> 10);
+        }
+        std::printf("\n");
+        break;
+      }
+    }
+  }
 }
 
 int RunLint(const Args& args) {
@@ -303,8 +518,20 @@ int RunLint(const Args& args) {
     }
   }
 
+  // Trainer provisions the pool with 25% headroom over the planning
+  // budget; feasibility checks and the pass pipeline both use it.
+  const size_t provisioned = capacity + capacity / 4;
+
   runtime::CompileOptions compile_options;
   compile_options.swap_in_lookahead = args.lookahead;
+  compile_options.passes = args.passes;
+  if (args.dump_compiled) {
+    // Mirror the executor's steady-state options so every pass engages
+    // the way it does under Trainer (keep_freed_values off, real pool).
+    compile_options.autotune_lookahead = args.lookahead == 0;
+    compile_options.pool_capacity = provisioned;
+    compile_options.freed_values_unobservable = true;
+  }
   Result<runtime::CompiledProgram> compiled_or =
       runtime::CompiledProgram::Compile(graph, program, compile_options);
   if (!compiled_or.ok()) {
@@ -333,7 +560,7 @@ int RunLint(const Args& args) {
   analysis::VerifyOptions options;
   // The feasibility budget matches what Trainer provisions: the planning
   // budget plus 25% headroom for alignment / transient ordering.
-  options.capacity_bytes = capacity + capacity / 4;
+  options.capacity_bytes = provisioned;
   std::vector<analysis::Diagnostic> diagnostics = analysis::VerifyAll(
       graph, &schedule, &plan, &program, &compiled, options);
 
@@ -346,6 +573,7 @@ int RunLint(const Args& args) {
               program.steps.size(), compiled.instrs.size(),
               compiled.slots.size(),
               analysis::ReplayPeakBytes(graph, program));
+  if (args.dump_compiled) DumpCompiled(graph, compiled);
   if (diagnostics.empty()) {
     std::printf("clean: no findings\n");
     return 0;
