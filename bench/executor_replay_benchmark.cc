@@ -61,6 +61,10 @@ struct BenchResult {
   size_t budget_bytes = 0;
   int program_steps = 0;
   int iters = 0;
+  bool fusion = false;         // planned with operator fusion enabled
+  size_t fused_groups = 0;     // super-ops in the plan
+  size_t ephemeral_bytes = 0;  // pool bytes fusion keeps ephemeral
+  size_t peak_bytes = 0;       // measured device peak (both paths agree)
   bool planned = false;
   bool ran = false;
   bool values_match = false;
@@ -241,10 +245,11 @@ PairRun RunPair(const models::Model& model, const rewrite::Program& program,
 }
 
 BenchResult RunCase(const BenchCase& c, double fraction, bool smoke,
-                    int forced_iters) {
+                    int forced_iters, bool fusion = false) {
   BenchResult r;
-  r.label = c.label;
+  r.label = fusion ? c.label + "+fuse" : c.label;
   r.budget_fraction = fraction;
+  r.fusion = fusion;
 
   auto schedule = BuildSchedule(c.model.graph);
   TSPLIT_CHECK_OK(schedule.status());
@@ -255,7 +260,9 @@ BenchResult RunCase(const BenchCase& c, double fraction, bool smoke,
   r.budget_bytes =
       floor + static_cast<size_t>((baseline.peak_bytes - floor) * fraction);
 
-  planner::TsplitPlanner planner;
+  planner::TsplitOptions popts;
+  popts.enable_fusion = fusion;
+  planner::TsplitPlanner planner(popts);
   auto plan = planner.BuildPlan(c.model.graph, *schedule, profile,
                                 r.budget_bytes);
   if (!plan.ok()) return r;  // budget infeasible: skip row
@@ -264,6 +271,8 @@ BenchResult RunCase(const BenchCase& c, double fraction, bool smoke,
   TSPLIT_CHECK_OK(program.status());
   r.planned = true;
   r.program_steps = static_cast<int>(program->steps.size());
+  r.fused_groups = plan->fusion_groups.size();
+  r.ephemeral_bytes = plan->EphemeralBytes(c.model.graph);
 
   // Same headroom over the planning budget the Trainer leaves.
   size_t capacity = r.budget_bytes + r.budget_bytes / 4;
@@ -293,6 +302,7 @@ BenchResult RunCase(const BenchCase& c, double fraction, bool smoke,
   r.ran = true;
   r.reference_steps_per_sec = ref.steps_per_sec;
   r.compiled_steps_per_sec = comp.steps_per_sec;
+  r.peak_bytes = ref.peak_device_bytes;
   r.peak_match = ref.peak_device_bytes == comp.peak_device_bytes;
   r.values_match =
       ref.loss.shape() == comp.loss.shape() &&
@@ -362,18 +372,22 @@ double GateFloor(const std::vector<RecordedRow>& recorded,
 }
 
 void AppendJson(std::string* out, const BenchResult& r) {
-  char buffer[512];
+  char buffer[768];
   std::snprintf(
       buffer, sizeof(buffer),
       "    {\"model\": \"%s\", \"budget_fraction\": %.2f, "
       "\"budget_bytes\": %zu, \"program_steps\": %d, \"iters\": %d, "
+      "\"fusion\": %s, \"fused_groups\": %zu, \"ephemeral_bytes\": %zu, "
+      "\"peak_bytes\": %zu, "
       "\"planned\": %s, \"ran\": %s, \"values_match\": %s, "
       "\"peak_match\": %s, \"reference_steps_per_sec\": %.3f, "
       "\"compiled_steps_per_sec\": %.3f, \"speedup\": %.2f}",
       r.label.c_str(), r.budget_fraction, r.budget_bytes, r.program_steps,
-      r.iters, r.planned ? "true" : "false", r.ran ? "true" : "false",
-      r.values_match ? "true" : "false", r.peak_match ? "true" : "false",
-      r.reference_steps_per_sec, r.compiled_steps_per_sec, r.speedup());
+      r.iters, r.fusion ? "true" : "false", r.fused_groups,
+      r.ephemeral_bytes, r.peak_bytes, r.planned ? "true" : "false",
+      r.ran ? "true" : "false", r.values_match ? "true" : "false",
+      r.peak_match ? "true" : "false", r.reference_steps_per_sec,
+      r.compiled_steps_per_sec, r.speedup());
   *out += buffer;
 }
 
@@ -438,17 +452,22 @@ int main(int argc, char** argv) {
                      [](unsigned char ch) { return std::tolower(ch); });
       if (label.find(model_filter) == std::string::npos) continue;
     }
+    // The elementwise-chain-heavy families also run with operator fusion
+    // enabled, as distinct "+fuse" rows gated against their own recording.
+    const bool fuse_family = c.label == "MLP" || c.label == "Transformer";
     for (double fraction : fractions) {
       if (budget_filter > 0 &&
           std::abs(fraction - budget_filter) > 0.005) {
         continue;
       }
-      BenchResult r = RunCase(c, fraction, smoke, forced_iters);
+      for (int variant = 0; variant < (fuse_family ? 2 : 1); ++variant) {
+      const bool fusion = variant == 1;
+      BenchResult r = RunCase(c, fraction, smoke, forced_iters, fusion);
       if (!check_path.empty() && r.ran &&
           (!r.match() || r.speedup() < GateFloor(recorded, r))) {
         // Noise mitigation: one re-measure with a 3x longer timed loop
         // before the row counts against the gate.
-        BenchResult retry = RunCase(c, fraction, smoke, r.iters * 3);
+        BenchResult retry = RunCase(c, fraction, smoke, r.iters * 3, fusion);
         if (retry.ran) r = retry;
       }
       results.push_back(r);
@@ -469,6 +488,7 @@ int main(int argc, char** argv) {
                   r.iters, r.reference_steps_per_sec,
                   r.compiled_steps_per_sec, r.speedup(),
                   r.match() ? "yes" : "NO");
+      }
     }
   }
 
@@ -483,6 +503,32 @@ int main(int argc, char** argv) {
   if (flagship != nullptr) {
     std::printf("\nflagship (best at 30%% budget): %s -> %.2fx steps/sec\n",
                 flagship->label.c_str(), flagship->speedup());
+  }
+
+  // Fusion effect: each "+fuse" row against its unfused twin at the same
+  // budget — throughput ratio on the compiled path and peak-bytes delta.
+  for (const BenchResult& f : results) {
+    if (!f.fusion || !f.ran) continue;
+    for (const BenchResult& u : results) {
+      if (u.fusion || !u.ran || u.label + "+fuse" != f.label ||
+          std::abs(u.budget_fraction - f.budget_fraction) > 0.005) {
+        continue;
+      }
+      double tput = u.compiled_steps_per_sec > 0
+                        ? f.compiled_steps_per_sec / u.compiled_steps_per_sec
+                        : 0;
+      double peak_delta =
+          u.peak_bytes > 0
+              ? 100.0 * (static_cast<double>(u.peak_bytes) -
+                         static_cast<double>(f.peak_bytes)) /
+                    static_cast<double>(u.peak_bytes)
+              : 0;
+      std::printf(
+          "fusion %-12s %5.0f%%: %zu groups, %zu KiB ephemeral, "
+          "%.2fx steps/sec vs unfused, peak %+.1f%% lower\n",
+          u.label.c_str(), f.budget_fraction * 100, f.fused_groups,
+          f.ephemeral_bytes >> 10, tput, peak_delta);
+    }
   }
 
   std::string json = "{\n  \"benchmark\": \"executor_replay\",\n";

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 #include "graph/schedule.h"
 #include "models/model.h"
@@ -72,8 +73,13 @@ int main(int argc, char** argv) {
   const std::vector<runtime::PassStats>* pass_stats =
       compiled.ok() ? &compiled->pass_stats : nullptr;
 
+  // Fused-group instant events: one per super-op, naming the member chain
+  // and the ephemeral bytes its interiors keep out of the pool.
+  std::vector<runtime::FusedGroupInfo> fusion =
+      runtime::FusionGroupInfos(model->graph, *plan);
   if (!runtime::WriteChromeTrace(timeline, path, &stats->memory_timeline,
-                                 &plan->stats, pass_stats)) {
+                                 &plan->stats, pass_stats,
+                                 fusion.empty() ? nullptr : &fusion)) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return 1;
   }
@@ -90,6 +96,11 @@ int main(int argc, char** argv) {
       if (!p.changed) continue;
       std::printf("compiled pass %s: %s\n", p.name.c_str(), p.note.c_str());
     }
+  }
+  for (const runtime::FusedGroupInfo& g : fusion) {
+    std::printf("fused group %d: %s (%zu interior, %zu KiB ephemeral)\n",
+                g.group, g.members.c_str(), g.interior_count,
+                g.ephemeral_bytes >> 10);
   }
   return 0;
 }

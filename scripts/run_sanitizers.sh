@@ -21,9 +21,9 @@ if [[ ${#sanitizers[@]} -eq 0 ]]; then
 fi
 
 # Suites that actually exercise threads: the parallel execution
-# substrate, planner scoring workers, and the compiled path's async
-# copy engine.
-tsan_filter='ParallelDeterminismTest.*:PlannerEquivalenceTest.*:*CompiledExec*:*CompiledPass*:PassPipelineTest.*:SlotColoringTest.*:LookaheadAutotuneTest.*'
+# substrate, planner scoring workers, the compiled path's async copy
+# engine, and fused super-op replay on both executor paths.
+tsan_filter='ParallelDeterminismTest.*:PlannerEquivalenceTest.*:*CompiledExec*:*CompiledPass*:PassPipelineTest.*:SlotColoringTest.*:LookaheadAutotuneTest.*:FusionTest.*:*FusionParity*:FusionVerifierTest.*'
 
 failures=0
 for sanitizer in "${sanitizers[@]}"; do

@@ -70,6 +70,15 @@ const std::vector<DiagnosticInfo>& DiagnosticRegistry() {
           {"TSV023", Severity::kError,
            "compiled scatter/merge offsets do not tile the whole buffer "
            "(overlap or gap between micro-tensor extents)"},
+          {"TSV024", Severity::kError,
+           "fusion group is structurally invalid (dangling or duplicate "
+           "member op, fewer than two members, cyclic contraction, or an "
+           "interior tensor not produced/consumed strictly inside the "
+           "group)"},
+          {"TSV025", Severity::kError,
+           "ephemeral fused interior referenced outside its fused step (a "
+           "pool/transfer step or plain compute touches a tensor that never "
+           "materializes in the pool)"},
       };
   return *registry;
 }

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "core/dtype.h"
 #include "mem/memory_pool.h"
+#include "planner/fusion.h"
 #include "planner/memory_sim.h"
 #include "runtime/compiled_program.h"
 
@@ -67,6 +69,12 @@ class ProgramReplay {
         diagnostics_(diagnostics) {}
 
   size_t Run() {
+    // Ephemeral interiors are collected up front so a pool/transfer step
+    // touching one is flagged (TSV025) even before its fused step runs.
+    for (const Step& step : program_.steps) {
+      if (step.kind != StepKind::kFusedOp) continue;
+      for (TensorId t : step.ephemeral) ephemeral_.insert(t);
+    }
     CheckSplitConfigs();
     StageSources();
     int position = 0;
@@ -245,10 +253,23 @@ class ProgramReplay {
             key, position));
   }
 
+  // TSV025: a tensor held ephemeral by some fused step must never be the
+  // subject of pool or transfer traffic — it has no pool allocation.
+  bool CheckNotEphemeral(const BufferKey& key, int position,
+                         const std::string& what) {
+    if (ephemeral_.count(key.tensor) == 0) return true;
+    Emit(At("TSV025",
+            what + " references ephemeral fused interior " +
+                KeyName(graph_, key),
+            key, position));
+    return false;
+  }
+
   void CheckStep(const Step& step, int position) {
     switch (step.kind) {
       case StepKind::kAlloc: {
         if (!CheckKey(step.buffer, position)) return;
+        if (!CheckNotEphemeral(step.buffer, position, "alloc step")) return;
         BufInfo& info = Info(step.buffer);
         if (info.state == BufState::kResident ||
             info.state == BufState::kHost) {
@@ -269,6 +290,9 @@ class ProgramReplay {
       case StepKind::kFree:
       case StepKind::kDrop: {
         if (!CheckKey(step.buffer, position)) return;
+        if (!CheckNotEphemeral(step.buffer, position, "free/drop step")) {
+          return;
+        }
         BufInfo& info = Info(step.buffer);
         if (info.state != BufState::kResident) {
           Emit(At("TSV005",
@@ -286,6 +310,9 @@ class ProgramReplay {
       }
       case StepKind::kSwapOut: {
         if (!CheckKey(step.buffer, position)) return;
+        if (!CheckNotEphemeral(step.buffer, position, "swap-out step")) {
+          return;
+        }
         BufInfo& info = Info(step.buffer);
         if (info.state != BufState::kResident) {
           Emit(At("TSV005",
@@ -300,6 +327,9 @@ class ProgramReplay {
       }
       case StepKind::kSwapIn: {
         if (!CheckKey(step.buffer, position)) return;
+        if (!CheckNotEphemeral(step.buffer, position, "swap-in step")) {
+          return;
+        }
         BufInfo& info = Info(step.buffer);
         if (info.state != BufState::kHost) {
           Emit(At("TSV005",
@@ -346,6 +376,124 @@ class ProgramReplay {
       case StepKind::kCompute:
         CheckCompute(step, position);
         return;
+      case StepKind::kFusedOp:
+        CheckFusedOp(step, position);
+        return;
+    }
+  }
+
+  // Replays a fused super-op: interiors must be produced by an earlier
+  // member of the same step (they never hold pool residency), every
+  // boundary input must be readable and every boundary output allocated —
+  // exactly the plain-compute rules applied member by member.
+  void CheckFusedOp(const Step& step, int position) {
+    auto fused_error = [&](std::string_view code, std::string why) {
+      Diagnostic d = MakeDiagnostic(code, "fused step " + std::move(why));
+      d.position = position;
+      Emit(std::move(d));
+    };
+    if (step.fused_ops.size() < 2) {
+      fused_error("TSV024", "has fewer than two member ops");
+      return;
+    }
+    for (OpId op : step.fused_ops) {
+      if (op < 0 || op >= graph_.num_ops()) {
+        fused_error("TSV002",
+                    "references unknown op id " + std::to_string(op));
+        return;
+      }
+    }
+    std::unordered_set<TensorId> interior;
+    for (TensorId t : step.ephemeral) {
+      if (!ValidTensor(t)) {
+        fused_error("TSV002", "lists unknown ephemeral tensor id " +
+                                  std::to_string(t));
+        return;
+      }
+      interior.insert(t);
+    }
+    size_t declared_inputs = 0;
+    for (OpId op : step.fused_ops) {
+      declared_inputs += graph_.node(op).inputs.size();
+    }
+    if (step.inputs.size() != declared_inputs) {
+      fused_error("TSV002",
+                  "carries " + std::to_string(step.inputs.size()) +
+                      " input groups, members declare " +
+                      std::to_string(declared_inputs));
+      return;
+    }
+    if (step.outputs.size() != step.fused_ops.size()) {
+      fused_error("TSV002",
+                  "carries " + std::to_string(step.outputs.size()) +
+                      " outputs for " +
+                      std::to_string(step.fused_ops.size()) + " member ops");
+      return;
+    }
+
+    std::unordered_set<TensorId> produced;
+    size_t cursor = 0;
+    for (size_t m = 0; m < step.fused_ops.size(); ++m) {
+      const OpNode& node = graph_.node(step.fused_ops[m]);
+      for (size_t i = 0; i < node.inputs.size(); ++i, ++cursor) {
+        const std::vector<BufferKey>& group = step.inputs[cursor];
+        if (group.empty()) {
+          fused_error("TSV002", "has an empty input group for member '" +
+                                    node.name + "'");
+          continue;
+        }
+        if (group.size() == 1 && group[0].micro < 0 &&
+            interior.count(group[0].tensor) > 0) {
+          if (produced.count(group[0].tensor) == 0) {
+            Emit(At("TSV024",
+                    "fused step consumes interior " +
+                        KeyName(graph_, group[0]) +
+                        " before any member produced it",
+                    group[0], position));
+          }
+          continue;  // ephemeral: no residency to check
+        }
+        for (const BufferKey& key : group) {
+          if (!CheckKey(key, position)) continue;
+          if (interior.count(key.tensor) > 0) {
+            Emit(At("TSV024",
+                    "fused step reads interior " + KeyName(graph_, key) +
+                        " as a micro/merged input group",
+                    key, position));
+            continue;
+          }
+          RequireReadable(key, position, "fused compute input");
+        }
+      }
+      const BufferKey& out = step.outputs[m];
+      if (!CheckKey(out, position)) continue;
+      if (interior.count(out.tensor) > 0) {
+        if (out.micro >= 0) {
+          Emit(At("TSV024",
+                  "fused step produces interior " + KeyName(graph_, out) +
+                      " as a micro part",
+                  out, position));
+        }
+        produced.insert(out.tensor);
+        continue;  // ephemeral: lives in scratch, no allocation
+      }
+      RequireAllocated(out, position, "fused compute output");
+      Info(out).defined = true;
+    }
+    for (TensorId t : step.ephemeral) {
+      if (produced.count(t) == 0) {
+        Diagnostic d = MakeDiagnostic(
+            "TSV024", "fused step lists ephemeral tensor '" +
+                          graph_.tensor(t).name +
+                          "' that no member produces");
+        d.tensor = t;
+        d.position = position;
+        Emit(std::move(d));
+      }
+    }
+    if (step.workspace_bytes > 0) {
+      peak_ = std::max(peak_,
+                       usage_ + mem::MemoryPool::Align(step.workspace_bytes));
     }
   }
 
@@ -420,12 +568,18 @@ class ProgramReplay {
       }
       for (const BufferKey& key : group) {
         if (!CheckKey(key, position)) continue;
+        if (!CheckNotEphemeral(key, position, "plain compute input")) {
+          continue;
+        }
         RequireReadable(key, position, "compute input");
       }
     }
 
     for (const BufferKey& key : step.outputs) {
       if (!CheckKey(key, position)) continue;
+      if (!CheckNotEphemeral(key, position, "plain compute output")) {
+        continue;
+      }
       RequireAllocated(key, position, "compute output");
       Info(key).defined = true;
     }
@@ -486,6 +640,7 @@ class ProgramReplay {
   std::vector<Diagnostic>* diagnostics_;
 
   std::unordered_map<BufferKey, BufInfo, BufferKeyHash> buffers_;
+  std::unordered_set<TensorId> ephemeral_;  // interiors of all fused steps
   size_t usage_ = 0;
   size_t peak_ = 0;
 };
@@ -594,6 +749,94 @@ std::vector<Diagnostic> VerifyPlan(const Graph& graph,
                         " is invalid for '" + tensor.name + "' with shape " +
                         tensor.shape.ToString() +
                         "; the generator will fall back to unsplit");
+      d.tensor = id;
+      diagnostics.push_back(std::move(d));
+    }
+  }
+
+  // Fusion groups: every member op must exist, belong to exactly one
+  // group, and the contraction must be acyclic; every interior tensor
+  // must be produced by a member and consumed only by members.
+  auto group_error = [&diagnostics](int index, std::string why) {
+    diagnostics.push_back(MakeDiagnostic(
+        "TSV024",
+        "fusion group " + std::to_string(index) + " " + std::move(why)));
+  };
+  std::unordered_set<OpId> member_of_any;
+  std::unordered_map<TensorId, int> interior_of;
+  for (size_t g = 0; g < plan.fusion_groups.size(); ++g) {
+    const planner::FusionGroup& group = plan.fusion_groups[g];
+    const int index = static_cast<int>(g);
+    if (group.ops.size() < 2) {
+      group_error(index, "has fewer than two member ops");
+      continue;
+    }
+    bool members_ok = true;
+    std::unordered_set<OpId> members;
+    for (OpId op : group.ops) {
+      if (op < 0 || op >= graph.num_ops()) {
+        group_error(index,
+                    "references unknown op id " + std::to_string(op));
+        members_ok = false;
+        continue;
+      }
+      if (!members.insert(op).second) {
+        group_error(index, "lists op '" + graph.node(op).name + "' twice");
+        members_ok = false;
+      } else if (!member_of_any.insert(op).second) {
+        group_error(index, "shares op '" + graph.node(op).name +
+                               "' with another fusion group");
+        members_ok = false;
+      }
+    }
+    if (!members_ok) continue;
+    if (planner::FusionWouldCreateCycle(graph, group.ops)) {
+      group_error(index,
+                  "would create a cycle when contracted to one super-op");
+    }
+    if (group.interior.empty()) {
+      group_error(index, "has no interior tensor (nothing is ephemeral)");
+    }
+    for (TensorId t : group.interior) {
+      if (t < 0 || t >= graph.num_tensors()) {
+        group_error(index, "interior references unknown tensor id " +
+                               std::to_string(t));
+        continue;
+      }
+      interior_of.emplace(t, index);
+      const TensorDesc& tensor = graph.tensor(t);
+      if (tensor.producer == kInvalidOp ||
+          members.count(tensor.producer) == 0) {
+        Diagnostic d = MakeDiagnostic(
+            "TSV024", "fusion group " + std::to_string(index) +
+                          " interior '" + tensor.name +
+                          "' is not produced by a member op");
+        d.tensor = t;
+        diagnostics.push_back(std::move(d));
+      }
+      for (OpId consumer : tensor.consumers) {
+        if (members.count(consumer) == 0) {
+          Diagnostic d = MakeDiagnostic(
+              "TSV024", "fusion group " + std::to_string(index) +
+                            " interior '" + tensor.name +
+                            "' is consumed by non-member '" +
+                            graph.node(consumer).name + "'");
+          d.tensor = t;
+          diagnostics.push_back(std::move(d));
+        }
+      }
+    }
+  }
+  // Plan/group cross-check: a kFuse assignment without a backing interior
+  // entry (or vice versa) means the executors and the pool model disagree
+  // about whether the tensor materializes.
+  for (TensorId id : ids) {
+    if (plan.configs.at(id).opt != MemOpt::kFuse) continue;
+    if (id >= 0 && id < graph.num_tensors() &&
+        interior_of.find(id) == interior_of.end()) {
+      Diagnostic d = MakeDiagnostic(
+          "TSV024", "plan assigns fuse to '" + graph.tensor(id).name +
+                        "' which is not the interior of any fusion group");
       d.tensor = id;
       diagnostics.push_back(std::move(d));
     }
@@ -828,6 +1071,30 @@ class CompiledReplay {
         CheckCompute(cp_.computes[static_cast<size_t>(ins.aux)], position);
         return;
       }
+      case InstrKind::kFusedCompute: {
+        if (ins.aux < 0 ||
+            static_cast<size_t>(ins.aux) >= cp_.fused.size()) {
+          Diagnostic d = MakeDiagnostic(
+              "TSV020", "fused instruction aux index " +
+                            std::to_string(ins.aux) + " out of range");
+          d.position = position;
+          Emit(std::move(d));
+          return;
+        }
+        for (int ci : cp_.fused[static_cast<size_t>(ins.aux)]) {
+          if (ci < 0 || static_cast<size_t>(ci) >= cp_.computes.size()) {
+            Diagnostic d = MakeDiagnostic(
+                "TSV020", "fused member compute index " +
+                              std::to_string(ci) + " out of range");
+            d.position = position;
+            Emit(std::move(d));
+            continue;
+          }
+          CheckCompute(cp_.computes[static_cast<size_t>(ci)], position,
+                       /*fused=*/true);
+        }
+        return;
+      }
     }
   }
 
@@ -842,8 +1109,21 @@ class CompiledReplay {
     Emit(std::move(d));
   }
 
-  void CheckCompute(const ComputeInstr& c, int position) {
+  void CheckCompute(const ComputeInstr& c, int position, bool fused = false) {
     for (const auto& in : c.inputs) {
+      if (in.fused_scratch >= 0) {
+        if (!fused) {
+          Diagnostic d = MakeDiagnostic(
+              "TSV020",
+              "plain compute input reads fused interior scratch " +
+                  std::to_string(in.fused_scratch) +
+                  " outside a fused group");
+          d.position = position;
+          Emit(std::move(d));
+        }
+        CheckScratch(in.fused_scratch, position, "fused interior input");
+        continue;
+      }
       if (in.merge >= 0) {
         if (static_cast<size_t>(in.merge) >= cp_.merges.size()) {
           Diagnostic d = MakeDiagnostic(
@@ -872,6 +1152,8 @@ class CompiledReplay {
       CheckScratch(in.slice_scratch, position, "input slice");
     }
     for (int slot : c.out_slots) {
+      // Ephemeral interior outputs carry slot -1 and land in out_scratch.
+      if (fused && slot < 0) continue;
       RequireLive(slot, position, "compute output");
     }
     for (int id : c.out_scratch) CheckScratch(id, position, "output");

@@ -10,6 +10,8 @@ const char* MemOptToString(MemOpt opt) {
       return "swap";
     case MemOpt::kRecompute:
       return "recompute";
+    case MemOpt::kFuse:
+      return "fuse";
   }
   return "?";
 }

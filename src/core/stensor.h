@@ -2,10 +2,13 @@
 #define TSPLIT_CORE_STENSOR_H_
 
 // The sTensor configuration (paper §V-A, Fig 9): every tensor in a planned
-// graph carries a memory option {reside, swap, recompute} plus an optional
-// split setting (p_num micro-tensors along dimension dim). All micro-tensors
-// of one sTensor share the same memory option ("consistent memory options",
-// §IV-C), which keeps the joint search space tractable.
+// graph carries a memory option {reside, swap, recompute, fuse} plus an
+// optional split setting (p_num micro-tensors along dimension dim). All
+// micro-tensors of one sTensor share the same memory option ("consistent
+// memory options", §IV-C), which keeps the joint search space tractable.
+// `fuse` marks the interior tensor of a fused operator group: the value is
+// ephemeral (produced and consumed inside one fused super-op) and never
+// touches the memory pool, so it is excluded from the memory timeline.
 
 #include <cstdint>
 #include <string>
@@ -16,6 +19,7 @@ enum class MemOpt : uint8_t {
   kReside = 0,   // keep in device memory for its whole lifetime
   kSwap,         // evict to host after last forward use; swap back for bwd
   kRecompute,    // free after last forward use; re-derive in backward
+  kFuse,         // ephemeral interior of a fused op group; never pooled
 };
 
 const char* MemOptToString(MemOpt opt);

@@ -1,0 +1,137 @@
+#include "planner/fusion.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace tsplit::planner {
+
+namespace {
+
+// Categories an op may have as a chain *continuation* (the head is
+// unrestricted). LayerNorm is admitted formally but never merges in
+// practice: its gradient consumes the forward input, so the connecting
+// tensor always has a second consumer and fails the interior test.
+bool ContinuationCategory(OpCategory category) {
+  switch (category) {
+    case OpCategory::kElementwise:
+    case OpCategory::kActivation:
+    case OpCategory::kDropout:
+    case OpCategory::kSoftmax:
+    case OpCategory::kLayerNorm:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Any non-view single-output op can anchor a chain (epilogue fusion).
+bool MemberCapable(const OpNode& node) {
+  return !node.op->is_view() && node.outputs.size() == 1;
+}
+
+// Can `t` be an ephemeral interior whose sole consumer is `consumer`?
+bool InteriorEligible(const Graph& graph,
+                      const std::vector<TensorFacts>& facts, TensorId t,
+                      OpId consumer) {
+  const TensorDesc& desc = graph.tensor(t);
+  const TensorFacts& f = facts[static_cast<size_t>(t)];
+  if (f.is_view_alias || f.always_live || f.bytes == 0) return false;
+  if (desc.kind != TensorKind::kActivation &&
+      desc.kind != TensorKind::kGradient) {
+    return false;
+  }
+  return desc.consumers.size() == 1 && desc.consumers[0] == consumer;
+}
+
+}  // namespace
+
+bool FusionWouldCreateCycle(const Graph& graph,
+                            const std::vector<OpId>& ops) {
+  std::unordered_set<OpId> members(ops.begin(), ops.end());
+  // BFS over non-member successors of the group; reaching a member again
+  // means a path leaves and re-enters the contracted node — a cycle.
+  std::vector<OpId> frontier;
+  std::unordered_set<OpId> visited;
+  auto push_consumers = [&](TensorId t) {
+    for (OpId consumer : graph.tensor(t).consumers) {
+      if (members.count(consumer) > 0) continue;
+      if (visited.insert(consumer).second) frontier.push_back(consumer);
+    }
+  };
+  for (OpId op : ops) {
+    for (TensorId out : graph.node(op).outputs) push_consumers(out);
+  }
+  while (!frontier.empty()) {
+    OpId op = frontier.back();
+    frontier.pop_back();
+    for (TensorId out : graph.node(op).outputs) {
+      for (OpId consumer : graph.tensor(out).consumers) {
+        if (members.count(consumer) > 0) return true;
+        if (visited.insert(consumer).second) frontier.push_back(consumer);
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<FusionGroup> FindFusionGroups(
+    const Graph& graph, const Schedule& schedule,
+    const std::vector<TensorFacts>& facts, int max_group_size) {
+  // Schedule filtered to real (non-view) ops: contiguity is judged here,
+  // since views occupy no memory and execute in zero time.
+  std::vector<OpId> real_order;
+  real_order.reserve(schedule.order.size());
+  for (OpId op : schedule.order) {
+    if (!graph.node(op).op->is_view()) real_order.push_back(op);
+  }
+
+  std::vector<FusionGroup> groups;
+  FusionGroup current;
+  auto finalize = [&]() {
+    if (current.ops.size() >= 2 && !current.interior.empty() &&
+        !FusionWouldCreateCycle(graph, current.ops)) {
+      groups.push_back(current);
+    }
+    current = FusionGroup{};
+  };
+
+  for (OpId op : real_order) {
+    const OpNode& node = graph.node(op);
+    if (!MemberCapable(node)) {
+      finalize();
+      continue;
+    }
+    if (current.ops.empty()) {
+      current.ops.push_back(op);
+      continue;
+    }
+    // Pairwise merge test against the current tail.
+    const OpNode& tail = graph.node(current.ops.back());
+    TensorId link = tail.outputs[0];
+    bool merge =
+        static_cast<int>(current.ops.size()) < max_group_size &&
+        ContinuationCategory(node.op->category()) &&
+        std::find(node.inputs.begin(), node.inputs.end(), link) !=
+            node.inputs.end() &&
+        InteriorEligible(graph, facts, link, op);
+    if (merge) {
+      // Defensive: a merge must never create a DAG cycle. Structurally
+      // impossible here (single-consumer interiors + contiguity), but the
+      // invariant is load-bearing for the executors, so check it.
+      std::vector<OpId> trial = current.ops;
+      trial.push_back(op);
+      merge = !FusionWouldCreateCycle(graph, trial);
+    }
+    if (merge) {
+      current.interior.push_back(link);
+      current.ops.push_back(op);
+    } else {
+      finalize();
+      current.ops.push_back(op);
+    }
+  }
+  finalize();
+  return groups;
+}
+
+}  // namespace tsplit::planner

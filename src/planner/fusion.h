@@ -1,0 +1,62 @@
+#ifndef TSPLIT_PLANNER_FUSION_H_
+#define TSPLIT_PLANNER_FUSION_H_
+
+// Operator-fusion candidate finder: the planner's fourth memory strategy.
+// A fused group executes a producer→consumer chain of ops as one super-op
+// so the chain's interior tensors become *ephemeral* — they live in a
+// register-style scratch buffer for the duration of the fused step and
+// never touch the memory pool. Where swap pays PCIe transfers and
+// recompute pays re-execution, fusion removes the interior's footprint
+// for free, so it competes head-to-head with both in the planner's
+// greedy round loop (ΔT = 0, ΔM = the interior bytes at the bottleneck).
+//
+// Candidate shape (the greedy pairwise-merge solver of SNIPPETS.md
+// snippet 1): a chain head may be any non-view single-output op (the
+// classic epilogue fusion — MatMul/Conv feeding its bias add), and each
+// continuation member must be an elementwise-class op (elementwise,
+// activation, dropout, softmax/layernorm epilogues). Two adjacent members
+// merge only when the connecting tensor qualifies as an ephemeral
+// interior:
+//   * it is a direct (non-view) root with bytes > 0, not always-live,
+//     and of a transient kind (activation / gradient);
+//   * its ONLY consumer is the next member — the graph's consumer lists
+//     include gradient and view ops, so a single-consumer test naturally
+//     excludes anything the backward pass (or a view alias) still needs.
+// Members must additionally be schedule-contiguous after filtering out
+// view ops, so the fused step can execute at the head's position without
+// reordering; a defensive cycle-safety BFS rejects any merge that would
+// create a DAG cycle through a non-member path (impossible by
+// construction under the contiguity + single-consumer rules, but checked
+// anyway — the verifier re-checks it as TSV024).
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/schedule.h"
+#include "planner/memory_sim.h"
+#include "planner/plan.h"
+
+namespace tsplit::planner {
+
+// Default cap on members per fused group (keeps the super-op's register
+// working set small and the merge search linear).
+inline constexpr int kDefaultMaxFusionGroupSize = 4;
+
+// True if contracting `ops` into one node would create a cycle in the
+// DFG: some non-member op both consumes a member output and (transitively)
+// feeds a member input. Exposed for unit tests.
+bool FusionWouldCreateCycle(const Graph& graph,
+                            const std::vector<OpId>& ops);
+
+// Finds all fusion candidate groups by greedy pairwise merging over the
+// schedule. Deterministic (schedule order). Every returned group has
+// >= 2 members, >= 1 interior, schedule-contiguous members (ignoring
+// views) and is cycle-free.
+std::vector<FusionGroup> FindFusionGroups(
+    const Graph& graph, const Schedule& schedule,
+    const std::vector<TensorFacts>& facts,
+    int max_group_size = kDefaultMaxFusionGroupSize);
+
+}  // namespace tsplit::planner
+
+#endif  // TSPLIT_PLANNER_FUSION_H_

@@ -112,6 +112,9 @@ std::vector<MemRange> TensorMemoryRanges(
     int num_steps, std::vector<PlanDep>* deps) {
   std::vector<MemRange> ranges;
   if (f.is_view_alias || f.bytes == 0) return ranges;
+  // Fused-group interiors are ephemeral: produced and consumed inside one
+  // fused super-op, never pooled, so they occupy no timeline range at all.
+  if (config.opt == MemOpt::kFuse) return ranges;
   const TensorDesc& t = graph.tensor(f.root);
 
   int p_num = 1;

@@ -7,6 +7,7 @@
 
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "core/ids.h"
 #include "core/stensor.h"
@@ -15,9 +16,20 @@
 
 namespace tsplit::planner {
 
+// One fused operator group: `ops` is the ordered (schedule-contiguous)
+// member list executed as a single super-op; `interior` lists the
+// ephemeral tensors produced and consumed strictly inside the group
+// (their plan entries carry MemOpt::kFuse and they never touch the pool).
+struct FusionGroup {
+  std::vector<OpId> ops;
+  std::vector<TensorId> interior;
+};
+
 struct Plan {
   std::string planner_name = "base";
   std::unordered_map<TensorId, STensorConfig> configs;
+  // Fused operator groups (empty unless the planner applied fusion).
+  std::vector<FusionGroup> fusion_groups;
   // Instrumentation of the BuildPlan run that produced this plan; default
   // (unpopulated) for baseline policies and hand-built plans.
   PlannerStats stats;
@@ -50,6 +62,18 @@ struct Plan {
     size_t bytes = 0;
     for (const auto& [id, config] : configs) {
       if (config.opt == opt) bytes += graph.tensor(id).size_bytes();
+    }
+    return bytes;
+  }
+
+  // Bytes kept ephemeral by fusion: pool bytes the interiors of all fused
+  // groups would have occupied had they been materialized.
+  size_t EphemeralBytes(const Graph& graph) const {
+    size_t bytes = 0;
+    for (const FusionGroup& group : fusion_groups) {
+      for (TensorId t : group.interior) {
+        bytes += graph.tensor(t).size_bytes();
+      }
     }
     return bytes;
   }

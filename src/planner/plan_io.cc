@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace tsplit::planner {
@@ -24,6 +25,21 @@ std::unordered_map<TensorId, std::string> StableKeys(const Graph& graph) {
     keys[t.id] = counts[t.name] > 1
                      ? t.name + "@" + std::to_string(ordinal)
                      : t.name;
+  }
+  return keys;
+}
+
+// The same name@ordinal scheme over op nodes, for fusion-group members.
+std::unordered_map<OpId, std::string> StableOpKeys(const Graph& graph) {
+  std::unordered_map<std::string, int> counts;
+  for (const OpNode& node : graph.nodes()) ++counts[node.name];
+  std::unordered_map<std::string, int> seen;
+  std::unordered_map<OpId, std::string> keys;
+  for (const OpNode& node : graph.nodes()) {
+    int ordinal = seen[node.name]++;
+    keys[node.id] = counts[node.name] > 1
+                        ? node.name + "@" + std::to_string(ordinal)
+                        : node.name;
   }
   return keys;
 }
@@ -59,6 +75,17 @@ std::string SerializePlan(const Graph& graph, const Plan& plan,
       os << buffer;
     }
   }
+  // Fused operator groups: "# fuse <op-key> <op-key> ..." — one line per
+  // group, members in execution order. The matching interiors appear as
+  // ordinary "<tensor> fuse" entries below; ParsePlan re-links them.
+  if (!plan.fusion_groups.empty()) {
+    auto op_keys = StableOpKeys(graph);
+    for (const FusionGroup& group : plan.fusion_groups) {
+      os << "# fuse";
+      for (OpId op : group.ops) os << " " << op_keys[op];
+      os << "\n";
+    }
+  }
   auto keys = StableKeys(graph);
   // Deterministic order: tensor id.
   for (const TensorDesc& t : graph.tensors()) {
@@ -80,8 +107,15 @@ Result<Plan> ParsePlan(const Graph& graph, const std::string& text) {
   for (const auto& [id, key] : StableKeys(graph)) {
     by_name.emplace(key, id);
   }
+  std::unordered_map<std::string, OpId> op_by_name;
+  for (const auto& [id, key] : StableOpKeys(graph)) {
+    op_by_name.emplace(key, id);
+  }
 
   Plan plan;
+  // Raw "# fuse" member lists with their line numbers; linked and
+  // validated against the fuse-marked tensors after the whole text parses.
+  std::vector<std::pair<std::vector<OpId>, int>> raw_groups;
   std::istringstream is(text);
   std::string line;
   int line_number = 0;
@@ -92,17 +126,37 @@ Result<Plan> ParsePlan(const Graph& graph, const std::string& text) {
       // Header: "# tsplit-plan v1 <name>".
       std::istringstream header(line);
       std::string hash, magic, version;
-      header >> hash >> magic >> version;
+      header >> hash >> magic;
       if (magic == "tsplit-plan") {
-        header >> plan.planner_name;
+        header >> version >> plan.planner_name;
         if (version != "v1") {
           return Status::InvalidArgument("unsupported plan version " +
                                          version);
         }
       } else if (magic == "stat") {
-        // "# stat <key> <value>" — `version` already holds the key.
+        // "# stat <key> <value>".
+        std::string key;
         double value = 0;
-        if (header >> value) plan.stats.SetItem(version, value);
+        if (header >> key >> value) plan.stats.SetItem(key, value);
+      } else if (magic == "fuse") {
+        // "# fuse <op-key> <op-key> ..." — a fused operator group.
+        std::vector<OpId> ops;
+        std::string op_key;
+        while (header >> op_key) {
+          auto op_it = op_by_name.find(op_key);
+          if (op_it == op_by_name.end()) {
+            return Status::NotFound(
+                "fusion group references unknown op '" + op_key +
+                "' (line " + std::to_string(line_number) + ")");
+          }
+          ops.push_back(op_it->second);
+        }
+        if (ops.size() < 2) {
+          return Status::InvalidArgument(
+              "fusion group needs >= 2 members (line " +
+              std::to_string(line_number) + ")");
+        }
+        raw_groups.emplace_back(std::move(ops), line_number);
       }
       continue;
     }
@@ -126,6 +180,8 @@ Result<Plan> ParsePlan(const Graph& graph, const std::string& text) {
       config.opt = MemOpt::kSwap;
     } else if (opt_name == "recompute") {
       config.opt = MemOpt::kRecompute;
+    } else if (opt_name == "fuse") {
+      config.opt = MemOpt::kFuse;
     } else {
       return Status::InvalidArgument("unknown memory option '" + opt_name +
                                      "' (line " +
@@ -164,6 +220,11 @@ Result<Plan> ParsePlan(const Graph& graph, const std::string& text) {
             "' along dim " + std::to_string(dim) + " (line " +
             std::to_string(line_number) + ")");
       }
+      if (config.opt == MemOpt::kFuse) {
+        return Status::InvalidArgument(
+            "fuse entries are ephemeral and cannot carry a split config "
+            "(line " + std::to_string(line_number) + ")");
+      }
       config.split = SplitConfig{p_num, dim};
     } else if (!rest.empty()) {
       return Status::InvalidArgument(
@@ -179,6 +240,56 @@ Result<Plan> ParsePlan(const Graph& graph, const std::string& text) {
                                      std::to_string(line_number) + ")");
     }
     plan.Set(it->second, config);
+  }
+
+  // Link fusion groups to their fuse-marked interiors and validate the
+  // structural invariants the executors rely on.
+  std::unordered_set<OpId> membership;
+  std::unordered_set<TensorId> linked_interiors;
+  auto op_keys = StableOpKeys(graph);
+  for (auto& [ops, group_line] : raw_groups) {
+    FusionGroup group;
+    group.ops = ops;
+    for (OpId op : ops) {
+      if (!membership.insert(op).second) {
+        return Status::InvalidArgument(
+            "duplicate fusion membership for op '" + op_keys[op] +
+            "' (line " + std::to_string(group_line) + ")");
+      }
+    }
+    // Each member after the first must consume its predecessor's output:
+    // the chain is producer->consumer contiguous.
+    for (size_t i = 1; i < ops.size(); ++i) {
+      const OpNode& prev = graph.node(ops[i - 1]);
+      const OpNode& node = graph.node(ops[i]);
+      TensorId link = kInvalidTensor;
+      for (TensorId in : node.inputs) {
+        if (graph.tensor(in).producer == prev.id) link = in;
+      }
+      if (link == kInvalidTensor) {
+        return Status::InvalidArgument(
+            "non-contiguous fusion group: '" + op_keys[ops[i]] +
+            "' does not consume '" + op_keys[ops[i - 1]] + "' (line " +
+            std::to_string(group_line) + ")");
+      }
+      if (plan.ConfigFor(link).opt == MemOpt::kFuse) {
+        group.interior.push_back(link);
+        linked_interiors.insert(link);
+      }
+    }
+    if (group.interior.empty()) {
+      return Status::InvalidArgument(
+          "fusion group has no fuse-marked interior tensor (line " +
+          std::to_string(group_line) + ")");
+    }
+    plan.fusion_groups.push_back(std::move(group));
+  }
+  for (const auto& [id, config] : plan.configs) {
+    if (config.opt == MemOpt::kFuse && linked_interiors.count(id) == 0) {
+      return Status::InvalidArgument(
+          "tensor '" + graph.tensor(id).name +
+          "' is marked fuse but is not the interior of any fusion group");
+    }
   }
   return plan;
 }

@@ -28,6 +28,8 @@ std::vector<std::pair<std::string, double>> PlannerStats::Items() const {
       {"rounds", static_cast<double>(rounds)},
       {"candidates_scored", static_cast<double>(candidates_scored)},
       {"assignments", static_cast<double>(assignments)},
+      {"fused_groups", static_cast<double>(fused_groups)},
+      {"fused_interiors", static_cast<double>(fused_interiors)},
       {"full_rebuilds", static_cast<double>(full_rebuilds)},
       {"rebuilds_avoided", static_cast<double>(rebuilds_avoided)},
       {"tensors_resynced", static_cast<double>(tensors_resynced)},
@@ -54,6 +56,8 @@ bool PlannerStats::SetItem(const std::string& key, double value) {
   if (key == "rounds") return as_count(&rounds), true;
   if (key == "candidates_scored") return as_count(&candidates_scored), true;
   if (key == "assignments") return as_count(&assignments), true;
+  if (key == "fused_groups") return as_count(&fused_groups), true;
+  if (key == "fused_interiors") return as_count(&fused_interiors), true;
   if (key == "full_rebuilds") return as_count(&full_rebuilds), true;
   if (key == "rebuilds_avoided") return as_count(&rebuilds_avoided), true;
   if (key == "tensors_resynced") return as_count(&tensors_resynced), true;

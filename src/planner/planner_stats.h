@@ -19,6 +19,8 @@ struct PlannerStats {
   int64_t rounds = 0;             // bottleneck-relief rounds
   int64_t candidates_scored = 0;  // candidates evaluated (parallel scoring)
   int64_t assignments = 0;        // configs applied to the plan
+  int64_t fused_groups = 0;       // operator-fusion groups applied
+  int64_t fused_interiors = 0;    // tensors made ephemeral by fusion
 
   // Memory-timeline maintenance.
   int64_t full_rebuilds = 0;      // O(tensors x steps) reference rebuilds

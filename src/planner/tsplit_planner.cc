@@ -2,16 +2,24 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <limits>
 #include <optional>
+#include <unordered_set>
 
 #include "analysis/verifier.h"
 #include "core/parallel.h"
 #include "planner/cost_model.h"
+#include "planner/fusion.h"
 #include "planner/memory_sim.h"
 #include "planner/planner_engine.h"
 
 namespace tsplit::planner {
+
+bool FusionEnabledByEnv() {
+  const char* env = std::getenv("TSPLIT_FUSION");
+  return env != nullptr && env[0] == '1';
+}
 
 namespace {
 
@@ -20,6 +28,7 @@ enum class CandidateKind {
   kGradStream,  // stream an accumulated parameter gradient to the host
   kEvict,       // whole-tensor swap / recompute of a live bystander
   kSplit,       // micro-tensor split (with per-micro opt) at the bottleneck
+  kFuse,        // fuse an op chain; its interiors become ephemeral
 };
 
 struct Candidate {
@@ -27,6 +36,7 @@ struct Candidate {
   CandidateKind kind = CandidateKind::kEvict;
   STensorConfig config;
   STensorConfig current;  // the tensor's config when enumerated
+  int fuse_group = -1;    // index into the finder's group list (kFuse)
   double delta_t = 0;
   double delta_m = 0;  // bytes reduced at the bottleneck
 
@@ -72,6 +82,7 @@ bool RecomputeEligible(const Graph& graph, TensorId t) {
 void PropagateSplitUpChain(const Graph& graph,
                            const std::vector<TensorFacts>& facts, Plan* plan,
                            TensorId t, std::vector<TensorId>* changed,
+                           const std::unordered_set<TensorId>* fusion_locked,
                            int depth = 0) {
   if (depth > 16) return;
   STensorConfig cfg = plan->ConfigFor(t);
@@ -92,6 +103,9 @@ void PropagateSplitUpChain(const Graph& graph,
     if (root != input) continue;  // views change the coordinate system
     const TensorFacts& f = facts[static_cast<size_t>(root)];
     if (f.always_live) continue;
+    // Tensors wired into a fused group must stay unsplit: the fused
+    // super-op executes whole.
+    if (fusion_locked != nullptr && fusion_locked->count(root) > 0) continue;
     STensorConfig ancestor = plan->ConfigFor(root);
     if (ancestor.split.active()) continue;
     const Shape& shape = graph.tensor(root).shape;
@@ -103,7 +117,8 @@ void PropagateSplitUpChain(const Graph& graph,
     plan->Set(root, ancestor);
     if (changed != nullptr) changed->push_back(root);
     if (ancestor.opt == MemOpt::kRecompute) {
-      PropagateSplitUpChain(graph, facts, plan, root, changed, depth + 1);
+      PropagateSplitUpChain(graph, facts, plan, root, changed, fusion_locked,
+                            depth + 1);
     }
   }
 }
@@ -130,7 +145,9 @@ void ScoreCandidate(const Graph& graph, const Schedule& schedule,
                     const std::vector<TensorFacts>& facts,
                     const GraphProfile& profile, const Plan& plan,
                     const PcieOccupancy& occupancy, int pos,
-                    OpId bottleneck_op, Candidate* c) {
+                    OpId bottleneck_op,
+                    const std::vector<FusionGroup>& fusion_groups,
+                    Candidate* c) {
   const TensorFacts& f = facts[static_cast<size_t>(c->tensor)];
   const int num_steps = schedule.num_steps();
   switch (c->kind) {
@@ -192,6 +209,37 @@ void ScoreCandidate(const Graph& graph, const Schedule& schedule,
       c->delta_t = regen_cost + degradation;
       return;
     }
+    case CandidateKind::kFuse: {
+      // ΔM: pool bytes the group's interiors hold at the bottleneck under
+      // their current (reside) configs — ephemeral interiors hold none.
+      // ΔT: fusion costs nothing and *avoids* the cheapest eviction the
+      // planner would otherwise buy for each interior, so it scores the
+      // avoided swap/recompute time as a negative ΔT and sorts strictly
+      // ahead of every paying strategy (Algorithm 2's ratio key).
+      const FusionGroup& group =
+          fusion_groups[static_cast<size_t>(c->fuse_group)];
+      double saved = 0;
+      double avoided = 0;
+      for (TensorId t : group.interior) {
+        const TensorFacts& tf = facts[static_cast<size_t>(t)];
+        STensorConfig current = plan.ConfigFor(t);
+        if (current.opt != MemOpt::kReside) continue;  // stale group
+        saved += static_cast<double>(
+            BytesAtPos(graph, facts, plan, tf, current, pos, num_steps));
+        double swap_t = SwapCost(graph, schedule, facts, profile, occupancy,
+                                 t, tf.bytes, pos);
+        double best = swap_t;
+        if (RecomputeEligible(graph, t)) {
+          best = std::min(
+              best,
+              RecomputeCost(graph, schedule, facts, profile, plan, t));
+        }
+        avoided += std::max(best, 0.0);
+      }
+      c->delta_m = saved;
+      c->delta_t = saved > 0 ? -avoided : 0;
+      return;
+    }
   }
 }
 
@@ -207,12 +255,64 @@ Result<Plan> TsplitPlanner::BuildPlan(const Graph& graph,
                                       const Schedule& schedule,
                                       const GraphProfile& profile,
                                       size_t memory_budget) {
+  Result<Plan> result = BuildPlanImpl(graph, schedule, profile,
+                                      memory_budget,
+                                      options_.enable_fusion);
+  if (!result.ok() && options_.enable_fusion) {
+    // Defensive: fusion only removes memory, but if the fused run failed
+    // anyway, fall back to the plain planner rather than fail the build.
+    result = BuildPlanImpl(graph, schedule, profile, memory_budget, false);
+  }
+  RETURN_IF_ERROR(result.status());
+  if (options_.verify_before_run) {
+    std::vector<analysis::Diagnostic> diagnostics =
+        analysis::VerifyPlan(graph, *result);
+    Status verdict = analysis::ToStatus(diagnostics, &graph);
+    if (!verdict.ok() && !result->fusion_groups.empty()) {
+      // Wholesale rollback, pass-pipeline style: a fused plan that fails
+      // verification is discarded entirely and the model re-plans without
+      // fusion (no piecemeal repair).
+      ASSIGN_OR_RETURN(Plan unfused,
+                       BuildPlanImpl(graph, schedule, profile, memory_budget,
+                                     false));
+      std::vector<analysis::Diagnostic> retry =
+          analysis::VerifyPlan(graph, unfused);
+      RETURN_IF_ERROR(analysis::ToStatus(retry, &graph));
+      return unfused;
+    }
+    RETURN_IF_ERROR(verdict);
+  }
+  return result;
+}
+
+Result<Plan> TsplitPlanner::BuildPlanImpl(const Graph& graph,
+                                          const Schedule& schedule,
+                                          const GraphProfile& profile,
+                                          size_t memory_budget,
+                                          bool enable_fusion) {
   const auto plan_start = std::chrono::steady_clock::now();
   Plan plan;
   plan.planner_name = name();
   PlannerStats stats;
 
   std::vector<TensorFacts> facts = ComputeTensorFacts(graph, schedule);
+
+  // Fusion candidate groups are structural (graph + schedule only), so
+  // they are found once; each bottleneck round re-offers the unapplied
+  // ones as kFuse candidates and apply-time freshness checks retire any
+  // group whose tensors another strategy touched first.
+  std::vector<FusionGroup> fusion_groups;
+  if (enable_fusion) {
+    fusion_groups = FindFusionGroups(graph, schedule, facts);
+  }
+  std::vector<char> group_applied(fusion_groups.size(), 0);
+  std::vector<char> group_dead(fusion_groups.size(), 0);
+  // Tensors wired into an applied group: none may be split afterwards
+  // (the super-op executes whole), and member outputs must never become
+  // recompute (regenerating one would re-run a member whose interior
+  // inputs are never materialized).
+  std::unordered_set<TensorId> fusion_split_locked;
+  std::unordered_set<TensorId> fusion_no_recompute;
 
   // Optimizer state is never touched inside the iteration: offloading it is
   // free memory (the same observation ZeRO-Offload is built on).
@@ -254,6 +354,20 @@ Result<Plan> TsplitPlanner::BuildPlan(const Graph& graph,
     OpId bottleneck_op = schedule.order[static_cast<size_t>(pos)];
     const OpNode& node = graph.node(bottleneck_op);
 
+    // Step 0: fusion of elementwise-class chains (the fourth strategy).
+    // Every unapplied group is offered; only those whose interiors hold
+    // bytes at this position score ΔM > 0 and survive the apply gate.
+    for (size_t g = 0; g < fusion_groups.size(); ++g) {
+      if (group_applied[g] || group_dead[g]) continue;
+      Candidate fuse;
+      fuse.tensor = fusion_groups[g].interior.front();
+      fuse.kind = CandidateKind::kFuse;
+      fuse.config.opt = MemOpt::kFuse;
+      fuse.current = plan.ConfigFor(fuse.tensor);
+      fuse.fuse_group = static_cast<int>(g);
+      candidates.push_back(fuse);
+    }
+
     // Step 1: non-split strategies on live bystander tensors (Eq. 2).
     for (const TensorDesc& t : graph.tensors()) {
       const TensorFacts& f = facts[static_cast<size_t>(t.id)];
@@ -292,6 +406,7 @@ Result<Plan> TsplitPlanner::BuildPlan(const Graph& graph,
       // cheap layers above a kept checkpoint). The transient comes from
       // the engine's memo — exact, dep-validated.
       if (RecomputeEligible(graph, t.id) &&
+          fusion_no_recompute.count(t.id) == 0 &&
           engine->ChainTransient(plan, t.id) == 0) {
         Candidate recompute;
         recompute.tensor = t.id;
@@ -316,6 +431,7 @@ Result<Plan> TsplitPlanner::BuildPlan(const Graph& graph,
       auto try_split = [&](TensorId tensor, int dim) {
         const TensorFacts& f = facts[static_cast<size_t>(tensor)];
         if (f.is_view_alias || f.always_live || f.bytes == 0) return;
+        if (fusion_split_locked.count(tensor) > 0) return;
         STensorConfig current = plan.ConfigFor(tensor);
         if (current.split.active()) return;
         const Shape& shape = graph.tensor(tensor).shape;
@@ -409,6 +525,7 @@ Result<Plan> TsplitPlanner::BuildPlan(const Graph& graph,
                         for (int64_t i = begin; i < end; ++i) {
                           ScoreCandidate(graph, schedule, facts, profile,
                                          plan, occupancy, pos, bottleneck_op,
+                                         fusion_groups,
                                          &candidates[static_cast<size_t>(i)]);
                         }
                       });
@@ -424,6 +541,63 @@ Result<Plan> TsplitPlanner::BuildPlan(const Graph& graph,
     for (const Candidate& candidate : candidates) {
       if (engine->At(pos) <= memory_budget) break;
       if (candidate.delta_m <= 0) continue;
+      if (candidate.kind == CandidateKind::kFuse) {
+        const auto g = static_cast<size_t>(candidate.fuse_group);
+        const FusionGroup& group = fusion_groups[g];
+        if (group_applied[g] || group_dead[g]) continue;
+        // Freshness: every member output must still be an unsplit
+        // resident and every member input unsplit — earlier strategies
+        // (possibly this very round) may have claimed one.
+        bool fresh_group = true;
+        for (OpId op : group.ops) {
+          for (TensorId out : graph.node(op).outputs) {
+            STensorConfig cfg = plan.ConfigFor(out);
+            if (cfg.opt != MemOpt::kReside || cfg.split.active()) {
+              fresh_group = false;
+            }
+          }
+          for (TensorId in : graph.node(op).inputs) {
+            TensorId root = facts[static_cast<size_t>(in)].root;
+            if (plan.ConfigFor(root).split.active()) fresh_group = false;
+          }
+        }
+        if (!fresh_group) {
+          group_dead[g] = 1;
+          continue;
+        }
+        if (++assignments > options_.max_assignments) {
+          return Status::ResourceExhausted("planner assignment limit hit");
+        }
+        for (TensorId t : group.interior) {
+          STensorConfig before_t = plan.ConfigFor(t);
+          STensorConfig after_t{MemOpt::kFuse, {}};
+          plan.Set(t, after_t);
+          engine->Apply(plan, t, before_t, after_t);
+        }
+        plan.fusion_groups.push_back(group);
+        group_applied[g] = 1;
+        for (OpId op : group.ops) {
+          for (TensorId in : graph.node(op).inputs) {
+            fusion_split_locked.insert(facts[static_cast<size_t>(in)].root);
+          }
+          for (TensorId out : graph.node(op).outputs) {
+            fusion_split_locked.insert(out);
+            fusion_no_recompute.insert(out);
+          }
+        }
+        applied_any = true;
+        continue;
+      }
+      // Applied fusion groups veto later conflicting strategies within
+      // the same round's candidate list.
+      if (candidate.config.split.active() &&
+          fusion_split_locked.count(candidate.tensor) > 0) {
+        continue;
+      }
+      if (candidate.config.opt == MemOpt::kRecompute &&
+          fusion_no_recompute.count(candidate.tensor) > 0) {
+        continue;
+      }
       STensorConfig before = plan.ConfigFor(candidate.tensor);
       // Accept fresh assignments, opt-preserving split upgrades, and
       // opt-fill onto tensors pre-split by chain propagation.
@@ -444,7 +618,7 @@ Result<Plan> TsplitPlanner::BuildPlan(const Graph& graph,
           candidate.config.opt == MemOpt::kRecompute) {
         std::vector<TensorId> propagated;
         PropagateSplitUpChain(graph, facts, &plan, candidate.tensor,
-                              &propagated);
+                              &propagated, &fusion_split_locked);
         for (TensorId t : propagated) engine->NotifyConfigSet(t);
       }
       applied_any = true;
@@ -491,13 +665,12 @@ Result<Plan> TsplitPlanner::BuildPlan(const Graph& graph,
     pos = engine->NextBottleneck(pos, memory_budget);
   }
   stats.assignments = assignments;
+  stats.fused_groups = static_cast<int64_t>(plan.fusion_groups.size());
+  for (const FusionGroup& group : plan.fusion_groups) {
+    stats.fused_interiors += static_cast<int64_t>(group.interior.size());
+  }
   stats.total_seconds = SecondsSince(plan_start);
   plan.stats = stats;
-  if (options_.verify_before_run) {
-    std::vector<analysis::Diagnostic> diagnostics =
-        analysis::VerifyPlan(graph, plan);
-    RETURN_IF_ERROR(analysis::ToStatus(diagnostics, &graph));
-  }
   return plan;
 }
 

@@ -8,14 +8,27 @@
 //            output of the bottleneck op, and
 //   Step 2 — tensor-split (with per-micro swap/recompute) of the
 //            bottleneck op's input / output tensors,
+//   Step 0 — operator fusion of an elementwise-class chain covering the
+//            bottleneck (planner/fusion.h): the chain's interiors become
+//            ephemeral, so ΔT <= 0 and fusion sorts ahead of every
+//            paying strategy whenever it frees bytes here,
 // until every bottleneck is eliminated or no candidate remains.
 
 #include "planner/planner.h"
 
 namespace tsplit::planner {
 
+// Default for TsplitOptions::enable_fusion: the TSPLIT_FUSION environment
+// variable ("1"/"0"), else off — fusion is opt-in so unfused golden plans
+// stay byte-stable. Explicitly-set options always win over the env.
+bool FusionEnabledByEnv();
+
 struct TsplitOptions {
   bool enable_split = true;            // false = TSPLIT w/o Split (Fig 14a)
+  // Operator fusion as a fourth strategy (ephemeral interiors). Fused
+  // plans that fail plan verification roll back wholesale to a re-planned
+  // unfused plan.
+  bool enable_fusion = FusionEnabledByEnv();
   std::vector<int> p_num_candidates = {2, 4, 8, 16, 32};
   int max_assignments = 100000;        // safety valve
   // Drive the incremental planner engine (segment-tree timeline, cached
@@ -46,6 +59,12 @@ class TsplitPlanner : public Planner {
                          size_t memory_budget) override;
 
  private:
+  // One planning run with fusion forced on/off; BuildPlan wraps it with
+  // the verify gate and the wholesale unfused rollback.
+  Result<Plan> BuildPlanImpl(const Graph& graph, const Schedule& schedule,
+                             const GraphProfile& profile,
+                             size_t memory_budget, bool enable_fusion);
+
   TsplitOptions options_;
 };
 

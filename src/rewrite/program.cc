@@ -28,6 +28,8 @@ const char* StepKindToString(StepKind kind) {
       return "split_copy";
     case StepKind::kMergeCopy:
       return "merge_copy";
+    case StepKind::kFusedOp:
+      return "fused";
   }
   return "?";
 }
@@ -59,6 +61,10 @@ uint64_t Program::Fingerprint() const {
     }
     mix(step.outputs.size());
     for (const BufferKey& key : step.outputs) mix_key(key);
+    mix(step.fused_ops.size());
+    for (OpId op : step.fused_ops) mix(static_cast<uint64_t>(op) + 1);
+    mix(step.ephemeral.size());
+    for (TensorId t : step.ephemeral) mix(static_cast<uint64_t>(t) + 1);
   }
   // Unordered maps fold in order-independently (XOR of per-entry hashes)
   // so the fingerprint does not depend on hash-table iteration order.
@@ -92,6 +98,13 @@ std::string Program::DebugString(const Graph& graph) const {
       os << " " << graph.node(step.op).name;
       if (step.micro >= 0) os << "[" << step.micro << "/" << step.p_num << "]";
       if (step.is_recompute) os << " (recompute)";
+    } else if (step.kind == StepKind::kFusedOp) {
+      os << " {";
+      for (size_t i = 0; i < step.fused_ops.size(); ++i) {
+        if (i > 0) os << " ";
+        os << graph.node(step.fused_ops[i]).name;
+      }
+      os << "}";
     } else {
       os << " t" << step.buffer.tensor;
       if (step.buffer.micro >= 0) os << "." << step.buffer.micro;
@@ -183,6 +196,16 @@ class Generator {
   // holds O(1) extra memory (§V-D).
   void ReleaseChainInputs(const OpNode& node, int pos);
 
+  // Emits one kFusedOp step running the whole group single-pass: external
+  // inputs are made resident, boundary outputs allocated, and interiors
+  // left entirely to executor scratch (no Alloc/Free ever touches them).
+  Status EmitFusedGroupExecution(const planner::FusionGroup& group, int pos);
+
+  // Post-execution cleanup shared by the plain and fused paths: re-evicts
+  // recompute swap-ins and applies the recompute-mode policy to ancestors
+  // materialized for the op just emitted.
+  void PostExecCleanup(int pos);
+
   // Applies the end-of-life policy to a key after its use at `pos`.
   void ApplyEndOfLife(const BufferKey& key, int pos);
 
@@ -203,6 +226,8 @@ class Generator {
 
   Program program_;
   std::vector<TensorId> root_of_;
+  // Per-op index into plan_.fusion_groups (-1: not a fused member).
+  std::vector<int> fused_group_of_;
   std::vector<RootInfo> roots_;  // indexed by tensor id; valid for roots only
   std::unordered_map<BufferKey, BufState, BufferKeyHash> state_;
   // Keys materialized by recompute while preparing the current op's inputs.
@@ -226,6 +251,11 @@ class Generator {
       }
       for (TensorId root : roots_) ++generator_->pinned_[root];
     }
+    // Pins an explicit root set (fused groups pin every member's i/o).
+    PinScope(Generator* generator, std::vector<TensorId> roots)
+        : generator_(generator), roots_(std::move(roots)) {
+      for (TensorId root : roots_) ++generator_->pinned_[root];
+    }
     ~PinScope() {
       for (TensorId root : roots_) {
         auto it = generator_->pinned_.find(root);
@@ -243,6 +273,13 @@ class Generator {
 };
 
 void Generator::Precompute() {
+  fused_group_of_.assign(graph_.nodes().size(), -1);
+  for (size_t g = 0; g < plan_.fusion_groups.size(); ++g) {
+    for (OpId op : plan_.fusion_groups[g].ops) {
+      fused_group_of_[static_cast<size_t>(op)] = static_cast<int>(g);
+    }
+  }
+
   const auto num_tensors = static_cast<size_t>(graph_.num_tensors());
   root_of_.resize(num_tensors);
   for (size_t i = 0; i < num_tensors; ++i) {
@@ -488,6 +525,14 @@ Status Generator::EnsureResident(const BufferKey& key, int pos, int depth) {
                                 graph_.tensor(key.tensor).name +
                                 " unexpectedly not resident");
       }
+      // Ephemeral fused interiors never materialize as device buffers; a
+      // residency request for one means the planner leaked an interior to
+      // an outside consumer (the verifier's TSV024 invariant).
+      if (OptOf(key.tensor) == MemOpt::kFuse) {
+        return Status::Internal("ephemeral fused interior " +
+                                graph_.tensor(key.tensor).name +
+                                " requested as a resident buffer");
+      }
       return Recompute(key, pos, depth);
     }
   }
@@ -613,6 +658,109 @@ Status Generator::EmitMicroPartExecution(OpId op_id, const SplitRule& rule,
   return Status::OK();
 }
 
+Status Generator::EmitFusedGroupExecution(const planner::FusionGroup& group,
+                                          int pos) {
+  // Pin every member's external roots for the whole group, so recompute
+  // chains triggered while preparing a later member's inputs cannot evict
+  // buffers an earlier member already produced or consumed.
+  std::vector<TensorId> pin_roots;
+  for (OpId op_id : group.ops) {
+    const OpNode& node = graph_.node(op_id);
+    for (TensorId input : node.inputs) pin_roots.push_back(RootOf(input));
+    for (TensorId output : node.outputs) pin_roots.push_back(RootOf(output));
+  }
+  PinScope pins(this, std::move(pin_roots));
+
+  std::unordered_set<TensorId> interior(group.interior.begin(),
+                                        group.interior.end());
+  Step step;
+  step.kind = StepKind::kFusedOp;
+  step.op = group.ops.front();
+  step.fused_ops = group.ops;
+  step.ephemeral = group.interior;
+  step.sched_pos = pos;
+  for (OpId op_id : group.ops) {
+    const OpNode& node = graph_.node(op_id);
+    for (TensorId input : node.inputs) {
+      TensorId root = RootOf(input);
+      std::vector<BufferKey> keys;
+      if (interior.count(root) > 0) {
+        // Scratch-held interior: the key wires the member dataflow, but no
+        // device residency is established (and none may be).
+        keys.push_back(BufferKey{root, -1});
+      } else {
+        for (const BufferKey& k : KeysOf(root)) {
+          BufState before = StateOf(k);
+          RETURN_IF_ERROR(EnsureResident(k, pos, /*depth=*/0));
+          if (before == BufState::kDropped) materialized_.push_back(k);
+          keys.push_back(k);
+        }
+      }
+      step.inputs.push_back(std::move(keys));
+    }
+    // Members are single-output by construction (finder + plan verifier),
+    // and the planner only fuses groups whose boundaries are unsplit.
+    TensorId out = node.outputs[0];
+    BufferKey out_key{out, -1};
+    if (interior.count(out) > 0) {
+      // Sized for executor scratch / diagnostics; never pool-allocated.
+      program_.buffer_bytes[out_key] = KeyBytes(out_key);
+    } else {
+      EmitAlloc(out_key, pos);
+    }
+    step.outputs.push_back(out_key);
+    const auto& op_profile = profile_.ops[static_cast<size_t>(op_id)];
+    step.seconds += op_profile.seconds;
+    // Members run back-to-back inside the step, so only the largest
+    // member workspace is ever held at once.
+    step.workspace_bytes =
+        std::max(step.workspace_bytes, op_profile.workspace_bytes);
+  }
+  program_.steps.push_back(std::move(step));
+  return Status::OK();
+}
+
+void Generator::PostExecCleanup(int pos) {
+  // Ancestors swapped in only to feed a recompute subgraph return to the
+  // host (or die) once the op completes.
+  for (const BufferKey& k : recompute_swapins_) {
+    if (StateOf(k) != BufState::kResident) continue;
+    if (HasUseAfter(k.tensor, pos)) {
+      EmitSwapOut(k, pos);
+    } else if (!roots_[static_cast<size_t>(k.tensor)].always_live) {
+      EmitFree(k, pos);
+    }
+  }
+
+  // Recompute-policy cleanup: ancestors materialized for this op.
+  for (const BufferKey& k : materialized_) {
+    if (StateOf(k) != BufState::kResident) continue;
+    bool used_later = HasUseAfter(k.tensor, pos);
+    if (!used_later) {
+      if (!roots_[static_cast<size_t>(k.tensor)].always_live) {
+        EmitFree(k, pos);
+      }
+      continue;
+    }
+    switch (options_.recompute_mode) {
+      case RecomputeMode::kMemoryCentric:
+        if (OptOf(k.tensor) == MemOpt::kRecompute) EmitDrop(k, pos);
+        break;
+      case RecomputeMode::kSpeedCentric:
+        break;  // keep resident; freed at its real last use
+      case RecomputeMode::kLru: {
+        size_t bytes = KeyBytes(k);
+        if (lru_kept_bytes_ + bytes <= options_.lru_budget_bytes) {
+          lru_kept_bytes_ += bytes;
+        } else if (OptOf(k.tensor) == MemOpt::kRecompute) {
+          EmitDrop(k, pos);
+        }
+        break;
+      }
+    }
+  }
+}
+
 void Generator::ApplyEndOfLife(const BufferKey& key, int pos) {
   if (StateOf(key) != BufState::kResident) return;
   TensorId root = key.tensor;
@@ -642,6 +790,10 @@ void Generator::ApplyEndOfLife(const BufferKey& key, int pos) {
         // checkpoint behaviour SuperNeurons applies to conv outputs.
         EmitSwapOut(key, pos);
       }
+      break;
+    case MemOpt::kFuse:
+      // Ephemeral interiors are never resident (the guard above already
+      // returned); nothing to evict.
       break;
   }
 }
@@ -932,48 +1084,24 @@ Result<Program> Generator::Run() {
     const OpNode& node = graph_.node(op_id);
     if (node.op->is_view()) continue;
 
-    materialized_.clear();
-    recompute_swapins_.clear();
-    RETURN_IF_ERROR(EmitOpExecution(op_id, pos, /*is_recompute=*/false,
-                                    /*depth=*/0));
-
-    // Ancestors swapped in only to feed a recompute subgraph return to the
-    // host (or die) once the op completes.
-    for (const BufferKey& k : recompute_swapins_) {
-      if (StateOf(k) != BufState::kResident) continue;
-      if (HasUseAfter(k.tensor, pos)) {
-        EmitSwapOut(k, pos);
-      } else if (!roots_[static_cast<size_t>(k.tensor)].always_live) {
-        EmitFree(k, pos);
-      }
-    }
-
-    // Recompute-policy cleanup: ancestors materialized for this op.
-    for (const BufferKey& k : materialized_) {
-      if (StateOf(k) != BufState::kResident) continue;
-      bool used_later = HasUseAfter(k.tensor, pos);
-      if (!used_later) {
-        if (!roots_[static_cast<size_t>(k.tensor)].always_live) {
-          EmitFree(k, pos);
-        }
-        continue;
-      }
-      switch (options_.recompute_mode) {
-        case RecomputeMode::kMemoryCentric:
-          if (OptOf(k.tensor) == MemOpt::kRecompute) EmitDrop(k, pos);
-          break;
-        case RecomputeMode::kSpeedCentric:
-          break;  // keep resident; freed at its real last use
-        case RecomputeMode::kLru: {
-          size_t bytes = KeyBytes(k);
-          if (lru_kept_bytes_ + bytes <= options_.lru_budget_bytes) {
-            lru_kept_bytes_ += bytes;
-          } else if (OptOf(k.tensor) == MemOpt::kRecompute) {
-            EmitDrop(k, pos);
-          }
-          break;
-        }
-      }
+    int group_idx = fused_group_of_[static_cast<size_t>(op_id)];
+    if (group_idx < 0) {
+      materialized_.clear();
+      recompute_swapins_.clear();
+      RETURN_IF_ERROR(EmitOpExecution(op_id, pos, /*is_recompute=*/false,
+                                      /*depth=*/0));
+      PostExecCleanup(pos);
+    } else if (op_id == plan_.fusion_groups[static_cast<size_t>(group_idx)]
+                            .ops.front()) {
+      // The whole fused group executes as one step at its first member's
+      // position; later member positions emit no compute of their own but
+      // still run the end-of-life passes below, so external inputs evict
+      // at the same schedule position they would unfused.
+      materialized_.clear();
+      recompute_swapins_.clear();
+      RETURN_IF_ERROR(EmitFusedGroupExecution(
+          plan_.fusion_groups[static_cast<size_t>(group_idx)], pos));
+      PostExecCleanup(pos);
     }
 
     // End-of-life pass over this op's inputs and dead outputs.

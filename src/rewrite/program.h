@@ -66,6 +66,7 @@ enum class StepKind : uint8_t {
   kDrop,        // release without host copy (recompute eviction)
   kSplitCopy,   // scatter a whole buffer into its micro buffers
   kMergeCopy,   // gather micro buffers into a whole buffer
+  kFusedOp,     // run a fused op chain; interiors stay in scratch registers
 };
 
 const char* StepKindToString(StepKind kind);
@@ -90,6 +91,18 @@ struct Step {
   BufferKey buffer;
   size_t bytes = 0;
   double transfer_seconds = 0;  // kSwapOut / kSwapIn
+
+  // kFusedOp fields. The super-op runs `fused_ops` in order as one step:
+  // `inputs` holds one group per member input, member-major (member 0's
+  // inputs first), `outputs` one entry per member in member order.
+  // `ephemeral` lists the interior tensors — produced and consumed inside
+  // the step, held in executor scratch, never pool-allocated; their
+  // BufferKeys still appear in inputs/outputs so members wire up, but no
+  // kAlloc/kFree/swap step may ever reference them. `seconds` sums the
+  // members' profiled times; `workspace_bytes` is the member maximum (the
+  // members run back-to-back, so only the largest workspace is ever held).
+  std::vector<OpId> fused_ops;
+  std::vector<TensorId> ephemeral;
 
   int sched_pos = -1;  // originating schedule position (diagnostics)
 };

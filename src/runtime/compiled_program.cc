@@ -229,8 +229,124 @@ class Compiler {
         return AddScatter(step, InstrKind::kMergeCopy);
       case StepKind::kCompute:
         return AddCompute(step);
+      case StepKind::kFusedOp:
+        return AddFused(step);
     }
     return Status::Internal("unknown step kind");
+  }
+
+  // Lowers one kFusedOp step into one kFusedCompute instruction backed by
+  // per-member ComputeInstrs in cp_.computes (so slot-remapping passes
+  // cover them like any other compute). Interior outputs get out_slot -1
+  // plus a scratch id; the consuming member reads that id back through
+  // InputRef::fused_scratch. The scratch counter is cleared once per GROUP
+  // (not per member), so every scratch id inside the group is distinct and
+  // a producer/consumer pair shares its id safely.
+  Status AddFused(const Step& step) {
+    step_used_.clear();
+    std::unordered_set<TensorId> ephemeral(step.ephemeral.begin(),
+                                           step.ephemeral.end());
+    std::unordered_map<TensorId, int> interior_scratch;
+    std::vector<int> members;
+    size_t cursor = 0;
+    for (size_t m = 0; m < step.fused_ops.size(); ++m) {
+      OpId op_id = step.fused_ops[m];
+      const OpNode& node = graph_.node(op_id);
+      ComputeInstr c;
+      c.node = &node;
+      c.whole = true;
+      // One workspace accounting per group — the member maximum the
+      // generator modelled (the reference holds exactly one reservation).
+      c.workspace_bytes = m == 0 ? step.workspace_bytes : 0;
+
+      auto fence = [&c](int slot) {
+        if (std::find(c.fence_slots.begin(), c.fence_slots.end(), slot) ==
+            c.fence_slots.end()) {
+          c.fence_slots.push_back(slot);
+        }
+      };
+
+      std::vector<Shape> declared_in = graph_.InputShapes(op_id);
+      if (declared_in.size() != node.inputs.size()) {
+        return Status::Internal("fused member arity mismatch for " +
+                                node.name);
+      }
+      std::vector<int> direct_slots;
+      for (size_t idx = 0; idx < node.inputs.size(); ++idx, ++cursor) {
+        if (cursor >= step.inputs.size()) {
+          return Status::Internal("fused step input groups truncated at " +
+                                  node.name);
+        }
+        const std::vector<BufferKey>& group = step.inputs[cursor];
+        if (group.empty()) {
+          return Status::Internal("empty input group for " + node.name);
+        }
+        InputRef in;
+        Shape value_shape;
+        if (group.size() == 1 && ephemeral.count(group[0].tensor) > 0) {
+          auto it = interior_scratch.find(group[0].tensor);
+          if (it == interior_scratch.end()) {
+            return Status::Internal(
+                "fused interior " + graph_.tensor(group[0].tensor).name +
+                " consumed before production");
+          }
+          in.fused_scratch = it->second;
+          value_shape = graph_.tensor(group[0].tensor).shape;
+        } else if (group.size() == 1) {
+          ASSIGN_OR_RETURN(in.slot, SlotOf(group[0]));
+          fence(in.slot);
+          value_shape = cp_.slots[static_cast<size_t>(in.slot)].shape;
+        } else {
+          ASSIGN_OR_RETURN(in.merge, MergeOf(group));
+          for (int slot :
+               cp_.merges[static_cast<size_t>(in.merge)].part_slots) {
+            fence(slot);
+          }
+          value_shape = graph_.tensor(group[0].tensor).shape;
+        }
+        if (value_shape != declared_in[idx]) {
+          if (value_shape.num_elements() != declared_in[idx].num_elements()) {
+            return Status::Internal("reshape element mismatch for " +
+                                    node.name);
+          }
+          in.reshape_scratch = AcquireScratch(declared_in[idx]);
+        }
+        if (in.merge < 0 && in.fused_scratch < 0 && in.reshape_scratch < 0) {
+          direct_slots.push_back(in.slot);
+        }
+        c.inputs.push_back(std::move(in));
+      }
+
+      // Members are single-output by construction.
+      TensorId out = node.outputs[0];
+      const Shape& out_shape = graph_.tensor(out).shape;
+      if (ephemeral.count(out) > 0) {
+        c.inplace = false;
+        c.out_slots.push_back(-1);
+        int id = AcquireScratch(out_shape);
+        c.out_scratch.push_back(id);
+        interior_scratch[out] = id;
+      } else {
+        ASSIGN_OR_RETURN(int slot, SlotOf(BufferKey{out, -1}));
+        fence(slot);
+        bool aliased = std::find(direct_slots.begin(), direct_slots.end(),
+                                 slot) != direct_slots.end();
+        c.inplace = cp_.slots[static_cast<size_t>(slot)].shape == out_shape &&
+                    !aliased && IsZeroed(slot);
+        c.out_slots.push_back(slot);
+        if (!c.inplace) c.out_scratch.push_back(AcquireScratch(out_shape));
+        SetZeroed(slot, false);
+      }
+      members.push_back(static_cast<int>(cp_.computes.size()));
+      cp_.computes.push_back(std::move(c));
+    }
+    if (cursor != step.inputs.size()) {
+      return Status::Internal("fused step carries extra input groups");
+    }
+    int aux = static_cast<int>(cp_.fused.size());
+    cp_.fused.push_back(std::move(members));
+    cp_.instrs.push_back(Instr{InstrKind::kFusedCompute, -1, aux});
+    return Status::OK();
   }
 
   Status AddScatter(const Step& step, InstrKind kind) {
@@ -829,7 +945,17 @@ Tensor& FunctionalExecutor::EnsureScratch(const CompiledProgram& cp, int id) {
 Result<const Tensor*> FunctionalExecutor::ResolveCompiledInput(
     const CompiledProgram& cp, const compiled::InputRef& in) {
   const Tensor* value = nullptr;
-  if (in.merge >= 0) {
+  if (in.fused_scratch >= 0) {
+    // Ephemeral fused interior: the producing member (earlier in the same
+    // kFusedCompute) left the value in this scratch id. Read it directly —
+    // EnsureScratch would reallocate (and lose it) on a shape mismatch.
+    const Tensor& t = scratch_[static_cast<size_t>(in.fused_scratch)];
+    if (t.shape() !=
+        cp.scratch_shapes[static_cast<size_t>(in.fused_scratch)]) {
+      return Status::Internal("fused interior scratch not materialized");
+    }
+    value = &t;
+  } else if (in.merge >= 0) {
     const compiled::MergeRef& m = cp.merges[static_cast<size_t>(in.merge)];
     Tensor& scratch = merge_scratch_[static_cast<size_t>(m.scratch)];
     const Shape& whole_shape = cp.merge_shapes[static_cast<size_t>(m.scratch)];
@@ -929,6 +1055,9 @@ Status FunctionalExecutor::ExecCompiledCompute(
     RETURN_IF_ERROR(c.node->op->Compute(input_ptrs_, output_ptrs_));
     for (size_t i = 0; i < c.out_slots.size(); ++i) {
       int slot = c.out_slots[i];
+      // Ephemeral fused interior: the value stays in its out_scratch for
+      // the consuming member; there is no slot to store into.
+      if (slot < 0) continue;
       if (!(slot_flags_[static_cast<size_t>(slot)] & kHasDevice)) {
         return Status::Internal("compute output buffer missing for " +
                                 c.node->name);
@@ -1040,6 +1169,14 @@ Status FunctionalExecutor::RunCompiled(const CompiledProgram& cp) {
         for (int slot : cp.batches[static_cast<size_t>(ins.aux)]) {
           RETURN_IF_ERROR(FenceSlot(slot));
           RETURN_IF_ERROR(ExecFreeSlot(cp, slot));
+        }
+        break;
+      case compiled::InstrKind::kFusedCompute:
+        // Members run back-to-back; interiors flow member-to-member
+        // through scratch and never touch a slot or the pool.
+        for (int ci : cp.fused[static_cast<size_t>(ins.aux)]) {
+          RETURN_IF_ERROR(ExecCompiledCompute(
+              cp, cp.computes[static_cast<size_t>(ci)]));
         }
         break;
     }

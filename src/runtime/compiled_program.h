@@ -117,6 +117,7 @@ enum class InstrKind : uint8_t {
   kCompute,     // aux -> computes
   kAllocBatch,  // aux -> batches: a coalesced run of kAlloc
   kFreeBatch,   // aux -> batches: a coalesced run of kFree
+  kFusedCompute,  // aux -> fused: member compute indices, run back-to-back
 };
 
 struct Instr {
@@ -161,6 +162,9 @@ struct MergeRef {
 struct InputRef {
   int slot = -1;            // direct source slot (ignored when merge >= 0)
   int merge = -1;           // index into CompiledProgram::merges
+  // >= 0: ephemeral fused interior — read the value the producing member
+  // left in this scratch id (no slot exists for the tensor at all).
+  int fused_scratch = -1;
   int reshape_scratch = -1; // >= 0: re-wrap into the declared view shape
   int slice_axis = -1;      // >= 0: slice/carve into slice_scratch
   int64_t slice_offset = 0;
@@ -218,6 +222,11 @@ struct CompiledProgram {
   std::vector<compiled::MergeRef> merges;
   // Slot runs behind kAllocBatch/kFreeBatch (in original stream order).
   std::vector<std::vector<int>> batches;
+  // Member compute indices behind each kFusedCompute (execution order).
+  // Members live in `computes` like ordinary instructions — slot-remapping
+  // passes cover them for free — but interior outputs carry out_slot -1
+  // and land in per-group scratch instead of any slot.
+  std::vector<std::vector<int>> fused;
 
   std::vector<Shape> scratch_shapes;  // per-step transform scratch pool
   std::vector<Shape> merge_shapes;    // persistent merge scratch pool

@@ -486,6 +486,10 @@ Status FunctionalExecutor::RunReference(const rewrite::Program& program) {
         RETURN_IF_ERROR(RunCompute(step, program));
         break;
       }
+      case StepKind::kFusedOp: {
+        RETURN_IF_ERROR(RunFusedOp(step, program));
+        break;
+      }
     }
   }
   // Land everything so ValueOf and the byte accounting see final state.
@@ -663,6 +667,114 @@ Status FunctionalExecutor::RunCompute(const rewrite::Step& step,
     }
   }
 
+  return Status::OK();
+}
+
+Status FunctionalExecutor::RunFusedOp(const rewrite::Step& step,
+                                      const rewrite::Program& program) {
+  std::unordered_set<TensorId> ephemeral(step.ephemeral.begin(),
+                                         step.ephemeral.end());
+
+  // Fence every external (pool-backed) key the group touches; interiors
+  // never have copies in flight because they never leave scratch.
+  if (!inflight_.empty()) {
+    for (const auto& group : step.inputs) {
+      for (const BufferKey& key : group) {
+        if (ephemeral.count(key.tensor) == 0) RETURN_IF_ERROR(FenceKey(key));
+      }
+    }
+    for (const BufferKey& key : step.outputs) {
+      if (ephemeral.count(key.tensor) == 0) RETURN_IF_ERROR(FenceKey(key));
+    }
+  }
+
+  // One workspace reservation for the whole group — the member maximum the
+  // generator modelled (members run back-to-back on one stream).
+  struct WorkspaceRelease {
+    mem::MemoryPool* pool = nullptr;
+    size_t offset = 0;
+    ~WorkspaceRelease() {
+      if (pool != nullptr) (void)pool->Free(offset);
+    }
+  } workspace_release;
+  if (step.workspace_bytes > 0) {
+    auto offset = AllocateWithDrain(step.workspace_bytes);
+    if (!offset.ok()) {
+      return Status::OutOfMemory(
+          "functional OOM on workspace of fused group at " +
+          graph_->node(step.fused_ops.front()).name);
+    }
+    workspace_release.pool = &pool_;
+    workspace_release.offset = *offset;
+  }
+
+  // Interiors live here for the duration of the step — the executor's
+  // scratch registers; the device pool never sees them.
+  std::unordered_map<TensorId, Tensor> scratch;
+  size_t input_cursor = 0;
+  for (OpId op_id : step.fused_ops) {
+    const OpNode& node = graph_->node(op_id);
+    std::vector<Tensor> merged_storage;
+    std::vector<Tensor> reshaped_storage;
+    std::vector<const Tensor*> inputs;
+    merged_storage.reserve(node.inputs.size());
+    reshaped_storage.reserve(node.inputs.size());
+    std::vector<Shape> declared_in = graph_->InputShapes(op_id);
+    for (size_t idx = 0; idx < node.inputs.size(); ++idx, ++input_cursor) {
+      if (input_cursor >= step.inputs.size()) {
+        return Status::Internal("fused step input groups truncated at " +
+                                node.name);
+      }
+      const auto& group = step.inputs[input_cursor];
+      const Tensor* value = nullptr;
+      if (group.size() == 1 && ephemeral.count(group[0].tensor) > 0) {
+        auto it = scratch.find(group[0].tensor);
+        if (it == scratch.end()) {
+          return Status::Internal(
+              "fused interior " + graph_->tensor(group[0].tensor).name +
+              " consumed before production");
+        }
+        value = &it->second;
+      } else {
+        ASSIGN_OR_RETURN(value,
+                         ResolveGroup(group, program, &merged_storage));
+      }
+      if (value->shape() != declared_in[idx]) {
+        // The buffer may back a Reshape view; re-wrap into the view shape.
+        TSPLIT_CHECK_EQ(value->num_elements(),
+                        declared_in[idx].num_elements());
+        Tensor rewrapped(declared_in[idx]);
+        rewrapped.vec() = value->vec();
+        reshaped_storage.push_back(std::move(rewrapped));
+        value = &reshaped_storage.back();
+      }
+      inputs.push_back(value);
+    }
+
+    // Members are single-output by construction.
+    TensorId out = node.outputs[0];
+    Tensor result(graph_->tensor(out).shape);
+    std::vector<Tensor*> outputs = {&result};
+    RETURN_IF_ERROR(node.op->Compute(inputs, outputs));
+    if (ephemeral.count(out) > 0) {
+      if (keep_freed_values_ || IsRetained(out)) {
+        // Interiors are never pool-resident, so the verification archive is
+        // the only place ValueOf can observe them after the run.
+        archive_[BufferKey{out, -1}] = result;
+      }
+      scratch[out] = std::move(result);
+    } else {
+      auto it = device_.find(BufferKey{out, -1});
+      if (it == device_.end()) {
+        return Status::Internal("fused output buffer missing for " +
+                                node.name);
+      }
+      it->second = std::move(result);
+    }
+  }
+  if (input_cursor != step.inputs.size()) {
+    return Status::Internal("fused step carries extra input groups");
+  }
   return Status::OK();
 }
 

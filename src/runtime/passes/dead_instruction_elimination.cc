@@ -41,6 +41,17 @@ std::vector<int> TouchedSlots(const CompiledProgram& cp, const Instr& ins) {
     case InstrKind::kAllocBatch:
     case InstrKind::kFreeBatch:
       return cp.batches[static_cast<size_t>(ins.aux)];
+    case InstrKind::kFusedCompute: {
+      // Union of every member's fences; ephemeral interiors have no slot
+      // and so (correctly) never appear.
+      std::vector<int> slots;
+      for (int ci : cp.fused[static_cast<size_t>(ins.aux)]) {
+        for (int s : cp.computes[static_cast<size_t>(ci)].fence_slots) {
+          slots.push_back(s);
+        }
+      }
+      return slots;
+    }
     default:
       return {ins.slot};
   }

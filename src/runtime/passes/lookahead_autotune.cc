@@ -96,6 +96,16 @@ double SimulateSeconds(const CompiledProgram& cp,
         }
         break;
       }
+      case InstrKind::kFusedCompute:
+        for (int ci : cp.fused[static_cast<size_t>(ins.aux)]) {
+          const auto& c = cp.computes[static_cast<size_t>(ci)];
+          for (int s : c.fence_slots) fence(s);
+          if (c.node != nullptr && c.node->id >= 0 &&
+              static_cast<size_t>(c.node->id) < profile.ops.size()) {
+            now += profile.ops[static_cast<size_t>(c.node->id)].seconds;
+          }
+        }
+        break;
     }
   }
   // RunCompiled drains the engine before returning.

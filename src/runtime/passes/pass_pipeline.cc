@@ -50,6 +50,14 @@ void HoistSwapIns(const CompiledProgram& cp, std::vector<Instr>& instrs,
         const auto& b = cp.batches[static_cast<size_t>(ins.aux)];
         return std::find(b.begin(), b.end(), slot) != b.end();
       }
+      case InstrKind::kFusedCompute: {
+        for (int ci : cp.fused[static_cast<size_t>(ins.aux)]) {
+          const std::vector<int>& f =
+              cp.computes[static_cast<size_t>(ci)].fence_slots;
+          if (std::find(f.begin(), f.end(), slot) != f.end()) return true;
+        }
+        return false;
+      }
       default:
         return ins.slot == slot;
     }
@@ -65,7 +73,10 @@ void HoistSwapIns(const CompiledProgram& cp, std::vector<Instr>& instrs,
           prev.kind == InstrKind::kSwapOut || touches(prev, slot)) {
         break;
       }
-      if (prev.kind == InstrKind::kCompute) ++crossed;
+      if (prev.kind == InstrKind::kCompute ||
+          prev.kind == InstrKind::kFusedCompute) {
+        ++crossed;
+      }
       std::swap(instrs[j - 1], instrs[j]);
       --j;
     }

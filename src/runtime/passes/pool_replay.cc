@@ -62,6 +62,16 @@ PoolReplayResult ReplayPool(const CompiledProgram& cp,
         }
         break;
       }
+      case InstrKind::kFusedCompute:
+        // Only the first member carries the group's (max) workspace.
+        for (int ci : cp.fused[static_cast<size_t>(ins.aux)]) {
+          const auto& c = cp.computes[static_cast<size_t>(ci)];
+          if (c.workspace_bytes > 0 &&
+              !pool.AccountTransient(c.workspace_bytes).ok()) {
+            return result;
+          }
+        }
+        break;
       case InstrKind::kSplitCopy:
       case InstrKind::kMergeCopy:
         break;  // no pool traffic

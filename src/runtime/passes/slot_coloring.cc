@@ -89,6 +89,14 @@ class SlotColoringPass : public CompiledPass {
             touch(s, i);
           }
           break;
+        case InstrKind::kFusedCompute:
+          for (int ci : cp->fused[static_cast<size_t>(ins.aux)]) {
+            for (int s :
+                 cp->computes[static_cast<size_t>(ci)].fence_slots) {
+              touch(s, i);
+            }
+          }
+          break;
         case InstrKind::kSplitCopy:
         case InstrKind::kMergeCopy: {
           const auto& sc = cp->scatters[static_cast<size_t>(ins.aux)];
@@ -244,7 +252,9 @@ class SlotColoringPass : public CompiledPass {
       for (auto& in : c.inputs) {
         if (in.slot >= 0) in.slot = remap[static_cast<size_t>(in.slot)];
       }
-      for (int& s : c.out_slots) s = remap[static_cast<size_t>(s)];
+      for (int& s : c.out_slots) {
+        if (s >= 0) s = remap[static_cast<size_t>(s)];
+      }
       std::vector<int> fences;
       for (int s : c.fence_slots) {
         int t = remap[static_cast<size_t>(s)];

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/kernel_model.h"
@@ -299,6 +300,56 @@ Result<IterationStats> Simulation::Run() {
             h2d_, step.transfer_seconds, std::max(mem_at, host_at),
             "swap_in " + graph_.tensor(step.buffer.tensor).name);
         buffers_[step.buffer].ready = record.finish;
+        break;
+      }
+      case StepKind::kFusedOp: {
+        // One fused kernel on the compute stream, timed as the sum of its
+        // members. Only external (pool-backed) buffers gate readiness or
+        // record reads — interiors never touch device memory, which is the
+        // strategy's entire point.
+        std::unordered_set<TensorId> ephemeral(step.ephemeral.begin(),
+                                               step.ephemeral.end());
+        double ready = 0;
+        for (const auto& group : step.inputs) {
+          for (const BufferKey& key : group) {
+            if (ephemeral.count(key.tensor) > 0) continue;
+            ready = std::max(ready, buffers_[key].ready);
+          }
+        }
+        for (const BufferKey& key : step.outputs) {
+          if (ephemeral.count(key.tensor) > 0) continue;
+          ready = std::max(ready, buffers_[key].ready);
+        }
+        // Transient workspace: the member maximum, held for the whole step.
+        size_t workspace_offset = 0;
+        if (step.workspace_bytes > 0) {
+          auto at = Allocate(step.workspace_bytes, &workspace_offset);
+          if (!at.ok()) return annotate(at.status());
+          ready = std::max(ready, *at);
+        }
+        std::string label = "fused{";
+        for (size_t i = 0; i < step.fused_ops.size(); ++i) {
+          if (i > 0) label += "+";
+          label += graph_.node(step.fused_ops[i]).name;
+        }
+        label += "}";
+        const auto& record =
+            timeline_.Schedule(compute_, step.seconds, ready,
+                               std::move(label));
+        for (const auto& group : step.inputs) {
+          for (const BufferKey& key : group) {
+            if (ephemeral.count(key.tensor) > 0) continue;
+            BufferInfo& info = buffers_[key];
+            info.last_read = std::max(info.last_read, record.finish);
+          }
+        }
+        for (const BufferKey& key : step.outputs) {
+          if (ephemeral.count(key.tensor) > 0) continue;
+          buffers_[key].ready = record.finish;
+        }
+        if (step.workspace_bytes > 0) {
+          pending_frees_.push(PendingFree{record.finish, workspace_offset});
+        }
         break;
       }
       case StepKind::kSplitCopy:

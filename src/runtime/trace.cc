@@ -31,10 +31,35 @@ std::string Escape(const std::string& text) {
 
 }  // namespace
 
+std::vector<FusedGroupInfo> FusionGroupInfos(const Graph& graph,
+                                             const planner::Plan& plan) {
+  std::vector<FusedGroupInfo> infos;
+  for (size_t g = 0; g < plan.fusion_groups.size(); ++g) {
+    const planner::FusionGroup& group = plan.fusion_groups[g];
+    FusedGroupInfo info;
+    info.group = static_cast<int>(g);
+    for (size_t m = 0; m < group.ops.size(); ++m) {
+      if (m > 0) info.members += "+";
+      info.members += group.ops[m] >= 0 && group.ops[m] < graph.num_ops()
+                          ? graph.node(group.ops[m]).name
+                          : "?";
+    }
+    info.interior_count = group.interior.size();
+    for (TensorId t : group.interior) {
+      if (t >= 0 && t < graph.num_tensors()) {
+        info.ephemeral_bytes += graph.tensor(t).size_bytes();
+      }
+    }
+    infos.push_back(std::move(info));
+  }
+  return infos;
+}
+
 std::string ToChromeTrace(const sim::Timeline& timeline,
                           const std::vector<MemorySample>* memory,
                           const planner::PlannerStats* planner_stats,
-                          const std::vector<PassStats>* pass_stats) {
+                          const std::vector<PassStats>* pass_stats,
+                          const std::vector<FusedGroupInfo>* fusion) {
   std::ostringstream os;
   os << "{\"traceEvents\":[";
   bool first = true;
@@ -88,6 +113,16 @@ std::string ToChromeTrace(const sim::Timeline& timeline,
          << ",\"note\":\"" << Escape(pass.note) << "\"}}";
     }
   }
+  if (fusion != nullptr) {
+    for (const FusedGroupInfo& group : *fusion) {
+      os << ",{\"name\":\"fused group " << group.group
+         << "\",\"ph\":\"i\",\"s\":\"g\",\"pid\":1,\"tid\":0,\"ts\":0,"
+            "\"args\":{\"members\":\""
+         << Escape(group.members) << "\",\"interior_tensors\":"
+         << group.interior_count << ",\"ephemeral_bytes\":"
+         << group.ephemeral_bytes << "}}";
+    }
+  }
   os << "]}";
   return os.str();
 }
@@ -95,11 +130,12 @@ std::string ToChromeTrace(const sim::Timeline& timeline,
 bool WriteChromeTrace(const sim::Timeline& timeline, const std::string& path,
                       const std::vector<MemorySample>* memory,
                       const planner::PlannerStats* planner_stats,
-                      const std::vector<PassStats>* pass_stats) {
+                      const std::vector<PassStats>* pass_stats,
+                      const std::vector<FusedGroupInfo>* fusion) {
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) return false;
   std::string json =
-      ToChromeTrace(timeline, memory, planner_stats, pass_stats);
+      ToChromeTrace(timeline, memory, planner_stats, pass_stats, fusion);
   size_t written = std::fwrite(json.data(), 1, json.size(), file);
   std::fclose(file);
   return written == json.size();

@@ -9,12 +9,26 @@
 #include <string>
 #include <vector>
 
+#include "planner/plan.h"
 #include "planner/planner_stats.h"
 #include "runtime/compiled_program.h"
 #include "runtime/sim_executor.h"
 #include "sim/timeline.h"
 
 namespace tsplit::runtime {
+
+// One fused operator group, flattened for trace embedding: the member
+// chain label ("matmul+add+relu"), the interior count and the pool bytes
+// those interiors never occupy. Built from a plan via FusionGroupInfos.
+struct FusedGroupInfo {
+  int group = 0;
+  std::string members;
+  size_t interior_count = 0;
+  size_t ephemeral_bytes = 0;
+};
+
+std::vector<FusedGroupInfo> FusionGroupInfos(const Graph& graph,
+                                             const planner::Plan& plan);
 
 // Serializes every task on every stream as Chrome trace-event "X" (complete)
 // events; one trace "thread" per stream. Times are microseconds. When
@@ -25,18 +39,22 @@ namespace tsplit::runtime {
 // times) so a trace is self-describing about how its plan was built. When
 // `pass_stats` is non-null and non-empty, one "compiled pass" instant event
 // per pipeline pass embeds its wall time and instruction/slot/byte deltas.
+// When `fusion` is non-null and non-empty, one "fused group" instant event
+// per group embeds its member chain and ephemeral bytes avoided.
 std::string ToChromeTrace(
     const sim::Timeline& timeline,
     const std::vector<MemorySample>* memory = nullptr,
     const planner::PlannerStats* planner_stats = nullptr,
-    const std::vector<PassStats>* pass_stats = nullptr);
+    const std::vector<PassStats>* pass_stats = nullptr,
+    const std::vector<FusedGroupInfo>* fusion = nullptr);
 
 // Writes the trace to `path`; returns false on I/O failure.
 bool WriteChromeTrace(
     const sim::Timeline& timeline, const std::string& path,
     const std::vector<MemorySample>* memory = nullptr,
     const planner::PlannerStats* planner_stats = nullptr,
-    const std::vector<PassStats>* pass_stats = nullptr);
+    const std::vector<PassStats>* pass_stats = nullptr,
+    const std::vector<FusedGroupInfo>* fusion = nullptr);
 
 }  // namespace tsplit::runtime
 

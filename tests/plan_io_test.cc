@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -14,6 +15,7 @@
 #include "rewrite/program.h"
 #include "runtime/sim_executor.h"
 #include "planner/planner.h"
+#include "planner/tsplit_planner.h"
 
 namespace tsplit::planner {
 namespace {
@@ -173,6 +175,125 @@ TEST(PlanIoTest, PlanToStringIsInsertionOrderIndependent) {
   EXPECT_EQ(rendered, backward.ToString(bench.model.graph));
   // Sanity: id order means the render itself is reproducible across runs.
   EXPECT_EQ(rendered, bench.plan.ToString(bench.model.graph));
+}
+
+// A TSPLIT plan with operator fusion enabled, for the "# fuse" round
+// trip. The MLP's matmul->bias->activation chains always yield groups.
+struct FusedBench {
+  models::Model model;
+  Plan plan;
+};
+
+FusedBench MakeFusedPlanned() {
+  auto model = models::BuildMlp({});
+  TSPLIT_CHECK_OK(model.status());
+  auto schedule = BuildSchedule(model->graph);
+  auto profile = ProfileGraph(model->graph, sim::TitanRtx());
+  MemoryProfile baseline = ComputeMemoryProfile(model->graph, *schedule);
+  size_t floor = baseline.always_live_bytes +
+                 model->graph.BytesOfKind(TensorKind::kParamGrad);
+  size_t budget = floor + (baseline.peak_bytes - floor) * 3 / 10;
+  TsplitOptions options;
+  options.enable_fusion = true;
+  TsplitPlanner planner(options);
+  auto plan = planner.BuildPlan(model->graph, *schedule, profile, budget);
+  TSPLIT_CHECK_OK(plan.status());
+  TSPLIT_CHECK(!plan->fusion_groups.empty());
+  return FusedBench{std::move(*model), std::move(*plan)};
+}
+
+// First "# fuse" line of a serialized plan as [start, end) offsets
+// (end excludes the newline).
+std::pair<size_t, size_t> FirstFuseLine(const std::string& text) {
+  size_t start = text.find("# fuse ");
+  TSPLIT_CHECK(start != std::string::npos);
+  size_t end = text.find('\n', start);
+  TSPLIT_CHECK(end != std::string::npos);
+  return {start, end};
+}
+
+TEST(PlanIoTest, FuseRoundTripPreservesGroupsAndInteriors) {
+  FusedBench bench = MakeFusedPlanned();
+  std::string text = SerializePlan(bench.model.graph, bench.plan);
+  EXPECT_NE(text.find("# fuse "), std::string::npos);
+  auto parsed = ParsePlan(bench.model.graph, text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->fusion_groups.size(), bench.plan.fusion_groups.size());
+  for (size_t g = 0; g < parsed->fusion_groups.size(); ++g) {
+    EXPECT_EQ(parsed->fusion_groups[g].ops, bench.plan.fusion_groups[g].ops);
+    EXPECT_EQ(parsed->fusion_groups[g].interior,
+              bench.plan.fusion_groups[g].interior);
+  }
+  EXPECT_EQ(parsed->CountOpt(MemOpt::kFuse),
+            bench.plan.CountOpt(MemOpt::kFuse));
+  // Idempotent: re-serializing the parse reproduces the text.
+  EXPECT_EQ(SerializePlan(bench.model.graph, *parsed), text);
+}
+
+TEST(PlanIoTest, RejectsDanglingFusionMemberOp) {
+  FusedBench bench = MakeFusedPlanned();
+  std::string text = SerializePlan(bench.model.graph, bench.plan);
+  auto [start, end] = FirstFuseLine(text);
+  // Replace the line's last op key with a name no graph op has.
+  size_t last_space = text.rfind(' ', end);
+  ASSERT_GT(last_space, start);
+  text.replace(last_space + 1, end - last_space - 1, "__no_such_op__");
+  auto parsed = ParsePlan(bench.model.graph, text);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(parsed.status().ToString().find("unknown op"),
+            std::string::npos)
+      << parsed.status().ToString();
+}
+
+TEST(PlanIoTest, RejectsNonContiguousFusionGroup) {
+  FusedBench bench = MakeFusedPlanned();
+  std::string text = SerializePlan(bench.model.graph, bench.plan);
+  auto [start, end] = FirstFuseLine(text);
+  // Reverse the member order: the first link is no longer a
+  // producer->consumer edge.
+  std::istringstream line(text.substr(start + 7, end - start - 7));
+  std::vector<std::string> keys;
+  std::string key;
+  while (line >> key) keys.push_back(key);
+  ASSERT_GE(keys.size(), 2u);
+  std::string reversed = "# fuse";
+  for (auto it = keys.rbegin(); it != keys.rend(); ++it) {
+    reversed += " " + *it;
+  }
+  text.replace(start, end - start, reversed);
+  auto parsed = ParsePlan(bench.model.graph, text);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().ToString().find("non-contiguous"),
+            std::string::npos)
+      << parsed.status().ToString();
+}
+
+TEST(PlanIoTest, RejectsDuplicateFusionMembership) {
+  FusedBench bench = MakeFusedPlanned();
+  std::string text = SerializePlan(bench.model.graph, bench.plan);
+  auto [start, end] = FirstFuseLine(text);
+  // Repeat the whole group: every member is now fused twice.
+  text.insert(start, text.substr(start, end - start + 1));
+  auto parsed = ParsePlan(bench.model.graph, text);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().ToString().find("duplicate fusion membership"),
+            std::string::npos)
+      << parsed.status().ToString();
+}
+
+TEST(PlanIoTest, RejectsFuseEntryWithSplitConfig) {
+  FusedBench bench = MakeFusedPlanned();
+  std::string text = SerializePlan(bench.model.graph, bench.plan);
+  // Append a split config to the first fuse-marked tensor line.
+  size_t pos = text.find(" fuse\n");
+  ASSERT_NE(pos, std::string::npos);
+  text.insert(pos + 5, " 4 0");
+  auto parsed = ParsePlan(bench.model.graph, text);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(PlanIoTest, MissingFileIsNotFound) {

@@ -12,6 +12,7 @@
 #include "graph/schedule.h"
 #include "models/model.h"
 #include "planner/planner.h"
+#include "planner/tsplit_planner.h"
 #include "rewrite/program.h"
 
 namespace tsplit::rewrite {
@@ -100,6 +101,34 @@ enum class State { kNone, kResident, kHost };
         }
         break;
       }
+      case StepKind::kFusedOp: {
+        // Interior (ephemeral) tensors live only in the fused scratch —
+        // they must never appear in the pool state machine at all.
+        std::unordered_set<TensorId> interior(step.ephemeral.begin(),
+                                              step.ephemeral.end());
+        for (const auto& group : step.inputs) {
+          for (const BufferKey& key : group) {
+            if (interior.count(key.tensor)) continue;
+            if (state[key] != State::kResident) {
+              return fail("fused op reads non-resident " + describe(key));
+            }
+          }
+        }
+        for (const BufferKey& key : step.outputs) {
+          if (interior.count(key.tensor)) continue;
+          if (state[key] != State::kResident) {
+            return fail("fused op writes unallocated " + describe(key));
+          }
+        }
+        for (TensorId t : step.ephemeral) {
+          if (state.count(BufferKey{t, -1}) &&
+              state[BufferKey{t, -1}] != State::kNone) {
+            return fail("ephemeral t" + std::to_string(t) +
+                        " is pool-resident");
+          }
+        }
+        break;
+      }
     }
   }
   return ::testing::AssertionSuccess();
@@ -161,6 +190,35 @@ TEST(ProgramTest, TightTsplitPlanStillLegal) {
   ASSERT_TRUE(program.ok());
   EXPECT_TRUE(ValidateProgram(bench.model.graph, *program));
   EXPECT_GT(program->swap_out_bytes + program->recompute_seconds, 0.0);
+}
+
+TEST(ProgramTest, FusedTsplitPlanStillLegal) {
+  auto model = models::BuildMlp(models::MlpConfig{});
+  TSPLIT_CHECK_OK(model.status());
+  auto schedule = BuildSchedule(model->graph);
+  TSPLIT_CHECK_OK(schedule.status());
+  auto profile = planner::ProfileGraph(model->graph, sim::TitanRtx());
+  MemoryProfile baseline = ComputeMemoryProfile(model->graph, *schedule);
+  size_t floor = baseline.always_live_bytes +
+                 model->graph.BytesOfKind(TensorKind::kParamGrad);
+  size_t budget =
+      floor + (baseline.peak_bytes - floor) * 3 / 10;
+  planner::TsplitOptions popts;
+  popts.enable_fusion = true;
+  planner::TsplitPlanner fused_planner(popts);
+  auto plan =
+      fused_planner.BuildPlan(model->graph, *schedule, profile, budget);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_FALSE(plan->fusion_groups.empty());
+  auto program =
+      GenerateProgram(model->graph, *schedule, *plan, profile);
+  ASSERT_TRUE(program.ok());
+  bool has_fused = false;
+  for (const Step& step : program->steps) {
+    has_fused |= step.kind == StepKind::kFusedOp;
+  }
+  EXPECT_TRUE(has_fused);
+  EXPECT_TRUE(ValidateProgram(model->graph, *program));
 }
 
 TEST(ProgramTest, RandomizedPlansAreLegal) {

@@ -8,7 +8,7 @@
 //   tsplit_lint [--model NAME] [--batch N] [--scale F]
 //               [--planner NAME | --plan FILE]
 //               [--capacity-mb N | --fraction F] [--lookahead N]
-//               [--passes STR] [--dump-compiled]
+//               [--passes STR] [--dump-plan] [--dump-compiled]
 //               [--corrupt KIND] [--list-codes]
 //
 //   --model NAME      model zoo name (default MLP; see models::BuildByName)
@@ -22,6 +22,10 @@
 //   --lookahead N     compile-time swap-in prefetch depth (default 0)
 //   --passes STR      compiled pass selection: "all", "none", or a comma
 //                     subset of {dce,color,autotune,batch} (default all)
+//   --dump-plan       print the plan's strategy histogram (tensors per
+//                     reside/swap/recompute/fuse, split counts, bytes per
+//                     strategy and ephemeral bytes avoided by fusion) and
+//                     each fused group's member chain
 //   --dump-compiled   compile with executor-equivalent pass options
 //                     (Trainer's steady state: freed values unobservable,
 //                     real pool capacity, autotune on) and print the pass
@@ -37,6 +41,7 @@
 // Exit status: 0 = clean (warnings allowed), 1 = error-severity
 // diagnostics, 2 = usage error or pipeline failure.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -70,6 +75,7 @@ struct Args {
   double fraction = 0.6;
   int lookahead = 0;
   std::string passes = "all";
+  bool dump_plan = false;
   bool dump_compiled = false;
   std::string corrupt;
   bool list_codes = false;
@@ -81,7 +87,7 @@ void PrintUsage() {
       "usage: tsplit_lint [--model NAME] [--batch N] [--scale F]\n"
       "                   [--planner NAME | --plan FILE]\n"
       "                   [--capacity-mb N | --fraction F] [--lookahead N]\n"
-      "                   [--passes STR] [--dump-compiled]\n"
+      "                   [--passes STR] [--dump-plan] [--dump-compiled]\n"
       "                   [--corrupt swap-in-after-use|overlap-offsets|"
       "recompute-rng]\n"
       "                   [--list-codes]\n");
@@ -131,6 +137,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = value();
       if (v == nullptr) return false;
       args->passes = v;
+    } else if (flag == "--dump-plan") {
+      args->dump_plan = true;
     } else if (flag == "--dump-compiled") {
       args->dump_compiled = true;
     } else if (flag == "--corrupt") {
@@ -233,6 +241,55 @@ std::string SlotName(const Graph& graph, const runtime::CompiledProgram& cp,
   return name;
 }
 
+// Prints the plan's strategy histogram: tensors and bytes per memory
+// strategy (split counted both ways), plus each fused group's member
+// chain and the pool bytes its interiors never occupy.
+void DumpPlan(const Graph& graph, const planner::Plan& plan) {
+  struct Bucket {
+    size_t tensors = 0;
+    size_t split = 0;
+    size_t bytes = 0;
+  };
+  Bucket buckets[4];
+  for (const auto& [id, config] : plan.configs) {
+    auto& b = buckets[static_cast<size_t>(config.opt)];
+    b.tensors += 1;
+    if (config.split.active()) b.split += 1;
+    if (id >= 0 && id < graph.num_tensors()) {
+      b.bytes += graph.tensor(id).size_bytes();
+    }
+  }
+  std::printf("== plan (%s) ==\n", plan.planner_name.c_str());
+  std::printf("%-10s %8s %8s %12s\n", "strategy", "tensors", "split",
+              "KiB");
+  for (MemOpt opt : {MemOpt::kReside, MemOpt::kSwap, MemOpt::kRecompute,
+                     MemOpt::kFuse}) {
+    const Bucket& b = buckets[static_cast<size_t>(opt)];
+    std::printf("%-10s %8zu %8zu %12.1f\n", MemOptToString(opt), b.tensors,
+                b.split, static_cast<double>(b.bytes) / 1024.0);
+  }
+  std::printf("fusion groups=%zu ephemeral_bytes_avoided=%zu KiB\n",
+              plan.fusion_groups.size(),
+              plan.EphemeralBytes(graph) >> 10);
+  for (size_t g = 0; g < plan.fusion_groups.size(); ++g) {
+    const planner::FusionGroup& group = plan.fusion_groups[g];
+    std::printf("  group %zu:", g);
+    for (OpId op : group.ops) {
+      std::printf(" %s", op >= 0 && op < graph.num_ops()
+                             ? graph.node(op).name.c_str()
+                             : "?");
+    }
+    size_t interior_bytes = 0;
+    for (TensorId t : group.interior) {
+      if (t >= 0 && t < graph.num_tensors()) {
+        interior_bytes += graph.tensor(t).size_bytes();
+      }
+    }
+    std::printf("  (%zu interior, %zu KiB ephemeral)\n",
+                group.interior.size(), interior_bytes >> 10);
+  }
+}
+
 // Prints the pass-pipeline stats, per-slot lifetimes, workspace
 // high-water and the final instruction stream of `cp`.
 void DumpCompiled(const Graph& graph, const runtime::CompiledProgram& cp) {
@@ -284,6 +341,13 @@ void DumpCompiled(const Graph& graph, const runtime::CompiledProgram& cp) {
       case InstrKind::kCompute:
         for (int s : cp.computes[static_cast<size_t>(ins.aux)].fence_slots) {
           touch(s, i);
+        }
+        break;
+      case InstrKind::kFusedCompute:
+        for (int ci : cp.fused[static_cast<size_t>(ins.aux)]) {
+          for (int s : cp.computes[static_cast<size_t>(ci)].fence_slots) {
+            touch(s, i);
+          }
         }
         break;
       case InstrKind::kSplitCopy:
@@ -411,6 +475,19 @@ void DumpCompiled(const Graph& graph, const runtime::CompiledProgram& cp) {
         if (c.workspace_bytes > 0) {
           std::printf("  ws=%zu KiB", c.workspace_bytes >> 10);
         }
+        std::printf("\n");
+        break;
+      }
+      case InstrKind::kFusedCompute: {
+        const auto& members = cp.fused[static_cast<size_t>(ins.aux)];
+        std::printf("fused    ");
+        size_t ws = 0;
+        for (size_t k = 0; k < members.size(); ++k) {
+          const auto& c = cp.computes[static_cast<size_t>(members[k])];
+          std::printf("%s%s", k > 0 ? "+" : " ", c.node->name.c_str());
+          ws = std::max(ws, c.workspace_bytes);
+        }
+        if (ws > 0) std::printf("  ws=%zu KiB", ws >> 10);
         std::printf("\n");
         break;
       }
@@ -573,6 +650,7 @@ int RunLint(const Args& args) {
               program.steps.size(), compiled.instrs.size(),
               compiled.slots.size(),
               analysis::ReplayPeakBytes(graph, program));
+  if (args.dump_plan) DumpPlan(graph, plan);
   if (args.dump_compiled) DumpCompiled(graph, compiled);
   if (diagnostics.empty()) {
     std::printf("clean: no findings\n");
