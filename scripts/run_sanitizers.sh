@@ -23,7 +23,7 @@ fi
 # Suites that actually exercise threads: the parallel execution
 # substrate, planner scoring workers, the compiled path's async copy
 # engine, and fused super-op replay on both executor paths.
-tsan_filter='ParallelDeterminismTest.*:PlannerEquivalenceTest.*:*CompiledExec*:*CompiledPass*:PassPipelineTest.*:SlotColoringTest.*:LookaheadAutotuneTest.*:FusionTest.*:*FusionParity*:FusionVerifierTest.*'
+tsan_filter='ParallelDeterminismTest.*:PlannerEquivalenceTest.*:*CompiledExec*:*CompiledPass*:PassPipelineTest.*:SlotColoringTest.*:LookaheadAutotuneTest.*:FusionTest.*:*FusionParity*:FusionVerifierTest.*:DepGraphCleanMatrix.*:DepGraphNegative.*:DepGraphFuzz.*:DiagnosticOrderTest.*:DiagnosticJsonTest.*:ReorderPassTest.*:ReorderGateTest.*'
 
 failures=0
 for sanitizer in "${sanitizers[@]}"; do

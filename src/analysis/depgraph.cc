@@ -1,0 +1,741 @@
+#include "analysis/depgraph.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <tuple>
+#include <utility>
+
+#include "core/logging.h"
+
+namespace tsplit::analysis {
+
+namespace {
+
+using runtime::CompiledProgram;
+using runtime::compiled::ComputeInstr;
+using runtime::compiled::Instr;
+using runtime::compiled::InstrKind;
+
+constexpr int kNone = -2;   // slot has no tracked def / release yet
+constexpr int kStage = -1;  // defined by the stage prologue
+
+bool ValidSlot(const CompiledProgram& cp, int slot) {
+  return slot >= 0 && static_cast<size_t>(slot) < cp.slots.size();
+}
+
+template <typename T>
+bool ValidAux(const std::vector<T>& table, int aux) {
+  return aux >= 0 && static_cast<size_t>(aux) < table.size();
+}
+
+std::string SlotLabel(const CompiledProgram& cp, const Graph* graph,
+                      int slot) {
+  std::string out = "s" + std::to_string(slot);
+  if (!ValidSlot(cp, slot)) return out;
+  const auto& key = cp.slots[static_cast<size_t>(slot)].key;
+  std::string name = "t" + std::to_string(key.tensor);
+  if (graph != nullptr && key.tensor >= 0 &&
+      key.tensor < graph->num_tensors()) {
+    name = graph->tensor(key.tensor).name;
+  }
+  if (key.micro >= 0) name += "." + std::to_string(key.micro);
+  return out + ":" + name;
+}
+
+const char* InstrKindName(InstrKind kind) {
+  switch (kind) {
+    case InstrKind::kAlloc:
+      return "alloc";
+    case InstrKind::kFree:
+      return "free";
+    case InstrKind::kDrop:
+      return "drop";
+    case InstrKind::kSwapOut:
+      return "swap-out";
+    case InstrKind::kSwapIn:
+      return "swap-in";
+    case InstrKind::kSplitCopy:
+      return "split";
+    case InstrKind::kMergeCopy:
+      return "merge";
+    case InstrKind::kCompute:
+      return "compute";
+    case InstrKind::kAllocBatch:
+      return "alloc-batch";
+    case InstrKind::kFreeBatch:
+      return "free-batch";
+    case InstrKind::kFusedCompute:
+      return "fused";
+  }
+  return "?";
+}
+
+std::string InstrLabel(const CompiledProgram& cp, const Graph* graph,
+                       int index) {
+  const Instr& ins = cp.instrs[static_cast<size_t>(index)];
+  std::string out = InstrKindName(ins.kind);
+  switch (ins.kind) {
+    case InstrKind::kCompute:
+      if (ValidAux(cp.computes, ins.aux)) {
+        const ComputeInstr& c = cp.computes[static_cast<size_t>(ins.aux)];
+        if (c.node != nullptr) out += " " + c.node->name;
+      }
+      break;
+    case InstrKind::kFusedCompute:
+      if (ValidAux(cp.fused, ins.aux)) {
+        for (int ci : cp.fused[static_cast<size_t>(ins.aux)]) {
+          if (!ValidAux(cp.computes, ci)) continue;
+          const ComputeInstr& c = cp.computes[static_cast<size_t>(ci)];
+          if (c.node != nullptr) out += " " + c.node->name;
+        }
+      }
+      break;
+    case InstrKind::kSplitCopy:
+    case InstrKind::kMergeCopy:
+      if (ValidAux(cp.scatters, ins.aux)) {
+        out += " " + SlotLabel(cp, graph,
+                               cp.scatters[static_cast<size_t>(ins.aux)]
+                                   .whole_slot);
+      }
+      break;
+    case InstrKind::kAllocBatch:
+    case InstrKind::kFreeBatch:
+      if (ValidAux(cp.batches, ins.aux)) {
+        out += " x" + std::to_string(
+                          cp.batches[static_cast<size_t>(ins.aux)].size());
+      }
+      break;
+    default:
+      out += " " + SlotLabel(cp, graph, ins.slot);
+      break;
+  }
+  return out;
+}
+
+// Appends the read/write slot sets of one compute: reads are the input
+// slots (direct or merged parts) plus the fence set — on clean artifacts
+// the fence set equals the touched set, and on corrupt ones the union
+// keeps dependence at least as strong as the executor's fence sweep —
+// writes are the non-interior output slots (read-modify-write: paste and
+// accumulate sinks read the prior contents, and in-place kernels rely on
+// the zero-initialized state, so every output counts as a read too, which
+// the builder models by ordering writes after the existing def).
+void ComputeSlots(const CompiledProgram& cp, const ComputeInstr& c,
+                  std::vector<int>* reads, std::vector<int>* writes) {
+  for (const auto& in : c.inputs) {
+    if (in.fused_scratch >= 0) continue;  // interior: no slot exists
+    if (in.merge >= 0) {
+      if (!ValidAux(cp.merges, in.merge)) continue;
+      for (int part : cp.merges[static_cast<size_t>(in.merge)].part_slots) {
+        if (ValidSlot(cp, part)) reads->push_back(part);
+      }
+    } else if (ValidSlot(cp, in.slot)) {
+      reads->push_back(in.slot);
+    }
+  }
+  for (int s : c.fence_slots) {
+    if (ValidSlot(cp, s)) reads->push_back(s);
+  }
+  for (int s : c.out_slots) {
+    if (ValidSlot(cp, s)) writes->push_back(s);
+  }
+}
+
+void SortUnique(std::vector<int>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+bool Intersects(const std::vector<int>& a, const std::vector<int>& b) {
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return true;
+    if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* DepKindToString(DepKind kind) {
+  switch (kind) {
+    case DepKind::kData:
+      return "data";
+    case DepKind::kFence:
+      return "fence";
+    case DepKind::kAnti:
+      return "anti";
+    case DepKind::kOutput:
+      return "output";
+    case DepKind::kStorage:
+      return "storage";
+    case DepKind::kHost:
+      return "host";
+  }
+  return "?";
+}
+
+DepGraph DepGraph::Build(const CompiledProgram& cp) {
+  DepGraph g;
+  g.num_nodes_ = static_cast<int>(cp.instrs.size());
+  const size_t n = cp.slots.size();
+
+  std::vector<int> last_def(n, kNone);
+  std::vector<char> def_async(n, 0);
+  std::vector<char> live(n, 0);
+  std::vector<int> last_release(n, kNone);
+  std::vector<int> host_def(n, kNone);
+  std::vector<std::vector<int>> readers(n);
+
+  for (const auto& stage : cp.stages) {
+    if (!ValidSlot(cp, stage.slot)) continue;
+    last_def[static_cast<size_t>(stage.slot)] = kStage;
+    live[static_cast<size_t>(stage.slot)] = 1;
+  }
+
+  auto add = [&g](int from, int to, DepKind kind, int slot) {
+    // Stage defs (from < 0) precede every instruction under any
+    // permutation; they constrain nothing checkable.
+    if (from < 0 || from == to) return;
+    g.edges_.push_back(DepEdge{from, to, kind, slot});
+  };
+
+  auto read = [&](int s, int i) {
+    size_t u = static_cast<size_t>(s);
+    if (last_def[u] >= 0) {
+      add(last_def[u], i, def_async[u] ? DepKind::kFence : DepKind::kData, s);
+    }
+    if (readers[u].empty() || readers[u].back() != i) {
+      readers[u].push_back(i);
+    }
+  };
+
+  auto write = [&](int s, int i) {
+    size_t u = static_cast<size_t>(s);
+    if (last_def[u] >= 0) {
+      add(last_def[u], i, def_async[u] ? DepKind::kFence : DepKind::kData, s);
+    }
+    for (int r : readers[u]) add(r, i, DepKind::kAnti, s);
+    readers[u].clear();
+    live[u] = 1;
+    last_def[u] = i;
+    def_async[u] = 0;
+  };
+
+  auto alloc = [&](int s, int i, bool async) {
+    size_t u = static_cast<size_t>(s);
+    if (last_release[u] >= 0) add(last_release[u], i, DepKind::kStorage, s);
+    if (live[u]) {
+      // Double alloc: the stream is corrupt (TSV021 reports it), but the
+      // graph still orders the new def after the old value's uses.
+      if (last_def[u] >= 0) add(last_def[u], i, DepKind::kOutput, s);
+      for (int r : readers[u]) add(r, i, DepKind::kAnti, s);
+    }
+    readers[u].clear();
+    live[u] = 1;
+    last_def[u] = i;
+    def_async[u] = async ? 1 : 0;
+  };
+
+  auto release = [&](int s, int i, bool reads_value) {
+    size_t u = static_cast<size_t>(s);
+    if (last_def[u] >= 0) {
+      add(last_def[u], i,
+          reads_value ? (def_async[u] ? DepKind::kFence : DepKind::kData)
+                      : DepKind::kAnti,
+          s);
+    }
+    for (int r : readers[u]) add(r, i, DepKind::kAnti, s);
+    readers[u].clear();
+    live[u] = 0;
+    last_release[u] = i;
+    last_def[u] = kNone;
+    def_async[u] = 0;
+  };
+
+  for (int i = 0; i < g.num_nodes_; ++i) {
+    const Instr& ins = cp.instrs[static_cast<size_t>(i)];
+    switch (ins.kind) {
+      case InstrKind::kAlloc:
+        if (ValidSlot(cp, ins.slot)) alloc(ins.slot, i, /*async=*/false);
+        break;
+      case InstrKind::kFree:
+      case InstrKind::kDrop:
+        if (ValidSlot(cp, ins.slot)) {
+          release(ins.slot, i, /*reads_value=*/false);
+        }
+        break;
+      case InstrKind::kSwapOut:
+        if (ValidSlot(cp, ins.slot)) {
+          release(ins.slot, i, /*reads_value=*/true);
+          host_def[static_cast<size_t>(ins.slot)] = i;
+        }
+        break;
+      case InstrKind::kSwapIn:
+        if (ValidSlot(cp, ins.slot)) {
+          size_t u = static_cast<size_t>(ins.slot);
+          if (host_def[u] >= 0) {
+            add(host_def[u], i, DepKind::kHost, ins.slot);
+          }
+          host_def[u] = kNone;
+          alloc(ins.slot, i, /*async=*/true);
+        }
+        break;
+      case InstrKind::kAllocBatch:
+        if (ValidAux(cp.batches, ins.aux)) {
+          for (int s : cp.batches[static_cast<size_t>(ins.aux)]) {
+            if (ValidSlot(cp, s)) alloc(s, i, /*async=*/false);
+          }
+        }
+        break;
+      case InstrKind::kFreeBatch:
+        if (ValidAux(cp.batches, ins.aux)) {
+          for (int s : cp.batches[static_cast<size_t>(ins.aux)]) {
+            if (ValidSlot(cp, s)) release(s, i, /*reads_value=*/false);
+          }
+        }
+        break;
+      case InstrKind::kSplitCopy:
+        if (ValidAux(cp.scatters, ins.aux)) {
+          const auto& sc = cp.scatters[static_cast<size_t>(ins.aux)];
+          if (ValidSlot(cp, sc.whole_slot)) read(sc.whole_slot, i);
+          for (int part : sc.part_slots) {
+            if (ValidSlot(cp, part)) write(part, i);
+          }
+        }
+        break;
+      case InstrKind::kMergeCopy:
+        if (ValidAux(cp.scatters, ins.aux)) {
+          const auto& sc = cp.scatters[static_cast<size_t>(ins.aux)];
+          for (int part : sc.part_slots) {
+            if (ValidSlot(cp, part)) read(part, i);
+          }
+          if (ValidSlot(cp, sc.whole_slot)) write(sc.whole_slot, i);
+        }
+        break;
+      case InstrKind::kCompute:
+      case InstrKind::kFusedCompute: {
+        std::vector<int> reads;
+        std::vector<int> writes;
+        if (ins.kind == InstrKind::kCompute) {
+          if (!ValidAux(cp.computes, ins.aux)) break;
+          ComputeSlots(cp, cp.computes[static_cast<size_t>(ins.aux)],
+                       &reads, &writes);
+        } else {
+          if (!ValidAux(cp.fused, ins.aux)) break;
+          for (int ci : cp.fused[static_cast<size_t>(ins.aux)]) {
+            if (!ValidAux(cp.computes, ci)) continue;
+            ComputeSlots(cp, cp.computes[static_cast<size_t>(ci)], &reads,
+                         &writes);
+          }
+        }
+        SortUnique(reads);
+        SortUnique(writes);
+        for (int s : reads) read(s, i);
+        for (int s : writes) write(s, i);
+        break;
+      }
+    }
+  }
+
+  std::sort(g.edges_.begin(), g.edges_.end(),
+            [](const DepEdge& a, const DepEdge& b) {
+              return std::tie(a.from, a.to, a.kind, a.slot) <
+                     std::tie(b.from, b.to, b.kind, b.slot);
+            });
+  g.edges_.erase(std::unique(g.edges_.begin(), g.edges_.end(),
+                             [](const DepEdge& a, const DepEdge& b) {
+                               return a.from == b.from && a.to == b.to &&
+                                      a.kind == b.kind && a.slot == b.slot;
+                             }),
+                 g.edges_.end());
+  return g;
+}
+
+const DepEdge* DepGraph::FirstViolation(const std::vector<int>& order) const {
+  TSPLIT_CHECK(static_cast<int>(order.size()) == num_nodes_);
+  std::vector<int> pos(static_cast<size_t>(num_nodes_), -1);
+  for (size_t k = 0; k < order.size(); ++k) {
+    TSPLIT_CHECK(order[k] >= 0 && order[k] < num_nodes_);
+    pos[static_cast<size_t>(order[k])] = static_cast<int>(k);
+  }
+  for (const DepEdge& edge : edges_) {
+    if (pos[static_cast<size_t>(edge.from)] >
+        pos[static_cast<size_t>(edge.to)]) {
+      return &edge;
+    }
+  }
+  return nullptr;
+}
+
+std::string DepGraph::ToText(const CompiledProgram& cp,
+                             const Graph* graph) const {
+  std::string out = "depgraph: " + std::to_string(num_nodes_) +
+                    " instrs, " + std::to_string(edges_.size()) +
+                    " edges\n";
+  for (const DepEdge& e : edges_) {
+    out += "  " + std::to_string(e.from) + " -> " + std::to_string(e.to) +
+           "  " + DepKindToString(e.kind) + " " +
+           SlotLabel(cp, graph, e.slot) + "  (" +
+           InstrLabel(cp, graph, e.from) + " -> " +
+           InstrLabel(cp, graph, e.to) + ")\n";
+  }
+  return out;
+}
+
+std::string DepGraph::ToDot(const CompiledProgram& cp,
+                            const Graph* graph) const {
+  auto color = [](DepKind kind) {
+    switch (kind) {
+      case DepKind::kData:
+        return "black";
+      case DepKind::kFence:
+        return "blue";
+      case DepKind::kAnti:
+        return "orange";
+      case DepKind::kOutput:
+        return "red";
+      case DepKind::kStorage:
+        return "gray";
+      case DepKind::kHost:
+        return "purple";
+    }
+    return "black";
+  };
+  std::string out = "digraph deps {\n  rankdir=LR;\n  node [shape=box];\n";
+  for (int i = 0; i < num_nodes_; ++i) {
+    out += "  n" + std::to_string(i) + " [label=\"" + std::to_string(i) +
+           ": " + InstrLabel(cp, graph, i) + "\"];\n";
+  }
+  for (const DepEdge& e : edges_) {
+    out += "  n" + std::to_string(e.from) + " -> n" + std::to_string(e.to) +
+           " [color=" + color(e.kind) + ",label=\"" +
+           DepKindToString(e.kind) + " s" + std::to_string(e.slot) +
+           "\"];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+InstrFootprint FootprintOf(const CompiledProgram& cp, const Instr& ins) {
+  InstrFootprint fp;
+  switch (ins.kind) {
+    case InstrKind::kAlloc:
+    case InstrKind::kFree:
+    case InstrKind::kDrop:
+    case InstrKind::kSwapOut:
+    case InstrKind::kSwapIn:
+      if (ValidSlot(cp, ins.slot)) fp.writes.push_back(ins.slot);
+      break;
+    case InstrKind::kAllocBatch:
+    case InstrKind::kFreeBatch:
+      if (ValidAux(cp.batches, ins.aux)) {
+        for (int s : cp.batches[static_cast<size_t>(ins.aux)]) {
+          if (ValidSlot(cp, s)) fp.writes.push_back(s);
+        }
+      }
+      break;
+    case InstrKind::kSplitCopy:
+      if (ValidAux(cp.scatters, ins.aux)) {
+        const auto& sc = cp.scatters[static_cast<size_t>(ins.aux)];
+        if (ValidSlot(cp, sc.whole_slot)) fp.reads.push_back(sc.whole_slot);
+        for (int part : sc.part_slots) {
+          if (ValidSlot(cp, part)) fp.writes.push_back(part);
+        }
+      }
+      break;
+    case InstrKind::kMergeCopy:
+      if (ValidAux(cp.scatters, ins.aux)) {
+        const auto& sc = cp.scatters[static_cast<size_t>(ins.aux)];
+        for (int part : sc.part_slots) {
+          if (ValidSlot(cp, part)) fp.reads.push_back(part);
+        }
+        if (ValidSlot(cp, sc.whole_slot)) fp.writes.push_back(sc.whole_slot);
+      }
+      break;
+    case InstrKind::kCompute:
+      if (ValidAux(cp.computes, ins.aux)) {
+        ComputeSlots(cp, cp.computes[static_cast<size_t>(ins.aux)],
+                     &fp.reads, &fp.writes);
+      }
+      break;
+    case InstrKind::kFusedCompute:
+      if (ValidAux(cp.fused, ins.aux)) {
+        for (int ci : cp.fused[static_cast<size_t>(ins.aux)]) {
+          if (!ValidAux(cp.computes, ci)) continue;
+          ComputeSlots(cp, cp.computes[static_cast<size_t>(ci)], &fp.reads,
+                       &fp.writes);
+        }
+      }
+      break;
+  }
+  SortUnique(fp.reads);
+  SortUnique(fp.writes);
+  return fp;
+}
+
+bool IndependentInstrs(const CompiledProgram& cp, const Instr& a,
+                       const Instr& b) {
+  InstrFootprint fa = FootprintOf(cp, a);
+  InstrFootprint fb = FootprintOf(cp, b);
+  if (Intersects(fa.writes, fb.writes)) return false;
+  if (Intersects(fa.writes, fb.reads)) return false;
+  if (Intersects(fa.reads, fb.writes)) return false;
+  return true;
+}
+
+// ----------------------------------------------------- happens-before
+
+namespace {
+
+// Linear replay of the copy-engine model. One FIFO engine: tickets issue
+// monotonically and complete strictly in order, so waiting on ticket T
+// retires every ticket <= T (the executor's FenceSlot + LandSlot credit).
+class HappensBeforeReplay {
+ public:
+  HappensBeforeReplay(const CompiledProgram& cp,
+                      std::vector<Diagnostic>* diagnostics)
+      : cp_(cp), diagnostics_(diagnostics) {
+    pending_dir_.assign(cp.slots.size(), kIdle);
+    pending_ticket_.assign(cp.slots.size(), 0);
+  }
+
+  void Run() {
+    for (size_t i = 0; i < cp_.instrs.size(); ++i) {
+      Step(cp_.instrs[i], static_cast<int>(i));
+    }
+    // Transfers still in flight at stream end are fine: RunCompiled
+    // drains the engine before returning.
+  }
+
+ private:
+  enum Direction : char { kIdle = 0, kH2D, kD2H };
+
+  void Emit(std::string_view code, std::string message, int slot,
+            int position) {
+    Diagnostic d = MakeDiagnostic(code, std::move(message));
+    if (ValidSlot(cp_, slot)) {
+      d.tensor = cp_.slots[static_cast<size_t>(slot)].key.tensor;
+      d.micro = cp_.slots[static_cast<size_t>(slot)].key.micro;
+    }
+    d.position = position;
+    diagnostics_->push_back(std::move(d));
+  }
+
+  // FIFO credit: completing ticket `t` completes every earlier one.
+  void RetireUpTo(uint64_t t) {
+    while (!fifo_.empty() && fifo_.front().first <= t) {
+      const int slot = fifo_.front().second;
+      if (pending_ticket_[static_cast<size_t>(slot)] == fifo_.front().first) {
+        pending_dir_[static_cast<size_t>(slot)] = kIdle;
+      }
+      fifo_.pop_front();
+    }
+  }
+
+  void Fence(int slot) {
+    size_t u = static_cast<size_t>(slot);
+    if (pending_dir_[u] != kIdle) RetireUpTo(pending_ticket_[u]);
+  }
+
+  void Issue(int slot, Direction dir) {
+    size_t u = static_cast<size_t>(slot);
+    pending_dir_[u] = dir;
+    pending_ticket_[u] = next_ticket_;
+    fifo_.emplace_back(next_ticket_, slot);
+    ++next_ticket_;
+  }
+
+  void CheckBatchDuplicates(const std::vector<int>& batch, int position) {
+    std::vector<int> sorted = batch;
+    std::sort(sorted.begin(), sorted.end());
+    for (size_t k = 1; k < sorted.size(); ++k) {
+      if (sorted[k] != sorted[k - 1]) continue;
+      Emit("TSV030",
+           "pool-op batch lists slot " + std::to_string(sorted[k]) +
+               " more than once; its members no longer commute",
+           sorted[k], position);
+      while (k + 1 < sorted.size() && sorted[k + 1] == sorted[k]) ++k;
+    }
+  }
+
+  // One member kernel: the executor fences exactly `fence_slots` (in
+  // order), then launches. A touched slot whose in-flight transfer
+  // survives the sweep races the copy engine.
+  void CheckCompute(const ComputeInstr& c, int position) {
+    std::vector<int> fences;
+    for (int s : c.fence_slots) {
+      if (ValidSlot(cp_, s)) fences.push_back(s);
+    }
+    std::vector<int> fence_sorted = fences;
+    SortUnique(fence_sorted);
+    // The touched set is inputs + outputs only (the fence set is what is
+    // being checked against it).
+    std::vector<int> touched;
+    for (const auto& in : c.inputs) {
+      if (in.fused_scratch >= 0) continue;
+      if (in.merge >= 0) {
+        if (!ValidAux(cp_.merges, in.merge)) continue;
+        for (int part :
+             cp_.merges[static_cast<size_t>(in.merge)].part_slots) {
+          if (ValidSlot(cp_, part)) touched.push_back(part);
+        }
+      } else if (ValidSlot(cp_, in.slot)) {
+        touched.push_back(in.slot);
+      }
+    }
+    for (int s : c.out_slots) {
+      if (ValidSlot(cp_, s)) touched.push_back(s);
+    }
+    SortUnique(touched);
+
+    const std::string op = c.node != nullptr ? c.node->name : "?";
+    for (int s : touched) {
+      if (!std::binary_search(fence_sorted.begin(), fence_sorted.end(), s)) {
+        Emit("TSV027",
+             "compute '" + op + "' touches slot " + std::to_string(s) +
+                 " but its fence set omits it",
+             s, position);
+      }
+    }
+    for (int s : fence_sorted) {
+      if (!std::binary_search(touched.begin(), touched.end(), s)) {
+        Emit("TSV031",
+             "compute '" + op + "' fences slot " + std::to_string(s) +
+                 " which it never touches",
+             s, position);
+      }
+    }
+
+    for (int s : fences) Fence(s);
+    for (int s : touched) {
+      if (std::binary_search(fence_sorted.begin(), fence_sorted.end(), s)) {
+        continue;
+      }
+      if (pending_dir_[static_cast<size_t>(s)] != kIdle) {
+        Emit("TSV026",
+             "compute '" + op + "' uses slot " + std::to_string(s) +
+                 " whose " +
+                 (pending_dir_[static_cast<size_t>(s)] == kH2D ? "swap-in"
+                                                               : "swap-out") +
+                 " is still in flight and not covered by the fence sweep",
+             s, position);
+      }
+    }
+  }
+
+  void Step(const Instr& ins, int position) {
+    switch (ins.kind) {
+      case InstrKind::kAlloc:
+        // Storage reuse over a pending transfer is legal: the executor
+        // self-fences the slot and stalls until the copy retires.
+        if (ValidSlot(cp_, ins.slot)) Fence(ins.slot);
+        break;
+      case InstrKind::kFree:
+      case InstrKind::kDrop:
+        if (ValidSlot(cp_, ins.slot)) CheckFree(ins.slot, position);
+        break;
+      case InstrKind::kSwapOut:
+        if (ValidSlot(cp_, ins.slot)) {
+          CheckIssue(ins.slot, kD2H, position);
+        }
+        break;
+      case InstrKind::kSwapIn:
+        if (ValidSlot(cp_, ins.slot)) {
+          CheckIssue(ins.slot, kH2D, position);
+        }
+        break;
+      case InstrKind::kAllocBatch:
+        if (ValidAux(cp_.batches, ins.aux)) {
+          const auto& b = cp_.batches[static_cast<size_t>(ins.aux)];
+          CheckBatchDuplicates(b, position);
+          for (int s : b) {
+            if (ValidSlot(cp_, s)) Fence(s);
+          }
+        }
+        break;
+      case InstrKind::kFreeBatch:
+        if (ValidAux(cp_.batches, ins.aux)) {
+          const auto& b = cp_.batches[static_cast<size_t>(ins.aux)];
+          CheckBatchDuplicates(b, position);
+          for (int s : b) {
+            if (ValidSlot(cp_, s)) CheckFree(s, position);
+          }
+        }
+        break;
+      case InstrKind::kSplitCopy:
+      case InstrKind::kMergeCopy:
+        if (ValidAux(cp_.scatters, ins.aux)) {
+          const auto& sc = cp_.scatters[static_cast<size_t>(ins.aux)];
+          if (ValidSlot(cp_, sc.whole_slot)) Fence(sc.whole_slot);
+          for (int part : sc.part_slots) {
+            if (ValidSlot(cp_, part)) Fence(part);
+          }
+        }
+        break;
+      case InstrKind::kCompute:
+        if (ValidAux(cp_.computes, ins.aux)) {
+          CheckCompute(cp_.computes[static_cast<size_t>(ins.aux)], position);
+        }
+        break;
+      case InstrKind::kFusedCompute:
+        if (ValidAux(cp_.fused, ins.aux)) {
+          for (int ci : cp_.fused[static_cast<size_t>(ins.aux)]) {
+            if (!ValidAux(cp_.computes, ci)) continue;
+            CheckCompute(cp_.computes[static_cast<size_t>(ci)], position);
+          }
+        }
+        break;
+    }
+  }
+
+  void CheckFree(int slot, int position) {
+    size_t u = static_cast<size_t>(slot);
+    if (pending_dir_[u] != kIdle) {
+      Emit("TSV029",
+           std::string("free/drop of slot ") + std::to_string(slot) +
+               " while its " +
+               (pending_dir_[u] == kH2D ? "swap-in" : "swap-out") +
+               " is still in flight (the copy engine owns the storage)",
+           slot, position);
+    }
+    Fence(slot);
+  }
+
+  void CheckIssue(int slot, Direction dir, int position) {
+    size_t u = static_cast<size_t>(slot);
+    if (pending_dir_[u] == dir) {
+      Emit("TSV028",
+           std::string("second ") +
+               (dir == kH2D ? "swap-in" : "swap-out") + " issued on slot " +
+               std::to_string(slot) +
+               " while the previous one is still in flight",
+           slot, position);
+    }
+    // The executor self-fences before submitting either direction.
+    Fence(slot);
+    Issue(slot, dir);
+  }
+
+  const CompiledProgram& cp_;
+  std::vector<Diagnostic>* diagnostics_;
+  std::vector<char> pending_dir_;
+  std::vector<uint64_t> pending_ticket_;
+  std::deque<std::pair<uint64_t, int>> fifo_;
+  uint64_t next_ticket_ = 1;
+};
+
+}  // namespace
+
+void VerifyHappensBefore(const CompiledProgram& cp,
+                         std::vector<Diagnostic>* diagnostics) {
+  HappensBeforeReplay(cp, diagnostics).Run();
+}
+
+}  // namespace tsplit::analysis

@@ -1,0 +1,128 @@
+#ifndef TSPLIT_ANALYSIS_DEPGRAPH_H_
+#define TSPLIT_ANALYSIS_DEPGRAPH_H_
+
+// Static happens-before analyzer for compiled instruction streams
+// (runtime/compiled_program.h). Two layers:
+//
+//  1. DepGraph — the full dependence graph of a stream: one node per
+//     instruction, one edge per ordering constraint the executor's
+//     semantics impose (value flow, anti/output dependences on a slot,
+//     storage reuse after release, the host-buffer round trip between a
+//     kSwapOut and its kSwapIn, and asynchronous value arrival through
+//     the copy-engine fence). Any permutation of the stream that is a
+//     linear extension of this graph executes with identical values and
+//     identical per-slot state transitions — the certificate the
+//     `reorder` pass and online re-scheduling (ROADMAP) rely on. What a
+//     linear extension does NOT preserve is the pool's transient peak;
+//     that is the pass pipeline's bit-exact pool-replay gate, a separate
+//     oracle by design.
+//
+//  2. VerifyHappensBefore — a linear replay of the copy-engine model
+//     (per-slot in-flight transfer, FIFO ticket retirement, fence
+//     sweeps) emitting diagnostics TSV026–TSV031. Wired into
+//     analysis::VerifyCompiled, so the pass pipeline's safety net, the
+//     executor's verify-before-run gate, and tsplit_lint all enforce the
+//     async model for free.
+//
+// Copy-engine model (mirrors runtime/copy_engine.h + FunctionalExecutor):
+//  * transfers (kSwapIn H2D, kSwapOut D2H) issue onto one FIFO engine;
+//    tickets complete strictly in issue order;
+//  * every slot-op (alloc/free/swap) self-fences its own slot before
+//    acting; split/merge copies fence the whole buffer and every part;
+//  * computes fence exactly ComputeInstr::fence_slots, in order; waiting
+//    on one slot's ticket retires every earlier ticket (FIFO credit);
+//  * a kSwapIn's data is only readable after a fence retires its ticket;
+//    a kSwapOut pins the slot's storage until its ticket retires (the
+//    pool reservation is released at issue, the bytes are not reusable
+//    by the engine's owner until landing).
+//
+// See DESIGN.md §4.9 for the edge taxonomy and the soundness argument.
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "runtime/compiled_program.h"
+
+namespace tsplit::analysis {
+
+// Why `from` must execute before `to`.
+enum class DepKind : uint8_t {
+  kData = 0,  // value def -> reader (same-slot RAW)
+  kFence,     // async def (kSwapIn) -> reader: data lands at the fence
+  kAnti,      // reader/def -> release or overwrite of the slot (WAR)
+  kOutput,    // value def -> next value def of the slot (WAW)
+  kStorage,   // storage release -> next reservation of the slot
+  kHost,      // kSwapOut -> matching kSwapIn (host-buffer round trip)
+};
+
+const char* DepKindToString(DepKind kind);
+
+struct DepEdge {
+  int from = -1;  // instruction index into CompiledProgram::instrs
+  int to = -1;
+  DepKind kind = DepKind::kData;
+  int slot = -1;  // the slot the constraint is about
+};
+
+class DepGraph {
+ public:
+  // Builds the dependence graph of `cp.instrs`. Stage-prologue defs are
+  // virtual (they precede every instruction, so they constrain nothing a
+  // permutation could violate) and produce no edges. Robust to
+  // structurally corrupt artifacts: out-of-range slots/aux indices are
+  // skipped (VerifyCompiled reports them as TSV020).
+  static DepGraph Build(const runtime::CompiledProgram& cp);
+
+  int num_nodes() const { return num_nodes_; }
+  const std::vector<DepEdge>& edges() const { return edges_; }
+
+  // Checks that `order` (order[k] = original index executed k-th, a
+  // permutation of [0, num_nodes)) is a linear extension of the graph.
+  // Returns the first violated edge, or nullptr when the order is legal.
+  const DepEdge* FirstViolation(const std::vector<int>& order) const;
+
+  // Human-readable edge listing / Graphviz rendering for
+  // `tsplit_lint --dump-deps text|dot`. `graph` resolves slot names.
+  std::string ToText(const runtime::CompiledProgram& cp,
+                     const Graph* graph = nullptr) const;
+  std::string ToDot(const runtime::CompiledProgram& cp,
+                    const Graph* graph = nullptr) const;
+
+ private:
+  int num_nodes_ = 0;
+  std::vector<DepEdge> edges_;
+};
+
+// The slots one instruction touches, split by effect. `writes` covers
+// every non-read effect — value defs, storage reservation and release,
+// and both transfer directions — so the pair test below stays a simple
+// read/write conflict check.
+struct InstrFootprint {
+  std::vector<int> reads;
+  std::vector<int> writes;
+};
+
+InstrFootprint FootprintOf(const runtime::CompiledProgram& cp,
+                           const runtime::compiled::Instr& ins);
+
+// True when `a` and `b` may be adjacent-transposed without changing any
+// per-slot state machine or value: they share no slot, or share only
+// slots both merely read. A chain of adjacent transpositions of
+// independent pairs is exactly a linear extension of DepGraph::Build's
+// graph — the reorder pass's legality test and the fuzz tests both lean
+// on this equivalence.
+bool IndependentInstrs(const runtime::CompiledProgram& cp,
+                       const runtime::compiled::Instr& a,
+                       const runtime::compiled::Instr& b);
+
+// Replays the copy-engine model over `cp.instrs` and appends TSV026
+// (use-before-fence), TSV027 (missing fence coverage), TSV028 (double
+// in-flight), TSV029 (free-while-in-flight), TSV030 (reorder-unsafe
+// batch), TSV031 (dead fence) findings to `diagnostics`.
+void VerifyHappensBefore(const runtime::CompiledProgram& cp,
+                         std::vector<Diagnostic>* diagnostics);
+
+}  // namespace tsplit::analysis
+
+#endif  // TSPLIT_ANALYSIS_DEPGRAPH_H_

@@ -1,6 +1,7 @@
 #include "analysis/diagnostic.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "core/logging.h"
 
@@ -79,6 +80,25 @@ const std::vector<DiagnosticInfo>& DiagnosticRegistry() {
            "ephemeral fused interior referenced outside its fused step (a "
            "pool/transfer step or plain compute touches a tensor that never "
            "materializes in the pool)"},
+          {"TSV026", Severity::kError,
+           "instruction uses a slot with an in-flight async transfer that "
+           "no fence retires first (use-before-fence: the kernel would race "
+           "the copy engine)"},
+          {"TSV027", Severity::kWarning,
+           "compute fence set omits a slot the step touches (latent "
+           "use-before-fence if a transfer on that slot is ever in flight)"},
+          {"TSV028", Severity::kError,
+           "second same-direction transfer issued on a slot whose previous "
+           "transfer has not retired (double in-flight slot)"},
+          {"TSV029", Severity::kError,
+           "free/drop of a slot with an in-flight async transfer (the copy "
+           "engine still owns the storage)"},
+          {"TSV030", Severity::kError,
+           "pool-op batch lists the same slot more than once (member order "
+           "inside the batch becomes observable; reorder-unsafe)"},
+          {"TSV031", Severity::kWarning,
+           "compute fence set names a slot the step never touches (dead "
+           "fence: a stale entry forcing a spurious stall)"},
       };
   return *registry;
 }
@@ -136,16 +156,130 @@ std::string Render(const Diagnostic& diagnostic, const Graph* graph) {
   return out;
 }
 
+namespace {
+
+// Deterministic ordering key: code, then stream position, then location.
+// Emission order inside the verifier depends on replay walk order (and
+// historically on unordered-map iteration), so every rendering and
+// VerifyAll sort through this comparator to keep lint output stable.
+bool DiagnosticBefore(const Diagnostic& a, const Diagnostic& b) {
+  if (a.code != b.code) return a.code < b.code;
+  if (a.position != b.position) return a.position < b.position;
+  if (a.tensor != b.tensor) return a.tensor < b.tensor;
+  if (a.micro != b.micro) return a.micro < b.micro;
+  return a.op < b.op;
+}
+
+}  // namespace
+
+void SortDiagnostics(std::vector<Diagnostic>& diagnostics) {
+  std::stable_sort(diagnostics.begin(), diagnostics.end(), DiagnosticBefore);
+}
+
 std::string RenderAll(const std::vector<Diagnostic>& diagnostics,
                       const Graph* graph) {
+  std::vector<const Diagnostic*> order;
+  order.reserve(diagnostics.size());
+  for (const Diagnostic& diagnostic : diagnostics) {
+    order.push_back(&diagnostic);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [](const Diagnostic* a, const Diagnostic* b) {
+                     return DiagnosticBefore(*a, *b);
+                   });
   std::string out;
   for (Severity severity : {Severity::kError, Severity::kWarning}) {
-    for (const Diagnostic& diagnostic : diagnostics) {
-      if (diagnostic.severity != severity) continue;
-      out += Render(diagnostic, graph);
+    for (const Diagnostic* diagnostic : order) {
+      if (diagnostic->severity != severity) continue;
+      out += Render(*diagnostic, graph);
       out += "\n";
     }
   }
+  return out;
+}
+
+namespace {
+
+void AppendJsonString(std::string& out, const std::string& value) {
+  out += '"';
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string RenderAllJson(const std::vector<Diagnostic>& diagnostics,
+                          const Graph* graph) {
+  std::vector<const Diagnostic*> order;
+  order.reserve(diagnostics.size());
+  for (const Diagnostic& diagnostic : diagnostics) {
+    order.push_back(&diagnostic);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [](const Diagnostic* a, const Diagnostic* b) {
+                     return DiagnosticBefore(*a, *b);
+                   });
+  std::string out = "[";
+  bool first = true;
+  for (const Diagnostic* d : order) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  {\"code\":";
+    AppendJsonString(out, d->code);
+    out += ",\"severity\":";
+    AppendJsonString(out, SeverityToString(d->severity));
+    if (d->position >= 0) {
+      out += ",\"position\":" + std::to_string(d->position);
+    }
+    if (d->op != kInvalidOp) {
+      std::string name = "op" + std::to_string(d->op);
+      if (graph != nullptr && d->op >= 0 && d->op < graph->num_ops()) {
+        name = graph->node(d->op).name;
+      }
+      out += ",\"op\":";
+      AppendJsonString(out, name);
+    }
+    if (d->tensor != kInvalidTensor) {
+      std::string name = "t" + std::to_string(d->tensor);
+      if (graph != nullptr && d->tensor >= 0 &&
+          d->tensor < graph->num_tensors()) {
+        name = graph->tensor(d->tensor).name;
+      }
+      out += ",\"tensor\":";
+      AppendJsonString(out, name);
+      if (d->micro >= 0) out += ",\"micro\":" + std::to_string(d->micro);
+    }
+    out += ",\"message\":";
+    AppendJsonString(out, d->message);
+    out += "}";
+  }
+  out += first ? "]" : "\n]";
   return out;
 }
 

@@ -60,9 +60,23 @@ Diagnostic MakeDiagnostic(std::string_view code, std::string message);
 std::string Render(const Diagnostic& diagnostic,
                    const Graph* graph = nullptr);
 
-// One Render line per diagnostic, errors first.
+// Stable-sorts findings into the deterministic reporting order: code,
+// then stream position, then tensor/micro/op location. Emission order
+// inside the verifier follows replay walk order, so tools that diff or
+// cache lint output sort first.
+void SortDiagnostics(std::vector<Diagnostic>& diagnostics);
+
+// One Render line per diagnostic: errors first, each group in
+// SortDiagnostics order (deterministic across runs).
 std::string RenderAll(const std::vector<Diagnostic>& diagnostics,
                       const Graph* graph = nullptr);
+
+// Machine-readable rendering for CI (`tsplit_lint --format=json`): a JSON
+// array with one object per finding — code, severity, position
+// (instruction/step index), op/tensor/micro location when known, message
+// — in SortDiagnostics order.
+std::string RenderAllJson(const std::vector<Diagnostic>& diagnostics,
+                          const Graph* graph = nullptr);
 
 bool HasErrors(const std::vector<Diagnostic>& diagnostics);
 int CountErrors(const std::vector<Diagnostic>& diagnostics);

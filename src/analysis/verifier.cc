@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "analysis/depgraph.h"
 #include "core/dtype.h"
 #include "mem/memory_pool.h"
 #include "planner/fusion.h"
@@ -1275,6 +1276,10 @@ std::vector<Diagnostic> VerifyCompiled(const Graph& graph,
                                        const CompiledProgram& compiled) {
   std::vector<Diagnostic> diagnostics;
   CompiledReplay(graph, program, compiled, &diagnostics).Run();
+  // The async copy-engine model (TSV026..TSV031): wired here so the pass
+  // pipeline's safety net, the executor's verify-before-run gate, and
+  // tsplit_lint all enforce it without separate plumbing.
+  VerifyHappensBefore(compiled, &diagnostics);
   return diagnostics;
 }
 
@@ -1325,6 +1330,9 @@ std::vector<Diagnostic> VerifyAll(const Graph& graph,
               std::to_string(options.planner_peak_slack) + "x"));
     }
   }
+  // Deterministic reporting order regardless of which replay emitted
+  // what first (and of unordered-map walk order inside the replays).
+  SortDiagnostics(diagnostics);
   return diagnostics;
 }
 

@@ -20,9 +20,13 @@
 //                     TSV012).
 //   VerifyCompiled  — the flat instruction stream: index ranges,
 //                     slot-lifetime replay, workspace high-water bound,
-//                     scatter/merge tiling, fingerprint (TSV020..TSV023).
+//                     scatter/merge tiling, fingerprint (TSV020..TSV023),
+//                     plus the async copy-engine happens-before model
+//                     (analysis/depgraph.h: TSV026..TSV031).
 //   VerifyAll       — everything applicable, plus the cross-artifact
-//                     planner-vs-replay peak check (TSV011).
+//                     planner-vs-replay peak check (TSV011); findings
+//                     are returned in deterministic SortDiagnostics
+//                     order.
 //
 // "Clean" means no error-severity diagnostic. The verifier never mutates
 // its inputs and is O(steps + instructions).

@@ -72,7 +72,7 @@ struct CompileOptions {
   std::unordered_set<TensorId> observable_tensors;
 
   // Pass selection (TSPLIT_COMPILED_PASSES): "all", "none", or a comma-
-  // separated subset of {dce, color, autotune, batch}.
+  // separated subset of {dce, color, autotune, reorder, batch}.
   std::string passes = "all";
 };
 

@@ -39,12 +39,15 @@ bool SameStream(const std::vector<Instr>& a, const std::vector<Instr>& b) {
   return true;
 }
 
+}  // namespace
+
 // Estimated wall time of one iteration of `instrs` under the async swap
 // engine: one compute stream, one FIFO transfer stream, fences at every
-// touch of an in-flight slot.
-double SimulateSeconds(const CompiledProgram& cp,
-                       const std::vector<Instr>& instrs,
-                       const planner::GraphProfile& profile) {
+// touch of an in-flight slot. Exposed (pass.h) as the shared scorer of
+// this pass and the reorder pass.
+double SimulateStreamSeconds(const CompiledProgram& cp,
+                             const std::vector<Instr>& instrs,
+                             const planner::GraphProfile& profile) {
   const double pcie = profile.device.pcie_bytes_per_sec();
   double now = 0;
   double transfer_free = 0;
@@ -112,6 +115,8 @@ double SimulateSeconds(const CompiledProgram& cp,
   return std::max(now, transfer_free);
 }
 
+namespace {
+
 class LookaheadAutotunePass : public CompiledPass {
  public:
   const char* name() const override { return "autotune"; }
@@ -147,7 +152,7 @@ class LookaheadAutotunePass : public CompiledPass {
 
     planner::GraphProfile profile =
         planner::ProfileGraph(*ctx.graph, sim::TitanRtx());
-    const double base_seconds = SimulateSeconds(*cp, cp->instrs, profile);
+    const double base_seconds = SimulateStreamSeconds(*cp, cp->instrs, profile);
     int best_depth = 0;
     double best_seconds = base_seconds;
     std::vector<Instr> best_instrs;
@@ -160,7 +165,7 @@ class LookaheadAutotunePass : public CompiledPass {
               baseline, ReplayPool(*cp, trial, options.pool_capacity))) {
         continue;  // earlier allocation would change peak/OOM
       }
-      double seconds = SimulateSeconds(*cp, trial, profile);
+      double seconds = SimulateStreamSeconds(*cp, trial, profile);
       // Strict improvement only: ties keep the shallower (safer) depth.
       if (seconds < best_seconds * 0.999) {
         best_depth = depth;

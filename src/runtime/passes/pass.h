@@ -31,6 +31,15 @@
 //              scored with the sim cost model (FIFO transfer queue,
 //              fence stalls), constrained to bit-identical symbolic
 //              peak/OOM at the executor's pool capacity.
+//   reorder  — dependence-driven list scheduling within the constraints
+//              of the happens-before graph (analysis/depgraph.h): hoists
+//              kSwapIns earlier and sinks kSwapOuts/kFrees later through
+//              chains of provably independent instructions — unlike the
+//              lookahead heuristic it may cross *other transfers*, which
+//              re-orders the FIFO engine's landing sequence, so every
+//              candidate is re-scored with the sim cost model and only a
+//              strict improvement with bit-identical pool behaviour is
+//              kept.
 //   batch    — pool-op batching: adjacent same-kind kAlloc/kFree runs
 //              coalesced into one kAllocBatch/kFreeBatch instruction
 //              (order-preserving, so the pool call sequence is
@@ -47,6 +56,10 @@
 #include "graph/graph.h"
 #include "rewrite/program.h"
 #include "runtime/compiled_program.h"
+
+namespace tsplit::planner {
+struct GraphProfile;
+}  // namespace tsplit::planner
 
 namespace tsplit::runtime::passes {
 
@@ -82,6 +95,7 @@ void RunPassPipeline(const PassContext& ctx, CompiledProgram* cp);
 std::unique_ptr<CompiledPass> MakeDeadInstructionEliminationPass();
 std::unique_ptr<CompiledPass> MakeSlotColoringPass();
 std::unique_ptr<CompiledPass> MakeLookaheadAutotunePass();
+std::unique_ptr<CompiledPass> MakeInstructionReorderingPass();
 std::unique_ptr<CompiledPass> MakePoolOpBatchingPass();
 
 // True when `name` is enabled by the selection string `passes`
@@ -94,6 +108,15 @@ bool PassEnabled(const std::string& passes, const char* name);
 // explicit-depth mode and the autotune pass's candidate sweep.
 void HoistSwapIns(const CompiledProgram& cp, std::vector<compiled::Instr>& instrs,
                   int depth);
+
+// Estimated wall time of one iteration of `instrs` under the async swap
+// engine: one compute stream advancing by profiled kernel seconds, one
+// FIFO transfer queue at the device's PCIe bandwidth, a fence stall
+// wherever an instruction touches a slot whose copy has not landed.
+// Shared scorer of the autotune and reorder passes.
+double SimulateStreamSeconds(const CompiledProgram& cp,
+                             const std::vector<compiled::Instr>& instrs,
+                             const planner::GraphProfile& profile);
 
 }  // namespace tsplit::runtime::passes
 

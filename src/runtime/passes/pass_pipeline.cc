@@ -105,6 +105,9 @@ void RunPassPipeline(const PassContext& ctx, CompiledProgram* cp) {
   if (PassEnabled(options.passes, "autotune")) {
     pipeline.push_back(MakeLookaheadAutotunePass());
   }
+  if (PassEnabled(options.passes, "reorder")) {
+    pipeline.push_back(MakeInstructionReorderingPass());
+  }
   if (PassEnabled(options.passes, "batch")) {
     pipeline.push_back(MakePoolOpBatchingPass());
   }

@@ -251,11 +251,12 @@ TEST(PassPipelineTest, PassesRunInPipelineOrder) {
   ASSERT_TRUE(comp->Run(*program).ok());
   const runtime::CompiledProgram* artifact = comp->compiled_program();
   ASSERT_NE(artifact, nullptr);
-  ASSERT_EQ(artifact->pass_stats.size(), 4u);
+  ASSERT_EQ(artifact->pass_stats.size(), 5u);
   EXPECT_EQ(artifact->pass_stats[0].name, "dce");
   EXPECT_EQ(artifact->pass_stats[1].name, "color");
   EXPECT_EQ(artifact->pass_stats[2].name, "autotune");
-  EXPECT_EQ(artifact->pass_stats[3].name, "batch");
+  EXPECT_EQ(artifact->pass_stats[3].name, "reorder");
+  EXPECT_EQ(artifact->pass_stats[4].name, "batch");
   for (const auto& stats : artifact->pass_stats) {
     EXPECT_FALSE(stats.rolled_back) << stats.name << ": " << stats.note;
   }

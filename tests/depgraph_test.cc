@@ -1,0 +1,470 @@
+// Happens-before analyzer coverage (analysis/depgraph.h): the clean
+// matrix (five model families x tight/loose budgets x fusion on/off must
+// produce zero TSV026..TSV031 findings in the executor's steady-state
+// compile), one corruption-driven negative test per code, seeded fuzz
+// over the adjacent-transposition equivalence (random legal swaps stay
+// clean and are linear extensions; random illegal swaps of dependent
+// instructions are always caught by FirstViolation), the deterministic
+// diagnostic reporting order, and the JSON rendering round trip.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/depgraph.h"
+#include "analysis/diagnostic.h"
+#include "analysis/verifier.h"
+#include "graph/liveness.h"
+#include "graph/schedule.h"
+#include "models/model.h"
+#include "planner/profile.h"
+#include "planner/tsplit_planner.h"
+#include "rewrite/program.h"
+#include "runtime/compiled_program.h"
+
+namespace tsplit {
+namespace {
+
+using runtime::compiled::Instr;
+using runtime::compiled::InstrKind;
+
+struct TestBench {
+  models::Model model;
+  Schedule schedule;
+  planner::GraphProfile profile;
+  MemoryProfile baseline;
+};
+
+TestBench MakeBench(models::Model model) {
+  auto schedule = BuildSchedule(model.graph);
+  TSPLIT_CHECK_OK(schedule.status());
+  auto profile = planner::ProfileGraph(model.graph, sim::TitanRtx());
+  auto baseline = ComputeMemoryProfile(model.graph, *schedule);
+  return TestBench{std::move(model), std::move(*schedule),
+                   std::move(profile), baseline};
+}
+
+models::Model MustBuild(Result<models::Model> model) {
+  TSPLIT_CHECK_OK(model.status());
+  return std::move(*model);
+}
+
+models::Model BuildByShortName(const std::string& name) {
+  if (name == "vgg16") {
+    models::CnnConfig config;
+    config.batch = 8;
+    config.image_size = 16;
+    config.num_classes = 4;
+    config.channel_scale = 8.0 / 64.0;
+    return MustBuild(models::BuildVgg(16, config));
+  }
+  if (name == "resnet50") {
+    models::CnnConfig config;
+    config.batch = 2;
+    config.image_size = 32;
+    config.num_classes = 3;
+    config.channel_scale = 4.0 / 64.0;
+    return MustBuild(models::BuildResNet(50, config));
+  }
+  if (name == "gpt") {
+    models::GptConfig config;
+    config.num_layers = 2;
+    config.batch = 2;
+    config.seq_len = 16;
+    config.hidden = 32;
+    config.num_heads = 2;
+    config.vocab = 64;
+    return MustBuild(models::BuildGpt(config));
+  }
+  if (name == "transformer") {
+    models::TransformerConfig config;
+    config.num_layers = 2;
+    config.batch = 2;
+    config.seq_len = 8;
+    config.hidden = 16;
+    config.num_heads = 2;
+    config.ffn_mult = 2;
+    config.vocab = 32;
+    return MustBuild(models::BuildTransformer(config));
+  }
+  return MustBuild(models::BuildMlp({}));
+}
+
+TestBench& BenchFor(const std::string& name) {
+  static std::map<std::string, std::unique_ptr<TestBench>>& cache =
+      *new std::map<std::string, std::unique_ptr<TestBench>>();
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    it = cache
+             .emplace(name, std::make_unique<TestBench>(
+                                MakeBench(BuildByShortName(name))))
+             .first;
+  }
+  return *it->second;
+}
+
+size_t EvictableBudget(const TestBench& bench, double fraction) {
+  size_t floor = bench.baseline.always_live_bytes +
+                 bench.model.graph.BytesOfKind(TensorKind::kParamGrad);
+  return floor + static_cast<size_t>(
+                     (bench.baseline.peak_bytes - floor) * fraction);
+}
+
+// One planned + lowered artifact per (model, fraction, fusion), compiled
+// with the executor's steady-state options (real pool capacity, autotune
+// on, freed values unobservable) so every pass — including reorder —
+// engages the way it does under Trainer.
+struct Artifact {
+  const TestBench* bench = nullptr;
+  std::unique_ptr<rewrite::Program> program;
+  std::unique_ptr<runtime::CompiledProgram> compiled;
+};
+
+const Artifact* ArtifactFor(const std::string& name, double fraction,
+                            bool fusion) {
+  static std::map<std::string, std::unique_ptr<Artifact>>& cache =
+      *new std::map<std::string, std::unique_ptr<Artifact>>();
+  std::string key =
+      name + "@" + std::to_string(fraction) + (fusion ? "+f" : "");
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second.get();
+
+  auto artifact = std::make_unique<Artifact>();
+  TestBench& bench = BenchFor(name);
+  artifact->bench = &bench;
+  planner::TsplitOptions options;
+  options.enable_fusion = fusion;
+  planner::TsplitPlanner planner(options);
+  const size_t budget = EvictableBudget(bench, fraction);
+  auto plan = planner.BuildPlan(bench.model.graph, bench.schedule,
+                                bench.profile, budget);
+  if (plan.ok()) {
+    auto generated = rewrite::GenerateProgram(bench.model.graph,
+                                              bench.schedule, *plan,
+                                              bench.profile);
+    TSPLIT_CHECK_OK(generated.status());
+    artifact->program =
+        std::make_unique<rewrite::Program>(std::move(*generated));
+    runtime::CompileOptions copts;
+    copts.autotune_lookahead = true;
+    copts.pool_capacity = budget + budget / 4;
+    copts.freed_values_unobservable = true;
+    auto compiled = runtime::CompiledProgram::Compile(
+        bench.model.graph, *artifact->program, copts);
+    TSPLIT_CHECK_OK(compiled.status());
+    artifact->compiled =
+        std::make_unique<runtime::CompiledProgram>(std::move(*compiled));
+  }
+  return cache.emplace(key, std::move(artifact)).first->second.get();
+}
+
+std::vector<analysis::Diagnostic> HappensBefore(
+    const runtime::CompiledProgram& cp) {
+  std::vector<analysis::Diagnostic> diagnostics;
+  analysis::VerifyHappensBefore(cp, &diagnostics);
+  return diagnostics;
+}
+
+// ---------------------------------------------------------------------
+// Clean matrix: the compiler must never emit a stream the async model
+// flags, on any family, budget, or fusion setting.
+
+TEST(DepGraphCleanMatrix, AllFamiliesBudgetsAndFusionSettings) {
+  for (const char* model :
+       {"mlp", "vgg16", "resnet50", "gpt", "transformer"}) {
+    for (double fraction : {0.3, 0.6}) {
+      for (bool fusion : {false, true}) {
+        const Artifact* artifact = ArtifactFor(model, fraction, fusion);
+        ASSERT_NE(artifact, nullptr);
+        if (artifact->compiled == nullptr) continue;  // budget infeasible
+        std::vector<analysis::Diagnostic> diagnostics =
+            HappensBefore(*artifact->compiled);
+        EXPECT_TRUE(diagnostics.empty())
+            << model << "@" << fraction << (fusion ? "+fusion: " : ": ")
+            << analysis::RenderAll(diagnostics,
+                                   &artifact->bench->model.graph);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// One corruption per code. Mutations mirror tsplit_lint --corrupt.
+
+const Artifact* SwappingArtifact() {
+  const Artifact* artifact = ArtifactFor("vgg16", 0.3, false);
+  EXPECT_NE(artifact->compiled, nullptr);
+  bool has_swap_in = false;
+  for (const Instr& ins : artifact->compiled->instrs) {
+    has_swap_in = has_swap_in || ins.kind == InstrKind::kSwapIn;
+  }
+  EXPECT_TRUE(has_swap_in) << "fixture stream must contain swap-ins";
+  return artifact;
+}
+
+TEST(DepGraphNegative, UseBeforeFenceIsTSV026) {
+  runtime::CompiledProgram cp = *SwappingArtifact()->compiled;
+  bool corrupted = false;
+  for (size_t i = 0; i < cp.instrs.size() && !corrupted; ++i) {
+    if (cp.instrs[i].kind != InstrKind::kSwapIn) continue;
+    const int slot = cp.instrs[i].slot;
+    for (size_t j = i + 1; j < cp.instrs.size(); ++j) {
+      const Instr& ins = cp.instrs[j];
+      // Stop at other transfers: a later fence on them could retire our
+      // ticket through FIFO credit and mask the defect.
+      if (ins.kind == InstrKind::kSwapIn ||
+          ins.kind == InstrKind::kSwapOut ||
+          ins.kind == InstrKind::kFusedCompute) {
+        break;
+      }
+      if (ins.kind != InstrKind::kCompute) continue;
+      auto& fences = cp.computes[static_cast<size_t>(ins.aux)].fence_slots;
+      auto it = std::find(fences.begin(), fences.end(), slot);
+      if (it == fences.end()) continue;
+      fences.erase(it);
+      corrupted = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(corrupted);
+  EXPECT_TRUE(analysis::HasCode(HappensBefore(cp), "TSV026"));
+}
+
+TEST(DepGraphNegative, MissingFenceCoverageIsTSV027) {
+  runtime::CompiledProgram cp = *SwappingArtifact()->compiled;
+  std::vector<char> transferred(cp.slots.size(), 0);
+  for (const Instr& ins : cp.instrs) {
+    if (ins.kind == InstrKind::kSwapIn || ins.kind == InstrKind::kSwapOut) {
+      transferred[static_cast<size_t>(ins.slot)] = 1;
+    }
+  }
+  bool corrupted = false;
+  for (const Instr& ins : cp.instrs) {
+    if (ins.kind != InstrKind::kCompute) continue;
+    auto& fences = cp.computes[static_cast<size_t>(ins.aux)].fence_slots;
+    for (auto it = fences.begin(); it != fences.end(); ++it) {
+      if (!transferred[static_cast<size_t>(*it)]) {
+        fences.erase(it);
+        corrupted = true;
+        break;
+      }
+    }
+    if (corrupted) break;
+  }
+  ASSERT_TRUE(corrupted);
+  std::vector<analysis::Diagnostic> diagnostics = HappensBefore(cp);
+  EXPECT_TRUE(analysis::HasCode(diagnostics, "TSV027"));
+  // The slot was never transferred, so the latent gap must not escalate
+  // to a use-before-fence error.
+  EXPECT_FALSE(analysis::HasCode(diagnostics, "TSV026"));
+}
+
+TEST(DepGraphNegative, DoubleInFlightIsTSV028) {
+  runtime::CompiledProgram cp = *SwappingArtifact()->compiled;
+  bool corrupted = false;
+  for (size_t i = 0; i < cp.instrs.size(); ++i) {
+    if (cp.instrs[i].kind != InstrKind::kSwapIn) continue;
+    cp.instrs.insert(cp.instrs.begin() + static_cast<ptrdiff_t>(i) + 1,
+                     cp.instrs[i]);
+    corrupted = true;
+    break;
+  }
+  ASSERT_TRUE(corrupted);
+  EXPECT_TRUE(analysis::HasCode(HappensBefore(cp), "TSV028"));
+}
+
+TEST(DepGraphNegative, FreeWhileInFlightIsTSV029) {
+  runtime::CompiledProgram cp = *SwappingArtifact()->compiled;
+  bool corrupted = false;
+  for (size_t i = 0; i < cp.instrs.size(); ++i) {
+    if (cp.instrs[i].kind != InstrKind::kSwapIn) continue;
+    Instr free_ins;
+    free_ins.kind = InstrKind::kFree;
+    free_ins.slot = cp.instrs[i].slot;
+    cp.instrs.insert(cp.instrs.begin() + static_cast<ptrdiff_t>(i) + 1,
+                     free_ins);
+    corrupted = true;
+    break;
+  }
+  ASSERT_TRUE(corrupted);
+  EXPECT_TRUE(analysis::HasCode(HappensBefore(cp), "TSV029"));
+}
+
+TEST(DepGraphNegative, DuplicateBatchSlotIsTSV030) {
+  runtime::CompiledProgram cp = *SwappingArtifact()->compiled;
+  bool corrupted = false;
+  for (auto& batch : cp.batches) {
+    if (batch.size() >= 2) {
+      batch[1] = batch[0];
+      corrupted = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(corrupted) << "fixture must have a multi-member batch";
+  EXPECT_TRUE(analysis::HasCode(HappensBefore(cp), "TSV030"));
+}
+
+TEST(DepGraphNegative, DeadFenceIsTSV031) {
+  runtime::CompiledProgram cp = *SwappingArtifact()->compiled;
+  bool corrupted = false;
+  for (const Instr& ins : cp.instrs) {
+    if (ins.kind != InstrKind::kCompute) continue;
+    auto& fences = cp.computes[static_cast<size_t>(ins.aux)].fence_slots;
+    for (const auto& stage : cp.stages) {
+      if (std::find(fences.begin(), fences.end(), stage.slot) ==
+          fences.end()) {
+        fences.push_back(stage.slot);
+        corrupted = true;
+        break;
+      }
+    }
+    if (corrupted) break;
+  }
+  ASSERT_TRUE(corrupted);
+  EXPECT_TRUE(analysis::HasCode(HappensBefore(cp), "TSV031"));
+}
+
+// ---------------------------------------------------------------------
+// Fuzz over the adjacent-transposition equivalence: a chain of swaps of
+// independent adjacent pairs is a linear extension (clean analyzer, no
+// violated edge); a swap of a dependent adjacent pair always violates a
+// direct edge.
+
+TEST(DepGraphFuzz, RandomLegalReorderingsStayClean) {
+  const Artifact* artifact = SwappingArtifact();
+  const runtime::CompiledProgram& base = *artifact->compiled;
+  const analysis::DepGraph depgraph = analysis::DepGraph::Build(base);
+  std::mt19937 rng(20260809);
+
+  runtime::CompiledProgram trial = base;
+  std::vector<int> order(base.instrs.size());
+  for (size_t k = 0; k < order.size(); ++k) order[k] = static_cast<int>(k);
+  std::uniform_int_distribution<size_t> pick(0, base.instrs.size() - 2);
+  int swapped = 0;
+  for (int attempt = 0; attempt < 4000; ++attempt) {
+    const size_t k = pick(rng);
+    if (!analysis::IndependentInstrs(trial, trial.instrs[k],
+                                     trial.instrs[k + 1])) {
+      continue;
+    }
+    std::swap(trial.instrs[k], trial.instrs[k + 1]);
+    std::swap(order[k], order[k + 1]);
+    ++swapped;
+  }
+  ASSERT_GT(swapped, 0);
+  const analysis::DepEdge* violated = depgraph.FirstViolation(order);
+  EXPECT_EQ(violated, nullptr)
+      << "legal reordering violated " << (violated ? violated->from : -1)
+      << "->" << (violated ? violated->to : -1);
+  std::vector<analysis::Diagnostic> diagnostics = HappensBefore(trial);
+  EXPECT_TRUE(diagnostics.empty())
+      << analysis::RenderAll(diagnostics, &artifact->bench->model.graph);
+}
+
+TEST(DepGraphFuzz, IllegalAdjacentSwapsAlwaysViolateAnEdge) {
+  const Artifact* artifact = SwappingArtifact();
+  const runtime::CompiledProgram& base = *artifact->compiled;
+  const analysis::DepGraph depgraph = analysis::DepGraph::Build(base);
+
+  std::vector<size_t> dependent;
+  for (size_t k = 0; k + 1 < base.instrs.size(); ++k) {
+    if (!analysis::IndependentInstrs(base, base.instrs[k],
+                                     base.instrs[k + 1])) {
+      dependent.push_back(k);
+    }
+  }
+  ASSERT_FALSE(dependent.empty());
+  std::mt19937 rng(4242);
+  std::shuffle(dependent.begin(), dependent.end(), rng);
+  if (dependent.size() > 200) dependent.resize(200);
+
+  std::vector<int> order(base.instrs.size());
+  for (const size_t k : dependent) {
+    for (size_t p = 0; p < order.size(); ++p) order[p] = static_cast<int>(p);
+    std::swap(order[k], order[k + 1]);
+    EXPECT_NE(depgraph.FirstViolation(order), nullptr)
+        << "dependent pair at " << k << " swapped without a violated edge";
+  }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic reporting order and the JSON rendering.
+
+TEST(DiagnosticOrderTest, RenderAllIsDeterministicUnderShuffle) {
+  std::vector<analysis::Diagnostic> diagnostics;
+  auto add = [&](const char* code, int position) {
+    analysis::Diagnostic d = analysis::MakeDiagnostic(code, "x");
+    d.position = position;
+    diagnostics.push_back(std::move(d));
+  };
+  add("TSV028", 9);
+  add("TSV026", 5);
+  add("TSV026", 2);
+  add("TSV031", 1);  // warning
+  add("TSV029", 3);
+  add("TSV027", 7);  // warning
+
+  const std::string reference = analysis::RenderAll(diagnostics);
+  std::mt19937 rng(7);
+  for (int round = 0; round < 8; ++round) {
+    std::shuffle(diagnostics.begin(), diagnostics.end(), rng);
+    EXPECT_EQ(analysis::RenderAll(diagnostics), reference);
+  }
+
+  analysis::SortDiagnostics(diagnostics);
+  for (size_t i = 1; i < diagnostics.size(); ++i) {
+    const auto& a = diagnostics[i - 1];
+    const auto& b = diagnostics[i];
+    EXPECT_TRUE(a.code < b.code ||
+                (a.code == b.code && a.position <= b.position))
+        << a.code << "@" << a.position << " before " << b.code << "@"
+        << b.position;
+  }
+}
+
+TEST(DiagnosticJsonTest, CodesRoundTripThroughJson) {
+  // Corrupt an artifact so the rendered set is non-trivial.
+  runtime::CompiledProgram cp = *SwappingArtifact()->compiled;
+  for (size_t i = 0; i < cp.instrs.size(); ++i) {
+    if (cp.instrs[i].kind != InstrKind::kSwapIn) continue;
+    Instr free_ins;
+    free_ins.kind = InstrKind::kFree;
+    free_ins.slot = cp.instrs[i].slot;
+    cp.instrs.insert(cp.instrs.begin() + static_cast<ptrdiff_t>(i) + 1,
+                     free_ins);
+    break;
+  }
+  std::vector<analysis::Diagnostic> diagnostics = HappensBefore(cp);
+  ASSERT_FALSE(diagnostics.empty());
+
+  const std::string json = analysis::RenderAllJson(diagnostics);
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+
+  // Extract the "code" fields in order and compare against the sorted
+  // diagnostics — the JSON array must mirror SortDiagnostics exactly.
+  std::vector<std::string> codes;
+  const std::string key = "\"code\":\"";
+  for (size_t at = json.find(key); at != std::string::npos;
+       at = json.find(key, at + 1)) {
+    const size_t begin = at + key.size();
+    const size_t end = json.find('"', begin);
+    ASSERT_NE(end, std::string::npos);
+    codes.push_back(json.substr(begin, end - begin));
+  }
+  analysis::SortDiagnostics(diagnostics);
+  ASSERT_EQ(codes.size(), diagnostics.size());
+  for (size_t i = 0; i < codes.size(); ++i) {
+    EXPECT_EQ(codes[i], diagnostics[i].code);
+  }
+}
+
+}  // namespace
+}  // namespace tsplit

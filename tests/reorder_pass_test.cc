@@ -1,0 +1,304 @@
+// Dependence-driven instruction reordering pass
+// (runtime/passes/instruction_reordering.cc): on every model family the
+// pass must run inside the pipeline without a rollback, keep the
+// artifact VerifyCompiled-clean and the pool peak bit-identical to the
+// reorder-less pipeline; run directly it must preserve pool behaviour
+// and the happens-before model; and the gate that rolls it back — an
+// analyzer-flagged stream — must actually fire on an illegal reorder.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/depgraph.h"
+#include "analysis/verifier.h"
+#include "graph/liveness.h"
+#include "graph/schedule.h"
+#include "models/model.h"
+#include "planner/profile.h"
+#include "planner/tsplit_planner.h"
+#include "rewrite/program.h"
+#include "runtime/compiled_program.h"
+#include "runtime/passes/pass.h"
+#include "runtime/passes/pool_replay.h"
+
+namespace tsplit {
+namespace {
+
+using runtime::compiled::Instr;
+using runtime::compiled::InstrKind;
+
+struct TestBench {
+  models::Model model;
+  Schedule schedule;
+  planner::GraphProfile profile;
+  MemoryProfile baseline;
+};
+
+TestBench MakeBench(models::Model model) {
+  auto schedule = BuildSchedule(model.graph);
+  TSPLIT_CHECK_OK(schedule.status());
+  auto profile = planner::ProfileGraph(model.graph, sim::TitanRtx());
+  auto baseline = ComputeMemoryProfile(model.graph, *schedule);
+  return TestBench{std::move(model), std::move(*schedule),
+                   std::move(profile), baseline};
+}
+
+models::Model MustBuild(Result<models::Model> model) {
+  TSPLIT_CHECK_OK(model.status());
+  return std::move(*model);
+}
+
+models::Model BuildByShortName(const std::string& name) {
+  if (name == "vgg16") {
+    models::CnnConfig config;
+    config.batch = 8;
+    config.image_size = 16;
+    config.num_classes = 4;
+    config.channel_scale = 8.0 / 64.0;
+    return MustBuild(models::BuildVgg(16, config));
+  }
+  if (name == "resnet50") {
+    models::CnnConfig config;
+    config.batch = 2;
+    config.image_size = 32;
+    config.num_classes = 3;
+    config.channel_scale = 4.0 / 64.0;
+    return MustBuild(models::BuildResNet(50, config));
+  }
+  if (name == "gpt") {
+    models::GptConfig config;
+    config.num_layers = 2;
+    config.batch = 2;
+    config.seq_len = 16;
+    config.hidden = 32;
+    config.num_heads = 2;
+    config.vocab = 64;
+    return MustBuild(models::BuildGpt(config));
+  }
+  if (name == "transformer") {
+    models::TransformerConfig config;
+    config.num_layers = 2;
+    config.batch = 2;
+    config.seq_len = 8;
+    config.hidden = 16;
+    config.num_heads = 2;
+    config.ffn_mult = 2;
+    config.vocab = 32;
+    return MustBuild(models::BuildTransformer(config));
+  }
+  return MustBuild(models::BuildMlp({}));
+}
+
+TestBench& BenchFor(const std::string& name) {
+  static std::map<std::string, std::unique_ptr<TestBench>>& cache =
+      *new std::map<std::string, std::unique_ptr<TestBench>>();
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    it = cache
+             .emplace(name, std::make_unique<TestBench>(
+                                MakeBench(BuildByShortName(name))))
+             .first;
+  }
+  return *it->second;
+}
+
+size_t EvictableBudget(const TestBench& bench, double fraction) {
+  size_t floor = bench.baseline.always_live_bytes +
+                 bench.model.graph.BytesOfKind(TensorKind::kParamGrad);
+  return floor + static_cast<size_t>(
+                     (bench.baseline.peak_bytes - floor) * fraction);
+}
+
+const rewrite::Program* ProgramFor(const std::string& name,
+                                   double fraction) {
+  static std::map<std::string, std::unique_ptr<rewrite::Program>>& cache =
+      *new std::map<std::string, std::unique_ptr<rewrite::Program>>();
+  std::string key = name + "@" + std::to_string(fraction);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second.get();
+
+  TestBench& bench = BenchFor(name);
+  planner::TsplitPlanner planner;
+  auto plan = planner.BuildPlan(bench.model.graph, bench.schedule,
+                                bench.profile,
+                                EvictableBudget(bench, fraction));
+  std::unique_ptr<rewrite::Program> program;
+  if (plan.ok()) {
+    auto generated = rewrite::GenerateProgram(bench.model.graph,
+                                              bench.schedule, *plan,
+                                              bench.profile);
+    TSPLIT_CHECK_OK(generated.status());
+    program = std::make_unique<rewrite::Program>(std::move(*generated));
+  }
+  return cache.emplace(key, std::move(program)).first->second.get();
+}
+
+// Executor steady-state options at the Trainer's provisioned capacity.
+runtime::CompileOptions SteadyOptions(const TestBench& bench,
+                                      double fraction,
+                                      const std::string& passes) {
+  const size_t budget = EvictableBudget(bench, fraction);
+  runtime::CompileOptions options;
+  options.autotune_lookahead = true;
+  options.pool_capacity = budget + budget / 4;
+  options.freed_values_unobservable = true;
+  options.passes = passes;
+  return options;
+}
+
+runtime::CompiledProgram MustCompile(const TestBench& bench,
+                                     const rewrite::Program& program,
+                                     const runtime::CompileOptions& options) {
+  auto compiled =
+      runtime::CompiledProgram::Compile(bench.model.graph, program, options);
+  TSPLIT_CHECK_OK(compiled.status());
+  return std::move(*compiled);
+}
+
+TEST(ReorderPassTest, RunsInPipelineWithoutRollbackOnAllFamilies) {
+  for (const char* model :
+       {"mlp", "vgg16", "resnet50", "gpt", "transformer"}) {
+    const rewrite::Program* program = ProgramFor(model, 0.3);
+    ASSERT_NE(program, nullptr) << model;
+    TestBench& bench = BenchFor(model);
+    runtime::CompiledProgram compiled =
+        MustCompile(bench, *program, SteadyOptions(bench, 0.3, "all"));
+
+    const runtime::PassStats* stats = nullptr;
+    for (const auto& p : compiled.pass_stats) {
+      if (p.name == "reorder") stats = &p;
+    }
+    ASSERT_NE(stats, nullptr) << model << ": reorder pass did not run";
+    EXPECT_FALSE(stats->rolled_back) << model << ": " << stats->note;
+
+    std::vector<analysis::Diagnostic> diagnostics = analysis::VerifyCompiled(
+        bench.model.graph, *program, compiled);
+    EXPECT_FALSE(analysis::HasErrors(diagnostics))
+        << model << ": "
+        << analysis::RenderAll(diagnostics, &bench.model.graph);
+  }
+}
+
+TEST(ReorderPassTest, PoolPeakMatchesReorderlessPipeline) {
+  for (const char* model : {"vgg16", "gpt"}) {
+    const rewrite::Program* program = ProgramFor(model, 0.3);
+    ASSERT_NE(program, nullptr) << model;
+    TestBench& bench = BenchFor(model);
+    const runtime::CompileOptions with = SteadyOptions(bench, 0.3, "all");
+    const runtime::CompileOptions without =
+        SteadyOptions(bench, 0.3, "dce,color,autotune,batch");
+    runtime::CompiledProgram a = MustCompile(bench, *program, with);
+    runtime::CompiledProgram b = MustCompile(bench, *program, without);
+
+    const auto replay_a =
+        runtime::passes::ReplayPool(a, a.instrs, with.pool_capacity);
+    const auto replay_b =
+        runtime::passes::ReplayPool(b, b.instrs, without.pool_capacity);
+    EXPECT_TRUE(replay_a.ok) << model;
+    EXPECT_TRUE(replay_b.ok) << model;
+    EXPECT_EQ(replay_a.peak_in_use, replay_b.peak_in_use) << model;
+  }
+}
+
+TEST(ReorderPassTest, DirectRunPreservesPoolAndHappensBefore) {
+  const rewrite::Program* program = ProgramFor("vgg16", 0.3);
+  ASSERT_NE(program, nullptr);
+  TestBench& bench = BenchFor("vgg16");
+  const runtime::CompileOptions options =
+      SteadyOptions(bench, 0.3, "dce,color,autotune");
+  runtime::CompiledProgram compiled =
+      MustCompile(bench, *program, options);
+  const auto baseline = runtime::passes::ReplayPool(
+      compiled, compiled.instrs, options.pool_capacity);
+  ASSERT_TRUE(baseline.ok);
+
+  runtime::passes::PassContext ctx;
+  ctx.graph = &bench.model.graph;
+  ctx.program = program;
+  ctx.options = &options;
+  std::string note;
+  auto pass = runtime::passes::MakeInstructionReorderingPass();
+  auto changed = pass->Run(ctx, &compiled, &note);
+  TSPLIT_CHECK_OK(changed.status());
+
+  const auto after = runtime::passes::ReplayPool(
+      compiled, compiled.instrs, options.pool_capacity);
+  EXPECT_TRUE(runtime::passes::SamePoolBehaviour(baseline, after)) << note;
+  std::vector<analysis::Diagnostic> diagnostics;
+  analysis::VerifyHappensBefore(compiled, &diagnostics);
+  EXPECT_TRUE(diagnostics.empty())
+      << note << "\n"
+      << analysis::RenderAll(diagnostics, &bench.model.graph);
+}
+
+TEST(ReorderPassTest, SkipsWithoutPoolCapacity) {
+  const rewrite::Program* program = ProgramFor("vgg16", 0.3);
+  ASSERT_NE(program, nullptr);
+  TestBench& bench = BenchFor("vgg16");
+  runtime::CompileOptions options =
+      SteadyOptions(bench, 0.3, "dce,color,autotune");
+  runtime::CompiledProgram compiled =
+      MustCompile(bench, *program, options);
+  const std::vector<Instr> original = compiled.instrs;
+
+  options.pool_capacity = 0;  // parity mode: stream order is contractual
+  runtime::passes::PassContext ctx;
+  ctx.graph = &bench.model.graph;
+  ctx.program = program;
+  ctx.options = &options;
+  std::string note;
+  auto pass = runtime::passes::MakeInstructionReorderingPass();
+  auto changed = pass->Run(ctx, &compiled, &note);
+  TSPLIT_CHECK_OK(changed.status());
+  EXPECT_FALSE(*changed) << note;
+  ASSERT_EQ(compiled.instrs.size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(compiled.instrs[i].kind, original[i].kind) << i;
+    EXPECT_EQ(compiled.instrs[i].slot, original[i].slot) << i;
+    EXPECT_EQ(compiled.instrs[i].aux, original[i].aux) << i;
+  }
+}
+
+// The wholesale-rollback property: RunPassPipeline rolls a pass back when
+// VerifyCompiled flags its output. Demonstrate the gate fires on an
+// illegal reorder — an alloc swapped below a compute that fences it is
+// exactly the shape of stream a buggy scheduler would emit.
+TEST(ReorderGateTest, IllegalReorderIsFlaggedByVerifyCompiled) {
+  const rewrite::Program* program = ProgramFor("vgg16", 0.3);
+  ASSERT_NE(program, nullptr);
+  TestBench& bench = BenchFor("vgg16");
+  runtime::CompiledProgram compiled = MustCompile(
+      bench, *program, SteadyOptions(bench, 0.3, "dce,color,autotune"));
+
+  bool swapped = false;
+  for (size_t i = 0; i + 1 < compiled.instrs.size(); ++i) {
+    if (compiled.instrs[i].kind != InstrKind::kAlloc) continue;
+    const Instr& next = compiled.instrs[i + 1];
+    if (next.kind != InstrKind::kCompute) continue;
+    const auto& fences =
+        compiled.computes[static_cast<size_t>(next.aux)].fence_slots;
+    if (std::find(fences.begin(), fences.end(), compiled.instrs[i].slot) ==
+        fences.end()) {
+      continue;
+    }
+    ASSERT_FALSE(analysis::IndependentInstrs(compiled, compiled.instrs[i],
+                                             next));
+    std::swap(compiled.instrs[i], compiled.instrs[i + 1]);
+    swapped = true;
+    break;
+  }
+  ASSERT_TRUE(swapped) << "no alloc/consumer adjacency in the stream";
+
+  std::vector<analysis::Diagnostic> diagnostics = analysis::VerifyCompiled(
+      bench.model.graph, *program, compiled);
+  EXPECT_TRUE(analysis::HasErrors(diagnostics));
+}
+
+}  // namespace
+}  // namespace tsplit

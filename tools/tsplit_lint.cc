@@ -2,13 +2,15 @@
 // executing them. Builds a model, schedules it, obtains a plan (from a
 // planner or a plan file), generates the augmented program, lowers it, and
 // runs every analysis/verifier.h lint over the chain. Findings print as
-// "severity[CODE] message (location)" lines.
+// "severity[CODE] message (location)" lines, or as a JSON report with
+// --format=json.
 //
 // Usage:
 //   tsplit_lint [--model NAME] [--batch N] [--scale F]
 //               [--planner NAME | --plan FILE]
 //               [--capacity-mb N | --fraction F] [--lookahead N]
-//               [--passes STR] [--dump-plan] [--dump-compiled]
+//               [--passes STR] [--format text|json]
+//               [--dump-plan] [--dump-compiled] [--dump-deps dot|text]
 //               [--corrupt KIND] [--list-codes]
 //
 //   --model NAME      model zoo name (default MLP; see models::BuildByName)
@@ -21,7 +23,13 @@
 //                     (default 0.6 when --capacity-mb is absent)
 //   --lookahead N     compile-time swap-in prefetch depth (default 0)
 //   --passes STR      compiled pass selection: "all", "none", or a comma
-//                     subset of {dce,color,autotune,batch} (default all)
+//                     subset of {dce,color,autotune,reorder,batch}
+//                     (default all)
+//   --format KIND     text (default) or json: one JSON object on stdout
+//                     with the run summary and the diagnostics array
+//                     (analysis::RenderAllJson); --dump-plan and
+//                     --dump-compiled text is suppressed (their compile
+//                     options still apply) and --dump-deps goes to stderr
 //   --dump-plan       print the plan's strategy histogram (tensors per
 //                     reside/swap/recompute/fuse, split counts, bytes per
 //                     strategy and ephemeral bytes avoided by fusion) and
@@ -31,11 +39,26 @@
 //                     real pool capacity, autotune on) and print the pass
 //                     pipeline stats, slot lifetimes, workspace high-water
 //                     and the final instruction stream
+//   --dump-deps KIND  print the compiled stream's happens-before
+//                     dependence graph (analysis/depgraph.h) as graphviz
+//                     ("dot") or a readable edge list ("text")
 //   --corrupt KIND    inject a deliberate defect first (self-test/demo):
 //                       swap-in-after-use  move a kSwapIn past its consumer
 //                       overlap-offsets    overlap compiled scatter extents
 //                       recompute-rng      mark an RNG op's compute step
 //                                          as recompute
+//                       drop-fence         unfence a pending swap-in's
+//                                          first consumer (TSV026)
+//                       forget-fence       unfence a never-transferred
+//                                          touched slot (TSV027)
+//                       double-swap-in     duplicate a kSwapIn while the
+//                                          first is in flight (TSV028)
+//                       free-in-flight     free a slot whose swap-in has
+//                                          not landed (TSV029)
+//                       dup-batch-slot     duplicate a pool-op batch
+//                                          member (TSV030)
+//                       stale-fence        fence a slot the compute never
+//                                          touches (TSV031)
 //   --list-codes      print the diagnostic registry and exit
 //
 // Exit status: 0 = clean (warnings allowed), 1 = error-severity
@@ -49,6 +72,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/depgraph.h"
 #include "analysis/diagnostic.h"
 #include "analysis/verifier.h"
 #include "graph/liveness.h"
@@ -75,8 +99,10 @@ struct Args {
   double fraction = 0.6;
   int lookahead = 0;
   std::string passes = "all";
+  std::string format = "text";
   bool dump_plan = false;
   bool dump_compiled = false;
+  std::string dump_deps;
   std::string corrupt;
   bool list_codes = false;
 };
@@ -87,16 +113,31 @@ void PrintUsage() {
       "usage: tsplit_lint [--model NAME] [--batch N] [--scale F]\n"
       "                   [--planner NAME | --plan FILE]\n"
       "                   [--capacity-mb N | --fraction F] [--lookahead N]\n"
-      "                   [--passes STR] [--dump-plan] [--dump-compiled]\n"
+      "                   [--passes STR] [--format text|json]\n"
+      "                   [--dump-plan] [--dump-compiled]"
+      " [--dump-deps dot|text]\n"
       "                   [--corrupt swap-in-after-use|overlap-offsets|"
-      "recompute-rng]\n"
+      "recompute-rng|\n"
+      "                             drop-fence|forget-fence|double-swap-in|"
+      "free-in-flight|\n"
+      "                             dup-batch-slot|stale-fence]\n"
       "                   [--list-codes]\n");
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
   for (int i = 1; i < argc; ++i) {
     std::string flag = argv[i];
+    // Both "--flag value" and "--flag=value" spellings are accepted.
+    std::string inline_value;
+    bool has_inline = false;
+    const size_t eq = flag.find('=');
+    if (eq != std::string::npos) {
+      inline_value = flag.substr(eq + 1);
+      flag.resize(eq);
+      has_inline = true;
+    }
     auto value = [&]() -> const char* {
+      if (has_inline) return inline_value.c_str();
       return i + 1 < argc ? argv[++i] : nullptr;
     };
     if (flag == "--list-codes") {
@@ -137,10 +178,18 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = value();
       if (v == nullptr) return false;
       args->passes = v;
+    } else if (flag == "--format") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      args->format = v;
     } else if (flag == "--dump-plan") {
       args->dump_plan = true;
     } else if (flag == "--dump-compiled") {
       args->dump_compiled = true;
+    } else if (flag == "--dump-deps") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      args->dump_deps = v;
     } else if (flag == "--corrupt") {
       const char* v = value();
       if (v == nullptr) return false;
@@ -226,6 +275,129 @@ bool CorruptRecomputeRng(const Graph& graph, rewrite::Program* program) {
     }
   }
   return false;
+}
+
+// Removes a pending kSwapIn's slot from its first consuming compute's
+// fence set: the consumer now races the copy engine (TSV026, plus the
+// TSV027 fence-gap warning). Pairs crossed by another transfer are
+// skipped — a later fence could retire the ticket through FIFO credit
+// and mask the defect.
+bool CorruptDropFence(runtime::CompiledProgram* cp) {
+  using runtime::compiled::InstrKind;
+  for (size_t i = 0; i < cp->instrs.size(); ++i) {
+    if (cp->instrs[i].kind != InstrKind::kSwapIn) continue;
+    const int slot = cp->instrs[i].slot;
+    for (size_t j = i + 1; j < cp->instrs.size(); ++j) {
+      const auto& ins = cp->instrs[j];
+      if (ins.kind == InstrKind::kSwapIn ||
+          ins.kind == InstrKind::kSwapOut ||
+          ins.kind == InstrKind::kFusedCompute) {
+        break;
+      }
+      if (ins.kind != InstrKind::kCompute) continue;
+      auto& fences =
+          cp->computes[static_cast<size_t>(ins.aux)].fence_slots;
+      auto it = std::find(fences.begin(), fences.end(), slot);
+      if (it == fences.end()) continue;
+      fences.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+// Removes from a compute's fence set a touched slot that is never
+// transferred: no ticket is ever outstanding on it, so only the latent
+// fence-gap warning fires (TSV027 without TSV026).
+bool CorruptForgetFence(runtime::CompiledProgram* cp) {
+  using runtime::compiled::InstrKind;
+  std::vector<char> transferred(cp->slots.size(), 0);
+  for (const auto& ins : cp->instrs) {
+    if (ins.kind == InstrKind::kSwapIn || ins.kind == InstrKind::kSwapOut) {
+      transferred[static_cast<size_t>(ins.slot)] = 1;
+    }
+  }
+  for (const auto& ins : cp->instrs) {
+    if (ins.kind != InstrKind::kCompute) continue;
+    auto& fences = cp->computes[static_cast<size_t>(ins.aux)].fence_slots;
+    for (auto it = fences.begin(); it != fences.end(); ++it) {
+      if (!transferred[static_cast<size_t>(*it)]) {
+        fences.erase(it);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+// Duplicates a kSwapIn immediately after itself: the second H2D issue
+// lands on a slot whose first transfer has not retired (TSV028).
+bool CorruptDoubleSwapIn(runtime::CompiledProgram* cp) {
+  using runtime::compiled::InstrKind;
+  for (size_t i = 0; i < cp->instrs.size(); ++i) {
+    if (cp->instrs[i].kind != InstrKind::kSwapIn) continue;
+    cp->instrs.insert(cp->instrs.begin() + static_cast<ptrdiff_t>(i) + 1,
+                      cp->instrs[i]);
+    return true;
+  }
+  return false;
+}
+
+// Inserts a kFree right behind a kSwapIn of the same slot: the copy
+// engine still owns the storage when the pool reclaims it (TSV029).
+bool CorruptFreeInFlight(runtime::CompiledProgram* cp) {
+  using runtime::compiled::Instr;
+  using runtime::compiled::InstrKind;
+  for (size_t i = 0; i < cp->instrs.size(); ++i) {
+    if (cp->instrs[i].kind != InstrKind::kSwapIn) continue;
+    Instr free_ins;
+    free_ins.kind = InstrKind::kFree;
+    free_ins.slot = cp->instrs[i].slot;
+    cp->instrs.insert(cp->instrs.begin() + static_cast<ptrdiff_t>(i) + 1,
+                      free_ins);
+    return true;
+  }
+  return false;
+}
+
+// Duplicates a pool-op batch member so the batch's internal order becomes
+// observable (TSV030) — the compiled analogue of overlap-offsets.
+bool CorruptDupBatchSlot(runtime::CompiledProgram* cp) {
+  for (auto& batch : cp->batches) {
+    if (batch.size() >= 2) {
+      batch[1] = batch[0];
+      return true;
+    }
+  }
+  return false;
+}
+
+// Appends an untouched (but always-live stage) slot to a compute's fence
+// set: a stale entry forcing a spurious stall (TSV031).
+bool CorruptStaleFence(runtime::CompiledProgram* cp) {
+  using runtime::compiled::InstrKind;
+  for (const auto& ins : cp->instrs) {
+    if (ins.kind != InstrKind::kCompute) continue;
+    auto& fences = cp->computes[static_cast<size_t>(ins.aux)].fence_slots;
+    for (const auto& stage : cp->stages) {
+      if (std::find(fences.begin(), fences.end(), stage.slot) ==
+          fences.end()) {
+        fences.push_back(stage.slot);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+// Minimal JSON string escaping for the --format=json wrapper fields.
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
 }
 
 std::string SlotName(const Graph& graph, const runtime::CompiledProgram& cp,
@@ -496,6 +668,31 @@ void DumpCompiled(const Graph& graph, const runtime::CompiledProgram& cp) {
 }
 
 int RunLint(const Args& args) {
+  static const char* kCorruptKinds[] = {
+      "swap-in-after-use", "overlap-offsets", "recompute-rng",
+      "drop-fence",        "forget-fence",    "double-swap-in",
+      "free-in-flight",    "dup-batch-slot",  "stale-fence"};
+  if (!args.corrupt.empty() &&
+      std::find_if(std::begin(kCorruptKinds), std::end(kCorruptKinds),
+                   [&](const char* k) { return args.corrupt == k; }) ==
+          std::end(kCorruptKinds)) {
+    std::fprintf(stderr, "unknown corruption kind %s\n",
+                 args.corrupt.c_str());
+    return 2;
+  }
+  if (args.format != "text" && args.format != "json") {
+    std::fprintf(stderr, "unknown format %s (text|json)\n",
+                 args.format.c_str());
+    return 2;
+  }
+  if (!args.dump_deps.empty() && args.dump_deps != "dot" &&
+      args.dump_deps != "text") {
+    std::fprintf(stderr, "unknown dependence dump %s (dot|text)\n",
+                 args.dump_deps.c_str());
+    return 2;
+  }
+  const bool json = args.format == "json";
+
   // ---- model ----
   Result<models::Model> model_or = models::BuildByName(
       args.model, args.batch, args.scale, /*with_backward=*/true);
@@ -625,12 +822,54 @@ int RunLint(const Args& args) {
                    "multi-part scatter (use a splitting planner)\n");
       return 2;
     }
-  } else if (!args.corrupt.empty() &&
-             args.corrupt != "swap-in-after-use" &&
-             args.corrupt != "recompute-rng") {
-    std::fprintf(stderr, "unknown corruption kind %s\n",
-                 args.corrupt.c_str());
-    return 2;
+  } else if (args.corrupt == "drop-fence") {
+    if (!CorruptDropFence(&compiled)) {
+      std::fprintf(stderr,
+                   "corrupt=drop-fence: no swap-in with an unmasked "
+                   "consuming compute (try a tighter budget)\n");
+      return 2;
+    }
+  } else if (args.corrupt == "forget-fence") {
+    if (!CorruptForgetFence(&compiled)) {
+      std::fprintf(stderr,
+                   "corrupt=forget-fence: every fenced slot is "
+                   "transferred somewhere\n");
+      return 2;
+    }
+  } else if (args.corrupt == "double-swap-in") {
+    if (!CorruptDoubleSwapIn(&compiled)) {
+      std::fprintf(stderr,
+                   "corrupt=double-swap-in: stream has no kSwapIn (try a "
+                   "tighter budget)\n");
+      return 2;
+    }
+  } else if (args.corrupt == "free-in-flight") {
+    if (!CorruptFreeInFlight(&compiled)) {
+      std::fprintf(stderr,
+                   "corrupt=free-in-flight: stream has no kSwapIn (try a "
+                   "tighter budget)\n");
+      return 2;
+    }
+  } else if (args.corrupt == "dup-batch-slot") {
+    if (!CorruptDupBatchSlot(&compiled)) {
+      std::fprintf(stderr,
+                   "corrupt=dup-batch-slot: no multi-member pool-op batch "
+                   "(keep the batch pass enabled)\n");
+      return 2;
+    }
+  } else if (args.corrupt == "stale-fence") {
+    if (!CorruptStaleFence(&compiled)) {
+      std::fprintf(stderr, "corrupt=stale-fence: no compute to taint\n");
+      return 2;
+    }
+  }
+
+  if (!args.dump_deps.empty()) {
+    const analysis::DepGraph dep = analysis::DepGraph::Build(compiled);
+    const std::string rendered = args.dump_deps == "dot"
+                                     ? dep.ToDot(compiled, &graph)
+                                     : dep.ToText(compiled, &graph);
+    std::fputs(rendered.c_str(), json ? stderr : stdout);
   }
 
   // ---- verify ----
@@ -640,6 +879,31 @@ int RunLint(const Args& args) {
   options.capacity_bytes = provisioned;
   std::vector<analysis::Diagnostic> diagnostics = analysis::VerifyAll(
       graph, &schedule, &plan, &program, &compiled, options);
+
+  const int errors = analysis::CountErrors(diagnostics);
+  const size_t warnings =
+      diagnostics.size() - static_cast<size_t>(errors);
+
+  if (json) {
+    // One JSON object, nothing else on stdout: machine consumers (the
+    // lint-matrix ctest wiring, CI) parse this and key off the exit code.
+    std::string out = "{\"model\":\"" + EscapeJson(args.model) +
+                      "\",\"batch\":" + std::to_string(args.batch) +
+                      ",\"planner\":\"" +
+                      EscapeJson(args.plan_file.empty() ? args.planner
+                                                        : args.plan_file) +
+                      "\",\"budget_bytes\":" + std::to_string(capacity) +
+                      ",\"steps\":" + std::to_string(program.steps.size()) +
+                      ",\"instrs\":" +
+                      std::to_string(compiled.instrs.size()) +
+                      ",\"slots\":" + std::to_string(compiled.slots.size()) +
+                      ",\"errors\":" + std::to_string(errors) +
+                      ",\"warnings\":" + std::to_string(warnings) +
+                      ",\"diagnostics\":" +
+                      analysis::RenderAllJson(diagnostics, &graph) + "}\n";
+    std::fputs(out.c_str(), stdout);
+    return analysis::HasErrors(diagnostics) ? 1 : 0;
+  }
 
   std::printf("model=%s batch=%d planner=%s budget=%zu bytes\n",
               args.model.c_str(), args.batch,
@@ -657,10 +921,7 @@ int RunLint(const Args& args) {
     return 0;
   }
   std::fputs(analysis::RenderAll(diagnostics, &graph).c_str(), stdout);
-  std::printf("%d error(s), %zu warning(s)\n",
-              analysis::CountErrors(diagnostics),
-              diagnostics.size() -
-                  static_cast<size_t>(analysis::CountErrors(diagnostics)));
+  std::printf("%d error(s), %zu warning(s)\n", errors, warnings);
   return analysis::HasErrors(diagnostics) ? 1 : 0;
 }
 
